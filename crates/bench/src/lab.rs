@@ -1,0 +1,220 @@
+//! A reusable two-node iperf lab (hostA — delay node — hostB plus
+//! coordinator) for the baseline and ablation experiments.
+
+use std::sync::Arc;
+
+use checkpoint::{CheckpointAgent, Coordinator, DelayNodeHost, OutPort, Strategy, TriggerMode};
+use cowstore::{BranchingStore, CowMode, GoldenImageBuilder, StoreLayout};
+use dummynet::PipeConfig;
+use guestos::{Kernel, KernelConfig};
+use hwsim::{ControlLan, Endpoint, IfaceId, Link, NodeAddr, Pc3000};
+use sim::{ComponentId, Engine, SimDuration};
+use vmm::{ExpPort, VmHost, VmHostConfig, VmmTuning};
+use workloads::{IperfReceiver, IperfSender};
+
+/// Knobs the ablation studies turn.
+#[derive(Clone, Copy, Debug)]
+pub struct LabConfig {
+    pub seed: u64,
+    pub strategy: Strategy,
+    /// Disable NTP by pointing clients at a black hole (the clock-sync
+    /// ablation: checkpoints are then scheduled against undisciplined
+    /// clocks).
+    pub ntp: bool,
+    /// Scheduling lead for "checkpoint at t" (None = the strategy's
+    /// default 200 ms).
+    pub lead: Option<SimDuration>,
+    /// Initial clock offsets of the two hosts, ns.
+    pub offsets_ns: (i64, i64),
+}
+
+impl Default for LabConfig {
+    fn default() -> Self {
+        LabConfig {
+            seed: 1,
+            strategy: Strategy::Transparent,
+            ntp: true,
+            lead: None,
+            offsets_ns: (2_000_000, -3_000_000),
+        }
+    }
+}
+
+/// The assembled lab.
+pub struct Lab {
+    pub engine: Engine,
+    pub coordinator: ComponentId,
+    pub host_a: ComponentId,
+    pub host_b: ComponentId,
+    pub delay_node: ComponentId,
+    pub addr_b: NodeAddr,
+}
+
+/// Outcome metrics of an iperf-under-checkpoints run.
+#[derive(Clone, Copy, Debug)]
+pub struct LabOutcome {
+    pub retransmissions: u64,
+    pub timeouts: u64,
+    pub dup_acks: u64,
+    pub window_shrinks: u64,
+    pub max_gap_us: u64,
+    pub max_suspend_skew_us: u64,
+    pub throughput_mbps: f64,
+    pub checkpoints: u64,
+}
+
+/// Builds the lab (hosts booted, nothing running yet).
+pub fn build_lab(cfg: LabConfig) -> Lab {
+    let mut e = Engine::new(cfg.seed);
+    let profile = Pc3000::default();
+    let lan_id = e.add_component(Box::new(ControlLan::new(
+        profile.ctrl_lan_bps,
+        profile.ctrl_lan_latency,
+        profile.ctrl_lan_jitter,
+    )));
+    let ops_addr = NodeAddr(1000);
+    // A black-hole address: attached to nothing, requests vanish.
+    let ntp_target = if cfg.ntp { ops_addr } else { NodeAddr(9999) };
+    let mode = match (cfg.strategy.trigger_mode(), cfg.lead) {
+        (TriggerMode::Scheduled { .. }, Some(lead)) => TriggerMode::Scheduled { lead },
+        (m, _) => m,
+    };
+    let coord = e.add_component(Box::new(Coordinator::new(ops_addr, lan_id, mode)));
+
+    let mk_host = |e: &mut Engine, node: NodeAddr, off: i64, drift: f64| -> ComponentId {
+        let golden = Arc::new(GoldenImageBuilder::new("fc4", 100_000, 4096, 7).build());
+        let layout = StoreLayout::for_image(&golden);
+        let store = BranchingStore::new(golden, CowMode::Branch, layout);
+        let mut kcfg = KernelConfig::pc3000_guest(node);
+        kcfg.disk_blocks = 100_000;
+        let kernel = Kernel::new(kcfg);
+        let agent = CheckpointAgent::new(ops_addr)
+            .with_processing_jitter(cfg.strategy.processing_jitter_mean());
+        let host = VmHost::new(
+            VmHostConfig {
+                node,
+                profile: Pc3000::default(),
+                tuning: VmmTuning::default(),
+                lan: lan_id,
+                ntp_server: ntp_target,
+                services: ops_addr,
+                clock_offset_ns: off,
+                clock_drift_ppm: drift,
+                auto_resume: false,
+                conceal_downtime: cfg.strategy.conceals_downtime(),
+            },
+            store,
+            kernel,
+            Some(Box::new(agent)),
+        );
+        e.add_component(Box::new(host))
+    };
+    let a_addr = NodeAddr(1);
+    let b_addr = NodeAddr(2);
+    let dn_addr = NodeAddr(3);
+    let host_a = mk_host(&mut e, a_addr, cfg.offsets_ns.0, 40.0);
+    let host_b = mk_host(&mut e, b_addr, cfg.offsets_ns.1, -25.0);
+    let dn = e.add_component(Box::new(DelayNodeHost::new(
+        dn_addr, lan_id, ops_addr, 1_000_000, 15.0,
+    )));
+    let link_a = e.add_component(Box::new(Link::new(
+        Endpoint { component: host_a, iface: IfaceId::EXPERIMENT },
+        Endpoint { component: dn, iface: IfaceId(1) },
+        1_000_000_000,
+        SimDuration::from_micros(5),
+        0.0,
+    )));
+    let link_b = e.add_component(Box::new(Link::new(
+        Endpoint { component: host_b, iface: IfaceId::EXPERIMENT },
+        Endpoint { component: dn, iface: IfaceId(2) },
+        1_000_000_000,
+        SimDuration::from_micros(5),
+        0.0,
+    )));
+    let shape = PipeConfig {
+        bandwidth_bps: Some(1_000_000_000),
+        delay: SimDuration::from_micros(100),
+        plr: 0.0,
+        queue_slots: 512,
+    };
+    e.with_component::<DelayNodeHost, _>(dn, |d, _| {
+        d.add_path(IfaceId(1), shape, OutPort { link: link_b, end: 1 });
+        d.add_path(IfaceId(2), shape, OutPort { link: link_a, end: 1 });
+    });
+    e.with_component::<VmHost, _>(host_a, |h, _| {
+        h.add_exp_route(b_addr, ExpPort::LinkEnd { link: link_a, end: 0 });
+    });
+    e.with_component::<VmHost, _>(host_b, |h, _| {
+        h.add_exp_route(a_addr, ExpPort::LinkEnd { link: link_b, end: 0 });
+    });
+    e.with_component::<ControlLan, _>(lan_id, |l, _| {
+        l.attach(ops_addr, Endpoint { component: coord, iface: IfaceId::CONTROL });
+        l.attach(a_addr, Endpoint { component: host_a, iface: IfaceId::CONTROL });
+        l.attach(b_addr, Endpoint { component: host_b, iface: IfaceId::CONTROL });
+        l.attach(dn_addr, Endpoint { component: dn, iface: IfaceId::CONTROL });
+    });
+    e.with_component::<Coordinator, _>(coord, |c, _| {
+        c.subscribe(a_addr);
+        c.subscribe(b_addr);
+        c.subscribe(dn_addr);
+    });
+    e.with_component::<VmHost, _>(host_a, |h, ctx| h.start(ctx));
+    e.with_component::<VmHost, _>(host_b, |h, ctx| h.start(ctx));
+    e.with_component::<DelayNodeHost, _>(dn, |d, ctx| d.start(ctx));
+    Lab {
+        engine: e,
+        coordinator: coord,
+        host_a,
+        host_b,
+        delay_node: dn,
+        addr_b: b_addr,
+    }
+}
+
+impl Lab {
+    /// Starts the iperf pair (trace enabled on the receiver).
+    pub fn start_iperf(&mut self) {
+        let b_addr = self.addr_b;
+        let (a, b) = (self.host_a, self.host_b);
+        self.engine.with_component::<VmHost, _>(b, |h, _| {
+            h.kernel_mut().trace.enable();
+            h.kernel_mut().spawn(Box::new(IperfReceiver::new(5001)));
+        });
+        self.engine.with_component::<VmHost, _>(a, |h, _| {
+            h.kernel_mut().spawn(Box::new(IperfSender::new(b_addr, 5001)));
+        });
+    }
+
+    /// Collects the outcome metrics after a run of `run_secs`.
+    pub fn outcome(&self, run_secs: f64) -> LabOutcome {
+        let a = self
+            .engine
+            .component_ref::<VmHost>(self.host_a)
+            .expect("host a");
+        let b = self
+            .engine
+            .component_ref::<VmHost>(self.host_b)
+            .expect("host b");
+        let ta = a.kernel().net_totals();
+        let tb = b.kernel().net_totals();
+        let gaps = b.kernel().trace.rx_data_gaps_ns();
+        let skew = a
+            .stats
+            .freeze_history
+            .iter()
+            .zip(b.stats.freeze_history.iter())
+            .map(|(&x, &y)| x.as_nanos().abs_diff(y.as_nanos()))
+            .max()
+            .unwrap_or(0);
+        LabOutcome {
+            retransmissions: ta.retransmissions + tb.retransmissions,
+            timeouts: ta.timeouts + tb.timeouts,
+            dup_acks: ta.dup_acks,
+            window_shrinks: ta.window_shrinks + tb.window_shrinks,
+            max_gap_us: gaps.iter().copied().max().unwrap_or(0) / 1000,
+            max_suspend_skew_us: skew / 1000,
+            throughput_mbps: tb.bytes_delivered as f64 / 1e6 / run_secs,
+            checkpoints: a.stats.checkpoints,
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! NTP-style clock synchronization (paper §4.3).
+//!
+//! The paper schedules distributed checkpoints by *local clock time*, so
+//! the whole transparency story bottoms out in how well NTP disciplines the
+//! hosts' clocks: "Under perfect LAN conditions, NTP provides clock
+//! synchronization with an error of 200 µs." This crate implements the
+//! client/server protocol logic and a phase/frequency-locked discipline
+//! loop against the [`hwsim::HardwareClock`] interface. Transport is left
+//! to the owner (hosts exchange [`NtpRequest`]/[`NtpResponse`] frames over
+//! the control LAN), keeping the protocol logic deterministic and testable.
+//!
+//! The discipline follows real NTP's structure: a four-timestamp offset /
+//! delay measurement, a minimum-delay clock filter over the last eight
+//! samples, a step for large offsets (> 128 ms) and a PI (phase +
+//! frequency) slew loop for small ones, clamped to ±500 ppm.
+
+use hwsim::HardwareClock;
+use sim::{SimDuration, SimTime};
+
+/// Number of samples retained by the clock filter.
+const FILTER_DEPTH: usize = 8;
+
+/// Offsets larger than this are stepped rather than slewn (as in ntpd).
+const STEP_THRESHOLD_NS: f64 = 128e6;
+
+/// Maximum slew magnitude, ppm (as in ntpd).
+const MAX_SLEW_PPM: f64 = 500.0;
+
+/// An NTP request: the client's transmit timestamp (its clock, ns).
+#[derive(Clone, Copy, Debug)]
+pub struct NtpRequest {
+    pub t1_ns: f64,
+}
+
+/// An NTP response carrying the server receive/transmit timestamps.
+#[derive(Clone, Copy, Debug)]
+pub struct NtpResponse {
+    pub t1_ns: f64,
+    pub t2_ns: f64,
+    pub t3_ns: f64,
+}
+
+/// What the owner should do to its hardware clock after a measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DisciplineAction {
+    /// No new filtered sample; leave the clock alone.
+    None,
+    /// Step the clock by this many nanoseconds.
+    Step(f64),
+    /// Replace the clock's slew with this rate adjustment (ppm).
+    Slew(f64),
+}
+
+/// The NTP server side: stateless, just timestamps with its own clock.
+///
+/// In Emulab the server runs on the ops node, which we treat as the
+/// reference (its clock defines testbed time).
+#[derive(Clone, Debug, Default)]
+pub struct NtpServer;
+
+impl NtpServer {
+    /// Builds the response for `req` given the server clock readings at
+    /// packet receive (`t2`) and transmit (`t3`).
+    pub fn respond(&self, req: NtpRequest, t2_ns: f64, t3_ns: f64) -> NtpResponse {
+        NtpResponse {
+            t1_ns: req.t1_ns,
+            t2_ns,
+            t3_ns,
+        }
+    }
+}
+
+/// The NTP client: measurement filter plus PI discipline state.
+#[derive(Clone, Debug)]
+pub struct NtpClient {
+    poll_interval: SimDuration,
+    min_poll: SimDuration,
+    max_poll: SimDuration,
+    min_delay_ns: f64,
+    samples_seen: u64,
+    freq_ppm: f64,
+    last_offset_ns: f64,
+    synchronized: bool,
+    polls_sent: u64,
+    steps: u64,
+}
+
+impl NtpClient {
+    /// Creates a client polling every `initial_poll`, backing off to
+    /// `max_poll` once synchronized.
+    pub fn new(initial_poll: SimDuration, max_poll: SimDuration) -> Self {
+        NtpClient {
+            poll_interval: initial_poll,
+            min_poll: initial_poll,
+            max_poll,
+            min_delay_ns: f64::INFINITY,
+            samples_seen: 0,
+            freq_ppm: 0.0,
+            last_offset_ns: 0.0,
+            synchronized: false,
+            polls_sent: 0,
+            steps: 0,
+        }
+    }
+
+    /// Default Emulab configuration: 8 s initial poll, backing off only to
+    /// 16 s. Emulab pins maxpoll low on the control LAN because scheduled
+    /// checkpoints need the tightest sync NTP can deliver (§4.3).
+    pub fn emulab_default() -> Self {
+        NtpClient::new(SimDuration::from_secs(8), SimDuration::from_secs(16))
+    }
+
+    /// Time until the next poll should be sent.
+    pub fn next_poll_in(&self) -> SimDuration {
+        self.poll_interval
+    }
+
+    /// True once the discipline has locked (an offset sample below the step
+    /// threshold has been processed).
+    pub fn synchronized(&self) -> bool {
+        self.synchronized
+    }
+
+    /// Most recent filtered offset (server − client), ns.
+    pub fn last_offset_ns(&self) -> f64 {
+        self.last_offset_ns
+    }
+
+    /// Number of polls sent.
+    pub fn polls_sent(&self) -> u64 {
+        self.polls_sent
+    }
+
+    /// Number of step adjustments applied.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Starts a poll: returns the request stamped with the local clock.
+    pub fn begin_poll(&mut self, local_clock_ns: f64) -> NtpRequest {
+        self.polls_sent += 1;
+        NtpRequest {
+            t1_ns: local_clock_ns,
+        }
+    }
+
+    /// Processes a response received when the local clock read `t4_ns`.
+    ///
+    /// Returns the action the owner must apply to its [`HardwareClock`].
+    pub fn on_response(&mut self, resp: NtpResponse, t4_ns: f64) -> DisciplineAction {
+        // Standard four-timestamp estimators.
+        let offset = ((resp.t2_ns - resp.t1_ns) + (resp.t3_ns - t4_ns)) / 2.0;
+        let delay = ((t4_ns - resp.t1_ns) - (resp.t3_ns - resp.t2_ns)).max(0.0);
+        self.samples_seen += 1;
+        self.last_offset_ns = offset;
+
+        // Popcorn filter: discard samples whose round-trip delay is far
+        // above the floor — their offset estimate is dominated by queueing
+        // asymmetry. The floor creeps upward slowly so it can recover from
+        // a lucky early minimum.
+        self.min_delay_ns = (self.min_delay_ns * 1.01).min(delay.max(1.0));
+        let is_spike = self.samples_seen > FILTER_DEPTH as u64
+            && delay > 3.0 * self.min_delay_ns + 50_000.0;
+        if is_spike {
+            return DisciplineAction::None;
+        }
+
+        // Boot-time behaviour: Emulab runs ntpdate before ntpd, so the very
+        // first sample steps the clock regardless of magnitude; afterwards
+        // only gross errors (> 128 ms, as in ntpd) are stepped.
+        if self.samples_seen == 1 || offset.abs() > STEP_THRESHOLD_NS {
+            self.poll_interval = self.min_poll;
+            self.steps += 1;
+            return DisciplineAction::Step(offset);
+        }
+
+        self.synchronized = true;
+        let interval_ns = self.poll_interval.as_nanos() as f64;
+        // PI discipline, expressed in ppm over the next poll interval: the
+        // phase term cancels half the measured offset per interval; the
+        // frequency term integrates slowly (gain 1/16) to learn intrinsic
+        // drift without windup.
+        let offset_rate_ppm = offset * 1e6 / interval_ns;
+        let phase_ppm = 0.5 * offset_rate_ppm;
+        self.freq_ppm += offset_rate_ppm / 16.0;
+        self.freq_ppm = self.freq_ppm.clamp(-MAX_SLEW_PPM, MAX_SLEW_PPM);
+        let slew = (self.freq_ppm + phase_ppm).clamp(-MAX_SLEW_PPM, MAX_SLEW_PPM);
+
+        // Back the poll interval off once locked and the offset is small.
+        if offset.abs() < 500_000.0 && self.poll_interval < self.max_poll {
+            self.poll_interval = (self.poll_interval * 2).min(self.max_poll);
+        }
+        DisciplineAction::Slew(slew)
+    }
+
+    /// Applies an action to a clock at true time `now`. Convenience used by
+    /// host components.
+    pub fn apply(&self, clock: &mut HardwareClock, now: SimTime, action: DisciplineAction) {
+        match action {
+            DisciplineAction::None => {}
+            DisciplineAction::Step(delta) => clock.step(now, delta),
+            DisciplineAction::Slew(ppm) => clock.set_slew_ppm(now, ppm),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::SimRng;
+
+    /// Simulates repeated NTP exchanges between a drifting client clock and
+    /// a perfect server clock over a jittery LAN; returns the client error
+    /// trajectory sampled at each poll.
+    fn converge(
+        initial_offset_ns: i64,
+        drift_ppm: f64,
+        jitter_mean_us: f64,
+        polls: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        let mut rng = SimRng::from_seed(seed);
+        let server = NtpServer;
+        let mut client_clock = HardwareClock::new(initial_offset_ns, drift_ppm);
+        let server_clock = HardwareClock::new(0, 0.0);
+        let mut client = NtpClient::new(SimDuration::from_secs(8), SimDuration::from_secs(64));
+        let mut now = SimTime::ZERO + SimDuration::from_secs(1);
+        let mut errors = Vec::new();
+        for _ in 0..polls {
+            let req = client.begin_poll(client_clock.read_ns(now));
+            // Uplink: base 100 µs + jitter.
+            let up = SimDuration::from_nanos(
+                100_000 + rng.exponential(jitter_mean_us * 1000.0) as u64,
+            );
+            let t_srv = now + up;
+            let resp =
+                server.respond(req, server_clock.read_ns(t_srv), server_clock.read_ns(t_srv));
+            let down = SimDuration::from_nanos(
+                100_000 + rng.exponential(jitter_mean_us * 1000.0) as u64,
+            );
+            let t_back = t_srv + down;
+            let action = client.on_response(resp, client_clock.read_ns(t_back));
+            client.apply(&mut client_clock, t_back, action);
+            now = t_back + client.next_poll_in();
+            errors.push(client_clock.error_ns(now));
+        }
+        errors
+    }
+
+    #[test]
+    fn large_initial_offset_gets_stepped() {
+        let errors = converge(500_000_000, 20.0, 60.0, 3, 1);
+        // After the first poll the half-second error must be gone.
+        assert!(errors[0].abs() < 10_000_000.0, "after step: {} ns", errors[0]);
+    }
+
+    #[test]
+    fn steady_state_error_within_paper_bound() {
+        // Paper: ~200 µs error under good LAN conditions. Allow 400 µs for
+        // the tail since we sample at poll times.
+        for seed in 0..5 {
+            let errors = converge(3_000_000, 35.0, 60.0, 40, seed);
+            let tail = &errors[25..];
+            for (i, e) in tail.iter().enumerate() {
+                assert!(
+                    e.abs() < 400_000.0,
+                    "seed {seed} poll {} error {} ns",
+                    25 + i,
+                    e
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drift_gets_absorbed_by_frequency_term() {
+        let errors = converge(0, 80.0, 20.0, 40, 7);
+        // Late errors must be an order of magnitude below raw drift
+        // accumulation (80 ppm × 64 s = 5.1 ms/interval undisciplined).
+        let late = errors[35..].iter().map(|e| e.abs()).fold(0.0, f64::max);
+        assert!(late < 500_000.0, "late error {late} ns");
+    }
+
+    #[test]
+    fn two_clients_converge_toward_each_other() {
+        // The checkpoint-skew metric is the *difference* between clients.
+        let a = converge(2_000_000, 40.0, 60.0, 40, 11);
+        let b = converge(-3_000_000, -25.0, 60.0, 40, 13);
+        let early_skew = (a[1] - b[1]).abs();
+        let late_skew = (a[39] - b[39]).abs();
+        assert!(late_skew < 600_000.0, "late skew {late_skew} ns");
+        assert!(
+            late_skew < early_skew,
+            "skew must shrink: {early_skew} -> {late_skew}"
+        );
+    }
+
+    #[test]
+    fn poll_interval_backs_off_after_lock() {
+        let mut c = NtpClient::new(SimDuration::from_secs(8), SimDuration::from_secs(64));
+        assert_eq!(c.next_poll_in(), SimDuration::from_secs(8));
+        // First sample is the boot-time ntpdate step.
+        let req = c.begin_poll(0.0);
+        let resp = NtpServer.respond(req, 100_000.0, 100_000.0);
+        assert!(matches!(c.on_response(resp, 200_000.0), DisciplineAction::Step(_)));
+        assert!(!c.synchronized());
+        // Second sample locks the discipline and backs the interval off.
+        let req = c.begin_poll(1_000_000.0);
+        let resp = NtpServer.respond(req, 1_100_000.0, 1_100_000.0);
+        assert!(matches!(c.on_response(resp, 1_200_000.0), DisciplineAction::Slew(_)));
+        assert!(c.synchronized());
+        assert_eq!(c.next_poll_in(), SimDuration::from_secs(16));
+    }
+
+    #[test]
+    fn offset_and_delay_estimators_exact_on_symmetric_path() {
+        let mut c = NtpClient::new(SimDuration::from_secs(8), SimDuration::from_secs(64));
+        // Client is 1 ms slow; both path legs 200 µs.
+        let req = c.begin_poll(10_000_000.0);
+        let srv = 10_000_000.0 + 200_000.0 + 1_000_000.0;
+        let resp = NtpServer.respond(req, srv, srv);
+        let t4 = 10_000_000.0 + 400_000.0;
+        let _ = c.on_response(resp, t4);
+        assert!((c.last_offset_ns() - 1_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn slew_clamped_to_500ppm() {
+        let mut c = NtpClient::new(SimDuration::from_secs(8), SimDuration::from_secs(64));
+        // Prime past the boot-time step.
+        let req = c.begin_poll(0.0);
+        let resp = NtpServer.respond(req, 100.0, 100.0);
+        let _ = c.on_response(resp, 200.0);
+        // 100 ms offset: below step threshold, needs clamping.
+        let req = c.begin_poll(1000.0);
+        let resp = NtpServer.respond(req, 100e6, 100e6);
+        match c.on_response(resp, 2000.0) {
+            DisciplineAction::Slew(ppm) => assert!(ppm.abs() <= 500.0, "ppm={ppm}"),
+            other => panic!("expected slew, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_counter_and_poll_reset_on_step() {
+        let mut c = NtpClient::new(SimDuration::from_secs(8), SimDuration::from_secs(64));
+        let req = c.begin_poll(0.0);
+        let resp = NtpServer.respond(req, 300e6, 300e6);
+        match c.on_response(resp, 1000.0) {
+            DisciplineAction::Step(d) => assert!(d > 128e6),
+            other => panic!("expected step, got {other:?}"),
+        }
+        assert_eq!(c.steps(), 1);
+        assert_eq!(c.next_poll_in(), SimDuration::from_secs(8));
+    }
+}

@@ -1,0 +1,98 @@
+//! The per-node checkpoint agent plugged into each VM host.
+//!
+//! The agent is the node-side half of §4.3's protocol: it receives bus
+//! notifications on the control interface, arms a local timer for
+//! scheduled checkpoints ("Upon receiving the notification, nodes schedule
+//! their checkpoints locally. Accurate local timers and clock
+//! synchronization algorithms ensure precise checkpoint synchronization"),
+//! reports completion for the barrier, and resumes on command.
+
+use hwsim::Frame;
+use sim::{Ctx, SimDuration};
+use vmm::{HostAgent, VmHost};
+
+use crate::bus::{BusMsg, BUS_MSG_BYTES};
+
+/// The coordinated-checkpoint agent for a VM host.
+pub struct CheckpointAgent {
+    coordinator: hwsim::NodeAddr,
+    epoch: u64,
+    /// Mean of the exponential processing delay applied to event-driven
+    /// ("checkpoint now") triggers; zero for pure scheduled operation.
+    processing_jitter_mean: SimDuration,
+    /// Checkpoints this agent has completed.
+    pub completed: u64,
+}
+
+impl CheckpointAgent {
+    /// Creates an agent reporting to `coordinator`.
+    pub fn new(coordinator: hwsim::NodeAddr) -> Self {
+        CheckpointAgent {
+            coordinator,
+            epoch: 0,
+            processing_jitter_mean: SimDuration::ZERO,
+            completed: 0,
+        }
+    }
+
+    /// Adds per-node processing jitter for event-driven triggers (the
+    /// stack/VMM delays of §4.3 that make "checkpoint now" imprecise).
+    pub fn with_processing_jitter(mut self, mean: SimDuration) -> Self {
+        self.processing_jitter_mean = mean;
+        self
+    }
+}
+
+impl HostAgent for CheckpointAgent {
+    fn on_ctrl_frame(&mut self, host: &mut VmHost, ctx: &mut Ctx<'_>, frame: &Frame) {
+        let Some(&msg) = frame.payload::<BusMsg>() else {
+            return;
+        };
+        match msg {
+            BusMsg::CheckpointAt { epoch, at_clock_ns } => {
+                self.epoch = epoch;
+                host.agent_wake_at_clock_ns(ctx, at_clock_ns, epoch);
+            }
+            BusMsg::CheckpointNow { epoch } => {
+                self.epoch = epoch;
+                if self.processing_jitter_mean.is_zero() {
+                    host.begin_checkpoint(ctx);
+                } else {
+                    let d = SimDuration::from_nanos(
+                        ctx.rng()
+                            .exponential(self.processing_jitter_mean.as_nanos() as f64)
+                            as u64,
+                    );
+                    host.agent_wake_after(ctx, d, epoch);
+                }
+            }
+            BusMsg::Resume { epoch } => {
+                if epoch == self.epoch {
+                    host.resume_guest(ctx);
+                }
+            }
+            BusMsg::NodeDone { .. } | BusMsg::RequestCheckpoint => {}
+        }
+    }
+
+    fn on_wake(&mut self, host: &mut VmHost, ctx: &mut Ctx<'_>, token: u64) {
+        if token == self.epoch {
+            host.begin_checkpoint(ctx);
+        }
+    }
+
+    fn on_checkpoint_captured(&mut self, host: &mut VmHost, ctx: &mut Ctx<'_>) {
+        self.completed += 1;
+        let epoch = self.epoch;
+        host.send_ctrl(ctx, self.coordinator, BUS_MSG_BYTES, BusMsg::NodeDone { epoch });
+    }
+
+    fn on_guest_trigger(&mut self, host: &mut VmHost, ctx: &mut Ctx<'_>) {
+        host.send_ctrl(
+            ctx,
+            self.coordinator,
+            BUS_MSG_BYTES,
+            BusMsg::RequestCheckpoint,
+        );
+    }
+}

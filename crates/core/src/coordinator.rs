@@ -1,0 +1,497 @@
+//! The checkpoint coordinator on the ops node.
+//!
+//! Runs the distributed protocol of §4.3: publishes scheduled or
+//! event-driven checkpoint notifications to every subscribed node, gathers
+//! per-node "done" reports behind a barrier, and publishes the resume.
+//! The component doubles as the testbed's NTP server (its clock is the
+//! reference the whole experiment disciplines against), because scheduled
+//! checkpoints only make sense relative to the clock the nodes chase.
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+use clocksync::{NtpRequest, NtpServer};
+use hwsim::{Frame, HardwareClock, LanTransmit, LinkDeliver, NodeAddr};
+use sim::{Component, ComponentId, Ctx, SimDuration, SimTime};
+
+use crate::bus::{BusMsg, BUS_MSG_BYTES};
+
+/// Internal coordinator events.
+enum CoordMsg {
+    /// Fire the next periodic checkpoint.
+    PeriodicKick,
+}
+
+/// Per-epoch record for analysis.
+#[derive(Clone, Debug)]
+pub struct EpochRecord {
+    pub epoch: u64,
+    /// True time the notification was published.
+    pub published: SimTime,
+    /// True time the barrier completed (all nodes done).
+    pub barrier_done: Option<SimTime>,
+    /// True time the resume was published.
+    pub resumed: Option<SimTime>,
+}
+
+/// Checkpoint trigger style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TriggerMode {
+    /// "Checkpoint at time t": scheduled through synchronized clocks.
+    Scheduled {
+        /// How far in the future to schedule, as a local-clock delta.
+        lead: SimDuration,
+    },
+    /// "Checkpoint now": delivery-limited synchronization.
+    EventDriven,
+}
+
+/// A checkpoint group: one experiment's set of nodes. Emulab coordinates
+/// per experiment; nodes of different experiments never share a barrier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// The default group for single-experiment setups.
+    pub const DEFAULT: GroupId = GroupId(0);
+}
+
+/// The coordinator component.
+pub struct Coordinator {
+    addr: NodeAddr,
+    lan: ComponentId,
+    clock: HardwareClock,
+    ntp: NtpServer,
+    /// Member → group.
+    members: Vec<(NodeAddr, GroupId)>,
+    epoch: u64,
+    /// In-flight rounds: group → (epoch, nodes still pending).
+    pending: HashMap<GroupId, (u64, HashSet<NodeAddr>)>,
+    mode: TriggerMode,
+    periodic: Option<(GroupId, SimDuration)>,
+    /// Complete the barrier but do not publish the resume (swap-out and
+    /// time-travel hold the system suspended to collect its state).
+    hold_resume: bool,
+    pending_periodic_group: Option<GroupId>,
+    /// Completed and in-progress epoch records.
+    pub records: Vec<EpochRecord>,
+}
+
+impl Coordinator {
+    /// Creates a coordinator with a perfect reference clock.
+    pub fn new(addr: NodeAddr, lan: ComponentId, mode: TriggerMode) -> Self {
+        Coordinator {
+            addr,
+            lan,
+            clock: HardwareClock::new(0, 0.0),
+            ntp: NtpServer,
+            members: Vec::new(),
+            epoch: 0,
+            pending: HashMap::new(),
+            mode,
+            periodic: None,
+            hold_resume: false,
+            pending_periodic_group: None,
+            records: Vec::new(),
+        }
+    }
+
+    /// Holds the resume after the barrier (stateful swap-out, §5).
+    pub fn set_hold_resume(&mut self, hold: bool) {
+        self.hold_resume = hold;
+    }
+
+    /// True once every node of `group` reported done for its round.
+    pub fn barrier_complete_in(&self, group: GroupId) -> bool {
+        self.pending
+            .get(&group)
+            .map(|(_, p)| p.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// True once the default group's barrier completed.
+    pub fn barrier_complete(&self) -> bool {
+        self.barrier_complete_in(GroupId::DEFAULT)
+    }
+
+    /// Publishes the held resume for `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if that group's barrier has not completed.
+    pub fn release_resume_in(&mut self, ctx: &mut Ctx<'_>, group: GroupId) {
+        assert!(
+            self.barrier_complete_in(group),
+            "release before barrier completion"
+        );
+        let (epoch, _) = self.pending.remove(&group).expect("checked");
+        if let Some(rec) = self.records.iter_mut().rev().find(|r| r.epoch == epoch) {
+            rec.resumed = Some(ctx.now());
+        }
+        self.publish(ctx, group, BusMsg::Resume { epoch });
+    }
+
+    /// Publishes the held resume (default group).
+    pub fn release_resume(&mut self, ctx: &mut Ctx<'_>) {
+        self.release_resume_in(ctx, GroupId::DEFAULT);
+    }
+
+    /// Subscribes a node to the bus in the default group.
+    pub fn subscribe(&mut self, node: NodeAddr) {
+        self.subscribe_in(node, GroupId::DEFAULT);
+    }
+
+    /// Subscribes a node to the bus in `group`.
+    pub fn subscribe_in(&mut self, node: NodeAddr, group: GroupId) {
+        if !self.members.iter().any(|&(n, _)| n == node) {
+            self.members.push((node, group));
+        }
+    }
+
+    /// Unsubscribes a node (swap-out teardown).
+    pub fn unsubscribe(&mut self, node: NodeAddr) {
+        self.members.retain(|&(n, _)| n != node);
+    }
+
+    fn group_of(&self, node: NodeAddr) -> Option<GroupId> {
+        self.members
+            .iter()
+            .find(|&&(n, _)| n == node)
+            .map(|&(_, g)| g)
+    }
+
+    /// The coordinator's control address.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// Number of completed checkpoints.
+    pub fn completed(&self) -> u64 {
+        self.records.iter().filter(|r| r.resumed.is_some()).count() as u64
+    }
+
+    /// True if no checkpoint round is mid-flight in any group.
+    pub fn idle(&self) -> bool {
+        self.pending.values().all(|(_, p)| p.is_empty())
+    }
+
+    /// True if `group` has no round in flight.
+    pub fn idle_in(&self, group: GroupId) -> bool {
+        self.pending
+            .get(&group)
+            .map(|(_, p)| p.is_empty())
+            .unwrap_or(true)
+    }
+
+    fn publish(&mut self, ctx: &mut Ctx<'_>, group: GroupId, msg: BusMsg) {
+        for &(m, g) in &self.members {
+            if g == group {
+                let frame = Frame::new(self.addr, m, BUS_MSG_BYTES, msg);
+                ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
+            }
+        }
+    }
+
+    /// Triggers one checkpoint round for the default group.
+    pub fn trigger(&mut self, ctx: &mut Ctx<'_>) {
+        self.trigger_in(ctx, GroupId::DEFAULT);
+    }
+
+    /// Triggers one checkpoint round for `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if that group has a round in flight or no members.
+    pub fn trigger_in(&mut self, ctx: &mut Ctx<'_>, group: GroupId) {
+        assert!(self.idle_in(group), "checkpoint round already in flight");
+        let nodes: HashSet<NodeAddr> = self
+            .members
+            .iter()
+            .filter(|&&(_, g)| g == group)
+            .map(|&(n, _)| n)
+            .collect();
+        assert!(!nodes.is_empty(), "no subscribed nodes in group");
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.pending.insert(group, (epoch, nodes));
+        let msg = match self.mode {
+            TriggerMode::Scheduled { lead } => BusMsg::CheckpointAt {
+                epoch,
+                at_clock_ns: self.clock.read_ns(ctx.now()) + lead.as_nanos() as f64,
+            },
+            TriggerMode::EventDriven => BusMsg::CheckpointNow { epoch },
+        };
+        self.records.push(EpochRecord {
+            epoch,
+            published: ctx.now(),
+            barrier_done: None,
+            resumed: None,
+        });
+        self.publish(ctx, group, msg);
+    }
+
+    /// Selects which group the next `start_periodic` drives (default:
+    /// [`GroupId::DEFAULT`]); also retargets an already-running schedule.
+    pub fn set_periodic_group(&mut self, group: GroupId) {
+        if let Some((g, _)) = self.periodic.as_mut() {
+            *g = group;
+        }
+        self.pending_periodic_group = Some(group);
+    }
+
+    /// Starts periodic checkpointing of the selected (or default) group.
+    pub fn start_periodic(&mut self, ctx: &mut Ctx<'_>, interval: SimDuration) {
+        let group = self.pending_periodic_group.take().unwrap_or(GroupId::DEFAULT);
+        self.periodic = Some((group, interval));
+        ctx.post_self(interval, CoordMsg::PeriodicKick);
+    }
+
+    /// Stops periodic checkpointing after the current round.
+    pub fn stop_periodic(&mut self) {
+        self.periodic = None;
+    }
+
+    fn on_node_done(&mut self, ctx: &mut Ctx<'_>, epoch: u64, node: NodeAddr) {
+        let Some(group) = self.group_of(node) else {
+            return; // Unsubscribed mid-round (swap-out).
+        };
+        let Some((cur_epoch, pending)) = self.pending.get_mut(&group) else {
+            return;
+        };
+        if epoch != *cur_epoch {
+            return; // Stale report.
+        }
+        pending.remove(&node);
+        if pending.is_empty() {
+            if let Some(rec) = self.records.iter_mut().rev().find(|r| r.epoch == epoch) {
+                rec.barrier_done = Some(ctx.now());
+            }
+            if self.hold_resume {
+                return;
+            }
+            // Barrier complete: resume the group.
+            self.pending.remove(&group);
+            if let Some(rec) = self.records.iter_mut().rev().find(|r| r.epoch == epoch) {
+                rec.resumed = Some(ctx.now());
+            }
+            self.publish(ctx, group, BusMsg::Resume { epoch });
+        }
+    }
+}
+
+impl Component for Coordinator {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
+        let payload = match payload.downcast::<LinkDeliver>() {
+            Ok(del) => {
+                if let Some(req) = del.frame.payload::<NtpRequest>() {
+                    let t = self.clock.read_ns(ctx.now());
+                    let resp = self.ntp.respond(*req, t, t);
+                    let frame = Frame::new(self.addr, del.frame.src, 90, resp);
+                    ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
+                } else if let Some(&msg) = del.frame.payload::<BusMsg>() {
+                    match msg {
+                        BusMsg::NodeDone { epoch } => {
+                            self.on_node_done(ctx, epoch, del.frame.src);
+                        }
+                        BusMsg::RequestCheckpoint => {
+                            // Event-driven trigger from a node: checkpoint
+                            // its whole group now (if idle).
+                            if let Some(group) = self.group_of(del.frame.src) {
+                                if self.idle_in(group) {
+                                    let saved = self.mode;
+                                    self.mode = TriggerMode::EventDriven;
+                                    self.trigger_in(ctx, group);
+                                    self.mode = saved;
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                return;
+            }
+            Err(p) => p,
+        };
+        if payload.downcast::<CoordMsg>().is_ok() {
+            if let Some((group, interval)) = self.periodic {
+                if self.idle_in(group) {
+                    self.trigger_in(ctx, group);
+                }
+                ctx.post_self(interval, CoordMsg::PeriodicKick);
+            }
+        }
+    }
+
+    sim::component_boilerplate!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::{ControlLan, Frame, LanTransmit};
+    use sim::{Component, Engine};
+    use std::any::Any;
+
+    /// A fake node agent: records notifications, reports done after a
+    /// fixed local delay.
+    struct FakeNode {
+        addr: NodeAddr,
+        lan: ComponentId,
+        coord_addr: NodeAddr,
+        capture_ms: u64,
+        pub notified: u64,
+        pub resumed: u64,
+    }
+
+    struct CaptureDone {
+        epoch: u64,
+    }
+
+    impl Component for FakeNode {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
+            let payload = match payload.downcast::<hwsim::LinkDeliver>() {
+                Ok(del) => {
+                    if let Some(&msg) = del.frame.payload::<BusMsg>() {
+                        match msg {
+                            BusMsg::CheckpointAt { epoch, .. } | BusMsg::CheckpointNow { epoch } => {
+                                self.notified += 1;
+                                ctx.post_self(
+                                    SimDuration::from_millis(self.capture_ms),
+                                    CaptureDone { epoch },
+                                );
+                            }
+                            BusMsg::Resume { .. } => self.resumed += 1,
+                            _ => {}
+                        }
+                    }
+                    return;
+                }
+                Err(p) => p,
+            };
+            if let Ok(done) = payload.downcast::<CaptureDone>() {
+                let frame = Frame::new(
+                    self.addr,
+                    self.coord_addr,
+                    BUS_MSG_BYTES,
+                    BusMsg::NodeDone { epoch: done.epoch },
+                );
+                ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
+            }
+        }
+        sim::component_boilerplate!();
+    }
+
+    fn rig(capture_ms: &[u64]) -> (Engine, ComponentId, Vec<ComponentId>) {
+        let mut e = Engine::new(9);
+        let lan = e.add_component(Box::new(ControlLan::new(
+            100_000_000,
+            SimDuration::from_micros(40),
+            SimDuration::from_micros(60),
+        )));
+        let coord_addr = NodeAddr(100);
+        let coord = e.add_component(Box::new(Coordinator::new(
+            coord_addr,
+            lan,
+            TriggerMode::EventDriven,
+        )));
+        let mut nodes = Vec::new();
+        for (i, &ms) in capture_ms.iter().enumerate() {
+            let addr = NodeAddr(i as u32 + 1);
+            let n = e.add_component(Box::new(FakeNode {
+                addr,
+                lan,
+                coord_addr,
+                capture_ms: ms,
+                notified: 0,
+                resumed: 0,
+            }));
+            e.with_component::<ControlLan, _>(lan, |l, _| {
+                l.attach(addr, hwsim::Endpoint { component: n, iface: hwsim::IfaceId::CONTROL });
+            });
+            e.with_component::<Coordinator, _>(coord, |c, _| c.subscribe(addr));
+            nodes.push(n);
+        }
+        e.with_component::<ControlLan, _>(lan, |l, _| {
+            l.attach(coord_addr, hwsim::Endpoint { component: coord, iface: hwsim::IfaceId::CONTROL });
+        });
+        (e, coord, nodes)
+    }
+
+    #[test]
+    fn barrier_waits_for_the_slowest_node() {
+        let (mut e, coord, nodes) = rig(&[5, 50, 20]);
+        e.with_component::<Coordinator, _>(coord, |c, ctx| c.trigger(ctx));
+        // After 30 ms: two nodes done, barrier incomplete, no resume.
+        e.run_for(SimDuration::from_millis(30));
+        assert!(!e.component_ref::<Coordinator>(coord).unwrap().barrier_complete());
+        for &n in &nodes {
+            assert_eq!(e.component_ref::<FakeNode>(n).unwrap().resumed, 0);
+        }
+        // After the slowest (50 ms) reports: everyone resumes.
+        e.run_for(SimDuration::from_millis(40));
+        assert_eq!(e.component_ref::<Coordinator>(coord).unwrap().completed(), 1);
+        for &n in &nodes {
+            assert_eq!(e.component_ref::<FakeNode>(n).unwrap().resumed, 1);
+        }
+    }
+
+    #[test]
+    fn hold_resume_blocks_until_released() {
+        let (mut e, coord, nodes) = rig(&[5, 10]);
+        e.with_component::<Coordinator, _>(coord, |c, ctx| {
+            c.set_hold_resume(true);
+            c.trigger(ctx);
+        });
+        e.run_for(SimDuration::from_millis(100));
+        let c = e.component_ref::<Coordinator>(coord).unwrap();
+        assert!(c.barrier_complete());
+        assert_eq!(c.completed(), 0, "resume withheld");
+        e.with_component::<Coordinator, _>(coord, |c, ctx| c.release_resume(ctx));
+        e.run_for(SimDuration::from_millis(10));
+        for &n in &nodes {
+            assert_eq!(e.component_ref::<FakeNode>(n).unwrap().resumed, 1);
+        }
+    }
+
+    #[test]
+    fn periodic_mode_keeps_triggering() {
+        let (mut e, coord, nodes) = rig(&[5, 5]);
+        e.with_component::<Coordinator, _>(coord, |c, ctx| {
+            c.start_periodic(ctx, SimDuration::from_millis(200))
+        });
+        e.run_for(SimDuration::from_millis(1100));
+        let c = e.component_ref::<Coordinator>(coord).unwrap();
+        assert!(c.completed() >= 4, "completed {}", c.completed());
+        e.with_component::<Coordinator, _>(coord, |c, _| c.stop_periodic());
+        let before = e.component_ref::<Coordinator>(coord).unwrap().completed();
+        e.run_for(SimDuration::from_millis(600));
+        assert_eq!(
+            e.component_ref::<Coordinator>(coord).unwrap().completed(),
+            before,
+            "kept triggering after stop"
+        );
+        let _ = nodes;
+    }
+
+    #[test]
+    fn request_checkpoint_from_a_node_triggers_a_round() {
+        let (mut e, coord, nodes) = rig(&[5, 5]);
+        // A node publishes RequestCheckpoint on the bus.
+        let lan = {
+            // Reach into the rig: the LAN is component 0 by construction.
+            sim::ComponentId(0)
+        };
+        e.post(
+            lan,
+            SimDuration::from_millis(1),
+            LanTransmit {
+                frame: Frame::new(NodeAddr(1), NodeAddr(100), BUS_MSG_BYTES, BusMsg::RequestCheckpoint),
+            },
+        );
+        e.run_for(SimDuration::from_millis(100));
+        assert_eq!(e.component_ref::<Coordinator>(coord).unwrap().completed(), 1);
+        for &n in &nodes {
+            assert_eq!(e.component_ref::<FakeNode>(n).unwrap().notified, 1);
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! The delay-node host: Dummynet shaping plus its live checkpoint (§4.4).
+//!
+//! A delay node is a dedicated testbed machine interposed on experiment
+//! links, shaping traffic with Dummynet. Checkpointing the set of delay
+//! nodes checkpoints the *network core*: all bandwidth-delay-product
+//! packets live in their pipes, so endpoints never need a delay-accurate
+//! replay mechanism. The paper implements this natively (no Xen) because
+//! "the overhead of virtualization seems to be prohibitive for
+//! implementing an accurate, high-speed delay emulation" — so this
+//! component drives the `dummynet` state machine directly.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use clocksync::{NtpClient, NtpResponse};
+use dummynet::{Dummynet, DummynetImage, PipeConfig, PipeId};
+use hwsim::{
+    Frame, HardwareClock, IfaceId, LanTransmit, LinkDeliver, LinkTransmit, NodeAddr,
+};
+use sim::{transmission_time, Component, ComponentId, Ctx, EventId, SimDuration, SimTime};
+
+use crate::bus::{BusMsg, BUS_MSG_BYTES};
+
+/// Where shaped frames leave the delay node.
+#[derive(Clone, Copy, Debug)]
+pub struct OutPort {
+    pub link: ComponentId,
+    pub end: usize,
+}
+
+enum DnMsg {
+    NtpPoll,
+    PipeWake,
+    AgentWake { token: u64 },
+    CaptureDone,
+    Replay { pipe: PipeId, frame: Frame },
+}
+
+/// Per-node statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DelayNodeStats {
+    pub forwarded: u64,
+    pub checkpoints: u64,
+    pub logged_in_flight: u64,
+}
+
+/// A delay node participating in coordinated checkpoints.
+pub struct DelayNodeHost {
+    addr: NodeAddr,
+    lan: ComponentId,
+    coordinator: NodeAddr,
+    clock: HardwareClock,
+    ntp: NtpClient,
+    dn: Dummynet,
+    routes: HashMap<IfaceId, (PipeId, OutPort)>,
+    wake: Option<(SimTime, EventId)>,
+    /// End of the post-resume replay window: new arrivals queue behind the
+    /// replayed in-flight packets to preserve order (§3.2).
+    replay_until: SimTime,
+    epoch: u64,
+    /// Serialization throughput for the checkpoint (bytes/s of pipe state).
+    capture_bps: u64,
+    last_image: Option<DummynetImage>,
+    /// Counters.
+    pub stats: DelayNodeStats,
+}
+
+impl DelayNodeHost {
+    /// Creates a delay node.
+    pub fn new(
+        addr: NodeAddr,
+        lan: ComponentId,
+        coordinator: NodeAddr,
+        clock_offset_ns: i64,
+        clock_drift_ppm: f64,
+    ) -> Self {
+        DelayNodeHost {
+            addr,
+            lan,
+            coordinator,
+            clock: HardwareClock::new(clock_offset_ns, clock_drift_ppm),
+            ntp: NtpClient::emulab_default(),
+            dn: Dummynet::new(),
+            routes: HashMap::new(),
+            wake: None,
+            replay_until: SimTime::ZERO,
+            epoch: 0,
+            capture_bps: 500_000_000,
+            last_image: None,
+            stats: DelayNodeStats::default(),
+        }
+    }
+
+    /// Adds a shaped unidirectional path: frames arriving on `in_iface`
+    /// pass through a new pipe with `cfg` and leave via `out`.
+    pub fn add_path(&mut self, in_iface: IfaceId, cfg: PipeConfig, out: OutPort) -> PipeId {
+        let pipe = self.dn.add_pipe(cfg);
+        self.routes.insert(in_iface, (pipe, out));
+        pipe
+    }
+
+    /// The node's control address.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// The shaping instance (reconfiguration, stats).
+    pub fn dummynet(&self) -> &Dummynet {
+        &self.dn
+    }
+
+    /// Mutable shaping access.
+    pub fn dummynet_mut(&mut self) -> &mut Dummynet {
+        &mut self.dn
+    }
+
+    /// The last captured image (swap-out / time-travel).
+    pub fn last_image(&self) -> Option<&DummynetImage> {
+        self.last_image.as_ref()
+    }
+
+    /// Resumes a restored, suspended instance outside the bus protocol
+    /// (stateful swap-in): shifts deadlines and schedules the replay.
+    pub fn resume_from_restore(&mut self, ctx: &mut Ctx<'_>) {
+        if self.dn.suspended() {
+            self.resume(ctx);
+        }
+    }
+
+    /// Takes the suspension-window arrival log (swap-out preservation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not suspended.
+    pub fn take_suspended_log(&mut self) -> Vec<(SimDuration, dummynet::PipeId, Frame)> {
+        self.dn.take_log()
+    }
+
+    /// Installs a preserved arrival log; the node must be suspended (a
+    /// fresh restore can be re-suspended first).
+    pub fn install_suspended_log(
+        &mut self,
+        log: Vec<(SimDuration, dummynet::PipeId, Frame)>,
+    ) {
+        self.dn.install_log(log);
+    }
+
+    /// Abandons a suspension without replay (time travel discards the
+    /// current execution before installing a snapshot).
+    pub fn abandon_checkpoint(&mut self, ctx: &mut Ctx<'_>) {
+        if self.dn.suspended() {
+            let _ = self.dn.resume(ctx.now());
+        }
+    }
+
+    /// Installs restored shaping state (swap-in / time-travel); pipe ids
+    /// keep their meaning because paths are re-added in spec order.
+    pub fn install_dummynet(&mut self, ctx: &mut Ctx<'_>, dn: Dummynet) {
+        if let Some((_, ev)) = self.wake.take() {
+            ctx.cancel(ev);
+        }
+        self.dn = dn;
+        self.reschedule_wake(ctx);
+    }
+
+    /// Boots the node (NTP).
+    pub fn start(&mut self, ctx: &mut Ctx<'_>) {
+        let d = SimDuration::from_millis(ctx.rng().range_u64(50, 500));
+        ctx.post_self(d, DnMsg::NtpPoll);
+    }
+
+    fn reschedule_wake(&mut self, ctx: &mut Ctx<'_>) {
+        if self.dn.suspended() {
+            // Queued packets keep their (stale) deadlines while suspended;
+            // emission restarts at resume, which shifts them by the
+            // downtime. Re-arming here would spin on a past deadline.
+            return;
+        }
+        let next = self.dn.next_ready();
+        match (next, self.wake) {
+            (None, _) => {}
+            (Some(t), Some((wt, _))) if wt <= t => {}
+            (Some(t), prev) => {
+                if let Some((_, ev)) = prev {
+                    ctx.cancel(ev);
+                }
+                let at = t.max(ctx.now());
+                let ev = ctx.post_at(ctx.self_id(), at, DnMsg::PipeWake);
+                self.wake = Some((at, ev));
+            }
+        }
+    }
+
+    fn emit_ready(&mut self, ctx: &mut Ctx<'_>) {
+        let ready = self.dn.pop_ready(ctx.now());
+        for (pipe, frame) in ready {
+            // Find the out port for this pipe.
+            let out = self
+                .routes
+                .values()
+                .find(|(p, _)| *p == pipe)
+                .map(|&(_, o)| o)
+                .expect("pipe has a route");
+            self.stats.forwarded += 1;
+            ctx.post(
+                out.link,
+                SimDuration::ZERO,
+                LinkTransmit {
+                    from_end: out.end,
+                    frame,
+                },
+            );
+        }
+        self.wake = None;
+        self.reschedule_wake(ctx);
+    }
+
+    fn on_exp_rx(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, frame: Frame) {
+        let Some(&(pipe, _)) = self.routes.get(&iface) else {
+            return;
+        };
+        let now = ctx.now();
+        if !self.dn.suspended() && now < self.replay_until {
+            // Replay in progress: queue the fresh arrival behind it, paced
+            // at roughly wire speed so the replay tail does not become an
+            // instantaneous burst that overfills the pipe queue (§3.2).
+            self.replay_until = self.replay_until + SimDuration::from_micros(12);
+            ctx.post_at(ctx.self_id(), self.replay_until, DnMsg::Replay { pipe, frame });
+            return;
+        }
+        let _outcome = self.dn.enqueue(now, pipe, frame, ctx.rng());
+        if self.dn.suspended() {
+            self.stats.logged_in_flight += 1;
+        }
+        self.reschedule_wake(ctx);
+    }
+
+    fn on_ctrl(&mut self, ctx: &mut Ctx<'_>, frame: Frame) {
+        if let Some(resp) = frame.payload::<NtpResponse>() {
+            let t4 = self.clock.read_ns(ctx.now());
+            let action = self.ntp.on_response(*resp, t4);
+            let now = ctx.now();
+            self.ntp.apply(&mut self.clock, now, action);
+            return;
+        }
+        let Some(&msg) = frame.payload::<BusMsg>() else {
+            return;
+        };
+        match msg {
+            BusMsg::CheckpointAt { epoch, at_clock_ns } => {
+                self.epoch = epoch;
+                let at = self.clock.when_reads(ctx.now(), at_clock_ns);
+                ctx.post_at(ctx.self_id(), at, DnMsg::AgentWake { token: epoch });
+            }
+            BusMsg::CheckpointNow { epoch } => {
+                self.epoch = epoch;
+                self.begin_checkpoint(ctx);
+            }
+            BusMsg::Resume { epoch } => {
+                if epoch == self.epoch && self.dn.suspended() {
+                    self.resume(ctx);
+                }
+            }
+            BusMsg::NodeDone { .. } | BusMsg::RequestCheckpoint => {}
+        }
+    }
+
+    fn begin_checkpoint(&mut self, ctx: &mut Ctx<'_>) {
+        if self.dn.suspended() {
+            return;
+        }
+        // Suspend Dummynet and serialize non-destructively.
+        self.dn.suspend(ctx.now());
+        if let Some((_, ev)) = self.wake.take() {
+            ctx.cancel(ev);
+        }
+        let image = self.dn.serialize(ctx.now());
+        let cost = SimDuration::from_millis(1)
+            + transmission_time(image.byte_size(), self.capture_bps * 8);
+        self.last_image = Some(image);
+        self.stats.checkpoints += 1;
+        ctx.post_self(cost, DnMsg::CaptureDone);
+    }
+
+    fn resume(&mut self, ctx: &mut Ctx<'_>) {
+        let actions = self.dn.resume(ctx.now());
+        // Replay preserving inter-arrival pacing, gap-clamped so dead time
+        // (skew-to-resume) does not stall delivery; new arrivals queue
+        // behind via `replay_until`.
+        let mut at = ctx.now();
+        let mut prev: Option<SimTime> = None;
+        for a in actions {
+            let gap = match prev {
+                Some(p) => a
+                    .at
+                    .saturating_duration_since(p)
+                    .min(SimDuration::from_millis(1)),
+                None => SimDuration::ZERO,
+            };
+            prev = Some(a.at);
+            at = at + gap;
+            ctx.post_at(
+                ctx.self_id(),
+                at,
+                DnMsg::Replay {
+                    pipe: a.pipe,
+                    frame: a.frame,
+                },
+            );
+        }
+        self.replay_until = at;
+        self.reschedule_wake(ctx);
+    }
+
+    fn send_ctrl(&mut self, ctx: &mut Ctx<'_>, msg: BusMsg) {
+        let frame = Frame::new(self.addr, self.coordinator, BUS_MSG_BYTES, msg);
+        ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
+    }
+}
+
+impl Component for DelayNodeHost {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
+        let payload = match payload.downcast::<LinkDeliver>() {
+            Ok(del) => {
+                let del = *del;
+                if del.iface == IfaceId::CONTROL {
+                    self.on_ctrl(ctx, del.frame);
+                } else {
+                    self.on_exp_rx(ctx, del.iface, del.frame);
+                }
+                return;
+            }
+            Err(p) => p,
+        };
+        let msg = match payload.downcast::<DnMsg>() {
+            Ok(m) => *m,
+            Err(_) => panic!("DelayNodeHost received an unknown message"),
+        };
+        match msg {
+            DnMsg::NtpPoll => {
+                let t1 = self.clock.read_ns(ctx.now());
+                let req = self.ntp.begin_poll(t1);
+                let frame = Frame::new(self.addr, self.coordinator, 90, req);
+                ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
+                ctx.post_self(self.ntp.next_poll_in(), DnMsg::NtpPoll);
+            }
+            DnMsg::PipeWake => self.emit_ready(ctx),
+            DnMsg::AgentWake { token } => {
+                if token == self.epoch {
+                    self.begin_checkpoint(ctx);
+                }
+            }
+            DnMsg::CaptureDone => {
+                let epoch = self.epoch;
+                self.send_ctrl(ctx, BusMsg::NodeDone { epoch });
+            }
+            DnMsg::Replay { pipe, frame } => {
+                let now = ctx.now();
+                let _ = self.dn.enqueue(now, pipe, frame, ctx.rng());
+                self.reschedule_wake(ctx);
+            }
+        }
+    }
+
+    sim::component_boilerplate!();
+}

@@ -1,0 +1,35 @@
+//! Transparent coordinated checkpointing of closed distributed systems —
+//! the paper's primary contribution (§4).
+//!
+//! The pieces, mapped to the paper:
+//!
+//! - [`BusMsg`] — the publish-subscribe checkpoint notification bus on the
+//!   control network (§4.3);
+//! - [`Coordinator`] — the ops-side protocol driver: scheduled
+//!   ("checkpoint at time t") or event-driven ("checkpoint now") triggers,
+//!   completion barrier, resume notification; doubles as the NTP
+//!   reference;
+//! - [`CheckpointAgent`] — the node-side agent plugged into each
+//!   [`vmm::VmHost`], arming local timers against the NTP-disciplined
+//!   clock and driving the host's local live checkpoint;
+//! - [`DelayNodeHost`] — the network-core checkpoint: Dummynet suspension,
+//!   non-destructive serialization, and time-virtualized resume (§4.4);
+//! - [`Strategy`] — the runnable baselines (event-driven triggering,
+//!   non-concealing stop-and-copy) the evaluation compares against.
+//!
+//! Transparency is an end-to-end property of this stack: the integration
+//! tests assert the paper's §7.1 observation — a TCP stream checkpointed
+//! repeatedly shows **no retransmissions, no duplicate ACKs, no window
+//! changes** — and that the baselines violate it.
+
+mod agent;
+mod baselines;
+mod bus;
+mod coordinator;
+mod delaynode;
+
+pub use agent::CheckpointAgent;
+pub use baselines::Strategy;
+pub use bus::{BusMsg, BUS_MSG_BYTES};
+pub use coordinator::{Coordinator, EpochRecord, GroupId, TriggerMode};
+pub use delaynode::{DelayNodeHost, DelayNodeStats, OutPort};

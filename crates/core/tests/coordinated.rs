@@ -1,0 +1,436 @@
+//! End-to-end coordinated-checkpoint tests: two VM hosts joined through a
+//! delay node, a coordinator on the ops LAN, a bulk TCP stream under
+//! periodic checkpoints. These assert the paper's §7.1 transparency
+//! metrics and that the baselines measurably violate them.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use checkpoint::{CheckpointAgent, Coordinator, DelayNodeHost, OutPort, Strategy};
+use cowstore::{BranchingStore, CowMode, GoldenImageBuilder, StoreLayout};
+use dummynet::PipeConfig;
+use guestos::{GuestProg, Kernel, KernelConfig, Syscall, SysRet};
+use hwsim::{ControlLan, Endpoint, IfaceId, Link, NodeAddr, Pc3000};
+use sim::{ComponentId, Engine, SimDuration};
+use vmm::{ExpPort, VmHost, VmHostConfig, VmmTuning};
+
+// ---------------------------------------------------------------------
+// Workload programs (iperf shape).
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+struct Sender {
+    dst: NodeAddr,
+    port: u16,
+    fd: Option<guestos::prog::SockFd>,
+}
+
+impl GuestProg for Sender {
+    fn step(&mut self, ret: SysRet) -> Syscall {
+        match ret {
+            SysRet::Start => Syscall::Connect {
+                dst: self.dst,
+                port: self.port,
+            },
+            SysRet::Sock(fd) => {
+                self.fd = Some(fd);
+                Syscall::Send {
+                    fd,
+                    bytes: 64 * 1024,
+                    msg: None,
+                }
+            }
+            SysRet::Sent(_) => Syscall::Send {
+                fd: self.fd.expect("connected"),
+                bytes: 64 * 1024,
+                msg: None,
+            },
+            other => panic!("sender: unexpected {other:?}"),
+        }
+    }
+    fn clone_box(&self) -> Box<dyn GuestProg> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[derive(Clone)]
+struct Receiver {
+    port: u16,
+    fd: Option<guestos::prog::SockFd>,
+    listening: bool,
+}
+
+impl GuestProg for Receiver {
+    fn step(&mut self, ret: SysRet) -> Syscall {
+        match ret {
+            SysRet::Start => Syscall::Listen { port: self.port },
+            SysRet::Ok if !self.listening => {
+                self.listening = true;
+                Syscall::Accept { port: self.port }
+            }
+            SysRet::Sock(fd) => {
+                self.fd = Some(fd);
+                Syscall::Recv { fd, max: u64::MAX }
+            }
+            SysRet::Recvd { .. } => Syscall::Recv {
+                fd: self.fd.expect("accepted"),
+                max: u64::MAX,
+            },
+            other => panic!("receiver: unexpected {other:?}"),
+        }
+    }
+    fn clone_box(&self) -> Box<dyn GuestProg> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Testbed assembly.
+// ---------------------------------------------------------------------
+
+struct Lab {
+    e: Engine,
+    coord: ComponentId,
+    host_a: ComponentId,
+    host_b: ComponentId,
+    dn: ComponentId,
+}
+
+/// Builds: hostA --link-- delaynode --link-- hostB, ops LAN + coordinator.
+fn build_lab(seed: u64, strategy: Strategy) -> Lab {
+    let mut e = Engine::new(seed);
+    let profile = Pc3000::default();
+
+    let lan_id = e.add_component(Box::new(ControlLan::new(
+        profile.ctrl_lan_bps,
+        profile.ctrl_lan_latency,
+        profile.ctrl_lan_jitter,
+    )));
+
+    let ops_addr = NodeAddr(1000);
+    let coord = e.add_component(Box::new(Coordinator::new(
+        ops_addr,
+        lan_id,
+        strategy.trigger_mode(),
+    )));
+
+    let addr_a = NodeAddr(1);
+    let addr_b = NodeAddr(2);
+    let addr_dn = NodeAddr(3);
+
+    let mk_host = |e: &mut Engine, node: NodeAddr, off: i64, drift: f64| {
+        let golden = Arc::new(GoldenImageBuilder::new("fc4", 100_000, 4096, 7).build());
+        let layout = StoreLayout::for_image(&golden);
+        let store = BranchingStore::new(golden, CowMode::Branch, layout);
+        let mut kcfg = KernelConfig::pc3000_guest(node);
+        kcfg.disk_blocks = 100_000;
+        kcfg.cache_blocks = 8192;
+        let kernel = Kernel::new(kcfg);
+        let agent = CheckpointAgent::new(ops_addr)
+            .with_processing_jitter(strategy.processing_jitter_mean());
+        let host = VmHost::new(
+            VmHostConfig {
+                node,
+                profile: Pc3000::default(),
+                tuning: VmmTuning::default(),
+                lan: lan_id,
+                ntp_server: ops_addr,
+            services: ops_addr,
+                clock_offset_ns: off,
+                clock_drift_ppm: drift,
+                auto_resume: false,
+                conceal_downtime: strategy.conceals_downtime(),
+            },
+            store,
+            kernel,
+            Some(Box::new(agent)),
+        );
+        e.add_component(Box::new(host))
+    };
+
+    let host_a = mk_host(&mut e, addr_a, 2_000_000, 40.0);
+    let host_b = mk_host(&mut e, addr_b, -3_000_000, -25.0);
+    let dn = e.add_component(Box::new(DelayNodeHost::new(
+        addr_dn, lan_id, ops_addr, 1_000_000, 15.0,
+    )));
+
+    // Experiment links: A <-> DN (iface 1), B <-> DN (iface 2).
+    let link_a = e.add_component(Box::new(Link::new(
+        Endpoint { component: host_a, iface: IfaceId::EXPERIMENT },
+        Endpoint { component: dn, iface: IfaceId(1) },
+        1_000_000_000,
+        SimDuration::from_micros(5),
+        0.0,
+    )));
+    let link_b = e.add_component(Box::new(Link::new(
+        Endpoint { component: host_b, iface: IfaceId::EXPERIMENT },
+        Endpoint { component: dn, iface: IfaceId(2) },
+        1_000_000_000,
+        SimDuration::from_micros(5),
+        0.0,
+    )));
+
+    // Delay-node pipes: 1 Gbps, 100 µs each way (the "1 Gbps network").
+    let shape = PipeConfig {
+        bandwidth_bps: Some(1_000_000_000),
+        delay: SimDuration::from_micros(100),
+        plr: 0.0,
+        queue_slots: 512,
+    };
+    e.with_component::<DelayNodeHost, _>(dn, |d, _| {
+        d.add_path(IfaceId(1), shape, OutPort { link: link_b, end: 1 });
+        d.add_path(IfaceId(2), shape, OutPort { link: link_a, end: 1 });
+    });
+
+    // Host routing: everything goes out the experiment link.
+    e.with_component::<VmHost, _>(host_a, |h, _| {
+        h.add_exp_route(addr_b, ExpPort::LinkEnd { link: link_a, end: 0 });
+    });
+    e.with_component::<VmHost, _>(host_b, |h, _| {
+        h.add_exp_route(addr_a, ExpPort::LinkEnd { link: link_b, end: 0 });
+    });
+
+    // Control LAN attachment + bus subscription.
+    e.with_component::<ControlLan, _>(lan_id, |lan, _| {
+        lan.attach(ops_addr, Endpoint { component: coord, iface: IfaceId::CONTROL });
+        lan.attach(addr_a, Endpoint { component: host_a, iface: IfaceId::CONTROL });
+        lan.attach(addr_b, Endpoint { component: host_b, iface: IfaceId::CONTROL });
+        lan.attach(addr_dn, Endpoint { component: dn, iface: IfaceId::CONTROL });
+    });
+    e.with_component::<Coordinator, _>(coord, |c, _| {
+        c.subscribe(addr_a);
+        c.subscribe(addr_b);
+        c.subscribe(addr_dn);
+    });
+
+    // Boot.
+    e.with_component::<VmHost, _>(host_a, |h, ctx| h.start(ctx));
+    e.with_component::<VmHost, _>(host_b, |h, ctx| h.start(ctx));
+    e.with_component::<DelayNodeHost, _>(dn, |d, ctx| d.start(ctx));
+
+    Lab {
+        e,
+        coord,
+        host_a,
+        host_b,
+        dn,
+    }
+}
+
+/// Runs the iperf workload with periodic checkpoints; returns the lab.
+fn run_iperf_with_checkpoints(seed: u64, strategy: Strategy, secs: u64) -> Lab {
+    let mut lab = build_lab(seed, strategy);
+    // Let NTP take its boot step and settle briefly.
+    lab.e.run_for(SimDuration::from_secs(20));
+    let (a, b) = (lab.host_a, lab.host_b);
+    lab.e.with_component::<VmHost, _>(b, |h, _| {
+        h.kernel_mut().trace.enable();
+        h.kernel_mut().spawn(Box::new(Receiver {
+            port: 5001,
+            fd: None,
+            listening: false,
+        }));
+    });
+    lab.e.with_component::<VmHost, _>(a, |h, _| {
+        h.kernel_mut().spawn(Box::new(Sender {
+            dst: NodeAddr(2),
+            port: 5001,
+            fd: None,
+        }));
+    });
+    // 2 s of steady state, then checkpoints every 5 s.
+    lab.e.run_for(SimDuration::from_secs(2));
+    let coord = lab.coord;
+    lab.e
+        .with_component::<Coordinator, _>(coord, |c, ctx| c.start_periodic(ctx, SimDuration::from_secs(5)));
+    lab.e.run_for(SimDuration::from_secs(secs));
+    lab
+}
+
+// ---------------------------------------------------------------------
+// Tests.
+// ---------------------------------------------------------------------
+
+#[test]
+fn transparent_checkpoints_leave_tcp_undisturbed() {
+    let lab = run_iperf_with_checkpoints(21, Strategy::Transparent, 25);
+    let coord = lab.e.component_ref::<Coordinator>(lab.coord).unwrap();
+    assert!(coord.completed() >= 4, "completed {} rounds", coord.completed());
+
+    let a = lab.e.component_ref::<VmHost>(lab.host_a).unwrap();
+    let b = lab.e.component_ref::<VmHost>(lab.host_b).unwrap();
+    assert!(a.stats.checkpoints >= 4);
+    assert!(b.stats.checkpoints >= 4);
+
+    // §7.1: "checkpoints caused no retransmissions, double
+    // acknowledgements, or changes of window size".
+    let sender = a.kernel().net_totals();
+    let receiver = b.kernel().net_totals();
+    assert_eq!(sender.retransmissions, 0, "retransmissions");
+    assert_eq!(sender.timeouts, 0, "RTO timeouts");
+    assert_eq!(sender.dup_acks, 0, "duplicate ACKs");
+    assert_eq!(sender.window_shrinks + receiver.window_shrinks, 0, "window shrinkage");
+    assert!(receiver.bytes_delivered > 100 << 20, "stream made progress: {}", receiver.bytes_delivered);
+
+    let dn = lab.e.component_ref::<DelayNodeHost>(lab.dn).unwrap();
+    assert!(dn.stats.checkpoints >= 4, "delay node checkpointed too");
+}
+
+#[test]
+fn transparent_checkpoint_gaps_are_bounded_by_clock_sync() {
+    let lab = run_iperf_with_checkpoints(22, Strategy::Transparent, 25);
+    let b = lab.e.component_ref::<VmHost>(lab.host_b).unwrap();
+    let gaps = b.kernel().trace.rx_data_gaps_ns();
+    assert!(gaps.len() > 100_000, "trace captured {} gaps", gaps.len());
+    let max_gap = *gaps.iter().max().unwrap();
+    // Fig 6: checkpoint gaps are hundreds of µs up to a few ms (clock-sync
+    // error), not the tens-of-ms real downtime.
+    assert!(
+        max_gap < 10_000_000,
+        "max inter-packet gap {} µs — downtime leaked",
+        max_gap / 1000
+    );
+    assert!(
+        max_gap > 100_000,
+        "max gap only {} µs — no checkpoint effect at all?",
+        max_gap / 1000
+    );
+}
+
+#[test]
+fn non_concealing_baseline_leaks_downtime_into_guest_time() {
+    // The conventional stop-and-copy checkpoint: guests observe the real
+    // downtime as a jump in time. The receiver's packet trace (stamped in
+    // guest time) shows inter-packet gaps of the order of the downtime,
+    // where the transparent mechanism shows only the sync error.
+    let gap = |strategy: Strategy| {
+        let lab = run_iperf_with_checkpoints(23, strategy, 25);
+        let b = lab.e.component_ref::<VmHost>(lab.host_b).unwrap();
+        *b.kernel().trace.rx_data_gaps_ns().iter().max().unwrap()
+    };
+    let leaked = gap(Strategy::NonConcealing);
+    let transparent = gap(Strategy::Transparent);
+    // The local downtime (dirty-set capture + barrier) is a few tens of
+    // ms; non-concealing leaks all of it into guest time.
+    assert!(
+        leaked > 15_000_000,
+        "non-concealing max gap only {} µs — downtime should be visible",
+        leaked / 1000
+    );
+    assert!(
+        transparent < 10_000_000,
+        "transparent max gap {} µs",
+        transparent / 1000
+    );
+    assert!(leaked > 10 * transparent);
+}
+
+#[test]
+fn event_driven_mode_has_larger_suspend_skew_than_scheduled() {
+    // Measure skew via the receiver's worst inter-packet gap.
+    let worst_gap = |strategy: Strategy, seed: u64| {
+        let lab = run_iperf_with_checkpoints(seed, strategy, 25);
+        let b = lab.e.component_ref::<VmHost>(lab.host_b).unwrap();
+        *b.kernel().trace.rx_data_gaps_ns().iter().max().unwrap()
+    };
+    let scheduled = worst_gap(Strategy::Transparent, 24);
+    let event_driven = worst_gap(Strategy::EventDriven, 24);
+    assert!(
+        event_driven > scheduled,
+        "event-driven skew ({event_driven} ns) should exceed scheduled ({scheduled} ns)"
+    );
+}
+
+#[test]
+fn deterministic_replay_same_seed_same_trace() {
+    let totals = |seed: u64| {
+        let lab = run_iperf_with_checkpoints(seed, Strategy::Transparent, 15);
+        let b = lab.e.component_ref::<VmHost>(lab.host_b).unwrap();
+        (
+            b.kernel().net_totals().bytes_delivered,
+            b.kernel().state_fingerprint(),
+        )
+    };
+    assert_eq!(totals(42), totals(42), "identical seeds, identical worlds");
+    assert_ne!(totals(42), totals(43), "different seeds diverge");
+}
+
+
+/// §4.3's event-driven trigger raised from *inside* a guest: a program
+/// hits a watchpoint-style condition, requests a checkpoint, and the
+/// whole experiment (both hosts and the delay node) checkpoints.
+#[test]
+fn guest_triggered_checkpoint_reaches_everyone() {
+    use guestos::prog::FileId;
+
+    /// Writes data; when it crosses a threshold, pulls the trigger.
+    #[derive(Clone)]
+    struct Watchpoint {
+        wrote: u64,
+        fired: bool,
+        phase: u8,
+    }
+    impl GuestProg for Watchpoint {
+        fn step(&mut self, ret: SysRet) -> Syscall {
+            if matches!(ret, SysRet::Err(e) if e != "exists") {
+                panic!("watchpoint prog error");
+            }
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    Syscall::Create { file: FileId(5) }
+                }
+                1 => {
+                    if self.wrote >= 4 << 20 && !self.fired {
+                        self.fired = true;
+                        return Syscall::TriggerCheckpoint;
+                    }
+                    if self.wrote >= 8 << 20 {
+                        return Syscall::Exit;
+                    }
+                    let off = self.wrote;
+                    self.wrote += 256 * 1024;
+                    Syscall::Write {
+                        file: FileId(5),
+                        offset: off,
+                        bytes: 256 * 1024,
+                    }
+                }
+                _ => Syscall::Exit,
+            }
+        }
+        fn clone_box(&self) -> Box<dyn GuestProg> {
+            Box::new(self.clone())
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    let mut lab = build_lab(31, Strategy::Transparent);
+    lab.e.run_for(SimDuration::from_secs(10));
+    let a = lab.host_a;
+    lab.e.with_component::<VmHost, _>(a, |h, _| {
+        h.kernel_mut().spawn(Box::new(Watchpoint {
+            wrote: 0,
+            fired: false,
+            phase: 0,
+        }));
+    });
+    lab.e.run_for(SimDuration::from_secs(10));
+
+    let coord = lab.e.component_ref::<Coordinator>(lab.coord).unwrap();
+    assert_eq!(coord.completed(), 1, "the guest trigger ran one round");
+    let ha = lab.e.component_ref::<VmHost>(lab.host_a).unwrap();
+    let hb = lab.e.component_ref::<VmHost>(lab.host_b).unwrap();
+    let dn = lab.e.component_ref::<DelayNodeHost>(lab.dn).unwrap();
+    assert_eq!(ha.stats.checkpoints, 1);
+    assert_eq!(hb.stats.checkpoints, 1, "the other node checkpointed too");
+    assert_eq!(dn.stats.checkpoints, 1, "the network core checkpointed too");
+}

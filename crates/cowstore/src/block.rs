@@ -1,0 +1,296 @@
+//! Block content representation and delta maps.
+//!
+//! The simulator does not shuffle real 4 KiB buffers around; a block's
+//! content is a compact [`BlockData`] value that is enough to (a) verify
+//! read-your-writes correctness, and (b) let the free-block-elimination
+//! plugin *decode* filesystem allocation bitmaps exactly as the paper's
+//! ext3 snooping plugin does below the guest (§5.1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Content of one virtual disk block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BlockData {
+    /// An all-zero block (never written, or explicitly zeroed).
+    Zero,
+    /// Arbitrary data identified by a fingerprint (stand-in for 4 KiB of
+    /// payload; equality models bit-for-bit equality).
+    Opaque(u64),
+    /// An ext3-style block-allocation bitmap covering one block group.
+    Bitmap(BitmapBlock),
+}
+
+impl BlockData {
+    /// True if this is the zero block.
+    pub fn is_zero(&self) -> bool {
+        matches!(self, BlockData::Zero)
+    }
+}
+
+/// An allocation bitmap for one block group.
+///
+/// Bit `i` set ⇔ block `group_start + i` is allocated. The words are
+/// shared (`Arc`) because the same bitmap content is stored in the delta,
+/// the snoop's shadow copy, and possibly several snapshots.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitmapBlock {
+    /// Index of the block group this bitmap describes.
+    pub group: u32,
+    /// First data block covered.
+    pub group_start: u64,
+    /// Number of blocks covered.
+    pub group_blocks: u32,
+    words: Arc<Vec<u64>>,
+}
+
+impl BitmapBlock {
+    /// Creates an all-free bitmap for a group.
+    pub fn new_free(group: u32, group_start: u64, group_blocks: u32) -> Self {
+        let words = vec![0u64; group_blocks.div_ceil(64) as usize];
+        BitmapBlock {
+            group,
+            group_start,
+            group_blocks,
+            words: Arc::new(words),
+        }
+    }
+
+    /// Whether block-in-group `i` is allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the group.
+    pub fn get(&self, i: u32) -> bool {
+        assert!(i < self.group_blocks, "bit {i} outside group");
+        (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns a copy with block-in-group `i` set to `allocated`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the group.
+    pub fn with(&self, i: u32, allocated: bool) -> Self {
+        assert!(i < self.group_blocks, "bit {i} outside group");
+        let mut words = (*self.words).clone();
+        if allocated {
+            words[(i / 64) as usize] |= 1 << (i % 64);
+        } else {
+            words[(i / 64) as usize] &= !(1 << (i % 64));
+        }
+        BitmapBlock {
+            words: Arc::new(words),
+            ..self.clone()
+        }
+    }
+
+    /// Number of allocated blocks in the group.
+    pub fn allocated_count(&self) -> u32 {
+        let mut n: u32 = self.words.iter().map(|w| w.count_ones()).sum();
+        // Mask padding bits beyond group_blocks.
+        let excess = (self.words.len() as u32 * 64).saturating_sub(self.group_blocks);
+        debug_assert!(excess < 64);
+        if excess > 0 {
+            if let Some(last) = self.words.last() {
+                let pad_mask = !0u64 << (64 - excess);
+                n -= (last & pad_mask).count_ones();
+            }
+        }
+        n
+    }
+
+    /// Whether the *absolute* block number `vba` is allocated, if covered
+    /// by this group.
+    pub fn covers_and_allocated(&self, vba: u64) -> Option<bool> {
+        if vba >= self.group_start && vba < self.group_start + self.group_blocks as u64 {
+            Some(self.get((vba - self.group_start) as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Index of the first free block in the group, if any.
+    pub fn first_free(&self) -> Option<u32> {
+        (0..self.group_blocks).find(|&i| !self.get(i))
+    }
+}
+
+/// An ordered map of dirty blocks: the in-memory index of a redo-log delta.
+///
+/// Keeps both the hash index (vba → slot) the paper describes ("writes
+/// incur the cost of a single hash lookup to index into the log") and the
+/// append order, which is the physical layout of the log on disk.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaMap {
+    index: HashMap<u64, usize>,
+    entries: Vec<(u64, BlockData)>,
+}
+
+impl DeltaMap {
+    /// Creates an empty delta.
+    pub fn new() -> Self {
+        DeltaMap::default()
+    }
+
+    /// Number of distinct blocks in the delta.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if no blocks were written.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Looks up a block; returns its log slot and content.
+    pub fn get(&self, vba: u64) -> Option<(usize, &BlockData)> {
+        self.index.get(&vba).map(|&slot| (slot, &self.entries[slot].1))
+    }
+
+    /// Inserts or overwrites a block. A fresh vba appends a new log slot;
+    /// an overwrite reuses the existing slot (the log stores one live copy
+    /// per block; superseded copies are reclaimed on merge). Returns the
+    /// slot and whether it was newly appended.
+    pub fn put(&mut self, vba: u64, data: BlockData) -> (usize, bool) {
+        match self.index.get(&vba) {
+            Some(&slot) => {
+                self.entries[slot].1 = data;
+                (slot, false)
+            }
+            None => {
+                let slot = self.entries.len();
+                self.entries.push((vba, data));
+                self.index.insert(vba, slot);
+                (slot, true)
+            }
+        }
+    }
+
+    /// Removes a block from the delta (free-block elimination).
+    pub fn remove(&mut self, vba: u64) -> bool {
+        if let Some(slot) = self.index.remove(&vba) {
+            // Keep the entries vector slot as a tombstone so other slots
+            // stay valid; merged/serialized output skips tombstones.
+            self.entries[slot].1 = BlockData::Zero;
+            self.entries[slot].0 = u64::MAX;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates live `(vba, data)` pairs in log (append) order.
+    pub fn iter_log_order(&self) -> impl Iterator<Item = (u64, &BlockData)> {
+        self.entries
+            .iter()
+            .filter(|(vba, _)| *vba != u64::MAX)
+            .map(|(vba, d)| (*vba, d))
+    }
+
+    /// Live `(vba, data)` pairs sorted by vba (locality-restoring order).
+    pub fn sorted_by_vba(&self) -> Vec<(u64, BlockData)> {
+        let mut v: Vec<(u64, BlockData)> = self
+            .iter_log_order()
+            .map(|(vba, d)| (vba, d.clone()))
+            .collect();
+        v.sort_by_key(|&(vba, _)| vba);
+        v
+    }
+
+    /// All live vbas (unsorted).
+    pub fn vbas(&self) -> Vec<u64> {
+        self.index.keys().copied().collect()
+    }
+
+    /// Delta payload size in bytes for a given block size.
+    pub fn byte_size(&self, block_size: u32) -> u64 {
+        self.len() as u64 * block_size as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_set_get_roundtrip() {
+        let b = BitmapBlock::new_free(0, 1000, 200);
+        assert!(!b.get(5));
+        let b2 = b.with(5, true);
+        assert!(b2.get(5));
+        assert!(!b.get(5), "original is immutable");
+        assert_eq!(b2.allocated_count(), 1);
+    }
+
+    #[test]
+    fn bitmap_absolute_lookup() {
+        let b = BitmapBlock::new_free(0, 1000, 200).with(10, true);
+        assert_eq!(b.covers_and_allocated(1010), Some(true));
+        assert_eq!(b.covers_and_allocated(1011), Some(false));
+        assert_eq!(b.covers_and_allocated(999), None);
+        assert_eq!(b.covers_and_allocated(1200), None);
+    }
+
+    #[test]
+    fn bitmap_allocated_count_ignores_padding() {
+        // 10-block group: padding bits in the single word must not count.
+        let mut b = BitmapBlock::new_free(0, 0, 10);
+        for i in 0..10 {
+            b = b.with(i, true);
+        }
+        assert_eq!(b.allocated_count(), 10);
+    }
+
+    #[test]
+    fn first_free_scans_in_order() {
+        let b = BitmapBlock::new_free(0, 0, 4).with(0, true).with(1, true);
+        assert_eq!(b.first_free(), Some(2));
+        let full = b.with(2, true).with(3, true);
+        assert_eq!(full.first_free(), None);
+    }
+
+    #[test]
+    fn delta_overwrite_reuses_slot() {
+        let mut d = DeltaMap::new();
+        let (s1, fresh1) = d.put(42, BlockData::Opaque(1));
+        let (s2, fresh2) = d.put(42, BlockData::Opaque(2));
+        assert!(fresh1 && !fresh2);
+        assert_eq!(s1, s2);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get(42).unwrap().1, &BlockData::Opaque(2));
+    }
+
+    #[test]
+    fn delta_log_order_preserved() {
+        let mut d = DeltaMap::new();
+        d.put(5, BlockData::Opaque(50));
+        d.put(1, BlockData::Opaque(10));
+        d.put(9, BlockData::Opaque(90));
+        let order: Vec<u64> = d.iter_log_order().map(|(v, _)| v).collect();
+        assert_eq!(order, vec![5, 1, 9]);
+        let sorted: Vec<u64> = d.sorted_by_vba().into_iter().map(|(v, _)| v).collect();
+        assert_eq!(sorted, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn delta_remove_tombstones() {
+        let mut d = DeltaMap::new();
+        d.put(5, BlockData::Opaque(50));
+        d.put(6, BlockData::Opaque(60));
+        assert!(d.remove(5));
+        assert!(!d.remove(5));
+        assert_eq!(d.len(), 1);
+        assert!(d.get(5).is_none());
+        let order: Vec<u64> = d.iter_log_order().map(|(v, _)| v).collect();
+        assert_eq!(order, vec![6]);
+    }
+
+    #[test]
+    fn delta_byte_size() {
+        let mut d = DeltaMap::new();
+        d.put(1, BlockData::Opaque(1));
+        d.put(2, BlockData::Opaque(2));
+        assert_eq!(d.byte_size(4096), 8192);
+    }
+}

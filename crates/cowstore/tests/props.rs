@@ -1,0 +1,189 @@
+//! Property-based tests: the branching store must be indistinguishable,
+//! content-wise, from a flat disk — across COW modes, branch seals, and
+//! free-block elimination; the merge must be newest-wins and ordered; the
+//! mirror transfer must move every block exactly once (net of re-dirties).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cowstore::{
+    merge_reorder, BlockData, BranchingStore, CowMode, DeltaMap, Direction, GoldenImageBuilder,
+    MirrorTransfer, StoreLayout,
+};
+use hwsim::{Disk, DiskProfile, DiskQueue};
+use proptest::prelude::*;
+use sim::{SimDuration, SimRng, SimTime};
+
+const BLOCKS: u64 = 4096;
+
+fn rig(mode: CowMode) -> (BranchingStore, DiskQueue, SimRng) {
+    let golden = Arc::new(GoldenImageBuilder::new("g", BLOCKS, 4096, 77).build());
+    let layout = StoreLayout::for_image(&golden);
+    let store = BranchingStore::new(golden, mode, layout);
+    let disk = Disk::new(DiskProfile {
+        min_seek: SimDuration::from_micros(500),
+        max_seek: SimDuration::from_millis(9),
+        rpm: 10_000,
+        transfer_bps: 70_000_000,
+        blocks: BLOCKS * 4,
+        block_size: 4096,
+    });
+    (store, DiskQueue::new(disk), SimRng::from_seed(3))
+}
+
+/// Ops the properties drive the store with.
+#[derive(Clone, Debug)]
+enum Op {
+    Write(u64, u64),
+    Read(u64),
+    Seal,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..BLOCKS, any::<u64>()).prop_map(|(v, d)| Op::Write(v, d)),
+        4 => (0..BLOCKS).prop_map(Op::Read),
+        1 => Just(Op::Seal),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever sequence of writes, reads, and branch seals runs against
+    /// any COW mode, reads always return exactly what a flat disk would.
+    #[test]
+    fn store_matches_flat_model(ops in prop::collection::vec(op_strategy(), 1..120),
+                                mode_sel in 0..3u8) {
+        let mode = match mode_sel {
+            0 => CowMode::Base,
+            1 => CowMode::BranchOrig { chunk_blocks: 16 },
+            _ => CowMode::Branch,
+        };
+        let (mut store, mut dq, mut rng) = rig(mode);
+        let golden = Arc::new(GoldenImageBuilder::new("g", BLOCKS, 4096, 77).build());
+        let mut flat: HashMap<u64, BlockData> = HashMap::new();
+        let now = SimTime::ZERO;
+        for op in ops {
+            match op {
+                Op::Write(vba, fp) => {
+                    let data = BlockData::Opaque(fp);
+                    flat.insert(vba, data.clone());
+                    store.write_block(now, vba, data, &mut dq, &mut rng);
+                }
+                Op::Read(vba) => {
+                    let (got, _) = store.read_block(now, vba, &mut dq, &mut rng);
+                    let want = flat.get(&vba).cloned().unwrap_or_else(|| golden.read(vba));
+                    prop_assert_eq!(got, want, "mode {:?} vba {}", mode, vba);
+                }
+                Op::Seal => {
+                    if mode != CowMode::Base {
+                        store.seal_branch();
+                    }
+                }
+            }
+        }
+        // Full sweep at the end.
+        for vba in 0..BLOCKS {
+            let want = flat.get(&vba).cloned().unwrap_or_else(|| golden.read(vba));
+            prop_assert_eq!(store.peek(vba), want);
+        }
+    }
+
+    /// Merging is newest-wins and equivalent to a map overlay, and the
+    /// output iterates in vba order.
+    #[test]
+    fn merge_is_newest_wins_overlay(
+        old in prop::collection::vec((0..500u64, any::<u64>()), 0..80),
+        new in prop::collection::vec((0..500u64, any::<u64>()), 0..80),
+    ) {
+        let mut agg = DeltaMap::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (v, d) in &old {
+            agg.put(*v, BlockData::Opaque(*d));
+            model.insert(*v, *d);
+        }
+        let mut cur = DeltaMap::new();
+        for (v, d) in &new {
+            cur.put(*v, BlockData::Opaque(*d));
+            model.insert(*v, *d);
+        }
+        let (merged, stats) = merge_reorder(&agg, &cur);
+        prop_assert_eq!(merged.len(), model.len());
+        prop_assert_eq!(stats.merged_blocks as usize, model.len());
+        let mut prev = None;
+        for (vba, data) in merged.iter_log_order() {
+            prop_assert_eq!(data, &BlockData::Opaque(model[&vba]));
+            if let Some(p) = prev {
+                prop_assert!(vba > p, "not vba-ordered");
+            }
+            prev = Some(vba);
+        }
+    }
+
+    /// The mirror transfer copies every block exactly once plus exactly
+    /// one extra copy per dirty-requeue, and `done()` implies everything
+    /// was copied.
+    #[test]
+    fn mirror_moves_everything_exactly_once(
+        blocks in prop::collection::hash_set(0..2000u64, 1..200),
+        dirty_points in prop::collection::vec((0..1000usize, 0..2000u64), 0..40),
+    ) {
+        let blocks: Vec<u64> = blocks.into_iter().collect();
+        let mut m = MirrorTransfer::new(Direction::CopyOut, blocks.clone(), 4096, 8_000_000);
+        let mut copies: HashMap<u64, u32> = HashMap::new();
+        let mut step = 0usize;
+        let mut dirty_iter = dirty_points.into_iter().peekable();
+        let now = SimTime::ZERO;
+        while let Some((vba, _)) = m.pop_next(now) {
+            *copies.entry(vba).or_insert(0) += 1;
+            m.mark_copied(vba);
+            while dirty_iter.peek().map(|&(at, _)| at <= step).unwrap_or(false) {
+                let (_, dirty_vba) = dirty_iter.next().unwrap();
+                m.enqueue_or_dirty(dirty_vba);
+            }
+            step += 1;
+            prop_assert!(step < 10_000, "runaway transfer");
+        }
+        prop_assert!(m.done());
+        // Every original block moved at least once; total extra copies
+        // equal the recorded dirty requeues.
+        for b in &blocks {
+            prop_assert!(copies.get(b).copied().unwrap_or(0) >= 1, "block {b} never copied");
+        }
+        let extra: u32 = copies.values().map(|&c| c - 1).sum::<u32>();
+        // Requeues of blocks that were still queued don't re-copy; the
+        // counter only counts post-copy dirties, which all re-copy.
+        prop_assert_eq!(extra as u64, m.dirty_requeues);
+    }
+
+    /// Free-block elimination never drops a block the filesystem still
+    /// holds: filtering is sound against any bitmap history.
+    #[test]
+    fn elimination_is_conservative(
+        allocs in prop::collection::vec(0..256u32, 1..60),
+        frees in prop::collection::vec(0..256u32, 0..60),
+    ) {
+        use cowstore::{BitmapBlock, Ext3Snoop};
+        let mut snoop = Ext3Snoop::new();
+        let mut bm = BitmapBlock::new_free(0, 0, 256);
+        let mut live = std::collections::HashSet::new();
+        for a in &allocs {
+            bm = bm.with(*a, true);
+            live.insert(*a as u64);
+        }
+        snoop.on_write(0, &BlockData::Bitmap(bm.clone()));
+        for f in &frees {
+            bm = bm.with(*f, false);
+            live.remove(&(*f as u64));
+        }
+        snoop.on_write(0, &BlockData::Bitmap(bm));
+        for vba in 0..256u64 {
+            if live.contains(&vba) {
+                prop_assert!(!snoop.is_free(vba), "live block {vba} marked free");
+            }
+        }
+        // Blocks outside any known group are never considered free.
+        prop_assert!(!snoop.is_free(100_000));
+    }
+}

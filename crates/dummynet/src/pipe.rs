@@ -1,0 +1,398 @@
+//! A single Dummynet pipe: droptail queue → bandwidth server → delay line.
+
+use std::collections::VecDeque;
+
+use hwsim::Frame;
+use sim::{transmission_time, SimDuration, SimRng, SimTime};
+
+/// Shaping parameters for one pipe (one direction of an emulated link).
+#[derive(Clone, Copy, Debug)]
+pub struct PipeConfig {
+    /// Bandwidth limit; `None` shapes only delay/loss.
+    pub bandwidth_bps: Option<u64>,
+    /// One-way propagation delay added after bandwidth service.
+    pub delay: SimDuration,
+    /// Random packet-loss rate in `[0, 1]`.
+    pub plr: f64,
+    /// Droptail queue capacity, in packets (Dummynet default is 50 slots).
+    pub queue_slots: usize,
+}
+
+impl PipeConfig {
+    /// A pipe that forwards unshaped (used for plumbing tests).
+    pub fn passthrough() -> Self {
+        PipeConfig {
+            bandwidth_bps: None,
+            delay: SimDuration::ZERO,
+            plr: 0.0,
+            queue_slots: 50,
+        }
+    }
+}
+
+/// Result of offering a frame to a pipe.
+#[derive(Clone, Copy, Debug)]
+pub enum EnqueueOutcome {
+    /// Accepted; it will be ready to emit at this time.
+    Queued { ready: SimTime },
+    /// Dropped: the bandwidth queue was full.
+    DroppedQueue,
+    /// Dropped: random loss.
+    DroppedLoss,
+    /// The owning instance was suspended; the arrival was logged instead.
+    LoggedSuspended,
+}
+
+/// Per-pipe counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipeStats {
+    pub forwarded: u64,
+    pub bytes_forwarded: u64,
+    pub dropped_queue: u64,
+    pub dropped_loss: u64,
+}
+
+/// A queued packet with its precomputed service milestones.
+///
+/// For a work-conserving FIFO server, departure (end of bandwidth service)
+/// and readiness (departure + delay) can be computed at enqueue time, which
+/// keeps the pipe a passive data structure.
+#[derive(Clone, Debug)]
+struct Entry {
+    departure: SimTime,
+    ready: SimTime,
+    frame: Frame,
+}
+
+/// One shaping pipe.
+#[derive(Clone)]
+pub struct Pipe {
+    cfg: PipeConfig,
+    busy_until: SimTime,
+    in_flight: VecDeque<Entry>,
+    /// Counters exposed for experiment post-processing.
+    pub stats: PipeStats,
+}
+
+/// Serialized pipe state with times as offsets from the capture instant.
+#[derive(Clone)]
+pub struct PipeImage {
+    cfg: PipeConfig,
+    busy_off: SimDuration,
+    entries: Vec<(SimDuration, SimDuration, Frame)>,
+}
+
+impl PipeImage {
+    /// Approximate byte size (queued packet bytes + metadata).
+    pub fn byte_size(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|(_, _, f)| f.wire_bytes as u64 + 24)
+            .sum::<u64>()
+            + 48
+    }
+
+    /// Number of captured packets.
+    pub fn packets(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl Pipe {
+    /// Creates an idle pipe.
+    pub fn new(cfg: PipeConfig) -> Self {
+        assert!((0.0..=1.0).contains(&cfg.plr), "plr out of range");
+        assert!(cfg.queue_slots > 0, "zero-slot queue");
+        Pipe {
+            cfg,
+            busy_until: SimTime::ZERO,
+            in_flight: VecDeque::new(),
+            stats: PipeStats::default(),
+        }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> PipeConfig {
+        self.cfg
+    }
+
+    /// Reconfigures the pipe; already-queued packets keep their schedule
+    /// (as in Dummynet, where `ipfw pipe config` affects new arrivals).
+    pub fn reconfigure(&mut self, cfg: PipeConfig) {
+        assert!((0.0..=1.0).contains(&cfg.plr), "plr out of range");
+        assert!(cfg.queue_slots > 0, "zero-slot queue");
+        self.cfg = cfg;
+    }
+
+    /// Number of packets still waiting for bandwidth service at `now`.
+    pub fn queue_len(&self, now: SimTime) -> usize {
+        self.in_flight.iter().filter(|e| e.departure > now).count()
+    }
+
+    /// Total packets buffered in the pipe (queue + delay line).
+    pub fn buffered(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Offers a frame at time `now`.
+    pub fn enqueue(&mut self, now: SimTime, frame: Frame, rng: &mut SimRng) -> EnqueueOutcome {
+        if self.cfg.plr > 0.0 && rng.chance(self.cfg.plr) {
+            self.stats.dropped_loss += 1;
+            return EnqueueOutcome::DroppedLoss;
+        }
+        let departure = match self.cfg.bandwidth_bps {
+            Some(bw) => {
+                if self.queue_len(now) >= self.cfg.queue_slots {
+                    self.stats.dropped_queue += 1;
+                    return EnqueueOutcome::DroppedQueue;
+                }
+                let start = self.busy_until.max(now);
+                let dep = start + transmission_time(frame.wire_bytes as u64, bw);
+                self.busy_until = dep;
+                dep
+            }
+            None => now,
+        };
+        let ready = departure + self.cfg.delay;
+        self.stats.forwarded += 1;
+        self.stats.bytes_forwarded += frame.wire_bytes as u64;
+        self.in_flight.push_back(Entry {
+            departure,
+            ready,
+            frame,
+        });
+        EnqueueOutcome::Queued { ready }
+    }
+
+    /// Earliest readiness among buffered packets.
+    pub fn next_ready(&self) -> Option<SimTime> {
+        // FIFO discipline ⇒ the head is the earliest.
+        self.in_flight.front().map(|e| e.ready)
+    }
+
+    /// Removes and returns all packets ready at `now`, in order.
+    pub fn pop_ready(&mut self, now: SimTime) -> Vec<Frame> {
+        let mut out = Vec::new();
+        while let Some(e) = self.in_flight.front() {
+            if e.ready <= now {
+                out.push(self.in_flight.pop_front().expect("head vanished").frame);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Shifts every internal deadline forward by `delta` (checkpoint time
+    /// virtualization: the downtime never happened, as far as packet
+    /// scheduling is concerned).
+    pub fn shift(&mut self, delta: SimDuration) {
+        self.busy_until += delta;
+        for e in &mut self.in_flight {
+            e.departure += delta;
+            e.ready += delta;
+        }
+    }
+
+    /// Captures the pipe relative to instant `at` (non-destructive).
+    pub fn serialize(&self, at: SimTime) -> PipeImage {
+        PipeImage {
+            cfg: self.cfg,
+            busy_off: self.busy_until.saturating_duration_since(at),
+            entries: self
+                .in_flight
+                .iter()
+                .map(|e| {
+                    (
+                        e.departure.saturating_duration_since(at),
+                        e.ready.saturating_duration_since(at),
+                        e.frame.clone(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a pipe from an image, rebasing offsets onto `now`.
+    pub fn restore(image: &PipeImage, now: SimTime) -> Self {
+        Pipe {
+            cfg: image.cfg,
+            busy_until: now + image.busy_off,
+            in_flight: image
+                .entries
+                .iter()
+                .map(|(dep, ready, f)| Entry {
+                    departure: now + *dep,
+                    ready: now + *ready,
+                    frame: f.clone(),
+                })
+                .collect(),
+            stats: PipeStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::NodeAddr;
+
+    fn frame(bytes: u32) -> Frame {
+        Frame::new(NodeAddr(1), NodeAddr(2), bytes, ())
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    fn mbps(n: u64) -> Option<u64> {
+        Some(n * 1_000_000)
+    }
+
+    #[test]
+    fn droptail_kicks_in_at_queue_limit() {
+        let mut p = Pipe::new(PipeConfig {
+            bandwidth_bps: mbps(8), // 1 µs per byte
+            delay: SimDuration::ZERO,
+            plr: 0.0,
+            queue_slots: 3,
+        });
+        let mut rng = SimRng::from_seed(1);
+        let mut dropped = 0;
+        for _ in 0..10 {
+            if matches!(
+                p.enqueue(t(0), frame(1000), &mut rng),
+                EnqueueOutcome::DroppedQueue
+            ) {
+                dropped += 1;
+            }
+        }
+        assert_eq!(dropped, 7, "3 slots: rest dropped");
+        assert_eq!(p.stats.dropped_queue, 7);
+        assert_eq!(p.stats.forwarded, 3);
+    }
+
+    #[test]
+    fn queue_drains_over_time_allowing_new_arrivals() {
+        let mut p = Pipe::new(PipeConfig {
+            bandwidth_bps: mbps(8),
+            delay: SimDuration::ZERO,
+            plr: 0.0,
+            queue_slots: 1,
+        });
+        let mut rng = SimRng::from_seed(1);
+        assert!(matches!(p.enqueue(t(0), frame(1000), &mut rng), EnqueueOutcome::Queued { .. }));
+        assert!(matches!(p.enqueue(t(0), frame(1000), &mut rng), EnqueueOutcome::DroppedQueue));
+        // After the first departs (1000 µs), a slot frees up.
+        assert!(matches!(
+            p.enqueue(t(1001), frame(1000), &mut rng),
+            EnqueueOutcome::Queued { .. }
+        ));
+    }
+
+    #[test]
+    fn measured_throughput_matches_configured_bandwidth() {
+        // Offer 2x the configured 8 Mbps and measure the drain rate.
+        let mut p = Pipe::new(PipeConfig {
+            bandwidth_bps: mbps(8),
+            delay: SimDuration::from_millis(5),
+            plr: 0.0,
+            queue_slots: 100,
+        });
+        let mut rng = SimRng::from_seed(2);
+        let mut now = SimTime::ZERO;
+        let mut delivered_bytes = 0u64;
+        let mut last_ready = SimTime::ZERO;
+        // Offer 1000-byte frames every 500 µs (16 Mbps offered) for 1 s.
+        for _ in 0..2000 {
+            if let EnqueueOutcome::Queued { ready } = p.enqueue(now, frame(1000), &mut rng) {
+                last_ready = last_ready.max(ready);
+            }
+            now = now + SimDuration::from_micros(500);
+        }
+        loop {
+            let got = p.pop_ready(last_ready);
+            if got.is_empty() {
+                break;
+            }
+            delivered_bytes += got.iter().map(|f| f.wire_bytes as u64).sum::<u64>();
+        }
+        let elapsed = last_ready.as_secs_f64();
+        let rate_bps = delivered_bytes as f64 * 8.0 / elapsed;
+        assert!(
+            (rate_bps - 8e6).abs() / 8e6 < 0.02,
+            "measured {rate_bps} bps, configured 8e6"
+        );
+    }
+
+    #[test]
+    fn plr_drops_statistically() {
+        let mut p = Pipe::new(PipeConfig {
+            bandwidth_bps: None,
+            delay: SimDuration::ZERO,
+            plr: 0.3,
+            queue_slots: 50,
+        });
+        let mut rng = SimRng::from_seed(3);
+        for _ in 0..1000 {
+            let _ = p.enqueue(t(0), frame(100), &mut rng);
+        }
+        let lost = p.stats.dropped_loss;
+        assert!((200..400).contains(&lost), "lost {lost} of 1000 at plr 0.3");
+    }
+
+    #[test]
+    fn delay_only_pipe_preserves_spacing() {
+        let mut p = Pipe::new(PipeConfig {
+            bandwidth_bps: None,
+            delay: SimDuration::from_millis(10),
+            plr: 0.0,
+            queue_slots: 50,
+        });
+        let mut rng = SimRng::from_seed(4);
+        for i in 0..3u64 {
+            let out = p.enqueue(t(i * 100), frame(100), &mut rng);
+            match out {
+                EnqueueOutcome::Queued { ready } => {
+                    assert_eq!(ready, t(i * 100 + 10_000), "pure delay line");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut p = Pipe::new(PipeConfig {
+            bandwidth_bps: mbps(8),
+            delay: SimDuration::from_millis(1),
+            plr: 0.0,
+            queue_slots: 50,
+        });
+        let mut rng = SimRng::from_seed(5);
+        for i in 0..10u32 {
+            let f = Frame::new(NodeAddr(1), NodeAddr(2), 500, i);
+            let _ = p.enqueue(t(0), f, &mut rng);
+        }
+        let all = p.pop_ready(t(1_000_000));
+        let tags: Vec<u32> = all.iter().map(|f| *f.payload::<u32>().unwrap()).collect();
+        assert_eq!(tags, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shift_moves_everything_uniformly() {
+        let mut p = Pipe::new(PipeConfig {
+            bandwidth_bps: mbps(8),
+            delay: SimDuration::from_millis(1),
+            plr: 0.0,
+            queue_slots: 50,
+        });
+        let mut rng = SimRng::from_seed(6);
+        let before = match p.enqueue(t(0), frame(1000), &mut rng) {
+            EnqueueOutcome::Queued { ready } => ready,
+            other => panic!("unexpected {other:?}"),
+        };
+        p.shift(SimDuration::from_secs(3));
+        assert_eq!(p.next_ready(), Some(before + SimDuration::from_secs(3)));
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests: shaping conserves packets, preserves FIFO order,
+//! and checkpoints (suspend → serialize → restore/resume) never lose,
+//! duplicate, or reorder anything.
+
+use dummynet::{Dummynet, EnqueueOutcome, PipeConfig, PipeId};
+use hwsim::{Frame, NodeAddr};
+use proptest::prelude::*;
+use sim::{SimDuration, SimRng, SimTime};
+
+fn t(us: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_micros(us)
+}
+
+fn tagged(tag: u32) -> Frame {
+    Frame::new(NodeAddr(1), NodeAddr(2), 400, tag)
+}
+
+fn tag_of(f: &Frame) -> u32 {
+    *f.payload::<u32>().expect("tagged frame")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// With no loss and a large queue, every packet comes out exactly
+    /// once, in order, shaped no earlier than bandwidth+delay allow.
+    #[test]
+    fn conservation_and_fifo(
+        arrivals in prop::collection::vec(0..50_000u64, 1..80),
+        bw_kbps in 1_000..1_000_000u64,
+        delay_us in 0..5_000u64,
+    ) {
+        let mut arrivals = arrivals;
+        arrivals.sort_unstable();
+        let mut dn = Dummynet::new();
+        let p = dn.add_pipe(PipeConfig {
+            bandwidth_bps: Some(bw_kbps * 1000),
+            delay: SimDuration::from_micros(delay_us),
+            plr: 0.0,
+            queue_slots: 10_000,
+        });
+        let mut rng = SimRng::from_seed(1);
+        for (i, &at) in arrivals.iter().enumerate() {
+            let out = dn.enqueue(t(at), p, tagged(i as u32), &mut rng);
+            let accepted = matches!(out, EnqueueOutcome::Queued { .. });
+            prop_assert!(accepted);
+        }
+        let mut got = Vec::new();
+        let mut guard = 0;
+        while let Some(next) = dn.next_ready() {
+            guard += 1;
+            prop_assert!(guard < 10_000);
+            for (_, f) in dn.pop_ready(next) {
+                got.push(tag_of(&f));
+            }
+        }
+        prop_assert_eq!(got.len(), arrivals.len(), "conservation");
+        let sorted: Vec<u32> = (0..arrivals.len() as u32).collect();
+        prop_assert_eq!(got, sorted, "FIFO order");
+    }
+
+    /// A suspend/serialize/resume cycle at an arbitrary point preserves
+    /// exactly-once, in-order delivery: packets enqueued before, during
+    /// (logged in-flight), and after the checkpoint all come out once, in
+    /// arrival order.
+    #[test]
+    fn checkpoint_preserves_delivery_order(
+        arrivals in prop::collection::vec(0..20_000u64, 1..60),
+        suspend_at in 0..25_000u64,
+        downtime_us in 1..100_000u64,
+    ) {
+        let mut arrivals = arrivals;
+        arrivals.sort_unstable();
+        let cfg = PipeConfig {
+            bandwidth_bps: Some(10_000_000),
+            delay: SimDuration::from_millis(2),
+            plr: 0.0,
+            queue_slots: 10_000,
+        };
+        let mut dn = Dummynet::new();
+        let p = dn.add_pipe(cfg);
+        let mut rng = SimRng::from_seed(2);
+        let resume_at = t(suspend_at) + SimDuration::from_micros(downtime_us);
+        let mut suspended = false;
+        let mut post_resume: Vec<(u64, u32)> = Vec::new();
+        for (i, &at) in arrivals.iter().enumerate() {
+            if !suspended && at >= suspend_at {
+                dn.suspend(t(suspend_at));
+                let _ = dn.serialize(t(suspend_at));
+                suspended = true;
+            }
+            if suspended && t(at) >= resume_at {
+                // Arrives after the system resumed: deliver shifted.
+                post_resume.push((at, i as u32));
+            } else {
+                // Normal or logged-in-flight arrival.
+                let _ = dn.enqueue(t(at), p, tagged(i as u32), &mut rng);
+            }
+        }
+        let replays: Vec<(SimTime, PipeId, Frame)> = if suspended {
+            dn.resume(resume_at)
+                .into_iter()
+                .map(|a| (a.at, a.pipe, a.frame))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // Replayed in-flight packets re-enter first (the §3.2 queue-behind
+        // rule), then fresh post-resume arrivals.
+        for (rat, rp, rf) in replays {
+            let _ = dn.enqueue(rat, rp, rf, &mut rng);
+        }
+        for (at, tag) in post_resume {
+            let shifted = t(at) + SimDuration::from_micros(downtime_us);
+            let _ = dn.enqueue(shifted.max(resume_at), p, tagged(tag), &mut rng);
+        }
+        let got = drain_tags(&mut dn);
+        let expect: Vec<u32> = (0..arrivals.len() as u32).collect();
+        prop_assert_eq!(got, expect, "lost, duplicated, or reordered");
+    }
+
+    /// Serialize → restore is lossless for queue contents and preserves
+    /// relative deadlines.
+    #[test]
+    fn serialize_restore_roundtrip(
+        n in 1..50usize,
+        rebase_us in 0..1_000_000u64,
+    ) {
+        let mut dn = Dummynet::new();
+        let p = dn.add_pipe(PipeConfig {
+            bandwidth_bps: Some(8_000_000),
+            delay: SimDuration::from_millis(1),
+            plr: 0.0,
+            queue_slots: 10_000,
+        });
+        let mut rng = SimRng::from_seed(3);
+        for i in 0..n {
+            let _ = dn.enqueue(t(0), p, tagged(i as u32), &mut rng);
+        }
+        dn.suspend(t(10));
+        let img = dn.serialize(t(10));
+        prop_assert_eq!(img.packets(), n);
+        let mut restored = Dummynet::restore(&img, t(rebase_us));
+        let got = drain_tags(&mut restored);
+        prop_assert_eq!(got, (0..n as u32).collect::<Vec<_>>());
+    }
+}
+
+fn drain_tags(dn: &mut Dummynet) -> Vec<u32> {
+    let mut got = Vec::new();
+    let mut guard = 0;
+    while let Some(next) = dn.next_ready() {
+        guard += 1;
+        assert!(guard < 100_000);
+        for (_, f) in dn.pop_ready(next) {
+            got.push(tag_of(&f));
+        }
+    }
+    got
+}

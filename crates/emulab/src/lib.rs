@@ -1,0 +1,31 @@
+//! The Emulab testbed "operating system" (paper §2, §5, §6).
+//!
+//! Builds full experiments over the simulated substrate and provides the
+//! execution controls the paper contributes:
+//!
+//! - [`ExperimentSpec`] / [`Testbed::swap_in`] — topology mapping with
+//!   automatic delay-node interposition, image distribution with
+//!   per-machine caches, control services (NTP, checkpoint bus, NFS with
+//!   timestamp transduction), and the program-event system;
+//! - [`Testbed::checkpoint_once`] / periodic checkpoints — the coordinated
+//!   transparent checkpoint over every node and delay node;
+//! - [`Testbed::swap_out_stateful`] / [`Testbed::swap_in_stateful`] —
+//!   stateful swapping with eager pre-copy, free-block elimination,
+//!   offline merge, and lazy copy-in (§5);
+//! - [`Testbed::snapshot`] / [`Testbed::travel_to`] — the time-travel
+//!   tree (§6).
+
+mod services;
+mod spec;
+mod swap;
+mod testbed;
+mod timetravel;
+
+pub use services::FileServer;
+pub use spec::{ExperimentSpec, LanSpec, LinkSpec, NodeSpec};
+pub use swap::{NodeState, SwapInReport, SwapOutReport, SwappedExperiment};
+pub use testbed::{
+    DelayNodeHandle, Experiment, NodeHandle, PhysMachine, Testbed, BOOT_OVERHEAD, FS_ADDR,
+    OPS_ADDR,
+};
+pub use timetravel::{Snapshot, SnapshotId, TimeTravelTree};

@@ -1,0 +1,155 @@
+//! Experiment specifications: the static part of an Emulab experiment.
+//!
+//! "To use the Emulab testbed, a user creates an experiment that defines
+//! the static and dynamic configuration of a network. The static part
+//! describes the devices in the network, the links between them, and the
+//! configuration of these elements" (§2). The dynamic part (scheduled
+//! program events) lives in [`crate::events`].
+
+use sim::SimDuration;
+
+/// One experiment node (a PC running the user's chosen image).
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    /// Node name within the experiment (e.g. "node0").
+    pub name: String,
+    /// Base image to load (looked up in the testbed image library).
+    pub image: String,
+}
+
+/// A shaped point-to-point link. Emulab realizes non-trivial shaping by
+/// interposing a delay node (§2), which the builder does automatically.
+#[derive(Clone, Debug)]
+pub struct LinkSpec {
+    pub a: String,
+    pub b: String,
+    /// Shaped bandwidth, bits/s.
+    pub bandwidth_bps: u64,
+    /// One-way latency.
+    pub delay: SimDuration,
+    /// Random loss rate.
+    pub loss: f64,
+}
+
+/// A shared experiment LAN (switched; per-port rate).
+#[derive(Clone, Debug)]
+pub struct LanSpec {
+    pub members: Vec<String>,
+    /// Port bandwidth, bits/s.
+    pub bandwidth_bps: u64,
+    /// Switch latency.
+    pub delay: SimDuration,
+}
+
+/// A complete experiment description.
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentSpec {
+    pub name: String,
+    pub nodes: Vec<NodeSpec>,
+    pub links: Vec<LinkSpec>,
+    pub lans: Vec<LanSpec>,
+}
+
+impl ExperimentSpec {
+    /// Starts a new spec.
+    pub fn new(name: &str) -> Self {
+        ExperimentSpec {
+            name: name.to_string(),
+            ..ExperimentSpec::default()
+        }
+    }
+
+    /// Adds a node with the default FC4 image.
+    pub fn node(mut self, name: &str) -> Self {
+        self.nodes.push(NodeSpec {
+            name: name.to_string(),
+            image: "FC4-STD".to_string(),
+        });
+        self
+    }
+
+    /// Adds a shaped link between two nodes.
+    pub fn link(mut self, a: &str, b: &str, bandwidth_bps: u64, delay: SimDuration, loss: f64) -> Self {
+        self.links.push(LinkSpec {
+            a: a.to_string(),
+            b: b.to_string(),
+            bandwidth_bps,
+            delay,
+            loss,
+        });
+        self
+    }
+
+    /// Adds a LAN over the named members.
+    pub fn lan(mut self, members: &[&str], bandwidth_bps: u64, delay: SimDuration) -> Self {
+        self.lans.push(LanSpec {
+            members: members.iter().map(|s| s.to_string()).collect(),
+            bandwidth_bps,
+            delay,
+        });
+        self
+    }
+
+    /// Validates the topology (every link/LAN endpoint exists).
+    pub fn validate(&self) -> Result<(), String> {
+        let has = |n: &str| self.nodes.iter().any(|x| x.name == n);
+        for l in &self.links {
+            if !has(&l.a) || !has(&l.b) {
+                return Err(format!("link {}–{} references unknown node", l.a, l.b));
+            }
+        }
+        for lan in &self.lans {
+            for m in &lan.members {
+                if !has(m) {
+                    return Err(format!("lan references unknown node {m}"));
+                }
+            }
+        }
+        let mut names: Vec<&str> = self.nodes.iter().map(|n| n.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != self.nodes.len() {
+            return Err("duplicate node name".to_string());
+        }
+        Ok(())
+    }
+
+    /// Physical machines this experiment maps onto: one per node plus one
+    /// delay node per shaped link (§2).
+    pub fn machines_needed(&self) -> usize {
+        self.nodes.len() + self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_topology() {
+        let s = ExperimentSpec::new("iperf")
+            .node("a")
+            .node("b")
+            .link("a", "b", 1_000_000_000, SimDuration::from_micros(100), 0.0);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.machines_needed(), 3, "2 nodes + 1 delay node");
+    }
+
+    #[test]
+    fn validation_catches_unknown_nodes() {
+        let s = ExperimentSpec::new("bad").node("a").link(
+            "a",
+            "ghost",
+            1,
+            SimDuration::ZERO,
+            0.0,
+        );
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_duplicates() {
+        let s = ExperimentSpec::new("bad").node("a").node("a");
+        assert!(s.validate().is_err());
+    }
+}

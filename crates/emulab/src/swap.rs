@@ -1,0 +1,444 @@
+//! Stateful swapping (paper §5).
+//!
+//! Swap-out preserves "the run-time state of an experiment — the memory
+//! and disk state of experiment nodes" instead of discarding it:
+//!
+//! 1. **Eager pre-copy**: while the experiment still runs, the current
+//!    delta streams to the file server through rate-limited mirror
+//!    synchronization ("during the swap-out we eagerly begin copying the
+//!    delta image to persistent storage before the guest's execution is
+//!    suspended"); blocks dirtied after being copied are re-sent.
+//! 2. **Suspend**: a coordinated transparent checkpoint with the resume
+//!    held back.
+//! 3. **Final state transfer**: the residual dirty delta (after free-block
+//!    elimination, §5.1) and the memory images move over the control net.
+//! 4. **Offline merge**: the current delta merges into the aggregated
+//!    delta with vba reordering (locality restoration, §5.3).
+//! 5. **Teardown**: machines return to the pool; golden images stay
+//!    cached.
+//!
+//! Swap-in reverses it: allocate, fetch uncached images, download the
+//! memory images, and either download the whole aggregated delta up front
+//! or attach a lazy copy-in mirror ("individual disk blocks copied to
+//! local disk on first reference" with background sync).
+
+use cowstore::{merge_reorder, DeltaMap, Direction, MirrorTransfer};
+use dummynet::DummynetImage;
+use guestos::TcpSegment;
+use hwsim::NodeAddr;
+use sim::{SimDuration, SimTime};
+use vmm::{DomainImage, MirrorConfig, VmHost};
+
+use crate::spec::ExperimentSpec;
+use crate::testbed::Testbed;
+
+/// Preserved state of one node.
+pub struct NodeState {
+    pub name: String,
+    /// The node's experiment-network address — stable across swaps, like
+    /// an Emulab experiment's IP addresses, because the preserved kernels
+    /// hold live connections to these addresses.
+    pub addr: NodeAddr,
+    /// The guest memory image (frozen kernel + metadata).
+    pub image: DomainImage,
+    /// Aggregated delta after the offline merge.
+    pub aggregate: DeltaMap,
+    /// Blocks the free-block snoop eliminated at this swap-out.
+    pub eliminated_blocks: u64,
+    /// In-flight packets logged during the suspension (§3.2), as offsets
+    /// from the freeze; replayed after the swap-in resume.
+    pub rx_log: Vec<(SimDuration, NodeAddr, TcpSegment)>,
+}
+
+/// Preserved state of a whole experiment on the file server.
+pub struct SwappedExperiment {
+    pub spec: ExperimentSpec,
+    pub nodes: Vec<NodeState>,
+    pub delay_nodes: Vec<Option<DummynetImage>>,
+    /// Per-delay-node suspension logs (in-flight packets that arrived
+    /// while suspended; §3.2).
+    pub delay_node_logs: Vec<Vec<(SimDuration, dummynet::PipeId, hwsim::Frame)>>,
+    /// Delay-node control addresses (stable across swaps).
+    pub delay_node_addrs: Vec<NodeAddr>,
+    /// Guest time at which the experiment was suspended.
+    pub swapped_out_at: SimTime,
+}
+
+impl SwappedExperiment {
+    /// State of a node by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is unknown.
+    pub fn node_state(&self, name: &str) -> &NodeState {
+        self.nodes
+            .iter()
+            .find(|n| n.name == name)
+            .unwrap_or_else(|| panic!("no swapped state for node {name}"))
+    }
+
+    /// Dummynet image of delay node `link_index`.
+    pub fn delay_node_state(&self, link_index: usize) -> Option<&DummynetImage> {
+        self.delay_nodes.get(link_index)?.as_ref()
+    }
+
+    /// Total aggregated-delta bytes (the eager swap-in download).
+    pub fn aggregate_bytes(&self, block_size: u32) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.aggregate.byte_size(block_size))
+            .sum()
+    }
+}
+
+/// Timings and volumes of a swap-out.
+#[derive(Clone, Copy, Debug)]
+pub struct SwapOutReport {
+    /// Total wall time of the operation.
+    pub total: SimDuration,
+    /// Time spent pre-copying while the experiment still ran.
+    pub precopy: SimDuration,
+    /// Pre-copy blocks re-sent because the guest dirtied them.
+    pub dirty_resends: u64,
+    /// Delta bytes transferred (after elimination).
+    pub delta_bytes: u64,
+    /// Memory-image bytes transferred.
+    pub memory_bytes: u64,
+    /// Blocks dropped by free-block elimination.
+    pub eliminated_blocks: u64,
+    /// Guest time (max over nodes) at the suspension instant; the
+    /// continuity anchor for swap-in checks.
+    pub guest_ns_at_suspend: u64,
+}
+
+/// Timings of a swap-in.
+#[derive(Clone, Copy, Debug)]
+pub struct SwapInReport {
+    pub total: SimDuration,
+    /// Golden-image fetch time (zero when cached).
+    pub image_fetch: SimDuration,
+    /// Aggregated-delta download time (zero when lazy).
+    pub delta_download: SimDuration,
+    /// Memory-image download time.
+    pub memory_download: SimDuration,
+    /// Whether the delta was left to lazy copy-in.
+    pub lazy: bool,
+}
+
+/// Pre-copy sync rate: deliberately below the control-net line rate so the
+/// experiment's own traffic and disk keep priority (the paper's
+/// rate-limiting function).
+const PRECOPY_BPS: u64 = 85_000_000;
+
+/// Lazy copy-in background rate (gentler: the guest is already running).
+const LAZY_BPS: u64 = 40_000_000;
+
+impl Testbed {
+    /// Stateful swap-out: preserves node-local state on the file server
+    /// and releases the hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the experiment is not swapped in.
+    pub fn swap_out_stateful(&mut self, name: &str) -> SwapOutReport {
+        let t0 = self.now();
+        let node_hosts: Vec<(String, sim::ComponentId)> = self
+            .experiment(name)
+            .nodes
+            .iter()
+            .map(|n| (n.name.clone(), n.host))
+            .collect();
+        let node_addrs: Vec<NodeAddr> =
+            self.experiment(name).nodes.iter().map(|n| n.addr).collect();
+
+        // Phase 1: eager pre-copy of the (filtered) current delta while
+        // the experiment runs.
+        for (_, host) in &node_hosts {
+            let host = *host;
+            self.engine.with_component::<VmHost, _>(host, |h, ctx| {
+                // A lazy copy-in from the previous swap-in may still be
+                // syncing; its residue is subsumed by this swap-out.
+                let _ = h.detach_mirror();
+                let (filtered, _) = h.store().filtered_delta();
+                let blocks = filtered.vbas();
+                let transfer = MirrorTransfer::new(
+                    Direction::CopyOut,
+                    blocks,
+                    h.store().block_size(),
+                    PRECOPY_BPS,
+                );
+                h.attach_mirror(
+                    ctx,
+                    transfer,
+                    MirrorConfig {
+                        latency: SimDuration::from_micros(200),
+                        net_bps: PRECOPY_BPS,
+                        notify: None,
+                        idle_priority: true,
+                    },
+                );
+            });
+        }
+        // Run until the pre-copy mostly drains — or stops converging. A
+        // write-heavy guest re-dirties blocks as fast as they are sent, so
+        // the loop gives up chasing (the residue moves after suspension),
+        // exactly like a real pre-copy round limit.
+        let mut prev_left = u64::MAX;
+        let mut stalled = 0;
+        for _ in 0..600 {
+            self.run_for(SimDuration::from_millis(500));
+            let max_left = node_hosts
+                .iter()
+                .map(|&(_, h)| {
+                    self.engine
+                        .component_ref::<VmHost>(h)
+                        .expect("host")
+                        .mirror_remaining()
+                        .unwrap_or(0) as u64
+                })
+                .max()
+                .unwrap_or(0);
+            if max_left < 256 {
+                break;
+            }
+            if prev_left.saturating_sub(max_left) < 128 {
+                stalled += 1;
+                if stalled >= 4 {
+                    break; // Not converging: the guest dirties too fast.
+                }
+            } else {
+                stalled = 0;
+            }
+            prev_left = max_left;
+        }
+        let precopy = self.now() - t0;
+
+        // Phase 2: coordinated suspend, resume held.
+        self.suspend_all(name);
+
+        // Phase 3: drain the residual pre-copy (guest is frozen: nothing
+        // dirties), then move the remainder + memory images.
+        for _ in 0..600 {
+            let max_left = node_hosts
+                .iter()
+                .map(|&(_, h)| {
+                    self.engine
+                        .component_ref::<VmHost>(h)
+                        .expect("host")
+                        .mirror_remaining()
+                        .unwrap_or(0)
+                })
+                .max()
+                .unwrap_or(0);
+            if max_left == 0 {
+                break;
+            }
+            self.run_for(SimDuration::from_millis(500));
+        }
+
+        let mut dirty_resends = 0;
+        let mut delta_bytes = 0;
+        let mut memory_bytes = 0;
+        let mut eliminated_total = 0;
+        let mut guest_ns_at_suspend = 0;
+        let mut states = Vec::new();
+        let mut transfers_done = self.now();
+        for ((node_name, host), addr) in node_hosts.iter().zip(node_addrs.iter()) {
+            let host = *host;
+            let (image, filtered, eliminated, resends, block_size, old_agg, rx_log) = self
+                .engine
+                .with_component::<VmHost, _>(host, |h, _| {
+                    let resends = h
+                        .mirror_transfer()
+                        .map(|t| t.dirty_requeues)
+                        .unwrap_or(0);
+                    let _ = h.detach_mirror();
+                    let (filtered, eliminated) = h.store().filtered_delta();
+                    let image = h
+                        .last_image()
+                        .expect("suspend_all captured an image")
+                        .clone();
+                    let bs = h.store().block_size();
+                    let agg = h.store().aggregate().clone();
+                    let rx_log = h.take_rx_log();
+                    (image, filtered, eliminated, resends, bs, agg, rx_log)
+                });
+            dirty_resends += resends;
+            guest_ns_at_suspend = guest_ns_at_suspend.max(image.guest_ns);
+            // The pre-copy already moved (most of) the delta; charge only
+            // the memory image on the uplink now (delta residue was synced
+            // by the mirror above).
+            delta_bytes += filtered.byte_size(block_size);
+            memory_bytes += image.mem_bytes;
+            eliminated_total += eliminated;
+            let done = self.uplink_transfer(image.mem_bytes);
+            transfers_done = transfers_done.max(done);
+            // Offline merge with locality reordering (on the file server).
+            let (merged, _stats) = merge_reorder(&old_agg, &filtered);
+            states.push(NodeState {
+                name: node_name.clone(),
+                addr: *addr,
+                image,
+                aggregate: merged,
+                eliminated_blocks: eliminated,
+                rx_log,
+            });
+        }
+        self.engine.run_until(transfers_done);
+
+        // Collect delay-node images.
+        let dn_handles: Vec<sim::ComponentId> = self
+            .experiment(name)
+            .delay_nodes
+            .iter()
+            .map(|d| d.component)
+            .collect();
+        let dn_addrs: Vec<NodeAddr> = self
+            .experiment(name)
+            .delay_nodes
+            .iter()
+            .map(|d| d.addr)
+            .collect();
+        let mut dn_images = Vec::new();
+        let mut dn_logs = Vec::new();
+        for dn in dn_handles {
+            let img = self
+                .engine
+                .component_ref::<checkpoint::DelayNodeHost>(dn)
+                .expect("delay node")
+                .last_image()
+                .cloned();
+            dn_images.push(img);
+            let log = self
+                .engine
+                .with_component::<checkpoint::DelayNodeHost, _>(dn, |d, _| {
+                    d.take_suspended_log()
+                });
+            dn_logs.push(log);
+        }
+
+        // Phase 5: teardown.
+        let exp = self.teardown(name);
+        let swapped = SwappedExperiment {
+            spec: exp.spec,
+            nodes: states,
+            delay_nodes: dn_images,
+            delay_node_logs: dn_logs,
+            delay_node_addrs: dn_addrs,
+            swapped_out_at: self.now(),
+        };
+        self.store_swapped(name.to_string(), swapped);
+
+        SwapOutReport {
+            total: self.now() - t0,
+            precopy,
+            dirty_resends,
+            delta_bytes,
+            memory_bytes,
+            eliminated_blocks: eliminated_total,
+            guest_ns_at_suspend,
+        }
+    }
+
+    /// Stateful swap-in: restores a swapped experiment. With `lazy`, the
+    /// aggregated delta pages in on demand with background sync; otherwise
+    /// it downloads up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no swapped state exists under `name`.
+    pub fn swap_in_stateful(&mut self, name: &str, lazy: bool) -> SwapInReport {
+        let t0 = self.now();
+        let swapped = self
+            .take_swapped(name)
+            .unwrap_or_else(|| panic!("no swapped state for {name}"));
+
+        // Rebuild topology with restored kernels/aggregates/pipes.
+        let fetch_start = self.now();
+        self.swap_in_with(swapped.spec.clone(), Some(&swapped))
+            .expect("stateful swap-in rebuild");
+        let image_fetch = self.now() - fetch_start;
+
+        // The rebuild installed the frozen images; collect handles and the
+        // memory volume to transfer.
+        let node_hosts: Vec<(String, sim::ComponentId)> = self
+            .experiment(name)
+            .nodes
+            .iter()
+            .map(|n| (n.name.clone(), n.host))
+            .collect();
+        let mem_bytes: u64 = swapped.nodes.iter().map(|n| n.image.mem_bytes).sum();
+
+        // Delta: eager download or lazy mirror.
+        let delta_t0 = self.now();
+        if lazy {
+            for (node_name, host) in &node_hosts {
+                let st = swapped.node_state(node_name);
+                let blocks = st.aggregate.vbas();
+                if blocks.is_empty() {
+                    continue;
+                }
+                let host = *host;
+                self.engine.with_component::<VmHost, _>(host, |h, ctx| {
+                    let transfer = MirrorTransfer::new(
+                        Direction::CopyIn,
+                        blocks,
+                        h.store().block_size(),
+                        LAZY_BPS,
+                    );
+                    h.attach_mirror(
+                        ctx,
+                        transfer,
+                        MirrorConfig {
+                            latency: SimDuration::from_micros(200),
+                            net_bps: LAZY_BPS,
+                            notify: None,
+                            idle_priority: false,
+                        },
+                    );
+                });
+            }
+        } else {
+            let bytes = swapped.aggregate_bytes(4096);
+            let done = self.uplink_transfer(bytes);
+            self.engine.run_until(done);
+        }
+        let delta_download = self.now() - delta_t0;
+
+        // Memory images.
+        let mem_t0 = self.now();
+        let done = self.uplink_transfer(mem_bytes);
+        self.engine.run_until(done);
+        let memory_download = self.now() - mem_t0;
+
+        // Resume everyone (back-to-back: zero resume skew), delay nodes
+        // included — their restored pipes shift to the resume instant and
+        // the preserved in-flight log replays.
+        let dn_handles: Vec<sim::ComponentId> = self
+            .experiment(name)
+            .delay_nodes
+            .iter()
+            .map(|d| d.component)
+            .collect();
+        for dn in dn_handles {
+            self.engine
+                .with_component::<checkpoint::DelayNodeHost, _>(dn, |d, ctx| {
+                    d.resume_from_restore(ctx)
+                });
+        }
+        for (_, host) in &node_hosts {
+            let host = *host;
+            self.engine
+                .with_component::<VmHost, _>(host, |h, ctx| h.resume_guest(ctx));
+        }
+        self.engine.run_for(SimDuration::from_millis(1));
+
+        SwapInReport {
+            total: self.now() - t0,
+            image_fetch,
+            delta_download,
+            memory_download,
+            lazy,
+        }
+    }
+}

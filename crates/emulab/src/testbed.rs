@@ -1,0 +1,789 @@
+//! The testbed facade: allocation, swap-in, experiment control.
+//!
+//! [`Testbed`] plays Emulab's role as "an operating system for a computer
+//! network" (§9): it owns the event engine, the control LAN, the ops node
+//! (NTP + checkpoint coordinator) and the file server, manages a pool of
+//! physical machines with per-machine image caches, maps experiment specs
+//! onto machines (interposing delay nodes on shaped links, §2), and offers
+//! the experiment-control operations the paper builds: coordinated
+//! transparent checkpoints, stateful swapping ([`crate::swap`]) and time
+//! travel ([`crate::timetravel`]).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use checkpoint::{CheckpointAgent, Coordinator, DelayNodeHost, GroupId, OutPort, TriggerMode};
+use cowstore::{BranchingStore, CowMode, GoldenImage, GoldenImageBuilder, StoreLayout};
+use dummynet::PipeConfig;
+use guestos::{GuestProg, Kernel, KernelConfig, Tid};
+use hwsim::{ControlLan, Endpoint, IfaceId, Link, NodeAddr, Pc3000};
+use sim::{transmission_time, ComponentId, Engine, SimDuration, SimTime};
+use vmm::{ExpPort, VmHost, VmHostConfig, VmmTuning};
+
+use crate::services::FileServer;
+use crate::spec::ExperimentSpec;
+use crate::swap::SwappedExperiment;
+use crate::timetravel::TimeTravelTree;
+
+/// Ops-node (coordinator) control address.
+pub const OPS_ADDR: NodeAddr = NodeAddr(10_000);
+
+/// File-server control address.
+pub const FS_ADDR: NodeAddr = NodeAddr(10_001);
+
+/// Fixed swap-in overhead with a cached image: node configuration plus VM
+/// boot — §7.2's "initial swap-in took eight seconds".
+pub const BOOT_OVERHEAD: SimDuration = SimDuration::from_secs(8);
+
+/// One physical machine in the pool.
+#[derive(Clone, Debug)]
+pub struct PhysMachine {
+    pub id: usize,
+    /// Golden images cached on the local disk.
+    pub cached_images: Vec<String>,
+    pub in_use: bool,
+}
+
+/// A live experiment node.
+pub struct NodeHandle {
+    pub name: String,
+    pub addr: NodeAddr,
+    pub host: ComponentId,
+    pub machine: usize,
+}
+
+/// A live delay node.
+pub struct DelayNodeHandle {
+    pub addr: NodeAddr,
+    pub component: ComponentId,
+    pub machine: usize,
+    /// Which spec link this node shapes.
+    pub link_index: usize,
+}
+
+/// A swapped-in experiment.
+pub struct Experiment {
+    pub spec: ExperimentSpec,
+    pub nodes: Vec<NodeHandle>,
+    pub delay_nodes: Vec<DelayNodeHandle>,
+    /// Raw links and experiment LAN components (for teardown).
+    pub plumbing: Vec<ComponentId>,
+    /// The time-travel tree of this experiment.
+    pub tt: TimeTravelTree,
+}
+
+/// A scheduled program start (the Emulab event system, §2).
+struct ProgramEvent {
+    at: SimTime,
+    exp: String,
+    node: String,
+    prog: Box<dyn GuestProg>,
+}
+
+/// The testbed.
+///
+/// # Examples
+///
+/// ```
+/// use emulab::{ExperimentSpec, Testbed};
+/// use sim::SimDuration;
+///
+/// let mut tb = Testbed::new(1, 4);
+/// tb.swap_in(ExperimentSpec::new("demo").node("n")).unwrap();
+/// tb.run_for(SimDuration::from_secs(1));
+/// assert_eq!(tb.free_machines(), 3);
+/// ```
+pub struct Testbed {
+    pub engine: Engine,
+    pub profile: Pc3000,
+    lan: ComponentId,
+    coordinator: ComponentId,
+    fileserver: ComponentId,
+    pool: Vec<PhysMachine>,
+    images: HashMap<String, Arc<GoldenImage>>,
+    experiments: HashMap<String, Experiment>,
+    swapped: HashMap<String, SwappedExperiment>,
+    next_addr: u32,
+    next_group: u32,
+    /// Experiment name → checkpoint group.
+    groups: HashMap<String, GroupId>,
+    /// File-server uplink reservation: bulk transfers serialize here.
+    fs_uplink_free: SimTime,
+    /// Pending scheduled program starts, sorted by time.
+    events: Vec<ProgramEvent>,
+}
+
+impl Testbed {
+    /// Creates a testbed with `machines` physical machines.
+    pub fn new(seed: u64, machines: usize) -> Self {
+        let profile = Pc3000::default();
+        let mut engine = Engine::new(seed);
+        let lan = engine.add_component(Box::new(ControlLan::new(
+            profile.ctrl_lan_bps,
+            profile.ctrl_lan_latency,
+            profile.ctrl_lan_jitter,
+        )));
+        let coordinator = engine.add_component(Box::new(Coordinator::new(
+            OPS_ADDR,
+            lan,
+            TriggerMode::Scheduled {
+                lead: SimDuration::from_millis(200),
+            },
+        )));
+        let fileserver = engine.add_component(Box::new(FileServer::new(FS_ADDR, lan)));
+        engine.with_component::<ControlLan, _>(lan, |l, _| {
+            l.attach(OPS_ADDR, Endpoint { component: coordinator, iface: IfaceId::CONTROL });
+            l.attach(FS_ADDR, Endpoint { component: fileserver, iface: IfaceId::CONTROL });
+        });
+        let mut images = HashMap::new();
+        // The standard image library: a 6 GB FC4 image.
+        let disk_blocks = profile.guest_disk_bytes / 4096;
+        images.insert(
+            "FC4-STD".to_string(),
+            Arc::new(
+                GoldenImageBuilder::new("FC4-STD", disk_blocks, 4096, 0xFC4)
+                    .compression(0.12)
+                    .build(),
+            ),
+        );
+        Testbed {
+            engine,
+            profile,
+            lan,
+            coordinator,
+            fileserver,
+            pool: (0..machines)
+                .map(|id| PhysMachine {
+                    id,
+                    cached_images: Vec::new(),
+                    in_use: false,
+                })
+                .collect(),
+            images,
+            experiments: HashMap::new(),
+            swapped: HashMap::new(),
+            next_addr: 1,
+            next_group: 1,
+            groups: HashMap::new(),
+            fs_uplink_free: SimTime::ZERO,
+            events: Vec::new(),
+        }
+    }
+
+    /// The checkpoint group of an experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the experiment is not swapped in (or swapped state).
+    pub fn group_of(&self, exp: &str) -> GroupId {
+        *self
+            .groups
+            .get(exp)
+            .unwrap_or_else(|| panic!("no group for experiment {exp}"))
+    }
+
+    /// Registers an additional golden image.
+    pub fn add_image(&mut self, img: GoldenImage) {
+        self.images.insert(img.name().to_string(), Arc::new(img));
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// The control-LAN component (advanced wiring).
+    pub fn lan(&self) -> ComponentId {
+        self.lan
+    }
+
+    /// The coordinator component id.
+    pub fn coordinator(&self) -> ComponentId {
+        self.coordinator
+    }
+
+    /// The file-server component id.
+    pub fn fileserver(&self) -> ComponentId {
+        self.fileserver
+    }
+
+    /// Access to a live experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the experiment is not swapped in.
+    pub fn experiment(&self, name: &str) -> &Experiment {
+        self.experiments
+            .get(name)
+            .unwrap_or_else(|| panic!("experiment {name} not swapped in"))
+    }
+
+    /// Mutable access to a live experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the experiment is not swapped in.
+    pub fn experiments_mut(&mut self, name: &str) -> &mut Experiment {
+        self.experiments
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("experiment {name} not swapped in"))
+    }
+
+    /// Whether an experiment is currently swapped in.
+    pub fn swapped_in(&self, name: &str) -> bool {
+        self.experiments.contains_key(name)
+    }
+
+    /// Free machines in the pool.
+    pub fn free_machines(&self) -> usize {
+        self.pool.iter().filter(|m| !m.in_use).count()
+    }
+
+    /// Runs the simulation for `d`, dispatching scheduled program events.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let target = self.engine.now() + d;
+        self.run_until(target);
+    }
+
+    /// Runs the simulation until `t`, dispatching scheduled program events.
+    pub fn run_until(&mut self, t: SimTime) {
+        loop {
+            self.events.sort_by_key(|e| e.at);
+            let Some(next_at) = self.events.first().map(|e| e.at) else {
+                break;
+            };
+            if next_at > t {
+                break;
+            }
+            self.engine.run_until(next_at);
+            let ev = self.events.remove(0);
+            if let Some(exp) = self.experiments.get(&ev.exp) {
+                if let Some(n) = exp.nodes.iter().find(|n| n.name == ev.node) {
+                    let host = n.host;
+                    self.engine.with_component::<VmHost, _>(host, |h, _| {
+                        h.kernel_mut().spawn(ev.prog);
+                    });
+                }
+            }
+        }
+        self.engine.run_until(t);
+    }
+
+    /// Schedules a program start on a node after `delay` (the event
+    /// system's `PROGRAM-AGENT start`).
+    pub fn spawn_at(&mut self, exp: &str, node: &str, delay: SimDuration, prog: Box<dyn GuestProg>) {
+        self.events.push(ProgramEvent {
+            at: self.engine.now() + delay,
+            exp: exp.to_string(),
+            node: node.to_string(),
+            prog,
+        });
+    }
+
+    /// Spawns a program immediately; returns its thread id.
+    pub fn spawn(&mut self, exp: &str, node: &str, prog: Box<dyn GuestProg>) -> Tid {
+        let host = self.host_id(exp, node);
+        self.engine
+            .with_component::<VmHost, _>(host, |h, _| h.kernel_mut().spawn(prog))
+    }
+
+    /// The host component of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown experiment or node.
+    pub fn host_id(&self, exp: &str, node: &str) -> ComponentId {
+        self.experiment(exp)
+            .nodes
+            .iter()
+            .find(|n| n.name == node)
+            .unwrap_or_else(|| panic!("no node {node} in {exp}"))
+            .host
+    }
+
+    /// The experiment-network address of a node.
+    pub fn node_addr(&self, exp: &str, node: &str) -> NodeAddr {
+        self.experiment(exp)
+            .nodes
+            .iter()
+            .find(|n| n.name == node)
+            .unwrap_or_else(|| panic!("no node {node} in {exp}"))
+            .addr
+    }
+
+    /// Read-only access to a node's guest kernel.
+    pub fn kernel<R>(&self, exp: &str, node: &str, f: impl FnOnce(&Kernel) -> R) -> R {
+        let host = self.host_id(exp, node);
+        let h = self
+            .engine
+            .component_ref::<VmHost>(host)
+            .expect("host exists");
+        f(h.kernel())
+    }
+
+    /// Mutable access to a node's host (instrumentation, tracing).
+    pub fn with_host<R>(&mut self, exp: &str, node: &str, f: impl FnOnce(&mut VmHost) -> R) -> R {
+        let host = self.host_id(exp, node);
+        self.engine.with_component::<VmHost, _>(host, |h, _| f(h))
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation and transfers.
+    // ------------------------------------------------------------------
+
+    fn alloc_machine(&mut self) -> Result<usize, String> {
+        let m = self
+            .pool
+            .iter_mut()
+            .find(|m| !m.in_use)
+            .ok_or("no free machines")?;
+        m.in_use = true;
+        Ok(m.id)
+    }
+
+    fn free_machine(&mut self, id: usize) {
+        self.pool[id].in_use = false;
+    }
+
+    /// Reserves the file-server uplink for `bytes` and returns the
+    /// transfer's completion time (bulk state moves serialize on this,
+    /// §7.2: "use of the 100 Mbps control network is clearly a
+    /// bottleneck").
+    pub(crate) fn uplink_transfer(&mut self, bytes: u64) -> SimTime {
+        let start = self.fs_uplink_free.max(self.engine.now());
+        let end = start + transmission_time(bytes, self.profile.ctrl_lan_bps);
+        self.fs_uplink_free = end;
+        end
+    }
+
+    /// Fetches an image to a machine's cache if missing; returns when it
+    /// is available (Frisbee-style compressed transfer).
+    fn ensure_image_cached(&mut self, machine: usize, image: &str) -> SimTime {
+        if self.pool[machine].cached_images.iter().any(|i| i == image) {
+            return self.engine.now();
+        }
+        let wire = self.images[image].wire_size();
+        let done = self.uplink_transfer(wire);
+        self.pool[machine].cached_images.push(image.to_string());
+        done
+    }
+
+    fn next_node_addr(&mut self) -> NodeAddr {
+        let a = NodeAddr(self.next_addr);
+        self.next_addr += 1;
+        a
+    }
+
+    // ------------------------------------------------------------------
+    // Swap-in (fresh).
+    // ------------------------------------------------------------------
+
+    /// Swaps in a fresh experiment: allocates machines, loads images,
+    /// builds the topology, boots. Returns the swap-in duration.
+    pub fn swap_in(&mut self, spec: ExperimentSpec) -> Result<SimDuration, String> {
+        self.swap_in_with(spec, None)
+    }
+
+    /// Swap-in used both fresh (state `None`) and stateful (§5).
+    pub(crate) fn swap_in_with(
+        &mut self,
+        spec: ExperimentSpec,
+        state: Option<&SwappedExperiment>,
+    ) -> Result<SimDuration, String> {
+        spec.validate()?;
+        if self.experiments.contains_key(&spec.name) {
+            return Err(format!("experiment {} already swapped in", spec.name));
+        }
+        let t0 = self.engine.now();
+
+        // Allocate machines: nodes then delay nodes.
+        let mut machines = Vec::new();
+        for _ in 0..spec.machines_needed() {
+            machines.push(self.alloc_machine()?);
+        }
+
+        // Image distribution (cached images skip the transfer).
+        let mut images_done = self.engine.now();
+        for (i, n) in spec.nodes.iter().enumerate() {
+            if !self.images.contains_key(&n.image) {
+                return Err(format!("unknown image {}", n.image));
+            }
+            let done = self.ensure_image_cached(machines[i], &n.image);
+            images_done = images_done.max(done);
+        }
+        self.engine.run_until(images_done);
+
+        // Build node hosts.
+        let mut nodes = Vec::new();
+        let mut rngseed = 0u32;
+        for (i, nspec) in spec.nodes.iter().enumerate() {
+            // Addresses are part of the preserved state: restored kernels
+            // hold live connections to them.
+            let addr = match state {
+                Some(sw) => sw.node_state(&nspec.name).addr,
+                None => self.next_node_addr(),
+            };
+            let golden = self.images[&nspec.image].clone();
+            let layout = StoreLayout::for_image(&golden);
+            let mut store = BranchingStore::new(golden.clone(), CowMode::Branch, layout);
+            store.set_snoop(cowstore::Ext3Snoop::new());
+            let mut kcfg = KernelConfig::pc3000_guest(addr);
+            kcfg.disk_blocks = golden.blocks();
+            let kernel = Kernel::new(kcfg);
+            if let Some(sw) = state {
+                store.install_aggregate(sw.node_state(&nspec.name).aggregate.clone());
+            }
+            rngseed += 1;
+            // Per-node clock personality: deterministic from the node index.
+            let off = 1_500_000 + 700_000 * (rngseed as i64 % 7) - 2_000_000;
+            let drift = 10.0 + 9.0 * (rngseed as f64 % 8.0) - 35.0;
+            let agent = CheckpointAgent::new(OPS_ADDR);
+            let host = VmHost::new(
+                VmHostConfig {
+                    node: addr,
+                    profile: self.profile.clone(),
+                    tuning: VmmTuning::default(),
+                    lan: self.lan,
+                    ntp_server: OPS_ADDR,
+                    services: FS_ADDR,
+                    clock_offset_ns: off,
+                    clock_drift_ppm: drift,
+                    auto_resume: false,
+                    conceal_downtime: true,
+                },
+                store,
+                kernel,
+                Some(Box::new(agent)),
+            );
+            let host_id = self.engine.add_component(Box::new(host));
+            if let Some(sw) = state {
+                // Replace the fresh domain with the preserved one, frozen;
+                // it resumes once the state transfers complete. The §3.2
+                // in-flight replay log rides along.
+                let st = sw.node_state(&nspec.name);
+                let image = st.image.clone();
+                let rx_log = st.rx_log.clone();
+                self.engine.with_component::<VmHost, _>(host_id, |h, ctx| {
+                    h.install_image(ctx, &image);
+                    h.install_rx_log(rx_log);
+                });
+            }
+            nodes.push(NodeHandle {
+                name: nspec.name.clone(),
+                addr,
+                host: host_id,
+                machine: machines[i],
+            });
+        }
+
+        // Delay nodes + raw links for shaped links.
+        let mut plumbing = Vec::new();
+        let mut delay_nodes = Vec::new();
+        for (li, lspec) in spec.links.iter().enumerate() {
+            let machine = machines[spec.nodes.len() + li];
+            let dn_addr = match state {
+                Some(sw) => sw.delay_node_addrs[li],
+                None => self.next_node_addr(),
+            };
+            let dn = self.engine.add_component(Box::new(DelayNodeHost::new(
+                dn_addr,
+                self.lan,
+                OPS_ADDR,
+                ((li as i64) - 1) * 900_000,
+                12.0 - 3.0 * li as f64,
+            )));
+            let a = nodes
+                .iter()
+                .find(|n| n.name == lspec.a)
+                .expect("validated");
+            let b = nodes
+                .iter()
+                .find(|n| n.name == lspec.b)
+                .expect("validated");
+            // Raw wires at experiment line rate.
+            let link_a = self.engine.add_component(Box::new(Link::new(
+                Endpoint { component: a.host, iface: IfaceId::EXPERIMENT },
+                Endpoint { component: dn, iface: IfaceId(1) },
+                self.profile.exp_link_bps,
+                SimDuration::from_micros(5),
+                0.0,
+            )));
+            let link_b = self.engine.add_component(Box::new(Link::new(
+                Endpoint { component: b.host, iface: IfaceId::EXPERIMENT },
+                Endpoint { component: dn, iface: IfaceId(2) },
+                self.profile.exp_link_bps,
+                SimDuration::from_micros(5),
+                0.0,
+            )));
+            // Queue sizing follows the link: at least the default 50
+            // slots, and enough to hold ~5 ms at the configured rate so
+            // checkpoint-resume transients (backlog + replayed in-flight
+            // packets + the freshly resumed sender) do not droptail.
+            let slots =
+                ((lspec.bandwidth_bps / 8 / 1500) / 200).clamp(50, 4096) as usize;
+            let shape = PipeConfig {
+                bandwidth_bps: Some(lspec.bandwidth_bps),
+                delay: lspec.delay,
+                plr: lspec.loss,
+                queue_slots: slots,
+            };
+            self.engine.with_component::<DelayNodeHost, _>(dn, |d, ctx| {
+                d.add_path(IfaceId(1), shape, OutPort { link: link_b, end: 1 });
+                d.add_path(IfaceId(2), shape, OutPort { link: link_a, end: 1 });
+                if let Some(sw) = state {
+                    if let Some(img) = sw.delay_node_state(li) {
+                        let mut restored = dummynet::Dummynet::restore(img, ctx.now());
+                        // Re-suspend and reinstall the §3.2 arrival log so
+                        // the in-flight packets replay at the experiment's
+                        // resume (VmHost resume happens later; the pipes
+                        // stay still until then).
+                        restored.suspend(ctx.now());
+                        d.install_dummynet(ctx, restored);
+                        if let Some(log) = sw.delay_node_logs.get(li) {
+                            d.install_suspended_log(log.clone());
+                        }
+                    }
+                }
+            });
+            let (a_host, a_addr) = (a.host, a.addr);
+            let (b_host, b_addr) = (b.host, b.addr);
+            self.engine.with_component::<VmHost, _>(a_host, |h, _| {
+                h.add_exp_route(b_addr, ExpPort::LinkEnd { link: link_a, end: 0 });
+            });
+            self.engine.with_component::<VmHost, _>(b_host, |h, _| {
+                h.add_exp_route(a_addr, ExpPort::LinkEnd { link: link_b, end: 0 });
+            });
+            plumbing.push(link_a);
+            plumbing.push(link_b);
+            delay_nodes.push(DelayNodeHandle {
+                addr: dn_addr,
+                component: dn,
+                machine,
+                link_index: li,
+            });
+        }
+
+        // Experiment LANs.
+        for lspec in &spec.lans {
+            let lan_id = self.engine.add_component(Box::new(ControlLan::new(
+                lspec.bandwidth_bps,
+                lspec.delay,
+                SimDuration::from_micros(10),
+            )));
+            for m in &lspec.members {
+                let n = nodes.iter().find(|n| n.name == *m).expect("validated");
+                let (host, addr) = (n.host, n.addr);
+                self.engine.with_component::<ControlLan, _>(lan_id, |l, _| {
+                    l.attach(addr, Endpoint { component: host, iface: IfaceId::EXPERIMENT });
+                });
+                // Route to every other member through this LAN.
+                let others: Vec<NodeAddr> = lspec
+                    .members
+                    .iter()
+                    .filter(|o| **o != *m)
+                    .map(|o| nodes.iter().find(|n| n.name == *o).expect("validated").addr)
+                    .collect();
+                self.engine.with_component::<VmHost, _>(host, |h, _| {
+                    for o in others {
+                        h.add_exp_route(o, ExpPort::Lan { lan: lan_id });
+                    }
+                });
+            }
+            plumbing.push(lan_id);
+        }
+
+        // Control LAN attachment + bus subscriptions (per-experiment
+        // checkpoint group, as Emulab coordinates per experiment) + boot.
+        let group = *self.groups.entry(spec.name.clone()).or_insert_with(|| {
+            let g = GroupId(self.next_group);
+            self.next_group += 1;
+            g
+        });
+        for n in &nodes {
+            let (host, addr) = (n.host, n.addr);
+            let lan = self.lan;
+            self.engine.with_component::<ControlLan, _>(lan, |l, _| {
+                l.attach(addr, Endpoint { component: host, iface: IfaceId::CONTROL });
+            });
+            let coord = self.coordinator;
+            self.engine
+                .with_component::<Coordinator, _>(coord, |c, _| c.subscribe_in(addr, group));
+        }
+        for d in &delay_nodes {
+            let (comp, addr) = (d.component, d.addr);
+            let lan = self.lan;
+            self.engine.with_component::<ControlLan, _>(lan, |l, _| {
+                l.attach(addr, Endpoint { component: comp, iface: IfaceId::CONTROL });
+            });
+            let coord = self.coordinator;
+            self.engine
+                .with_component::<Coordinator, _>(coord, |c, _| c.subscribe_in(addr, group));
+            self.engine
+                .with_component::<DelayNodeHost, _>(comp, |dn, ctx| dn.start(ctx));
+        }
+        for n in &nodes {
+            let host = n.host;
+            self.engine
+                .with_component::<VmHost, _>(host, |h, ctx| h.start(ctx));
+        }
+
+        // Boot/config overhead.
+        self.engine.run_for(BOOT_OVERHEAD);
+
+        let tt = TimeTravelTree::new();
+        self.experiments.insert(
+            spec.name.clone(),
+            Experiment {
+                spec,
+                nodes,
+                delay_nodes,
+                plumbing,
+                tt,
+            },
+        );
+        Ok(self.engine.now() - t0)
+    }
+
+    // ------------------------------------------------------------------
+    // Coordinated checkpoint controls.
+    // ------------------------------------------------------------------
+
+    /// Starts periodic coordinated checkpoints of every swapped-in
+    /// experiment's group (single-experiment setups: "the experiment").
+    pub fn start_periodic_checkpoints(&mut self, interval: SimDuration) {
+        // Periodic mode drives one group; with several experiments, call
+        // checkpoint_experiment per experiment instead.
+        let group = self
+            .experiments
+            .keys()
+            .next()
+            .map(|n| self.group_of(n))
+            .unwrap_or(GroupId::DEFAULT);
+        let coord = self.coordinator;
+        self.engine.with_component::<Coordinator, _>(coord, |c, ctx| {
+            c.set_periodic_group(group);
+            c.start_periodic(ctx, interval)
+        });
+    }
+
+    /// Stops periodic checkpoints.
+    pub fn stop_periodic_checkpoints(&mut self) {
+        let coord = self.coordinator;
+        self.engine
+            .with_component::<Coordinator, _>(coord, |c, _| c.stop_periodic());
+    }
+
+    /// Triggers one checkpoint of the (single) experiment and runs until
+    /// it completes.
+    pub fn checkpoint_once(&mut self) {
+        let name = self
+            .experiments
+            .keys()
+            .next()
+            .expect("an experiment is swapped in")
+            .clone();
+        self.checkpoint_experiment(&name);
+    }
+
+    /// Triggers one checkpoint of `exp`'s group and runs to completion.
+    /// Other experiments are untouched (per-experiment coordination).
+    pub fn checkpoint_experiment(&mut self, exp: &str) {
+        let group = self.group_of(exp);
+        let coord = self.coordinator;
+        self.engine
+            .with_component::<Coordinator, _>(coord, |c, ctx| c.trigger_in(ctx, group));
+        // Lead (200 ms) + capture + barrier: poll to completion.
+        for _ in 0..100 {
+            self.engine.run_for(SimDuration::from_millis(50));
+            let done = self
+                .engine
+                .component_ref::<Coordinator>(coord)
+                .expect("coordinator")
+                .idle_in(group);
+            if done {
+                return;
+            }
+        }
+        panic!("checkpoint did not complete within 5 s");
+    }
+
+    /// Suspends one experiment (checkpoint without resume); used by
+    /// swapping and time travel. Runs until the barrier completes.
+    pub(crate) fn suspend_all(&mut self, exp: &str) {
+        let group = self.group_of(exp);
+        let coord = self.coordinator;
+        self.engine.with_component::<Coordinator, _>(coord, |c, ctx| {
+            c.set_hold_resume(true);
+            c.trigger_in(ctx, group);
+        });
+        for _ in 0..200 {
+            self.engine.run_for(SimDuration::from_millis(50));
+            let done = self
+                .engine
+                .component_ref::<Coordinator>(coord)
+                .expect("coordinator")
+                .barrier_complete_in(group);
+            if done {
+                return;
+            }
+        }
+        panic!("suspend barrier did not complete within 10 s");
+    }
+
+    /// Releases a held suspension of `exp`'s group.
+    pub(crate) fn release_all(&mut self, exp: &str) {
+        let group = self.group_of(exp);
+        let coord = self.coordinator;
+        self.engine.with_component::<Coordinator, _>(coord, |c, ctx| {
+            c.release_resume_in(ctx, group);
+            c.set_hold_resume(false);
+        });
+        self.engine.run_for(SimDuration::from_millis(10));
+    }
+
+    // ------------------------------------------------------------------
+    // Teardown (used by swap-out).
+    // ------------------------------------------------------------------
+
+    pub(crate) fn teardown(&mut self, name: &str) -> Experiment {
+        let exp = self
+            .experiments
+            .remove(name)
+            .unwrap_or_else(|| panic!("experiment {name} not swapped in"));
+        for n in &exp.nodes {
+            self.engine.remove_component(n.host);
+            let (lan, coord, addr) = (self.lan, self.coordinator, n.addr);
+            self.engine
+                .with_component::<ControlLan, _>(lan, |l, _| l.detach(addr));
+            self.engine
+                .with_component::<Coordinator, _>(coord, |c, _| c.unsubscribe(addr));
+            self.free_machine(n.machine);
+        }
+        for d in &exp.delay_nodes {
+            self.engine.remove_component(d.component);
+            let (lan, coord, addr) = (self.lan, self.coordinator, d.addr);
+            self.engine
+                .with_component::<ControlLan, _>(lan, |l, _| l.detach(addr));
+            self.engine
+                .with_component::<Coordinator, _>(coord, |c, _| c.unsubscribe(addr));
+            self.free_machine(d.machine);
+        }
+        for p in &exp.plumbing {
+            self.engine.remove_component(*p);
+        }
+        exp
+    }
+
+    /// Stored swapped-out state (inspection).
+    pub fn swapped_state(&self, name: &str) -> Option<&SwappedExperiment> {
+        self.swapped.get(name)
+    }
+
+    pub(crate) fn store_swapped(&mut self, name: String, st: SwappedExperiment) {
+        self.swapped.insert(name, st);
+    }
+
+    pub(crate) fn take_swapped(&mut self, name: &str) -> Option<SwappedExperiment> {
+        self.swapped.remove(name)
+    }
+}

@@ -1,0 +1,281 @@
+//! Experiment time travel (paper §6).
+//!
+//! "Time-travel in Emulab allows a user to preserve the execution of an
+//! experiment and later, if desired, play it forward from any point in
+//! time... every replay run creates a new branch in the execution history
+//! of a system. The result is that time-travel sessions form a tree, with
+//! internal nodes representing checkpoints and leaves representing
+//! checkpoints or active executions."
+//!
+//! Snapshots are taken with the transparent coordinated checkpoint
+//! (resume held), so frequent checkpointing does not perturb the
+//! experiment; they capture each node's domain image, its branching-store
+//! state, and the delay nodes' pipe state. Replay is non-deterministic (as
+//! in the paper's prototype): re-executing from a snapshot under different
+//! conditions — or a different engine seed personality — diverges and
+//! forms a new branch.
+
+use cowstore::BranchingStore;
+use dummynet::DummynetImage;
+use sim::SimTime;
+use vmm::{DomainImage, VmHost};
+
+use crate::testbed::Testbed;
+
+/// Identifies a snapshot within an experiment's tree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SnapshotId(pub usize);
+
+/// One captured point in the experiment's execution history.
+pub struct Snapshot {
+    pub id: SnapshotId,
+    pub parent: Option<SnapshotId>,
+    pub label: String,
+    /// True testbed time of the capture.
+    pub taken_at: SimTime,
+    /// Per-node state, in experiment node order.
+    node_images: Vec<DomainImage>,
+    node_stores: Vec<BranchingStore>,
+    dn_images: Vec<Option<DummynetImage>>,
+}
+
+/// The branching execution history of one experiment.
+#[derive(Default)]
+pub struct TimeTravelTree {
+    snaps: Vec<Snapshot>,
+    current: Option<SnapshotId>,
+}
+
+impl TimeTravelTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        TimeTravelTree::default()
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// True if no snapshot was taken yet.
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+
+    /// The snapshot the current execution branched from.
+    pub fn current(&self) -> Option<SnapshotId> {
+        self.current
+    }
+
+    /// A snapshot by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn get(&self, id: SnapshotId) -> &Snapshot {
+        &self.snaps[id.0]
+    }
+
+    /// Children of a snapshot (branches that started there).
+    pub fn children(&self, id: SnapshotId) -> Vec<SnapshotId> {
+        self.snaps
+            .iter()
+            .filter(|s| s.parent == Some(id))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Depth of a snapshot (root = 0).
+    pub fn depth(&self, id: SnapshotId) -> usize {
+        let mut d = 0;
+        let mut cur = self.snaps[id.0].parent;
+        while let Some(p) = cur {
+            d += 1;
+            cur = self.snaps[p.0].parent;
+        }
+        d
+    }
+
+    fn push(&mut self, mut snap: Snapshot) -> SnapshotId {
+        let id = SnapshotId(self.snaps.len());
+        snap.id = id;
+        self.snaps.push(snap);
+        self.current = Some(id);
+        id
+    }
+}
+
+impl Testbed {
+    /// Takes a time-travel snapshot of a running experiment: a coordinated
+    /// transparent checkpoint whose state is kept, after which execution
+    /// continues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the experiment is not swapped in.
+    pub fn snapshot(&mut self, exp: &str, label: &str) -> SnapshotId {
+        self.suspend_all(exp);
+
+        let node_hosts: Vec<sim::ComponentId> =
+            self.experiment(exp).nodes.iter().map(|n| n.host).collect();
+        let mut node_images = Vec::new();
+        let mut node_stores = Vec::new();
+        for host in &node_hosts {
+            let h = self
+                .engine
+                .component_ref::<VmHost>(*host)
+                .expect("host exists");
+            node_images.push(h.last_image().expect("suspend captured").clone());
+            node_stores.push(h.store().clone());
+        }
+        let dn_handles: Vec<sim::ComponentId> = self
+            .experiment(exp)
+            .delay_nodes
+            .iter()
+            .map(|d| d.component)
+            .collect();
+        let mut dn_images = Vec::new();
+        for dn in dn_handles {
+            dn_images.push(
+                self.engine
+                    .component_ref::<checkpoint::DelayNodeHost>(dn)
+                    .expect("delay node")
+                    .last_image()
+                    .cloned(),
+            );
+        }
+
+        self.release_all(exp);
+
+        let taken_at = self.now();
+        let parent = self.experiment(exp).tt.current();
+        let exp_mut = self
+            .experiments_mut(exp);
+        exp_mut.tt.push(Snapshot {
+            id: SnapshotId(0), // Overwritten by push.
+            parent,
+            label: label.to_string(),
+            taken_at,
+            node_images,
+            node_stores,
+            dn_images,
+        })
+    }
+
+    /// Travels back: restores the experiment to `snap` and resumes
+    /// execution from there, creating a new branch. State mutation between
+    /// `travel_to` and the resume — or simply different ambient conditions
+    /// — makes the replay non-deterministic, as in the paper's prototype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the experiment or snapshot is unknown.
+    pub fn travel_to(&mut self, exp: &str, snap: SnapshotId) {
+        // Quiesce the current execution first (its state is abandoned —
+        // take a snapshot beforehand to keep it).
+        self.suspend_all(exp);
+
+        let node_hosts: Vec<sim::ComponentId> =
+            self.experiment(exp).nodes.iter().map(|n| n.host).collect();
+        let dn_handles: Vec<sim::ComponentId> = self
+            .experiment(exp)
+            .delay_nodes
+            .iter()
+            .map(|d| d.component)
+            .collect();
+
+        // Clone what we need out of the snapshot.
+        let (images, stores, dn_images) = {
+            let s = self.experiment(exp).tt.get(snap);
+            (
+                s.node_images.clone(),
+                s.node_stores.clone(),
+                s.dn_images.clone(),
+            )
+        };
+
+        for (i, host) in node_hosts.iter().enumerate() {
+            let image = images[i].clone();
+            let store = stores[i].clone();
+            self.engine.with_component::<VmHost, _>(*host, |h, ctx| {
+                // Discard the suspended current domain, then install.
+                h.abandon_checkpoint(ctx);
+                *h.store_mut() = store;
+                h.install_image(ctx, &image);
+                h.resume_guest(ctx);
+            });
+        }
+        for (i, dn) in dn_handles.iter().enumerate() {
+            if let Some(img) = dn_images[i].clone() {
+                self.engine
+                    .with_component::<checkpoint::DelayNodeHost, _>(*dn, |d, ctx| {
+                        // Abandon the suspended instance and restore.
+                        d.abandon_checkpoint(ctx);
+                        let restored = dummynet::Dummynet::restore(&img, ctx.now());
+                        d.install_dummynet(ctx, restored);
+                    });
+            }
+        }
+        // The coordinator still holds a completed barrier; clear it.
+        let coord = self.coordinator();
+        self.engine
+            .with_component::<checkpoint::Coordinator, _>(coord, |c, _| {
+                c.set_hold_resume(false);
+            });
+
+        let exp_mut = self.experiments_mut(exp);
+        exp_mut.tt.current = Some(snap);
+        self.run_for(sim::SimDuration::from_millis(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_snapshot(parent: Option<SnapshotId>, label: &str) -> Snapshot {
+        Snapshot {
+            id: SnapshotId(0),
+            parent,
+            label: label.to_string(),
+            taken_at: SimTime::ZERO,
+            node_images: Vec::new(),
+            node_stores: Vec::new(),
+            dn_images: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn tree_structure_tracks_branches() {
+        let mut tt = TimeTravelTree::new();
+        assert!(tt.is_empty());
+        let a = tt.push(dummy_snapshot(None, "a"));
+        let b = tt.push(dummy_snapshot(Some(a), "b"));
+        // Travel back to `a`, then snapshot again: a second child of `a`.
+        tt.current = Some(a);
+        let c = tt.push(dummy_snapshot(Some(a), "c"));
+        assert_eq!(tt.len(), 3);
+        assert_eq!(tt.current(), Some(c));
+        let mut kids = tt.children(a);
+        kids.sort_by_key(|s| s.0);
+        assert_eq!(kids, vec![b, c]);
+        assert_eq!(tt.depth(a), 0);
+        assert_eq!(tt.depth(b), 1);
+        assert_eq!(tt.depth(c), 1);
+        assert_eq!(tt.get(b).label, "b");
+        assert_eq!(tt.get(b).parent, Some(a));
+    }
+
+    #[test]
+    fn deep_chains_report_depth() {
+        let mut tt = TimeTravelTree::new();
+        let mut parent = None;
+        let mut last = SnapshotId(0);
+        for i in 0..10 {
+            last = tt.push(dummy_snapshot(parent, &format!("s{i}")));
+            parent = Some(last);
+        }
+        assert_eq!(tt.depth(last), 9);
+        assert!(tt.children(last).is_empty());
+    }
+}

@@ -1,0 +1,341 @@
+//! An ext3-like filesystem: block groups, allocation bitmaps, flat inodes.
+//!
+//! What matters for the paper is the *on-disk metadata shape*: allocation
+//! state lives in per-group bitmap blocks at fixed addresses, and every
+//! allocate/free updates the corresponding bitmap block through the block
+//! layer — which is what the free-block-elimination snoop decodes below
+//! the guest (§5.1). Files are flat (id → block list); directories and
+//! permissions add nothing to the evaluation and are omitted.
+
+pub mod cache;
+
+pub use cache::BufferCache;
+
+use std::collections::HashMap;
+
+use cowstore::{BitmapBlock, BlockData};
+
+use crate::prog::FileId;
+
+/// A file's metadata.
+#[derive(Clone, Debug, Default)]
+pub struct Inode {
+    /// Logical block index → vba.
+    pub blocks: HashMap<u64, u64>,
+    /// File size in bytes.
+    pub size: u64,
+}
+
+/// A block write the filesystem needs persisted (through the cache).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FsWrite {
+    pub vba: u64,
+    pub data: BlockData,
+}
+
+/// The filesystem.
+#[derive(Clone, Debug)]
+pub struct Ext3Fs {
+    block_size: u32,
+    blocks_per_group: u32,
+    groups: Vec<BitmapBlock>,
+    files: HashMap<FileId, Inode>,
+    rotor: u32,
+    /// Monotonic content version, so rewrites produce distinct block data.
+    version: u64,
+    /// Allocation failures (disk full).
+    pub enospc: u64,
+}
+
+impl Ext3Fs {
+    /// Formats a filesystem over `total_blocks`. The first block of each
+    /// group is its allocation bitmap (pre-allocated in itself).
+    pub fn format(total_blocks: u64, block_size: u32, blocks_per_group: u32) -> Self {
+        assert!(blocks_per_group >= 16, "group too small");
+        let ngroups = total_blocks.div_ceil(blocks_per_group as u64) as u32;
+        let mut groups = Vec::with_capacity(ngroups as usize);
+        for g in 0..ngroups {
+            let start = g as u64 * blocks_per_group as u64;
+            let count = blocks_per_group.min((total_blocks - start) as u32);
+            // Bit 0 = the bitmap block itself: allocated.
+            let bm = BitmapBlock::new_free(g, start, count).with(0, true);
+            groups.push(bm);
+        }
+        Ext3Fs {
+            block_size,
+            blocks_per_group,
+            groups,
+            files: HashMap::new(),
+            rotor: 0,
+            version: 0,
+            enospc: 0,
+        }
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    /// The vba of group `g`'s bitmap block.
+    pub fn bitmap_vba(&self, g: u32) -> u64 {
+        g as u64 * self.blocks_per_group as u64
+    }
+
+    /// Total allocated data blocks (excluding bitmap blocks themselves).
+    pub fn allocated_blocks(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|b| b.allocated_count() as u64 - 1)
+            .sum()
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, file: FileId) -> bool {
+        self.files.contains_key(&file)
+    }
+
+    /// A file's current size in bytes.
+    pub fn size_of(&self, file: FileId) -> Option<u64> {
+        self.files.get(&file).map(|i| i.size)
+    }
+
+    /// Creates an empty file.
+    ///
+    /// Returns `Err` if it already exists.
+    pub fn create(&mut self, file: FileId) -> Result<(), &'static str> {
+        if self.files.contains_key(&file) {
+            return Err("exists");
+        }
+        self.files.insert(file, Inode::default());
+        Ok(())
+    }
+
+    fn alloc_block(&mut self) -> Option<(u64, FsWrite)> {
+        let ngroups = self.groups.len() as u32;
+        for probe in 0..ngroups {
+            let g = ((self.rotor + probe) % ngroups) as usize;
+            if let Some(bit) = self.groups[g].first_free() {
+                let newbm = self.groups[g].with(bit, true);
+                let vba = newbm.group_start + bit as u64;
+                let write = FsWrite {
+                    vba: self.bitmap_vba(g as u32),
+                    data: BlockData::Bitmap(newbm.clone()),
+                };
+                self.groups[g] = newbm;
+                self.rotor = g as u32;
+                return Some((vba, write));
+            }
+        }
+        self.enospc += 1;
+        None
+    }
+
+    /// Writes `[offset, offset+bytes)` of `file`, allocating blocks as
+    /// needed. Returns the block writes to persist (data blocks plus any
+    /// bitmap updates) — the caller pushes them through the buffer cache.
+    ///
+    /// Returns `Err` if the file does not exist or the disk fills up.
+    pub fn write(
+        &mut self,
+        file: FileId,
+        offset: u64,
+        bytes: u64,
+    ) -> Result<Vec<FsWrite>, &'static str> {
+        if bytes == 0 {
+            return Ok(Vec::new());
+        }
+        if !self.files.contains_key(&file) {
+            return Err("no such file");
+        }
+        let bs = self.block_size as u64;
+        let first = offset / bs;
+        let last = (offset + bytes - 1) / bs;
+        let mut out = Vec::new();
+        self.version += 1;
+        let version = self.version;
+        for idx in first..=last {
+            let existing = self.files.get(&file).expect("checked").blocks.get(&idx).copied();
+            let vba = match existing {
+                Some(v) => v,
+                None => {
+                    let Some((vba, bmw)) = self.alloc_block() else {
+                        return Err("enospc");
+                    };
+                    // Dedupe consecutive bitmap writes to the same group.
+                    if out.last().map(|w: &FsWrite| w.vba) != Some(bmw.vba) {
+                        out.push(bmw);
+                    } else {
+                        *out.last_mut().expect("nonempty") = bmw;
+                    }
+                    self.files
+                        .get_mut(&file)
+                        .expect("checked")
+                        .blocks
+                        .insert(idx, vba);
+                    vba
+                }
+            };
+            // Content fingerprint: (file, block index, version).
+            let fp = file.0 ^ idx.wrapping_mul(0x9E37_79B9) ^ version.wrapping_mul(0xDEAD_BEEF);
+            out.push(FsWrite {
+                vba,
+                data: BlockData::Opaque(fp),
+            });
+        }
+        let inode = self.files.get_mut(&file).expect("checked");
+        inode.size = inode.size.max(offset + bytes);
+        Ok(out)
+    }
+
+    /// Resolves `[offset, offset+bytes)` of `file` to vbas for reading.
+    /// Holes (never-written blocks) are absent from the result — they read
+    /// as zeros with no I/O.
+    pub fn read_vbas(&self, file: FileId, offset: u64, bytes: u64) -> Result<Vec<u64>, &'static str> {
+        let inode = self.files.get(&file).ok_or("no such file")?;
+        if bytes == 0 {
+            return Ok(Vec::new());
+        }
+        let bs = self.block_size as u64;
+        let first = offset / bs;
+        let last = (offset + bytes - 1) / bs;
+        Ok((first..=last)
+            .filter_map(|idx| inode.blocks.get(&idx).copied())
+            .collect())
+    }
+
+    /// Deletes a file, freeing its blocks. Returns the bitmap writes to
+    /// persist and the freed vbas (for cache invalidation).
+    pub fn delete(&mut self, file: FileId) -> Result<(Vec<FsWrite>, Vec<u64>), &'static str> {
+        let inode = self.files.remove(&file).ok_or("no such file")?;
+        let mut freed: Vec<u64> = inode.blocks.values().copied().collect();
+        freed.sort_unstable();
+        // Batch bitmap updates per group.
+        let mut touched: HashMap<u32, BitmapBlock> = HashMap::new();
+        for &vba in &freed {
+            let g = (vba / self.blocks_per_group as u64) as u32;
+            let bm = touched
+                .entry(g)
+                .or_insert_with(|| self.groups[g as usize].clone());
+            let bit = (vba - bm.group_start) as u32;
+            *bm = bm.with(bit, false);
+        }
+        let mut writes = Vec::new();
+        for (g, bm) in touched {
+            self.groups[g as usize] = bm.clone();
+            writes.push(FsWrite {
+                vba: self.bitmap_vba(g),
+                data: BlockData::Bitmap(bm),
+            });
+        }
+        writes.sort_by_key(|w| w.vba);
+        Ok((writes, freed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> Ext3Fs {
+        Ext3Fs::format(10_000, 4096, 1000)
+    }
+
+    #[test]
+    fn format_reserves_bitmap_blocks() {
+        let f = fs();
+        assert_eq!(f.allocated_blocks(), 0);
+        // Bitmap vbas at group starts.
+        assert_eq!(f.bitmap_vba(0), 0);
+        assert_eq!(f.bitmap_vba(3), 3000);
+    }
+
+    #[test]
+    fn write_allocates_blocks_and_updates_bitmaps() {
+        let mut f = fs();
+        f.create(FileId(1)).unwrap();
+        // 3 blocks worth of data.
+        let writes = f.write(FileId(1), 0, 3 * 4096).unwrap();
+        let bitmap_writes = writes
+            .iter()
+            .filter(|w| matches!(w.data, BlockData::Bitmap(_)))
+            .count();
+        let data_writes = writes.len() - bitmap_writes;
+        assert_eq!(data_writes, 3);
+        assert!(bitmap_writes >= 1, "allocation persisted a bitmap");
+        assert_eq!(f.allocated_blocks(), 3);
+        assert_eq!(f.size_of(FileId(1)), Some(3 * 4096));
+    }
+
+    #[test]
+    fn rewrite_does_not_reallocate() {
+        let mut f = fs();
+        f.create(FileId(1)).unwrap();
+        let w1 = f.write(FileId(1), 0, 4096).unwrap();
+        let w2 = f.write(FileId(1), 0, 4096).unwrap();
+        assert_eq!(f.allocated_blocks(), 1);
+        // Rewrite has no bitmap update and different content.
+        assert!(w2.iter().all(|w| matches!(w.data, BlockData::Opaque(_))));
+        let d1 = w1.iter().find(|w| matches!(w.data, BlockData::Opaque(_))).unwrap();
+        let d2 = &w2[0];
+        assert_eq!(d1.vba, d2.vba);
+        assert_ne!(d1.data, d2.data, "new version, new content");
+    }
+
+    #[test]
+    fn sequential_writes_allocate_contiguously() {
+        let mut f = fs();
+        f.create(FileId(1)).unwrap();
+        let writes = f.write(FileId(1), 0, 10 * 4096).unwrap();
+        let data_vbas: Vec<u64> = writes
+            .iter()
+            .filter(|w| matches!(w.data, BlockData::Opaque(_)))
+            .map(|w| w.vba)
+            .collect();
+        for pair in data_vbas.windows(2) {
+            assert_eq!(pair[1], pair[0] + 1, "contiguous allocation");
+        }
+    }
+
+    #[test]
+    fn delete_frees_blocks_in_bitmaps() {
+        let mut f = fs();
+        f.create(FileId(1)).unwrap();
+        let _ = f.write(FileId(1), 0, 5 * 4096).unwrap();
+        assert_eq!(f.allocated_blocks(), 5);
+        let (writes, freed) = f.delete(FileId(1)).unwrap();
+        assert_eq!(freed.len(), 5);
+        assert_eq!(f.allocated_blocks(), 0);
+        assert!(writes
+            .iter()
+            .all(|w| matches!(w.data, BlockData::Bitmap(_))));
+        assert!(!f.exists(FileId(1)));
+    }
+
+    #[test]
+    fn read_vbas_skips_holes() {
+        let mut f = fs();
+        f.create(FileId(1)).unwrap();
+        // Write only the third block.
+        let _ = f.write(FileId(1), 2 * 4096, 4096).unwrap();
+        let vbas = f.read_vbas(FileId(1), 0, 3 * 4096).unwrap();
+        assert_eq!(vbas.len(), 1);
+    }
+
+    #[test]
+    fn disk_fills_up_with_enospc() {
+        let mut f = Ext3Fs::format(64, 4096, 32);
+        f.create(FileId(1)).unwrap();
+        // 62 data blocks available (2 bitmaps).
+        let r = f.write(FileId(1), 0, 63 * 4096);
+        assert_eq!(r, Err("enospc"));
+        assert_eq!(f.enospc, 1);
+    }
+
+    #[test]
+    fn create_twice_fails() {
+        let mut f = fs();
+        f.create(FileId(1)).unwrap();
+        assert_eq!(f.create(FileId(1)), Err("exists"));
+    }
+}

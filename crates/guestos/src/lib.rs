@@ -1,0 +1,35 @@
+//! A miniature paravirtualized guest kernel.
+//!
+//! This crate models the Linux guest the paper modifies (§4.1–4.2), at the
+//! level of mechanism the temporal firewall needs: a thread scheduler whose
+//! `schedule()` can selectively stop thread classes, a jiffies timer wheel
+//! driven by (virtualizable) timer interrupts, IRQ/softirq dispatch with
+//! firewall masks, paravirtual time via a shared-info page plus TSC
+//! interpolation, a socket layer over a real mini-TCP ([`net::tcp`]), and
+//! an ext3-like filesystem with allocation bitmaps (what the free-block
+//! snoop decodes) behind a buffer cache.
+//!
+//! The kernel is plain data (`Clone`): a local checkpoint *is* a clone of
+//! this structure plus device state, which is exactly the paper's framing —
+//! the mechanism is cheap to express, the *cost* (save time, downtime) is
+//! modeled by the `vmm` crate that drives this kernel.
+//!
+//! Guest applications implement [`GuestProg`]: coroutine-style state
+//! machines issuing one (possibly blocking) [`Syscall`] at a time.
+
+pub mod actions;
+pub mod firewall;
+pub mod fs;
+pub mod kernel;
+pub mod net;
+pub mod prog;
+pub mod sched;
+pub mod timer;
+
+pub use actions::{BlockBatch, BlockBatchOp, GuestAction};
+pub use firewall::FirewallState;
+pub use kernel::{Kernel, KernelConfig};
+pub use net::tcp::{TcpConn, TcpSegment, TcpState, TcpStats, MSS};
+pub use net::{NetTrace, PacketDir, PacketRecord};
+pub use prog::{GuestProg, ProgId, Syscall, SysRet};
+pub use sched::{Tid, ThreadClass};

@@ -1,0 +1,180 @@
+//! The socket table: fd allocation, demultiplexing, listener backlogs.
+
+use std::collections::{HashMap, VecDeque};
+
+use hwsim::NodeAddr;
+
+use crate::net::tcp::{AppMsg, TcpConn, TcpSegment};
+use crate::prog::SockFd;
+
+/// One open socket.
+#[derive(Clone)]
+pub struct SockEntry {
+    pub conn: TcpConn,
+    pub remote: NodeAddr,
+    /// Application messages delivered by the stream, awaiting `Recv`.
+    pub inbox: VecDeque<AppMsg>,
+}
+
+/// A listening port.
+#[derive(Clone, Default)]
+pub struct Listener {
+    /// Connections that completed their handshake, awaiting `Accept`.
+    pub ready: VecDeque<SockFd>,
+}
+
+/// All sockets of one guest kernel.
+#[derive(Clone, Default)]
+pub struct SocketTable {
+    next_fd: u32,
+    next_ephemeral: u16,
+    socks: HashMap<u32, SockEntry>,
+    listeners: HashMap<u16, Listener>,
+    /// (local port, remote port, remote addr) → fd.
+    demux: HashMap<(u16, u16, NodeAddr), u32>,
+}
+
+impl SocketTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SocketTable {
+            next_fd: 1,
+            next_ephemeral: 32768,
+            ..SocketTable::default()
+        }
+    }
+
+    /// Number of open sockets.
+    pub fn len(&self) -> usize {
+        self.socks.len()
+    }
+
+    /// True if no sockets are open.
+    pub fn is_empty(&self) -> bool {
+        self.socks.is_empty()
+    }
+
+    /// Allocates an ephemeral local port.
+    pub fn ephemeral_port(&mut self) -> u16 {
+        let p = self.next_ephemeral;
+        self.next_ephemeral = self.next_ephemeral.wrapping_add(1).max(32768);
+        p
+    }
+
+    /// Opens a listener; idempotent.
+    pub fn listen(&mut self, port: u16) {
+        self.listeners.entry(port).or_default();
+    }
+
+    /// True if `port` has a listener.
+    pub fn listening(&self, port: u16) -> bool {
+        self.listeners.contains_key(&port)
+    }
+
+    /// Registers a connection, returning its fd.
+    pub fn register(&mut self, conn: TcpConn, remote: NodeAddr) -> SockFd {
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.demux
+            .insert((conn.local_port, conn.remote_port, remote), fd);
+        self.socks.insert(
+            fd,
+            SockEntry {
+                conn,
+                remote,
+                inbox: VecDeque::new(),
+            },
+        );
+        SockFd(fd)
+    }
+
+    /// Finds the socket a segment from `src` belongs to.
+    pub fn demux(&self, src: NodeAddr, seg: &TcpSegment) -> Option<SockFd> {
+        self.demux
+            .get(&(seg.dst_port, seg.src_port, src))
+            .map(|&fd| SockFd(fd))
+    }
+
+    /// Mutable access to a socket.
+    pub fn get_mut(&mut self, fd: SockFd) -> Option<&mut SockEntry> {
+        self.socks.get_mut(&fd.0)
+    }
+
+    /// Immutable access to a socket.
+    pub fn get(&self, fd: SockFd) -> Option<&SockEntry> {
+        self.socks.get(&fd.0)
+    }
+
+    /// Iterates all sockets mutably (timer ticks).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (SockFd, &mut SockEntry)> {
+        self.socks.iter_mut().map(|(&fd, e)| (SockFd(fd), e))
+    }
+
+    /// Iterates all sockets.
+    pub fn iter(&self) -> impl Iterator<Item = (SockFd, &SockEntry)> {
+        self.socks.iter().map(|(&fd, e)| (SockFd(fd), e))
+    }
+
+    /// Marks a handshake-complete passive connection ready for `Accept`.
+    pub fn push_ready(&mut self, port: u16, fd: SockFd) {
+        if let Some(l) = self.listeners.get_mut(&port) {
+            l.ready.push_back(fd);
+        }
+    }
+
+    /// Pops a ready connection for `Accept`.
+    pub fn pop_ready(&mut self, port: u16) -> Option<SockFd> {
+        self.listeners.get_mut(&port)?.ready.pop_front()
+    }
+
+    /// Removes a socket.
+    pub fn remove(&mut self, fd: SockFd) {
+        if let Some(e) = self.socks.remove(&fd.0) {
+            self.demux
+                .remove(&(e.conn.local_port, e.conn.remote_port, e.remote));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::tcp::TcpConn;
+
+    #[test]
+    fn register_and_demux_roundtrip() {
+        let mut t = SocketTable::new();
+        let (conn, syn) = TcpConn::connect(1000, 80, 0);
+        let fd = t.register(conn, NodeAddr(9));
+        // A reply from the server (ports swapped) demuxes to our fd.
+        let mut reply = syn.clone();
+        reply.src_port = 80;
+        reply.dst_port = 1000;
+        assert_eq!(t.demux(NodeAddr(9), &reply), Some(fd));
+        // Same ports from a different host do not.
+        assert_eq!(t.demux(NodeAddr(8), &reply), None);
+        t.remove(fd);
+        assert_eq!(t.demux(NodeAddr(9), &reply), None);
+    }
+
+    #[test]
+    fn listener_backlog_fifo() {
+        let mut t = SocketTable::new();
+        t.listen(80);
+        assert!(t.listening(80));
+        t.push_ready(80, SockFd(5));
+        t.push_ready(80, SockFd(6));
+        assert_eq!(t.pop_ready(80), Some(SockFd(5)));
+        assert_eq!(t.pop_ready(80), Some(SockFd(6)));
+        assert_eq!(t.pop_ready(80), None);
+    }
+
+    #[test]
+    fn ephemeral_ports_advance() {
+        let mut t = SocketTable::new();
+        let a = t.ephemeral_port();
+        let b = t.ephemeral_port();
+        assert_ne!(a, b);
+        assert!(a >= 32768);
+    }
+}

@@ -1,0 +1,303 @@
+//! Property-based tests over the guest kernel's core data structures:
+//! TCP reliability under arbitrary loss, buffer-cache equivalence with a
+//! reference model, filesystem allocation invariants, timer-wheel
+//! completeness, and the temporal-firewall time-freeze property.
+
+use std::collections::HashMap;
+
+use cowstore::BlockData;
+use guestos::fs::{BufferCache, Ext3Fs};
+use guestos::net::tcp::TcpConn;
+use guestos::prog::FileId;
+use guestos::timer::{sleep_to_wake_jiffy, TimerWheel};
+use guestos::Tid;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// TCP: exactly-once in-order byte delivery under arbitrary loss.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever subset of data segments the network drops, the receiver's
+    /// application sees exactly the bytes that were sent, and the sender
+    /// repairs every hole (conservation through retransmission).
+    #[test]
+    fn tcp_delivers_every_byte_under_loss(
+        total_kb in 1..200u64,
+        drops in prop::collection::hash_set(0..400usize, 0..40),
+    ) {
+        let total = total_kb * 1024;
+        let (mut a, syn) = TcpConn::connect(1000, 2000, 0);
+        let (mut b, synack) = TcpConn::accept(2000, 1000, &syn, 0);
+        let fx = a.on_segment(&synack, 0);
+        for seg in fx.tx {
+            let _ = b.on_segment(&seg, 0);
+        }
+        prop_assert!(a.established() && b.established());
+
+        let mut now: u64 = 0;
+        let mut sent = 0u64;
+        let mut a_to_b: u64 = 0; // Data-segment counter for drop decisions.
+        let mut guard = 0;
+        while b.stats.bytes_delivered < total {
+            guard += 1;
+            prop_assert!(guard < 100_000, "transfer stuck at {}/{}", b.stats.bytes_delivered, total);
+            now += 1_000_000; // 1 ms per round.
+            // App keeps the send buffer full.
+            let mut tx = Vec::new();
+            if sent < total {
+                let (n, t) = a.send(total - sent, None, now);
+                sent += n;
+                tx.extend(t);
+            }
+            tx.extend(a.on_tick(now));
+            // Deliver surviving segments to B; collect B's ACKs.
+            let mut acks = Vec::new();
+            for seg in tx {
+                if seg.len > 0 {
+                    a_to_b += 1;
+                    if drops.contains(&(a_to_b as usize)) {
+                        continue;
+                    }
+                }
+                let fx = b.on_segment(&seg, now);
+                acks.extend(fx.tx);
+            }
+            let _ = b.recv(u64::MAX);
+            for ack in acks {
+                let fx = a.on_segment(&ack, now);
+                for seg in fx.tx {
+                    if seg.len > 0 {
+                        a_to_b += 1;
+                        if drops.contains(&(a_to_b as usize)) {
+                            continue;
+                        }
+                    }
+                    let fx2 = b.on_segment(&seg, now);
+                    for a2 in fx2.tx {
+                        let _ = a.on_segment(&a2, now);
+                    }
+                }
+                let _ = b.recv(u64::MAX);
+            }
+        }
+        prop_assert_eq!(b.stats.bytes_delivered, total, "exact byte count");
+    }
+
+    /// The frozen-clock property at the TCP layer: however long the
+    /// connection sits with unacknowledged data, no retransmission timer
+    /// can fire while virtual time stands still.
+    #[test]
+    fn tcp_rto_never_fires_under_frozen_clock(ticks in 1..500u32, freeze_ns in 0..u32::MAX) {
+        let (mut a, syn) = TcpConn::connect(1, 2, 0);
+        let (b, synack) = TcpConn::accept(2, 1, &syn, 0);
+        let _ = a.on_segment(&synack, 0);
+        let (_, tx) = a.send(100_000, None, freeze_ns as u64);
+        prop_assert!(!tx.is_empty());
+        let _ = b;
+        for _ in 0..ticks {
+            prop_assert!(a.on_tick(freeze_ns as u64).is_empty());
+        }
+        prop_assert_eq!(a.stats.timeouts, 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Buffer cache vs reference model.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum CacheOp {
+    Read(u64),
+    Put(u64, u64, bool),
+    TakeDirty(usize),
+    Invalidate(u64),
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        3 => (0..64u64).prop_map(CacheOp::Read),
+        4 => (0..64u64, any::<u64>(), any::<bool>()).prop_map(|(v, d, w)| CacheOp::Put(v, d, w)),
+        1 => (1..16usize).prop_map(CacheOp::TakeDirty),
+        1 => (0..64u64).prop_map(CacheOp::Invalidate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The O(1) LRU cache never exceeds capacity, never loses a dirty
+    /// block silently (every dirty block is either still cached, handed
+    /// back by `take_dirty`, or returned as an eviction), and reads always
+    /// return the latest written content.
+    #[test]
+    fn cache_honors_capacity_and_dirty_accounting(
+        cap in 2..16usize,
+        ops in prop::collection::vec(cache_op(), 1..200),
+    ) {
+        let mut cache = BufferCache::new(cap);
+        let mut latest: HashMap<u64, u64> = HashMap::new();
+        // Dirty blocks the cache is responsible for.
+        let mut dirty_owned: HashMap<u64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                CacheOp::Read(vba) => {
+                    if let Some(data) = cache.read(vba) {
+                        prop_assert_eq!(data, BlockData::Opaque(latest[&vba]));
+                    }
+                }
+                CacheOp::Put(vba, d, dirty) => {
+                    latest.insert(vba, d);
+                    // A put over an already-dirty block keeps it dirty (the
+                    // kernel never clean-overwrites, but the structure's
+                    // semantics are content-updating either way).
+                    if dirty || dirty_owned.contains_key(&vba) {
+                        dirty_owned.insert(vba, d);
+                    }
+                    if let Some((ev_vba, ev_data)) = cache.put(vba, BlockData::Opaque(d), dirty) {
+                        // An evicted dirty block must carry its latest data.
+                        let want = dirty_owned.remove(&ev_vba).expect("evicted block was dirty");
+                        prop_assert_eq!(ev_data, BlockData::Opaque(want));
+                    }
+                }
+                CacheOp::TakeDirty(n) => {
+                    for (vba, data) in cache.take_dirty(n) {
+                        let want = dirty_owned.remove(&vba).expect("taken block was dirty");
+                        prop_assert_eq!(data, BlockData::Opaque(want));
+                    }
+                }
+                CacheOp::Invalidate(vba) => {
+                    cache.invalidate(vba);
+                    dirty_owned.remove(&vba);
+                    latest.remove(&vba);
+                }
+            }
+            prop_assert!(cache.len() <= cap, "capacity violated");
+            prop_assert!(cache.dirty_count() <= cache.len());
+        }
+        // Every dirty block we still own must be in the cache with the
+        // right content.
+        for (vba, d) in &dirty_owned {
+            prop_assert!(cache.contains(*vba), "dirty block {} lost", vba);
+            prop_assert_eq!(cache.read(*vba), Some(BlockData::Opaque(*d)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Filesystem allocation invariants.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Allocation bookkeeping: allocated_blocks always equals the blocks
+    /// reachable from live files; deletes free everything; no double
+    /// allocation ever happens.
+    #[test]
+    fn fs_allocation_is_consistent(
+        ops in prop::collection::vec(
+            (0..8u64, 0..6u64, any::<bool>()),
+            1..60
+        ),
+    ) {
+        let mut fs = Ext3Fs::format(4096, 4096, 512);
+        let mut live_blocks: HashMap<u64, Vec<u64>> = HashMap::new();
+        for (file, blocks, delete) in ops {
+            let fid = FileId(file);
+            if delete {
+                if fs.exists(fid) {
+                    let (_, freed) = fs.delete(fid).unwrap();
+                    let mut had: Vec<u64> = live_blocks.remove(&file).unwrap_or_default();
+                    had.sort_unstable();
+                    let mut freed = freed;
+                    freed.sort_unstable();
+                    prop_assert_eq!(freed, had, "delete freed a different set");
+                }
+            } else {
+                if !fs.exists(fid) {
+                    fs.create(fid).unwrap();
+                    live_blocks.entry(file).or_default();
+                }
+                let offset = live_blocks[&file].len() as u64 * 4096;
+                if blocks > 0 {
+                    if let Ok(writes) = fs.write(fid, offset, blocks * 4096) {
+                        for w in writes {
+                            if matches!(w.data, BlockData::Opaque(_)) {
+                                // Freshly allocated data blocks only; a
+                                // rewrite would reuse, but offsets only grow.
+                                let all: Vec<u64> =
+                                    live_blocks.values().flatten().copied().collect();
+                                prop_assert!(
+                                    !all.contains(&w.vba) ||
+                                    live_blocks[&file].contains(&w.vba),
+                                    "double allocation of {}", w.vba
+                                );
+                                if !live_blocks[&file].contains(&w.vba) {
+                                    live_blocks.get_mut(&file).unwrap().push(w.vba);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let expect: u64 = live_blocks.values().map(|v| v.len() as u64).sum();
+            prop_assert_eq!(fs.allocated_blocks(), expect, "allocation count drifted");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timer wheel completeness.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every armed timer fires exactly once, at the first expire() whose
+    /// jiffy reaches it, in jiffy order.
+    #[test]
+    fn timer_wheel_fires_everything_once(
+        arms in prop::collection::vec((0..200u64, 0..100u32), 1..80),
+        step in 1..50u64,
+    ) {
+        let mut w = TimerWheel::new();
+        for &(j, tid) in &arms {
+            w.arm(j, Tid(tid));
+        }
+        let mut fired: Vec<(u64, Tid)> = Vec::new();
+        let mut j = 0;
+        while !w.is_empty() {
+            j += step;
+            for tid in w.expire(j) {
+                fired.push((j, tid));
+            }
+            prop_assert!(j < 1_000, "wheel never drained");
+        }
+        prop_assert_eq!(fired.len(), arms.len(), "lost or duplicated timers");
+        // Each fires at the first step boundary >= its arm jiffy.
+        let mut remaining = arms.clone();
+        for (at, tid) in fired {
+            let pos = remaining
+                .iter()
+                .position(|&(j0, t0)| Tid(t0) == tid && j0 <= at && j0 + step > at - ((at - 1) % step))
+                .or_else(|| remaining.iter().position(|&(j0, t0)| Tid(t0) == tid && j0 <= at));
+            prop_assert!(pos.is_some(), "timer fired that was never armed");
+            remaining.remove(pos.unwrap());
+        }
+    }
+
+    /// usleep rounding: the wake jiffy is always strictly in the future
+    /// and sleeps at least the requested time once tick quantization is
+    /// accounted for.
+    #[test]
+    fn sleep_rounding_bounds(now in 0..1_000_000u64, ns in 0..10_000_000_000u64) {
+        let tick = 10_000_000u64;
+        let wake = sleep_to_wake_jiffy(now, ns, tick);
+        prop_assert!(wake > now, "wake not in the future");
+        let slept_ns = (wake - now - 1) * tick; // Worst case: armed just after a tick.
+        prop_assert!(slept_ns + tick > ns, "woke too early even in the best case");
+    }
+}

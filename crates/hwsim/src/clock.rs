@@ -1,0 +1,240 @@
+//! Drifting hardware clocks and the time-stamp counter (TSC).
+//!
+//! Each simulated host owns a [`HardwareClock`] whose reading diverges from
+//! true simulation time by an initial offset plus frequency drift, and which
+//! NTP (the `clocksync` crate) disciplines via step and slew adjustments —
+//! the same `adjtime`-style interface a real kernel exposes. The residual
+//! clock error *is* the checkpoint skew the paper measures (§4.3, §7.1), so
+//! the clock model is the heart of the transparency evaluation.
+
+use sim::{SimDuration, SimTime};
+
+/// Nanoseconds, signed, for clock errors and adjustments.
+pub type NanosI = i64;
+
+/// A free-running hardware clock with frequency drift and discipline hooks.
+///
+/// The clock is piecewise linear in true time: at true instant `anchor` it
+/// read `reading_ns`, advancing at `rate` clock-seconds per true second.
+/// `rate` combines intrinsic drift with any NTP slew currently applied.
+///
+/// # Examples
+///
+/// ```
+/// use hwsim::HardwareClock;
+/// use sim::SimTime;
+///
+/// // A clock 1 ms ahead, gaining 50 µs per second (+50 ppm).
+/// let clock = HardwareClock::new(1_000_000, 50.0);
+/// let now = SimTime::from_nanos(10_000_000_000); // true t = 10 s
+/// let err = clock.error_ns(now);
+/// assert!((err - 1_500_000.0).abs() < 1.0); // 1 ms + 50 µs/s × 10 s
+/// ```
+#[derive(Clone, Debug)]
+pub struct HardwareClock {
+    anchor: SimTime,
+    reading_ns: f64,
+    intrinsic_rate: f64,
+    slew_ppm: f64,
+}
+
+impl HardwareClock {
+    /// Creates a clock with an initial offset from true time (ns) and a
+    /// constant intrinsic drift in parts per million (positive = fast).
+    pub fn new(initial_offset_ns: NanosI, drift_ppm: f64) -> Self {
+        HardwareClock {
+            anchor: SimTime::ZERO,
+            reading_ns: initial_offset_ns as f64,
+            intrinsic_rate: 1.0 + drift_ppm * 1e-6,
+            slew_ppm: 0.0,
+        }
+    }
+
+    fn rate(&self) -> f64 {
+        self.intrinsic_rate + self.slew_ppm * 1e-6
+    }
+
+    fn reading_at(&self, now: SimTime) -> f64 {
+        let dt = now.saturating_duration_since(self.anchor).as_nanos() as f64;
+        self.reading_ns + dt * self.rate()
+    }
+
+    /// Folds elapsed true time into the stored reading, moving the anchor.
+    fn advance_to(&mut self, now: SimTime) {
+        self.reading_ns = self.reading_at(now);
+        self.anchor = self.anchor.max(now);
+    }
+
+    /// Reads the clock at true time `now`, as nanoseconds since the epoch
+    /// *according to this clock*.
+    pub fn read_ns(&self, now: SimTime) -> f64 {
+        self.reading_at(now)
+    }
+
+    /// Reads the clock as a [`SimTime`]-shaped value (clamped at zero).
+    pub fn read(&self, now: SimTime) -> SimTime {
+        SimTime::from_nanos(self.reading_at(now).max(0.0).round() as u64)
+    }
+
+    /// The clock's current error versus true time, in nanoseconds
+    /// (positive = clock is ahead).
+    pub fn error_ns(&self, now: SimTime) -> f64 {
+        self.reading_at(now) - now.as_nanos() as f64
+    }
+
+    /// Applies a step adjustment of `delta_ns` (positive moves forward).
+    pub fn step(&mut self, now: SimTime, delta_ns: f64) {
+        self.advance_to(now);
+        self.reading_ns += delta_ns;
+    }
+
+    /// Sets the slew component (ppm adjustment added to the intrinsic rate),
+    /// replacing any previous slew. This mirrors `adjtimex` frequency mode.
+    pub fn set_slew_ppm(&mut self, now: SimTime, slew_ppm: f64) {
+        self.advance_to(now);
+        self.slew_ppm = slew_ppm;
+    }
+
+    /// Current slew in ppm.
+    pub fn slew_ppm(&self) -> f64 {
+        self.slew_ppm
+    }
+
+    /// Returns the true time at which this clock will read `target_ns`.
+    ///
+    /// Used to schedule "checkpoint at (local clock) time T" events: the
+    /// coordinator names a clock reading, each node converts it to a true
+    /// event time through its own (imperfect) clock, and the conversion
+    /// error is exactly the residual synchronization skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock would never reach `target_ns` (non-positive
+    /// rate), which cannot happen for realistic drift values.
+    pub fn when_reads(&self, now: SimTime, target_ns: f64) -> SimTime {
+        let rate = self.rate();
+        assert!(rate > 0.0, "clock is stopped or running backwards");
+        let cur = self.reading_at(now);
+        if target_ns <= cur {
+            return now;
+        }
+        let dt_true = (target_ns - cur) / rate;
+        now + SimDuration::from_nanos(dt_true.round() as u64)
+    }
+}
+
+/// A time-stamp counter: monotonically counting CPU cycles since boot.
+///
+/// Guests interpolate fine-grained time from the TSC between shared-page
+/// updates (paper §4.2); the hypervisor virtualizes it across checkpoints by
+/// maintaining an offset so the guest never sees the downtime.
+#[derive(Clone, Debug)]
+pub struct Tsc {
+    boot: SimTime,
+    hz: f64,
+    drift_ppm: f64,
+}
+
+impl Tsc {
+    /// Creates a TSC that started counting at `boot`, at `hz` nominal cycles
+    /// per second with the given frequency error.
+    pub fn new(boot: SimTime, hz: f64, drift_ppm: f64) -> Self {
+        Tsc {
+            boot,
+            hz,
+            drift_ppm,
+        }
+    }
+
+    /// Nominal frequency in Hz.
+    pub fn hz(&self) -> f64 {
+        self.hz
+    }
+
+    /// Reads the raw cycle count at true time `now`.
+    pub fn read(&self, now: SimTime) -> u64 {
+        let dt = now.saturating_duration_since(self.boot).as_secs_f64();
+        (dt * self.hz * (1.0 + self.drift_ppm * 1e-6)).round() as u64
+    }
+
+    /// Converts a cycle delta to nanoseconds at the nominal frequency —
+    /// the same scale factor the guest kernel uses for interpolation.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.hz * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_nanos((s * 1e9) as u64)
+    }
+
+    #[test]
+    fn perfect_clock_tracks_truth() {
+        let c = HardwareClock::new(0, 0.0);
+        assert_eq!(c.error_ns(t(100.0)), 0.0);
+        assert_eq!(c.read(t(5.0)), t(5.0));
+    }
+
+    #[test]
+    fn drift_accumulates_linearly() {
+        // +50 ppm: after 100 s the clock is 5 ms ahead.
+        let c = HardwareClock::new(0, 50.0);
+        let err = c.error_ns(t(100.0));
+        assert!((err - 5_000_000.0).abs() < 1.0, "err={err}");
+    }
+
+    #[test]
+    fn step_shifts_reading() {
+        let mut c = HardwareClock::new(0, 0.0);
+        c.step(t(10.0), -250_000.0);
+        assert!((c.error_ns(t(10.0)) + 250_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slew_changes_rate_from_now_on() {
+        let mut c = HardwareClock::new(0, 100.0);
+        // At t=10 the clock is 1 ms ahead. Slew -100 ppm cancels drift.
+        c.set_slew_ppm(t(10.0), -100.0);
+        let e10 = c.error_ns(t(10.0));
+        let e20 = c.error_ns(t(20.0));
+        assert!((e10 - 1_000_000.0).abs() < 1.0);
+        assert!((e20 - e10).abs() < 1.0, "error kept growing: {e10} -> {e20}");
+    }
+
+    #[test]
+    fn when_reads_inverts_read() {
+        let mut c = HardwareClock::new(123_456, 75.0);
+        c.set_slew_ppm(t(3.0), -20.0);
+        let now = t(5.0);
+        let target = c.read_ns(now) + 2_000_000_000.0; // 2 clock-seconds ahead
+        let fire = c.when_reads(now, target);
+        let reading = c.read_ns(fire);
+        assert!((reading - target).abs() < 10.0, "reading={reading} target={target}");
+    }
+
+    #[test]
+    fn when_reads_past_target_fires_now() {
+        let c = HardwareClock::new(0, 0.0);
+        assert_eq!(c.when_reads(t(10.0), 1e9), t(10.0));
+    }
+
+    #[test]
+    fn tsc_counts_cycles() {
+        let tsc = Tsc::new(t(1.0), 3e9, 0.0);
+        assert_eq!(tsc.read(t(2.0)), 3_000_000_000);
+        assert!((tsc.cycles_to_ns(3_000_000) - 1_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_drifting_clocks_diverge_as_expected() {
+        // The checkpoint-skew mechanism: ±50 ppm clocks diverge 100 µs/s.
+        let a = HardwareClock::new(0, 50.0);
+        let b = HardwareClock::new(0, -50.0);
+        let skew = (a.error_ns(t(1.0)) - b.error_ns(t(1.0))).abs();
+        assert!((skew - 100_000.0).abs() < 1.0);
+    }
+}

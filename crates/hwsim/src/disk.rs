@@ -1,0 +1,288 @@
+//! A mechanical disk service-time model (10k-RPM SCSI class).
+//!
+//! The branching-storage evaluation (paper Fig 8/9) depends on *where* I/O
+//! lands: redo-log COW turns random writes into appends, read-before-write
+//! doubles mechanical work, and metadata regions distributed over the disk
+//! add seeks. A position-aware seek + rotation + transfer model reproduces
+//! those relative costs without simulating platters in detail.
+
+use sim::{transmission_time, SimDuration, SimRng, SimTime};
+
+/// Static characteristics of a disk.
+#[derive(Clone, Debug)]
+pub struct DiskProfile {
+    /// Single-track (minimum) seek time.
+    pub min_seek: SimDuration,
+    /// Full-stroke (maximum) seek time.
+    pub max_seek: SimDuration,
+    /// Spindle speed, used for rotational latency (avg = half rotation).
+    pub rpm: u32,
+    /// Media transfer rate in bytes per second.
+    pub transfer_bps: u64,
+    /// Total capacity in blocks.
+    pub blocks: u64,
+    /// Block size in bytes.
+    pub block_size: u32,
+}
+
+impl DiskProfile {
+    /// The 146 GB 10,000 RPM SCSI disks in Emulab pc3000 nodes.
+    pub fn pc3000_scsi() -> Self {
+        DiskProfile {
+            min_seek: SimDuration::from_micros(500),
+            max_seek: SimDuration::from_millis(9),
+            rpm: 10_000,
+            transfer_bps: 70_000_000,
+            blocks: 146_000_000_000 / 4096,
+            block_size: 4096,
+        }
+    }
+
+    /// Duration of one full platter rotation.
+    pub fn rotation(&self) -> SimDuration {
+        SimDuration::from_nanos(60_000_000_000 / self.rpm as u64)
+    }
+}
+
+/// The kind of a disk request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiskOp {
+    Read,
+    Write,
+}
+
+/// A request against the disk: `nblocks` starting at `block`.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskRequest {
+    pub op: DiskOp,
+    pub block: u64,
+    pub nblocks: u64,
+}
+
+/// A disk with head-position state; computes per-request service times.
+///
+/// The model: a request at the current head position streams at the media
+/// rate (track-buffer hit); otherwise it pays a concave seek (square root of
+/// cylinder distance, the standard approximation) plus a uniformly random
+/// rotational delay, then streams.
+#[derive(Clone, Debug)]
+pub struct Disk {
+    profile: DiskProfile,
+    head: u64,
+    /// Running totals for instrumentation.
+    pub stats: DiskStats,
+}
+
+/// Cumulative disk activity counters.
+#[derive(Clone, Debug, Default)]
+pub struct DiskStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub blocks_read: u64,
+    pub blocks_written: u64,
+    pub busy: SimDuration,
+    pub seeks: u64,
+}
+
+impl Disk {
+    /// Creates a disk with its head parked at block 0.
+    pub fn new(profile: DiskProfile) -> Self {
+        Disk {
+            profile,
+            head: 0,
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// The disk's profile.
+    pub fn profile(&self) -> &DiskProfile {
+        &self.profile
+    }
+
+    /// Current head position (block number).
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Computes the service time for `req`, updating head position and
+    /// stats. `rng` supplies the rotational phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request runs past the end of the disk.
+    pub fn service(&mut self, rng: &mut SimRng, req: DiskRequest) -> SimDuration {
+        assert!(
+            req.block + req.nblocks <= self.profile.blocks,
+            "disk request out of range: {} + {} > {}",
+            req.block,
+            req.nblocks,
+            self.profile.blocks
+        );
+        assert!(req.nblocks > 0, "empty disk request");
+        let mut t = SimDuration::ZERO;
+        if req.block != self.head {
+            t += self.seek_time(req.block);
+            // Random rotational phase: uniform in [0, one rotation).
+            let rot = self.profile.rotation().as_nanos();
+            t += SimDuration::from_nanos(rng.range_u64(0, rot));
+            self.stats.seeks += 1;
+        }
+        let bytes = req.nblocks * self.profile.block_size as u64;
+        t += transmission_time(bytes, self.profile.transfer_bps * 8);
+        self.head = req.block + req.nblocks;
+        match req.op {
+            DiskOp::Read => {
+                self.stats.reads += 1;
+                self.stats.blocks_read += req.nblocks;
+            }
+            DiskOp::Write => {
+                self.stats.writes += 1;
+                self.stats.blocks_written += req.nblocks;
+            }
+        }
+        self.stats.busy += t;
+        t
+    }
+
+    fn seek_time(&self, target: u64) -> SimDuration {
+        let dist = self.head.abs_diff(target);
+        if dist == 0 {
+            return SimDuration::ZERO;
+        }
+        let frac = (dist as f64 / self.profile.blocks as f64).sqrt();
+        let min = self.profile.min_seek.as_nanos() as f64;
+        let max = self.profile.max_seek.as_nanos() as f64;
+        SimDuration::from_nanos((min + (max - min) * frac).round() as u64)
+    }
+}
+
+/// A FIFO disk queue tracking when the device becomes free.
+///
+/// Hosts push requests as they arrive; the queue serializes them and reports
+/// each request's completion time so the owner can schedule completion
+/// events.
+#[derive(Clone, Debug)]
+pub struct DiskQueue {
+    disk: Disk,
+    free_at: SimTime,
+}
+
+impl DiskQueue {
+    /// Wraps a disk in a FIFO queue.
+    pub fn new(disk: Disk) -> Self {
+        DiskQueue {
+            disk,
+            free_at: SimTime::ZERO,
+        }
+    }
+
+    /// Submits a request at time `now`; returns its completion time.
+    pub fn submit(&mut self, now: SimTime, rng: &mut SimRng, req: DiskRequest) -> SimTime {
+        let start = self.free_at.max(now);
+        let svc = self.disk.service(rng, req);
+        self.free_at = start + svc;
+        self.free_at
+    }
+
+    /// True if no request is in service at `now`.
+    pub fn idle(&self, now: SimTime) -> bool {
+        self.free_at <= now
+    }
+
+    /// Time at which the device drains, given no further submissions.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// The underlying disk (for stats).
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_disk() -> Disk {
+        Disk::new(DiskProfile {
+            min_seek: SimDuration::from_millis(1),
+            max_seek: SimDuration::from_millis(9),
+            rpm: 10_000,
+            transfer_bps: 70_000_000,
+            blocks: 1_000_000,
+            block_size: 4096,
+        })
+    }
+
+    #[test]
+    fn sequential_access_streams_at_media_rate() {
+        let mut d = small_disk();
+        let mut rng = SimRng::from_seed(1);
+        // Position the head, then stream.
+        let _ = d.service(&mut rng, DiskRequest { op: DiskOp::Write, block: 0, nblocks: 1 });
+        let t = d.service(
+            &mut rng,
+            DiskRequest { op: DiskOp::Write, block: 1, nblocks: 1024 },
+        );
+        let expect = 1024.0 * 4096.0 / 70e6;
+        assert!((t.as_secs_f64() - expect).abs() / expect < 0.01, "t={t}");
+        assert_eq!(d.stats.seeks, 0, "sequential run must not seek");
+    }
+
+    #[test]
+    fn random_access_pays_seek_and_rotation() {
+        let mut d = small_disk();
+        let mut rng = SimRng::from_seed(1);
+        let t = d.service(
+            &mut rng,
+            DiskRequest { op: DiskOp::Read, block: 500_000, nblocks: 1 },
+        );
+        // At least the minimum seek; far more than pure transfer.
+        assert!(t >= SimDuration::from_millis(1), "t={t}");
+        assert_eq!(d.stats.seeks, 1);
+    }
+
+    #[test]
+    fn farther_seeks_cost_more() {
+        let d1 = small_disk();
+        let d2 = small_disk();
+        let near = d1.seek_time(10_000);
+        let far = d2.seek_time(900_000);
+        assert!(far > near);
+        assert!(far <= SimDuration::from_millis(9));
+    }
+
+    #[test]
+    fn queue_serializes_requests() {
+        let mut q = DiskQueue::new(small_disk());
+        let mut rng = SimRng::from_seed(2);
+        let now = SimTime::ZERO;
+        let c1 = q.submit(now, &mut rng, DiskRequest { op: DiskOp::Write, block: 0, nblocks: 100 });
+        let c2 = q.submit(now, &mut rng, DiskRequest { op: DiskOp::Write, block: 100, nblocks: 100 });
+        assert!(c2 > c1, "second request must finish after first");
+        assert!(!q.idle(now));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_request_panics() {
+        let mut d = small_disk();
+        let mut rng = SimRng::from_seed(3);
+        let _ = d.service(
+            &mut rng,
+            DiskRequest { op: DiskOp::Read, block: 999_999, nblocks: 2 },
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = small_disk();
+        let mut rng = SimRng::from_seed(4);
+        let _ = d.service(&mut rng, DiskRequest { op: DiskOp::Write, block: 0, nblocks: 8 });
+        let _ = d.service(&mut rng, DiskRequest { op: DiskOp::Read, block: 8, nblocks: 8 });
+        assert_eq!(d.stats.blocks_written, 8);
+        assert_eq!(d.stats.blocks_read, 8);
+        assert!(d.stats.busy > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,504 @@
+//! The discrete-event engine: components, dispatch context, main loop.
+//!
+//! Components are state machines addressed by [`ComponentId`]; events carry
+//! `Box<dyn Any>` payloads (by convention, each component defines one public
+//! message enum that all senders box). The engine is single-threaded and
+//! fully deterministic: equal-timestamp events fire in schedule order and
+//! random draws come from per-component seeded streams.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use crate::event::{ComponentId, EventId, Scheduler};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// A simulated entity that reacts to events.
+///
+/// Implementations should keep all state explicit (plain data) so that the
+/// checkpointing layers can snapshot guest state with `Clone`.
+pub trait Component: Any {
+    /// Handles one event addressed to this component.
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>);
+
+    /// Upcast for engine-side downcasting; implement as `self`.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast; implement as `self`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Lazily-created per-component RNG streams under one global seed.
+struct RngStore {
+    seed: u64,
+    streams: HashMap<u32, SimRng>,
+}
+
+impl RngStore {
+    fn get(&mut self, id: ComponentId) -> &mut SimRng {
+        let seed = self.seed;
+        self.streams
+            .entry(id.0)
+            .or_insert_with(|| SimRng::for_component(seed, id.0))
+    }
+}
+
+/// The dispatch context handed to [`Component::handle`].
+///
+/// Allows scheduling/cancelling events, drawing random numbers, adding new
+/// components, and requesting a stop — everything a component may do besides
+/// mutating its own state.
+pub struct Ctx<'a> {
+    now: SimTime,
+    self_id: ComponentId,
+    sched: &'a mut Scheduler,
+    rngs: &'a mut RngStore,
+    new_components: &'a mut Vec<(ComponentId, Box<dyn Component>)>,
+    next_component_id: &'a mut u32,
+    stop: &'a mut bool,
+}
+
+impl Ctx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the component currently handling an event.
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Schedules `payload` on `target` after `delay`.
+    pub fn post<T: Any>(&mut self, target: ComponentId, delay: SimDuration, payload: T) -> EventId {
+        self.sched.push(self.now + delay, target, Box::new(payload))
+    }
+
+    /// Schedules `payload` on `target` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past; the simulation cannot rewind.
+    pub fn post_at<T: Any>(&mut self, target: ComponentId, at: SimTime, payload: T) -> EventId {
+        assert!(at >= self.now, "post_at into the past: {at:?} < {:?}", self.now);
+        self.sched.push(at, target, Box::new(payload))
+    }
+
+    /// Schedules `payload` on the current component after `delay`.
+    pub fn post_self<T: Any>(&mut self, delay: SimDuration, payload: T) -> EventId {
+        self.post(self.self_id, delay, payload)
+    }
+
+    /// Cancels a previously scheduled event. Returns false if it already
+    /// fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.sched.cancel(id)
+    }
+
+    /// The current component's random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rngs.get(self.self_id)
+    }
+
+    /// Registers a new component mid-run; it can receive events immediately
+    /// (its slot becomes live as soon as the current handler returns, which
+    /// is before any posted event can fire).
+    pub fn add_component(&mut self, c: Box<dyn Component>) -> ComponentId {
+        let id = ComponentId(*self.next_component_id);
+        *self.next_component_id += 1;
+        self.new_components.push((id, c));
+        id
+    }
+
+    /// Requests that the engine stop after the current event.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// The simulation engine.
+pub struct Engine {
+    now: SimTime,
+    sched: Scheduler,
+    rngs: RngStore,
+    components: Vec<Option<Box<dyn Component>>>,
+    next_component_id: u32,
+    stop: bool,
+    events_dispatched: u64,
+    events_dropped: u64,
+}
+
+impl Engine {
+    /// Creates an engine with the given global random seed.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            sched: Scheduler::new(),
+            rngs: RngStore {
+                seed,
+                streams: HashMap::new(),
+            },
+            components: Vec::new(),
+            next_component_id: 0,
+            stop: false,
+            events_dispatched: 0,
+            events_dropped: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    /// Events dropped because their target slot was empty (removed).
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// Number of live queued events.
+    pub fn pending_events(&self) -> usize {
+        self.sched.len()
+    }
+
+    /// Registers a component and returns its id.
+    pub fn add_component(&mut self, c: Box<dyn Component>) -> ComponentId {
+        let id = ComponentId(self.next_component_id);
+        self.next_component_id += 1;
+        self.ensure_slot(id);
+        self.components[id.0 as usize] = Some(c);
+        id
+    }
+
+    fn ensure_slot(&mut self, id: ComponentId) {
+        if self.components.len() <= id.0 as usize {
+            self.components.resize_with(id.0 as usize + 1, || None);
+        }
+    }
+
+    /// Removes a component, returning it; pending events to it are dropped
+    /// (counted in [`Engine::events_dropped`]) when they fire.
+    pub fn remove_component(&mut self, id: ComponentId) -> Option<Box<dyn Component>> {
+        self.components.get_mut(id.0 as usize).and_then(Option::take)
+    }
+
+    /// Injects an event from outside the simulation after `delay`.
+    pub fn post<T: Any>(&mut self, target: ComponentId, delay: SimDuration, payload: T) -> EventId {
+        self.sched.push(self.now + delay, target, Box::new(payload))
+    }
+
+    /// Injects an event from outside the simulation at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn post_at<T: Any>(&mut self, target: ComponentId, at: SimTime, payload: T) -> EventId {
+        assert!(at >= self.now, "post_at into the past");
+        self.sched.push(at, target, Box::new(payload))
+    }
+
+    /// Cancels a scheduled event from outside the simulation.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.sched.cancel(id)
+    }
+
+    /// Borrows a component, downcast to its concrete type.
+    pub fn component_ref<T: Component>(&self, id: ComponentId) -> Option<&T> {
+        self.components
+            .get(id.0 as usize)?
+            .as_deref()?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutably borrows a component, downcast to its concrete type.
+    pub fn component_mut<T: Component>(&mut self, id: ComponentId) -> Option<&mut T> {
+        self.components
+            .get_mut(id.0 as usize)?
+            .as_deref_mut()?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Runs a closure against a component with a live [`Ctx`], so external
+    /// drivers (tests, experiment controllers) can poke components in a way
+    /// that lets them schedule follow-up events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component does not exist or has the wrong type.
+    pub fn with_component<T: Component, R>(
+        &mut self,
+        id: ComponentId,
+        f: impl FnOnce(&mut T, &mut Ctx<'_>) -> R,
+    ) -> R {
+        let mut slot = self
+            .components
+            .get_mut(id.0 as usize)
+            .and_then(Option::take)
+            .unwrap_or_else(|| panic!("with_component: no component at {id:?}"));
+        let mut pending = Vec::new();
+        let r = {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: id,
+                sched: &mut self.sched,
+                rngs: &mut self.rngs,
+                new_components: &mut pending,
+                next_component_id: &mut self.next_component_id,
+                stop: &mut self.stop,
+            };
+            let t = slot
+                .as_any_mut()
+                .downcast_mut::<T>()
+                .unwrap_or_else(|| panic!("with_component: wrong type at {id:?}"));
+            f(t, &mut ctx)
+        };
+        self.components[id.0 as usize] = Some(slot);
+        for (cid, c) in pending {
+            self.ensure_slot(cid);
+            self.components[cid.0 as usize] = Some(c);
+        }
+        r
+    }
+
+    /// Dispatches the next event. Returns false when the queue is empty or a
+    /// stop was requested.
+    pub fn step(&mut self) -> bool {
+        if self.stop {
+            return false;
+        }
+        let Some(ev) = self.sched.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        let idx = ev.target.0 as usize;
+        let Some(mut comp) = self.components.get_mut(idx).and_then(Option::take) else {
+            self.events_dropped += 1;
+            return true;
+        };
+        let mut pending = Vec::new();
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: ev.target,
+                sched: &mut self.sched,
+                rngs: &mut self.rngs,
+                new_components: &mut pending,
+                next_component_id: &mut self.next_component_id,
+                stop: &mut self.stop,
+            };
+            comp.handle(&mut ctx, ev.payload);
+        }
+        self.components[idx] = Some(comp);
+        for (cid, c) in pending {
+            self.ensure_slot(cid);
+            self.components[cid.0 as usize] = Some(c);
+        }
+        self.events_dispatched += 1;
+        true
+    }
+
+    /// Runs until simulation time `t`: every event with `time <= t` fires,
+    /// then `now` advances to exactly `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        loop {
+            if self.stop {
+                return;
+            }
+            match self.sched.peek_time() {
+                Some(next) if next <= t => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Runs for a span of simulation time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Runs until the event queue drains or a stop is requested.
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// True if a component requested a stop.
+    pub fn stopped(&self) -> bool {
+        self.stop
+    }
+
+    /// Clears a stop request so the engine can continue.
+    pub fn clear_stop(&mut self) {
+        self.stop = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pings itself `remaining` times at a fixed period, recording times.
+    struct Ticker {
+        period: SimDuration,
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+    }
+
+    struct Tick;
+
+    impl Component for Ticker {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
+            assert!(payload.downcast::<Tick>().is_ok());
+            self.fired_at.push(ctx.now());
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.post_self(self.period, Tick);
+            }
+        }
+        crate::component_boilerplate!();
+    }
+
+    /// Forwards a u64 to a partner with +1, until a limit.
+    struct PingPong {
+        partner: Option<ComponentId>,
+        log: Vec<u64>,
+    }
+
+    impl Component for PingPong {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
+            let v = *payload.downcast::<u64>().expect("u64 payload");
+            self.log.push(v);
+            if v < 5 {
+                if let Some(p) = self.partner {
+                    ctx.post(p, SimDuration::from_millis(1), v + 1);
+                }
+            }
+        }
+        crate::component_boilerplate!();
+    }
+
+    #[test]
+    fn ticker_fires_on_schedule() {
+        let mut e = Engine::new(0);
+        let id = e.add_component(Box::new(Ticker {
+            period: SimDuration::from_millis(10),
+            remaining: 3,
+            fired_at: vec![],
+        }));
+        e.post(id, SimDuration::ZERO, Tick);
+        e.run_to_completion();
+        let t = &e.component_ref::<Ticker>(id).unwrap().fired_at;
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[3].as_nanos(), 30_000_000);
+    }
+
+    #[test]
+    fn ping_pong_alternates() {
+        let mut e = Engine::new(0);
+        let a = e.add_component(Box::new(PingPong {
+            partner: None,
+            log: vec![],
+        }));
+        let b = e.add_component(Box::new(PingPong {
+            partner: Some(a),
+            log: vec![],
+        }));
+        e.component_mut::<PingPong>(a).unwrap().partner = Some(b);
+        e.post(a, SimDuration::ZERO, 0u64);
+        e.run_to_completion();
+        assert_eq!(e.component_ref::<PingPong>(a).unwrap().log, vec![0, 2, 4]);
+        assert_eq!(e.component_ref::<PingPong>(b).unwrap().log, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_with_no_events() {
+        let mut e = Engine::new(0);
+        e.run_until(SimTime::from_nanos(123));
+        assert_eq!(e.now().as_nanos(), 123);
+    }
+
+    #[test]
+    fn events_to_removed_components_are_dropped() {
+        let mut e = Engine::new(0);
+        let id = e.add_component(Box::new(PingPong {
+            partner: None,
+            log: vec![],
+        }));
+        e.post(id, SimDuration::from_millis(1), 9u64);
+        e.remove_component(id);
+        e.run_to_completion();
+        assert_eq!(e.events_dropped(), 1);
+    }
+
+    #[test]
+    fn cancel_prevents_dispatch() {
+        let mut e = Engine::new(0);
+        let id = e.add_component(Box::new(PingPong {
+            partner: None,
+            log: vec![],
+        }));
+        let ev = e.post(id, SimDuration::from_millis(1), 9u64);
+        assert!(e.cancel(ev));
+        e.run_to_completion();
+        assert!(e.component_ref::<PingPong>(id).unwrap().log.is_empty());
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        fn trace(seed: u64) -> Vec<SimTime> {
+            struct Jitterer {
+                fired: Vec<SimTime>,
+                left: u32,
+            }
+            struct Go;
+            impl Component for Jitterer {
+                fn handle(&mut self, ctx: &mut Ctx<'_>, _p: Box<dyn Any>) {
+                    self.fired.push(ctx.now());
+                    if self.left > 0 {
+                        self.left -= 1;
+                        let ns = ctx.rng().range_u64(1, 1_000_000);
+                        ctx.post_self(SimDuration::from_nanos(ns), Go);
+                    }
+                }
+                crate::component_boilerplate!();
+            }
+            let mut e = Engine::new(seed);
+            let id = e.add_component(Box::new(Jitterer {
+                fired: vec![],
+                left: 50,
+            }));
+            e.post(id, SimDuration::ZERO, Go);
+            e.run_to_completion();
+            e.component_ref::<Jitterer>(id).unwrap().fired.clone()
+        }
+        assert_eq!(trace(7), trace(7));
+        assert_ne!(trace(7), trace(8));
+    }
+
+    #[test]
+    fn with_component_allows_scheduling() {
+        let mut e = Engine::new(0);
+        let id = e.add_component(Box::new(PingPong {
+            partner: None,
+            log: vec![],
+        }));
+        e.with_component::<PingPong, _>(id, |_c, ctx| {
+            ctx.post_self(SimDuration::from_millis(2), 5u64);
+        });
+        e.run_to_completion();
+        assert_eq!(e.component_ref::<PingPong>(id).unwrap().log, vec![5]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Event identifiers and the time-ordered scheduler queue.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Identifies a component registered with the engine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ComponentId(pub u32);
+
+/// Identifies a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(pub u64);
+
+/// A queued event: fire `payload` at `time` on component `target`.
+pub(crate) struct Scheduled {
+    pub time: SimTime,
+    pub seq: u64,
+    pub id: EventId,
+    pub target: ComponentId,
+    pub payload: Box<dyn Any>,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we need earliest-first.
+        // Ties broken by insertion sequence for determinism.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The pending-event store: a min-heap plus a cancellation tombstone set.
+pub(crate) struct Scheduler {
+    heap: BinaryHeap<Scheduled>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    next_event_id: u64,
+}
+
+impl Scheduler {
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            next_event_id: 0,
+        }
+    }
+
+    /// Schedules `payload` for `target` at absolute `time`.
+    pub fn push(&mut self, time: SimTime, target: ComponentId, payload: Box<dyn Any>) -> EventId {
+        let id = EventId(self.next_event_id);
+        self.next_event_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            time,
+            seq,
+            id,
+            target,
+            payload,
+        });
+        id
+    }
+
+    /// Marks an event cancelled; returns false if it already fired or was
+    /// already cancelled. (Cancellation is lazy: the entry is skipped when
+    /// popped.)
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_event_id {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Pops the next live event, skipping tombstoned ones.
+    pub fn pop(&mut self) -> Option<Scheduled> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id.0) {
+                continue;
+            }
+            return Some(ev);
+        }
+        None
+    }
+
+    /// Returns the firing time of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(ev) = self.heap.peek() {
+            if self.cancelled.contains(&ev.id.0) {
+                let ev = self.heap.pop().expect("peeked entry vanished");
+                self.cancelled.remove(&ev.id.0);
+                continue;
+            }
+            return Some(ev.time);
+        }
+        None
+    }
+
+    /// Number of live events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.push(t(30), ComponentId(0), Box::new(3u32));
+        s.push(t(10), ComponentId(0), Box::new(1u32));
+        s.push(t(20), ComponentId(0), Box::new(2u32));
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop())
+            .map(|e| *e.payload.downcast::<u32>().unwrap())
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_fire_in_push_order() {
+        let mut s = Scheduler::new();
+        for i in 0..10u32 {
+            s.push(t(5), ComponentId(0), Box::new(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop())
+            .map(|e| *e.payload.downcast::<u32>().unwrap())
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut s = Scheduler::new();
+        let a = s.push(t(1), ComponentId(0), Box::new(1u32));
+        s.push(t(2), ComponentId(0), Box::new(2u32));
+        assert!(s.cancel(a));
+        assert!(!s.cancel(a), "double-cancel reports false");
+        let first = s.pop().unwrap();
+        assert_eq!(*first.payload.downcast::<u32>().unwrap(), 2);
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut s = Scheduler::new();
+        let a = s.push(t(1), ComponentId(0), Box::new(()));
+        s.push(t(7), ComponentId(0), Box::new(()));
+        s.cancel(a);
+        assert_eq!(s.peek_time(), Some(t(7)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut s = Scheduler::new();
+        assert!(!s.cancel(EventId(99)));
+    }
+}

@@ -1,0 +1,71 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! This crate is the foundation of the Emulab-checkpoint reproduction: a
+//! single-threaded, fully deterministic event simulator with nanosecond
+//! virtual time. Hosts, links, delay nodes, and testbed servers are
+//! [`Component`]s exchanging typed messages; identical seeds produce
+//! identical traces, which is what makes the time-travel facility's
+//! deterministic replay (paper §6) meaningful and lets the evaluation
+//! measure exact retransmission counts rather than noise.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim::{Component, Ctx, Engine, SimDuration};
+//! use std::any::Any;
+//!
+//! struct Counter(u32);
+//! struct Bump;
+//!
+//! impl Component for Counter {
+//!     fn handle(&mut self, _ctx: &mut Ctx<'_>, _p: Box<dyn Any>) {
+//!         self.0 += 1;
+//!     }
+//!     fn as_any(&self) -> &dyn Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn Any { self }
+//! }
+//!
+//! let mut e = Engine::new(42);
+//! let id = e.add_component(Box::new(Counter(0)));
+//! e.post(id, SimDuration::from_millis(5), Bump);
+//! e.run_to_completion();
+//! assert_eq!(e.component_ref::<Counter>(id).unwrap().0, 1);
+//! ```
+
+mod engine;
+mod event;
+mod rng;
+pub mod stats;
+mod time;
+pub mod trace;
+
+pub use engine::{Component, Ctx, Engine};
+pub use event::{ComponentId, EventId};
+pub use rng::SimRng;
+pub use time::{transmission_time, SimDuration, SimTime};
+
+/// Expands to the [`Component`] `as_any`/`as_any_mut` upcast boilerplate.
+///
+/// Invoke inside an `impl Component for T` block, after `handle`:
+///
+/// ```
+/// use sim::{Component, Ctx};
+/// use std::any::Any;
+///
+/// struct Foo;
+/// impl Component for Foo {
+///     fn handle(&mut self, _ctx: &mut Ctx<'_>, _p: Box<dyn Any>) {}
+///     sim::component_boilerplate!();
+/// }
+/// ```
+#[macro_export]
+macro_rules! component_boilerplate {
+    () => {
+        fn as_any(&self) -> &dyn ::std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
+            self
+        }
+    };
+}

@@ -1,0 +1,166 @@
+//! Deterministic random-number streams.
+//!
+//! Each component gets its own stream derived from the global seed and the
+//! component id, so inserting a new component (or reordering unrelated
+//! events) never perturbs the random draws seen by existing components.
+//! That stability is what makes time-travel *deterministic replay*
+//! reproducible and lets integration tests compare full traces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic per-component random stream.
+///
+/// Thin wrapper over [`StdRng`] with the sampling helpers the simulator
+/// actually needs (jitter draws, Bernoulli loss, ranges).
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a stream from a raw 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives the stream for component `id` under global seed `seed`.
+    ///
+    /// Uses a SplitMix64-style finalizer so adjacent ids land far apart.
+    pub fn for_component(seed: u64, id: u32) -> Self {
+        let mut z = seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::from_seed(z)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit() < p
+        }
+    }
+
+    /// Sample from an exponential distribution with the given mean.
+    ///
+    /// Used for memoryless jitter (interrupt latency tails, LAN queueing).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "non-positive mean");
+        let u = 1.0 - self.unit(); // In (0, 1]; avoids ln(0).
+        -mean * u.ln()
+    }
+
+    /// Sample from a normal distribution via Box–Muller.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative std dev");
+        let u1 = 1.0 - self.unit();
+        let u2 = self.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.range_u64(0, i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random index into a slice of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "index into empty slice");
+        self.range_u64(0, len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::for_component(42, 7);
+        let mut b = SimRng::for_component(42, 7);
+        for _ in 0..100 {
+            assert_eq!(a.range_u64(0, 1 << 40), b.range_u64(0, 1 << 40));
+        }
+    }
+
+    #[test]
+    fn different_components_diverge() {
+        let mut a = SimRng::for_component(42, 7);
+        let mut b = SimRng::for_component(42, 8);
+        let va: Vec<u64> = (0..16).map(|_| a.range_u64(0, 1 << 40)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.range_u64(0, 1 << 40)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::from_seed(1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let mut r = SimRng::from_seed(9);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments_roughly_right() {
+        let mut r = SimRng::from_seed(10);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var was {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::from_seed(11);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

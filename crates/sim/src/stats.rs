@@ -1,0 +1,93 @@
+//! Small statistics helpers used when summarizing experiment results.
+
+/// Arithmetic mean; zero for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; zero for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// The `p`-quantile (0.0–1.0) by nearest-rank on a sorted copy.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `p` is outside `[0, 1]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&p), "p out of range");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = ((p * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    v[rank - 1]
+}
+
+/// Fraction of samples whose absolute deviation from `center` is ≤ `tol`.
+pub fn fraction_within(xs: &[f64], center: f64, tol: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let n = xs.iter().filter(|&&x| (x - center).abs() <= tol).count();
+    n as f64 / xs.len() as f64
+}
+
+/// Minimum of a slice; zero for an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Maximum of a slice; zero for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.97), 5.0);
+    }
+
+    #[test]
+    fn fraction_within_counts() {
+        let xs = [10.0, 10.5, 11.0, 20.0];
+        assert!((fraction_within(&xs, 10.0, 1.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_of_empty_is_zero() {
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(max(&[1.0, 3.0, 2.0]), 3.0);
+    }
+}

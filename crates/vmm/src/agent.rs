@@ -1,0 +1,39 @@
+//! The host-agent extension point.
+//!
+//! The coordinated-checkpoint protocol (the `checkpoint` crate) runs as an
+//! *agent* plugged into each [`crate::VmHost`]: it receives control-network
+//! frames and timer wakeups, and drives the host's checkpoint operations
+//! (`begin_checkpoint`, `resume_guest`). Keeping the protocol out of the
+//! hypervisor mirrors the paper's layering — Xen provides the local
+//! mechanism, the testbed provides coordination.
+
+use hwsim::Frame;
+use sim::Ctx;
+
+use crate::host::VmHost;
+
+/// Protocol logic attached to a host.
+///
+/// The agent is removed from the host for the duration of each callback,
+/// so it receives the host by exclusive reference.
+pub trait HostAgent: Send {
+    /// A control-network frame arrived that the host itself did not
+    /// consume (anything but NTP).
+    fn on_ctrl_frame(&mut self, host: &mut VmHost, ctx: &mut Ctx<'_>, frame: &Frame);
+
+    /// A wakeup previously requested via [`VmHost::agent_wake_at_clock_ns`]
+    /// or [`VmHost::agent_wake_after`] fired.
+    fn on_wake(&mut self, host: &mut VmHost, ctx: &mut Ctx<'_>, token: u64);
+
+    /// The local checkpoint finished capturing (the guest is still
+    /// suspended; typically the agent now reports "done" on the bus and
+    /// waits for the coordinator's resume).
+    fn on_checkpoint_captured(&mut self, host: &mut VmHost, ctx: &mut Ctx<'_>);
+
+    /// The guest hit an event-driven checkpoint trigger (§4.3: "arrival of
+    /// a network packet, or execution of a break or watch point"). The
+    /// default ignores it.
+    fn on_guest_trigger(&mut self, host: &mut VmHost, ctx: &mut Ctx<'_>) {
+        let _ = (host, ctx);
+    }
+}

@@ -1,0 +1,21 @@
+//! The hypervisor layer: Xen-like hosts driving guest kernels.
+//!
+//! Each [`VmHost`] is one simulated pc3000 machine: hardware clock
+//! disciplined by NTP, a CPU shared between dom0 and the guest, two local
+//! disks (virtual-disk backend over the branching store, plus a snapshot
+//! disk), a paravirtual network backend with per-packet processing cost,
+//! and the paper's live local checkpoint with virtualized time (§4.1–4.2).
+//! The coordinated distributed protocol plugs in as a [`HostAgent`].
+
+mod agent;
+mod domain;
+mod host;
+mod tuning;
+
+pub use agent::HostAgent;
+pub use domain::{Domain, DomainImage};
+pub use host::{
+    ExpPort, GuestRpc, GuestRpcReply, HostStats, MirrorConfig, MirrorDrained, VmHost,
+    VmHostConfig,
+};
+pub use tuning::{Dom0Job, VmmTuning};

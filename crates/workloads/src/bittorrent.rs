@@ -1,0 +1,449 @@
+//! A BitTorrent-like peer-to-peer file distribution workload (Fig 7).
+//!
+//! "BitTorrent is a popular peer-to-peer program for cooperatively
+//! downloading large files... To get more predictable behavior, we
+//! modified BitTorrent to use a static tracker." The static tracker is a
+//! configured peer list; peers exchange piece requests over TCP, verify
+//! received pieces (hash-check CPU), write them to disk, and announce
+//! possession so other leechers can download from them too.
+//!
+//! The peer runs as a single poll-loop program (select-style servers were
+//! the norm for 2008 BitTorrent clients): each round it accepts new
+//! connections, drains every socket non-blockingly, serves queued
+//! requests, issues new requests, then sleeps one poll interval.
+
+use std::any::Any;
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+
+use guestos::prog::{FileId, SockFd};
+use guestos::{GuestProg, Syscall, SysRet};
+use hwsim::NodeAddr;
+
+/// Protocol messages riding the TCP streams as [`guestos::net::tcp::AppMsg`]
+/// markers.
+#[derive(Clone, Debug)]
+pub enum BtMsg {
+    /// Peer introduction with its current piece set.
+    Handshake { have: Vec<u32> },
+    /// Ask for one piece.
+    Request { piece: u32 },
+    /// Marks the end of `piece`'s data bytes.
+    Piece { piece: u32 },
+    /// Announce newly acquired piece.
+    Have { piece: u32 },
+}
+
+/// Control-message wire size (tiny).
+const CTRL_BYTES: u64 = 68;
+
+/// Per-byte hash-check CPU cost (SHA1 era): ~5 ns/byte.
+const HASH_NS_PER_BYTE: f64 = 5.0;
+
+/// One peer connection's state.
+#[derive(Clone, Debug)]
+struct PeerConn {
+    fd: SockFd,
+    sent_handshake: bool,
+    got_handshake: bool,
+    remote_have: HashSet<u32>,
+    /// Piece we requested from this peer and are waiting for.
+    outstanding: Option<u32>,
+    /// Requests from the peer we have not served yet.
+    serve_q: VecDeque<u32>,
+}
+
+impl PeerConn {
+    fn new(fd: SockFd) -> Self {
+        PeerConn {
+            fd,
+            sent_handshake: false,
+            got_handshake: false,
+            remote_have: HashSet::new(),
+            outstanding: None,
+            serve_q: VecDeque::new(),
+        }
+    }
+}
+
+/// What the previous syscall was for.
+#[derive(Clone, Debug)]
+enum Op {
+    Idle,
+    Sleeping,
+    Listened,
+    ConnectPeer,
+    AcceptNb,
+    Recv(usize),
+    SendHandshake(usize),
+    Serve(usize, u32),
+    Request(usize, u32),
+    HashCheck(u32),
+    DiskWrite(u32),
+    Announce,
+    Stamp,
+    CreateFile,
+}
+
+/// A queued action for this round.
+#[derive(Clone, Debug)]
+enum Todo {
+    Accept,
+    Recv(usize),
+    Handshake(usize),
+    Serve(usize),
+    Request(usize),
+}
+
+/// One BitTorrent peer.
+#[derive(Clone, Debug)]
+pub struct BtPeer {
+    // Configuration.
+    port: u16,
+    peers_to_connect: Vec<NodeAddr>,
+    npieces: u32,
+    piece_bytes: u64,
+    poll_ns: u64,
+    file: FileId,
+
+    // State.
+    have: HashSet<u32>,
+    requested: HashSet<u32>,
+    conns: Vec<PeerConn>,
+    todo: VecDeque<Todo>,
+    last_op: Op,
+    started: bool,
+    pending_announce: Vec<u32>,
+    announce_cursor: usize,
+    /// Received messages not yet acted on (a Piece pauses processing for
+    /// its hash check, so later messages wait here).
+    backlog: VecDeque<(usize, Arc<BtMsg>)>,
+
+    /// Download progress: `(guest time ns, cumulative bytes)`.
+    pub progress: Vec<(u64, u64)>,
+    /// Pieces served to other peers.
+    pub served: u64,
+}
+
+impl BtPeer {
+    /// Creates a seeder: owns all pieces, never requests.
+    pub fn seeder(port: u16, npieces: u32, piece_bytes: u64, file: FileId) -> Self {
+        let mut p = BtPeer::leecher(port, Vec::new(), npieces, piece_bytes, file);
+        p.have = (0..npieces).collect();
+        p
+    }
+
+    /// Creates a leecher that will connect to `peers`.
+    pub fn leecher(
+        port: u16,
+        peers: Vec<NodeAddr>,
+        npieces: u32,
+        piece_bytes: u64,
+        file: FileId,
+    ) -> Self {
+        BtPeer {
+            port,
+            peers_to_connect: peers,
+            npieces,
+            piece_bytes,
+            poll_ns: 20_000_000,
+            file,
+            have: HashSet::new(),
+            requested: HashSet::new(),
+            conns: Vec::new(),
+            todo: VecDeque::new(),
+            last_op: Op::Idle,
+            started: false,
+            pending_announce: Vec::new(),
+            announce_cursor: 0,
+            backlog: VecDeque::new(),
+            progress: Vec::new(),
+            served: 0,
+        }
+    }
+
+    /// Pieces currently held.
+    pub fn pieces(&self) -> usize {
+        self.have.len()
+    }
+
+    /// Diagnostic summary: (conns, got_handshakes, serve queue depth,
+    /// outstanding requests).
+    pub fn debug_summary(&self) -> (usize, usize, usize, usize) {
+        (
+            self.conns.len(),
+            self.conns.iter().filter(|c| c.got_handshake).count(),
+            self.conns.iter().map(|c| c.serve_q.len()).sum(),
+            self.conns.iter().filter(|c| c.outstanding.is_some()).count(),
+        )
+    }
+
+    /// Cumulative downloaded bytes.
+    pub fn downloaded_bytes(&self) -> u64 {
+        self.progress.last().map(|&(_, b)| b).unwrap_or(0)
+    }
+
+    fn conn_idx(&self, fd: SockFd) -> Option<usize> {
+        self.conns.iter().position(|c| c.fd == fd)
+    }
+
+    /// Picks a piece to request from conn `i` (random-ish rarest proxy:
+    /// lowest-numbered missing piece the peer has that nobody else is
+    /// fetching — deterministic, good enough for throughput shape).
+    fn pick_piece(&self, i: usize) -> Option<u32> {
+        let c = &self.conns[i];
+        (0..self.npieces).find(|p| {
+            !self.have.contains(p) && !self.requested.contains(p) && c.remote_have.contains(p)
+        })
+    }
+
+    fn rebuild_round(&mut self) {
+        self.todo.clear();
+        self.todo.push_back(Todo::Accept);
+        for i in 0..self.conns.len() {
+            self.todo.push_back(Todo::Recv(i));
+            if !self.conns[i].sent_handshake {
+                self.todo.push_back(Todo::Handshake(i));
+            }
+            if !self.conns[i].serve_q.is_empty() {
+                self.todo.push_back(Todo::Serve(i));
+            }
+            if self.conns[i].got_handshake && self.conns[i].outstanding.is_none() {
+                self.todo.push_back(Todo::Request(i));
+            }
+        }
+    }
+
+    fn next_action(&mut self) -> Syscall {
+        // Flush pending Have announcements first (to every conn).
+        if self.announce_cursor < self.pending_announce.len() * self.conns.len().max(1)
+            && !self.pending_announce.is_empty()
+        {
+            let per = self.conns.len().max(1);
+            let idx = self.announce_cursor;
+            self.announce_cursor += 1;
+            let piece = self.pending_announce[idx / per];
+            let conn = idx % per;
+            if conn < self.conns.len() {
+                let fd = self.conns[conn].fd;
+                self.last_op = Op::Announce;
+                return Syscall::SendNb {
+                    fd,
+                    bytes: CTRL_BYTES,
+                    msg: Some(Arc::new(BtMsg::Have { piece })),
+                };
+            }
+        }
+        if self.announce_cursor >= self.pending_announce.len() * self.conns.len().max(1) {
+            self.pending_announce.clear();
+            self.announce_cursor = 0;
+        }
+
+        while let Some(t) = self.todo.pop_front() {
+            match t {
+                Todo::Accept => {
+                    self.last_op = Op::AcceptNb;
+                    return Syscall::AcceptNb { port: self.port };
+                }
+                Todo::Recv(i) => {
+                    if i >= self.conns.len() {
+                        continue;
+                    }
+                    let fd = self.conns[i].fd;
+                    self.last_op = Op::Recv(i);
+                    return Syscall::RecvNb { fd, max: u64::MAX };
+                }
+                Todo::Handshake(i) => {
+                    if i >= self.conns.len() || self.conns[i].sent_handshake {
+                        continue;
+                    }
+                    let fd = self.conns[i].fd;
+                    let have: Vec<u32> = self.have.iter().copied().collect();
+                    self.last_op = Op::SendHandshake(i);
+                    return Syscall::SendNb {
+                        fd,
+                        bytes: CTRL_BYTES + have.len() as u64 / 8,
+                        msg: Some(Arc::new(BtMsg::Handshake { have })),
+                    };
+                }
+                Todo::Serve(i) => {
+                    if i >= self.conns.len() {
+                        continue;
+                    }
+                    let Some(&piece) = self.conns[i].serve_q.front() else {
+                        continue;
+                    };
+                    let fd = self.conns[i].fd;
+                    self.last_op = Op::Serve(i, piece);
+                    return Syscall::SendNb {
+                        fd,
+                        bytes: self.piece_bytes,
+                        msg: Some(Arc::new(BtMsg::Piece { piece })),
+                    };
+                }
+                Todo::Request(i) => {
+                    if i >= self.conns.len() || self.conns[i].outstanding.is_some() {
+                        continue;
+                    }
+                    let Some(piece) = self.pick_piece(i) else {
+                        continue;
+                    };
+                    let fd = self.conns[i].fd;
+                    self.last_op = Op::Request(i, piece);
+                    return Syscall::SendNb {
+                        fd,
+                        bytes: CTRL_BYTES,
+                        msg: Some(Arc::new(BtMsg::Request { piece })),
+                    };
+                }
+            }
+        }
+        // Round complete: sleep.
+        self.last_op = Op::Sleeping;
+        Syscall::Sleep { ns: self.poll_ns }
+    }
+
+    /// Processes backlogged messages; a Piece pauses the drain and returns
+    /// the hash-check syscall.
+    fn drain_backlog(&mut self) -> Option<Syscall> {
+        while let Some((i, msg)) = self.backlog.pop_front() {
+            if i >= self.conns.len() {
+                continue;
+            }
+            match &*msg {
+                BtMsg::Handshake { have } => {
+                    self.conns[i].got_handshake = true;
+                    self.conns[i].remote_have.extend(have.iter().copied());
+                }
+                BtMsg::Request { piece } => {
+                    self.conns[i].serve_q.push_back(*piece);
+                }
+                BtMsg::Have { piece } => {
+                    self.conns[i].remote_have.insert(*piece);
+                }
+                BtMsg::Piece { piece } => {
+                    // Verify the piece (hash check), then persist it.
+                    let piece = *piece;
+                    self.conns[i].outstanding = None;
+                    self.last_op = Op::HashCheck(piece);
+                    return Some(Syscall::Compute {
+                        ns: (self.piece_bytes as f64 * HASH_NS_PER_BYTE) as u64,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+impl GuestProg for BtPeer {
+    fn step(&mut self, ret: SysRet) -> Syscall {
+        if !self.started {
+            self.started = true;
+            self.last_op = Op::CreateFile;
+            return Syscall::Create { file: self.file };
+        }
+        let op = std::mem::replace(&mut self.last_op, Op::Idle);
+        match op {
+            Op::CreateFile => {
+                // Listen before connecting out: two peers dialing each
+                // other simultaneously would otherwise deadlock waiting
+                // for a listener that never comes.
+                self.last_op = Op::Listened;
+                return Syscall::Listen { port: self.port };
+            }
+            Op::Listened | Op::ConnectPeer => {
+                if let SysRet::Sock(fd) = ret {
+                    self.conns.push(PeerConn::new(fd));
+                }
+                if let Some(addr) = self.peers_to_connect.pop() {
+                    self.last_op = Op::ConnectPeer;
+                    return Syscall::Connect {
+                        dst: addr,
+                        port: self.port,
+                    };
+                }
+                // Fall into the poll loop.
+            }
+            Op::AcceptNb => {
+                if let SysRet::Sock(fd) = ret {
+                    if self.conn_idx(fd).is_none() {
+                        self.conns.push(PeerConn::new(fd));
+                    }
+                }
+            }
+            Op::Recv(i) => {
+                if let SysRet::Recvd { msgs, .. } = ret {
+                    for m in msgs {
+                        if let Ok(bt) = m.downcast::<BtMsg>() {
+                            self.backlog.push_back((i, bt));
+                        }
+                    }
+                }
+            }
+            Op::SendHandshake(i) => {
+                if let SysRet::Sent(n) = ret {
+                    if n > 0 && i < self.conns.len() {
+                        self.conns[i].sent_handshake = true;
+                    }
+                }
+            }
+            Op::Serve(i, piece) => {
+                if let SysRet::Sent(n) = ret {
+                    if n > 0 && i < self.conns.len() {
+                        self.conns[i].serve_q.pop_front();
+                        self.served += 1;
+                        let _ = piece;
+                    }
+                }
+            }
+            Op::Request(i, piece) => {
+                if let SysRet::Sent(n) = ret {
+                    if n > 0 && i < self.conns.len() {
+                        self.conns[i].outstanding = Some(piece);
+                        self.requested.insert(piece);
+                    }
+                }
+            }
+            Op::HashCheck(piece) => {
+                // Hash verified: write the piece to disk.
+                self.last_op = Op::DiskWrite(piece);
+                return Syscall::Write {
+                    file: self.file,
+                    offset: piece as u64 * self.piece_bytes,
+                    bytes: self.piece_bytes,
+                };
+            }
+            Op::DiskWrite(piece) => {
+                self.have.insert(piece);
+                self.pending_announce.push(piece);
+                self.last_op = Op::Stamp;
+                return Syscall::Gettimeofday;
+            }
+            Op::Stamp => {
+                if let SysRet::Time(t) = ret {
+                    let bytes = self.have.len() as u64 * self.piece_bytes;
+                    self.progress.push((t, bytes));
+                }
+            }
+            Op::Announce => {}
+            Op::Sleeping => {
+                self.rebuild_round();
+            }
+            Op::Idle => {}
+        }
+        if let Some(sys) = self.drain_backlog() {
+            return sys;
+        }
+        self.next_action()
+    }
+    fn clone_box(&self) -> Box<dyn GuestProg> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn name(&self) -> &str {
+        "bittorrent"
+    }
+}

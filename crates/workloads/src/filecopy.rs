@@ -1,0 +1,329 @@
+//! Large-file copy: the disk-intensive workload of Fig 9 and §7.2.
+//!
+//! Reads a source file chunk by chunk and writes a destination file,
+//! recording `(guest time, cumulative bytes written)` so the harness can
+//! bin write throughput over one-second intervals as the paper does.
+
+use std::any::Any;
+
+use guestos::prog::FileId;
+use guestos::{GuestProg, Syscall, SysRet};
+
+/// Creates a file, writes it sequentially, syncs, exits: the untimed prep
+/// step for phase-isolated benchmarks and the swap workload generator.
+#[derive(Clone, Debug)]
+pub struct FileWriter {
+    file: FileId,
+    bytes: u64,
+    chunk: u64,
+    offset: u64,
+    phase: u8,
+    looping: bool,
+    /// Completed passes over the file.
+    pub passes: u64,
+    /// True once the final sync completed.
+    pub finished: bool,
+}
+
+impl FileWriter {
+    /// Writes `bytes` into `file` in 256 KiB chunks.
+    pub fn new(file: FileId, bytes: u64) -> Self {
+        FileWriter {
+            file,
+            bytes,
+            chunk: 256 * 1024,
+            offset: 0,
+            phase: 0,
+            looping: false,
+            passes: 0,
+            finished: false,
+        }
+    }
+
+    /// Keeps rewriting the same file forever — a bounded-footprint
+    /// disk-intensive load (dirties the same blocks repeatedly, the §7.2
+    /// pre-copy worst case).
+    pub fn looping(mut self) -> Self {
+        self.looping = true;
+        self
+    }
+}
+
+impl GuestProg for FileWriter {
+    fn step(&mut self, ret: SysRet) -> Syscall {
+        if let SysRet::Err(e) = ret {
+            if e != "exists" {
+                panic!("filewriter: {e}");
+            }
+        }
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Syscall::Create { file: self.file }
+            }
+            1 => {
+                if self.offset >= self.bytes {
+                    self.phase = 2;
+                    return Syscall::Sync;
+                }
+                let off = self.offset;
+                self.offset += self.chunk;
+                Syscall::Write {
+                    file: self.file,
+                    offset: off,
+                    bytes: self.chunk.min(self.bytes - off),
+                }
+            }
+            _ => {
+                self.passes += 1;
+                if self.looping {
+                    self.offset = 0;
+                    self.phase = 1;
+                    return Syscall::Yield;
+                }
+                self.finished = true;
+                Syscall::Exit
+            }
+        }
+    }
+    fn clone_box(&self) -> Box<dyn GuestProg> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn name(&self) -> &str {
+        "filewriter"
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    CreateSrc,
+    FillSrc,
+    SyncSrc,
+    CreateDst,
+    ReadChunk,
+    ChunkCpu,
+    WriteChunk,
+    Stamp,
+    FinalSync,
+    Done,
+}
+
+/// The copy program.
+#[derive(Clone, Debug)]
+pub struct FileCopy {
+    src: FileId,
+    dst: FileId,
+    bytes: u64,
+    chunk: u64,
+    offset: u64,
+    /// Per-chunk CPU cost (cp's user+kernel time, ext3 journaling): keeps
+    /// the copy from saturating the disk, as real `cp` does not.
+    chunk_cpu_ns: u64,
+    step: Step,
+    /// `(guest time ns, cumulative bytes written)` samples.
+    pub progress: Vec<(u64, u64)>,
+    /// Guest time when the copy phase started/finished.
+    pub t_start: Option<u64>,
+    pub t_end: Option<u64>,
+}
+
+impl FileCopy {
+    /// Copies `bytes` from `src` to `dst` in 256 KiB chunks (the source is
+    /// created and filled first, then flushed, so the copy phase measures
+    /// read+write).
+    pub fn new(src: FileId, dst: FileId, bytes: u64) -> Self {
+        FileCopy {
+            src,
+            dst,
+            bytes,
+            chunk: 256 * 1024,
+            offset: 0,
+            chunk_cpu_ns: 0,
+            step: Step::CreateSrc,
+            progress: Vec::new(),
+            t_start: None,
+            t_end: None,
+        }
+    }
+
+    /// Adds a per-chunk CPU cost to the copy loop.
+    pub fn with_chunk_cpu(mut self, ns: u64) -> Self {
+        self.chunk_cpu_ns = ns;
+        self
+    }
+
+    /// True when the copy completed.
+    pub fn done(&self) -> bool {
+        matches!(self.step, Step::Done)
+    }
+
+    /// Total elapsed copy time, ns.
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        Some(self.t_end? - self.t_start?)
+    }
+}
+
+impl GuestProg for FileCopy {
+    fn step(&mut self, ret: SysRet) -> Syscall {
+        if let SysRet::Err(e) = ret {
+            panic!("filecopy: io error {e}");
+        }
+        match self.step {
+            Step::CreateSrc => {
+                self.step = Step::FillSrc;
+                Syscall::Create { file: self.src }
+            }
+            Step::FillSrc => {
+                if self.offset >= self.bytes {
+                    self.offset = 0;
+                    self.step = Step::SyncSrc;
+                    return Syscall::Sync;
+                }
+                let off = self.offset;
+                self.offset += self.chunk;
+                Syscall::Write {
+                    file: self.src,
+                    offset: off,
+                    bytes: self.chunk,
+                }
+            }
+            Step::SyncSrc => {
+                self.step = Step::CreateDst;
+                Syscall::Create { file: self.dst }
+            }
+            Step::CreateDst => {
+                self.step = Step::ReadChunk;
+                Syscall::Gettimeofday
+            }
+            Step::ReadChunk => {
+                if let SysRet::Time(t) = ret {
+                    if self.t_start.is_none() {
+                        self.t_start = Some(t);
+                    } else {
+                        self.progress.push((t, self.offset));
+                        if self.offset >= self.bytes {
+                            self.step = Step::FinalSync;
+                            return Syscall::Sync;
+                        }
+                    }
+                }
+                self.step = if self.chunk_cpu_ns > 0 {
+                    Step::ChunkCpu
+                } else {
+                    Step::WriteChunk
+                };
+                Syscall::Read {
+                    file: self.src,
+                    offset: self.offset,
+                    bytes: self.chunk,
+                }
+            }
+            Step::ChunkCpu => {
+                self.step = Step::WriteChunk;
+                Syscall::Compute {
+                    ns: self.chunk_cpu_ns,
+                }
+            }
+            Step::WriteChunk => {
+                self.step = Step::Stamp;
+                Syscall::Write {
+                    file: self.dst,
+                    offset: self.offset,
+                    bytes: self.chunk,
+                }
+            }
+            Step::Stamp => {
+                self.offset += self.chunk;
+                self.step = Step::ReadChunk;
+                Syscall::Gettimeofday
+            }
+            Step::FinalSync => {
+                self.step = Step::Done;
+                Syscall::Gettimeofday
+            }
+            Step::Done => {
+                if let SysRet::Time(t) = ret {
+                    if self.t_end.is_none() {
+                        self.t_end = Some(t);
+                    }
+                }
+                Syscall::Exit
+            }
+        }
+    }
+    fn clone_box(&self) -> Box<dyn GuestProg> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn name(&self) -> &str {
+        "filecopy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Driver;
+
+    #[test]
+    fn copy_copies_whole_file_and_stamps_progress() {
+        let mut p = FileCopy::new(FileId(1), FileId(2), 4 << 20);
+        let mut d = Driver::new();
+        d.run(&mut p, 10_000);
+        assert!(p.done());
+        assert_eq!(d.file_size(FileId(2)), Some(4 << 20));
+        assert!(p.elapsed_ns().unwrap() > 0);
+        assert_eq!(p.progress.len(), (4 << 20) / (256 * 1024));
+        // Progress is monotone in both time and bytes.
+        for w in p.progress.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    fn chunk_cpu_slows_the_copy() {
+        let run = |cpu: u64| {
+            let mut p = FileCopy::new(FileId(1), FileId(2), 1 << 20).with_chunk_cpu(cpu);
+            let mut d = Driver::new();
+            d.run(&mut p, 10_000);
+            p.elapsed_ns().unwrap()
+        };
+        assert!(run(10_000_000) > run(0));
+    }
+
+    #[test]
+    fn writer_loops_when_asked() {
+        let mut p = FileWriter::new(FileId(9), 1 << 20).looping();
+        let d = Driver::new();
+        // A looping writer never exits; drive a bounded number of steps.
+        let mut ret = guestos::SysRet::Start;
+        for _ in 0..200 {
+            let sys = p.step(ret);
+            ret = match sys {
+                guestos::Syscall::Create { .. } => guestos::SysRet::Ok,
+                guestos::Syscall::Write { .. } => guestos::SysRet::Ok,
+                guestos::Syscall::Sync => guestos::SysRet::Ok,
+                guestos::Syscall::Yield => guestos::SysRet::Ok,
+                guestos::Syscall::Exit => panic!("looping writer exited"),
+                _ => panic!("unexpected syscall"),
+            };
+        }
+        assert!(p.passes >= 2, "completed {} passes", p.passes);
+        let _ = d;
+    }
+
+    #[test]
+    fn writer_finishes_once_when_not_looping() {
+        let mut p = FileWriter::new(FileId(9), 1 << 20);
+        let mut d = Driver::new();
+        d.run(&mut p, 1000);
+        assert!(p.finished);
+        assert_eq!(p.passes, 1);
+        assert_eq!(d.file_size(FileId(9)), Some(1 << 20));
+    }
+}

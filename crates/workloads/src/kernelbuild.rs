@@ -1,0 +1,165 @@
+//! `make` followed by `make clean` on a kernel source tree (§5.1).
+//!
+//! The paper's free-block-elimination validation: building the kernel
+//! writes ~490 MB of object files; `make clean` deletes them, so almost
+//! all of that data is *free* at swap-out — but a block-level delta
+//! without filesystem knowledge would still carry it. This workload
+//! generates the same on-disk pattern: many files created, written, then
+//! deleted, with a sync after each phase so the bitmaps reach the disk.
+
+use std::any::Any;
+
+use guestos::prog::FileId;
+use guestos::{GuestProg, Syscall, SysRet};
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Step {
+    Create(usize),
+    Write(usize, u64),
+    SyncBuild,
+    Clean(usize),
+    SyncClean,
+    Done,
+}
+
+/// The build workload.
+#[derive(Clone, Debug)]
+pub struct KernelBuild {
+    base_id: u64,
+    files: usize,
+    bytes_per_file: u64,
+    chunk: u64,
+    keep_bytes: u64,
+    step: Step,
+    /// True once `make clean` finished syncing.
+    pub finished: bool,
+}
+
+impl KernelBuild {
+    /// The paper's shape: ~490 MB of build products across `files` object
+    /// files, of which `keep_bytes` (logs, config, the final vmlinux-like
+    /// artifacts — ~36 MB survives in the delta) are NOT deleted.
+    pub fn paper_default() -> Self {
+        KernelBuild::new(9000, 1960, 256 * 1024, 34 << 20)
+    }
+
+    /// Creates a build of `files` × `bytes_per_file`, keeping `keep_bytes`.
+    pub fn new(base_id: u64, files: usize, bytes_per_file: u64, keep_bytes: u64) -> Self {
+        KernelBuild {
+            base_id,
+            files,
+            bytes_per_file,
+            chunk: 256 * 1024,
+            keep_bytes,
+            step: Step::Create(0),
+            finished: false,
+        }
+    }
+
+    fn fid(&self, i: usize) -> FileId {
+        FileId(self.base_id + i as u64)
+    }
+
+    /// Number of files that survive `make clean`.
+    fn kept_files(&self) -> usize {
+        (self.keep_bytes / self.bytes_per_file) as usize
+    }
+
+    /// Total bytes written by the build.
+    pub fn build_bytes(&self) -> u64 {
+        self.files as u64 * self.bytes_per_file
+    }
+}
+
+impl GuestProg for KernelBuild {
+    fn step(&mut self, ret: SysRet) -> Syscall {
+        if let SysRet::Err(e) = ret {
+            panic!("kernelbuild: io error {e}");
+        }
+        loop {
+            match self.step {
+                Step::Create(i) => {
+                    if i >= self.files {
+                        self.step = Step::SyncBuild;
+                        return Syscall::Sync;
+                    }
+                    self.step = Step::Write(i, 0);
+                    return Syscall::Create { file: self.fid(i) };
+                }
+                Step::Write(i, off) => {
+                    if off >= self.bytes_per_file {
+                        self.step = Step::Create(i + 1);
+                        continue;
+                    }
+                    self.step = Step::Write(i, off + self.chunk);
+                    return Syscall::Write {
+                        file: self.fid(i),
+                        offset: off,
+                        bytes: self.chunk.min(self.bytes_per_file - off),
+                    };
+                }
+                Step::SyncBuild => {
+                    // Delete everything beyond the kept prefix.
+                    self.step = Step::Clean(self.kept_files());
+                    continue;
+                }
+                Step::Clean(i) => {
+                    if i >= self.files {
+                        self.step = Step::SyncClean;
+                        return Syscall::Sync;
+                    }
+                    self.step = Step::Clean(i + 1);
+                    return Syscall::Delete { file: self.fid(i) };
+                }
+                Step::SyncClean => {
+                    self.finished = true;
+                    self.step = Step::Done;
+                    return Syscall::Exit;
+                }
+                Step::Done => return Syscall::Exit,
+            }
+        }
+    }
+    fn clone_box(&self) -> Box<dyn GuestProg> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn name(&self) -> &str {
+        "kernel-build"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Driver;
+
+    #[test]
+    fn build_then_clean_leaves_only_kept_files() {
+        let mut p = KernelBuild::new(100, 10, 256 * 1024, 512 * 1024);
+        let mut d = Driver::new();
+        d.run(&mut p, 10_000);
+        assert!(p.finished);
+        // keep_bytes / bytes_per_file = 2 files survive.
+        assert_eq!(d.file_count(), 2);
+    }
+
+    #[test]
+    fn paper_default_writes_about_490mb() {
+        let p = KernelBuild::paper_default();
+        let mb = p.build_bytes() as f64 / 1e6;
+        assert!((490.0..540.0).contains(&mb), "build writes {mb} MB");
+    }
+
+    #[test]
+    fn syncs_after_both_phases() {
+        let mut p = KernelBuild::new(100, 3, 256 * 1024, 0);
+        let mut d = Driver::new();
+        d.run(&mut p, 1000);
+        let syncs = d.issued.iter().filter(|s| **s == "sync").count();
+        assert_eq!(syncs, 2, "sync after make and after make clean");
+        assert_eq!(d.file_count(), 0, "keep_bytes=0 deletes everything");
+    }
+}

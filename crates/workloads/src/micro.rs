@@ -1,0 +1,155 @@
+//! Microbenchmarks: the usleep loop (Fig 4) and the CPU loop (Fig 5).
+
+use std::any::Any;
+
+use guestos::{GuestProg, Syscall, SysRet};
+
+/// The Fig 4 workload: `usleep(10 ms)` in a loop, timing every iteration
+/// with `gettimeofday`. At HZ=100 an iteration measures ~20 ms.
+#[derive(Clone, Debug)]
+pub struct UsleepLoop {
+    sleep_ns: u64,
+    max_iters: usize,
+    t_prev: Option<u64>,
+    /// Recorded `(end-of-iteration guest time, iteration length)` pairs.
+    pub samples: Vec<(u64, u64)>,
+}
+
+impl UsleepLoop {
+    /// Creates the canonical 10 ms / `iters`-iteration benchmark.
+    pub fn new(sleep_ns: u64, iters: usize) -> Self {
+        UsleepLoop {
+            sleep_ns,
+            max_iters: iters,
+            t_prev: None,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Iteration lengths in nanoseconds.
+    pub fn iteration_ns(&self) -> Vec<u64> {
+        self.samples.iter().map(|&(_, d)| d).collect()
+    }
+}
+
+impl GuestProg for UsleepLoop {
+    fn step(&mut self, ret: SysRet) -> Syscall {
+        if let SysRet::Time(t) = ret {
+            if let Some(prev) = self.t_prev {
+                self.samples.push((t, t - prev));
+                if self.samples.len() >= self.max_iters {
+                    return Syscall::Exit;
+                }
+            }
+            self.t_prev = Some(t);
+            return Syscall::Sleep { ns: self.sleep_ns };
+        }
+        // Start or sleep-completed: read the clock.
+        Syscall::Gettimeofday
+    }
+    fn clone_box(&self) -> Box<dyn GuestProg> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn name(&self) -> &str {
+        "usleep-loop"
+    }
+}
+
+/// The Fig 5 workload: a fixed CPU burst per iteration (236.6 ms on the
+/// paper's hardware), timed with `gettimeofday`.
+#[derive(Clone, Debug)]
+pub struct CpuLoop {
+    burst_ns: u64,
+    max_iters: usize,
+    t_prev: Option<u64>,
+    /// Recorded `(end time, iteration length)` pairs.
+    pub samples: Vec<(u64, u64)>,
+}
+
+impl CpuLoop {
+    /// Creates the benchmark with the paper's 236.6 ms burst.
+    pub fn paper_default(iters: usize) -> Self {
+        CpuLoop::new(236_600_000, iters)
+    }
+
+    /// Creates a benchmark with an arbitrary burst.
+    pub fn new(burst_ns: u64, iters: usize) -> Self {
+        CpuLoop {
+            burst_ns,
+            max_iters: iters,
+            t_prev: None,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Iteration lengths in nanoseconds.
+    pub fn iteration_ns(&self) -> Vec<u64> {
+        self.samples.iter().map(|&(_, d)| d).collect()
+    }
+}
+
+impl GuestProg for CpuLoop {
+    fn step(&mut self, ret: SysRet) -> Syscall {
+        if let SysRet::Time(t) = ret {
+            if let Some(prev) = self.t_prev {
+                self.samples.push((t, t - prev));
+                if self.samples.len() >= self.max_iters {
+                    return Syscall::Exit;
+                }
+            }
+            self.t_prev = Some(t);
+            return Syscall::Compute { ns: self.burst_ns };
+        }
+        Syscall::Gettimeofday
+    }
+    fn clone_box(&self) -> Box<dyn GuestProg> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn name(&self) -> &str {
+        "cpu-loop"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Driver;
+
+    #[test]
+    fn usleep_loop_measures_tick_quantized_iterations() {
+        let mut p = UsleepLoop::new(10_000_000, 20);
+        let mut d = Driver::new();
+        d.run(&mut p, 1000);
+        assert!(d.exited);
+        assert_eq!(p.samples.len(), 20);
+        // The fake kernel quantizes exactly like HZ=100 Linux: 20 ms.
+        for &(_, dt) in &p.samples {
+            assert_eq!(dt, 20_000_000);
+        }
+    }
+
+    #[test]
+    fn cpu_loop_measures_exact_bursts() {
+        let mut p = CpuLoop::new(236_600_000, 5);
+        let mut d = Driver::new();
+        d.run(&mut p, 1000);
+        assert!(d.exited);
+        assert_eq!(p.iteration_ns(), vec![236_600_000; 5]);
+    }
+
+    #[test]
+    fn paper_default_matches_burst() {
+        let p = CpuLoop::paper_default(1);
+        // The configured burst is the paper's 236.6 ms.
+        let mut d = Driver::new();
+        let mut p = p;
+        d.run(&mut p, 100);
+        assert_eq!(p.samples[0].1, 236_600_000);
+    }
+}

@@ -1,0 +1,110 @@
+//! A scripted syscall driver for unit-testing guest programs as pure
+//! state machines, with a tiny in-memory "kernel" good enough to answer
+//! file, timer, and compute syscalls deterministically.
+
+#![cfg(test)]
+
+use std::collections::HashMap;
+
+use guestos::prog::FileId;
+use guestos::{GuestProg, Syscall, SysRet};
+
+/// Drives a program against a fake kernel until it exits or `max_steps`.
+pub struct Driver {
+    pub now_ns: u64,
+    files: HashMap<FileId, u64>,
+    /// Log of syscall kinds, for assertions.
+    pub issued: Vec<&'static str>,
+    pub exited: bool,
+}
+
+impl Driver {
+    pub fn new() -> Self {
+        Driver {
+            now_ns: 0,
+            files: HashMap::new(),
+            issued: Vec::new(),
+            exited: false,
+        }
+    }
+
+    /// Runs the program; panics if it doesn't block on the network (which
+    /// the fake kernel cannot answer) or exit within `max_steps`.
+    pub fn run(&mut self, prog: &mut dyn GuestProg, max_steps: usize) {
+        let mut ret = SysRet::Start;
+        for _ in 0..max_steps {
+            let sys = prog.step(ret);
+            ret = match sys {
+                Syscall::Gettimeofday => {
+                    self.issued.push("gettimeofday");
+                    SysRet::Time(self.now_ns)
+                }
+                Syscall::Sleep { ns } => {
+                    self.issued.push("sleep");
+                    // Tick quantization: round up to 10 ms + one tick.
+                    let tick = 10_000_000;
+                    self.now_ns += ns.div_ceil(tick) * tick + tick;
+                    SysRet::Ok
+                }
+                Syscall::Compute { ns } => {
+                    self.issued.push("compute");
+                    self.now_ns += ns;
+                    SysRet::Ok
+                }
+                Syscall::Yield => {
+                    self.issued.push("yield");
+                    SysRet::Ok
+                }
+                Syscall::Create { file } => {
+                    self.issued.push("create");
+                    if self.files.contains_key(&file) {
+                        SysRet::Err("exists")
+                    } else {
+                        self.files.insert(file, 0);
+                        SysRet::Ok
+                    }
+                }
+                Syscall::Write { file, offset, bytes } => {
+                    self.issued.push("write");
+                    // Charge disk-ish time: 4 KiB ≈ 58 µs at 70 MB/s.
+                    self.now_ns += bytes * 1_000 / 70;
+                    let size = self.files.get_mut(&file).expect("file exists");
+                    *size = (*size).max(offset + bytes);
+                    SysRet::Ok
+                }
+                Syscall::Read { file, bytes, .. } => {
+                    self.issued.push("read");
+                    self.now_ns += bytes * 1_000 / 70;
+                    assert!(self.files.contains_key(&file), "read of missing file");
+                    SysRet::Ok
+                }
+                Syscall::Delete { file } => {
+                    self.issued.push("delete");
+                    self.files.remove(&file).expect("delete of missing file");
+                    SysRet::Ok
+                }
+                Syscall::Sync => {
+                    self.issued.push("sync");
+                    self.now_ns += 5_000_000;
+                    SysRet::Ok
+                }
+                Syscall::Exit => {
+                    self.exited = true;
+                    return;
+                }
+                _ => panic!("fake kernel cannot answer a network syscall"),
+            };
+        }
+        panic!("program did not exit within the step budget");
+    }
+
+    /// Size of a file, if it exists.
+    pub fn file_size(&self, file: FileId) -> Option<u64> {
+        self.files.get(&file).copied()
+    }
+
+    /// Number of live files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}

@@ -1,0 +1,97 @@
+//! Stateful swapping (paper §5): preempt an experiment, release its
+//! hardware for an hour, bring it back — with its run-time state intact
+//! and the swapped-out period invisible from inside.
+//!
+//! ```sh
+//! cargo run --release --example stateful_swap
+//! ```
+
+use emulab_checkpoint::emulab::{ExperimentSpec, Testbed};
+use emulab_checkpoint::guestos::prog::FileId;
+use emulab_checkpoint::sim::SimDuration;
+use emulab_checkpoint::vmm::VmHost;
+use emulab_checkpoint::workloads::{FileWriter, UsleepLoop};
+
+fn main() {
+    let mut tb = Testbed::new(7, 4);
+    tb.swap_in(ExperimentSpec::new("exp").node("n"))
+        .expect("swap-in");
+    println!("experiment swapped in; {} machines free", tb.free_machines());
+
+    // The session does real work: writes 275 MB of results (the §7.2
+    // session size), then keeps a timing loop running.
+    tb.spawn("exp", "n", Box::new(FileWriter::new(FileId(1), 275 << 20)));
+    let timer = tb.spawn("exp", "n", Box::new(UsleepLoop::new(10_000_000, 1_000_000)));
+    tb.run_for(SimDuration::from_secs(90));
+
+    let iterations_before = tb.kernel("exp", "n", |k| {
+        k.prog(timer)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<UsleepLoop>()
+            .unwrap()
+            .samples
+            .len()
+    });
+    println!("timer loop completed {iterations_before} iterations");
+
+    // Preemptive swap-out: eager pre-copy while running, coordinated
+    // suspend, free-block-filtered delta + memory image to the file
+    // server, hardware released.
+    let out = tb.swap_out_stateful("exp");
+    println!(
+        "swap-out: {:.0} s total ({:.0} s pre-copy, {} MB delta, {} MB memory, {} blocks eliminated)",
+        out.total.as_secs_f64(),
+        out.precopy.as_secs_f64(),
+        out.delta_bytes >> 20,
+        out.memory_bytes >> 20,
+        out.eliminated_blocks,
+    );
+    assert_eq!(tb.free_machines(), 4, "hardware is back in the pool");
+
+    // Someone else uses the testbed for an hour.
+    tb.run_for(SimDuration::from_secs(3600));
+
+    // Swap back in with lazy copy-in: resume before the disk state has
+    // fully returned; blocks page in on demand.
+    let rep = tb.swap_in_stateful("exp", true);
+    println!(
+        "swap-in: {:.0} s total ({:.0} s memory download, lazy delta)",
+        rep.total.as_secs_f64(),
+        rep.memory_download.as_secs_f64(),
+    );
+
+    // The guest continues as if nothing happened.
+    tb.run_for(SimDuration::from_secs(10));
+    let samples = tb.kernel("exp", "n", |k| {
+        k.prog(timer)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<UsleepLoop>()
+            .unwrap()
+            .samples
+            .clone()
+    });
+    assert!(samples.len() > iterations_before, "the loop kept running");
+    let worst_gap = samples
+        .windows(2)
+        .map(|w| w[1].0 - w[0].0)
+        .max()
+        .unwrap();
+    println!(
+        "guest-visible worst iteration gap across the hour-long swap: {} ms",
+        worst_gap / 1_000_000
+    );
+    assert!(
+        worst_gap < 100_000_000,
+        "the swapped-out hour leaked into guest time"
+    );
+
+    let host = tb.host_id("exp", "n");
+    let h = tb.engine.component_ref::<VmHost>(host).unwrap();
+    println!(
+        "guest clock now reads {:.1} s; the testbed is at {:.1} s",
+        h.guest_ns(tb.now()) as f64 / 1e9,
+        tb.now().as_secs_f64()
+    );
+}

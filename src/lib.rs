@@ -1,0 +1,45 @@
+//! Transparent checkpoints of closed distributed systems — a simulated
+//! Emulab reproduction of Burtsev et al., EuroSys 2009.
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! | Layer | Crate | Paper role |
+//! |---|---|---|
+//! | [`sim`] | deterministic event engine | the laws of physics |
+//! | [`hwsim`] | clocks, disks, links, CPUs | pc3000 hardware |
+//! | [`clocksync`] | NTP discipline | §4.3 clock sync |
+//! | [`dummynet`] | checkpointable traffic shaping | §4.4 delay nodes |
+//! | [`guestos`] | guest kernel + temporal firewall | §4.1 |
+//! | [`vmm`] | hypervisor, virtual time, local checkpoint | §4.2 |
+//! | [`cowstore`] | branching COW storage | §5.1/5.3 |
+//! | [`checkpoint`] | coordinated transparent checkpoint | §4 (the contribution) |
+//! | [`emulab`] | testbed OS: swapping, time travel | §2, §5, §6 |
+//! | [`workloads`] | evaluation workloads | §7 |
+//!
+//! # Examples
+//!
+//! ```
+//! use emulab_checkpoint::emulab::{ExperimentSpec, Testbed};
+//! use emulab_checkpoint::sim::SimDuration;
+//!
+//! // A two-node experiment on a shaped gigabit link.
+//! let mut tb = Testbed::new(1, 4);
+//! let spec = ExperimentSpec::new("demo")
+//!     .node("a")
+//!     .node("b")
+//!     .link("a", "b", 1_000_000_000, SimDuration::from_micros(100), 0.0);
+//! tb.swap_in(spec).unwrap();
+//! tb.run_for(SimDuration::from_secs(1));
+//! assert!(tb.swapped_in("demo"));
+//! ```
+
+pub use checkpoint;
+pub use clocksync;
+pub use cowstore;
+pub use dummynet;
+pub use emulab;
+pub use guestos;
+pub use hwsim;
+pub use sim;
+pub use vmm;
+pub use workloads;

@@ -1,0 +1,215 @@
+//! Cross-crate integration: every evaluation workload running on the full
+//! testbed stack (short configurations; the bench binaries run the
+//! paper-scale versions).
+
+use emulab_checkpoint::emulab::{ExperimentSpec, Testbed};
+use emulab_checkpoint::guestos::prog::FileId;
+use emulab_checkpoint::sim::SimDuration;
+use emulab_checkpoint::vmm::VmHost;
+use emulab_checkpoint::workloads::{Bonnie, BtPeer, FileCopy, KernelBuild};
+
+/// Four-node BitTorrent swarm on a 100 Mbps LAN (the Fig 7 topology).
+#[test]
+fn bittorrent_swarm_distributes_pieces_over_the_lan() {
+    let mut tb = Testbed::new(81, 8);
+    let spec = ExperimentSpec::new("bt")
+        .node("seeder")
+        .node("c1")
+        .node("c2")
+        .node("c3")
+        .lan(
+            &["seeder", "c1", "c2", "c3"],
+            100_000_000,
+            SimDuration::from_micros(50),
+        );
+    tb.swap_in(spec).expect("swap-in");
+    tb.run_for(SimDuration::from_secs(5));
+
+    let seeder_addr = tb.node_addr("bt", "seeder");
+    let npieces = 200u32; // 200 × 128 KiB = 25 MB file (short run).
+    let piece = 128 * 1024u64;
+    let tids: Vec<_> = ["c1", "c2", "c3"]
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            // Clients know the seeder and each other (static tracker).
+            let mut peers = vec![seeder_addr];
+            for (j, o) in ["c1", "c2", "c3"].iter().enumerate() {
+                if j != i {
+                    peers.push(tb.node_addr("bt", o));
+                }
+            }
+            (
+                *c,
+                tb.spawn(
+                    "bt",
+                    c,
+                    Box::new(BtPeer::leecher(6881, peers, npieces, piece, FileId(1))),
+                ),
+            )
+        })
+        .collect();
+    tb.spawn(
+        "bt",
+        "seeder",
+        Box::new(BtPeer::seeder(6881, npieces, piece, FileId(1))),
+    );
+
+    tb.run_for(SimDuration::from_secs(60));
+
+    let mut total_pieces = 0;
+    for (c, tid) in &tids {
+        let got = tb.kernel("bt", c, |k| {
+            k.prog(*tid)
+                .unwrap()
+                .as_any()
+                .downcast_ref::<BtPeer>()
+                .unwrap()
+                .pieces()
+        });
+        assert!(got > 20, "client {c} only has {got} pieces after 60 s");
+        total_pieces += got;
+    }
+    // Peer-to-peer exchange happened: clients served each other.
+    let clients_served: u64 = tids
+        .iter()
+        .map(|(c, tid)| {
+            tb.kernel("bt", c, |k| {
+                k.prog(*tid)
+                    .unwrap()
+                    .as_any()
+                    .downcast_ref::<BtPeer>()
+                    .unwrap()
+                    .served
+            })
+        })
+        .sum();
+    assert!(
+        clients_served > 0,
+        "leechers never served each other ({total_pieces} pieces total)"
+    );
+}
+
+/// Bonnie phases complete and block I/O beats the cache-defeating size.
+#[test]
+fn bonnie_reports_five_phases_with_sane_ordering() {
+    let mut tb = Testbed::new(82, 4);
+    tb.swap_in(ExperimentSpec::new("bon").node("n")).unwrap();
+    // The paper sizes the file at twice the guest's memory so the page
+    // cache cannot absorb it: 512 MB against the ~200 MB cache.
+    let tid = tb.spawn("bon", "n", Box::new(Bonnie::new(FileId(9), 512 << 20)));
+    tb.run_for(SimDuration::from_secs(600));
+    let results = tb.kernel("bon", "n", |k| {
+        k.prog(tid)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Bonnie>()
+            .unwrap()
+            .results
+            .clone()
+    });
+    assert_eq!(results.len(), 5, "all phases completed: {results:?}");
+    for r in &results {
+        let mbs = r.mb_per_sec();
+        assert!(
+            mbs > 1.0 && mbs < 500.0,
+            "{}: {mbs} MB/s out of range",
+            r.phase.label()
+        );
+    }
+}
+
+/// File copy completes and reports progress samples.
+#[test]
+fn filecopy_completes_with_progress_trace() {
+    let mut tb = Testbed::new(83, 4);
+    tb.swap_in(ExperimentSpec::new("cp").node("n")).unwrap();
+    let tid = tb.spawn(
+        "cp",
+        "n",
+        Box::new(FileCopy::new(FileId(1), FileId(2), 64 << 20)),
+    );
+    tb.run_for(SimDuration::from_secs(300));
+    let (done, samples, elapsed) = tb.kernel("cp", "n", |k| {
+        let p = k
+            .prog(tid)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<FileCopy>()
+            .unwrap();
+        (p.done(), p.progress.len(), p.elapsed_ns())
+    });
+    assert!(done, "copy did not finish");
+    assert!(samples > 50, "only {samples} progress samples");
+    let secs = elapsed.unwrap() as f64 / 1e9;
+    // 64 MB read + 64 MB write on a ~70 MB/s disk: single-digit seconds
+    // to a couple of minutes depending on cache interplay.
+    assert!(secs > 1.0 && secs < 200.0, "copy took {secs}s");
+}
+
+/// make + make clean leaves a small live set; the snoop sees the frees.
+#[test]
+fn kernel_build_frees_blocks_visible_to_the_snoop() {
+    let mut tb = Testbed::new(84, 4);
+    tb.swap_in(ExperimentSpec::new("kb").node("n")).unwrap();
+    let tid = tb.spawn(
+        "kb",
+        "n",
+        // 128 files × 256 KiB = 32 MB build, keep 4 MB.
+        Box::new(KernelBuild::new(100, 128, 256 * 1024, 4 << 20)),
+    );
+    tb.run_for(SimDuration::from_secs(120));
+    let finished = tb.kernel("kb", "n", |k| {
+        k.prog(tid)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<KernelBuild>()
+            .unwrap()
+            .finished
+    });
+    assert!(finished, "build+clean did not finish");
+
+    let host = tb.host_id("kb", "n");
+    let h = tb.engine.component_ref::<VmHost>(host).unwrap();
+    let (filtered, eliminated) = h.store().filtered_delta();
+    let full = h.store().current_delta().len() as u64;
+    assert!(
+        eliminated > full / 2,
+        "elimination dropped {eliminated} of {full} blocks — expected most"
+    );
+    // The kept delta is dominated by the retained files + metadata.
+    let kept_bytes = filtered.byte_size(4096);
+    assert!(
+        kept_bytes < 12 << 20,
+        "kept {} MB — elimination ineffective",
+        kept_bytes >> 20
+    );
+}
+
+/// Determinism across the whole stack: same seed, same world.
+#[test]
+fn full_stack_determinism() {
+    let run = |seed: u64| {
+        let mut tb = Testbed::new(seed, 4);
+        tb.swap_in(ExperimentSpec::new("d").node("n")).unwrap();
+        let tid = tb.spawn(
+            "d",
+            "n",
+            Box::new(FileCopy::new(FileId(1), FileId(2), 8 << 20)),
+        );
+        tb.start_periodic_checkpoints(SimDuration::from_secs(3));
+        tb.run_for(SimDuration::from_secs(30));
+        let fp = tb.kernel("d", "n", |k| k.state_fingerprint());
+        let done = tb.kernel("d", "n", |k| {
+            k.prog(tid)
+                .unwrap()
+                .as_any()
+                .downcast_ref::<FileCopy>()
+                .unwrap()
+                .done()
+        });
+        (fp, done, tb.now())
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5).0, run(6).0);
+}
