@@ -1,0 +1,364 @@
+//! Hand-rolled binary codec: fixed-width little-endian primitives,
+//! length-prefixed strings/sequences, and explicit alignment padding.
+//!
+//! Encoding never fails; decoding returns [`DecodeError`] instead of
+//! panicking so a truncated or corrupted image surfaces as a typed
+//! error at restore time.
+
+use std::fmt;
+
+/// Magic bytes opening every checkpoint image payload.
+pub const IMAGE_MAGIC: [u8; 4] = *b"CKPT";
+
+/// Current payload format version.
+pub const IMAGE_FORMAT_VERSION: u16 = 1;
+
+/// Byte-stream encoder. All integers are little-endian.
+#[derive(Debug, Default, Clone)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    /// Writes the self-describing image header: magic, version, kind tag.
+    pub fn begin_image(&mut self, kind: &str) {
+        self.buf.extend_from_slice(&IMAGE_MAGIC);
+        self.u16(IMAGE_FORMAT_VERSION);
+        self.str(kind);
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// IEEE-754 bit pattern; round-trips NaN payloads exactly.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Raw bytes, no length prefix (caller fixes the framing).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// `u32` length prefix + UTF-8 bytes.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Sequence length prefix (`u32`); the caller writes the elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX` — image sections are bounded far
+    /// below that.
+    pub fn seq(&mut self, n: usize) {
+        assert!(n <= u32::MAX as usize, "sequence too long for u32 prefix");
+        self.u32(n as u32);
+    }
+
+    /// Zero-pads to the next multiple of `align` bytes. Aligning bulk
+    /// block data to the store's chunk size is what makes unchanged
+    /// parent data dedup under fixed-size chunking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero.
+    pub fn pad_to(&mut self, align: usize) {
+        assert!(align > 0, "zero alignment");
+        let rem = self.buf.len() % align;
+        if rem != 0 {
+            self.buf.resize(self.buf.len() + (align - rem), 0);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Typed decode failure: where it happened and what was expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran out of bytes at `at` while needing `want` more.
+    UnexpectedEof { at: usize, want: usize },
+    /// A tag byte held an out-of-range value.
+    BadTag { at: usize, tag: u8, what: &'static str },
+    /// The image header's magic bytes were wrong.
+    BadMagic,
+    /// The image header's version is not one we read.
+    BadVersion(u16),
+    /// The image header's kind tag did not match the expected kind.
+    WrongKind { expected: String, found: String },
+    /// A length or value field was internally inconsistent.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { at, want } => {
+                write!(f, "unexpected end of image at byte {at} (needed {want} more)")
+            }
+            DecodeError::BadTag { at, tag, what } => {
+                write!(f, "bad {what} tag {tag} at byte {at}")
+            }
+            DecodeError::BadMagic => write!(f, "bad image magic"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported image format version {v}"),
+            DecodeError::WrongKind { expected, found } => {
+                write!(f, "image kind mismatch: expected {expected:?}, found {found:?}")
+            }
+            DecodeError::Invalid(what) => write!(f, "invalid image field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Byte-stream decoder over a borrowed image.
+#[derive(Debug, Clone)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(DecodeError::UnexpectedEof { at: self.pos, want: n });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Checks the self-describing header and the expected kind tag.
+    pub fn expect_image(&mut self, kind: &str) -> Result<(), DecodeError> {
+        if self.take(4)? != IMAGE_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let v = self.u16()?;
+        if v != IMAGE_FORMAT_VERSION {
+            return Err(DecodeError::BadVersion(v));
+        }
+        let found = self.str()?;
+        if found != kind {
+            return Err(DecodeError::WrongKind { expected: kind.to_string(), found });
+        }
+        Ok(())
+    }
+
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn u128(&mut self) -> Result<u128, DecodeError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        let at = self.pos;
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(DecodeError::BadTag { at, tag, what: "bool" }),
+        }
+    }
+
+    /// Raw bytes, no length prefix (mirror of [`Enc::raw`]).
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Invalid("non-UTF-8 string"))
+    }
+
+    /// Sequence length prefix (mirror of [`Enc::seq`]).
+    pub fn seq(&mut self) -> Result<usize, DecodeError> {
+        Ok(self.u32()? as usize)
+    }
+
+    /// Skips padding to the next multiple of `align` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero.
+    pub fn align_to(&mut self, align: usize) -> Result<(), DecodeError> {
+        assert!(align > 0, "zero alignment");
+        let rem = self.pos % align;
+        if rem != 0 {
+            self.take(align - rem)?;
+        }
+        Ok(())
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset (for error reporting).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u16(300);
+        e.u32(70_000);
+        e.u64(1 << 40);
+        e.u128(1 << 100);
+        e.i64(-12345);
+        e.f64(-0.25);
+        e.bool(true);
+        e.bool(false);
+        e.str("hello");
+        e.seq(3);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u16().unwrap(), 300);
+        assert_eq!(d.u32().unwrap(), 70_000);
+        assert_eq!(d.u64().unwrap(), 1 << 40);
+        assert_eq!(d.u128().unwrap(), 1 << 100);
+        assert_eq!(d.i64().unwrap(), -12345);
+        assert_eq!(d.f64().unwrap(), -0.25);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.str().unwrap(), "hello");
+        assert_eq!(d.seq().unwrap(), 3);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn header_round_trip_and_mismatches() {
+        let mut e = Enc::new();
+        e.begin_image("test.kind");
+        let bytes = e.into_bytes();
+
+        let mut d = Dec::new(&bytes);
+        assert!(d.expect_image("test.kind").is_ok());
+
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(
+            d.expect_image("other.kind"),
+            Err(DecodeError::WrongKind { .. })
+        ));
+
+        let mut garbled = bytes.clone();
+        garbled[0] ^= 0xFF;
+        let mut d = Dec::new(&garbled);
+        assert_eq!(d.expect_image("test.kind"), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn padding_aligns_and_skips() {
+        let mut e = Enc::new();
+        e.u8(1);
+        e.pad_to(16);
+        assert_eq!(e.len(), 16);
+        e.u8(2);
+        e.pad_to(16);
+        let bytes = e.into_bytes();
+        assert_eq!(bytes.len(), 32);
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 1);
+        d.align_to(16).unwrap();
+        assert_eq!(d.u8().unwrap(), 2);
+        d.align_to(16).unwrap();
+        assert_eq!(d.remaining(), 0);
+        // Already aligned: no-op.
+        d.align_to(16).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let mut e = Enc::new();
+        e.u64(99);
+        let mut bytes = e.into_bytes();
+        bytes.truncate(5);
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u64(), Err(DecodeError::UnexpectedEof { at: 0, want: 8 }));
+    }
+
+    #[test]
+    fn bad_bool_tag_is_a_typed_error() {
+        let bytes = [2u8];
+        let mut d = Dec::new(&bytes);
+        assert_eq!(
+            d.bool(),
+            Err(DecodeError::BadTag { at: 0, tag: 2, what: "bool" })
+        );
+    }
+}

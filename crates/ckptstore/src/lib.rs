@@ -1,0 +1,64 @@
+//! Content-addressed, deduplicated checkpoint image store.
+//!
+//! Checkpoint state (guest kernels, COW deltas, delay-node queues) is
+//! serialized by the owning crates into a *self-describing binary image*
+//! using the hand-rolled [`Enc`]/[`Dec`] codec — no serde, per the
+//! minimal-deps rule (DESIGN.md §3.6). The [`ChunkStore`] then splits
+//! the image into fixed-size chunks, content-addresses each chunk with
+//! an in-repo 128-bit hash, and stores every distinct chunk exactly
+//! once with a reference count. A child snapshot that differs from its
+//! parent in a few blocks physically stores only the differing chunks —
+//! the simulator's stand-in for the paper's three-level LVM branching
+//! storage, and the mechanism behind the dedup ratios `tab_imgstore`
+//! reports.
+//!
+//! # Image format
+//!
+//! Every image produced through this crate has three layers:
+//!
+//! **1. Payload header** (written by [`Enc::begin_image`], checked by
+//! [`Dec::expect_image`]) — makes the byte stream self-describing:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "CKPT"
+//! 4       2     format version (little-endian u16, currently 1)
+//! 6       4+n   kind tag (u32 length + UTF-8, e.g. "emulab.snapshot")
+//! ```
+//!
+//! After the header the owning crate writes its state with the [`Enc`]
+//! primitives: fixed-width little-endian integers, `u32`-length-prefixed
+//! strings and sequences, IEEE-754 bit-pattern floats, and explicit
+//! `pad_to` alignment so bulk block data lands on chunk boundaries
+//! (alignment is what lets unchanged parent blocks dedup under
+//! fixed-size chunking).
+//!
+//! **2. Chunk table (manifest)** — when an image is stored via
+//! [`ChunkStore::put_image`], the store records a manifest per image:
+//!
+//! ```text
+//! logical_len : u64          total payload bytes
+//! chunks      : [ChunkHash]  content hash of each chunk_size slice,
+//!                            in order; the final chunk may be short
+//! ```
+//!
+//! **3. Chunks** — `chunk_size` (default 4096) byte slices keyed by
+//! [`ChunkHash`], stored once, with a refcount equal to the number of
+//! manifest entries across all live images that reference them.
+//!
+//! # Integrity
+//!
+//! [`ChunkStore::load_image`] re-hashes every chunk on the way out and
+//! returns [`StoreError::CorruptChunk`] on any mismatch — a typed error,
+//! never a panic — so a flipped bit in the store surfaces at restore
+//! time exactly like a bad LVM extent would. [`ChunkStore::remove_image`]
+//! decrements refcounts and releases chunks deterministically when the
+//! last reference drops (time-travel pruning).
+
+mod codec;
+mod hash;
+mod store;
+
+pub use codec::{Dec, DecodeError, Enc, IMAGE_FORMAT_VERSION, IMAGE_MAGIC};
+pub use hash::{chunk_hash, ChunkHash};
+pub use store::{ChunkStore, ImageId, ImageStats, PutReport, StoreError, DEFAULT_CHUNK_SIZE};

@@ -1,0 +1,365 @@
+//! The refcounted chunk store: fixed-size chunking, content addressing,
+//! per-image manifests, and deterministic release on image removal.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::hash::{chunk_hash, ChunkHash};
+
+/// Default chunk size. Matches the COW stores' 4 KB block size so an
+/// aligned block record maps 1:1 onto a chunk.
+pub const DEFAULT_CHUNK_SIZE: usize = 4096;
+
+/// Handle to a stored image (opaque, store-local).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ImageId(pub u64);
+
+/// Typed store failure. Restores never panic on bad data: a hash
+/// mismatch surfaces as [`StoreError::CorruptChunk`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The image id is not (or no longer) in the store.
+    UnknownImage(ImageId),
+    /// A chunk's content no longer matches its recorded address.
+    CorruptChunk {
+        image: ImageId,
+        chunk_index: usize,
+        expected: ChunkHash,
+        actual: ChunkHash,
+    },
+    /// A manifest references a chunk the store has lost entirely —
+    /// refcounting is broken (internal-consistency error).
+    MissingChunk { image: ImageId, chunk_index: usize },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownImage(id) => write!(f, "unknown image {id:?}"),
+            StoreError::CorruptChunk { image, chunk_index, expected, actual } => write!(
+                f,
+                "corrupt chunk {chunk_index} of {image:?}: expected {expected}, found {actual}"
+            ),
+            StoreError::MissingChunk { image, chunk_index } => {
+                write!(f, "missing chunk {chunk_index} of {image:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Store-wide dedup accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageStats {
+    /// Sum of the byte lengths of every live image.
+    pub logical_bytes: u64,
+    /// Bytes actually held in chunks (each distinct chunk counted once).
+    pub physical_bytes: u64,
+    /// `logical / physical`; 1.0 for an empty store.
+    pub dedup_ratio: f64,
+    /// Distinct chunks referenced by more than one manifest entry.
+    pub chunks_shared: u64,
+}
+
+/// What one `put_image` call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutReport {
+    pub image: ImageId,
+    /// Byte length of the stored image.
+    pub logical_bytes: u64,
+    /// Bytes of chunks this put added to the store (the image's physical
+    /// residual against everything already stored — what a transfer of
+    /// this image on top of its parent actually has to move).
+    pub new_physical_bytes: u64,
+    /// Chunks in this image's manifest.
+    pub chunks_total: u64,
+    /// Chunks that were not already in the store.
+    pub chunks_new: u64,
+}
+
+struct ChunkEntry {
+    data: Vec<u8>,
+    refs: u64,
+}
+
+struct Manifest {
+    logical_len: u64,
+    chunks: Vec<ChunkHash>,
+}
+
+/// Content-addressed chunk store with refcounted dedup.
+pub struct ChunkStore {
+    chunk_size: usize,
+    chunks: HashMap<ChunkHash, ChunkEntry>,
+    images: HashMap<u64, Manifest>,
+    next_image: u64,
+}
+
+impl ChunkStore {
+    pub fn new() -> Self {
+        Self::with_chunk_size(DEFAULT_CHUNK_SIZE)
+    }
+
+    /// # Panics
+    ///
+    /// Panics on a zero chunk size.
+    pub fn with_chunk_size(chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "zero chunk size");
+        ChunkStore {
+            chunk_size,
+            chunks: HashMap::new(),
+            images: HashMap::new(),
+            next_image: 0,
+        }
+    }
+
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Stores an image: chunks it, inserts unseen chunks, bumps
+    /// refcounts on shared ones.
+    pub fn put_image(&mut self, bytes: &[u8]) -> PutReport {
+        let mut manifest = Vec::with_capacity(bytes.len().div_ceil(self.chunk_size));
+        let mut new_physical = 0u64;
+        let mut chunks_new = 0u64;
+        for chunk in bytes.chunks(self.chunk_size) {
+            let h = chunk_hash(chunk);
+            let entry = self.chunks.entry(h).or_insert_with(|| {
+                new_physical += chunk.len() as u64;
+                chunks_new += 1;
+                ChunkEntry { data: chunk.to_vec(), refs: 0 }
+            });
+            entry.refs += 1;
+            manifest.push(h);
+        }
+        let id = ImageId(self.next_image);
+        self.next_image += 1;
+        let chunks_total = manifest.len() as u64;
+        self.images.insert(id.0, Manifest { logical_len: bytes.len() as u64, chunks: manifest });
+        PutReport {
+            image: id,
+            logical_bytes: bytes.len() as u64,
+            new_physical_bytes: new_physical,
+            chunks_total,
+            chunks_new,
+        }
+    }
+
+    /// Reassembles an image, re-hashing every chunk on the way out.
+    pub fn load_image(&self, id: ImageId) -> Result<Vec<u8>, StoreError> {
+        let m = self.images.get(&id.0).ok_or(StoreError::UnknownImage(id))?;
+        let mut out = Vec::with_capacity(m.logical_len as usize);
+        for (i, h) in m.chunks.iter().enumerate() {
+            let entry = self
+                .chunks
+                .get(h)
+                .ok_or(StoreError::MissingChunk { image: id, chunk_index: i })?;
+            let actual = chunk_hash(&entry.data);
+            if actual != *h {
+                return Err(StoreError::CorruptChunk {
+                    image: id,
+                    chunk_index: i,
+                    expected: *h,
+                    actual,
+                });
+            }
+            out.extend_from_slice(&entry.data);
+        }
+        debug_assert_eq!(out.len() as u64, m.logical_len, "manifest length drifted");
+        Ok(out)
+    }
+
+    /// Drops an image, decrementing refcounts and releasing chunks whose
+    /// last reference this was. Returns the physical bytes freed.
+    pub fn remove_image(&mut self, id: ImageId) -> Result<u64, StoreError> {
+        let m = self.images.remove(&id.0).ok_or(StoreError::UnknownImage(id))?;
+        let mut freed = 0u64;
+        for h in &m.chunks {
+            let entry = self.chunks.get_mut(h).expect("manifest chunk missing on remove");
+            entry.refs -= 1;
+            if entry.refs == 0 {
+                freed += entry.data.len() as u64;
+                self.chunks.remove(h);
+            }
+        }
+        Ok(freed)
+    }
+
+    pub fn contains(&self, id: ImageId) -> bool {
+        self.images.contains_key(&id.0)
+    }
+
+    /// Byte length of a stored image.
+    pub fn image_len(&self, id: ImageId) -> Result<u64, StoreError> {
+        self.images
+            .get(&id.0)
+            .map(|m| m.logical_len)
+            .ok_or(StoreError::UnknownImage(id))
+    }
+
+    /// Live images in the store.
+    pub fn image_count(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Distinct chunks currently held.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Bytes actually held in chunks (each distinct chunk once).
+    pub fn physical_bytes(&self) -> u64 {
+        self.chunks.values().map(|c| c.data.len() as u64).sum()
+    }
+
+    /// Store-wide dedup accounting.
+    pub fn stats(&self) -> ImageStats {
+        let logical: u64 = self.images.values().map(|m| m.logical_len).sum();
+        let physical = self.physical_bytes();
+        ImageStats {
+            logical_bytes: logical,
+            physical_bytes: physical,
+            dedup_ratio: if physical == 0 { 1.0 } else { logical as f64 / physical as f64 },
+            chunks_shared: self.chunks.values().filter(|c| c.refs > 1).count() as u64,
+        }
+    }
+
+    /// Test hook: flips one byte inside a stored chunk of `image` so the
+    /// next `load_image` must report `CorruptChunk`. Returns false if the
+    /// image or chunk does not exist.
+    #[doc(hidden)]
+    pub fn corrupt_chunk_for_test(&mut self, image: ImageId, chunk_index: usize, byte: usize) -> bool {
+        let Some(m) = self.images.get(&image.0) else { return false };
+        let Some(h) = m.chunks.get(chunk_index).copied() else { return false };
+        let Some(entry) = self.chunks.get_mut(&h) else { return false };
+        if entry.data.is_empty() {
+            return false;
+        }
+        let i = byte % entry.data.len();
+        entry.data[i] ^= 0x01;
+        true
+    }
+}
+
+impl Default for ChunkStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image_with(chunk_size: usize, pattern: impl Fn(usize) -> u8, len: usize) -> Vec<u8> {
+        let _ = chunk_size;
+        (0..len).map(pattern).collect()
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let mut s = ChunkStore::with_chunk_size(64);
+        let img = image_with(64, |i| (i % 251) as u8, 1000);
+        let r = s.put_image(&img);
+        assert_eq!(r.logical_bytes, 1000);
+        assert_eq!(r.chunks_total, 16, "ceil(1000/64)");
+        assert_eq!(s.load_image(r.image).unwrap(), img);
+    }
+
+    #[test]
+    fn identical_images_share_everything() {
+        let mut s = ChunkStore::with_chunk_size(64);
+        let img = image_with(64, |i| (i / 64) as u8, 4096);
+        let r1 = s.put_image(&img);
+        let r2 = s.put_image(&img);
+        assert_eq!(r1.chunks_new, r1.chunks_total);
+        assert_eq!(r2.chunks_new, 0, "second copy stores nothing");
+        assert_eq!(r2.new_physical_bytes, 0);
+        let st = s.stats();
+        assert_eq!(st.logical_bytes, 8192);
+        assert_eq!(st.physical_bytes, 4096);
+        assert!((st.dedup_ratio - 2.0).abs() < 1e-12);
+        assert_eq!(st.chunks_shared, 64);
+    }
+
+    #[test]
+    fn child_stores_only_the_delta() {
+        let mut s = ChunkStore::with_chunk_size(64);
+        let parent = image_with(64, |i| (i / 64) as u8, 64 * 100);
+        let mut child = parent.clone();
+        // Change chunks 10 and 20 only.
+        child[64 * 10] ^= 0xFF;
+        child[64 * 20] ^= 0xFF;
+        let rp = s.put_image(&parent);
+        let rc = s.put_image(&child);
+        assert_eq!(rp.chunks_new, 100);
+        assert_eq!(rc.chunks_new, 2);
+        assert_eq!(rc.new_physical_bytes, 128);
+        assert_eq!(s.load_image(rc.image).unwrap(), child);
+    }
+
+    #[test]
+    fn remove_releases_exactly_the_unshared_chunks() {
+        let mut s = ChunkStore::with_chunk_size(64);
+        let parent = image_with(64, |i| (i / 64) as u8, 64 * 10);
+        let mut child = parent.clone();
+        child[0] ^= 0xFF;
+        let rp = s.put_image(&parent);
+        let rc = s.put_image(&child);
+        assert_eq!(s.chunk_count(), 11);
+
+        // Dropping the child frees only its private chunk.
+        let freed = s.remove_image(rc.image).unwrap();
+        assert_eq!(freed, 64);
+        assert_eq!(s.chunk_count(), 10);
+        assert_eq!(s.load_image(rp.image).unwrap(), parent);
+
+        // Dropping the parent empties the store.
+        let freed = s.remove_image(rp.image).unwrap();
+        assert_eq!(freed, 64 * 10);
+        assert_eq!(s.chunk_count(), 0);
+        assert_eq!(s.physical_bytes(), 0);
+        assert!(matches!(s.load_image(rp.image), Err(StoreError::UnknownImage(_))));
+    }
+
+    #[test]
+    fn double_remove_is_a_typed_error() {
+        let mut s = ChunkStore::new();
+        let r = s.put_image(b"hello");
+        s.remove_image(r.image).unwrap();
+        assert_eq!(s.remove_image(r.image), Err(StoreError::UnknownImage(r.image)));
+    }
+
+    #[test]
+    fn corruption_surfaces_as_typed_error_not_panic() {
+        let mut s = ChunkStore::with_chunk_size(64);
+        let img = image_with(64, |i| i as u8, 500);
+        let r = s.put_image(&img);
+        assert!(s.corrupt_chunk_for_test(r.image, 3, 17));
+        match s.load_image(r.image) {
+            Err(StoreError::CorruptChunk { chunk_index, .. }) => assert_eq!(chunk_index, 3),
+            other => panic!("expected CorruptChunk, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_image_round_trips() {
+        let mut s = ChunkStore::new();
+        let r = s.put_image(b"");
+        assert_eq!(r.chunks_total, 0);
+        assert_eq!(s.load_image(r.image).unwrap(), Vec::<u8>::new());
+        assert_eq!(s.remove_image(r.image).unwrap(), 0);
+    }
+
+    #[test]
+    fn stats_on_empty_store() {
+        let s = ChunkStore::new();
+        let st = s.stats();
+        assert_eq!(st.logical_bytes, 0);
+        assert_eq!(st.physical_bytes, 0);
+        assert_eq!(st.dedup_ratio, 1.0);
+        assert_eq!(st.chunks_shared, 0);
+    }
+}

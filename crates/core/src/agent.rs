@@ -84,7 +84,13 @@ impl HostAgent for CheckpointAgent {
     fn on_checkpoint_captured(&mut self, host: &mut VmHost, ctx: &mut Ctx<'_>) {
         self.completed += 1;
         let epoch = self.epoch;
-        host.send_ctrl(ctx, self.coordinator, BUS_MSG_BYTES, BusMsg::NodeDone { epoch });
+        let image_bytes = host.last_image().map(|i| i.dirty_bytes).unwrap_or(0);
+        host.send_ctrl(
+            ctx,
+            self.coordinator,
+            BUS_MSG_BYTES,
+            BusMsg::NodeDone { epoch, image_bytes },
+        );
     }
 
     fn on_guest_trigger(&mut self, host: &mut VmHost, ctx: &mut Ctx<'_>) {

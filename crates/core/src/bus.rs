@@ -19,8 +19,10 @@ pub enum BusMsg {
     CheckpointAt { epoch: u64, at_clock_ns: f64 },
     /// Take a checkpoint immediately on receipt (event-driven mode).
     CheckpointNow { epoch: u64 },
-    /// A node finished capturing its local checkpoint.
-    NodeDone { epoch: u64 },
+    /// A node finished capturing its local checkpoint. `image_bytes`
+    /// reports the size of the captured state so the coordinator can
+    /// account per-epoch image volume.
+    NodeDone { epoch: u64, image_bytes: u64 },
     /// All nodes are done: resume execution.
     Resume { epoch: u64 },
     /// A node asks the coordinator for an immediate checkpoint round

@@ -32,6 +32,8 @@ pub struct EpochRecord {
     pub barrier_done: Option<SimTime>,
     /// True time the resume was published.
     pub resumed: Option<SimTime>,
+    /// Total image bytes reported by nodes for this epoch.
+    pub captured_bytes: u64,
 }
 
 /// Checkpoint trigger style.
@@ -226,6 +228,7 @@ impl Coordinator {
             published: ctx.now(),
             barrier_done: None,
             resumed: None,
+            captured_bytes: 0,
         });
         self.publish(ctx, group, msg);
     }
@@ -251,7 +254,7 @@ impl Coordinator {
         self.periodic = None;
     }
 
-    fn on_node_done(&mut self, ctx: &mut Ctx<'_>, epoch: u64, node: NodeAddr) {
+    fn on_node_done(&mut self, ctx: &mut Ctx<'_>, epoch: u64, node: NodeAddr, image_bytes: u64) {
         let Some(group) = self.group_of(node) else {
             return; // Unsubscribed mid-round (swap-out).
         };
@@ -261,7 +264,12 @@ impl Coordinator {
         if epoch != *cur_epoch {
             return; // Stale report.
         }
-        pending.remove(&node);
+        if !pending.remove(&node) {
+            return; // Duplicate report: don't double-count bytes.
+        }
+        if let Some(rec) = self.records.iter_mut().rev().find(|r| r.epoch == epoch) {
+            rec.captured_bytes += image_bytes;
+        }
         if pending.is_empty() {
             if let Some(rec) = self.records.iter_mut().rev().find(|r| r.epoch == epoch) {
                 rec.barrier_done = Some(ctx.now());
@@ -290,8 +298,8 @@ impl Component for Coordinator {
                     ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
                 } else if let Some(&msg) = del.frame.payload::<BusMsg>() {
                     match msg {
-                        BusMsg::NodeDone { epoch } => {
-                            self.on_node_done(ctx, epoch, del.frame.src);
+                        BusMsg::NodeDone { epoch, image_bytes } => {
+                            self.on_node_done(ctx, epoch, del.frame.src, image_bytes);
                         }
                         BusMsg::RequestCheckpoint => {
                             // Event-driven trigger from a node: checkpoint
@@ -373,7 +381,10 @@ mod tests {
                     self.addr,
                     self.coord_addr,
                     BUS_MSG_BYTES,
-                    BusMsg::NodeDone { epoch: done.epoch },
+                    BusMsg::NodeDone {
+                        epoch: done.epoch,
+                        image_bytes: 1 << 20,
+                    },
                 );
                 ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
             }
@@ -429,7 +440,13 @@ mod tests {
         }
         // After the slowest (50 ms) reports: everyone resumes.
         e.run_for(SimDuration::from_millis(40));
-        assert_eq!(e.component_ref::<Coordinator>(coord).unwrap().completed(), 1);
+        let c = e.component_ref::<Coordinator>(coord).unwrap();
+        assert_eq!(c.completed(), 1);
+        assert_eq!(
+            c.records[0].captured_bytes,
+            3 << 20,
+            "each node reports 1 MiB of captured image"
+        );
         for &n in &nodes {
             assert_eq!(e.component_ref::<FakeNode>(n).unwrap().resumed, 1);
         }

@@ -224,7 +224,7 @@ impl DelayNodeHost {
             // Replay in progress: queue the fresh arrival behind it, paced
             // at roughly wire speed so the replay tail does not become an
             // instantaneous burst that overfills the pipe queue (§3.2).
-            self.replay_until = self.replay_until + SimDuration::from_micros(12);
+            self.replay_until += SimDuration::from_micros(12);
             ctx.post_at(ctx.self_id(), self.replay_until, DnMsg::Replay { pipe, frame });
             return;
         }
@@ -298,7 +298,7 @@ impl DelayNodeHost {
                 None => SimDuration::ZERO,
             };
             prev = Some(a.at);
-            at = at + gap;
+            at += gap;
             ctx.post_at(
                 ctx.self_id(),
                 at,
@@ -352,7 +352,8 @@ impl Component for DelayNodeHost {
             }
             DnMsg::CaptureDone => {
                 let epoch = self.epoch;
-                self.send_ctrl(ctx, BusMsg::NodeDone { epoch });
+                let image_bytes = self.last_image().map(|i| i.byte_size()).unwrap_or(0);
+                self.send_ctrl(ctx, BusMsg::NodeDone { epoch, image_bytes });
             }
             DnMsg::Replay { pipe, frame } => {
                 let now = ctx.now();

@@ -9,6 +9,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use ckptstore::{Dec, DecodeError, Enc};
+
 /// Content of one virtual disk block.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum BlockData {
@@ -25,6 +27,34 @@ impl BlockData {
     /// True if this is the zero block.
     pub fn is_zero(&self) -> bool {
         matches!(self, BlockData::Zero)
+    }
+
+    /// Serializes a single block value inline (fingerprints stay compact;
+    /// bulk delta payloads go through [`DeltaMap::encode_wire`] instead,
+    /// which emits chunk-aligned full-size records for dedup).
+    pub fn encode_wire(&self, e: &mut Enc) {
+        match self {
+            BlockData::Zero => e.u8(0),
+            BlockData::Opaque(fp) => {
+                e.u8(1);
+                e.u64(*fp);
+            }
+            BlockData::Bitmap(bm) => {
+                e.u8(2);
+                bm.encode_wire(e);
+            }
+        }
+    }
+
+    /// Inverse of [`BlockData::encode_wire`].
+    pub fn decode_wire(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let at = d.position();
+        match d.u8()? {
+            0 => Ok(BlockData::Zero),
+            1 => Ok(BlockData::Opaque(d.u64()?)),
+            2 => Ok(BlockData::Bitmap(BitmapBlock::decode_wire(d)?)),
+            tag => Err(DecodeError::BadTag { at, tag, what: "block data" }),
+        }
     }
 }
 
@@ -113,6 +143,33 @@ impl BitmapBlock {
     /// Index of the first free block in the group, if any.
     pub fn first_free(&self) -> Option<u32> {
         (0..self.group_blocks).find(|&i| !self.get(i))
+    }
+
+    /// Serializes the bitmap (words inline, length-prefixed).
+    pub fn encode_wire(&self, e: &mut Enc) {
+        e.u32(self.group);
+        e.u64(self.group_start);
+        e.u32(self.group_blocks);
+        e.seq(self.words.len());
+        for w in self.words.iter() {
+            e.u64(*w);
+        }
+    }
+
+    /// Inverse of [`BitmapBlock::encode_wire`].
+    pub fn decode_wire(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let group = d.u32()?;
+        let group_start = d.u64()?;
+        let group_blocks = d.u32()?;
+        let n = d.seq()?;
+        if n != group_blocks.div_ceil(64) as usize {
+            return Err(DecodeError::Invalid("bitmap word count"));
+        }
+        let mut words = Vec::with_capacity(n);
+        for _ in 0..n {
+            words.push(d.u64()?);
+        }
+        Ok(BitmapBlock { group, group_start, group_blocks, words: Arc::new(words) })
     }
 }
 
@@ -207,6 +264,111 @@ impl DeltaMap {
     pub fn byte_size(&self, block_size: u32) -> u64 {
         self.len() as u64 * block_size as u64
     }
+
+    /// Serializes the delta in two sections.
+    ///
+    /// The *meta* section records the full log — every slot's vba and a
+    /// content tag, with tombstones and bitmap/zero payloads inline. The
+    /// *data* section, padded to a `block_size` boundary, then carries
+    /// one exactly-`block_size`-byte record per live opaque block in log
+    /// order: the 8-byte fingerprint followed by a fill synthesized
+    /// deterministically from it (the simulator's stand-in for the
+    /// block's 4 KiB payload). Because the log is append-only and records
+    /// are chunk-aligned, a child delta's encoding shares every parent
+    /// block's chunks — which is what the content-addressed store dedups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is not a positive multiple of 16.
+    pub fn encode_wire(&self, e: &mut Enc, block_size: u32) {
+        assert!(block_size >= 16 && block_size.is_multiple_of(16), "bad block size");
+        e.seq(self.entries.len());
+        for (vba, data) in &self.entries {
+            e.u64(*vba);
+            if *vba == u64::MAX {
+                e.u8(0); // Tombstone (eliminated block); no payload anywhere.
+                continue;
+            }
+            match data {
+                BlockData::Zero => e.u8(1),
+                BlockData::Opaque(_) => e.u8(2), // Payload in the data section.
+                BlockData::Bitmap(bm) => {
+                    e.u8(3);
+                    bm.encode_wire(e);
+                }
+            }
+        }
+        e.pad_to(block_size as usize);
+        for (vba, data) in &self.entries {
+            if *vba == u64::MAX {
+                continue;
+            }
+            if let BlockData::Opaque(fp) = data {
+                synth_block_record(e, *fp, block_size);
+            }
+        }
+    }
+
+    /// Inverse of [`DeltaMap::encode_wire`].
+    pub fn decode_wire(d: &mut Dec<'_>, block_size: u32) -> Result<Self, DecodeError> {
+        let n = d.seq()?;
+        let mut entries: Vec<(u64, BlockData)> = Vec::with_capacity(n);
+        // Slots whose payload lives in the data section, in log order.
+        let mut opaque_slots = Vec::new();
+        for slot in 0..n {
+            let vba = d.u64()?;
+            let at = d.position();
+            match d.u8()? {
+                0 => {
+                    if vba != u64::MAX {
+                        return Err(DecodeError::Invalid("tombstone with a live vba"));
+                    }
+                    entries.push((u64::MAX, BlockData::Zero));
+                }
+                1 => entries.push((vba, BlockData::Zero)),
+                2 => {
+                    opaque_slots.push(slot);
+                    entries.push((vba, BlockData::Opaque(0))); // Patched below.
+                }
+                3 => entries.push((vba, BlockData::Bitmap(BitmapBlock::decode_wire(d)?))),
+                tag => return Err(DecodeError::BadTag { at, tag, what: "block data" }),
+            }
+        }
+        d.align_to(block_size as usize)?;
+        for slot in opaque_slots {
+            let fp = read_block_record(d, block_size)?;
+            entries[slot].1 = BlockData::Opaque(fp);
+        }
+        let mut index = HashMap::with_capacity(entries.len());
+        for (slot, (vba, _)) in entries.iter().enumerate() {
+            if *vba != u64::MAX {
+                index.insert(*vba, slot);
+            }
+        }
+        Ok(DeltaMap { index, entries })
+    }
+}
+
+/// Writes one data-section block record: the fingerprint plus a
+/// SplitMix64 fill expanded from it, exactly `block_size` bytes total.
+fn synth_block_record(e: &mut Enc, fp: u64, block_size: u32) {
+    e.u64(fp);
+    let mut state = fp;
+    for _ in 0..(block_size as usize / 8 - 1) {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        e.u64(z ^ (z >> 31));
+    }
+}
+
+/// Reads one block record back, returning the fingerprint. The fill is
+/// skipped — the store's content hash already guards its integrity.
+fn read_block_record(d: &mut Dec<'_>, block_size: u32) -> Result<u64, DecodeError> {
+    let fp = d.u64()?;
+    d.raw(block_size as usize - 8)?;
+    Ok(fp)
 }
 
 #[cfg(test)]
@@ -292,5 +454,63 @@ mod tests {
         d.put(1, BlockData::Opaque(1));
         d.put(2, BlockData::Opaque(2));
         assert_eq!(d.byte_size(4096), 8192);
+    }
+
+    fn delta_eq(a: &DeltaMap, b: &DeltaMap) {
+        let av: Vec<_> = a.iter_log_order().map(|(v, d)| (v, d.clone())).collect();
+        let bv: Vec<_> = b.iter_log_order().map(|(v, d)| (v, d.clone())).collect();
+        assert_eq!(av, bv);
+        assert_eq!(a.entries.len(), b.entries.len(), "tombstones preserved");
+    }
+
+    #[test]
+    fn delta_wire_round_trip_with_all_content_kinds() {
+        let mut d = DeltaMap::new();
+        d.put(5, BlockData::Opaque(0xAB));
+        d.put(1, BlockData::Zero);
+        d.put(9, BlockData::Bitmap(BitmapBlock::new_free(2, 4000, 100).with(7, true)));
+        d.put(12, BlockData::Opaque(0xCD));
+        d.remove(5); // Tombstone mid-log.
+
+        let mut e = Enc::new();
+        d.encode_wire(&mut e, 4096);
+        let bytes = e.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let back = DeltaMap::decode_wire(&mut dec, 4096).unwrap();
+        delta_eq(&d, &back);
+        assert_eq!(back.get(9).unwrap().1, d.get(9).unwrap().1);
+        assert!(back.get(5).is_none());
+    }
+
+    #[test]
+    fn delta_encoding_is_append_stable() {
+        // A child delta that extends the parent's log shares every byte
+        // of the parent's data section — the dedup-bearing property.
+        let mut parent = DeltaMap::new();
+        for i in 0..20u64 {
+            parent.put(i * 7, BlockData::Opaque(i + 100));
+        }
+        let mut child = parent.clone();
+        child.put(999, BlockData::Opaque(7777));
+
+        let (mut ep, mut ec) = (Enc::new(), Enc::new());
+        parent.encode_wire(&mut ep, 4096);
+        child.encode_wire(&mut ec, 4096);
+        let (pb, cb) = (ep.into_bytes(), ec.into_bytes());
+        // Data sections start at the first 4096 boundary; the parent's
+        // whole data section is a prefix of the child's.
+        assert_eq!(pb[4096..], cb[4096..4096 + (pb.len() - 4096)]);
+    }
+
+    #[test]
+    fn delta_wire_truncation_is_typed_error() {
+        let mut d = DeltaMap::new();
+        d.put(1, BlockData::Opaque(42));
+        let mut e = Enc::new();
+        d.encode_wire(&mut e, 4096);
+        let mut bytes = e.into_bytes();
+        bytes.truncate(bytes.len() - 100);
+        let mut dec = Dec::new(&bytes);
+        assert!(DeltaMap::decode_wire(&mut dec, 4096).is_err());
     }
 }

@@ -15,6 +15,8 @@
 
 use std::collections::HashMap;
 
+use ckptstore::{Dec, DecodeError, Enc};
+
 use crate::block::{BitmapBlock, BlockData};
 
 /// The ext3 snooping plugin: a shadow copy of the allocation bitmaps.
@@ -65,6 +67,33 @@ impl Ext3Snoop {
     pub fn allocated_blocks(&self) -> u64 {
         self.bitmaps.values().map(|b| b.allocated_count() as u64).sum()
     }
+
+    /// Serializes the snoop's shadow bitmaps (in group order) and counters.
+    pub fn encode_wire(&self, e: &mut Enc) {
+        let mut groups: Vec<&BitmapBlock> = self.bitmaps.values().collect();
+        groups.sort_by_key(|b| b.group);
+        e.seq(groups.len());
+        for b in groups {
+            b.encode_wire(e);
+        }
+        e.u64(self.bitmap_writes);
+        e.u64(self.data_writes);
+    }
+
+    /// Inverse of [`Ext3Snoop::encode_wire`].
+    pub fn decode_wire(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let n = d.seq()?;
+        let mut bitmaps = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let b = BitmapBlock::decode_wire(d)?;
+            if bitmaps.insert(b.group, b).is_some() {
+                return Err(DecodeError::Invalid("duplicate snoop bitmap group"));
+            }
+        }
+        let bitmap_writes = d.u64()?;
+        let data_writes = d.u64()?;
+        Ok(Ext3Snoop { bitmaps, bitmap_writes, data_writes })
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +133,25 @@ mod tests {
         s.on_write(100, &bitmap(0, 1000, 100, &[]));
         assert!(s.is_free(1005));
         assert_eq!(s.bitmap_writes, 2);
+    }
+
+    #[test]
+    fn snoop_wire_round_trip() {
+        use ckptstore::{Dec, Enc};
+        let mut s = Ext3Snoop::new();
+        s.on_write(1, &BlockData::Opaque(9));
+        s.on_write(2, &bitmap(0, 0, 100, &[1, 2]));
+        s.on_write(3, &bitmap(1, 100, 100, &[50]));
+        let mut e = Enc::new();
+        s.encode_wire(&mut e);
+        let bytes = e.into_bytes();
+        let back = Ext3Snoop::decode_wire(&mut Dec::new(&bytes)).unwrap();
+        assert_eq!(back.groups_known(), 2);
+        assert_eq!(back.bitmap_writes, 2);
+        assert_eq!(back.data_writes, 1);
+        assert!(back.is_free(3));
+        assert!(!back.is_free(1));
+        assert!(!back.is_free(150));
     }
 
     #[test]

@@ -1,9 +1,14 @@
-//! Property-based tests: the branching store must be indistinguishable,
-//! content-wise, from a flat disk — across COW modes, branch seals, and
-//! free-block elimination; the merge must be newest-wins and ordered; the
-//! mirror transfer must move every block exactly once (net of re-dirties).
+//! Randomized property tests: the branching store must be
+//! indistinguishable, content-wise, from a flat disk — across COW modes,
+//! branch seals, and free-block elimination; the merge must be
+//! newest-wins and ordered; the mirror transfer must move every block
+//! exactly once (net of re-dirties).
+//!
+//! Hand-rolled case generation driven by `SimRng`; gated behind the
+//! `props` feature. Generation is deterministic per case index.
+#![cfg(feature = "props")]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use cowstore::{
@@ -11,10 +16,10 @@ use cowstore::{
     MirrorTransfer, StoreLayout,
 };
 use hwsim::{Disk, DiskProfile, DiskQueue};
-use proptest::prelude::*;
 use sim::{SimDuration, SimRng, SimTime};
 
 const BLOCKS: u64 = 4096;
+const CASES: u64 = 64;
 
 fn rig(mode: CowMode) -> (BranchingStore, DiskQueue, SimRng) {
     let golden = Arc::new(GoldenImageBuilder::new("g", BLOCKS, 4096, 77).build());
@@ -39,27 +44,29 @@ enum Op {
     Seal,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0..BLOCKS, any::<u64>()).prop_map(|(v, d)| Op::Write(v, d)),
-        4 => (0..BLOCKS).prop_map(Op::Read),
-        1 => Just(Op::Seal),
-    ]
+fn random_op(g: &mut SimRng) -> Op {
+    // Weights 4:4:1, matching the original strategy.
+    match g.range_u64(0, 9) {
+        0..=3 => Op::Write(g.range_u64(0, BLOCKS), g.range_u64(0, u64::MAX)),
+        4..=7 => Op::Read(g.range_u64(0, BLOCKS)),
+        _ => Op::Seal,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Whatever sequence of writes, reads, and branch seals runs against
-    /// any COW mode, reads always return exactly what a flat disk would.
-    #[test]
-    fn store_matches_flat_model(ops in prop::collection::vec(op_strategy(), 1..120),
-                                mode_sel in 0..3u8) {
-        let mode = match mode_sel {
+/// Whatever sequence of writes, reads, and branch seals runs against any
+/// COW mode, reads always return exactly what a flat disk would.
+#[test]
+fn store_matches_flat_model() {
+    for case in 0..CASES {
+        let mut g = SimRng::for_component(0xF1A7, case as u32);
+        let n_ops = g.range_u64(1, 120) as usize;
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut g)).collect();
+        let mode = match g.range_u64(0, 3) {
             0 => CowMode::Base,
             1 => CowMode::BranchOrig { chunk_blocks: 16 },
             _ => CowMode::Branch,
         };
+
         let (mut store, mut dq, mut rng) = rig(mode);
         let golden = Arc::new(GoldenImageBuilder::new("g", BLOCKS, 4096, 77).build());
         let mut flat: HashMap<u64, BlockData> = HashMap::new();
@@ -74,7 +81,7 @@ proptest! {
                 Op::Read(vba) => {
                     let (got, _) = store.read_block(now, vba, &mut dq, &mut rng);
                     let want = flat.get(&vba).cloned().unwrap_or_else(|| golden.read(vba));
-                    prop_assert_eq!(got, want, "mode {:?} vba {}", mode, vba);
+                    assert_eq!(got, want, "case {case}: mode {mode:?} vba {vba}");
                 }
                 Op::Seal => {
                     if mode != CowMode::Base {
@@ -86,17 +93,26 @@ proptest! {
         // Full sweep at the end.
         for vba in 0..BLOCKS {
             let want = flat.get(&vba).cloned().unwrap_or_else(|| golden.read(vba));
-            prop_assert_eq!(store.peek(vba), want);
+            assert_eq!(store.peek(vba), want, "case {case}");
         }
     }
+}
 
-    /// Merging is newest-wins and equivalent to a map overlay, and the
-    /// output iterates in vba order.
-    #[test]
-    fn merge_is_newest_wins_overlay(
-        old in prop::collection::vec((0..500u64, any::<u64>()), 0..80),
-        new in prop::collection::vec((0..500u64, any::<u64>()), 0..80),
-    ) {
+/// Merging is newest-wins and equivalent to a map overlay, and the output
+/// iterates in vba order.
+#[test]
+fn merge_is_newest_wins_overlay() {
+    for case in 0..CASES {
+        let mut g = SimRng::for_component(0x3E46E, case as u32);
+        let n_old = g.range_u64(0, 80) as usize;
+        let old: Vec<(u64, u64)> = (0..n_old)
+            .map(|_| (g.range_u64(0, 500), g.range_u64(0, u64::MAX)))
+            .collect();
+        let n_new = g.range_u64(0, 80) as usize;
+        let new: Vec<(u64, u64)> = (0..n_new)
+            .map(|_| (g.range_u64(0, 500), g.range_u64(0, u64::MAX)))
+            .collect();
+
         let mut agg = DeltaMap::new();
         let mut model: HashMap<u64, u64> = HashMap::new();
         for (v, d) in &old {
@@ -109,27 +125,36 @@ proptest! {
             model.insert(*v, *d);
         }
         let (merged, stats) = merge_reorder(&agg, &cur);
-        prop_assert_eq!(merged.len(), model.len());
-        prop_assert_eq!(stats.merged_blocks as usize, model.len());
+        assert_eq!(merged.len(), model.len(), "case {case}");
+        assert_eq!(stats.merged_blocks as usize, model.len(), "case {case}");
         let mut prev = None;
         for (vba, data) in merged.iter_log_order() {
-            prop_assert_eq!(data, &BlockData::Opaque(model[&vba]));
+            assert_eq!(data, &BlockData::Opaque(model[&vba]), "case {case}");
             if let Some(p) = prev {
-                prop_assert!(vba > p, "not vba-ordered");
+                assert!(vba > p, "case {case}: not vba-ordered");
             }
             prev = Some(vba);
         }
     }
+}
 
-    /// The mirror transfer copies every block exactly once plus exactly
-    /// one extra copy per dirty-requeue, and `done()` implies everything
-    /// was copied.
-    #[test]
-    fn mirror_moves_everything_exactly_once(
-        blocks in prop::collection::hash_set(0..2000u64, 1..200),
-        dirty_points in prop::collection::vec((0..1000usize, 0..2000u64), 0..40),
-    ) {
-        let blocks: Vec<u64> = blocks.into_iter().collect();
+/// The mirror transfer copies every block exactly once plus exactly one
+/// extra copy per dirty-requeue, and `done()` implies everything was
+/// copied.
+#[test]
+fn mirror_moves_everything_exactly_once() {
+    for case in 0..CASES {
+        let mut g = SimRng::for_component(0x3144, case as u32);
+        let n_blocks = g.range_u64(1, 200) as usize;
+        let blocks: Vec<u64> = {
+            let set: HashSet<u64> = (0..n_blocks).map(|_| g.range_u64(0, 2000)).collect();
+            set.into_iter().collect()
+        };
+        let n_dirty = g.range_u64(0, 40) as usize;
+        let dirty_points: Vec<(usize, u64)> = (0..n_dirty)
+            .map(|_| (g.range_u64(0, 1000) as usize, g.range_u64(0, 2000)))
+            .collect();
+
         let mut m = MirrorTransfer::new(Direction::CopyOut, blocks.clone(), 4096, 8_000_000);
         let mut copies: HashMap<u64, u32> = HashMap::new();
         let mut step = 0usize;
@@ -143,31 +168,39 @@ proptest! {
                 m.enqueue_or_dirty(dirty_vba);
             }
             step += 1;
-            prop_assert!(step < 10_000, "runaway transfer");
+            assert!(step < 10_000, "case {case}: runaway transfer");
         }
-        prop_assert!(m.done());
+        assert!(m.done(), "case {case}");
         // Every original block moved at least once; total extra copies
         // equal the recorded dirty requeues.
         for b in &blocks {
-            prop_assert!(copies.get(b).copied().unwrap_or(0) >= 1, "block {b} never copied");
+            assert!(
+                copies.get(b).copied().unwrap_or(0) >= 1,
+                "case {case}: block {b} never copied"
+            );
         }
         let extra: u32 = copies.values().map(|&c| c - 1).sum::<u32>();
         // Requeues of blocks that were still queued don't re-copy; the
         // counter only counts post-copy dirties, which all re-copy.
-        prop_assert_eq!(extra as u64, m.dirty_requeues);
+        assert_eq!(extra as u64, m.dirty_requeues, "case {case}");
     }
+}
 
-    /// Free-block elimination never drops a block the filesystem still
-    /// holds: filtering is sound against any bitmap history.
-    #[test]
-    fn elimination_is_conservative(
-        allocs in prop::collection::vec(0..256u32, 1..60),
-        frees in prop::collection::vec(0..256u32, 0..60),
-    ) {
-        use cowstore::{BitmapBlock, Ext3Snoop};
+/// Free-block elimination never drops a block the filesystem still
+/// holds: filtering is sound against any bitmap history.
+#[test]
+fn elimination_is_conservative() {
+    use cowstore::{BitmapBlock, Ext3Snoop};
+    for case in 0..CASES {
+        let mut g = SimRng::for_component(0xE117, case as u32);
+        let n_allocs = g.range_u64(1, 60) as usize;
+        let allocs: Vec<u32> = (0..n_allocs).map(|_| g.range_u64(0, 256) as u32).collect();
+        let n_frees = g.range_u64(0, 60) as usize;
+        let frees: Vec<u32> = (0..n_frees).map(|_| g.range_u64(0, 256) as u32).collect();
+
         let mut snoop = Ext3Snoop::new();
         let mut bm = BitmapBlock::new_free(0, 0, 256);
-        let mut live = std::collections::HashSet::new();
+        let mut live = HashSet::new();
         for a in &allocs {
             bm = bm.with(*a, true);
             live.insert(*a as u64);
@@ -180,10 +213,10 @@ proptest! {
         snoop.on_write(0, &BlockData::Bitmap(bm));
         for vba in 0..256u64 {
             if live.contains(&vba) {
-                prop_assert!(!snoop.is_free(vba), "live block {vba} marked free");
+                assert!(!snoop.is_free(vba), "case {case}: live block {vba} marked free");
             }
         }
         // Blocks outside any known group are never considered free.
-        prop_assert!(!snoop.is_free(100_000));
+        assert!(!snoop.is_free(100_000), "case {case}");
     }
 }

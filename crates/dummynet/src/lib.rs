@@ -22,6 +22,7 @@ mod pipe;
 
 pub use pipe::{EnqueueOutcome, Pipe, PipeConfig, PipeImage, PipeStats};
 
+use ckptstore::{Dec, DecodeError, Enc};
 use hwsim::Frame;
 use sim::{SimRng, SimTime};
 
@@ -47,6 +48,25 @@ impl DummynetImage {
     /// Number of packets captured in the image.
     pub fn packets(&self) -> usize {
         self.pipes.iter().map(|p| p.packets()).sum()
+    }
+
+    /// Serializes the image; queued frames go into the `frames` side-table
+    /// (their payloads are type-erased and cannot byte-serialize).
+    pub fn encode_wire(&self, e: &mut Enc, frames: &mut Vec<Frame>) {
+        e.seq(self.pipes.len());
+        for p in &self.pipes {
+            p.encode_wire(e, frames);
+        }
+    }
+
+    /// Inverse of [`DummynetImage::encode_wire`].
+    pub fn decode_wire(d: &mut Dec<'_>, frames: &[Frame]) -> Result<Self, DecodeError> {
+        let n = d.seq()?;
+        let mut pipes = Vec::with_capacity(n);
+        for _ in 0..n {
+            pipes.push(PipeImage::decode_wire(d, frames)?);
+        }
+        Ok(DummynetImage { pipes })
     }
 }
 
@@ -379,6 +399,41 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert_eq!(*got[0].1.payload::<u32>().unwrap(), 1);
         assert_eq!(*got[1].1.payload::<u32>().unwrap(), 2);
+    }
+
+    #[test]
+    fn image_wire_round_trip_preserves_schedule() {
+        let mut dn = Dummynet::new();
+        let p = dn.add_pipe(shaped_cfg());
+        let mut rng = SimRng::from_seed(1);
+        dn.enqueue(t(0), p, frame(1000, 1), &mut rng); // ready 2000
+        dn.enqueue(t(0), p, frame(1000, 2), &mut rng); // ready 3000
+        dn.suspend(t(500));
+        let img = dn.serialize(t(500));
+
+        use ckptstore::{Dec, Enc};
+        let mut frames = Vec::new();
+        let mut e = Enc::new();
+        img.encode_wire(&mut e, &mut frames);
+        let bytes = e.into_bytes();
+        assert_eq!(frames.len(), 2);
+        let mut d = Dec::new(&bytes);
+        let back = DummynetImage::decode_wire(&mut d, &frames).unwrap();
+        assert_eq!(d.remaining(), 0);
+        assert_eq!(back.packets(), 2);
+        assert_eq!(back.byte_size(), img.byte_size());
+
+        // The decoded image restores with the same relative schedule.
+        let mut dn2 = Dummynet::restore(&back, t(1_000_000));
+        assert_eq!(dn2.next_ready(), Some(t(1_001_500)));
+        let got = dn2.pop_ready(t(1_002_500));
+        assert_eq!(got.len(), 2);
+        assert_eq!(*got[0].1.payload::<u32>().unwrap(), 1);
+        assert_eq!(*got[1].1.payload::<u32>().unwrap(), 2);
+
+        // A frame index outside the side-table is a typed error.
+        let mut d = Dec::new(&bytes);
+        assert!(DummynetImage::decode_wire(&mut d, &frames[..1]).is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use ckptstore::{Dec, DecodeError, Enc};
 use hwsim::Frame;
 use sim::{transmission_time, SimDuration, SimRng, SimTime};
 
@@ -27,6 +28,32 @@ impl PipeConfig {
             plr: 0.0,
             queue_slots: 50,
         }
+    }
+
+    /// Serializes the shaping parameters.
+    pub fn encode_wire(&self, e: &mut Enc) {
+        e.bool(self.bandwidth_bps.is_some());
+        if let Some(bw) = self.bandwidth_bps {
+            e.u64(bw);
+        }
+        e.u64(self.delay.as_nanos());
+        e.f64(self.plr);
+        e.u64(self.queue_slots as u64);
+    }
+
+    /// Inverse of [`PipeConfig::encode_wire`].
+    pub fn decode_wire(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let bandwidth_bps = if d.bool()? { Some(d.u64()?) } else { None };
+        let delay = SimDuration::from_nanos(d.u64()?);
+        let plr = d.f64()?;
+        if !(0.0..=1.0).contains(&plr) {
+            return Err(DecodeError::Invalid("pipe plr out of range"));
+        }
+        let queue_slots = d.u64()? as usize;
+        if queue_slots == 0 {
+            return Err(DecodeError::Invalid("zero-slot pipe queue"));
+        }
+        Ok(PipeConfig { bandwidth_bps, delay, plr, queue_slots })
     }
 }
 
@@ -95,6 +122,38 @@ impl PipeImage {
     /// Number of captured packets.
     pub fn packets(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Serializes the pipe image. Frames carry type-erased payloads, so
+    /// they ride in the `frames` side-table; the stream stores indices.
+    pub fn encode_wire(&self, e: &mut Enc, frames: &mut Vec<Frame>) {
+        self.cfg.encode_wire(e);
+        e.u64(self.busy_off.as_nanos());
+        e.seq(self.entries.len());
+        for (dep, ready, f) in &self.entries {
+            e.u64(dep.as_nanos());
+            e.u64(ready.as_nanos());
+            e.u32(frames.len() as u32);
+            frames.push(f.clone());
+        }
+    }
+
+    /// Inverse of [`PipeImage::encode_wire`].
+    pub fn decode_wire(d: &mut Dec<'_>, frames: &[Frame]) -> Result<Self, DecodeError> {
+        let cfg = PipeConfig::decode_wire(d)?;
+        let busy_off = SimDuration::from_nanos(d.u64()?);
+        let n = d.seq()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let dep = SimDuration::from_nanos(d.u64()?);
+            let ready = SimDuration::from_nanos(d.u64()?);
+            let frame = frames
+                .get(d.u32()? as usize)
+                .cloned()
+                .ok_or(DecodeError::Invalid("frame residue index out of range"))?;
+            entries.push((dep, ready, frame));
+        }
+        Ok(PipeImage { cfg, busy_off, entries })
     }
 }
 
@@ -308,7 +367,7 @@ mod tests {
             if let EnqueueOutcome::Queued { ready } = p.enqueue(now, frame(1000), &mut rng) {
                 last_ready = last_ready.max(ready);
             }
-            now = now + SimDuration::from_micros(500);
+            now += SimDuration::from_micros(500);
         }
         loop {
             let got = p.pop_ready(last_ready);

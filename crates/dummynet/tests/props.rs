@@ -1,11 +1,16 @@
-//! Property-based tests: shaping conserves packets, preserves FIFO order,
-//! and checkpoints (suspend → serialize → restore/resume) never lose,
-//! duplicate, or reorder anything.
+//! Randomized property tests: shaping conserves packets, preserves FIFO
+//! order, and checkpoints (suspend → serialize → restore/resume) never
+//! lose, duplicate, or reorder anything.
+//!
+//! Hand-rolled case generation driven by `SimRng`; gated behind the
+//! `props` feature. Generation is deterministic per case index.
+#![cfg(feature = "props")]
 
 use dummynet::{Dummynet, EnqueueOutcome, PipeConfig, PipeId};
 use hwsim::{Frame, NodeAddr};
-use proptest::prelude::*;
 use sim::{SimDuration, SimRng, SimTime};
+
+const CASES: u64 = 128;
 
 fn t(us: u64) -> SimTime {
     SimTime::ZERO + SimDuration::from_micros(us)
@@ -19,19 +24,18 @@ fn tag_of(f: &Frame) -> u32 {
     *f.payload::<u32>().expect("tagged frame")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// With no loss and a large queue, every packet comes out exactly
-    /// once, in order, shaped no earlier than bandwidth+delay allow.
-    #[test]
-    fn conservation_and_fifo(
-        arrivals in prop::collection::vec(0..50_000u64, 1..80),
-        bw_kbps in 1_000..1_000_000u64,
-        delay_us in 0..5_000u64,
-    ) {
-        let mut arrivals = arrivals;
+/// With no loss and a large queue, every packet comes out exactly once,
+/// in order, shaped no earlier than bandwidth+delay allow.
+#[test]
+fn conservation_and_fifo() {
+    for case in 0..CASES {
+        let mut g = SimRng::for_component(0xF1F0, case as u32);
+        let n = g.range_u64(1, 80) as usize;
+        let mut arrivals: Vec<u64> = (0..n).map(|_| g.range_u64(0, 50_000)).collect();
         arrivals.sort_unstable();
+        let bw_kbps = g.range_u64(1_000, 1_000_000);
+        let delay_us = g.range_u64(0, 5_000);
+
         let mut dn = Dummynet::new();
         let p = dn.add_pipe(PipeConfig {
             bandwidth_bps: Some(bw_kbps * 1000),
@@ -43,34 +47,37 @@ proptest! {
         for (i, &at) in arrivals.iter().enumerate() {
             let out = dn.enqueue(t(at), p, tagged(i as u32), &mut rng);
             let accepted = matches!(out, EnqueueOutcome::Queued { .. });
-            prop_assert!(accepted);
+            assert!(accepted, "case {case}");
         }
         let mut got = Vec::new();
         let mut guard = 0;
         while let Some(next) = dn.next_ready() {
             guard += 1;
-            prop_assert!(guard < 10_000);
+            assert!(guard < 10_000, "case {case}");
             for (_, f) in dn.pop_ready(next) {
                 got.push(tag_of(&f));
             }
         }
-        prop_assert_eq!(got.len(), arrivals.len(), "conservation");
+        assert_eq!(got.len(), arrivals.len(), "case {case}: conservation");
         let sorted: Vec<u32> = (0..arrivals.len() as u32).collect();
-        prop_assert_eq!(got, sorted, "FIFO order");
+        assert_eq!(got, sorted, "case {case}: FIFO order");
     }
+}
 
-    /// A suspend/serialize/resume cycle at an arbitrary point preserves
-    /// exactly-once, in-order delivery: packets enqueued before, during
-    /// (logged in-flight), and after the checkpoint all come out once, in
-    /// arrival order.
-    #[test]
-    fn checkpoint_preserves_delivery_order(
-        arrivals in prop::collection::vec(0..20_000u64, 1..60),
-        suspend_at in 0..25_000u64,
-        downtime_us in 1..100_000u64,
-    ) {
-        let mut arrivals = arrivals;
+/// A suspend/serialize/resume cycle at an arbitrary point preserves
+/// exactly-once, in-order delivery: packets enqueued before, during
+/// (logged in-flight), and after the checkpoint all come out once, in
+/// arrival order.
+#[test]
+fn checkpoint_preserves_delivery_order() {
+    for case in 0..CASES {
+        let mut g = SimRng::for_component(0x0C4E_C0DE, case as u32);
+        let n = g.range_u64(1, 60) as usize;
+        let mut arrivals: Vec<u64> = (0..n).map(|_| g.range_u64(0, 20_000)).collect();
         arrivals.sort_unstable();
+        let suspend_at = g.range_u64(0, 25_000);
+        let downtime_us = g.range_u64(1, 100_000);
+
         let cfg = PipeConfig {
             bandwidth_bps: Some(10_000_000),
             delay: SimDuration::from_millis(2),
@@ -116,16 +123,19 @@ proptest! {
         }
         let got = drain_tags(&mut dn);
         let expect: Vec<u32> = (0..arrivals.len() as u32).collect();
-        prop_assert_eq!(got, expect, "lost, duplicated, or reordered");
+        assert_eq!(got, expect, "case {case}: lost, duplicated, or reordered");
     }
+}
 
-    /// Serialize → restore is lossless for queue contents and preserves
-    /// relative deadlines.
-    #[test]
-    fn serialize_restore_roundtrip(
-        n in 1..50usize,
-        rebase_us in 0..1_000_000u64,
-    ) {
+/// Serialize → restore is lossless for queue contents and preserves
+/// relative deadlines.
+#[test]
+fn serialize_restore_roundtrip() {
+    for case in 0..CASES {
+        let mut g = SimRng::for_component(0x4E5704E, case as u32);
+        let n = g.range_u64(1, 50) as usize;
+        let rebase_us = g.range_u64(0, 1_000_000);
+
         let mut dn = Dummynet::new();
         let p = dn.add_pipe(PipeConfig {
             bandwidth_bps: Some(8_000_000),
@@ -139,10 +149,10 @@ proptest! {
         }
         dn.suspend(t(10));
         let img = dn.serialize(t(10));
-        prop_assert_eq!(img.packets(), n);
+        assert_eq!(img.packets(), n, "case {case}");
         let mut restored = Dummynet::restore(&img, t(rebase_us));
         let got = drain_tags(&mut restored);
-        prop_assert_eq!(got, (0..n as u32).collect::<Vec<_>>());
+        assert_eq!(got, (0..n as u32).collect::<Vec<_>>(), "case {case}");
     }
 }
 

@@ -28,4 +28,4 @@ pub use testbed::{
     DelayNodeHandle, Experiment, NodeHandle, PhysMachine, Testbed, BOOT_OVERHEAD, FS_ADDR,
     OPS_ADDR,
 };
-pub use timetravel::{Snapshot, SnapshotId, TimeTravelTree};
+pub use timetravel::{Snapshot, SnapshotId, TimeTravelError, TimeTravelTree};

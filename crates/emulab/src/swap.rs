@@ -22,15 +22,19 @@
 //! or attach a lazy copy-in mirror ("individual disk blocks copied to
 //! local disk on first reference" with background sync).
 
+use ckptstore::{Enc, ImageId};
 use cowstore::{merge_reorder, DeltaMap, Direction, MirrorTransfer};
 use dummynet::DummynetImage;
-use guestos::TcpSegment;
+use guestos::{GuestResidue, TcpSegment};
 use hwsim::NodeAddr;
 use sim::{SimDuration, SimTime};
-use vmm::{DomainImage, MirrorConfig, VmHost};
+use vmm::{MirrorConfig, VmHost};
 
 use crate::spec::ExperimentSpec;
 use crate::testbed::Testbed;
+
+/// Image kind tag of a swapped-out node's serialized domain.
+pub(crate) const SWAP_IMAGE_KIND: &str = "emulab.swap-node";
 
 /// Preserved state of one node.
 pub struct NodeState {
@@ -39,8 +43,13 @@ pub struct NodeState {
     /// an Emulab experiment's IP addresses, because the preserved kernels
     /// hold live connections to these addresses.
     pub addr: NodeAddr,
-    /// The guest memory image (frozen kernel + metadata).
-    pub image: DomainImage,
+    /// The frozen domain, serialized into the file server's dedup store.
+    pub image_id: ImageId,
+    /// Unserializable guest residue (programs, app messages) riding
+    /// beside the byte image.
+    pub residue: GuestResidue,
+    /// Guest memory size (restore-time sizing).
+    pub mem_bytes: u64,
     /// Aggregated delta after the offline merge.
     pub aggregate: DeltaMap,
     /// Blocks the free-block snoop eliminated at this swap-out.
@@ -102,8 +111,14 @@ pub struct SwapOutReport {
     pub dirty_resends: u64,
     /// Delta bytes transferred (after elimination).
     pub delta_bytes: u64,
-    /// Memory-image bytes transferred.
+    /// Memory-image bytes captured (logical guest memory across nodes).
     pub memory_bytes: u64,
+    /// Serialized checkpoint-state bytes across nodes (logical image
+    /// size as stored on the file server).
+    pub state_logical_bytes: u64,
+    /// Chunk bytes the dedup store actually had to ingest — what the
+    /// final state transfer moved on the control net.
+    pub state_physical_bytes: u64,
     /// Blocks dropped by free-block elimination.
     pub eliminated_blocks: u64,
     /// Guest time (max over nodes) at the suspension instant; the
@@ -239,6 +254,8 @@ impl Testbed {
         let mut dirty_resends = 0;
         let mut delta_bytes = 0;
         let mut memory_bytes = 0;
+        let mut state_logical = 0;
+        let mut state_physical = 0;
         let mut eliminated_total = 0;
         let mut guest_ns_at_suspend = 0;
         let mut states = Vec::new();
@@ -265,20 +282,33 @@ impl Testbed {
                 });
             dirty_resends += resends;
             guest_ns_at_suspend = guest_ns_at_suspend.max(image.guest_ns);
-            // The pre-copy already moved (most of) the delta; charge only
-            // the memory image on the uplink now (delta residue was synced
-            // by the mirror above).
+            // The pre-copy already moved (most of) the delta; the residue
+            // was synced by the mirror above.
             delta_bytes += filtered.byte_size(block_size);
             memory_bytes += image.mem_bytes;
             eliminated_total += eliminated;
-            let done = self.uplink_transfer(image.mem_bytes);
+            // Serialize the frozen domain into the file server's dedup
+            // store. The uplink is charged the dirtied guest memory plus
+            // only the *new physical* chunk bytes of the state image —
+            // chunks already on the file server (from a previous swap of
+            // this or a sibling node) never move again.
+            let mut residue = GuestResidue::new();
+            let mut e = Enc::new();
+            e.begin_image(SWAP_IMAGE_KIND);
+            image.encode_wire(&mut e, &mut residue);
+            let put = self.fs_store_mut().put_image(&e.into_bytes());
+            state_logical += put.logical_bytes;
+            state_physical += put.new_physical_bytes;
+            let done = self.uplink_transfer(image.dirty_bytes + put.new_physical_bytes);
             transfers_done = transfers_done.max(done);
             // Offline merge with locality reordering (on the file server).
             let (merged, _stats) = merge_reorder(&old_agg, &filtered);
             states.push(NodeState {
                 name: node_name.clone(),
                 addr: *addr,
-                image,
+                image_id: put.image,
+                residue,
+                mem_bytes: image.mem_bytes,
                 aggregate: merged,
                 eliminated_blocks: eliminated,
                 rx_log,
@@ -335,6 +365,8 @@ impl Testbed {
             dirty_resends,
             delta_bytes,
             memory_bytes,
+            state_logical_bytes: state_logical,
+            state_physical_bytes: state_physical,
             eliminated_blocks: eliminated_total,
             guest_ns_at_suspend,
         }
@@ -367,7 +399,13 @@ impl Testbed {
             .iter()
             .map(|n| (n.name.clone(), n.host))
             .collect();
-        let mem_bytes: u64 = swapped.nodes.iter().map(|n| n.image.mem_bytes).sum();
+        // Download volume is the *serialized* state images as stored on
+        // the file server — typically much smaller than guest memory.
+        let mem_bytes: u64 = swapped
+            .nodes
+            .iter()
+            .map(|n| self.fileserver_store().image_len(n.image_id).unwrap_or(0))
+            .sum();
 
         // Delta: eager download or lazy mirror.
         let delta_t0 = self.now();
@@ -432,6 +470,12 @@ impl Testbed {
                 .with_component::<VmHost, _>(host, |h, ctx| h.resume_guest(ctx));
         }
         self.engine.run_for(SimDuration::from_millis(1));
+
+        // The state images were consumed by the rebuild; release their
+        // chunks on the file server deterministically.
+        for n in &swapped.nodes {
+            let _ = self.fs_store_mut().remove_image(n.image_id);
+        }
 
         SwapInReport {
             total: self.now() - t0,

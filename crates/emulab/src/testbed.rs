@@ -13,12 +13,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use checkpoint::{CheckpointAgent, Coordinator, DelayNodeHost, GroupId, OutPort, TriggerMode};
+use ckptstore::{ChunkStore, Dec};
 use cowstore::{BranchingStore, CowMode, GoldenImage, GoldenImageBuilder, StoreLayout};
 use dummynet::PipeConfig;
 use guestos::{GuestProg, Kernel, KernelConfig, Tid};
 use hwsim::{ControlLan, Endpoint, IfaceId, Link, NodeAddr, Pc3000};
 use sim::{transmission_time, ComponentId, Engine, SimDuration, SimTime};
-use vmm::{ExpPort, VmHost, VmHostConfig, VmmTuning};
+use vmm::{DomainImage, ExpPort, VmHost, VmHostConfig, VmmTuning};
 
 use crate::services::FileServer;
 use crate::spec::ExperimentSpec;
@@ -109,6 +110,10 @@ pub struct Testbed {
     groups: HashMap<String, GroupId>,
     /// File-server uplink reservation: bulk transfers serialize here.
     fs_uplink_free: SimTime,
+    /// The file server's content-addressed image store: swapped-out node
+    /// state is chunked and deduplicated here, and swap transfer sizes are
+    /// driven by the *new physical* bytes each image actually adds.
+    fs_store: ChunkStore,
     /// Pending scheduled program starts, sorted by time.
     events: Vec<ProgramEvent>,
 }
@@ -166,8 +171,32 @@ impl Testbed {
             next_group: 1,
             groups: HashMap::new(),
             fs_uplink_free: SimTime::ZERO,
+            fs_store: ChunkStore::new(),
             events: Vec::new(),
         }
+    }
+
+    /// The file server's content-addressed image store (dedup accounting:
+    /// `stats()` reports logical vs physical bytes of preserved state).
+    pub fn fileserver_store(&self) -> &ChunkStore {
+        &self.fs_store
+    }
+
+    /// Mutable store access for swap-out serialization.
+    pub(crate) fn fs_store_mut(&mut self) -> &mut ChunkStore {
+        &mut self.fs_store
+    }
+
+    /// A registered golden image by name (restore-time decode anchor).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown image name (specs are validated at swap-in).
+    pub(crate) fn golden_image(&self, name: &str) -> Arc<GoldenImage> {
+        self.images
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown golden image {name}"))
+            .clone()
     }
 
     /// The checkpoint group of an experiment.
@@ -394,6 +423,29 @@ impl Testbed {
         if self.experiments.contains_key(&spec.name) {
             return Err(format!("experiment {} already swapped in", spec.name));
         }
+        // Stateful swap-in: the preserved domains come back from the file
+        // server's dedup store as byte images — loaded (every chunk
+        // re-hashed), decoded, and only then installed. This happens before
+        // any allocation so a corrupt image leaves the testbed untouched.
+        let mut restored_images: Vec<DomainImage> = Vec::new();
+        if let Some(sw) = state {
+            for nspec in &spec.nodes {
+                let st = sw.node_state(&nspec.name);
+                let bytes = self
+                    .fs_store
+                    .load_image(st.image_id)
+                    .map_err(|e| format!("swap-in {}: {e}", nspec.name))?;
+                let mut d = Dec::new(&bytes);
+                d.expect_image(crate::swap::SWAP_IMAGE_KIND)
+                    .map_err(|e| format!("swap-in {}: bad image header: {e:?}", nspec.name))?;
+                let img = DomainImage::decode_wire(&mut d, &st.residue)
+                    .map_err(|e| format!("swap-in {}: malformed image: {e:?}", nspec.name))?;
+                if d.remaining() != 0 {
+                    return Err(format!("swap-in {}: trailing image bytes", nspec.name));
+                }
+                restored_images.push(img);
+            }
+        }
         let t0 = self.engine.now();
 
         // Allocate machines: nodes then delay nodes.
@@ -457,12 +509,12 @@ impl Testbed {
             );
             let host_id = self.engine.add_component(Box::new(host));
             if let Some(sw) = state {
-                // Replace the fresh domain with the preserved one, frozen;
-                // it resumes once the state transfers complete. The §3.2
-                // in-flight replay log rides along.
-                let st = sw.node_state(&nspec.name);
-                let image = st.image.clone();
-                let rx_log = st.rx_log.clone();
+                // Replace the fresh domain with the preserved one (decoded
+                // from the dedup store above), frozen; it resumes once the
+                // state transfers complete. The §3.2 in-flight replay log
+                // rides along.
+                let image = restored_images[i].clone();
+                let rx_log = sw.node_state(&nspec.name).rx_log.clone();
                 self.engine.with_component::<VmHost, _>(host_id, |h, ctx| {
                     h.install_image(ctx, &image);
                     h.install_rx_log(rx_log);

@@ -1,4 +1,5 @@
-//! Experiment time travel (paper §6).
+//! Experiment time travel (paper §6), backed by the content-addressed
+//! checkpoint image store.
 //!
 //! "Time-travel in Emulab allows a user to preserve the execution of an
 //! experiment and later, if desired, play it forward from any point in
@@ -8,42 +9,117 @@
 //! checkpoints or active executions."
 //!
 //! Snapshots are taken with the transparent coordinated checkpoint
-//! (resume held), so frequent checkpointing does not perturb the
-//! experiment; they capture each node's domain image, its branching-store
-//! state, and the delay nodes' pipe state. Replay is non-deterministic (as
-//! in the paper's prototype): re-executing from a snapshot under different
-//! conditions — or a different engine seed personality — diverges and
-//! forms a new branch.
+//! (resume held). Each node's frozen domain and branching-store state is
+//! serialized into a self-describing byte image and stored in the tree's
+//! [`ChunkStore`]: chunks shared with the parent snapshot are stored once,
+//! so a deep snapshot chain costs physical space proportional to what
+//! actually changed — the paper's three-level branching storage, expressed
+//! as content-addressed dedup. Restoring travels the other way: the image
+//! is loaded (every chunk re-hashed — a flipped bit surfaces as
+//! [`TimeTravelError::Corrupt`], never a panic), decoded, and installed.
+//! Replay is non-deterministic (as in the paper's prototype): re-executing
+//! from a snapshot under different conditions diverges and forms a new
+//! branch. [`TimeTravelTree::prune`] drops an abandoned subtree and
+//! releases its chunks deterministically via the store's refcounts.
 
+use std::fmt;
+
+use checkpoint::DelayNodeHost;
+use ckptstore::{ChunkStore, Dec, DecodeError, Enc, ImageId, ImageStats, StoreError};
 use cowstore::BranchingStore;
 use dummynet::DummynetImage;
+use guestos::GuestResidue;
+use hwsim::Frame;
 use sim::SimTime;
 use vmm::{DomainImage, VmHost};
 
 use crate::testbed::Testbed;
 
+/// Image kind tag of a serialized node snapshot (domain + device store).
+pub(crate) const NODE_IMAGE_KIND: &str = "emulab.tt-node";
+
+/// Image kind tag of a serialized delay-node snapshot.
+pub(crate) const DN_IMAGE_KIND: &str = "emulab.tt-delaynode";
+
 /// Identifies a snapshot within an experiment's tree.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SnapshotId(pub usize);
 
-/// One captured point in the experiment's execution history.
+/// Typed time-travel failure. Restores never panic on bad snapshot data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimeTravelError {
+    /// The id was never assigned in this tree.
+    UnknownSnapshot(SnapshotId),
+    /// The snapshot existed but was pruned; its chunks are released.
+    Pruned(SnapshotId),
+    /// Pruning this subtree would drop the snapshot the running execution
+    /// branched from.
+    SnapshotInUse(SnapshotId),
+    /// The chunk store failed integrity verification on load.
+    Corrupt(StoreError),
+    /// The image bytes verified but did not decode as a snapshot.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for TimeTravelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeTravelError::UnknownSnapshot(id) => write!(f, "unknown snapshot {id:?}"),
+            TimeTravelError::Pruned(id) => write!(f, "snapshot {id:?} was pruned"),
+            TimeTravelError::SnapshotInUse(id) => {
+                write!(f, "snapshot {id:?} anchors the running execution")
+            }
+            TimeTravelError::Corrupt(e) => write!(f, "snapshot image corrupt: {e}"),
+            TimeTravelError::Decode(e) => write!(f, "snapshot image malformed: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TimeTravelError {}
+
+impl From<StoreError> for TimeTravelError {
+    fn from(e: StoreError) -> Self {
+        TimeTravelError::Corrupt(e)
+    }
+}
+
+impl From<DecodeError> for TimeTravelError {
+    fn from(e: DecodeError) -> Self {
+        TimeTravelError::Decode(e)
+    }
+}
+
+/// One captured point in the experiment's execution history. The byte
+/// state lives in the tree's chunk store; only the side-table residue
+/// (program objects, in-flight frame payloads) rides here.
 pub struct Snapshot {
     pub id: SnapshotId,
     pub parent: Option<SnapshotId>,
     pub label: String,
     /// True testbed time of the capture.
     pub taken_at: SimTime,
-    /// Per-node state, in experiment node order.
-    node_images: Vec<DomainImage>,
-    node_stores: Vec<BranchingStore>,
-    dn_images: Vec<Option<DummynetImage>>,
+    /// Per-node serialized images, in experiment node order.
+    node_images: Vec<ImageId>,
+    /// Per-delay-node serialized images (None if none was captured).
+    dn_images: Vec<Option<ImageId>>,
+    /// Per-node unserializable residue (guest programs, app messages).
+    node_residues: Vec<GuestResidue>,
+    /// In-flight frame payloads referenced by the delay-node images.
+    frames: Vec<Frame>,
+    /// Serialized bytes of this snapshot across all its images.
+    pub logical_bytes: u64,
+    /// Chunk bytes this snapshot newly added to the store — what a child
+    /// physically costs on top of its ancestors.
+    pub new_physical_bytes: u64,
 }
 
-/// The branching execution history of one experiment.
+/// The branching execution history of one experiment, with its dedup
+/// store. Pruned snapshots leave tombstones so ids stay stable.
 #[derive(Default)]
 pub struct TimeTravelTree {
-    snaps: Vec<Snapshot>,
+    snaps: Vec<Option<Snapshot>>,
     current: Option<SnapshotId>,
+    store: ChunkStore,
 }
 
 impl TimeTravelTree {
@@ -52,14 +128,14 @@ impl TimeTravelTree {
         TimeTravelTree::default()
     }
 
-    /// Number of snapshots.
+    /// Number of live (unpruned) snapshots.
     pub fn len(&self) -> usize {
-        self.snaps.len()
+        self.snaps.iter().flatten().count()
     }
 
-    /// True if no snapshot was taken yet.
+    /// True if no live snapshot exists.
     pub fn is_empty(&self) -> bool {
-        self.snaps.is_empty()
+        self.len() == 0
     }
 
     /// The snapshot the current execution branched from.
@@ -71,15 +147,27 @@ impl TimeTravelTree {
     ///
     /// # Panics
     ///
-    /// Panics on an unknown id.
+    /// Panics on an unknown or pruned id; use [`TimeTravelTree::try_get`]
+    /// for a typed error.
     pub fn get(&self, id: SnapshotId) -> &Snapshot {
-        &self.snaps[id.0]
+        self.try_get(id)
+            .unwrap_or_else(|e| panic!("snapshot lookup failed: {e}"))
+    }
+
+    /// A snapshot by id, with a typed error for unknown or pruned ids.
+    pub fn try_get(&self, id: SnapshotId) -> Result<&Snapshot, TimeTravelError> {
+        match self.snaps.get(id.0) {
+            None => Err(TimeTravelError::UnknownSnapshot(id)),
+            Some(None) => Err(TimeTravelError::Pruned(id)),
+            Some(Some(s)) => Ok(s),
+        }
     }
 
     /// Children of a snapshot (branches that started there).
     pub fn children(&self, id: SnapshotId) -> Vec<SnapshotId> {
         self.snaps
             .iter()
+            .flatten()
             .filter(|s| s.parent == Some(id))
             .map(|s| s.id)
             .collect()
@@ -88,27 +176,122 @@ impl TimeTravelTree {
     /// Depth of a snapshot (root = 0).
     pub fn depth(&self, id: SnapshotId) -> usize {
         let mut d = 0;
-        let mut cur = self.snaps[id.0].parent;
+        let mut cur = self.get(id).parent;
         while let Some(p) = cur {
             d += 1;
-            cur = self.snaps[p.0].parent;
+            cur = self.get(p).parent;
         }
         d
     }
 
-    fn push(&mut self, mut snap: Snapshot) -> SnapshotId {
+    /// Store-wide dedup accounting: logical vs physical bytes across
+    /// every live snapshot.
+    pub fn stats(&self) -> ImageStats {
+        self.store.stats()
+    }
+
+    /// The backing chunk store.
+    pub fn store(&self) -> &ChunkStore {
+        &self.store
+    }
+
+    /// Mutable store access (corruption-injection tests, instrumentation).
+    pub fn store_mut(&mut self) -> &mut ChunkStore {
+        &mut self.store
+    }
+
+    /// Stores a new snapshot's payloads and makes it current.
+    pub(crate) fn insert(
+        &mut self,
+        parent: Option<SnapshotId>,
+        label: &str,
+        taken_at: SimTime,
+        node_payloads: Vec<(Vec<u8>, GuestResidue)>,
+        dn_payloads: Vec<Option<Vec<u8>>>,
+        frames: Vec<Frame>,
+    ) -> SnapshotId {
+        let mut node_images = Vec::with_capacity(node_payloads.len());
+        let mut node_residues = Vec::with_capacity(node_payloads.len());
+        let mut logical_bytes = 0;
+        let mut new_physical_bytes = 0;
+        for (bytes, residue) in node_payloads {
+            let put = self.store.put_image(&bytes);
+            logical_bytes += put.logical_bytes;
+            new_physical_bytes += put.new_physical_bytes;
+            node_images.push(put.image);
+            node_residues.push(residue);
+        }
+        let mut dn_images = Vec::with_capacity(dn_payloads.len());
+        for bytes in dn_payloads {
+            dn_images.push(bytes.map(|b| {
+                let put = self.store.put_image(&b);
+                logical_bytes += put.logical_bytes;
+                new_physical_bytes += put.new_physical_bytes;
+                put.image
+            }));
+        }
         let id = SnapshotId(self.snaps.len());
-        snap.id = id;
-        self.snaps.push(snap);
+        self.snaps.push(Some(Snapshot {
+            id,
+            parent,
+            label: label.to_string(),
+            taken_at,
+            node_images,
+            dn_images,
+            node_residues,
+            frames,
+            logical_bytes,
+            new_physical_bytes,
+        }));
         self.current = Some(id);
         id
+    }
+
+    /// Prunes the subtree rooted at `id`, removing every snapshot in it
+    /// and releasing their chunks through the store's refcounts. Returns
+    /// the physical bytes freed. Fails with
+    /// [`TimeTravelError::SnapshotInUse`] if the running execution
+    /// branched from a snapshot inside the subtree.
+    pub fn prune(&mut self, id: SnapshotId) -> Result<u64, TimeTravelError> {
+        self.try_get(id)?;
+        let mut subtree = vec![id];
+        let mut i = 0;
+        while i < subtree.len() {
+            let p = subtree[i];
+            for s in self.snaps.iter().flatten() {
+                if s.parent == Some(p) {
+                    subtree.push(s.id);
+                }
+            }
+            i += 1;
+        }
+        if let Some(cur) = self.current {
+            if subtree.contains(&cur) {
+                return Err(TimeTravelError::SnapshotInUse(cur));
+            }
+        }
+        let before = self.store.physical_bytes();
+        for sid in subtree {
+            let snap = self.snaps[sid.0].take().expect("subtree members are live");
+            for img in snap.node_images.iter().chain(snap.dn_images.iter().flatten()) {
+                self.store
+                    .remove_image(*img)
+                    .expect("live snapshot images are in the store");
+            }
+        }
+        Ok(before - self.store.physical_bytes())
+    }
+
+    /// Redirects the current-branch anchor (testbed internal).
+    pub(crate) fn set_current(&mut self, id: SnapshotId) {
+        self.current = Some(id);
     }
 }
 
 impl Testbed {
     /// Takes a time-travel snapshot of a running experiment: a coordinated
-    /// transparent checkpoint whose state is kept, after which execution
-    /// continues.
+    /// transparent checkpoint whose state is serialized into the tree's
+    /// dedup store, after which execution continues.
     ///
     /// # Panics
     ///
@@ -118,15 +301,19 @@ impl Testbed {
 
         let node_hosts: Vec<sim::ComponentId> =
             self.experiment(exp).nodes.iter().map(|n| n.host).collect();
-        let mut node_images = Vec::new();
-        let mut node_stores = Vec::new();
+        let mut node_payloads = Vec::new();
         for host in &node_hosts {
             let h = self
                 .engine
                 .component_ref::<VmHost>(*host)
                 .expect("host exists");
-            node_images.push(h.last_image().expect("suspend captured").clone());
-            node_stores.push(h.store().clone());
+            let image = h.last_image().expect("suspend captured");
+            let mut residue = GuestResidue::new();
+            let mut e = Enc::new();
+            e.begin_image(NODE_IMAGE_KIND);
+            image.encode_wire(&mut e, &mut residue);
+            h.store().encode_wire(&mut e);
+            node_payloads.push((e.into_bytes(), residue));
         }
         let dn_handles: Vec<sim::ComponentId> = self
             .experiment(exp)
@@ -134,32 +321,30 @@ impl Testbed {
             .iter()
             .map(|d| d.component)
             .collect();
-        let mut dn_images = Vec::new();
+        let mut frames = Vec::new();
+        let mut dn_payloads = Vec::new();
         for dn in dn_handles {
-            dn_images.push(
-                self.engine
-                    .component_ref::<checkpoint::DelayNodeHost>(dn)
-                    .expect("delay node")
-                    .last_image()
-                    .cloned(),
-            );
+            let img = self
+                .engine
+                .component_ref::<DelayNodeHost>(dn)
+                .expect("delay node")
+                .last_image()
+                .cloned();
+            dn_payloads.push(img.map(|img| {
+                let mut e = Enc::new();
+                e.begin_image(DN_IMAGE_KIND);
+                img.encode_wire(&mut e, &mut frames);
+                e.into_bytes()
+            }));
         }
 
         self.release_all(exp);
 
         let taken_at = self.now();
         let parent = self.experiment(exp).tt.current();
-        let exp_mut = self
-            .experiments_mut(exp);
-        exp_mut.tt.push(Snapshot {
-            id: SnapshotId(0), // Overwritten by push.
-            parent,
-            label: label.to_string(),
-            taken_at,
-            node_images,
-            node_stores,
-            dn_images,
-        })
+        self.experiments_mut(exp)
+            .tt
+            .insert(parent, label, taken_at, node_payloads, dn_payloads, frames)
     }
 
     /// Travels back: restores the experiment to `snap` and resumes
@@ -169,10 +354,64 @@ impl Testbed {
     ///
     /// # Panics
     ///
-    /// Panics if the experiment or snapshot is unknown.
+    /// Panics if the experiment or snapshot is unknown, or the snapshot
+    /// fails integrity verification; use [`Testbed::try_travel_to`] for a
+    /// typed error.
     pub fn travel_to(&mut self, exp: &str, snap: SnapshotId) {
-        // Quiesce the current execution first (its state is abandoned —
-        // take a snapshot beforehand to keep it).
+        self.try_travel_to(exp, snap)
+            .unwrap_or_else(|e| panic!("time travel to {snap:?} failed: {e}"));
+    }
+
+    /// Fallible [`Testbed::travel_to`]: loads the snapshot's images from
+    /// the dedup store (re-hashing every chunk), decodes them, and only
+    /// then quiesces and restores the experiment — a corrupt or malformed
+    /// snapshot returns a typed error and leaves the running execution
+    /// untouched.
+    pub fn try_travel_to(
+        &mut self,
+        exp: &str,
+        snap: SnapshotId,
+    ) -> Result<(), TimeTravelError> {
+        // Phase 1: load, verify, decode. Nothing is mutated on failure.
+        let (images, stores, dn_images) = {
+            let experiment = self.experiment(exp);
+            let s = experiment.tt.try_get(snap)?;
+            let store = experiment.tt.store();
+            let mut images = Vec::with_capacity(s.node_images.len());
+            let mut stores = Vec::with_capacity(s.node_images.len());
+            for (i, id) in s.node_images.iter().enumerate() {
+                let bytes = store.load_image(*id)?;
+                let mut d = Dec::new(&bytes);
+                d.expect_image(NODE_IMAGE_KIND)?;
+                let image = DomainImage::decode_wire(&mut d, &s.node_residues[i])?;
+                let golden = self.golden_image(&experiment.spec.nodes[i].image);
+                let st = BranchingStore::decode_wire(&mut d, golden)?;
+                if d.remaining() != 0 {
+                    return Err(TimeTravelError::Decode(DecodeError::Invalid(
+                        "trailing bytes after node snapshot",
+                    )));
+                }
+                images.push(image);
+                stores.push(st);
+            }
+            let mut dn_images = Vec::with_capacity(s.dn_images.len());
+            for id in &s.dn_images {
+                dn_images.push(match id {
+                    Some(id) => {
+                        let bytes = store.load_image(*id)?;
+                        let mut d = Dec::new(&bytes);
+                        d.expect_image(DN_IMAGE_KIND)?;
+                        Some(DummynetImage::decode_wire(&mut d, &s.frames)?)
+                    }
+                    None => None,
+                });
+            }
+            (images, stores, dn_images)
+        };
+
+        // Phase 2: quiesce the current execution (its state is abandoned —
+        // take a snapshot beforehand to keep it) and install the decoded
+        // state.
         self.suspend_all(exp);
 
         let node_hosts: Vec<sim::ComponentId> =
@@ -184,19 +423,10 @@ impl Testbed {
             .map(|d| d.component)
             .collect();
 
-        // Clone what we need out of the snapshot.
-        let (images, stores, dn_images) = {
-            let s = self.experiment(exp).tt.get(snap);
-            (
-                s.node_images.clone(),
-                s.node_stores.clone(),
-                s.dn_images.clone(),
-            )
-        };
-
-        for (i, host) in node_hosts.iter().enumerate() {
-            let image = images[i].clone();
-            let store = stores[i].clone();
+        for (host, (image, store)) in node_hosts
+            .iter()
+            .zip(images.into_iter().zip(stores))
+        {
             self.engine.with_component::<VmHost, _>(*host, |h, ctx| {
                 // Discard the suspended current domain, then install.
                 h.abandon_checkpoint(ctx);
@@ -205,10 +435,10 @@ impl Testbed {
                 h.resume_guest(ctx);
             });
         }
-        for (i, dn) in dn_handles.iter().enumerate() {
-            if let Some(img) = dn_images[i].clone() {
+        for (dn, img) in dn_handles.iter().zip(dn_images) {
+            if let Some(img) = img {
                 self.engine
-                    .with_component::<checkpoint::DelayNodeHost, _>(*dn, |d, ctx| {
+                    .with_component::<DelayNodeHost, _>(*dn, |d, ctx| {
                         // Abandon the suspended instance and restore.
                         d.abandon_checkpoint(ctx);
                         let restored = dummynet::Dummynet::restore(&img, ctx.now());
@@ -223,9 +453,19 @@ impl Testbed {
                 c.set_hold_resume(false);
             });
 
-        let exp_mut = self.experiments_mut(exp);
-        exp_mut.tt.current = Some(snap);
+        self.experiments_mut(exp).tt.set_current(snap);
         self.run_for(sim::SimDuration::from_millis(1));
+        Ok(())
+    }
+
+    /// Prunes the subtree rooted at `snap` from `exp`'s time-travel tree,
+    /// releasing its chunks. Returns the physical bytes freed.
+    pub fn prune_snapshot(
+        &mut self,
+        exp: &str,
+        snap: SnapshotId,
+    ) -> Result<u64, TimeTravelError> {
+        self.experiments_mut(exp).tt.prune(snap)
     }
 }
 
@@ -233,27 +473,47 @@ impl Testbed {
 mod tests {
     use super::*;
 
-    fn dummy_snapshot(parent: Option<SnapshotId>, label: &str) -> Snapshot {
-        Snapshot {
-            id: SnapshotId(0),
-            parent,
-            label: label.to_string(),
-            taken_at: SimTime::ZERO,
-            node_images: Vec::new(),
-            node_stores: Vec::new(),
-            dn_images: Vec::new(),
+    /// A synthetic one-node snapshot payload: `shared` chunk-sized records
+    /// identical across every call (dedup fodder) followed by `unique`
+    /// records salted by `salt`.
+    fn payload(shared: usize, unique: usize, salt: u8) -> Vec<(Vec<u8>, GuestResidue)> {
+        let mut e = Enc::new();
+        e.begin_image(NODE_IMAGE_KIND);
+        e.pad_to(4096);
+        for i in 0..shared {
+            e.raw(&[i as u8; 4096]);
         }
+        for i in 0..unique {
+            e.raw(&[salt ^ (i as u8).wrapping_mul(31); 4096]);
+        }
+        vec![(e.into_bytes(), GuestResidue::new())]
+    }
+
+    fn insert(
+        tt: &mut TimeTravelTree,
+        parent: Option<SnapshotId>,
+        label: &str,
+        salt: u8,
+    ) -> SnapshotId {
+        tt.insert(
+            parent,
+            label,
+            SimTime::ZERO,
+            payload(8, 2, salt),
+            Vec::new(),
+            Vec::new(),
+        )
     }
 
     #[test]
     fn tree_structure_tracks_branches() {
         let mut tt = TimeTravelTree::new();
         assert!(tt.is_empty());
-        let a = tt.push(dummy_snapshot(None, "a"));
-        let b = tt.push(dummy_snapshot(Some(a), "b"));
+        let a = insert(&mut tt, None, "a", 1);
+        let b = insert(&mut tt, Some(a), "b", 2);
         // Travel back to `a`, then snapshot again: a second child of `a`.
-        tt.current = Some(a);
-        let c = tt.push(dummy_snapshot(Some(a), "c"));
+        tt.set_current(a);
+        let c = insert(&mut tt, Some(a), "c", 3);
         assert_eq!(tt.len(), 3);
         assert_eq!(tt.current(), Some(c));
         let mut kids = tt.children(a);
@@ -267,15 +527,220 @@ mod tests {
     }
 
     #[test]
-    fn deep_chains_report_depth() {
+    fn deep_chains_report_depth_and_dedup() {
         let mut tt = TimeTravelTree::new();
         let mut parent = None;
         let mut last = SnapshotId(0);
         for i in 0..10 {
-            last = tt.push(dummy_snapshot(parent, &format!("s{i}")));
+            last = insert(&mut tt, parent, &format!("s{i}"), i);
             parent = Some(last);
         }
         assert_eq!(tt.depth(last), 9);
         assert!(tt.children(last).is_empty());
+        // The shared prefix chunks are stored once across all ten
+        // snapshots: physical < logical, by a wide margin.
+        let st = tt.stats();
+        assert!(st.physical_bytes < st.logical_bytes);
+        assert!(st.dedup_ratio > 3.0, "ratio {}", st.dedup_ratio);
+        assert!(st.chunks_shared >= 8);
+        // Children after the first paid only their unique chunks.
+        assert!(tt.get(last).new_physical_bytes < tt.get(last).logical_bytes / 2);
+    }
+
+    #[test]
+    fn prune_releases_subtree_chunks_and_leaves_typed_tombstones() {
+        let mut tt = TimeTravelTree::new();
+        let a = insert(&mut tt, None, "a", 1);
+        let b = insert(&mut tt, Some(a), "b", 2);
+        let c = insert(&mut tt, Some(b), "c", 3);
+        // The running execution branches from the leaf: pruning any
+        // subtree that contains it is refused.
+        assert_eq!(tt.prune(b), Err(TimeTravelError::SnapshotInUse(c)));
+        tt.set_current(a);
+        let physical_before = tt.store().physical_bytes();
+        let freed = tt.prune(b).expect("prune b+c");
+        assert!(freed > 0);
+        assert_eq!(tt.store().physical_bytes(), physical_before - freed);
+        assert_eq!(tt.len(), 1, "a survives");
+        assert!(matches!(tt.try_get(b), Err(TimeTravelError::Pruned(_))));
+        assert!(matches!(tt.try_get(c), Err(TimeTravelError::Pruned(_))));
+        assert!(matches!(tt.prune(b), Err(TimeTravelError::Pruned(_))));
+        assert!(matches!(
+            tt.try_get(SnapshotId(99)),
+            Err(TimeTravelError::UnknownSnapshot(_))
+        ));
+        // `a` itself is intact and loadable.
+        assert!(tt.store().contains(tt.get(a).node_images[0]));
+    }
+
+    use crate::ExperimentSpec;
+    use sim::SimDuration;
+    use workloads::{IperfReceiver, IperfSender, UsleepLoop};
+
+    /// Builds a 2-node TCP experiment with packet tracing on both kernels
+    /// and a warm iperf stream.
+    fn live_tcp_testbed(seed: u64) -> Testbed {
+        let mut tb = Testbed::new(seed, 8);
+        let spec = ExperimentSpec::new("det")
+            .node("a")
+            .node("b")
+            .link("a", "b", 10_000_000, SimDuration::from_millis(1), 0.0);
+        tb.swap_in(spec).expect("swap-in");
+        tb.run_for(SimDuration::from_secs(10));
+        for n in ["a", "b"] {
+            let host = tb.host_id("det", n);
+            tb.engine
+                .with_component::<VmHost, _>(host, |h, _| h.kernel_mut().trace.enable());
+        }
+        let b_addr = tb.node_addr("det", "b");
+        tb.spawn("det", "b", Box::new(IperfReceiver::new(5001)));
+        tb.spawn("det", "a", Box::new(IperfSender::new(b_addr, 5001)));
+        tb.run_for(SimDuration::from_secs(2));
+        tb
+    }
+
+    fn observe(tb: &Testbed) -> (u64, u64, String, String) {
+        (
+            tb.kernel("det", "a", |k| k.state_fingerprint()),
+            tb.kernel("det", "b", |k| k.state_fingerprint()),
+            tb.kernel("det", "a", |k| format!("{:?}", k.trace.records())),
+            tb.kernel("det", "b", |k| format!("{:?}", k.trace.records())),
+        )
+    }
+
+    /// The image pipeline is lossless: restoring from a serialized,
+    /// chunked, deduplicated image replays *identically* to restoring
+    /// from in-memory clones of the same frozen state — byte-equal
+    /// kernel fingerprints and packet-for-packet equal traces.
+    #[test]
+    fn image_restore_replays_identically_to_clone_restore() {
+        // Path A: snapshot through the store, travel back through it.
+        let mut a = live_tcp_testbed(90);
+        let snap = a.snapshot("det", "s");
+        a.run_for(SimDuration::from_secs(3));
+        a.travel_to("det", snap);
+        a.run_for(SimDuration::from_secs(3));
+        let obs_a = observe(&a);
+
+        // Path B: the same testbed, same seed, but state preserved as
+        // direct clones — no serialization, chunking, or store involved.
+        let mut b = live_tcp_testbed(90);
+        b.suspend_all("det");
+        let node_hosts: Vec<sim::ComponentId> =
+            b.experiment("det").nodes.iter().map(|n| n.host).collect();
+        let clones: Vec<(DomainImage, cowstore::BranchingStore)> = node_hosts
+            .iter()
+            .map(|h| {
+                let hr = b.engine.component_ref::<VmHost>(*h).unwrap();
+                (
+                    hr.last_image().expect("suspended").clone(),
+                    hr.store().clone(),
+                )
+            })
+            .collect();
+        let dn_handles: Vec<sim::ComponentId> = b
+            .experiment("det")
+            .delay_nodes
+            .iter()
+            .map(|d| d.component)
+            .collect();
+        let dn_clones: Vec<Option<DummynetImage>> = dn_handles
+            .iter()
+            .map(|d| {
+                b.engine
+                    .component_ref::<DelayNodeHost>(*d)
+                    .unwrap()
+                    .last_image()
+                    .cloned()
+            })
+            .collect();
+        b.release_all("det");
+        b.run_for(SimDuration::from_secs(3));
+        // Clone-based restore, step for step what try_travel_to does.
+        b.suspend_all("det");
+        for (host, (image, store)) in node_hosts.iter().zip(clones) {
+            b.engine.with_component::<VmHost, _>(*host, |h, ctx| {
+                h.abandon_checkpoint(ctx);
+                *h.store_mut() = store;
+                h.install_image(ctx, &image);
+                h.resume_guest(ctx);
+            });
+        }
+        for (dn, img) in dn_handles.iter().zip(dn_clones) {
+            if let Some(img) = img {
+                b.engine.with_component::<DelayNodeHost, _>(*dn, |d, ctx| {
+                    d.abandon_checkpoint(ctx);
+                    d.install_dummynet(ctx, dummynet::Dummynet::restore(&img, ctx.now()));
+                });
+            }
+        }
+        let coord = b.coordinator();
+        b.engine
+            .with_component::<checkpoint::Coordinator, _>(coord, |c, _| {
+                c.set_hold_resume(false);
+            });
+        b.run_for(sim::SimDuration::from_millis(1));
+        b.run_for(SimDuration::from_secs(3));
+        let obs_b = observe(&b);
+
+        // The streams actually ran (a real trace, not two empty logs).
+        let recs = b.kernel("det", "a", |k| k.trace.records().len());
+        assert!(recs > 50, "only {recs} trace records");
+        assert_eq!(obs_a.0, obs_b.0, "kernel a fingerprint diverged");
+        assert_eq!(obs_a.1, obs_b.1, "kernel b fingerprint diverged");
+        assert_eq!(obs_a.2, obs_b.2, "node a packet traces diverged");
+        assert_eq!(obs_a.3, obs_b.3, "node b packet traces diverged");
+    }
+
+    /// A flipped bit in a stored chunk surfaces as a typed
+    /// [`TimeTravelError::Corrupt`] from `try_travel_to` — and the
+    /// running execution is left untouched and keeps running.
+    #[test]
+    fn corrupt_snapshot_rejected_without_disturbing_execution() {
+        let mut tb = Testbed::new(91, 4);
+        tb.swap_in(ExperimentSpec::new("c").node("n")).expect("swap-in");
+        tb.run_for(SimDuration::from_secs(5));
+        let tid = tb.spawn("c", "n", Box::new(UsleepLoop::new(10_000_000, 1_000_000)));
+        tb.run_for(SimDuration::from_secs(2));
+        let snap = tb.snapshot("c", "s");
+        tb.run_for(SimDuration::from_secs(1));
+
+        let img = tb.experiment("c").tt.get(snap).node_images[0];
+        assert!(
+            tb.experiments_mut("c")
+                .tt
+                .store_mut()
+                .corrupt_chunk_for_test(img, 0, 7),
+            "corruption injected"
+        );
+        let err = tb.try_travel_to("c", snap).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TimeTravelError::Corrupt(StoreError::CorruptChunk { chunk_index: 0, .. })
+            ),
+            "got {err}"
+        );
+        // Unknown snapshots are typed too.
+        assert!(matches!(
+            tb.try_travel_to("c", SnapshotId(42)),
+            Err(TimeTravelError::UnknownSnapshot(_))
+        ));
+
+        // The failed restore did not quiesce or perturb the experiment.
+        let samples = |tb: &Testbed| {
+            tb.kernel("c", "n", |k| {
+                k.prog(tid)
+                    .unwrap()
+                    .as_any()
+                    .downcast_ref::<UsleepLoop>()
+                    .unwrap()
+                    .samples
+                    .len()
+            })
+        };
+        let before = samples(&tb);
+        tb.run_for(SimDuration::from_secs(2));
+        assert!(samples(&tb) > before + 50, "execution kept running");
     }
 }

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use ckptstore::{Dec, DecodeError, Enc};
 use cowstore::BlockData;
 
 /// Slab index used by the intrusive LRU list.
@@ -243,6 +244,51 @@ impl BufferCache {
             s = self.slab[s as usize].prev;
         }
         out
+    }
+
+    /// Serializes the cache as blocks in LRU→MRU order; decode replays them
+    /// through [`BufferCache::put`] so the recency list, slab, and dirty
+    /// count come back identical without serializing the intrusive links.
+    pub fn encode_wire(&self, e: &mut Enc) {
+        e.u64(self.cap as u64);
+        e.u64(self.hits);
+        e.u64(self.misses);
+        e.seq(self.map.len());
+        let mut s = self.tail;
+        while s != NIL {
+            let node = &self.slab[s as usize];
+            e.u64(node.vba);
+            node.data.encode_wire(e);
+            e.bool(node.dirty);
+            s = node.prev;
+        }
+    }
+
+    /// Inverse of [`BufferCache::encode_wire`].
+    pub fn decode_wire(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let cap = d.u64()? as usize;
+        if cap == 0 {
+            return Err(DecodeError::Invalid("zero-capacity cache"));
+        }
+        let hits = d.u64()?;
+        let misses = d.u64()?;
+        let n = d.seq()?;
+        if n > cap {
+            return Err(DecodeError::Invalid("cache block count exceeds capacity"));
+        }
+        let mut c = BufferCache::new(cap);
+        for _ in 0..n {
+            let vba = d.u64()?;
+            let data = BlockData::decode_wire(d)?;
+            let dirty = d.bool()?;
+            if c.contains(vba) {
+                return Err(DecodeError::Invalid("duplicate cached vba"));
+            }
+            c.put(vba, data, dirty);
+        }
+        c.hits = hits;
+        c.misses = misses;
+        Ok(c)
     }
 }
 

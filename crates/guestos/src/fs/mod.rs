@@ -13,6 +13,7 @@ pub use cache::BufferCache;
 
 use std::collections::HashMap;
 
+use ckptstore::{Dec, DecodeError, Enc};
 use cowstore::{BitmapBlock, BlockData};
 
 use crate::prog::FileId;
@@ -230,6 +231,73 @@ impl Ext3Fs {
         }
         writes.sort_by_key(|w| w.vba);
         Ok((writes, freed))
+    }
+
+    /// Serializes the filesystem: geometry, group bitmaps in order, files
+    /// sorted by id with their block maps sorted by logical index.
+    pub fn encode_wire(&self, e: &mut Enc) {
+        e.u32(self.block_size);
+        e.u32(self.blocks_per_group);
+        e.seq(self.groups.len());
+        for g in &self.groups {
+            g.encode_wire(e);
+        }
+        let mut ids: Vec<FileId> = self.files.keys().copied().collect();
+        ids.sort_unstable_by_key(|f| f.0);
+        e.seq(ids.len());
+        for id in ids {
+            let inode = &self.files[&id];
+            e.u64(id.0);
+            e.u64(inode.size);
+            let mut blocks: Vec<(u64, u64)> =
+                inode.blocks.iter().map(|(&i, &v)| (i, v)).collect();
+            blocks.sort_unstable();
+            e.seq(blocks.len());
+            for (idx, vba) in blocks {
+                e.u64(idx);
+                e.u64(vba);
+            }
+        }
+        e.u32(self.rotor);
+        e.u64(self.version);
+        e.u64(self.enospc);
+    }
+
+    /// Inverse of [`Ext3Fs::encode_wire`].
+    pub fn decode_wire(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let block_size = d.u32()?;
+        let blocks_per_group = d.u32()?;
+        let ngroups = d.seq()?;
+        let mut groups = Vec::with_capacity(ngroups);
+        for _ in 0..ngroups {
+            groups.push(BitmapBlock::decode_wire(d)?);
+        }
+        let nfiles = d.seq()?;
+        let mut files = HashMap::with_capacity(nfiles);
+        for _ in 0..nfiles {
+            let id = FileId(d.u64()?);
+            let size = d.u64()?;
+            let nblocks = d.seq()?;
+            let mut blocks = HashMap::with_capacity(nblocks);
+            for _ in 0..nblocks {
+                let idx = d.u64()?;
+                if blocks.insert(idx, d.u64()?).is_some() {
+                    return Err(DecodeError::Invalid("duplicate inode block index"));
+                }
+            }
+            if files.insert(id, Inode { blocks, size }).is_some() {
+                return Err(DecodeError::Invalid("duplicate file id"));
+            }
+        }
+        Ok(Ext3Fs {
+            block_size,
+            blocks_per_group,
+            groups,
+            files,
+            rotor: d.u32()?,
+            version: d.u64()?,
+            enospc: d.u64()?,
+        })
     }
 }
 

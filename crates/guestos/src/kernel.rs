@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 
+use ckptstore::{Dec, DecodeError, Enc};
 use cowstore::BlockData;
 use hwsim::NodeAddr;
 
@@ -29,6 +30,7 @@ use crate::net::{NetTrace, PacketDir};
 use crate::prog::{CtrlResp, FileId, GuestProg, SockFd, Syscall, SysRet};
 use crate::sched::{RunQueue, Thread, ThreadClass, ThreadState, Tid};
 use crate::timer::{sleep_to_wake_jiffy, TimerWheel};
+use crate::wire::GuestResidue;
 
 /// Dirty-block fraction (of cache capacity) that starts async writeback.
 const WB_HIGH_FRAC: f64 = 0.25;
@@ -241,6 +243,132 @@ impl Kernel {
         h
     }
 
+    /// Serializes the entire kernel into a checkpoint image; program
+    /// objects and message markers land in `residue`.
+    pub fn encode_wire(&self, e: &mut Enc, residue: &mut GuestResidue) {
+        e.u32(self.cfg.hz);
+        e.u32(self.cfg.node.0);
+        e.u64(self.cfg.cache_blocks as u64);
+        e.u64(self.cfg.disk_blocks);
+        e.u32(self.cfg.block_size);
+        e.u32(self.cfg.blocks_per_group);
+        e.u64(self.now_ns);
+        e.u64(self.jiffies);
+        e.u64(self.xtime_ns);
+        e.seq(self.threads.len());
+        for t in &self.threads {
+            t.encode_wire(e, residue);
+        }
+        self.runq.encode_wire(e);
+        self.wheel.encode_wire(e);
+        self.fw.encode_wire(e);
+        self.socks.encode_wire(e, residue);
+        self.trace.encode_wire(e);
+        self.fs.encode_wire(e);
+        self.cache.encode_wire(e);
+        e.u64(self.next_batch);
+        let mut ids: Vec<u64> = self.batches.keys().copied().collect();
+        ids.sort_unstable();
+        e.seq(ids.len());
+        for id in ids {
+            let b = &self.batches[&id];
+            e.u64(id);
+            e.u8(match b.kind {
+                BatchKind::Read => 0,
+                BatchKind::Writeback => 1,
+            });
+            e.seq(b.waiters.len());
+            for t in &b.waiters {
+                e.u32(t.0);
+            }
+        }
+        e.bool(self.wb_in_flight);
+        e.u64(self.next_burst);
+        e.u64(self.next_rpc);
+        e.seq(self.actions.len());
+        for a in &self.actions {
+            a.encode_wire(e, residue);
+        }
+        e.u32(self.exited);
+    }
+
+    /// Inverse of [`Kernel::encode_wire`].
+    pub fn decode_wire(d: &mut Dec<'_>, residue: &GuestResidue) -> Result<Self, DecodeError> {
+        let cfg = KernelConfig {
+            hz: d.u32()?,
+            node: NodeAddr(d.u32()?),
+            cache_blocks: d.u64()? as usize,
+            disk_blocks: d.u64()?,
+            block_size: d.u32()?,
+            blocks_per_group: d.u32()?,
+        };
+        let now_ns = d.u64()?;
+        let jiffies = d.u64()?;
+        let xtime_ns = d.u64()?;
+        let nthreads = d.seq()?;
+        let mut threads = Vec::with_capacity(nthreads);
+        for _ in 0..nthreads {
+            threads.push(Thread::decode_wire(d, residue)?);
+        }
+        let runq = RunQueue::decode_wire(d)?;
+        let wheel = TimerWheel::decode_wire(d)?;
+        let fw = FirewallState::decode_wire(d)?;
+        let socks = SocketTable::decode_wire(d, residue)?;
+        let trace = NetTrace::decode_wire(d)?;
+        let fs = Ext3Fs::decode_wire(d)?;
+        let cache = BufferCache::decode_wire(d)?;
+        let next_batch = d.u64()?;
+        let nbatches = d.seq()?;
+        let mut batches = HashMap::with_capacity(nbatches);
+        for _ in 0..nbatches {
+            let id = d.u64()?;
+            let at = d.position();
+            let kind = match d.u8()? {
+                0 => BatchKind::Read,
+                1 => BatchKind::Writeback,
+                tag => return Err(DecodeError::BadTag { at, tag, what: "batch kind" }),
+            };
+            let nw = d.seq()?;
+            let mut waiters = Vec::with_capacity(nw);
+            for _ in 0..nw {
+                waiters.push(Tid(d.u32()?));
+            }
+            if batches.insert(id, BatchInfo { kind, waiters }).is_some() {
+                return Err(DecodeError::Invalid("duplicate batch id"));
+            }
+        }
+        let wb_in_flight = d.bool()?;
+        let next_burst = d.u64()?;
+        let next_rpc = d.u64()?;
+        let nactions = d.seq()?;
+        let mut actions = Vec::with_capacity(nactions);
+        for _ in 0..nactions {
+            actions.push(GuestAction::decode_wire(d, residue)?);
+        }
+        let exited = d.u32()?;
+        Ok(Kernel {
+            cfg,
+            now_ns,
+            jiffies,
+            xtime_ns,
+            threads,
+            runq,
+            wheel,
+            fw,
+            socks,
+            trace,
+            fs,
+            cache,
+            next_batch,
+            batches,
+            wb_in_flight,
+            next_burst,
+            next_rpc,
+            actions,
+            exited,
+        })
+    }
+
     // ------------------------------------------------------------------
     // Entry points from the vmm.
     // ------------------------------------------------------------------
@@ -274,7 +402,7 @@ impl Kernel {
         }
 
         // pdflush-style periodic writeback.
-        if self.jiffies % WB_PERIOD_JIFFIES == 0 && self.cache.dirty_count() > 0 {
+        if self.jiffies.is_multiple_of(WB_PERIOD_JIFFIES) && self.cache.dirty_count() > 0 {
             self.start_writeback(None);
         }
 
@@ -1055,5 +1183,67 @@ mod tests {
         // Advancing the original does not disturb the image.
         k.on_timer_tick(20_000_000);
         assert_ne!(image.state_fingerprint(), k.state_fingerprint());
+    }
+
+    #[test]
+    fn wire_round_trip_is_a_faithful_checkpoint() {
+        let mut k = small_kernel();
+        k.trace.enable();
+        k.spawn(Box::new(Scripted::new(&[1, 5, 3, 255])));
+        k.spawn(Box::new(Scripted::new(&[5, 5, 255])));
+        k.on_timer_tick(10_000_000);
+        k.on_timer_tick(20_000_000);
+
+        let mut residue = GuestResidue::new();
+        let mut e = Enc::new();
+        k.encode_wire(&mut e, &mut residue);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let mut back = Kernel::decode_wire(&mut d, &residue).unwrap();
+        assert_eq!(d.remaining(), 0, "image fully consumed");
+        assert_eq!(back.state_fingerprint(), k.state_fingerprint());
+        assert_eq!(back.jiffies(), k.jiffies());
+        assert_eq!(back.exited, k.exited);
+        assert_eq!(back.trace.records().len(), k.trace.records().len());
+
+        // The restored kernel behaves identically going forward: deliver
+        // the pending RPC reply to both and compare.
+        let rpc_id = k
+            .drain_actions()
+            .iter()
+            .find_map(|a| match a {
+                GuestAction::CtrlRpc { id, .. } => Some(*id),
+                _ => None,
+            })
+            .expect("rpc action pending");
+        let back_rpc_id = back
+            .drain_actions()
+            .iter()
+            .find_map(|a| match a {
+                GuestAction::CtrlRpc { id, .. } => Some(*id),
+                _ => None,
+            })
+            .expect("restored rpc action pending");
+        assert_eq!(rpc_id, back_rpc_id);
+        let resp = CtrlResp::NfsAttr { size: 1, mtime_ns: 2 };
+        k.on_ctrl_rpc(30_000_000, rpc_id, resp);
+        back.on_ctrl_rpc(30_000_000, back_rpc_id, resp);
+        k.on_timer_tick(40_000_000);
+        back.on_timer_tick(40_000_000);
+        assert_eq!(back.state_fingerprint(), k.state_fingerprint());
+        assert_eq!(rets(&k, Tid(0)), rets(&back, Tid(0)));
+    }
+
+    #[test]
+    fn wire_decode_rejects_truncated_image() {
+        let mut k = small_kernel();
+        k.spawn(Box::new(Scripted::new(&[5, 255])));
+        k.on_timer_tick(10_000_000);
+        let mut residue = GuestResidue::new();
+        let mut e = Enc::new();
+        k.encode_wire(&mut e, &mut residue);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes[..bytes.len() / 2]);
+        assert!(Kernel::decode_wire(&mut d, &residue).is_err());
     }
 }

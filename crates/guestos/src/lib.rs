@@ -25,6 +25,7 @@ pub mod net;
 pub mod prog;
 pub mod sched;
 pub mod timer;
+pub mod wire;
 
 pub use actions::{BlockBatch, BlockBatchOp, GuestAction};
 pub use firewall::FirewallState;
@@ -33,3 +34,4 @@ pub use net::tcp::{TcpConn, TcpSegment, TcpState, TcpStats, MSS};
 pub use net::{NetTrace, PacketDir, PacketRecord};
 pub use prog::{GuestProg, ProgId, Syscall, SysRet};
 pub use sched::{Tid, ThreadClass};
+pub use wire::GuestResidue;

@@ -2,10 +2,12 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use ckptstore::{Dec, DecodeError, Enc};
 use hwsim::NodeAddr;
 
 use crate::net::tcp::{AppMsg, TcpConn, TcpSegment};
 use crate::prog::SockFd;
+use crate::wire::GuestResidue;
 
 /// One open socket.
 #[derive(Clone)]
@@ -133,6 +135,74 @@ impl SocketTable {
             self.demux
                 .remove(&(e.conn.local_port, e.conn.remote_port, e.remote));
         }
+    }
+
+    /// Serializes the table: sockets in fd order, listeners in port order.
+    /// The demux map is rebuilt on decode.
+    pub fn encode_wire(&self, e: &mut Enc, residue: &mut GuestResidue) {
+        e.u32(self.next_fd);
+        e.u16(self.next_ephemeral);
+        let mut fds: Vec<u32> = self.socks.keys().copied().collect();
+        fds.sort_unstable();
+        e.seq(fds.len());
+        for fd in fds {
+            let entry = &self.socks[&fd];
+            e.u32(fd);
+            e.u32(entry.remote.0);
+            entry.conn.encode_wire(e, residue);
+            e.seq(entry.inbox.len());
+            for m in &entry.inbox {
+                e.u32(residue.push_msg(m));
+            }
+        }
+        let mut ports: Vec<u16> = self.listeners.keys().copied().collect();
+        ports.sort_unstable();
+        e.seq(ports.len());
+        for port in ports {
+            e.u16(port);
+            let l = &self.listeners[&port];
+            e.seq(l.ready.len());
+            for fd in &l.ready {
+                e.u32(fd.0);
+            }
+        }
+    }
+
+    /// Inverse of [`SocketTable::encode_wire`].
+    pub fn decode_wire(d: &mut Dec<'_>, residue: &GuestResidue) -> Result<Self, DecodeError> {
+        let next_fd = d.u32()?;
+        let next_ephemeral = d.u16()?;
+        let n = d.seq()?;
+        let mut socks = HashMap::with_capacity(n);
+        let mut demux = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let fd = d.u32()?;
+            let remote = NodeAddr(d.u32()?);
+            let conn = TcpConn::decode_wire(d, residue)?;
+            let m = d.seq()?;
+            let mut inbox = VecDeque::with_capacity(m);
+            for _ in 0..m {
+                inbox.push_back(residue.msg(d.u32()?)?);
+            }
+            demux.insert((conn.local_port, conn.remote_port, remote), fd);
+            if socks.insert(fd, SockEntry { conn, remote, inbox }).is_some() {
+                return Err(DecodeError::Invalid("duplicate socket fd"));
+            }
+        }
+        let np = d.seq()?;
+        let mut listeners = HashMap::with_capacity(np);
+        for _ in 0..np {
+            let port = d.u16()?;
+            let nr = d.seq()?;
+            let mut ready = VecDeque::with_capacity(nr);
+            for _ in 0..nr {
+                ready.push_back(SockFd(d.u32()?));
+            }
+            if listeners.insert(port, Listener { ready }).is_some() {
+                return Err(DecodeError::Invalid("duplicate listener port"));
+            }
+        }
+        Ok(SocketTable { next_fd, next_ephemeral, socks, listeners, demux })
     }
 }
 

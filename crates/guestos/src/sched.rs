@@ -9,9 +9,12 @@
 
 use std::collections::VecDeque;
 
+use ckptstore::{Dec, DecodeError, Enc};
+
 use crate::firewall::FirewallState;
 use crate::net::tcp::AppMsg;
 use crate::prog::{GuestProg, SysRet};
+use crate::wire::{decode_sysret, encode_sysret, GuestResidue};
 
 /// Thread identifier.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -94,6 +97,75 @@ impl ThreadState {
     }
 }
 
+impl ThreadClass {
+    fn wire_tag(self) -> u8 {
+        match self {
+            ThreadClass::User => 0,
+            ThreadClass::Kernel => 1,
+            ThreadClass::CheckpointSuspend => 2,
+        }
+    }
+
+    fn from_wire_tag(at: usize, tag: u8) -> Result<Self, DecodeError> {
+        Ok(match tag {
+            0 => ThreadClass::User,
+            1 => ThreadClass::Kernel,
+            2 => ThreadClass::CheckpointSuspend,
+            tag => return Err(DecodeError::BadTag { at, tag, what: "thread class" }),
+        })
+    }
+}
+
+impl ThreadState {
+    /// Serializes the state; wire tags reuse [`ThreadState::tag`] codes.
+    pub fn encode_wire(&self, e: &mut Enc, residue: &mut GuestResidue) {
+        e.u8(self.tag());
+        match self {
+            ThreadState::Runnable | ThreadState::Sleeping | ThreadState::Exited => {}
+            ThreadState::AcceptWait { port } => e.u16(*port),
+            ThreadState::ConnectWait { fd } => e.u32(*fd),
+            ThreadState::RecvWait { fd, max } => {
+                e.u32(*fd);
+                e.u64(*max);
+            }
+            ThreadState::SendWait { fd, bytes, msg } => {
+                e.u32(*fd);
+                e.u64(*bytes);
+                e.bool(msg.is_some());
+                if let Some(m) = msg {
+                    e.u32(residue.push_msg(m));
+                }
+            }
+            ThreadState::IoWait { batch } => e.u64(*batch),
+            ThreadState::Computing { burst } => e.u64(*burst),
+            ThreadState::RpcWait { id } => e.u64(*id),
+        }
+    }
+
+    /// Inverse of [`ThreadState::encode_wire`].
+    pub fn decode_wire(d: &mut Dec<'_>, residue: &GuestResidue) -> Result<Self, DecodeError> {
+        let at = d.position();
+        Ok(match d.u8()? {
+            0 => ThreadState::Runnable,
+            1 => ThreadState::Sleeping,
+            2 => ThreadState::AcceptWait { port: d.u16()? },
+            3 => ThreadState::ConnectWait { fd: d.u32()? },
+            4 => ThreadState::RecvWait { fd: d.u32()?, max: d.u64()? },
+            5 => {
+                let fd = d.u32()?;
+                let bytes = d.u64()?;
+                let msg = if d.bool()? { Some(residue.msg(d.u32()?)?) } else { None };
+                ThreadState::SendWait { fd, bytes, msg }
+            }
+            6 => ThreadState::IoWait { batch: d.u64()? },
+            7 => ThreadState::Computing { burst: d.u64()? },
+            8 => ThreadState::Exited,
+            9 => ThreadState::RpcWait { id: d.u64()? },
+            tag => return Err(DecodeError::BadTag { at, tag, what: "thread state" }),
+        })
+    }
+}
+
 /// One guest thread.
 #[derive(Clone)]
 pub struct Thread {
@@ -121,6 +193,29 @@ impl Thread {
     /// True if the thread has exited.
     pub fn exited(&self) -> bool {
         matches!(self.state, ThreadState::Exited)
+    }
+
+    /// Serializes the thread; the program object goes into the residue.
+    pub fn encode_wire(&self, e: &mut Enc, residue: &mut GuestResidue) {
+        e.u32(self.tid.0);
+        e.u8(self.class.wire_tag());
+        self.state.encode_wire(e, residue);
+        e.bool(self.prog.is_some());
+        if let Some(p) = &self.prog {
+            e.u32(residue.push_prog(p.as_ref()));
+        }
+        encode_sysret(e, &self.pending_ret, residue);
+    }
+
+    /// Inverse of [`Thread::encode_wire`].
+    pub fn decode_wire(d: &mut Dec<'_>, residue: &GuestResidue) -> Result<Self, DecodeError> {
+        let tid = Tid(d.u32()?);
+        let at = d.position();
+        let class = ThreadClass::from_wire_tag(at, d.u8()?)?;
+        let state = ThreadState::decode_wire(d, residue)?;
+        let prog = if d.bool()? { Some(residue.prog(d.u32()?)?) } else { None };
+        let pending_ret = decode_sysret(d, residue)?;
+        Ok(Thread { tid, class, state, prog, pending_ret })
     }
 }
 
@@ -165,6 +260,24 @@ impl RunQueue {
     /// True if no thread is queued.
     pub fn is_empty(&self) -> bool {
         self.q.is_empty()
+    }
+
+    /// Serializes the queue in scheduling order.
+    pub fn encode_wire(&self, e: &mut Enc) {
+        e.seq(self.q.len());
+        for t in &self.q {
+            e.u32(t.0);
+        }
+    }
+
+    /// Inverse of [`RunQueue::encode_wire`].
+    pub fn decode_wire(d: &mut Dec<'_>) -> Result<Self, DecodeError> {
+        let n = d.seq()?;
+        let mut q = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            q.push_back(Tid(d.u32()?));
+        }
+        Ok(RunQueue { q })
     }
 }
 

@@ -89,8 +89,7 @@ impl MiniVmm {
 
     fn run_until(&mut self, t_end: u64) {
         // Seed periodic ticks.
-        loop {
-            let Some(&(t, _)) = self.queue.front() else { break };
+        while let Some(&(t, _)) = self.queue.front() {
             if t > t_end {
                 break;
             }

@@ -1,9 +1,14 @@
-//! Property-based tests over the guest kernel's core data structures:
-//! TCP reliability under arbitrary loss, buffer-cache equivalence with a
-//! reference model, filesystem allocation invariants, timer-wheel
-//! completeness, and the temporal-firewall time-freeze property.
+//! Randomized property tests over the guest kernel's core data
+//! structures: TCP reliability under arbitrary loss, buffer-cache
+//! equivalence with a reference model, filesystem allocation invariants,
+//! timer-wheel completeness, and the temporal-firewall time-freeze
+//! property.
+//!
+//! Hand-rolled case generation driven by `SimRng`; gated behind the
+//! `props` feature. Generation is deterministic per case index.
+#![cfg(feature = "props")]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use cowstore::BlockData;
 use guestos::fs::{BufferCache, Ext3Fs};
@@ -11,31 +16,31 @@ use guestos::net::tcp::TcpConn;
 use guestos::prog::FileId;
 use guestos::timer::{sleep_to_wake_jiffy, TimerWheel};
 use guestos::Tid;
-use proptest::prelude::*;
+use sim::SimRng;
 
 // ---------------------------------------------------------------------
 // TCP: exactly-once in-order byte delivery under arbitrary loss.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Whatever subset of data segments the network drops, the receiver's
+/// application sees exactly the bytes that were sent, and the sender
+/// repairs every hole (conservation through retransmission).
+#[test]
+fn tcp_delivers_every_byte_under_loss() {
+    for case in 0..48u64 {
+        let mut g = SimRng::for_component(0x7C9, case as u32);
+        let total = g.range_u64(1, 200) * 1024;
+        let n_drops = g.range_u64(0, 40) as usize;
+        let drops: HashSet<usize> =
+            (0..n_drops).map(|_| g.range_u64(0, 400) as usize).collect();
 
-    /// Whatever subset of data segments the network drops, the receiver's
-    /// application sees exactly the bytes that were sent, and the sender
-    /// repairs every hole (conservation through retransmission).
-    #[test]
-    fn tcp_delivers_every_byte_under_loss(
-        total_kb in 1..200u64,
-        drops in prop::collection::hash_set(0..400usize, 0..40),
-    ) {
-        let total = total_kb * 1024;
         let (mut a, syn) = TcpConn::connect(1000, 2000, 0);
         let (mut b, synack) = TcpConn::accept(2000, 1000, &syn, 0);
         let fx = a.on_segment(&synack, 0);
         for seg in fx.tx {
             let _ = b.on_segment(&seg, 0);
         }
-        prop_assert!(a.established() && b.established());
+        assert!(a.established() && b.established(), "case {case}");
 
         let mut now: u64 = 0;
         let mut sent = 0u64;
@@ -43,7 +48,12 @@ proptest! {
         let mut guard = 0;
         while b.stats.bytes_delivered < total {
             guard += 1;
-            prop_assert!(guard < 100_000, "transfer stuck at {}/{}", b.stats.bytes_delivered, total);
+            assert!(
+                guard < 100_000,
+                "case {case}: transfer stuck at {}/{}",
+                b.stats.bytes_delivered,
+                total
+            );
             now += 1_000_000; // 1 ms per round.
             // App keeps the send buffer full.
             let mut tx = Vec::new();
@@ -83,24 +93,30 @@ proptest! {
                 let _ = b.recv(u64::MAX);
             }
         }
-        prop_assert_eq!(b.stats.bytes_delivered, total, "exact byte count");
+        assert_eq!(b.stats.bytes_delivered, total, "case {case}: exact byte count");
     }
+}
 
-    /// The frozen-clock property at the TCP layer: however long the
-    /// connection sits with unacknowledged data, no retransmission timer
-    /// can fire while virtual time stands still.
-    #[test]
-    fn tcp_rto_never_fires_under_frozen_clock(ticks in 1..500u32, freeze_ns in 0..u32::MAX) {
+/// The frozen-clock property at the TCP layer: however long the
+/// connection sits with unacknowledged data, no retransmission timer can
+/// fire while virtual time stands still.
+#[test]
+fn tcp_rto_never_fires_under_frozen_clock() {
+    for case in 0..48u64 {
+        let mut g = SimRng::for_component(0x470, case as u32);
+        let ticks = g.range_u64(1, 500) as u32;
+        let freeze_ns = g.range_u64(0, u32::MAX as u64);
+
         let (mut a, syn) = TcpConn::connect(1, 2, 0);
         let (b, synack) = TcpConn::accept(2, 1, &syn, 0);
         let _ = a.on_segment(&synack, 0);
-        let (_, tx) = a.send(100_000, None, freeze_ns as u64);
-        prop_assert!(!tx.is_empty());
+        let (_, tx) = a.send(100_000, None, freeze_ns);
+        assert!(!tx.is_empty(), "case {case}");
         let _ = b;
         for _ in 0..ticks {
-            prop_assert!(a.on_tick(freeze_ns as u64).is_empty());
+            assert!(a.on_tick(freeze_ns).is_empty(), "case {case}");
         }
-        prop_assert_eq!(a.stats.timeouts, 0);
+        assert_eq!(a.stats.timeouts, 0, "case {case}");
     }
 }
 
@@ -116,27 +132,28 @@ enum CacheOp {
     Invalidate(u64),
 }
 
-fn cache_op() -> impl Strategy<Value = CacheOp> {
-    prop_oneof![
-        3 => (0..64u64).prop_map(CacheOp::Read),
-        4 => (0..64u64, any::<u64>(), any::<bool>()).prop_map(|(v, d, w)| CacheOp::Put(v, d, w)),
-        1 => (1..16usize).prop_map(CacheOp::TakeDirty),
-        1 => (0..64u64).prop_map(CacheOp::Invalidate),
-    ]
+fn cache_op(g: &mut SimRng) -> CacheOp {
+    // Weights 3:4:1:1, matching the original strategy.
+    match g.range_u64(0, 9) {
+        0..=2 => CacheOp::Read(g.range_u64(0, 64)),
+        3..=6 => CacheOp::Put(g.range_u64(0, 64), g.range_u64(0, u64::MAX), g.chance(0.5)),
+        7 => CacheOp::TakeDirty(g.range_u64(1, 16) as usize),
+        _ => CacheOp::Invalidate(g.range_u64(0, 64)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// The O(1) LRU cache never exceeds capacity, never loses a dirty block
+/// silently (every dirty block is either still cached, handed back by
+/// `take_dirty`, or returned as an eviction), and reads always return
+/// the latest written content.
+#[test]
+fn cache_honors_capacity_and_dirty_accounting() {
+    for case in 0..96u64 {
+        let mut g = SimRng::for_component(0xCAC4E, case as u32);
+        let cap = g.range_u64(2, 16) as usize;
+        let n_ops = g.range_u64(1, 200) as usize;
+        let ops: Vec<CacheOp> = (0..n_ops).map(|_| cache_op(&mut g)).collect();
 
-    /// The O(1) LRU cache never exceeds capacity, never loses a dirty
-    /// block silently (every dirty block is either still cached, handed
-    /// back by `take_dirty`, or returned as an eviction), and reads always
-    /// return the latest written content.
-    #[test]
-    fn cache_honors_capacity_and_dirty_accounting(
-        cap in 2..16usize,
-        ops in prop::collection::vec(cache_op(), 1..200),
-    ) {
         let mut cache = BufferCache::new(cap);
         let mut latest: HashMap<u64, u64> = HashMap::new();
         // Dirty blocks the cache is responsible for.
@@ -145,7 +162,7 @@ proptest! {
             match op {
                 CacheOp::Read(vba) => {
                     if let Some(data) = cache.read(vba) {
-                        prop_assert_eq!(data, BlockData::Opaque(latest[&vba]));
+                        assert_eq!(data, BlockData::Opaque(latest[&vba]), "case {case}");
                     }
                 }
                 CacheOp::Put(vba, d, dirty) => {
@@ -159,13 +176,13 @@ proptest! {
                     if let Some((ev_vba, ev_data)) = cache.put(vba, BlockData::Opaque(d), dirty) {
                         // An evicted dirty block must carry its latest data.
                         let want = dirty_owned.remove(&ev_vba).expect("evicted block was dirty");
-                        prop_assert_eq!(ev_data, BlockData::Opaque(want));
+                        assert_eq!(ev_data, BlockData::Opaque(want), "case {case}");
                     }
                 }
                 CacheOp::TakeDirty(n) => {
                     for (vba, data) in cache.take_dirty(n) {
                         let want = dirty_owned.remove(&vba).expect("taken block was dirty");
-                        prop_assert_eq!(data, BlockData::Opaque(want));
+                        assert_eq!(data, BlockData::Opaque(want), "case {case}");
                     }
                 }
                 CacheOp::Invalidate(vba) => {
@@ -174,14 +191,14 @@ proptest! {
                     latest.remove(&vba);
                 }
             }
-            prop_assert!(cache.len() <= cap, "capacity violated");
-            prop_assert!(cache.dirty_count() <= cache.len());
+            assert!(cache.len() <= cap, "case {case}: capacity violated");
+            assert!(cache.dirty_count() <= cache.len(), "case {case}");
         }
         // Every dirty block we still own must be in the cache with the
         // right content.
         for (vba, d) in &dirty_owned {
-            prop_assert!(cache.contains(*vba), "dirty block {} lost", vba);
-            prop_assert_eq!(cache.read(*vba), Some(BlockData::Opaque(*d)));
+            assert!(cache.contains(*vba), "case {case}: dirty block {vba} lost");
+            assert_eq!(cache.read(*vba), Some(BlockData::Opaque(*d)), "case {case}");
         }
     }
 }
@@ -190,19 +207,18 @@ proptest! {
 // Filesystem allocation invariants.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Allocation bookkeeping: allocated_blocks always equals the blocks
+/// reachable from live files; deletes free everything; no double
+/// allocation ever happens.
+#[test]
+fn fs_allocation_is_consistent() {
+    for case in 0..64u64 {
+        let mut g = SimRng::for_component(0xF5, case as u32);
+        let n_ops = g.range_u64(1, 60) as usize;
+        let ops: Vec<(u64, u64, bool)> = (0..n_ops)
+            .map(|_| (g.range_u64(0, 8), g.range_u64(0, 6), g.chance(0.5)))
+            .collect();
 
-    /// Allocation bookkeeping: allocated_blocks always equals the blocks
-    /// reachable from live files; deletes free everything; no double
-    /// allocation ever happens.
-    #[test]
-    fn fs_allocation_is_consistent(
-        ops in prop::collection::vec(
-            (0..8u64, 0..6u64, any::<bool>()),
-            1..60
-        ),
-    ) {
         let mut fs = Ext3Fs::format(4096, 4096, 512);
         let mut live_blocks: HashMap<u64, Vec<u64>> = HashMap::new();
         for (file, blocks, delete) in ops {
@@ -214,7 +230,7 @@ proptest! {
                     had.sort_unstable();
                     let mut freed = freed;
                     freed.sort_unstable();
-                    prop_assert_eq!(freed, had, "delete freed a different set");
+                    assert_eq!(freed, had, "case {case}: delete freed a different set");
                 }
             } else {
                 if !fs.exists(fid) {
@@ -230,10 +246,11 @@ proptest! {
                                 // rewrite would reuse, but offsets only grow.
                                 let all: Vec<u64> =
                                     live_blocks.values().flatten().copied().collect();
-                                prop_assert!(
-                                    !all.contains(&w.vba) ||
-                                    live_blocks[&file].contains(&w.vba),
-                                    "double allocation of {}", w.vba
+                                assert!(
+                                    !all.contains(&w.vba)
+                                        || live_blocks[&file].contains(&w.vba),
+                                    "case {case}: double allocation of {}",
+                                    w.vba
                                 );
                                 if !live_blocks[&file].contains(&w.vba) {
                                     live_blocks.get_mut(&file).unwrap().push(w.vba);
@@ -244,7 +261,11 @@ proptest! {
                 }
             }
             let expect: u64 = live_blocks.values().map(|v| v.len() as u64).sum();
-            prop_assert_eq!(fs.allocated_blocks(), expect, "allocation count drifted");
+            assert_eq!(
+                fs.allocated_blocks(),
+                expect,
+                "case {case}: allocation count drifted"
+            );
         }
     }
 }
@@ -253,16 +274,18 @@ proptest! {
 // Timer wheel completeness.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Every armed timer fires exactly once, at the first expire() whose
+/// jiffy reaches it, in jiffy order.
+#[test]
+fn timer_wheel_fires_everything_once() {
+    for case in 0..128u64 {
+        let mut g = SimRng::for_component(0x713E4, case as u32);
+        let n_arms = g.range_u64(1, 80) as usize;
+        let arms: Vec<(u64, u32)> = (0..n_arms)
+            .map(|_| (g.range_u64(0, 200), g.range_u64(0, 100) as u32))
+            .collect();
+        let step = g.range_u64(1, 50);
 
-    /// Every armed timer fires exactly once, at the first expire() whose
-    /// jiffy reaches it, in jiffy order.
-    #[test]
-    fn timer_wheel_fires_everything_once(
-        arms in prop::collection::vec((0..200u64, 0..100u32), 1..80),
-        step in 1..50u64,
-    ) {
         let mut w = TimerWheel::new();
         for &(j, tid) in &arms {
             w.arm(j, Tid(tid));
@@ -274,30 +297,42 @@ proptest! {
             for tid in w.expire(j) {
                 fired.push((j, tid));
             }
-            prop_assert!(j < 1_000, "wheel never drained");
+            assert!(j < 1_000, "case {case}: wheel never drained");
         }
-        prop_assert_eq!(fired.len(), arms.len(), "lost or duplicated timers");
+        assert_eq!(fired.len(), arms.len(), "case {case}: lost or duplicated timers");
         // Each fires at the first step boundary >= its arm jiffy.
         let mut remaining = arms.clone();
         for (at, tid) in fired {
             let pos = remaining
                 .iter()
-                .position(|&(j0, t0)| Tid(t0) == tid && j0 <= at && j0 + step > at - ((at - 1) % step))
-                .or_else(|| remaining.iter().position(|&(j0, t0)| Tid(t0) == tid && j0 <= at));
-            prop_assert!(pos.is_some(), "timer fired that was never armed");
+                .position(|&(j0, t0)| {
+                    Tid(t0) == tid && j0 <= at && j0 + step > at - ((at - 1) % step)
+                })
+                .or_else(|| {
+                    remaining
+                        .iter()
+                        .position(|&(j0, t0)| Tid(t0) == tid && j0 <= at)
+                });
+            assert!(pos.is_some(), "case {case}: timer fired that was never armed");
             remaining.remove(pos.unwrap());
         }
     }
+}
 
-    /// usleep rounding: the wake jiffy is always strictly in the future
-    /// and sleeps at least the requested time once tick quantization is
-    /// accounted for.
-    #[test]
-    fn sleep_rounding_bounds(now in 0..1_000_000u64, ns in 0..10_000_000_000u64) {
+/// usleep rounding: the wake jiffy is always strictly in the future and
+/// sleeps at least the requested time once tick quantization is
+/// accounted for.
+#[test]
+fn sleep_rounding_bounds() {
+    for case in 0..128u64 {
+        let mut g = SimRng::for_component(0x51EE9, case as u32);
+        let now = g.range_u64(0, 1_000_000);
+        let ns = g.range_u64(0, 10_000_000_000);
+
         let tick = 10_000_000u64;
         let wake = sleep_to_wake_jiffy(now, ns, tick);
-        prop_assert!(wake > now, "wake not in the future");
+        assert!(wake > now, "case {case}: wake not in the future");
         let slept_ns = (wake - now - 1) * tick; // Worst case: armed just after a tick.
-        prop_assert!(slept_ns + tick > ns, "woke too early even in the best case");
+        assert!(slept_ns + tick > ns, "case {case}: woke too early even in the best case");
     }
 }

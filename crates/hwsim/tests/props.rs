@@ -1,52 +1,79 @@
-//! Property-based tests for the hardware models: clock inversion, disk
-//! service-time sanity, and CPU-sharing conservation.
+//! Randomized property tests for the hardware models: clock inversion,
+//! disk service-time sanity, and CPU-sharing conservation.
+//!
+//! Hand-rolled case generation driven by `SimRng`; gated behind the
+//! `props` feature. Generation is deterministic per case index.
+#![cfg(feature = "props")]
 
 use hwsim::{Disk, DiskOp, DiskProfile, DiskRequest, HardwareClock, SharedCpu};
-use proptest::prelude::*;
 use sim::{SimDuration, SimRng, SimTime};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: u64 = 256;
 
-    /// `when_reads` inverts `read_ns` for any drift/offset/slew state:
-    /// scheduling a wakeup at a clock reading hits that reading.
-    #[test]
-    fn clock_when_reads_inverts_read(
-        offset_ns in -50_000_000i64..50_000_000,
-        drift_ppm in -200f64..200.0,
-        slew_ppm in -400f64..400.0,
-        now_s in 0f64..10_000.0,
-        ahead_s in 0.000001f64..1_000.0,
-    ) {
+/// `when_reads` inverts `read_ns` for any drift/offset/slew state:
+/// scheduling a wakeup at a clock reading hits that reading.
+#[test]
+fn clock_when_reads_inverts_read() {
+    for case in 0..CASES {
+        let mut g = SimRng::for_component(0xC10C_14E4, case as u32);
+        let offset_ns = g.range_u64(0, 100_000_000) as i64 - 50_000_000;
+        let drift_ppm = g.range_f64(-200.0, 200.0);
+        let slew_ppm = g.range_f64(-400.0, 400.0);
+        let now_s = g.range_f64(0.0, 10_000.0);
+        let ahead_s = g.range_f64(0.000001, 1_000.0);
+
         let mut c = HardwareClock::new(offset_ns, drift_ppm);
         let now = SimTime::from_nanos((now_s * 1e9) as u64);
         c.set_slew_ppm(now, slew_ppm);
         let target = c.read_ns(now) + ahead_s * 1e9;
         let fire = c.when_reads(now, target);
-        prop_assert!(fire >= now);
+        assert!(fire >= now, "case {case}");
         let achieved = c.read_ns(fire);
         // Rounding to whole ns bounds the inversion error by ~1 tick.
-        prop_assert!((achieved - target).abs() < 10.0,
-            "target {target} achieved {achieved}");
+        assert!(
+            (achieved - target).abs() < 10.0,
+            "case {case}: target {target} achieved {achieved}"
+        );
     }
+}
 
-    /// Clock error growth is linear in elapsed time at the configured
-    /// rate (no hidden state jumps).
-    #[test]
-    fn clock_error_is_linear(drift_ppm in -200f64..200.0, dt_s in 0f64..1_000.0) {
+/// Clock error growth is linear in elapsed time at the configured rate
+/// (no hidden state jumps).
+#[test]
+fn clock_error_is_linear() {
+    for case in 0..CASES {
+        let mut g = SimRng::for_component(0x11EA4, case as u32);
+        let drift_ppm = g.range_f64(-200.0, 200.0);
+        let dt_s = g.range_f64(0.0, 1_000.0);
+
         let c = HardwareClock::new(0, drift_ppm);
         let e1 = c.error_ns(SimTime::from_nanos((dt_s * 1e9) as u64));
         let expect = dt_s * 1e9 * drift_ppm * 1e-6;
-        prop_assert!((e1 - expect).abs() < 2.0, "err {e1} expect {expect}");
+        assert!(
+            (e1 - expect).abs() < 2.0,
+            "case {case}: err {e1} expect {expect}"
+        );
     }
+}
 
-    /// Disk service times: sequential runs cost exactly the transfer time;
-    /// any request costs at least the transfer time; completion ordering
-    /// in the queue is FIFO.
-    #[test]
-    fn disk_service_bounds(
-        reqs in prop::collection::vec((0..100_000u64, 1..64u64, any::<bool>()), 1..40),
-    ) {
+/// Disk service times: sequential runs cost exactly the transfer time;
+/// any request costs at least the transfer time; completion ordering in
+/// the queue is FIFO.
+#[test]
+fn disk_service_bounds() {
+    for case in 0..CASES {
+        let mut g = SimRng::for_component(0xD15C, case as u32);
+        let n_reqs = g.range_u64(1, 40) as usize;
+        let reqs: Vec<(u64, u64, bool)> = (0..n_reqs)
+            .map(|_| {
+                (
+                    g.range_u64(0, 100_000),
+                    g.range_u64(1, 64),
+                    g.chance(0.5),
+                )
+            })
+            .collect();
+
         let profile = DiskProfile {
             min_seek: SimDuration::from_micros(500),
             max_seek: SimDuration::from_millis(9),
@@ -62,26 +89,32 @@ proptest! {
             let sequential = block == disk.head();
             let t = disk.service(&mut rng, DiskRequest { op, block, nblocks: n });
             let transfer = sim::transmission_time(n * 4096, profile.transfer_bps * 8);
-            prop_assert!(t >= transfer, "service faster than media rate");
+            assert!(t >= transfer, "case {case}: service faster than media rate");
             if sequential {
-                prop_assert_eq!(t, transfer, "sequential run paid a seek");
+                assert_eq!(t, transfer, "case {case}: sequential run paid a seek");
             } else {
-                prop_assert!(
+                assert!(
                     t <= transfer + profile.max_seek + profile.rotation(),
-                    "service exceeded worst-case mechanics"
+                    "case {case}: service exceeded worst-case mechanics"
                 );
             }
         }
     }
+}
 
-    /// CPU sharing conserves work: a guest burst's completion time equals
-    /// start + work + exactly the dom0 time that overlapped it.
-    #[test]
-    fn cpu_sharing_conserves_work(
-        dom0 in prop::collection::vec((0..1_000u64, 1..50u64), 0..20),
-        start_ms in 0..1_000u64,
-        work_ms in 1..200u64,
-    ) {
+/// CPU sharing conserves work: a guest burst's completion time equals
+/// start + work + exactly the dom0 time that overlapped it.
+#[test]
+fn cpu_sharing_conserves_work() {
+    for case in 0..CASES {
+        let mut g = SimRng::for_component(0xC9A, case as u32);
+        let n_dom0 = g.range_u64(0, 20) as usize;
+        let dom0: Vec<(u64, u64)> = (0..n_dom0)
+            .map(|_| (g.range_u64(0, 1_000), g.range_u64(1, 50)))
+            .collect();
+        let start_ms = g.range_u64(0, 1_000);
+        let work_ms = g.range_u64(1, 200);
+
         let mut cpu = SharedCpu::new();
         for (at, len) in dom0 {
             cpu.reserve_dom0(
@@ -93,6 +126,6 @@ proptest! {
         let work = SimDuration::from_millis(work_ms);
         let done = cpu.guest_completion(start, work);
         let stolen = cpu.dom0_time_in(start, done);
-        prop_assert_eq!(done, start + work + stolen, "work not conserved");
+        assert_eq!(done, start + work + stolen, "case {case}: work not conserved");
     }
 }

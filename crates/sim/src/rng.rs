@@ -5,24 +5,46 @@
 //! events) never perturbs the random draws seen by existing components.
 //! That stability is what makes time-travel *deterministic replay*
 //! reproducible and lets integration tests compare full traces.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna),
+//! seeded through SplitMix64 — no external crates, so a cold offline
+//! checkout builds without registry access. The generator choice is an
+//! implementation detail: all simulator code goes through the sampling
+//! helpers below, and trace-comparison tests only ever compare runs that
+//! use the *same* generator.
 
 /// A deterministic per-component random stream.
 ///
-/// Thin wrapper over [`StdRng`] with the sampling helpers the simulator
+/// Self-contained xoshiro256++ with the sampling helpers the simulator
 /// actually needs (jitter draws, Bernoulli loss, ranges).
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+/// SplitMix64 step: advances `state` and returns the next output.
+/// Used for seed expansion and component-stream derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a stream from a raw 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
+        // Expand the seed through SplitMix64 per the xoshiro authors'
+        // recommendation; guarantees a non-zero state.
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -37,9 +59,26 @@ impl SimRng {
         SimRng::from_seed(z)
     }
 
+    /// Next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
     /// Uniform draw in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -49,13 +88,27 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Lemire's multiply-with-rejection: unbiased without division in
+        // the common case.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(span as u128);
+        let mut low = m as u64;
+        if low < span {
+            let threshold = span.wrapping_neg() % span;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(span as u128);
+                low = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
     }
 
     /// Uniform float in `[lo, hi)`.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        lo + (hi - lo) * self.unit()
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
@@ -133,6 +186,27 @@ mod tests {
         let mut r = SimRng::from_seed(1);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut r = SimRng::from_seed(3);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u), "unit out of range: {u}");
+        }
+    }
+
+    #[test]
+    fn range_u64_covers_and_respects_bounds() {
+        let mut r = SimRng::from_seed(4);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let x = r.range_u64(10, 17);
+            assert!((10..17).contains(&x));
+            seen[(x - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "small range not fully covered");
     }
 
     #[test]

@@ -20,14 +20,20 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 
 /// The `p`-quantile (0.0–1.0) by nearest-rank on a sorted copy.
 ///
+/// NaN inputs are a caller bug: they trip a debug assertion, and in
+/// release builds `total_cmp` sorts them after every real number (IEEE
+/// total order) so the function still returns the documented nearest-rank
+/// value instead of panicking mid-sort.
+///
 /// # Panics
 ///
 /// Panics if `xs` is empty or `p` is outside `[0, 1]`.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty slice");
     assert!((0.0..=1.0).contains(&p), "p out of range");
+    debug_assert!(!xs.iter().any(|x| x.is_nan()), "NaN in percentile input");
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    v.sort_by(f64::total_cmp);
     let rank = ((p * v.len() as f64).ceil() as usize).clamp(1, v.len());
     v[rank - 1]
 }
@@ -77,6 +83,30 @@ mod tests {
         assert_eq!(percentile(&xs, 1.0), 5.0);
         assert_eq!(percentile(&xs, 0.0), 1.0);
         assert_eq!(percentile(&xs, 0.97), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty slice")]
+    fn percentile_of_empty_panics() {
+        percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn percentile_one_element_any_quantile() {
+        assert_eq!(percentile(&[7.5], 0.0), 7.5);
+        assert_eq!(percentile(&[7.5], 0.5), 7.5);
+        assert_eq!(percentile(&[7.5], 1.0), 7.5);
+    }
+
+    #[test]
+    fn percentile_boundary_quantiles() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0, "p=0 is the minimum");
+        assert_eq!(percentile(&xs, 1.0), 4.0, "p=1 is the maximum");
+        // Just above a rank boundary: ceil(0.25 * 4) = 1 → first element;
+        // ceil(0.26 * 4) = 2 → second.
+        assert_eq!(percentile(&xs, 0.25), 1.0);
+        assert_eq!(percentile(&xs, 0.26), 2.0);
     }
 
     #[test]

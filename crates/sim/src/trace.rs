@@ -51,7 +51,7 @@ impl Series {
     /// throughput ("averages taken over 20 ms intervals").
     pub fn binned_rate(&self, start: SimTime, end: SimTime, bin: SimDuration) -> Vec<(f64, f64)> {
         assert!(end > start && !bin.is_zero(), "bad binning window");
-        let nbins = ((end - start).as_nanos() + bin.as_nanos() - 1) / bin.as_nanos();
+        let nbins = (end - start).as_nanos().div_ceil(bin.as_nanos());
         let mut sums = vec![0.0; nbins as usize];
         for &(t, v) in &self.points {
             if t < start || t >= end {

@@ -1,10 +1,18 @@
-//! Property-based tests for the event engine: dispatch order, time
+//! Randomized property tests for the event engine: dispatch order, time
 //! monotonicity, cancellation exactness, and seed determinism.
+//!
+//! Hand-rolled case generation driven by `SimRng` (no external property
+//! framework); gated behind the `props` feature so the default test run
+//! stays fast. A failing case prints its case index — rerun with that
+//! index to reproduce, since generation is fully deterministic.
+#![cfg(feature = "props")]
 
 use std::any::Any;
+use std::collections::HashSet;
 
-use proptest::prelude::*;
-use sim::{Component, Ctx, Engine, SimDuration, SimTime};
+use sim::{Component, Ctx, Engine, SimDuration, SimRng, SimTime};
+
+const CASES: u64 = 128;
 
 /// Records every delivery `(time, tag)`.
 struct Recorder {
@@ -19,15 +27,15 @@ impl Component for Recorder {
     sim::component_boilerplate!();
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Events fire in nondecreasing time order; equal-time events fire in
+/// schedule order; nothing is lost or invented.
+#[test]
+fn dispatch_order_is_total_and_stable() {
+    for case in 0..CASES {
+        let mut g = SimRng::for_component(0xD15_0A7C4, case as u32);
+        let n = g.range_u64(1, 200) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| g.range_u64(0, 10_000)).collect();
 
-    /// Events fire in nondecreasing time order; equal-time events fire in
-    /// schedule order; nothing is lost or invented.
-    #[test]
-    fn dispatch_order_is_total_and_stable(
-        delays in prop::collection::vec(0..10_000u64, 1..200),
-    ) {
         let mut e = Engine::new(0);
         let id = e.add_component(Box::new(Recorder { got: vec![] }));
         for (i, &d) in delays.iter().enumerate() {
@@ -35,25 +43,31 @@ proptest! {
         }
         e.run_to_completion();
         let got = &e.component_ref::<Recorder>(id).unwrap().got;
-        prop_assert_eq!(got.len(), delays.len());
+        assert_eq!(got.len(), delays.len(), "case {case}");
         for w in got.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            assert!(w[0].0 <= w[1].0, "case {case}: time went backwards");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "equal-time events reordered");
+                assert!(w[0].1 < w[1].1, "case {case}: equal-time events reordered");
             }
         }
         // Each event fired at exactly its scheduled time.
         for &(t, tag) in got {
-            prop_assert_eq!(t.as_nanos(), delays[tag as usize]);
+            assert_eq!(t.as_nanos(), delays[tag as usize], "case {case}");
         }
     }
+}
 
-    /// Cancelled events never fire; everything else always does.
-    #[test]
-    fn cancellation_is_exact(
-        delays in prop::collection::vec(1..10_000u64, 1..100),
-        cancel_idx in prop::collection::hash_set(0..100usize, 0..40),
-    ) {
+/// Cancelled events never fire; everything else always does.
+#[test]
+fn cancellation_is_exact() {
+    for case in 0..CASES {
+        let mut g = SimRng::for_component(0xCA9CE1, case as u32);
+        let n = g.range_u64(1, 100) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| g.range_u64(1, 10_000)).collect();
+        let n_cancel = g.range_u64(0, 40) as usize;
+        let cancel_idx: HashSet<usize> =
+            (0..n_cancel).map(|_| g.range_u64(0, 100) as usize).collect();
+
         let mut e = Engine::new(0);
         let id = e.add_component(Box::new(Recorder { got: vec![] }));
         let mut expect = Vec::new();
@@ -63,7 +77,7 @@ proptest! {
         }
         for (i, h) in handles.into_iter().enumerate() {
             if cancel_idx.contains(&i) {
-                prop_assert!(e.cancel(h));
+                assert!(e.cancel(h), "case {case}");
             } else {
                 expect.push(i as u32);
             }
@@ -78,43 +92,53 @@ proptest! {
             .collect();
         got.sort_unstable();
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}");
     }
+}
 
-    /// run_until is exact: it fires everything at or before the target and
-    /// nothing after, and leaves `now` at the target.
-    #[test]
-    fn run_until_boundary(
-        delays in prop::collection::vec(0..10_000u64, 1..100),
-        cut in 0..10_000u64,
-    ) {
+/// run_until is exact: it fires everything at or before the target and
+/// nothing after, and leaves `now` at the target.
+#[test]
+fn run_until_boundary() {
+    for case in 0..CASES {
+        let mut g = SimRng::for_component(0xB047_DA47, case as u32);
+        let n = g.range_u64(1, 100) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| g.range_u64(0, 10_000)).collect();
+        let cut = g.range_u64(0, 10_000);
+
         let mut e = Engine::new(0);
         let id = e.add_component(Box::new(Recorder { got: vec![] }));
         for (i, &d) in delays.iter().enumerate() {
             e.post(id, SimDuration::from_nanos(d), i as u32);
         }
         e.run_until(SimTime::from_nanos(cut));
-        prop_assert_eq!(e.now().as_nanos(), cut);
+        assert_eq!(e.now().as_nanos(), cut, "case {case}");
         let fired = e.component_ref::<Recorder>(id).unwrap().got.len();
         let due = delays.iter().filter(|&&d| d <= cut).count();
-        prop_assert_eq!(fired, due);
+        assert_eq!(fired, due, "case {case}");
     }
+}
 
-    /// Per-component RNG streams are stable under unrelated churn: adding
-    /// more components does not change an existing component's draws.
-    #[test]
-    fn rng_streams_are_isolated(extra in 0..20usize, seed in any::<u64>()) {
-        struct Draws {
-            vals: Vec<u64>,
-        }
-        impl Component for Draws {
-            fn handle(&mut self, ctx: &mut Ctx<'_>, _p: Box<dyn Any>) {
-                for _ in 0..8 {
-                    self.vals.push(ctx.rng().range_u64(0, u64::MAX));
-                }
+/// Per-component RNG streams are stable under unrelated churn: adding
+/// more components does not change an existing component's draws.
+#[test]
+fn rng_streams_are_isolated() {
+    struct Draws {
+        vals: Vec<u64>,
+    }
+    impl Component for Draws {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, _p: Box<dyn Any>) {
+            for _ in 0..8 {
+                self.vals.push(ctx.rng().range_u64(0, u64::MAX));
             }
-            sim::component_boilerplate!();
         }
+        sim::component_boilerplate!();
+    }
+    for case in 0..CASES {
+        let mut g = SimRng::for_component(0x15_01A7ED, case as u32);
+        let extra = g.range_u64(0, 20) as usize;
+        let seed = g.range_u64(0, u64::MAX);
+
         let run = |n_extra: usize| -> Vec<u64> {
             let mut e = Engine::new(seed);
             let id = e.add_component(Box::new(Draws { vals: vec![] }));
@@ -126,6 +150,6 @@ proptest! {
             e.run_to_completion();
             e.component_ref::<Draws>(id).unwrap().vals.clone()
         };
-        prop_assert_eq!(run(0), run(extra));
+        assert_eq!(run(0), run(extra), "case {case}");
     }
 }

@@ -6,6 +6,8 @@
 //! kernel state (a clone; the simulator's stand-in for the memory image)
 //! plus the sizes that cost its storage and transfer.
 
+use ckptstore::{Dec, DecodeError, Enc};
+use guestos::wire::GuestResidue;
 use guestos::Kernel;
 
 /// Hypervisor-side state of one guest.
@@ -174,6 +176,35 @@ impl DomainImage {
             checkpoints: 0,
         }
     }
+
+    /// Serializes the image: the guest kernel followed by the vCPU and
+    /// sizing context. Program objects and message markers land in
+    /// `residue`, which rides beside the byte image.
+    pub fn encode_wire(&self, e: &mut Enc, residue: &mut GuestResidue) {
+        self.kernel.encode_wire(e, residue);
+        e.u64(self.guest_ns);
+        e.u64(self.dirty_bytes);
+        e.u64(self.mem_bytes);
+        e.seq(self.pending_bursts.len());
+        for &(id, ns) in &self.pending_bursts {
+            e.u64(id);
+            e.u64(ns);
+        }
+    }
+
+    /// Inverse of [`DomainImage::encode_wire`].
+    pub fn decode_wire(d: &mut Dec<'_>, residue: &GuestResidue) -> Result<Self, DecodeError> {
+        let kernel = Kernel::decode_wire(d, residue)?;
+        let guest_ns = d.u64()?;
+        let dirty_bytes = d.u64()?;
+        let mem_bytes = d.u64()?;
+        let n = d.seq()?;
+        let mut pending_bursts = Vec::with_capacity(n);
+        for _ in 0..n {
+            pending_bursts.push((d.u64()?, d.u64()?));
+        }
+        Ok(DomainImage { kernel, guest_ns, dirty_bytes, mem_bytes, pending_bursts })
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +264,30 @@ mod tests {
             d.kernel.state_fingerprint()
         );
         assert_eq!(d.dirty_since_ckpt, 0, "dirty tracking reset");
+    }
+
+    #[test]
+    fn image_wire_round_trip_restores_identically() {
+        let mut d = domain();
+        d.note_dirty(10 << 20);
+        d.freeze(1.0e9);
+        let mut img = d.capture(32 << 20);
+        img.pending_bursts.push((7, 123_456));
+        let mut residue = GuestResidue::new();
+        let mut e = Enc::new();
+        img.encode_wire(&mut e, &mut residue);
+        let bytes = e.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let back = DomainImage::decode_wire(&mut dec, &residue).unwrap();
+        assert_eq!(dec.remaining(), 0);
+        assert_eq!(back.guest_ns, img.guest_ns);
+        assert_eq!(back.dirty_bytes, img.dirty_bytes);
+        assert_eq!(back.mem_bytes, img.mem_bytes);
+        assert_eq!(back.pending_bursts, img.pending_bursts);
+        assert_eq!(
+            back.kernel.state_fingerprint(),
+            img.kernel.state_fingerprint()
+        );
     }
 
     #[test]

@@ -528,7 +528,7 @@ impl VmHost {
             // The replay log is still draining: queue behind it so logged
             // and fresh packets stay in order.
             let wire = SimDuration::from_micros(2);
-            self.replay_until = self.replay_until + wire;
+            self.replay_until += wire;
             let src = frame.src;
             let seg = seg.clone();
             ctx.post_at(ctx.self_id(), self.replay_until, VmMsg::RxReplay { src, seg });
@@ -842,7 +842,7 @@ impl VmHost {
                 None => SimDuration::ZERO,
             };
             prev_arrival = Some(arrival);
-            at = at + gap;
+            at += gap;
             ctx.post_at(ctx.self_id(), at, VmMsg::RxReplay { src, seg });
         }
         self.replay_until = at;

@@ -57,11 +57,11 @@ impl Driver {
                 }
                 Syscall::Create { file } => {
                     self.issued.push("create");
-                    if self.files.contains_key(&file) {
-                        SysRet::Err("exists")
-                    } else {
-                        self.files.insert(file, 0);
+                    if let std::collections::hash_map::Entry::Vacant(e) = self.files.entry(file) {
+                        e.insert(0);
                         SysRet::Ok
+                    } else {
+                        SysRet::Err("exists")
                     }
                 }
                 Syscall::Write { file, offset, bytes } => {
