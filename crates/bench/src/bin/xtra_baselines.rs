@@ -40,11 +40,20 @@ fn main() {
         "transparent vs event-driven vs non-concealing checkpoints (iperf, 5 s period)",
     );
     let mut csv = String::from(
-        "strategy,retransmissions,timeouts,dup_acks,window_shrinks,max_gap_us,suspend_skew_us,throughput_MBps\n",
+        "strategy,retransmissions,timeouts,dup_acks,window_shrinks,max_gap_us,suspend_skew_us,throughput_MBps,avg_notify_to_acks_us,avg_barrier_hold_us\n",
     );
     println!(
-        "  {:<16} {:>6} {:>9} {:>9} {:>8} {:>12} {:>9} {:>8}",
-        "strategy", "retx", "timeouts", "dup-acks", "shrinks", "max gap µs", "skew µs", "MB/s"
+        "  {:<16} {:>6} {:>9} {:>9} {:>8} {:>12} {:>9} {:>8} {:>9} {:>8}",
+        "strategy",
+        "retx",
+        "timeouts",
+        "dup-acks",
+        "shrinks",
+        "max gap µs",
+        "skew µs",
+        "MB/s",
+        "acks µs",
+        "hold µs"
     );
     for strategy in [
         Strategy::Transparent,
@@ -54,7 +63,7 @@ fn main() {
         eprintln!("[xtra] running {}...", strategy.label());
         let o = run(strategy);
         println!(
-            "  {:<16} {:>6} {:>9} {:>9} {:>8} {:>12} {:>9} {:>8.1}",
+            "  {:<16} {:>6} {:>9} {:>9} {:>8} {:>12} {:>9} {:>8.1} {:>9} {:>8}",
             strategy.label(),
             o.retransmissions,
             o.timeouts,
@@ -62,10 +71,12 @@ fn main() {
             o.window_shrinks,
             o.max_gap_us,
             o.max_suspend_skew_us,
-            o.throughput_mbps
+            o.throughput_mbps,
+            o.avg_notify_to_acks_us,
+            o.avg_barrier_hold_us
         );
         csv.push_str(&format!(
-            "{},{},{},{},{},{},{},{:.1}\n",
+            "{},{},{},{},{},{},{},{:.1},{},{}\n",
             strategy.label(),
             o.retransmissions,
             o.timeouts,
@@ -73,7 +84,9 @@ fn main() {
             o.window_shrinks,
             o.max_gap_us,
             o.max_suspend_skew_us,
-            o.throughput_mbps
+            o.throughput_mbps,
+            o.avg_notify_to_acks_us,
+            o.avg_barrier_hold_us
         ));
         if strategy == Strategy::Transparent {
             assert_eq!(o.retransmissions + o.timeouts + o.dup_acks, 0);

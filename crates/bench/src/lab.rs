@@ -3,17 +3,19 @@
 
 use std::sync::Arc;
 
-use checkpoint::{CheckpointAgent, Coordinator, DelayNodeHost, OutPort, Strategy, TriggerMode};
+use checkpoint::{
+    CheckpointAgent, Coordinator, DelayNodeHost, FailurePolicy, OutPort, Strategy, TriggerMode,
+};
 use cowstore::{BranchingStore, CowMode, GoldenImageBuilder, StoreLayout};
 use dummynet::PipeConfig;
 use guestos::{Kernel, KernelConfig};
 use hwsim::{ControlLan, Endpoint, IfaceId, Link, NodeAddr, Pc3000};
-use sim::{ComponentId, Engine, SimDuration};
+use sim::{ComponentId, Engine, FaultPlan, SimDuration};
 use vmm::{ExpPort, VmHost, VmHostConfig, VmmTuning};
 use workloads::{IperfReceiver, IperfSender};
 
 /// Knobs the ablation studies turn.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct LabConfig {
     pub seed: u64,
     pub strategy: Strategy,
@@ -26,6 +28,14 @@ pub struct LabConfig {
     pub lead: Option<SimDuration>,
     /// Initial clock offsets of the two hosts, ns.
     pub offsets_ns: (i64, i64),
+    /// Control-plane fault plan injected into the control LAN (loss,
+    /// duplication, delay, crashes).
+    pub faults: Option<FaultPlan>,
+    /// Make host B a straggler: its done report stalls this long after
+    /// the local capture.
+    pub straggler_stall: Option<SimDuration>,
+    /// Failure-handling policy override for the coordinator.
+    pub policy: Option<FailurePolicy>,
 }
 
 impl Default for LabConfig {
@@ -36,6 +46,9 @@ impl Default for LabConfig {
             ntp: true,
             lead: None,
             offsets_ns: (2_000_000, -3_000_000),
+            faults: None,
+            straggler_stall: None,
+            policy: None,
         }
     }
 }
@@ -61,6 +74,19 @@ pub struct LabOutcome {
     pub max_suspend_skew_us: u64,
     pub throughput_mbps: f64,
     pub checkpoints: u64,
+    /// Epoch outcomes the coordinator recorded.
+    pub committed: u64,
+    pub aborted: u64,
+    pub degraded: u64,
+    /// Notification retries the failure detector issued in total.
+    pub retries: u64,
+    /// Epochs still without a terminal outcome (should be zero after a
+    /// drain period: every epoch must commit, abort, or degrade).
+    pub unresolved: u64,
+    /// Mean notify→all-acks latency across acked epochs, µs.
+    pub avg_notify_to_acks_us: u64,
+    /// Mean barrier-hold time across resumed epochs, µs.
+    pub avg_barrier_hold_us: u64,
 }
 
 /// Builds the lab (hosts booted, nothing running yet).
@@ -72,6 +98,9 @@ pub fn build_lab(cfg: LabConfig) -> Lab {
         profile.ctrl_lan_latency,
         profile.ctrl_lan_jitter,
     )));
+    if let Some(plan) = cfg.faults.clone() {
+        e.with_component::<ControlLan, _>(lan_id, |l, _| l.inject_faults(plan));
+    }
     let ops_addr = NodeAddr(1000);
     // A black-hole address: attached to nothing, requests vanish.
     let ntp_target = if cfg.ntp { ops_addr } else { NodeAddr(9999) };
@@ -81,15 +110,27 @@ pub fn build_lab(cfg: LabConfig) -> Lab {
     };
     let coord = e.add_component(Box::new(Coordinator::new(ops_addr, lan_id, mode)));
 
-    let mk_host = |e: &mut Engine, node: NodeAddr, off: i64, drift: f64| -> ComponentId {
+    let mk_host = |e: &mut Engine,
+                   node: NodeAddr,
+                   off: i64,
+                   drift: f64,
+                   stall: Option<SimDuration>|
+     -> ComponentId {
         let golden = Arc::new(GoldenImageBuilder::new("fc4", 100_000, 4096, 7).build());
         let layout = StoreLayout::for_image(&golden);
         let store = BranchingStore::new(golden, CowMode::Branch, layout);
         let mut kcfg = KernelConfig::pc3000_guest(node);
         kcfg.disk_blocks = 100_000;
         let kernel = Kernel::new(kcfg);
-        let agent = CheckpointAgent::new(ops_addr)
+        let mut agent = CheckpointAgent::new(ops_addr)
             .with_processing_jitter(cfg.strategy.processing_jitter_mean());
+        if let Some(stall) = stall {
+            agent = agent.with_done_stall(stall);
+        }
+        if cfg.faults.is_some() {
+            // A faulty control plane warrants at-least-once done reports.
+            agent = agent.with_done_resend(SimDuration::from_millis(100));
+        }
         let host = VmHost::new(
             VmHostConfig {
                 node,
@@ -112,8 +153,8 @@ pub fn build_lab(cfg: LabConfig) -> Lab {
     let a_addr = NodeAddr(1);
     let b_addr = NodeAddr(2);
     let dn_addr = NodeAddr(3);
-    let host_a = mk_host(&mut e, a_addr, cfg.offsets_ns.0, 40.0);
-    let host_b = mk_host(&mut e, b_addr, cfg.offsets_ns.1, -25.0);
+    let host_a = mk_host(&mut e, a_addr, cfg.offsets_ns.0, 40.0, None);
+    let host_b = mk_host(&mut e, b_addr, cfg.offsets_ns.1, -25.0, cfg.straggler_stall);
     let dn = e.add_component(Box::new(DelayNodeHost::new(
         dn_addr, lan_id, ops_addr, 1_000_000, 15.0,
     )));
@@ -138,6 +179,9 @@ pub fn build_lab(cfg: LabConfig) -> Lab {
         queue_slots: 512,
     };
     e.with_component::<DelayNodeHost, _>(dn, |d, _| {
+        if cfg.faults.is_some() {
+            d.set_done_resend(Some(SimDuration::from_millis(100)));
+        }
         d.add_path(IfaceId(1), shape, OutPort { link: link_b, end: 1 });
         d.add_path(IfaceId(2), shape, OutPort { link: link_a, end: 1 });
     });
@@ -154,6 +198,9 @@ pub fn build_lab(cfg: LabConfig) -> Lab {
         l.attach(dn_addr, Endpoint { component: dn, iface: IfaceId::CONTROL });
     });
     e.with_component::<Coordinator, _>(coord, |c, _| {
+        if let Some(policy) = cfg.policy {
+            c.set_policy(policy);
+        }
         c.subscribe(a_addr);
         c.subscribe(b_addr);
         c.subscribe(dn_addr);
@@ -206,6 +253,32 @@ impl Lab {
             .map(|(&x, &y)| x.as_nanos().abs_diff(y.as_nanos()))
             .max()
             .unwrap_or(0);
+        let c = self
+            .engine
+            .component_ref::<Coordinator>(self.coordinator)
+            .expect("coordinator");
+        let (committed, aborted, degraded) = c.outcome_counts();
+        let mean_us = |samples: Vec<u64>| -> u64 {
+            if samples.is_empty() {
+                0
+            } else {
+                samples.iter().sum::<u64>() / samples.len() as u64
+            }
+        };
+        let avg_notify_to_acks_us = mean_us(
+            c.records
+                .iter()
+                .filter_map(|r| r.notify_to_acks())
+                .map(|d| d.as_nanos() / 1000)
+                .collect(),
+        );
+        let avg_barrier_hold_us = mean_us(
+            c.records
+                .iter()
+                .filter_map(|r| r.barrier_hold())
+                .map(|d| d.as_nanos() / 1000)
+                .collect(),
+        );
         LabOutcome {
             retransmissions: ta.retransmissions + tb.retransmissions,
             timeouts: ta.timeouts + tb.timeouts,
@@ -215,6 +288,13 @@ impl Lab {
             max_suspend_skew_us: skew / 1000,
             throughput_mbps: tb.bytes_delivered as f64 / 1e6 / run_secs,
             checkpoints: a.stats.checkpoints,
+            committed,
+            aborted,
+            degraded,
+            retries: c.total_retries(),
+            unresolved: c.records.iter().filter(|r| r.outcome.is_none()).count() as u64,
+            avg_notify_to_acks_us,
+            avg_barrier_hold_us,
         }
     }
 }

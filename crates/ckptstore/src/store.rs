@@ -1,6 +1,15 @@
 //! The refcounted chunk store: fixed-size chunking, content addressing,
 //! per-image manifests, and deterministic release on image removal.
+//!
+//! The store can hold each chunk with configurable redundancy: extra
+//! copies of the payload behind the same content address. A load that
+//! finds the primary copy corrupt transparently serves (and counts) an
+//! intact replica; only when *every* copy is damaged does the typed
+//! [`StoreError::CorruptChunk`] surface. Write-path fault injection flips
+//! bytes in freshly inserted primaries at a configured rate, so repair
+//! paths are exercised deterministically.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -79,8 +88,30 @@ pub struct PutReport {
 }
 
 struct ChunkEntry {
-    data: Vec<u8>,
+    /// Stored payload copies; `copies[0]` is the primary, the rest are
+    /// redundancy replicas under the same content address.
+    copies: Vec<Vec<u8>>,
     refs: u64,
+}
+
+impl ChunkEntry {
+    fn primary_len(&self) -> u64 {
+        self.copies[0].len() as u64
+    }
+}
+
+/// Deterministic write-fault state (SplitMix64 over an injected seed).
+struct WriteFaults {
+    state: u64,
+    per_million: u32,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 struct Manifest {
@@ -94,6 +125,12 @@ pub struct ChunkStore {
     chunks: HashMap<ChunkHash, ChunkEntry>,
     images: HashMap<u64, Manifest>,
     next_image: u64,
+    /// Copies held per chunk (>= 1); applies to chunks inserted after the
+    /// setting changes.
+    redundancy: usize,
+    /// Chunks served from a replica because the primary was corrupt.
+    repaired: Cell<u64>,
+    write_faults: Option<WriteFaults>,
 }
 
 impl ChunkStore {
@@ -111,11 +148,83 @@ impl ChunkStore {
             chunks: HashMap::new(),
             images: HashMap::new(),
             next_image: 0,
+            redundancy: 1,
+            repaired: Cell::new(0),
+            write_faults: None,
         }
     }
 
     pub fn chunk_size(&self) -> usize {
         self.chunk_size
+    }
+
+    /// Sets how many copies of each chunk payload the store keeps (>= 1).
+    /// Applies to chunks inserted afterwards; existing chunks keep their
+    /// copy count until rewritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies` is zero.
+    pub fn set_redundancy(&mut self, copies: usize) {
+        assert!(copies >= 1, "redundancy must keep at least one copy");
+        self.redundancy = copies;
+    }
+
+    /// Copies kept per newly inserted chunk.
+    pub fn redundancy(&self) -> usize {
+        self.redundancy
+    }
+
+    /// Chunks served from a replica because their primary copy was
+    /// corrupt (cumulative over the store's lifetime).
+    pub fn repaired_chunks(&self) -> u64 {
+        self.repaired.get()
+    }
+
+    /// Bytes held in redundancy replicas (beyond the primary copies that
+    /// [`ChunkStore::physical_bytes`] accounts).
+    pub fn replica_bytes(&self) -> u64 {
+        self.chunks
+            .values()
+            .map(|c| c.copies[1..].iter().map(|d| d.len() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Fault injection: flip one byte in the *primary* copy of roughly
+    /// `per_million` out of every million chunks inserted from now on.
+    /// Replicas are written clean, so redundancy >= 2 repairs these
+    /// corruptions transparently. Deterministic in `seed`.
+    pub fn inject_write_faults(&mut self, seed: u64, per_million: u32) {
+        self.write_faults = Some(WriteFaults { state: seed, per_million });
+    }
+
+    /// Stops write-path fault injection.
+    pub fn clear_write_faults(&mut self) {
+        self.write_faults = None;
+    }
+
+    /// Rewrites every damaged copy of every chunk from an intact sibling.
+    /// Returns the number of chunks that had at least one copy repaired;
+    /// chunks with no intact copy are left untouched (the load path will
+    /// surface them as [`StoreError::CorruptChunk`]).
+    pub fn scrub(&mut self) -> u64 {
+        let mut healed = 0u64;
+        for (h, entry) in &mut self.chunks {
+            let intact = entry.copies.iter().position(|d| chunk_hash(d) == *h);
+            let Some(good) = intact else { continue };
+            let template = entry.copies[good].clone();
+            let mut touched = false;
+            for copy in &mut entry.copies {
+                if chunk_hash(copy) != *h {
+                    *copy = template.clone();
+                    touched = true;
+                }
+            }
+            if touched {
+                healed += 1;
+            }
+        }
+        healed
     }
 
     /// Stores an image: chunks it, inserts unseen chunks, bumps
@@ -126,10 +235,22 @@ impl ChunkStore {
         let mut chunks_new = 0u64;
         for chunk in bytes.chunks(self.chunk_size) {
             let h = chunk_hash(chunk);
+            let redundancy = self.redundancy;
+            let faults = &mut self.write_faults;
             let entry = self.chunks.entry(h).or_insert_with(|| {
                 new_physical += chunk.len() as u64;
                 chunks_new += 1;
-                ChunkEntry { data: chunk.to_vec(), refs: 0 }
+                let mut copies = vec![chunk.to_vec(); redundancy];
+                // Write-path fault injection damages the primary only;
+                // replicas land clean (independent write paths).
+                if let Some(wf) = faults.as_mut() {
+                    let draw = splitmix64(&mut wf.state);
+                    if !copies[0].is_empty() && draw % 1_000_000 < u64::from(wf.per_million) {
+                        let i = (draw >> 32) as usize % copies[0].len();
+                        copies[0][i] ^= 0x01;
+                    }
+                }
+                ChunkEntry { copies, refs: 0 }
             });
             entry.refs += 1;
             manifest.push(h);
@@ -147,7 +268,10 @@ impl ChunkStore {
         }
     }
 
-    /// Reassembles an image, re-hashing every chunk on the way out.
+    /// Reassembles an image, re-hashing every chunk on the way out. A
+    /// chunk whose primary copy is corrupt is served from the first
+    /// intact replica (counted in [`ChunkStore::repaired_chunks`]); the
+    /// typed error surfaces only when every copy is damaged.
     pub fn load_image(&self, id: ImageId) -> Result<Vec<u8>, StoreError> {
         let m = self.images.get(&id.0).ok_or(StoreError::UnknownImage(id))?;
         let mut out = Vec::with_capacity(m.logical_len as usize);
@@ -156,16 +280,34 @@ impl ChunkStore {
                 .chunks
                 .get(h)
                 .ok_or(StoreError::MissingChunk { image: id, chunk_index: i })?;
-            let actual = chunk_hash(&entry.data);
-            if actual != *h {
-                return Err(StoreError::CorruptChunk {
-                    image: id,
-                    chunk_index: i,
-                    expected: *h,
-                    actual,
-                });
+            let mut served = None;
+            let mut primary_actual = None;
+            for (copy_idx, copy) in entry.copies.iter().enumerate() {
+                let actual = chunk_hash(copy);
+                if copy_idx == 0 {
+                    primary_actual = Some(actual);
+                }
+                if actual == *h {
+                    served = Some((copy_idx, copy));
+                    break;
+                }
             }
-            out.extend_from_slice(&entry.data);
+            match served {
+                Some((copy_idx, copy)) => {
+                    if copy_idx > 0 {
+                        self.repaired.set(self.repaired.get() + 1);
+                    }
+                    out.extend_from_slice(copy);
+                }
+                None => {
+                    return Err(StoreError::CorruptChunk {
+                        image: id,
+                        chunk_index: i,
+                        expected: *h,
+                        actual: primary_actual.expect("at least one copy"),
+                    });
+                }
+            }
         }
         debug_assert_eq!(out.len() as u64, m.logical_len, "manifest length drifted");
         Ok(out)
@@ -180,7 +322,7 @@ impl ChunkStore {
             let entry = self.chunks.get_mut(h).expect("manifest chunk missing on remove");
             entry.refs -= 1;
             if entry.refs == 0 {
-                freed += entry.data.len() as u64;
+                freed += entry.primary_len();
                 self.chunks.remove(h);
             }
         }
@@ -209,9 +351,10 @@ impl ChunkStore {
         self.chunks.len()
     }
 
-    /// Bytes actually held in chunks (each distinct chunk once).
+    /// Bytes actually held in primary chunks (each distinct chunk once;
+    /// redundancy replicas are accounted by [`ChunkStore::replica_bytes`]).
     pub fn physical_bytes(&self) -> u64 {
-        self.chunks.values().map(|c| c.data.len() as u64).sum()
+        self.chunks.values().map(|c| c.primary_len()).sum()
     }
 
     /// Store-wide dedup accounting.
@@ -226,19 +369,38 @@ impl ChunkStore {
         }
     }
 
-    /// Test hook: flips one byte inside a stored chunk of `image` so the
-    /// next `load_image` must report `CorruptChunk`. Returns false if the
-    /// image or chunk does not exist.
+    /// Test hook: flips one byte inside *every* copy of a stored chunk of
+    /// `image` so the next `load_image` must report `CorruptChunk` (no
+    /// replica can save it). Returns false if the image or chunk does not
+    /// exist.
     #[doc(hidden)]
     pub fn corrupt_chunk_for_test(&mut self, image: ImageId, chunk_index: usize, byte: usize) -> bool {
         let Some(m) = self.images.get(&image.0) else { return false };
         let Some(h) = m.chunks.get(chunk_index).copied() else { return false };
         let Some(entry) = self.chunks.get_mut(&h) else { return false };
-        if entry.data.is_empty() {
+        if entry.copies[0].is_empty() {
             return false;
         }
-        let i = byte % entry.data.len();
-        entry.data[i] ^= 0x01;
+        for copy in &mut entry.copies {
+            let i = byte % copy.len();
+            copy[i] ^= 0x01;
+        }
+        true
+    }
+
+    /// Test hook: flips one byte in the *primary* copy only, leaving
+    /// replicas intact (exercises transparent repair). Returns false if
+    /// the image or chunk does not exist.
+    #[doc(hidden)]
+    pub fn corrupt_primary_for_test(&mut self, image: ImageId, chunk_index: usize, byte: usize) -> bool {
+        let Some(m) = self.images.get(&image.0) else { return false };
+        let Some(h) = m.chunks.get(chunk_index).copied() else { return false };
+        let Some(entry) = self.chunks.get_mut(&h) else { return false };
+        if entry.copies[0].is_empty() {
+            return false;
+        }
+        let i = byte % entry.copies[0].len();
+        entry.copies[0][i] ^= 0x01;
         true
     }
 }
@@ -351,6 +513,65 @@ mod tests {
         assert_eq!(r.chunks_total, 0);
         assert_eq!(s.load_image(r.image).unwrap(), Vec::<u8>::new());
         assert_eq!(s.remove_image(r.image).unwrap(), 0);
+    }
+
+    #[test]
+    fn redundancy_two_repairs_a_corrupt_primary_transparently() {
+        let mut s = ChunkStore::with_chunk_size(64);
+        s.set_redundancy(2);
+        let img = image_with(64, |i| (i % 313 % 256) as u8, 640);
+        let r = s.put_image(&img);
+        assert_eq!(s.replica_bytes(), 640, "one replica per chunk");
+        assert_eq!(s.physical_bytes(), 640, "replicas not in primary accounting");
+        assert!(s.corrupt_primary_for_test(r.image, 4, 9));
+        assert_eq!(s.load_image(r.image).unwrap(), img, "served from the replica");
+        assert_eq!(s.repaired_chunks(), 1);
+        // Scrub rewrites the damaged primary; later loads are clean again.
+        assert_eq!(s.scrub(), 1);
+        assert_eq!(s.load_image(r.image).unwrap(), img);
+        assert_eq!(s.repaired_chunks(), 1, "no further replica reads needed");
+    }
+
+    #[test]
+    fn redundancy_one_has_no_fallback() {
+        let mut s = ChunkStore::with_chunk_size(64);
+        let img = image_with(64, |i| i as u8, 256);
+        let r = s.put_image(&img);
+        assert!(s.corrupt_primary_for_test(r.image, 1, 0));
+        assert!(matches!(
+            s.load_image(r.image),
+            Err(StoreError::CorruptChunk { chunk_index: 1, .. })
+        ));
+        assert_eq!(s.scrub(), 0, "nothing intact to repair from");
+    }
+
+    #[test]
+    fn write_faults_damage_primaries_deterministically() {
+        let make = |seed| {
+            let mut s = ChunkStore::with_chunk_size(64);
+            s.set_redundancy(2);
+            // Every chunk write is hit: each primary is damaged, each
+            // replica lands clean.
+            s.inject_write_faults(seed, 1_000_000);
+            let img = image_with(64, |i| (i % 199) as u8, 64 * 8);
+            let r = s.put_image(&img);
+            (s, r, img)
+        };
+        let (s1, r1, img) = make(7);
+        assert_eq!(s1.load_image(r1.image).unwrap(), img, "replicas repair every chunk");
+        assert_eq!(s1.repaired_chunks(), 8);
+        let (s2, r2, _) = make(7);
+        let (s3, r3, _) = make(8);
+        // Same seed: identical corruption; different seed: different bytes
+        // flipped (compare primaries via scrub-free raw loads).
+        assert_eq!(s2.load_image(r2.image).unwrap(), s3.load_image(r3.image).unwrap());
+        assert_eq!(s2.repaired_chunks(), s1.repaired_chunks());
+
+        // At redundancy 1 the same faults are fatal.
+        let mut s = ChunkStore::with_chunk_size(64);
+        s.inject_write_faults(7, 1_000_000);
+        let r = s.put_image(&image_with(64, |i| (i % 199) as u8, 64 * 8));
+        assert!(matches!(s.load_image(r.image), Err(StoreError::CorruptChunk { .. })));
     }
 
     #[test]

@@ -1,17 +1,26 @@
 //! The per-node checkpoint agent plugged into each VM host.
 //!
 //! The agent is the node-side half of §4.3's protocol: it receives bus
-//! notifications on the control interface, arms a local timer for
+//! notifications on the control interface, acks them (the coordinator's
+//! failure detector retries unacked nodes), arms a local timer for
 //! scheduled checkpoints ("Upon receiving the notification, nodes schedule
 //! their checkpoints locally. Accurate local timers and clock
 //! synchronization algorithms ensure precise checkpoint synchronization"),
-//! reports completion for the barrier, and resumes on command.
+//! reports completion for the barrier, resumes on command, and rolls the
+//! local sequence back when the coordinator aborts the epoch. Duplicate
+//! notifications (failure-detector retries, a lossy LAN's duplicated
+//! frames) are absorbed by epoch ids: only the first copy of an epoch
+//! arms the local timer.
 
 use hwsim::Frame;
 use sim::{Ctx, SimDuration};
 use vmm::{HostAgent, VmHost};
 
 use crate::bus::{BusMsg, BUS_MSG_BYTES};
+
+/// Distinguishes a deferred done-report wake (straggler stall) from a
+/// checkpoint-start wake carrying the same epoch.
+const DONE_TOKEN_BIT: u64 = 1 << 63;
 
 /// The coordinated-checkpoint agent for a VM host.
 pub struct CheckpointAgent {
@@ -20,8 +29,22 @@ pub struct CheckpointAgent {
     /// Mean of the exponential processing delay applied to event-driven
     /// ("checkpoint now") triggers; zero for pure scheduled operation.
     processing_jitter_mean: SimDuration,
+    /// Fault injection: hold the done report this long after capture (a
+    /// straggler node as seen by the coordinator).
+    done_stall: Option<SimDuration>,
+    /// Re-send the done report at this interval until the coordinator
+    /// resolves the epoch (resume or abort) — at-least-once completion
+    /// reporting for lossy control planes.
+    done_resend: Option<SimDuration>,
+    /// Epoch whose local checkpoint was aborted; stale wakes and done
+    /// reports for it are suppressed.
+    aborted_epoch: Option<u64>,
+    /// Epoch counted in `completed` (un-counted again if it aborts).
+    counted_epoch: Option<u64>,
     /// Checkpoints this agent has completed.
     pub completed: u64,
+    /// Epochs this agent rolled back on coordinator abort.
+    pub aborted: u64,
 }
 
 impl CheckpointAgent {
@@ -31,7 +54,12 @@ impl CheckpointAgent {
             coordinator,
             epoch: 0,
             processing_jitter_mean: SimDuration::ZERO,
+            done_stall: None,
+            done_resend: None,
+            aborted_epoch: None,
+            counted_epoch: None,
             completed: 0,
+            aborted: 0,
         }
     }
 
@@ -40,6 +68,47 @@ impl CheckpointAgent {
     pub fn with_processing_jitter(mut self, mean: SimDuration) -> Self {
         self.processing_jitter_mean = mean;
         self
+    }
+
+    /// Makes this node a straggler: its done report is held for `stall`
+    /// after the local capture completes (fault injection).
+    pub fn with_done_stall(mut self, stall: SimDuration) -> Self {
+        self.done_stall = Some(stall);
+        self
+    }
+
+    /// Enables done-report retransmission: the report repeats every
+    /// `interval` until a resume or abort resolves the epoch, so a lossy
+    /// control LAN cannot lose a node's completion.
+    pub fn with_done_resend(mut self, interval: SimDuration) -> Self {
+        self.done_resend = Some(interval);
+        self
+    }
+
+    fn send_ack(&self, host: &mut VmHost, ctx: &mut Ctx<'_>, epoch: u64) {
+        host.send_ctrl(
+            ctx,
+            self.coordinator,
+            BUS_MSG_BYTES,
+            BusMsg::NotifyAck { epoch },
+        );
+    }
+
+    fn send_done(&mut self, host: &mut VmHost, ctx: &mut Ctx<'_>, epoch: u64) {
+        if self.counted_epoch != Some(epoch) {
+            self.completed += 1;
+            self.counted_epoch = Some(epoch);
+        }
+        let image_bytes = host.last_image().map(|i| i.dirty_bytes).unwrap_or(0);
+        host.send_ctrl(
+            ctx,
+            self.coordinator,
+            BUS_MSG_BYTES,
+            BusMsg::NodeDone { epoch, image_bytes },
+        );
+        if let Some(interval) = self.done_resend {
+            host.agent_wake_after(ctx, interval, epoch | DONE_TOKEN_BIT);
+        }
     }
 }
 
@@ -50,10 +119,33 @@ impl HostAgent for CheckpointAgent {
         };
         match msg {
             BusMsg::CheckpointAt { epoch, at_clock_ns } => {
+                if epoch < self.epoch {
+                    return; // Stale retry of a finished epoch.
+                }
+                self.send_ack(host, ctx, epoch);
+                if epoch == self.epoch {
+                    return; // Duplicate: the timer is already armed.
+                }
+                if host.awaiting_resume() {
+                    // A new round means the previous epoch terminated
+                    // without this node seeing its resolution (the resume
+                    // or abort was lost): release the guest and join.
+                    host.resume_guest(ctx);
+                }
                 self.epoch = epoch;
                 host.agent_wake_at_clock_ns(ctx, at_clock_ns, epoch);
             }
             BusMsg::CheckpointNow { epoch } => {
+                if epoch < self.epoch {
+                    return;
+                }
+                self.send_ack(host, ctx, epoch);
+                if epoch == self.epoch {
+                    return;
+                }
+                if host.awaiting_resume() {
+                    host.resume_guest(ctx); // Lost resolution; see above.
+                }
                 self.epoch = epoch;
                 if self.processing_jitter_mean.is_zero() {
                     host.begin_checkpoint(ctx);
@@ -67,30 +159,52 @@ impl HostAgent for CheckpointAgent {
                 }
             }
             BusMsg::Resume { epoch } => {
-                if epoch == self.epoch {
+                // `awaiting_resume` absorbs duplicated resume frames.
+                if epoch == self.epoch
+                    && self.aborted_epoch != Some(epoch)
+                    && host.awaiting_resume()
+                {
                     host.resume_guest(ctx);
                 }
             }
-            BusMsg::NodeDone { .. } | BusMsg::RequestCheckpoint => {}
+            BusMsg::Abort { epoch } => {
+                if epoch != self.epoch || self.aborted_epoch == Some(epoch) {
+                    return; // Stale or duplicated abort.
+                }
+                self.aborted_epoch = Some(epoch);
+                self.aborted += 1;
+                if host.abort_checkpoint(ctx) && self.counted_epoch == Some(epoch) {
+                    // The captured image was rolled back: un-count it.
+                    self.completed -= 1;
+                    self.counted_epoch = None;
+                }
+            }
+            BusMsg::NotifyAck { .. } | BusMsg::NodeDone { .. } | BusMsg::RequestCheckpoint => {}
         }
     }
 
     fn on_wake(&mut self, host: &mut VmHost, ctx: &mut Ctx<'_>, token: u64) {
-        if token == self.epoch {
+        let epoch = token & !DONE_TOKEN_BIT;
+        if epoch != self.epoch || self.aborted_epoch == Some(epoch) {
+            return; // A wake for an epoch that aborted or moved on.
+        }
+        if token & DONE_TOKEN_BIT != 0 {
+            if self.counted_epoch == Some(epoch) && !host.awaiting_resume() {
+                return; // Resolved while the resend timer was pending.
+            }
+            // The stalled first report comes due, or a resend fires.
+            self.send_done(host, ctx, epoch);
+        } else {
             host.begin_checkpoint(ctx);
         }
     }
 
     fn on_checkpoint_captured(&mut self, host: &mut VmHost, ctx: &mut Ctx<'_>) {
-        self.completed += 1;
         let epoch = self.epoch;
-        let image_bytes = host.last_image().map(|i| i.dirty_bytes).unwrap_or(0);
-        host.send_ctrl(
-            ctx,
-            self.coordinator,
-            BUS_MSG_BYTES,
-            BusMsg::NodeDone { epoch, image_bytes },
-        );
+        match self.done_stall {
+            Some(stall) => host.agent_wake_after(ctx, stall, epoch | DONE_TOKEN_BIT),
+            None => self.send_done(host, ctx, epoch),
+        }
     }
 
     fn on_guest_trigger(&mut self, host: &mut VmHost, ctx: &mut Ctx<'_>) {

@@ -19,12 +19,21 @@ pub enum BusMsg {
     CheckpointAt { epoch: u64, at_clock_ns: f64 },
     /// Take a checkpoint immediately on receipt (event-driven mode).
     CheckpointNow { epoch: u64 },
+    /// A node acknowledges receipt of a checkpoint notification. The
+    /// coordinator's failure detector re-publishes the notification (with
+    /// exponential backoff) to nodes whose ack is missing, so a lost
+    /// notification costs one retry round-trip instead of a wedged epoch.
+    NotifyAck { epoch: u64 },
     /// A node finished capturing its local checkpoint. `image_bytes`
     /// reports the size of the captured state so the coordinator can
-    /// account per-epoch image volume.
+    /// account per-epoch image volume. Doubles as an implicit ack.
     NodeDone { epoch: u64, image_bytes: u64 },
     /// All nodes are done: resume execution.
     Resume { epoch: u64 },
+    /// The epoch failed to assemble its barrier before the deadline:
+    /// nodes roll back their local checkpoint sequence and resume through
+    /// the temporal firewall as if the epoch had never been triggered.
+    Abort { epoch: u64 },
     /// A node asks the coordinator for an immediate checkpoint round
     /// (event-driven trigger raised inside a guest).
     RequestCheckpoint,

@@ -1,11 +1,18 @@
 //! The checkpoint coordinator on the ops node.
 //!
-//! Runs the distributed protocol of §4.3: publishes scheduled or
-//! event-driven checkpoint notifications to every subscribed node, gathers
-//! per-node "done" reports behind a barrier, and publishes the resume.
-//! The component doubles as the testbed's NTP server (its clock is the
-//! reference the whole experiment disciplines against), because scheduled
-//! checkpoints only make sense relative to the clock the nodes chase.
+//! Runs the distributed protocol of §4.3 as a **two-phase epoch state
+//! machine**: publishes scheduled or event-driven checkpoint notifications
+//! to every subscribed node, collects per-node acks (phase one, failure
+//! detection), gathers per-node "done" reports behind a barrier (phase
+//! two), and publishes the resume. Notifications carry epoch ids and are
+//! retried with exponential backoff while acks are missing; an epoch that
+//! cannot assemble its barrier before a deadline is aborted — nodes roll
+//! back their local checkpoint sequence and resume through the temporal
+//! firewall — or, per [`FailurePolicy`], committed *degraded* with a
+//! crashed node excluded. The component doubles as the testbed's NTP
+//! server (its clock is the reference the whole experiment disciplines
+//! against), because scheduled checkpoints only make sense relative to the
+//! clock the nodes chase.
 
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
@@ -17,9 +24,66 @@ use sim::{Component, ComponentId, Ctx, SimDuration, SimTime};
 use crate::bus::{BusMsg, BUS_MSG_BYTES};
 
 /// Internal coordinator events.
+#[derive(Clone, Copy)]
 enum CoordMsg {
     /// Fire the next periodic checkpoint.
     PeriodicKick,
+    /// Per-round ack timer: re-notify nodes whose ack is still missing.
+    AckTimeout { group: GroupId, epoch: u64, attempt: u32 },
+    /// Per-round deadline: degrade or abort an epoch that has not
+    /// assembled its barrier.
+    EpochDeadline { group: GroupId, epoch: u64 },
+}
+
+/// How a checkpoint epoch terminated. Every epoch reaches exactly one of
+/// these — the failure detector guarantees no epoch wedges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochOutcome {
+    /// Every participant captured and resumed: a globally consistent
+    /// checkpoint exists for this epoch.
+    Committed,
+    /// The barrier could not be assembled before the deadline; all
+    /// participants rolled back and resumed as if the epoch had never
+    /// been triggered.
+    Aborted,
+    /// Committed with one or more unresponsive (never-acked, presumed
+    /// crashed) nodes excluded from the barrier, per experiment policy.
+    Degraded,
+}
+
+/// Failure-handling policy for checkpoint rounds.
+#[derive(Clone, Copy, Debug)]
+pub struct FailurePolicy {
+    /// Re-notify a node that has not acked within this much true time;
+    /// subsequent retries back off exponentially (2x per attempt).
+    pub ack_timeout: SimDuration,
+    /// Give up re-notifying after this many retries (the deadline then
+    /// decides the epoch's fate).
+    pub max_notify_retries: u32,
+    /// An epoch whose barrier is incomplete this long after publication
+    /// is degraded or aborted.
+    pub epoch_deadline: SimDuration,
+    /// Allow committing an epoch with never-acked (presumed crashed)
+    /// nodes excluded from the barrier. When false — or when a missing
+    /// node *did* ack, proving it alive — the epoch aborts instead.
+    pub allow_degraded: bool,
+    /// Extra back-to-back copies of each Resume/Abort publication. Frozen
+    /// nodes can only be thawed by these messages, so on a lossy control
+    /// LAN repeats bound the chance of a wedged node. Zero by default:
+    /// healthy runs then put exactly the baseline frame load on the LAN.
+    pub resume_repeats: u32,
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        FailurePolicy {
+            ack_timeout: SimDuration::from_millis(25),
+            max_notify_retries: 5,
+            epoch_deadline: SimDuration::from_secs(2),
+            allow_degraded: true,
+            resume_repeats: 0,
+        }
+    }
 }
 
 /// Per-epoch record for analysis.
@@ -28,12 +92,38 @@ pub struct EpochRecord {
     pub epoch: u64,
     /// True time the notification was published.
     pub published: SimTime,
+    /// True time the last ack arrived (all participants notified).
+    pub acked: Option<SimTime>,
     /// True time the barrier completed (all nodes done).
     pub barrier_done: Option<SimTime>,
     /// True time the resume was published.
     pub resumed: Option<SimTime>,
     /// Total image bytes reported by nodes for this epoch.
     pub captured_bytes: u64,
+    /// How the epoch terminated; `None` while still in flight.
+    pub outcome: Option<EpochOutcome>,
+    /// Notification retries the failure detector issued.
+    pub retries: u32,
+    /// Participants excluded from the barrier (degraded commit).
+    pub excluded: u32,
+}
+
+impl EpochRecord {
+    /// Notify→all-acks latency: how long failure detection took to cover
+    /// every participant.
+    pub fn notify_to_acks(&self) -> Option<SimDuration> {
+        self.acked
+            .map(|t| t.saturating_duration_since(self.published))
+    }
+
+    /// Barrier hold time: how long the system stayed suspended between
+    /// barrier completion and the resume publication.
+    pub fn barrier_hold(&self) -> Option<SimDuration> {
+        match (self.barrier_done, self.resumed) {
+            (Some(b), Some(r)) => Some(r.saturating_duration_since(b)),
+            _ => None,
+        }
+    }
 }
 
 /// Checkpoint trigger style.
@@ -58,6 +148,23 @@ impl GroupId {
     pub const DEFAULT: GroupId = GroupId(0);
 }
 
+/// An in-flight checkpoint round.
+struct Round {
+    epoch: u64,
+    /// The published notification, kept verbatim for retries (a retried
+    /// scheduled notification carries the *original* target time; node
+    /// wake timers clamp past targets to "now").
+    notify: BusMsg,
+    /// Participants whose ack is still missing.
+    await_ack: HashSet<NodeAddr>,
+    /// Participants whose done report is still missing.
+    await_done: HashSet<NodeAddr>,
+    /// Participants excluded from the barrier (degraded commit).
+    excluded: HashSet<NodeAddr>,
+    /// Barrier size at publication time.
+    participants: usize,
+}
+
 /// The coordinator component.
 pub struct Coordinator {
     addr: NodeAddr,
@@ -67,9 +174,10 @@ pub struct Coordinator {
     /// Member → group.
     members: Vec<(NodeAddr, GroupId)>,
     epoch: u64,
-    /// In-flight rounds: group → (epoch, nodes still pending).
-    pending: HashMap<GroupId, (u64, HashSet<NodeAddr>)>,
+    /// In-flight rounds by group.
+    pending: HashMap<GroupId, Round>,
     mode: TriggerMode,
+    policy: FailurePolicy,
     periodic: Option<(GroupId, SimDuration)>,
     /// Complete the barrier but do not publish the resume (swap-out and
     /// time-travel hold the system suspended to collect its state).
@@ -91,11 +199,23 @@ impl Coordinator {
             epoch: 0,
             pending: HashMap::new(),
             mode,
+            policy: FailurePolicy::default(),
             periodic: None,
             hold_resume: false,
             pending_periodic_group: None,
             records: Vec::new(),
         }
+    }
+
+    /// Sets the failure-handling policy (applies to rounds triggered
+    /// afterwards; in-flight timers keep the policy they started with).
+    pub fn set_policy(&mut self, policy: FailurePolicy) {
+        self.policy = policy;
+    }
+
+    /// The active failure-handling policy.
+    pub fn policy(&self) -> FailurePolicy {
+        self.policy
     }
 
     /// Holds the resume after the barrier (stateful swap-out, §5).
@@ -107,7 +227,7 @@ impl Coordinator {
     pub fn barrier_complete_in(&self, group: GroupId) -> bool {
         self.pending
             .get(&group)
-            .map(|(_, p)| p.is_empty())
+            .map(|r| r.await_done.is_empty())
             .unwrap_or(false)
     }
 
@@ -126,11 +246,13 @@ impl Coordinator {
             self.barrier_complete_in(group),
             "release before barrier completion"
         );
-        let (epoch, _) = self.pending.remove(&group).expect("checked");
-        if let Some(rec) = self.records.iter_mut().rev().find(|r| r.epoch == epoch) {
-            rec.resumed = Some(ctx.now());
+        let round = self.pending.remove(&group).expect("checked");
+        let epoch = round.epoch;
+        let now = ctx.now();
+        if let Some(rec) = self.record_mut(epoch) {
+            rec.resumed = Some(now);
         }
-        self.publish(ctx, group, BusMsg::Resume { epoch });
+        self.publish_repeated(ctx, group, BusMsg::Resume { epoch });
     }
 
     /// Publishes the held resume (default group).
@@ -172,17 +294,40 @@ impl Coordinator {
         self.records.iter().filter(|r| r.resumed.is_some()).count() as u64
     }
 
+    /// (committed, aborted, degraded) epoch counts.
+    pub fn outcome_counts(&self) -> (u64, u64, u64) {
+        let mut counts = (0, 0, 0);
+        for r in &self.records {
+            match r.outcome {
+                Some(EpochOutcome::Committed) => counts.0 += 1,
+                Some(EpochOutcome::Aborted) => counts.1 += 1,
+                Some(EpochOutcome::Degraded) => counts.2 += 1,
+                None => {}
+            }
+        }
+        counts
+    }
+
+    /// Total notification retries across all epochs.
+    pub fn total_retries(&self) -> u64 {
+        self.records.iter().map(|r| u64::from(r.retries)).sum()
+    }
+
     /// True if no checkpoint round is mid-flight in any group.
     pub fn idle(&self) -> bool {
-        self.pending.values().all(|(_, p)| p.is_empty())
+        self.pending.values().all(|r| r.await_done.is_empty())
     }
 
     /// True if `group` has no round in flight.
     pub fn idle_in(&self, group: GroupId) -> bool {
         self.pending
             .get(&group)
-            .map(|(_, p)| p.is_empty())
+            .map(|r| r.await_done.is_empty())
             .unwrap_or(true)
+    }
+
+    fn record_mut(&mut self, epoch: u64) -> Option<&mut EpochRecord> {
+        self.records.iter_mut().rev().find(|r| r.epoch == epoch)
     }
 
     fn publish(&mut self, ctx: &mut Ctx<'_>, group: GroupId, msg: BusMsg) {
@@ -191,6 +336,14 @@ impl Coordinator {
                 let frame = Frame::new(self.addr, m, BUS_MSG_BYTES, msg);
                 ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
             }
+        }
+    }
+
+    /// Publishes `msg` once plus `resume_repeats` extra copies: each copy
+    /// sees an independent loss draw on a faulty LAN.
+    fn publish_repeated(&mut self, ctx: &mut Ctx<'_>, group: GroupId, msg: BusMsg) {
+        for _ in 0..=self.policy.resume_repeats {
+            self.publish(ctx, group, msg);
         }
     }
 
@@ -215,7 +368,6 @@ impl Coordinator {
         assert!(!nodes.is_empty(), "no subscribed nodes in group");
         self.epoch += 1;
         let epoch = self.epoch;
-        self.pending.insert(group, (epoch, nodes));
         let msg = match self.mode {
             TriggerMode::Scheduled { lead } => BusMsg::CheckpointAt {
                 epoch,
@@ -223,14 +375,37 @@ impl Coordinator {
             },
             TriggerMode::EventDriven => BusMsg::CheckpointNow { epoch },
         };
+        self.pending.insert(
+            group,
+            Round {
+                epoch,
+                notify: msg,
+                await_ack: nodes.clone(),
+                await_done: nodes.clone(),
+                excluded: HashSet::new(),
+                participants: nodes.len(),
+            },
+        );
         self.records.push(EpochRecord {
             epoch,
             published: ctx.now(),
+            acked: None,
             barrier_done: None,
             resumed: None,
             captured_bytes: 0,
+            outcome: None,
+            retries: 0,
+            excluded: 0,
         });
         self.publish(ctx, group, msg);
+        ctx.post_self(
+            self.policy.ack_timeout,
+            CoordMsg::AckTimeout { group, epoch, attempt: 1 },
+        );
+        ctx.post_self(
+            self.policy.epoch_deadline,
+            CoordMsg::EpochDeadline { group, epoch },
+        );
     }
 
     /// Selects which group the next `start_periodic` drives (default:
@@ -254,35 +429,145 @@ impl Coordinator {
         self.periodic = None;
     }
 
+    fn on_notify_ack(&mut self, ctx: &mut Ctx<'_>, epoch: u64, node: NodeAddr) {
+        let Some(group) = self.group_of(node) else {
+            return;
+        };
+        let now = ctx.now();
+        let Some(round) = self.pending.get_mut(&group) else {
+            return;
+        };
+        if epoch != round.epoch {
+            return; // Stale ack (e.g. for a retried, already-aborted round).
+        }
+        if round.await_ack.remove(&node) && round.await_ack.is_empty() {
+            if let Some(rec) = self.record_mut(epoch) {
+                if rec.acked.is_none() {
+                    rec.acked = Some(now);
+                }
+            }
+        }
+    }
+
     fn on_node_done(&mut self, ctx: &mut Ctx<'_>, epoch: u64, node: NodeAddr, image_bytes: u64) {
         let Some(group) = self.group_of(node) else {
             return; // Unsubscribed mid-round (swap-out).
         };
-        let Some((cur_epoch, pending)) = self.pending.get_mut(&group) else {
+        let now = ctx.now();
+        let Some(round) = self.pending.get_mut(&group) else {
             return;
         };
-        if epoch != *cur_epoch {
+        if epoch != round.epoch {
             return; // Stale report.
         }
-        if !pending.remove(&node) {
-            return; // Duplicate report: don't double-count bytes.
+        // A done report is an implicit ack.
+        let all_acked = round.await_ack.remove(&node) && round.await_ack.is_empty();
+        if !round.await_done.remove(&node) {
+            // Duplicate report (don't double-count bytes) or an excluded
+            // node surfacing late; the implicit ack still counts.
+            if all_acked {
+                if let Some(rec) = self.record_mut(epoch) {
+                    if rec.acked.is_none() {
+                        rec.acked = Some(now);
+                    }
+                }
+            }
+            return;
         }
-        if let Some(rec) = self.records.iter_mut().rev().find(|r| r.epoch == epoch) {
+        let barrier = round.await_done.is_empty();
+        if let Some(rec) = self.record_mut(epoch) {
             rec.captured_bytes += image_bytes;
+            if all_acked && rec.acked.is_none() {
+                rec.acked = Some(now);
+            }
         }
-        if pending.is_empty() {
-            if let Some(rec) = self.records.iter_mut().rev().find(|r| r.epoch == epoch) {
-                rec.barrier_done = Some(ctx.now());
-            }
-            if self.hold_resume {
-                return;
-            }
-            // Barrier complete: resume the group.
+        if barrier {
+            self.complete_barrier(ctx, group, epoch);
+        }
+    }
+
+    /// Finishes a round whose `await_done` just emptied: records the
+    /// outcome and publishes the resume (unless held).
+    fn complete_barrier(&mut self, ctx: &mut Ctx<'_>, group: GroupId, epoch: u64) {
+        let excluded = self
+            .pending
+            .get(&group)
+            .map(|r| r.excluded.len() as u32)
+            .unwrap_or(0);
+        let outcome = if excluded == 0 {
+            EpochOutcome::Committed
+        } else {
+            EpochOutcome::Degraded
+        };
+        let now = ctx.now();
+        if let Some(rec) = self.record_mut(epoch) {
+            rec.barrier_done = Some(now);
+            rec.outcome = Some(outcome);
+            rec.excluded = excluded;
+        }
+        if self.hold_resume {
+            return;
+        }
+        self.pending.remove(&group);
+        if let Some(rec) = self.record_mut(epoch) {
+            rec.resumed = Some(now);
+        }
+        self.publish_repeated(ctx, group, BusMsg::Resume { epoch });
+    }
+
+    fn on_ack_timeout(&mut self, ctx: &mut Ctx<'_>, group: GroupId, epoch: u64, attempt: u32) {
+        if attempt > self.policy.max_notify_retries {
+            return;
+        }
+        let Some(round) = self.pending.get(&group) else {
+            return;
+        };
+        if round.epoch != epoch || round.await_ack.is_empty() {
+            return;
+        }
+        let notify = round.notify;
+        // Deterministic retry order: HashSet iteration order is not.
+        let mut targets: Vec<NodeAddr> = round.await_ack.iter().copied().collect();
+        targets.sort_by_key(|a| a.0);
+        if let Some(rec) = self.record_mut(epoch) {
+            rec.retries += 1;
+        }
+        for m in targets {
+            let frame = Frame::new(self.addr, m, BUS_MSG_BYTES, notify);
+            ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
+        }
+        let backoff =
+            SimDuration::from_nanos(self.policy.ack_timeout.as_nanos() << attempt.min(16));
+        ctx.post_self(
+            backoff,
+            CoordMsg::AckTimeout { group, epoch, attempt: attempt + 1 },
+        );
+    }
+
+    fn on_epoch_deadline(&mut self, ctx: &mut Ctx<'_>, group: GroupId, epoch: u64) {
+        let policy = self.policy;
+        let Some(round) = self.pending.get_mut(&group) else {
+            return;
+        };
+        if round.epoch != epoch || round.await_done.is_empty() {
+            return; // Round already finished (possibly held at the barrier).
+        }
+        // Degrade only when every missing node never acked (presumed
+        // crashed) and at least one participant completed; a missing node
+        // that *did* ack is alive-but-slow, and excluding live state would
+        // break global consistency — abort instead.
+        let missing_never_acked = round.await_done.is_subset(&round.await_ack);
+        let some_completed = round.await_done.len() + round.excluded.len() < round.participants;
+        if policy.allow_degraded && missing_never_acked && some_completed {
+            let missing: Vec<NodeAddr> = round.await_done.drain().collect();
+            round.excluded.extend(missing);
+            self.complete_barrier(ctx, group, epoch);
+        } else {
             self.pending.remove(&group);
-            if let Some(rec) = self.records.iter_mut().rev().find(|r| r.epoch == epoch) {
-                rec.resumed = Some(ctx.now());
+            if let Some(rec) = self.record_mut(epoch) {
+                rec.outcome = Some(EpochOutcome::Aborted);
             }
-            self.publish(ctx, group, BusMsg::Resume { epoch });
+            self.publish_repeated(ctx, group, BusMsg::Abort { epoch });
         }
     }
 }
@@ -298,6 +583,9 @@ impl Component for Coordinator {
                     ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
                 } else if let Some(&msg) = del.frame.payload::<BusMsg>() {
                     match msg {
+                        BusMsg::NotifyAck { epoch } => {
+                            self.on_notify_ack(ctx, epoch, del.frame.src);
+                        }
                         BusMsg::NodeDone { epoch, image_bytes } => {
                             self.on_node_done(ctx, epoch, del.frame.src, image_bytes);
                         }
@@ -320,12 +608,22 @@ impl Component for Coordinator {
             }
             Err(p) => p,
         };
-        if payload.downcast::<CoordMsg>().is_ok() {
-            if let Some((group, interval)) = self.periodic {
-                if self.idle_in(group) {
-                    self.trigger_in(ctx, group);
+        if let Ok(msg) = payload.downcast::<CoordMsg>() {
+            match *msg {
+                CoordMsg::PeriodicKick => {
+                    if let Some((group, interval)) = self.periodic {
+                        if self.idle_in(group) {
+                            self.trigger_in(ctx, group);
+                        }
+                        ctx.post_self(interval, CoordMsg::PeriodicKick);
+                    }
                 }
-                ctx.post_self(interval, CoordMsg::PeriodicKick);
+                CoordMsg::AckTimeout { group, epoch, attempt } => {
+                    self.on_ack_timeout(ctx, group, epoch, attempt);
+                }
+                CoordMsg::EpochDeadline { group, epoch } => {
+                    self.on_epoch_deadline(ctx, group, epoch);
+                }
             }
         }
     }
@@ -337,18 +635,20 @@ impl Component for Coordinator {
 mod tests {
     use super::*;
     use hwsim::{ControlLan, Frame, LanTransmit};
-    use sim::{Component, Engine};
+    use sim::{Component, Engine, FaultPlan};
     use std::any::Any;
 
     /// A fake node agent: records notifications, reports done after a
-    /// fixed local delay.
+    /// fixed local delay; optionally acks notifications explicitly.
     struct FakeNode {
         addr: NodeAddr,
         lan: ComponentId,
         coord_addr: NodeAddr,
         capture_ms: u64,
+        ack: bool,
         pub notified: u64,
         pub resumed: u64,
+        pub aborted: u64,
     }
 
     struct CaptureDone {
@@ -363,12 +663,22 @@ mod tests {
                         match msg {
                             BusMsg::CheckpointAt { epoch, .. } | BusMsg::CheckpointNow { epoch } => {
                                 self.notified += 1;
+                                if self.ack {
+                                    let frame = Frame::new(
+                                        self.addr,
+                                        self.coord_addr,
+                                        BUS_MSG_BYTES,
+                                        BusMsg::NotifyAck { epoch },
+                                    );
+                                    ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
+                                }
                                 ctx.post_self(
                                     SimDuration::from_millis(self.capture_ms),
                                     CaptureDone { epoch },
                                 );
                             }
                             BusMsg::Resume { .. } => self.resumed += 1,
+                            BusMsg::Abort { .. } => self.aborted += 1,
                             _ => {}
                         }
                     }
@@ -393,6 +703,10 @@ mod tests {
     }
 
     fn rig(capture_ms: &[u64]) -> (Engine, ComponentId, Vec<ComponentId>) {
+        rig_with(capture_ms, false)
+    }
+
+    fn rig_with(capture_ms: &[u64], ack: bool) -> (Engine, ComponentId, Vec<ComponentId>) {
         let mut e = Engine::new(9);
         let lan = e.add_component(Box::new(ControlLan::new(
             100_000_000,
@@ -413,8 +727,10 @@ mod tests {
                 lan,
                 coord_addr,
                 capture_ms: ms,
+                ack,
                 notified: 0,
                 resumed: 0,
+                aborted: 0,
             }));
             e.with_component::<ControlLan, _>(lan, |l, _| {
                 l.attach(addr, hwsim::Endpoint { component: n, iface: hwsim::IfaceId::CONTROL });
@@ -447,6 +763,13 @@ mod tests {
             3 << 20,
             "each node reports 1 MiB of captured image"
         );
+        assert_eq!(c.records[0].outcome, Some(EpochOutcome::Committed));
+        assert!(c.records[0].notify_to_acks().is_some(), "implicit acks recorded");
+        assert_eq!(
+            c.records[0].barrier_hold(),
+            Some(SimDuration::ZERO),
+            "resume published at barrier completion when not held"
+        );
         for &n in &nodes {
             assert_eq!(e.component_ref::<FakeNode>(n).unwrap().resumed, 1);
         }
@@ -465,6 +788,8 @@ mod tests {
         assert_eq!(c.completed(), 0, "resume withheld");
         e.with_component::<Coordinator, _>(coord, |c, ctx| c.release_resume(ctx));
         e.run_for(SimDuration::from_millis(10));
+        let c = e.component_ref::<Coordinator>(coord).unwrap();
+        assert!(c.records[0].barrier_hold().unwrap() >= SimDuration::from_millis(50));
         for &n in &nodes {
             assert_eq!(e.component_ref::<FakeNode>(n).unwrap().resumed, 1);
         }
@@ -510,5 +835,110 @@ mod tests {
         for &n in &nodes {
             assert_eq!(e.component_ref::<FakeNode>(n).unwrap().notified, 1);
         }
+    }
+
+    #[test]
+    fn lost_notifications_are_retried_until_acked() {
+        let (mut e, coord, nodes) = rig(&[5, 5]);
+        let lan = sim::ComponentId(0);
+        // Total loss at first: the initial notification and the 25 ms
+        // retry both vanish (draw-free at p=1, so swapping plans below
+        // cannot shift any rng stream).
+        e.with_component::<ControlLan, _>(lan, |l, _| {
+            l.inject_faults(FaultPlan::new(1).with_loss(1.0));
+        });
+        e.with_component::<Coordinator, _>(coord, |c, ctx| c.trigger(ctx));
+        e.run_for(SimDuration::from_millis(60));
+        assert_eq!(
+            e.component_ref::<Coordinator>(coord).unwrap().completed(),
+            0,
+            "nothing can complete while the LAN eats every frame"
+        );
+        // Heal the LAN: the next backoff retry (75 ms) gets through.
+        e.with_component::<ControlLan, _>(lan, |l, _| {
+            l.inject_faults(FaultPlan::new(1));
+        });
+        e.run_for(SimDuration::from_millis(200));
+        let c = e.component_ref::<Coordinator>(coord).unwrap();
+        assert_eq!(c.completed(), 1);
+        assert_eq!(c.records[0].outcome, Some(EpochOutcome::Committed));
+        assert!(c.records[0].retries >= 2, "retries {}", c.records[0].retries);
+        for &n in &nodes {
+            assert_eq!(e.component_ref::<FakeNode>(n).unwrap().resumed, 1);
+        }
+    }
+
+    #[test]
+    fn crashed_node_degrades_the_epoch() {
+        let (mut e, coord, nodes) = rig(&[5, 5, 5]);
+        let lan = sim::ComponentId(0);
+        e.with_component::<ControlLan, _>(lan, |l, _| {
+            l.inject_faults(FaultPlan::new(2).with_crash(2, SimTime::ZERO));
+        });
+        e.with_component::<Coordinator, _>(coord, |c, ctx| {
+            c.set_policy(FailurePolicy {
+                ack_timeout: SimDuration::from_millis(10),
+                epoch_deadline: SimDuration::from_millis(100),
+                ..FailurePolicy::default()
+            });
+            c.trigger(ctx);
+        });
+        e.run_for(SimDuration::from_millis(200));
+        let c = e.component_ref::<Coordinator>(coord).unwrap();
+        assert_eq!(c.records[0].outcome, Some(EpochOutcome::Degraded));
+        assert_eq!(c.records[0].excluded, 1);
+        assert!(c.records[0].retries >= 1, "crashed node was re-notified");
+        assert_eq!(c.completed(), 1, "degraded epochs still resume");
+        assert_eq!(c.outcome_counts(), (0, 0, 1));
+        assert_eq!(e.component_ref::<FakeNode>(nodes[0]).unwrap().resumed, 1);
+        assert_eq!(e.component_ref::<FakeNode>(nodes[1]).unwrap().resumed, 0, "crashed");
+        assert_eq!(e.component_ref::<FakeNode>(nodes[2]).unwrap().resumed, 1);
+    }
+
+    #[test]
+    fn unacked_straggler_aborts_when_degraded_commits_are_disallowed() {
+        let (mut e, coord, nodes) = rig(&[5, 400]);
+        e.with_component::<Coordinator, _>(coord, |c, ctx| {
+            c.set_policy(FailurePolicy {
+                epoch_deadline: SimDuration::from_millis(100),
+                allow_degraded: false,
+                ..FailurePolicy::default()
+            });
+            c.trigger(ctx);
+        });
+        e.run_for(SimDuration::from_millis(600));
+        let c = e.component_ref::<Coordinator>(coord).unwrap();
+        assert_eq!(c.records[0].outcome, Some(EpochOutcome::Aborted));
+        assert_eq!(c.completed(), 0);
+        assert!(c.idle(), "aborted round fully cleared");
+        assert_eq!(e.component_ref::<FakeNode>(nodes[0]).unwrap().aborted, 1);
+        for &n in &nodes {
+            assert_eq!(e.component_ref::<FakeNode>(n).unwrap().resumed, 0);
+        }
+    }
+
+    #[test]
+    fn acked_straggler_forces_abort_not_degrade() {
+        // The slow node acks (it is alive): excluding it would discard
+        // live state, so the epoch must abort even though degraded commits
+        // are allowed.
+        let (mut e, coord, nodes) = rig_with(&[5, 400], true);
+        e.with_component::<Coordinator, _>(coord, |c, ctx| {
+            c.set_policy(FailurePolicy {
+                epoch_deadline: SimDuration::from_millis(100),
+                allow_degraded: true,
+                ..FailurePolicy::default()
+            });
+            c.trigger(ctx);
+        });
+        e.run_for(SimDuration::from_millis(600));
+        let c = e.component_ref::<Coordinator>(coord).unwrap();
+        assert_eq!(c.records[0].outcome, Some(EpochOutcome::Aborted));
+        assert!(
+            c.records[0].notify_to_acks().unwrap() < SimDuration::from_millis(5),
+            "both nodes acked promptly"
+        );
+        assert_eq!(c.outcome_counts(), (0, 1, 0));
+        let _ = nodes;
     }
 }

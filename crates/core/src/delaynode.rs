@@ -32,7 +32,7 @@ enum DnMsg {
     NtpPoll,
     PipeWake,
     AgentWake { token: u64 },
-    CaptureDone,
+    CaptureDone { epoch: u64 },
     Replay { pipe: PipeId, frame: Frame },
 }
 
@@ -42,6 +42,8 @@ pub struct DelayNodeStats {
     pub forwarded: u64,
     pub checkpoints: u64,
     pub logged_in_flight: u64,
+    /// Epochs rolled back on coordinator abort.
+    pub aborted: u64,
 }
 
 /// A delay node participating in coordinated checkpoints.
@@ -61,6 +63,14 @@ pub struct DelayNodeHost {
     /// Serialization throughput for the checkpoint (bytes/s of pipe state).
     capture_bps: u64,
     last_image: Option<DummynetImage>,
+    /// Image displaced by an in-flight capture, kept until the epoch
+    /// commits so an abort can roll the local sequence back.
+    prev_image: Option<DummynetImage>,
+    /// Epoch aborted by the coordinator; its stale wakes are suppressed.
+    aborted_epoch: Option<u64>,
+    /// Re-send the done report at this interval until the epoch resolves
+    /// (at-least-once completion reporting for lossy control planes).
+    done_resend: Option<SimDuration>,
     /// Counters.
     pub stats: DelayNodeStats,
 }
@@ -87,8 +97,17 @@ impl DelayNodeHost {
             epoch: 0,
             capture_bps: 500_000_000,
             last_image: None,
+            prev_image: None,
+            aborted_epoch: None,
+            done_resend: None,
             stats: DelayNodeStats::default(),
         }
+    }
+
+    /// Enables done-report retransmission every `interval` until a resume
+    /// or abort resolves the epoch.
+    pub fn set_done_resend(&mut self, interval: Option<SimDuration>) {
+        self.done_resend = interval;
     }
 
     /// Adds a shaped unidirectional path: frames arriving on `in_iface`
@@ -248,20 +267,61 @@ impl DelayNodeHost {
         };
         match msg {
             BusMsg::CheckpointAt { epoch, at_clock_ns } => {
+                if epoch < self.epoch {
+                    return; // Stale retry of a finished epoch.
+                }
+                self.send_ctrl(ctx, BusMsg::NotifyAck { epoch });
+                if epoch == self.epoch {
+                    return; // Duplicate: the timer is already armed.
+                }
+                if self.dn.suspended() {
+                    // A new round means the previous epoch terminated
+                    // without this node seeing its resolution (the resume
+                    // or abort was lost): release the pipes and join.
+                    self.resume(ctx);
+                }
                 self.epoch = epoch;
-                let at = self.clock.when_reads(ctx.now(), at_clock_ns);
+                // Clamp: a retried notification may target the past.
+                let at = self.clock.when_reads(ctx.now(), at_clock_ns).max(ctx.now());
                 ctx.post_at(ctx.self_id(), at, DnMsg::AgentWake { token: epoch });
             }
             BusMsg::CheckpointNow { epoch } => {
+                if epoch < self.epoch {
+                    return;
+                }
+                self.send_ctrl(ctx, BusMsg::NotifyAck { epoch });
+                if epoch == self.epoch {
+                    return;
+                }
+                if self.dn.suspended() {
+                    self.resume(ctx); // Lost resolution; see above.
+                }
                 self.epoch = epoch;
                 self.begin_checkpoint(ctx);
             }
             BusMsg::Resume { epoch } => {
-                if epoch == self.epoch && self.dn.suspended() {
+                if epoch == self.epoch
+                    && self.aborted_epoch != Some(epoch)
+                    && self.dn.suspended()
+                {
                     self.resume(ctx);
                 }
             }
-            BusMsg::NodeDone { .. } | BusMsg::RequestCheckpoint => {}
+            BusMsg::Abort { epoch } => {
+                if epoch != self.epoch || self.aborted_epoch == Some(epoch) {
+                    return; // Stale or duplicated abort.
+                }
+                self.aborted_epoch = Some(epoch);
+                self.stats.aborted += 1;
+                if self.dn.suspended() {
+                    // Roll back the captured image and resume through the
+                    // firewall as if the epoch had never been triggered.
+                    self.last_image = self.prev_image.take();
+                    self.stats.checkpoints = self.stats.checkpoints.saturating_sub(1);
+                    self.resume(ctx);
+                }
+            }
+            BusMsg::NotifyAck { .. } | BusMsg::NodeDone { .. } | BusMsg::RequestCheckpoint => {}
         }
     }
 
@@ -277,12 +337,15 @@ impl DelayNodeHost {
         let image = self.dn.serialize(ctx.now());
         let cost = SimDuration::from_millis(1)
             + transmission_time(image.byte_size(), self.capture_bps * 8);
+        self.prev_image = self.last_image.take();
         self.last_image = Some(image);
         self.stats.checkpoints += 1;
-        ctx.post_self(cost, DnMsg::CaptureDone);
+        ctx.post_self(cost, DnMsg::CaptureDone { epoch: self.epoch });
     }
 
     fn resume(&mut self, ctx: &mut Ctx<'_>) {
+        // The epoch outlives its rollback window once traffic flows again.
+        self.prev_image = None;
         let actions = self.dn.resume(ctx.now());
         // Replay preserving inter-arrival pacing, gap-clamped so dead time
         // (skew-to-resume) does not stall delivery; new arrivals queue
@@ -346,14 +409,23 @@ impl Component for DelayNodeHost {
             }
             DnMsg::PipeWake => self.emit_ready(ctx),
             DnMsg::AgentWake { token } => {
-                if token == self.epoch {
+                if token == self.epoch && self.aborted_epoch != Some(token) {
                     self.begin_checkpoint(ctx);
                 }
             }
-            DnMsg::CaptureDone => {
-                let epoch = self.epoch;
+            DnMsg::CaptureDone { epoch } => {
+                if epoch != self.epoch
+                    || self.aborted_epoch == Some(epoch)
+                    || !self.dn.suspended()
+                {
+                    return; // The epoch resolved while this event was due.
+                }
                 let image_bytes = self.last_image().map(|i| i.byte_size()).unwrap_or(0);
                 self.send_ctrl(ctx, BusMsg::NodeDone { epoch, image_bytes });
+                if let Some(interval) = self.done_resend {
+                    // At-least-once: repeat until resume/abort resolves it.
+                    ctx.post_self(interval, DnMsg::CaptureDone { epoch });
+                }
             }
             DnMsg::Replay { pipe, frame } => {
                 let now = ctx.now();

@@ -31,5 +31,7 @@ mod delaynode;
 pub use agent::CheckpointAgent;
 pub use baselines::Strategy;
 pub use bus::{BusMsg, BUS_MSG_BYTES};
-pub use coordinator::{Coordinator, EpochRecord, GroupId, TriggerMode};
+pub use coordinator::{
+    Coordinator, EpochOutcome, EpochRecord, FailurePolicy, GroupId, TriggerMode,
+};
 pub use delaynode::{DelayNodeHost, DelayNodeStats, OutPort};

@@ -23,7 +23,7 @@ mod timetravel;
 
 pub use services::FileServer;
 pub use spec::{ExperimentSpec, LanSpec, LinkSpec, NodeSpec};
-pub use swap::{NodeState, SwapInReport, SwapOutReport, SwappedExperiment};
+pub use swap::{NodeState, SwapInReport, SwapInWarning, SwapOutReport, SwappedExperiment};
 pub use testbed::{
     DelayNodeHandle, Experiment, NodeHandle, PhysMachine, Testbed, BOOT_OVERHEAD, FS_ADDR,
     OPS_ADDR,

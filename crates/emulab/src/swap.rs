@@ -126,8 +126,17 @@ pub struct SwapOutReport {
     pub guest_ns_at_suspend: u64,
 }
 
+/// A non-fatal degradation of a swap-in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SwapInWarning {
+    /// The preserved run-time state could not be restored (missing or
+    /// corrupt stored image); the experiment came back from its golden
+    /// images instead — swapped in, but as a fresh boot.
+    StateLost { reason: String },
+}
+
 /// Timings of a swap-in.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SwapInReport {
     pub total: SimDuration,
     /// Golden-image fetch time (zero when cached).
@@ -138,6 +147,9 @@ pub struct SwapInReport {
     pub memory_download: SimDuration,
     /// Whether the delta was left to lazy copy-in.
     pub lazy: bool,
+    /// Set when the swap-in degraded (e.g. preserved state was lost and
+    /// the experiment rebooted from golden images).
+    pub warning: Option<SwapInWarning>,
 }
 
 /// Pre-copy sync rate: deliberately below the control-net line rate so the
@@ -385,10 +397,28 @@ impl Testbed {
             .take_swapped(name)
             .unwrap_or_else(|| panic!("no swapped state for {name}"));
 
-        // Rebuild topology with restored kernels/aggregates/pipes.
+        // Rebuild topology with restored kernels/aggregates/pipes. A
+        // rebuild failure here means the preserved state is unusable
+        // (missing or corrupt stored image — `swap_in_with` decodes every
+        // image before allocating, so the testbed is untouched on error):
+        // degrade to a golden-image reload rather than wedging the
+        // experiment.
         let fetch_start = self.now();
-        self.swap_in_with(swapped.spec.clone(), Some(&swapped))
-            .expect("stateful swap-in rebuild");
+        if let Err(reason) = self.swap_in_with(swapped.spec.clone(), Some(&swapped)) {
+            for n in &swapped.nodes {
+                let _ = self.fs_store_mut().remove_image(n.image_id);
+            }
+            self.swap_in_with(swapped.spec.clone(), None)
+                .expect("golden-image rebuild");
+            return SwapInReport {
+                total: self.now() - t0,
+                image_fetch: self.now() - fetch_start,
+                delta_download: SimDuration::ZERO,
+                memory_download: SimDuration::ZERO,
+                lazy: false,
+                warning: Some(SwapInWarning::StateLost { reason }),
+            };
+        }
         let image_fetch = self.now() - fetch_start;
 
         // The rebuild installed the frozen images; collect handles and the
@@ -483,6 +513,72 @@ impl Testbed {
             delta_download,
             memory_download,
             lazy,
+            warning: None,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExperimentSpec;
+
+    /// A corrupt stored state image degrades the stateful swap-in to a
+    /// golden-image reload with a typed warning — the experiment comes
+    /// back (freshly booted) instead of the testbed panicking.
+    #[test]
+    fn corrupt_stored_state_degrades_to_golden_reload() {
+        let mut tb = Testbed::new(84, 8);
+        tb.swap_in(ExperimentSpec::new("x").node("n")).expect("swap-in");
+        tb.run_for(SimDuration::from_secs(10));
+        tb.swap_out_stateful("x");
+
+        let image_id = tb.swapped_state("x").expect("swapped").nodes[0].image_id;
+        assert!(
+            tb.fs_store_mut().corrupt_chunk_for_test(image_id, 0, 7),
+            "corruption injected"
+        );
+
+        let rep = tb.swap_in_stateful("x", false);
+        match &rep.warning {
+            Some(SwapInWarning::StateLost { reason }) => {
+                assert!(reason.contains("swap-in n"), "reason names the node: {reason}");
+            }
+            other => panic!("expected StateLost warning, got {other:?}"),
+        }
+        assert_eq!(rep.delta_download, SimDuration::ZERO);
+        assert_eq!(rep.memory_download, SimDuration::ZERO);
+
+        // The preserved state was consumed (released, not leaked) and the
+        // fresh experiment is alive and runnable.
+        assert!(tb.swapped_state("x").is_none());
+        assert_eq!(tb.fileserver_store().image_count(), 0);
+        let tid = tb.spawn(
+            "x",
+            "n",
+            Box::new(workloads::UsleepLoop::new(10_000_000, 1_000_000)),
+        );
+        tb.run_for(SimDuration::from_secs(2));
+        let samples = tb.kernel("x", "n", |k| {
+            k.prog(tid)
+                .unwrap()
+                .as_any()
+                .downcast_ref::<workloads::UsleepLoop>()
+                .unwrap()
+                .samples
+                .len()
+        });
+        assert!(samples > 50, "golden reload runs (got {samples} samples)");
+    }
+
+    /// The healthy stateful path reports no warning.
+    #[test]
+    fn healthy_stateful_swap_in_carries_no_warning() {
+        let mut tb = Testbed::new(85, 8);
+        tb.swap_in(ExperimentSpec::new("x").node("n")).expect("swap-in");
+        tb.run_for(SimDuration::from_secs(10));
+        tb.swap_out_stateful("x");
+        let rep = tb.swap_in_stateful("x", false);
+        assert!(rep.warning.is_none());
     }
 }

@@ -458,6 +458,35 @@ impl Testbed {
         Ok(())
     }
 
+    /// Travels to `snap`, falling back along the ancestor chain when the
+    /// stored snapshot is damaged: a snapshot whose image fails integrity
+    /// verification ([`TimeTravelError::Corrupt`]) or decoding
+    /// ([`TimeTravelError::Decode`]) is skipped and its parent tried
+    /// instead, so one bad image does not strand the whole tree. Returns
+    /// the snapshot actually restored. Structural errors (unknown,
+    /// pruned, in use) abort the walk immediately; if every ancestor up
+    /// to the root is damaged, the last integrity error surfaces and the
+    /// running execution stays untouched.
+    pub fn try_travel_to_nearest(
+        &mut self,
+        exp: &str,
+        snap: SnapshotId,
+    ) -> Result<SnapshotId, TimeTravelError> {
+        let mut cur = snap;
+        loop {
+            match self.try_travel_to(exp, cur) {
+                Ok(()) => return Ok(cur),
+                Err(e @ (TimeTravelError::Corrupt(_) | TimeTravelError::Decode(_))) => {
+                    match self.experiment(exp).tt.get(cur).parent {
+                        Some(parent) => cur = parent,
+                        None => return Err(e),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Prunes the subtree rooted at `snap` from `exp`'s time-travel tree,
     /// releasing its chunks. Returns the physical bytes freed.
     pub fn prune_snapshot(
@@ -742,5 +771,82 @@ mod tests {
         let before = samples(&tb);
         tb.run_for(SimDuration::from_secs(2));
         assert!(samples(&tb) > before + 50, "execution kept running");
+    }
+
+    /// With redundancy 1 a damaged snapshot is unrecoverable, but
+    /// `try_travel_to_nearest` degrades to the nearest intact ancestor
+    /// instead of failing the whole tree.
+    #[test]
+    fn nearest_intact_ancestor_restores_when_child_is_corrupt() {
+        let mut tb = Testbed::new(92, 4);
+        tb.swap_in(ExperimentSpec::new("c").node("n")).expect("swap-in");
+        tb.run_for(SimDuration::from_secs(5));
+        let tid = tb.spawn("c", "n", Box::new(UsleepLoop::new(10_000_000, 1_000_000)));
+        tb.run_for(SimDuration::from_secs(2));
+        let s1 = tb.snapshot("c", "parent");
+        tb.run_for(SimDuration::from_secs(1));
+        let s2 = tb.snapshot("c", "child");
+        tb.run_for(SimDuration::from_secs(1));
+        assert_eq!(tb.experiment("c").tt.get(s2).parent, Some(s1));
+
+        // Damage a chunk private to the child: the injected flip is an
+        // XOR, so a corruption that also lands on a chunk shared with the
+        // parent is undone and the next index tried.
+        let img1 = tb.experiment("c").tt.get(s1).node_images[0];
+        let img2 = tb.experiment("c").tt.get(s2).node_images[0];
+        let store = tb.experiments_mut("c").tt.store_mut();
+        let mut idx = 0;
+        loop {
+            assert!(
+                store.corrupt_chunk_for_test(img2, idx, 3),
+                "ran out of chunks without finding one private to the child"
+            );
+            if store.load_image(img1).is_ok() {
+                break;
+            }
+            store.corrupt_chunk_for_test(img2, idx, 3); // undo the shared flip
+            idx += 1;
+        }
+        assert!(store.load_image(img2).is_err(), "child really is damaged");
+
+        let restored = tb.try_travel_to_nearest("c", s2).expect("fallback restore");
+        assert_eq!(restored, s1, "fell back to the intact parent");
+        assert_eq!(tb.experiment("c").tt.current(), Some(s1));
+        let samples = |tb: &Testbed| {
+            tb.kernel("c", "n", |k| {
+                k.prog(tid)
+                    .unwrap()
+                    .as_any()
+                    .downcast_ref::<UsleepLoop>()
+                    .unwrap()
+                    .samples
+                    .len()
+            })
+        };
+        let before = samples(&tb);
+        tb.run_for(SimDuration::from_secs(2));
+        assert!(samples(&tb) > before + 50, "restored execution runs");
+    }
+
+    /// With redundancy 2 a corrupt primary chunk is repaired from its
+    /// replica transparently: the travel succeeds on the damaged
+    /// snapshot itself.
+    #[test]
+    fn redundancy_two_repairs_snapshot_transparently() {
+        let mut tb = Testbed::new(93, 4);
+        tb.swap_in(ExperimentSpec::new("c").node("n")).expect("swap-in");
+        tb.run_for(SimDuration::from_secs(5));
+        tb.spawn("c", "n", Box::new(UsleepLoop::new(10_000_000, 1_000_000)));
+        tb.run_for(SimDuration::from_secs(2));
+        tb.experiments_mut("c").tt.store_mut().set_redundancy(2);
+        let snap = tb.snapshot("c", "s");
+        tb.run_for(SimDuration::from_secs(1));
+
+        let img = tb.experiment("c").tt.get(snap).node_images[0];
+        let store = tb.experiments_mut("c").tt.store_mut();
+        assert!(store.corrupt_primary_for_test(img, 0, 7));
+        tb.try_travel_to("c", snap).expect("replica repairs the load");
+        let store = tb.experiment("c").tt.store();
+        assert!(store.repaired_chunks() >= 1, "repair actually happened");
     }
 }

@@ -9,7 +9,7 @@
 use std::any::Any;
 use std::sync::Arc;
 
-use sim::{transmission_time, Component, ComponentId, Ctx, SimDuration, SimTime};
+use sim::{transmission_time, Component, ComponentId, Ctx, FaultPlan, SimDuration, SimRng, SimTime};
 
 /// A testbed-wide interface address (plays the role of a MAC address).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -189,12 +189,24 @@ pub struct ControlLan {
     busy_until: Vec<SimTime>,
     /// Frames with no matching destination member.
     pub undeliverable: u64,
+    /// Injected control-plane faults, with their own random stream so
+    /// fault decisions never consume draws from the LAN's jitter stream.
+    faults: Option<(FaultPlan, SimRng)>,
+    /// Frames dropped by injected loss or a crashed endpoint.
+    pub fault_drops: u64,
+    /// Frames delivered twice by injected duplication.
+    pub fault_duplicates: u64,
+    /// Frames delivered late by injected extra delay.
+    pub fault_delays: u64,
 }
 
 /// Message: transmit a frame onto the control LAN.
 pub struct LanTransmit {
     pub frame: Frame,
 }
+
+/// Salt for the LAN's fault-decision stream (see [`FaultPlan::stream`]).
+const FAULT_STREAM_SALT: u32 = 0xFA01;
 
 impl ControlLan {
     /// Creates an empty LAN.
@@ -207,7 +219,25 @@ impl ControlLan {
             members: Vec::new(),
             busy_until: Vec::new(),
             undeliverable: 0,
+            faults: None,
+            fault_drops: 0,
+            fault_duplicates: 0,
+            fault_delays: 0,
         }
+    }
+
+    /// Arms control-plane fault injection. Drops, duplicates, extra
+    /// delays, and crash windows come from `plan`, drawn from the plan's
+    /// own stream — injecting a plan whose probabilities are all 0 or 1
+    /// leaves the LAN's jitter stream untouched.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        let rng = plan.stream(FAULT_STREAM_SALT);
+        self.faults = Some((plan, rng));
+    }
+
+    /// The injected fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|(p, _)| p)
     }
 
     /// Attaches a member with the given address.
@@ -243,6 +273,31 @@ impl Component for ControlLan {
             self.undeliverable += 1;
             return;
         };
+        // Injected faults act before the LAN's own physics: a dropped
+        // frame never serializes and never draws jitter, so a plan with
+        // draw-free probabilities (0 or 1) leaves healthy traffic's
+        // timing untouched.
+        let mut fault_extra = SimDuration::ZERO;
+        let mut fault_dup = false;
+        if let Some((plan, rng)) = self.faults.as_mut() {
+            let now = ctx.now();
+            if plan.crashed(tx.frame.src.0, now)
+                || (tx.frame.dst != NodeAddr::BROADCAST && plan.crashed(tx.frame.dst.0, now))
+                || rng.chance(plan.loss())
+            {
+                self.fault_drops += 1;
+                return;
+            }
+            if rng.chance(plan.duplication()) {
+                fault_dup = true;
+                self.fault_duplicates += 1;
+            }
+            let (p, extra) = plan.extra_delay();
+            if rng.chance(p) {
+                fault_extra = extra;
+                self.fault_delays += 1;
+            }
+        }
         // Serialize on the source port.
         let ser = transmission_time(tx.frame.wire_bytes as u64, self.port_bps);
         let start = self.busy_until[src_idx].max(ctx.now());
@@ -250,9 +305,16 @@ impl Component for ControlLan {
         self.busy_until[src_idx] = done;
 
         let targets: Vec<Endpoint> = if tx.frame.dst == NodeAddr::BROADCAST {
+            let now = ctx.now();
             self.members
                 .iter()
-                .filter(|(a, _)| *a != tx.frame.src)
+                .filter(|(a, _)| {
+                    *a != tx.frame.src
+                        && !self
+                            .faults
+                            .as_ref()
+                            .is_some_and(|(p, _)| p.crashed(a.0, now))
+                })
                 .map(|&(_, ep)| ep)
                 .collect()
         } else {
@@ -268,7 +330,7 @@ impl Component for ControlLan {
             let jitter =
                 SimDuration::from_nanos(ctx.rng().exponential(self.jitter_mean.as_nanos() as f64)
                     as u64);
-            let arrive = done + self.base_latency + jitter;
+            let arrive = done + self.base_latency + jitter + fault_extra;
             ctx.post_at(
                 ep.component,
                 arrive,
@@ -277,6 +339,19 @@ impl Component for ControlLan {
                     frame: tx.frame.clone(),
                 },
             );
+            if fault_dup {
+                // The duplicate trails by a switch-requeue delay; it is
+                // deliberately jitter-free so duplication alone does not
+                // shift the jitter stream for unrelated traffic.
+                ctx.post_at(
+                    ep.component,
+                    arrive + SimDuration::from_micros(10),
+                    LinkDeliver {
+                        iface: ep.iface,
+                        frame: tx.frame.clone(),
+                    },
+                );
+            }
         }
     }
 

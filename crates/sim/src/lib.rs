@@ -34,6 +34,7 @@
 
 mod engine;
 mod event;
+mod fault;
 mod rng;
 pub mod stats;
 mod time;
@@ -41,6 +42,7 @@ pub mod trace;
 
 pub use engine::{Component, Ctx, Engine};
 pub use event::{ComponentId, EventId};
+pub use fault::FaultPlan;
 pub use rng::SimRng;
 pub use time::{transmission_time, SimDuration, SimTime};
 

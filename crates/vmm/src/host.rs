@@ -204,6 +204,12 @@ pub struct VmHost {
     phase: CkptPhase,
     freeze_real: SimTime,
     last_image: Option<DomainImage>,
+    /// Image displaced by the in-flight capture, kept until the epoch
+    /// commits so an abort can roll the local sequence back.
+    prev_image: Option<DomainImage>,
+    /// An abort arrived while the freeze/capture was still in progress;
+    /// the in-flight machinery unwinds at its next step.
+    abort_pending: bool,
 
     // Ticks.
     next_tick_guest_ns: u64,
@@ -253,6 +259,8 @@ impl VmHost {
             phase: CkptPhase::Idle,
             freeze_real: SimTime::ZERO,
             last_image: None,
+            prev_image: None,
+            abort_pending: false,
             next_tick_guest_ns: 0,
             tick_ev: None,
             mirror: None,
@@ -323,6 +331,11 @@ impl VmHost {
     /// True while the guest is frozen.
     pub fn frozen(&self) -> bool {
         self.phase != CkptPhase::Idle && self.phase != CkptPhase::Entering
+    }
+
+    /// True while a captured (or restored) frozen domain awaits resume.
+    pub fn awaiting_resume(&self) -> bool {
+        self.phase == CkptPhase::AwaitResume
     }
 
     /// Boots the host: first tick, NTP. A host whose domain was installed
@@ -667,7 +680,9 @@ impl VmHost {
 
     /// Schedules an agent wakeup when the *local clock* reads `clock_ns`.
     pub fn agent_wake_at_clock_ns(&mut self, ctx: &mut Ctx<'_>, clock_ns: f64, token: u64) {
-        let at = self.clock.when_reads(ctx.now(), clock_ns);
+        // A retried notification can carry a target already in the past;
+        // fire immediately rather than scheduling into history.
+        let at = self.clock.when_reads(ctx.now(), clock_ns).max(ctx.now());
         ctx.post_at(ctx.self_id(), at, VmMsg::AgentWake { token });
     }
 
@@ -705,6 +720,13 @@ impl VmHost {
 
     fn on_freeze(&mut self, ctx: &mut Ctx<'_>) {
         debug_assert_eq!(self.phase, CkptPhase::Entering);
+        if self.abort_pending {
+            // The abort won the race with the firewall entry: nothing has
+            // been frozen or canceled yet, so the checkpoint never starts.
+            self.abort_pending = false;
+            self.phase = CkptPhase::Idle;
+            return;
+        }
         self.freeze_real = ctx.now();
         self.stats.freeze_history.push(ctx.now());
         // Stop the tick source.
@@ -748,6 +770,16 @@ impl VmHost {
 
     fn on_capture_done(&mut self, ctx: &mut Ctx<'_>) {
         debug_assert_eq!(self.phase, CkptPhase::Capturing);
+        if self.abort_pending {
+            // The epoch aborted mid-capture: discard the would-be image
+            // (dirty tracking keeps accumulating toward the next committed
+            // checkpoint) and resume as if nothing had been triggered.
+            self.abort_pending = false;
+            self.stats.freeze_history.pop();
+            self.phase = CkptPhase::AwaitResume;
+            self.resume_guest(ctx);
+            return;
+        }
         let mut image = self
             .domain
             .as_mut()
@@ -759,6 +791,7 @@ impl VmHost {
         // Background write of the image to the second local disk.
         let write = transmission_time(image.dirty_bytes, self.cfg.tuning.snapshot_disk_bps * 8);
         self.snap_disk_free_at = self.snap_disk_free_at.max(ctx.now()) + write;
+        self.prev_image = self.last_image.take();
         self.last_image = Some(image);
         self.stats.checkpoints += 1;
         self.phase = CkptPhase::AwaitResume;
@@ -775,6 +808,8 @@ impl VmHost {
     /// Panics unless a captured, frozen domain is awaiting resume.
     pub fn resume_guest(&mut self, ctx: &mut Ctx<'_>) {
         assert_eq!(self.phase, CkptPhase::AwaitResume, "nothing to resume");
+        // The epoch outlives its rollback window once the guest runs again.
+        self.prev_image = None;
         let now = ctx.now();
         self.stats.total_downtime += now.saturating_duration_since(self.freeze_real);
         let clock_ns = self.clock.read_ns(now);
@@ -865,6 +900,33 @@ impl VmHost {
         self.burst_q.clear();
         self.active_burst = None;
         // Leave the domain frozen in place; install_image replaces it.
+    }
+
+    /// Aborts the in-flight checkpoint epoch (coordinator `Abort`):
+    /// whatever phase the local sequence is in, the host ends up running
+    /// as if the checkpoint had never been triggered. Returns `true` when
+    /// an already captured image was rolled back (the caller un-counts
+    /// that checkpoint).
+    pub fn abort_checkpoint(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        match self.phase {
+            // Wake timer not fired yet; the agent suppresses the wake.
+            CkptPhase::Idle => false,
+            // Mid-flight: flag it and let the machinery unwind at its
+            // next step (freeze entry or capture completion).
+            CkptPhase::Entering | CkptPhase::Draining | CkptPhase::Capturing => {
+                self.abort_pending = true;
+                false
+            }
+            // Captured and waiting at the barrier: roll the local
+            // checkpoint sequence back and resume through the firewall.
+            CkptPhase::AwaitResume => {
+                self.last_image = self.prev_image.take();
+                self.stats.checkpoints = self.stats.checkpoints.saturating_sub(1);
+                self.stats.freeze_history.pop();
+                self.resume_guest(ctx);
+                true
+            }
+        }
     }
 
     /// Takes the in-flight packets logged during the current suspension,
