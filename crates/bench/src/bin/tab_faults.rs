@@ -87,10 +87,10 @@ fn main() {
     cells.push(Cell { loss: 0.0, stall: None, crash: true });
 
     let mut csv = String::from(
-        "loss,stall_ms,crash,committed,aborted,degraded,retries,retx,dup_acks,window_shrinks,avg_notify_to_acks_us,avg_barrier_hold_us,throughput_MBps\n",
+        "loss,stall_ms,crash,committed,aborted,degraded,retries,retx,dup_acks,window_shrinks,p50_notify_to_acks_us,p99_notify_to_acks_us,p50_barrier_hold_us,p99_barrier_hold_us,throughput_MBps\n",
     );
     println!(
-        "  {:>5} {:>8} {:>5} {:>9} {:>7} {:>8} {:>7} {:>5} {:>8} {:>7} {:>9} {:>8} {:>7}",
+        "  {:>5} {:>8} {:>5} {:>9} {:>7} {:>8} {:>7} {:>5} {:>8} {:>7} {:>9} {:>9} {:>9} {:>7}",
         "loss",
         "stall ms",
         "crash",
@@ -101,8 +101,9 @@ fn main() {
         "retx",
         "dup-acks",
         "shrinks",
-        "acks µs",
-        "hold µs",
+        "acks p50",
+        "acks p99",
+        "hold p99",
         "MB/s"
     );
     for cell in &cells {
@@ -113,7 +114,7 @@ fn main() {
         );
         let o = run(cell);
         println!(
-            "  {:>5.2} {:>8} {:>5} {:>9} {:>7} {:>8} {:>7} {:>5} {:>8} {:>7} {:>9} {:>8} {:>7.1}",
+            "  {:>5.2} {:>8} {:>5} {:>9} {:>7} {:>8} {:>7} {:>5} {:>8} {:>7} {:>9} {:>9} {:>9} {:>7.1}",
             cell.loss,
             stall_ms,
             cell.crash,
@@ -124,12 +125,13 @@ fn main() {
             o.retransmissions,
             o.dup_acks,
             o.window_shrinks,
-            o.avg_notify_to_acks_us,
-            o.avg_barrier_hold_us,
+            o.p50_notify_to_acks_us,
+            o.p99_notify_to_acks_us,
+            o.p99_barrier_hold_us,
             o.throughput_mbps
         );
         csv.push_str(&format!(
-            "{:.2},{},{},{},{},{},{},{},{},{},{},{},{:.1}\n",
+            "{:.2},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.1}\n",
             cell.loss,
             stall_ms,
             cell.crash,
@@ -140,8 +142,10 @@ fn main() {
             o.retransmissions,
             o.dup_acks,
             o.window_shrinks,
-            o.avg_notify_to_acks_us,
-            o.avg_barrier_hold_us,
+            o.p50_notify_to_acks_us,
+            o.p99_notify_to_acks_us,
+            o.p50_barrier_hold_us,
+            o.p99_barrier_hold_us,
             o.throughput_mbps
         ));
 

@@ -1,0 +1,76 @@
+//! TAB-TELEMETRY — the unified telemetry registry over a full testbed
+//! run (ours).
+//!
+//! One scenario exercises every instrumented seam: periodic coordinated
+//! checkpoints (coordinator epoch lifecycle, VmHost freeze/thaw
+//! downtime), a stateful swap-out/swap-in cycle (testbed swap paths, the
+//! file server's dedup store), and the engine-wide span log. The run is
+//! executed twice with the same seed and the exports must be
+//! byte-identical — the registry is part of the deterministic state, not
+//! an observer with its own clock.
+//!
+//! The exported table is `results/tab_telemetry.csv`, one row per
+//! instrument: `kind,name,value,count,sum,min,max,p50,p90,p99`.
+
+use checkpoint::Strategy;
+use emulab::{ExperimentSpec, Testbed};
+use sim::SimDuration;
+use tcd_bench::{banner, write_csv};
+use workloads::{IperfReceiver, IperfSender};
+
+fn run_scenario() -> String {
+    let mut tb = Testbed::with_strategy(14_001, 8, Strategy::Transparent);
+    tb.swap_in(
+        ExperimentSpec::new("tele").node("a").node("b").link(
+            "a",
+            "b",
+            1_000_000_000,
+            SimDuration::from_micros(100),
+            0.0,
+        ),
+    )
+    .expect("swap-in");
+    tb.run_for(SimDuration::from_secs(20));
+    let b_addr = tb.node_addr("tele", "b");
+    tb.spawn("tele", "b", Box::new(IperfReceiver::new(5001)));
+    tb.spawn("tele", "a", Box::new(IperfSender::new(b_addr, 5001)));
+    tb.run_for(SimDuration::from_secs(2));
+    tb.start_periodic_checkpoints(SimDuration::from_secs(5));
+    tb.run_for(SimDuration::from_secs(16));
+    tb.stop_periodic_checkpoints();
+    tb.run_for(SimDuration::from_secs(2));
+    // A stateful swap cycle drives the swap paths and the dedup store.
+    tb.swap_out_stateful("tele");
+    let rep = tb.swap_in_stateful("tele", false);
+    assert!(rep.warning.is_none(), "healthy swap cycle");
+    tb.run_for(SimDuration::from_secs(2));
+    tb.telemetry().to_csv()
+}
+
+fn main() {
+    banner(
+        "TAB-TELEMETRY",
+        "unified metrics/span registry: one testbed run, deterministic export",
+    );
+    eprintln!("[tab_telemetry] run 1...");
+    let a = run_scenario();
+    eprintln!("[tab_telemetry] run 2 (same seed)...");
+    let b = run_scenario();
+    assert_eq!(a, b, "same-seed telemetry exports must be byte-identical");
+
+    let mut shown = 0;
+    println!("  {:<10} {:<34} {:>9} {:>12} {:>12}", "kind", "name", "count", "p50", "p99");
+    for line in a.lines().skip(1) {
+        let f: Vec<&str> = line.split(',').collect();
+        // kind,name,value,count,sum,min,max,p50,p90,p99
+        if f[0] == "histogram" || f[0] == "span" {
+            println!("  {:<10} {:<34} {:>9} {:>12} {:>12}", f[0], f[1], f[3], f[7], f[9]);
+            shown += 1;
+        }
+    }
+    assert!(shown >= 6, "expected the instrumented seams to surface, got {shown}");
+
+    let path = write_csv("tab_telemetry.csv", &a);
+    println!("\n  two same-seed runs exported identical tables ({} rows)", a.lines().count() - 1);
+    println!("  table: {}", path.display());
+}

@@ -44,10 +44,7 @@ fn main() {
             lab.engine.run_for(SimDuration::from_secs(5));
             let coord = lab.coordinator;
             lab.engine
-                .with_component::<Coordinator, _>(coord, |c, ctx| {
-                    c.set_hold_resume(true);
-                    c.trigger(ctx);
-                });
+                .with_component::<Coordinator, _>(coord, |c, ctx| c.suspend(ctx));
             for _ in 0..100 {
                 lab.engine.run_for(SimDuration::from_millis(20));
                 if lab
@@ -76,10 +73,7 @@ fn main() {
                     });
             }
             lab.engine
-                .with_component::<Coordinator, _>(coord, |c, ctx| {
-                    c.release_resume(ctx);
-                    c.set_hold_resume(false);
-                });
+                .with_component::<Coordinator, _>(coord, |c, ctx| c.release_resume(ctx));
             lab.engine.run_for(SimDuration::from_millis(100));
         }
         lab.engine.run_for(SimDuration::from_secs(3));

@@ -10,28 +10,85 @@
 //!   delivery + per-node processing jitter (§4.3);
 //! - **non-concealing**: conventional stop-and-copy — downtime leaks into
 //!   guest time.
+//!
+//! Runs on the full testbed stack ([`Testbed::with_strategy`]); all
+//! latency columns are p50/p99 from [`Testbed::telemetry`] — the
+//! coordinator's notify→all-acks and barrier-hold histograms and the
+//! hosts' freeze/thaw downtime histogram.
 
-use checkpoint::{Coordinator, Strategy};
-use sim::SimDuration;
-use tcd_bench::lab::{build_lab, LabConfig, LabOutcome};
+use checkpoint::Strategy;
+use emulab::{ExperimentSpec, Testbed};
+use sim::{HistogramSummary, SimDuration};
 use tcd_bench::{banner, write_csv};
+use workloads::{IperfReceiver, IperfSender};
 
-fn run(strategy: Strategy) -> LabOutcome {
-    let mut lab = build_lab(LabConfig {
-        seed: 12_001,
-        strategy,
-        ..LabConfig::default()
+struct Row {
+    retransmissions: u64,
+    timeouts: u64,
+    dup_acks: u64,
+    window_shrinks: u64,
+    max_gap_us: u64,
+    max_suspend_skew_us: u64,
+    throughput_mbps: f64,
+    acks: HistogramSummary,
+    hold: HistogramSummary,
+    downtime: HistogramSummary,
+}
+
+fn run(strategy: Strategy) -> Row {
+    let mut tb = Testbed::with_strategy(12_001, 8, strategy);
+    tb.swap_in(
+        ExperimentSpec::new("iperf").node("a").node("b").link(
+            "a",
+            "b",
+            1_000_000_000,
+            SimDuration::from_micros(100),
+            0.0,
+        ),
+    )
+    .expect("swap-in");
+    // Let NTP discipline the guests' clocks before measuring.
+    tb.run_for(SimDuration::from_secs(20));
+    let b_addr = tb.node_addr("iperf", "b");
+    tb.with_host("iperf", "b", |h| {
+        h.kernel_mut().trace.enable();
     });
-    lab.engine.run_for(SimDuration::from_secs(20));
-    lab.start_iperf();
-    lab.engine.run_for(SimDuration::from_secs(2));
-    let coord = lab.coordinator;
-    lab.engine
-        .with_component::<Coordinator, _>(coord, |c, ctx| {
-            c.start_periodic(ctx, SimDuration::from_secs(5))
-        });
-    lab.engine.run_for(SimDuration::from_secs(25));
-    lab.outcome(27.0)
+    tb.spawn("iperf", "b", Box::new(IperfReceiver::new(5001)));
+    tb.spawn("iperf", "a", Box::new(IperfSender::new(b_addr, 5001)));
+    tb.run_for(SimDuration::from_secs(2));
+    tb.start_periodic_checkpoints(SimDuration::from_secs(5));
+    tb.run_for(SimDuration::from_secs(25));
+
+    let ta = tb.kernel("iperf", "a", |k| k.net_totals());
+    let tb_totals = tb.kernel("iperf", "b", |k| k.net_totals());
+    let gaps = tb.kernel("iperf", "b", |k| k.trace.rx_data_gaps_ns());
+    let skew = {
+        let fa = tb.with_host("iperf", "a", |h| h.stats.freeze_history.clone());
+        let fb = tb.with_host("iperf", "b", |h| h.stats.freeze_history.clone());
+        fa.iter()
+            .zip(fb.iter())
+            .map(|(&x, &y)| x.as_nanos().abs_diff(y.as_nanos()))
+            .max()
+            .unwrap_or(0)
+    };
+    let t = tb.telemetry();
+    let summary = |name: &str| t.histogram_summary(name).unwrap_or(HistogramSummary::EMPTY);
+    Row {
+        retransmissions: ta.retransmissions + tb_totals.retransmissions,
+        timeouts: ta.timeouts + tb_totals.timeouts,
+        dup_acks: ta.dup_acks,
+        window_shrinks: ta.window_shrinks + tb_totals.window_shrinks,
+        max_gap_us: gaps.iter().copied().max().unwrap_or(0) / 1000,
+        max_suspend_skew_us: skew / 1000,
+        throughput_mbps: tb_totals.bytes_delivered as f64 / 1e6 / 27.0,
+        acks: summary("coordinator.notify_to_acks_ns"),
+        hold: summary("coordinator.barrier_hold_ns"),
+        downtime: summary("vmhost.downtime_ns"),
+    }
+}
+
+fn us(ns: f64) -> u64 {
+    (ns / 1e3) as u64
 }
 
 fn main() {
@@ -40,10 +97,12 @@ fn main() {
         "transparent vs event-driven vs non-concealing checkpoints (iperf, 5 s period)",
     );
     let mut csv = String::from(
-        "strategy,retransmissions,timeouts,dup_acks,window_shrinks,max_gap_us,suspend_skew_us,throughput_MBps,avg_notify_to_acks_us,avg_barrier_hold_us\n",
+        "strategy,retransmissions,timeouts,dup_acks,window_shrinks,max_gap_us,suspend_skew_us,throughput_MBps,\
+         p50_notify_to_acks_us,p99_notify_to_acks_us,p50_barrier_hold_us,p99_barrier_hold_us,\
+         p50_downtime_us,p99_downtime_us\n",
     );
     println!(
-        "  {:<16} {:>6} {:>9} {:>9} {:>8} {:>12} {:>9} {:>8} {:>9} {:>8}",
+        "  {:<16} {:>5} {:>8} {:>8} {:>7} {:>11} {:>8} {:>6} {:>15} {:>15} {:>15}",
         "strategy",
         "retx",
         "timeouts",
@@ -52,8 +111,9 @@ fn main() {
         "max gap µs",
         "skew µs",
         "MB/s",
-        "acks µs",
-        "hold µs"
+        "acks p50/p99 µs",
+        "hold p50/p99 µs",
+        "down p50/p99 µs"
     );
     for strategy in [
         Strategy::Transparent,
@@ -63,7 +123,7 @@ fn main() {
         eprintln!("[xtra] running {}...", strategy.label());
         let o = run(strategy);
         println!(
-            "  {:<16} {:>6} {:>9} {:>9} {:>8} {:>12} {:>9} {:>8.1} {:>9} {:>8}",
+            "  {:<16} {:>5} {:>8} {:>8} {:>7} {:>11} {:>8} {:>6.1} {:>15} {:>15} {:>15}",
             strategy.label(),
             o.retransmissions,
             o.timeouts,
@@ -72,11 +132,12 @@ fn main() {
             o.max_gap_us,
             o.max_suspend_skew_us,
             o.throughput_mbps,
-            o.avg_notify_to_acks_us,
-            o.avg_barrier_hold_us
+            format!("{}/{}", us(o.acks.p50), us(o.acks.p99)),
+            format!("{}/{}", us(o.hold.p50), us(o.hold.p99)),
+            format!("{}/{}", us(o.downtime.p50), us(o.downtime.p99)),
         );
         csv.push_str(&format!(
-            "{},{},{},{},{},{},{},{:.1},{},{}\n",
+            "{},{},{},{},{},{},{},{:.1},{},{},{},{},{},{}\n",
             strategy.label(),
             o.retransmissions,
             o.timeouts,
@@ -85,12 +146,17 @@ fn main() {
             o.max_gap_us,
             o.max_suspend_skew_us,
             o.throughput_mbps,
-            o.avg_notify_to_acks_us,
-            o.avg_barrier_hold_us
+            us(o.acks.p50),
+            us(o.acks.p99),
+            us(o.hold.p50),
+            us(o.hold.p99),
+            us(o.downtime.p50),
+            us(o.downtime.p99),
         ));
         if strategy == Strategy::Transparent {
             assert_eq!(o.retransmissions + o.timeouts + o.dup_acks, 0);
         }
+        assert!(o.downtime.count > 0, "checkpoints recorded downtime samples");
     }
     let path = write_csv("xtra_baselines.csv", &csv);
     println!("\n  transparent must show zeros; baselines show the §3 anomalies");

@@ -83,10 +83,15 @@ pub struct LabOutcome {
     /// Epochs still without a terminal outcome (should be zero after a
     /// drain period: every epoch must commit, abort, or degrade).
     pub unresolved: u64,
-    /// Mean notify→all-acks latency across acked epochs, µs.
-    pub avg_notify_to_acks_us: u64,
-    /// Mean barrier-hold time across resumed epochs, µs.
-    pub avg_barrier_hold_us: u64,
+    /// Median notify→all-acks latency across acked epochs, µs (engine
+    /// telemetry, `coordinator.notify_to_acks_ns`).
+    pub p50_notify_to_acks_us: u64,
+    /// 99th-percentile notify→all-acks latency, µs.
+    pub p99_notify_to_acks_us: u64,
+    /// Median barrier-hold time across resumed epochs, µs.
+    pub p50_barrier_hold_us: u64,
+    /// 99th-percentile barrier-hold time, µs.
+    pub p99_barrier_hold_us: u64,
 }
 
 /// Builds the lab (hosts booted, nothing running yet).
@@ -108,7 +113,11 @@ pub fn build_lab(cfg: LabConfig) -> Lab {
         (TriggerMode::Scheduled { .. }, Some(lead)) => TriggerMode::Scheduled { lead },
         (m, _) => m,
     };
-    let coord = e.add_component(Box::new(Coordinator::new(ops_addr, lan_id, mode)));
+    let mut coord_builder = Coordinator::builder(ops_addr, lan_id).mode(mode);
+    if let Some(policy) = cfg.policy {
+        coord_builder = coord_builder.policy(policy);
+    }
+    let coord = e.add_component(Box::new(coord_builder.build()));
 
     let mk_host = |e: &mut Engine,
                    node: NodeAddr,
@@ -198,9 +207,6 @@ pub fn build_lab(cfg: LabConfig) -> Lab {
         l.attach(dn_addr, Endpoint { component: dn, iface: IfaceId::CONTROL });
     });
     e.with_component::<Coordinator, _>(coord, |c, _| {
-        if let Some(policy) = cfg.policy {
-            c.set_policy(policy);
-        }
         c.subscribe(a_addr);
         c.subscribe(b_addr);
         c.subscribe(dn_addr);
@@ -258,27 +264,17 @@ impl Lab {
             .component_ref::<Coordinator>(self.coordinator)
             .expect("coordinator");
         let (committed, aborted, degraded) = c.outcome_counts();
-        let mean_us = |samples: Vec<u64>| -> u64 {
-            if samples.is_empty() {
-                0
-            } else {
-                samples.iter().sum::<u64>() / samples.len() as u64
-            }
+        // Latency percentiles come from the engine's telemetry registry
+        // (the coordinator records them as it runs), not from re-deriving
+        // means over the raw records.
+        let summary = |name: &str| {
+            self.engine
+                .telemetry()
+                .histogram_summary(name)
+                .unwrap_or(sim::HistogramSummary::EMPTY)
         };
-        let avg_notify_to_acks_us = mean_us(
-            c.records
-                .iter()
-                .filter_map(|r| r.notify_to_acks())
-                .map(|d| d.as_nanos() / 1000)
-                .collect(),
-        );
-        let avg_barrier_hold_us = mean_us(
-            c.records
-                .iter()
-                .filter_map(|r| r.barrier_hold())
-                .map(|d| d.as_nanos() / 1000)
-                .collect(),
-        );
+        let acks = summary("coordinator.notify_to_acks_ns");
+        let hold = summary("coordinator.barrier_hold_ns");
         LabOutcome {
             retransmissions: ta.retransmissions + tb.retransmissions,
             timeouts: ta.timeouts + tb.timeouts,
@@ -293,8 +289,10 @@ impl Lab {
             degraded,
             retries: c.total_retries(),
             unresolved: c.records.iter().filter(|r| r.outcome.is_none()).count() as u64,
-            avg_notify_to_acks_us,
-            avg_barrier_hold_us,
+            p50_notify_to_acks_us: (acks.p50 / 1e3) as u64,
+            p99_notify_to_acks_us: (acks.p99 / 1e3) as u64,
+            p50_barrier_hold_us: (hold.p50 / 1e3) as u64,
+            p99_barrier_hold_us: (hold.p99 / 1e3) as u64,
         }
     }
 }

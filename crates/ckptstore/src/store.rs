@@ -13,6 +13,8 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 
+use sim::{CounterId, Telemetry};
+
 use crate::hash::{chunk_hash, ChunkHash};
 
 /// Default chunk size. Matches the COW stores' 4 KB block size so an
@@ -119,6 +121,19 @@ struct Manifest {
     chunks: Vec<ChunkHash>,
 }
 
+/// Telemetry instrument handles (attached via
+/// [`ChunkStore::attach_telemetry`]).
+struct StoreTele {
+    t: Telemetry,
+    chunks_new: CounterId,
+    dedup_hits: CounterId,
+    logical_bytes: CounterId,
+    new_physical_bytes: CounterId,
+    repairs: CounterId,
+    scrub_heals: CounterId,
+    replicas_added: CounterId,
+}
+
 /// Content-addressed chunk store with refcounted dedup.
 pub struct ChunkStore {
     chunk_size: usize,
@@ -131,6 +146,7 @@ pub struct ChunkStore {
     /// Chunks served from a replica because the primary was corrupt.
     repaired: Cell<u64>,
     write_faults: Option<WriteFaults>,
+    tele: Option<StoreTele>,
 }
 
 impl ChunkStore {
@@ -151,7 +167,24 @@ impl ChunkStore {
             redundancy: 1,
             repaired: Cell::new(0),
             write_faults: None,
+            tele: None,
         }
+    }
+
+    /// Attaches a telemetry registry: dedup hit-rate, repair, and scrub
+    /// counters are recorded under `ckptstore.*` from here on.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        let t = telemetry.clone();
+        self.tele = Some(StoreTele {
+            chunks_new: t.counter("ckptstore.chunks_new"),
+            dedup_hits: t.counter("ckptstore.dedup_hits"),
+            logical_bytes: t.counter("ckptstore.logical_bytes"),
+            new_physical_bytes: t.counter("ckptstore.new_physical_bytes"),
+            repairs: t.counter("ckptstore.replica_repairs"),
+            scrub_heals: t.counter("ckptstore.scrub_heals"),
+            replicas_added: t.counter("ckptstore.replicas_added"),
+            t,
+        });
     }
 
     pub fn chunk_size(&self) -> usize {
@@ -224,7 +257,43 @@ impl ChunkStore {
                 healed += 1;
             }
         }
+        if let Some(t) = &self.tele {
+            t.t.add(t.scrub_heals, healed);
+        }
         healed
+    }
+
+    /// Raises every pre-existing chunk to the configured replica count:
+    /// [`ChunkStore::set_redundancy`] applies only to chunks inserted
+    /// afterwards, and [`ChunkStore::scrub`] only rewrites damaged copies
+    /// — this is the pass that retrofits redundancy onto chunks stored
+    /// before the setting changed. New replicas are cloned from an intact
+    /// copy; a chunk with no intact copy is skipped (the load path will
+    /// surface it as [`StoreError::CorruptChunk`]). Copy counts above the
+    /// configured redundancy are left alone. Returns the number of chunks
+    /// that gained at least one replica.
+    pub fn rebuild_redundancy(&mut self) -> u64 {
+        let want = self.redundancy;
+        let mut raised = 0u64;
+        let mut added = 0u64;
+        for (h, entry) in &mut self.chunks {
+            if entry.copies.len() >= want {
+                continue;
+            }
+            let Some(good) = entry.copies.iter().position(|d| chunk_hash(d) == *h) else {
+                continue;
+            };
+            let template = entry.copies[good].clone();
+            while entry.copies.len() < want {
+                entry.copies.push(template.clone());
+                added += 1;
+            }
+            raised += 1;
+        }
+        if let Some(t) = &self.tele {
+            t.t.add(t.replicas_added, added);
+        }
+        raised
     }
 
     /// Stores an image: chunks it, inserts unseen chunks, bumps
@@ -258,6 +327,12 @@ impl ChunkStore {
         let id = ImageId(self.next_image);
         self.next_image += 1;
         let chunks_total = manifest.len() as u64;
+        if let Some(t) = &self.tele {
+            t.t.add(t.chunks_new, chunks_new);
+            t.t.add(t.dedup_hits, chunks_total - chunks_new);
+            t.t.add(t.logical_bytes, bytes.len() as u64);
+            t.t.add(t.new_physical_bytes, new_physical);
+        }
         self.images.insert(id.0, Manifest { logical_len: bytes.len() as u64, chunks: manifest });
         PutReport {
             image: id,
@@ -296,6 +371,9 @@ impl ChunkStore {
                 Some((copy_idx, copy)) => {
                     if copy_idx > 0 {
                         self.repaired.set(self.repaired.get() + 1);
+                        if let Some(t) = &self.tele {
+                            t.t.inc(t.repairs);
+                        }
                     }
                     out.extend_from_slice(copy);
                 }
@@ -572,6 +650,77 @@ mod tests {
         s.inject_write_faults(7, 1_000_000);
         let r = s.put_image(&image_with(64, |i| (i % 199) as u8, 64 * 8));
         assert!(matches!(s.load_image(r.image), Err(StoreError::CorruptChunk { .. })));
+    }
+
+    #[test]
+    fn rebuild_redundancy_raises_chunks_inserted_before_the_setting() {
+        let mut s = ChunkStore::with_chunk_size(64);
+        // Ten chunks stored at redundancy 1, two more after raising it.
+        let old = image_with(64, |i| (i / 64) as u8, 64 * 10);
+        let r_old = s.put_image(&old).image;
+        s.set_redundancy(3);
+        let new = image_with(64, |i| 100 + (i / 64) as u8, 64 * 2);
+        let r_new = s.put_image(&new).image;
+        assert_eq!(
+            s.replica_bytes(),
+            64 * 2 * 2,
+            "only post-setting chunks carry replicas"
+        );
+
+        let raised = s.rebuild_redundancy();
+        assert_eq!(raised, 10, "every pre-setting chunk gained replicas");
+        assert_eq!(s.replica_bytes(), 64 * 12 * 2, "all chunks at 3 copies");
+        assert_eq!(s.rebuild_redundancy(), 0, "idempotent once raised");
+
+        // The retrofitted replicas are real: a corrupt primary in the old
+        // image now repairs transparently instead of failing the load.
+        assert!(s.corrupt_primary_for_test(r_old, 2, 5));
+        assert_eq!(s.load_image(r_old).unwrap(), old);
+        assert_eq!(s.repaired_chunks(), 1);
+        assert_eq!(s.load_image(r_new).unwrap(), new);
+    }
+
+    #[test]
+    fn rebuild_redundancy_skips_chunks_with_no_intact_copy() {
+        let mut s = ChunkStore::with_chunk_size(64);
+        let img = image_with(64, |i| i as u8, 64 * 2);
+        let r = s.put_image(&img).image;
+        // Damage every copy of chunk 0 (redundancy 1: just the primary).
+        assert!(s.corrupt_chunk_for_test(r, 0, 3));
+        s.set_redundancy(2);
+        assert_eq!(
+            s.rebuild_redundancy(),
+            1,
+            "only the intact chunk is raised; the hopeless one is skipped"
+        );
+        assert!(matches!(
+            s.load_image(r),
+            Err(StoreError::CorruptChunk { chunk_index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn telemetry_counts_dedup_repairs_and_rebuilds() {
+        let t = Telemetry::new();
+        let mut s = ChunkStore::with_chunk_size(64);
+        s.attach_telemetry(&t);
+        let img = image_with(64, |i| (i / 64) as u8, 64 * 4);
+        let r = s.put_image(&img).image;
+        s.put_image(&img); // fully deduplicated second copy
+        assert_eq!(t.counter_value("ckptstore.chunks_new"), Some(4));
+        assert_eq!(t.counter_value("ckptstore.dedup_hits"), Some(4));
+        assert_eq!(t.counter_value("ckptstore.logical_bytes"), Some(512));
+        assert_eq!(t.counter_value("ckptstore.new_physical_bytes"), Some(256));
+
+        s.set_redundancy(2);
+        s.rebuild_redundancy();
+        assert_eq!(t.counter_value("ckptstore.replicas_added"), Some(4));
+
+        assert!(s.corrupt_primary_for_test(r, 1, 7));
+        s.load_image(r).unwrap();
+        assert_eq!(t.counter_value("ckptstore.replica_repairs"), Some(1));
+        assert_eq!(s.scrub(), 1);
+        assert_eq!(t.counter_value("ckptstore.scrub_heals"), Some(1));
     }
 
     #[test]

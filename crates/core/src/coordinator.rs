@@ -19,7 +19,9 @@ use std::collections::{HashMap, HashSet};
 
 use clocksync::{NtpRequest, NtpServer};
 use hwsim::{Frame, HardwareClock, LanTransmit, LinkDeliver, NodeAddr};
-use sim::{Component, ComponentId, Ctx, SimDuration, SimTime};
+use sim::{
+    ActiveSpan, Component, ComponentId, CounterId, Ctx, HistogramId, SimDuration, SimTime, SpanId,
+};
 
 use crate::bus::{BusMsg, BUS_MSG_BYTES};
 
@@ -163,6 +165,81 @@ struct Round {
     excluded: HashSet<NodeAddr>,
     /// Barrier size at publication time.
     participants: usize,
+    /// Withhold the resume at the barrier (swap-out / time travel).
+    hold: bool,
+    /// Telemetry span opened at publication, closed at resume or abort.
+    span: Option<ActiveSpan>,
+}
+
+/// Telemetry instrument handles, registered lazily on the first event
+/// (ids are `Copy`; recording through them allocates nothing).
+#[derive(Clone, Copy)]
+struct CoordTele {
+    notify_to_acks: HistogramId,
+    barrier_hold: HistogramId,
+    retries: CounterId,
+    committed: CounterId,
+    aborted: CounterId,
+    degraded: CounterId,
+    excluded: CounterId,
+    captured_bytes: CounterId,
+    epoch_span: SpanId,
+}
+
+/// Construction-time configuration for [`Coordinator`], assembled by
+/// [`CoordinatorBuilder`].
+#[derive(Clone, Copy, Debug)]
+pub struct CoordinatorConfig {
+    /// Control address of the ops node.
+    pub addr: NodeAddr,
+    /// Control LAN the coordinator publishes on.
+    pub lan: ComponentId,
+    /// Checkpoint trigger style (default: scheduled, 200 ms lead).
+    pub mode: TriggerMode,
+    /// Failure-handling policy.
+    pub policy: FailurePolicy,
+    /// Withhold resumes at the barrier by default (swap-out rigs).
+    pub hold_resume: bool,
+    /// Group the first `start_periodic` call drives.
+    pub periodic_group: Option<GroupId>,
+}
+
+/// Builder for [`Coordinator`]; obtained from [`Coordinator::builder`].
+#[derive(Clone, Copy, Debug)]
+pub struct CoordinatorBuilder {
+    cfg: CoordinatorConfig,
+}
+
+impl CoordinatorBuilder {
+    /// Checkpoint trigger style.
+    pub fn mode(mut self, mode: TriggerMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Failure-handling policy.
+    pub fn policy(mut self, policy: FailurePolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Withhold resumes at the barrier by default. Prefer
+    /// [`Coordinator::suspend_in`] for a single held round.
+    pub fn hold_resume(mut self, hold: bool) -> Self {
+        self.cfg.hold_resume = hold;
+        self
+    }
+
+    /// Group the first `start_periodic` call drives.
+    pub fn periodic_group(mut self, group: GroupId) -> Self {
+        self.cfg.periodic_group = Some(group);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Coordinator {
+        Coordinator::from_config(self.cfg)
+    }
 }
 
 /// The coordinator component.
@@ -185,30 +262,56 @@ pub struct Coordinator {
     pending_periodic_group: Option<GroupId>,
     /// Completed and in-progress epoch records.
     pub records: Vec<EpochRecord>,
+    tele: Option<CoordTele>,
 }
 
 impl Coordinator {
-    /// Creates a coordinator with a perfect reference clock.
-    pub fn new(addr: NodeAddr, lan: ComponentId, mode: TriggerMode) -> Self {
+    /// Starts a [`CoordinatorBuilder`] with defaults: a perfect reference
+    /// clock, scheduled triggering with a 200 ms lead, the default
+    /// [`FailurePolicy`], resumes published at the barrier.
+    pub fn builder(addr: NodeAddr, lan: ComponentId) -> CoordinatorBuilder {
+        CoordinatorBuilder {
+            cfg: CoordinatorConfig {
+                addr,
+                lan,
+                mode: TriggerMode::Scheduled { lead: SimDuration::from_millis(200) },
+                policy: FailurePolicy::default(),
+                hold_resume: false,
+                periodic_group: None,
+            },
+        }
+    }
+
+    /// Creates a coordinator from an explicit configuration (the builder's
+    /// terminal step; usable directly when the config is data-driven).
+    pub fn from_config(cfg: CoordinatorConfig) -> Self {
         Coordinator {
-            addr,
-            lan,
+            addr: cfg.addr,
+            lan: cfg.lan,
             clock: HardwareClock::new(0, 0.0),
             ntp: NtpServer,
             members: Vec::new(),
             epoch: 0,
             pending: HashMap::new(),
-            mode,
-            policy: FailurePolicy::default(),
+            mode: cfg.mode,
+            policy: cfg.policy,
             periodic: None,
-            hold_resume: false,
-            pending_periodic_group: None,
+            hold_resume: cfg.hold_resume,
+            pending_periodic_group: cfg.periodic_group,
             records: Vec::new(),
+            tele: None,
         }
+    }
+
+    /// Creates a coordinator with a perfect reference clock.
+    #[deprecated(note = "use Coordinator::builder(addr, lan).mode(mode).build()")]
+    pub fn new(addr: NodeAddr, lan: ComponentId, mode: TriggerMode) -> Self {
+        Coordinator::builder(addr, lan).mode(mode).build()
     }
 
     /// Sets the failure-handling policy (applies to rounds triggered
     /// afterwards; in-flight timers keep the policy they started with).
+    #[deprecated(note = "use Coordinator::builder(..).policy(..)")]
     pub fn set_policy(&mut self, policy: FailurePolicy) {
         self.policy = policy;
     }
@@ -219,8 +322,27 @@ impl Coordinator {
     }
 
     /// Holds the resume after the barrier (stateful swap-out, §5).
+    #[deprecated(note = "use Coordinator::suspend_in for a held round, or \
+                         Coordinator::builder(..).hold_resume(..) for a standing default")]
     pub fn set_hold_resume(&mut self, hold: bool) {
         self.hold_resume = hold;
+    }
+
+    fn tele(&mut self, ctx: &Ctx<'_>) -> CoordTele {
+        *self.tele.get_or_insert_with(|| {
+            let t = ctx.telemetry();
+            CoordTele {
+                notify_to_acks: t.histogram("coordinator.notify_to_acks_ns"),
+                barrier_hold: t.histogram("coordinator.barrier_hold_ns"),
+                retries: t.counter("coordinator.retries"),
+                committed: t.counter("coordinator.epochs_committed"),
+                aborted: t.counter("coordinator.epochs_aborted"),
+                degraded: t.counter("coordinator.epochs_degraded"),
+                excluded: t.counter("coordinator.nodes_excluded"),
+                captured_bytes: t.counter("coordinator.captured_bytes"),
+                epoch_span: t.span("coordinator", "epoch"),
+            }
+        })
     }
 
     /// True once every node of `group` reported done for its round.
@@ -249,8 +371,17 @@ impl Coordinator {
         let round = self.pending.remove(&group).expect("checked");
         let epoch = round.epoch;
         let now = ctx.now();
+        let mut hold = SimDuration::ZERO;
         if let Some(rec) = self.record_mut(epoch) {
             rec.resumed = Some(now);
+            if let Some(b) = rec.barrier_done {
+                hold = now.saturating_duration_since(b);
+            }
+        }
+        let t = self.tele(ctx);
+        ctx.telemetry().record_duration(t.barrier_hold, hold);
+        if let Some(span) = round.span {
+            ctx.telemetry().span_exit(span, now);
         }
         self.publish_repeated(ctx, group, BusMsg::Resume { epoch });
     }
@@ -258,6 +389,19 @@ impl Coordinator {
     /// Publishes the held resume (default group).
     pub fn release_resume(&mut self, ctx: &mut Ctx<'_>) {
         self.release_resume_in(ctx, GroupId::DEFAULT);
+    }
+
+    /// Drops `group`'s held (or in-flight) round without resuming: the
+    /// suspended state was replaced behind the coordinator's back (time
+    /// travel installs a restored image and resumes the hosts directly).
+    /// The epoch keeps its record but never resumes; its telemetry span
+    /// is discarded so abandoned epochs leave no duration sample.
+    pub fn abandon_round_in(&mut self, ctx: &mut Ctx<'_>, group: GroupId) {
+        if let Some(round) = self.pending.remove(&group) {
+            if let Some(span) = round.span {
+                ctx.telemetry().span_discard(span);
+            }
+        }
     }
 
     /// Subscribes a node to the bus in the default group.
@@ -358,6 +502,27 @@ impl Coordinator {
     ///
     /// Panics if that group has a round in flight or no members.
     pub fn trigger_in(&mut self, ctx: &mut Ctx<'_>, group: GroupId) {
+        let hold = self.hold_resume;
+        self.trigger_round(ctx, group, hold);
+    }
+
+    /// Triggers a round for `group` whose resume is withheld at the
+    /// barrier — the system stays suspended until [`Coordinator::release_resume_in`]
+    /// (stateful swap-out §5, time travel §6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if that group has a round in flight or no members.
+    pub fn suspend_in(&mut self, ctx: &mut Ctx<'_>, group: GroupId) {
+        self.trigger_round(ctx, group, true);
+    }
+
+    /// [`Coordinator::suspend_in`] for the default group.
+    pub fn suspend(&mut self, ctx: &mut Ctx<'_>) {
+        self.suspend_in(ctx, GroupId::DEFAULT);
+    }
+
+    fn trigger_round(&mut self, ctx: &mut Ctx<'_>, group: GroupId, hold: bool) {
         assert!(self.idle_in(group), "checkpoint round already in flight");
         let nodes: HashSet<NodeAddr> = self
             .members
@@ -375,6 +540,8 @@ impl Coordinator {
             },
             TriggerMode::EventDriven => BusMsg::CheckpointNow { epoch },
         };
+        let t = self.tele(ctx);
+        let span = ctx.telemetry().span_enter(t.epoch_span, ctx.now());
         self.pending.insert(
             group,
             Round {
@@ -384,6 +551,8 @@ impl Coordinator {
                 await_done: nodes.clone(),
                 excluded: HashSet::new(),
                 participants: nodes.len(),
+                hold,
+                span: Some(span),
             },
         );
         self.records.push(EpochRecord {
@@ -410,6 +579,8 @@ impl Coordinator {
 
     /// Selects which group the next `start_periodic` drives (default:
     /// [`GroupId::DEFAULT`]); also retargets an already-running schedule.
+    #[deprecated(note = "use Coordinator::start_periodic_in(ctx, group, interval), or \
+                         Coordinator::builder(..).periodic_group(..)")]
     pub fn set_periodic_group(&mut self, group: GroupId) {
         if let Some((g, _)) = self.periodic.as_mut() {
             *g = group;
@@ -420,8 +591,17 @@ impl Coordinator {
     /// Starts periodic checkpointing of the selected (or default) group.
     pub fn start_periodic(&mut self, ctx: &mut Ctx<'_>, interval: SimDuration) {
         let group = self.pending_periodic_group.take().unwrap_or(GroupId::DEFAULT);
+        self.start_periodic_in(ctx, group, interval);
+    }
+
+    /// Starts (or retargets) periodic checkpointing of `group`. An
+    /// already-running schedule keeps its timer and switches groups.
+    pub fn start_periodic_in(&mut self, ctx: &mut Ctx<'_>, group: GroupId, interval: SimDuration) {
+        let running = self.periodic.is_some();
         self.periodic = Some((group, interval));
-        ctx.post_self(interval, CoordMsg::PeriodicKick);
+        if !running {
+            ctx.post_self(interval, CoordMsg::PeriodicKick);
+        }
     }
 
     /// Stops periodic checkpointing after the current round.
@@ -429,11 +609,25 @@ impl Coordinator {
         self.periodic = None;
     }
 
+    /// Stamps the all-acked time on first completion and records the
+    /// notify→all-acks latency histogram sample.
+    fn mark_all_acked(&mut self, ctx: &mut Ctx<'_>, epoch: u64) {
+        let now = ctx.now();
+        let latency = match self.record_mut(epoch) {
+            Some(rec) if rec.acked.is_none() => {
+                rec.acked = Some(now);
+                now.saturating_duration_since(rec.published)
+            }
+            _ => return,
+        };
+        let t = self.tele(ctx);
+        ctx.telemetry().record_duration(t.notify_to_acks, latency);
+    }
+
     fn on_notify_ack(&mut self, ctx: &mut Ctx<'_>, epoch: u64, node: NodeAddr) {
         let Some(group) = self.group_of(node) else {
             return;
         };
-        let now = ctx.now();
         let Some(round) = self.pending.get_mut(&group) else {
             return;
         };
@@ -441,11 +635,7 @@ impl Coordinator {
             return; // Stale ack (e.g. for a retried, already-aborted round).
         }
         if round.await_ack.remove(&node) && round.await_ack.is_empty() {
-            if let Some(rec) = self.record_mut(epoch) {
-                if rec.acked.is_none() {
-                    rec.acked = Some(now);
-                }
-            }
+            self.mark_all_acked(ctx, epoch);
         }
     }
 
@@ -453,7 +643,6 @@ impl Coordinator {
         let Some(group) = self.group_of(node) else {
             return; // Unsubscribed mid-round (swap-out).
         };
-        let now = ctx.now();
         let Some(round) = self.pending.get_mut(&group) else {
             return;
         };
@@ -466,20 +655,18 @@ impl Coordinator {
             // Duplicate report (don't double-count bytes) or an excluded
             // node surfacing late; the implicit ack still counts.
             if all_acked {
-                if let Some(rec) = self.record_mut(epoch) {
-                    if rec.acked.is_none() {
-                        rec.acked = Some(now);
-                    }
-                }
+                self.mark_all_acked(ctx, epoch);
             }
             return;
         }
         let barrier = round.await_done.is_empty();
         if let Some(rec) = self.record_mut(epoch) {
             rec.captured_bytes += image_bytes;
-            if all_acked && rec.acked.is_none() {
-                rec.acked = Some(now);
-            }
+        }
+        let t = self.tele(ctx);
+        ctx.telemetry().add(t.captured_bytes, image_bytes);
+        if all_acked {
+            self.mark_all_acked(ctx, epoch);
         }
         if barrier {
             self.complete_barrier(ctx, group, epoch);
@@ -489,11 +676,11 @@ impl Coordinator {
     /// Finishes a round whose `await_done` just emptied: records the
     /// outcome and publishes the resume (unless held).
     fn complete_barrier(&mut self, ctx: &mut Ctx<'_>, group: GroupId, epoch: u64) {
-        let excluded = self
+        let (excluded, hold) = self
             .pending
             .get(&group)
-            .map(|r| r.excluded.len() as u32)
-            .unwrap_or(0);
+            .map(|r| (r.excluded.len() as u32, r.hold))
+            .unwrap_or((0, false));
         let outcome = if excluded == 0 {
             EpochOutcome::Committed
         } else {
@@ -505,12 +692,23 @@ impl Coordinator {
             rec.outcome = Some(outcome);
             rec.excluded = excluded;
         }
-        if self.hold_resume {
-            return;
+        let t = self.tele(ctx);
+        match outcome {
+            EpochOutcome::Committed => ctx.telemetry().inc(t.committed),
+            EpochOutcome::Degraded => ctx.telemetry().inc(t.degraded),
+            EpochOutcome::Aborted => unreachable!("barrier completion cannot abort"),
         }
-        self.pending.remove(&group);
+        ctx.telemetry().add(t.excluded, u64::from(excluded));
+        if hold {
+            return; // Span and barrier-hold sample close at release time.
+        }
+        let round = self.pending.remove(&group);
         if let Some(rec) = self.record_mut(epoch) {
             rec.resumed = Some(now);
+        }
+        ctx.telemetry().record_duration(t.barrier_hold, SimDuration::ZERO);
+        if let Some(span) = round.and_then(|r| r.span) {
+            ctx.telemetry().span_exit(span, now);
         }
         self.publish_repeated(ctx, group, BusMsg::Resume { epoch });
     }
@@ -532,6 +730,8 @@ impl Coordinator {
         if let Some(rec) = self.record_mut(epoch) {
             rec.retries += 1;
         }
+        let t = self.tele(ctx);
+        ctx.telemetry().inc(t.retries);
         for m in targets {
             let frame = Frame::new(self.addr, m, BUS_MSG_BYTES, notify);
             ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
@@ -563,9 +763,15 @@ impl Coordinator {
             round.excluded.extend(missing);
             self.complete_barrier(ctx, group, epoch);
         } else {
-            self.pending.remove(&group);
+            let round = self.pending.remove(&group);
             if let Some(rec) = self.record_mut(epoch) {
                 rec.outcome = Some(EpochOutcome::Aborted);
+            }
+            let t = self.tele(ctx);
+            ctx.telemetry().inc(t.aborted);
+            if let Some(span) = round.and_then(|r| r.span) {
+                // No duration sample for an epoch that never resumed.
+                ctx.telemetry().span_discard(span);
             }
             self.publish_repeated(ctx, group, BusMsg::Abort { epoch });
         }
@@ -703,10 +909,14 @@ mod tests {
     }
 
     fn rig(capture_ms: &[u64]) -> (Engine, ComponentId, Vec<ComponentId>) {
-        rig_with(capture_ms, false)
+        rig_full(capture_ms, false, None)
     }
 
-    fn rig_with(capture_ms: &[u64], ack: bool) -> (Engine, ComponentId, Vec<ComponentId>) {
+    fn rig_full(
+        capture_ms: &[u64],
+        ack: bool,
+        policy: Option<FailurePolicy>,
+    ) -> (Engine, ComponentId, Vec<ComponentId>) {
         let mut e = Engine::new(9);
         let lan = e.add_component(Box::new(ControlLan::new(
             100_000_000,
@@ -714,11 +924,11 @@ mod tests {
             SimDuration::from_micros(60),
         )));
         let coord_addr = NodeAddr(100);
-        let coord = e.add_component(Box::new(Coordinator::new(
-            coord_addr,
-            lan,
-            TriggerMode::EventDriven,
-        )));
+        let mut b = Coordinator::builder(coord_addr, lan).mode(TriggerMode::EventDriven);
+        if let Some(policy) = policy {
+            b = b.policy(policy);
+        }
+        let coord = e.add_component(Box::new(b.build()));
         let mut nodes = Vec::new();
         for (i, &ms) in capture_ms.iter().enumerate() {
             let addr = NodeAddr(i as u32 + 1);
@@ -778,10 +988,7 @@ mod tests {
     #[test]
     fn hold_resume_blocks_until_released() {
         let (mut e, coord, nodes) = rig(&[5, 10]);
-        e.with_component::<Coordinator, _>(coord, |c, ctx| {
-            c.set_hold_resume(true);
-            c.trigger(ctx);
-        });
+        e.with_component::<Coordinator, _>(coord, |c, ctx| c.suspend(ctx));
         e.run_for(SimDuration::from_millis(100));
         let c = e.component_ref::<Coordinator>(coord).unwrap();
         assert!(c.barrier_complete());
@@ -870,19 +1077,20 @@ mod tests {
 
     #[test]
     fn crashed_node_degrades_the_epoch() {
-        let (mut e, coord, nodes) = rig(&[5, 5, 5]);
+        let (mut e, coord, nodes) = rig_full(
+            &[5, 5, 5],
+            false,
+            Some(FailurePolicy {
+                ack_timeout: SimDuration::from_millis(10),
+                epoch_deadline: SimDuration::from_millis(100),
+                ..FailurePolicy::default()
+            }),
+        );
         let lan = sim::ComponentId(0);
         e.with_component::<ControlLan, _>(lan, |l, _| {
             l.inject_faults(FaultPlan::new(2).with_crash(2, SimTime::ZERO));
         });
-        e.with_component::<Coordinator, _>(coord, |c, ctx| {
-            c.set_policy(FailurePolicy {
-                ack_timeout: SimDuration::from_millis(10),
-                epoch_deadline: SimDuration::from_millis(100),
-                ..FailurePolicy::default()
-            });
-            c.trigger(ctx);
-        });
+        e.with_component::<Coordinator, _>(coord, |c, ctx| c.trigger(ctx));
         e.run_for(SimDuration::from_millis(200));
         let c = e.component_ref::<Coordinator>(coord).unwrap();
         assert_eq!(c.records[0].outcome, Some(EpochOutcome::Degraded));
@@ -897,15 +1105,16 @@ mod tests {
 
     #[test]
     fn unacked_straggler_aborts_when_degraded_commits_are_disallowed() {
-        let (mut e, coord, nodes) = rig(&[5, 400]);
-        e.with_component::<Coordinator, _>(coord, |c, ctx| {
-            c.set_policy(FailurePolicy {
+        let (mut e, coord, nodes) = rig_full(
+            &[5, 400],
+            false,
+            Some(FailurePolicy {
                 epoch_deadline: SimDuration::from_millis(100),
                 allow_degraded: false,
                 ..FailurePolicy::default()
-            });
-            c.trigger(ctx);
-        });
+            }),
+        );
+        e.with_component::<Coordinator, _>(coord, |c, ctx| c.trigger(ctx));
         e.run_for(SimDuration::from_millis(600));
         let c = e.component_ref::<Coordinator>(coord).unwrap();
         assert_eq!(c.records[0].outcome, Some(EpochOutcome::Aborted));
@@ -922,15 +1131,16 @@ mod tests {
         // The slow node acks (it is alive): excluding it would discard
         // live state, so the epoch must abort even though degraded commits
         // are allowed.
-        let (mut e, coord, nodes) = rig_with(&[5, 400], true);
-        e.with_component::<Coordinator, _>(coord, |c, ctx| {
-            c.set_policy(FailurePolicy {
+        let (mut e, coord, nodes) = rig_full(
+            &[5, 400],
+            true,
+            Some(FailurePolicy {
                 epoch_deadline: SimDuration::from_millis(100),
                 allow_degraded: true,
                 ..FailurePolicy::default()
-            });
-            c.trigger(ctx);
-        });
+            }),
+        );
+        e.with_component::<Coordinator, _>(coord, |c, ctx| c.trigger(ctx));
         e.run_for(SimDuration::from_millis(600));
         let c = e.component_ref::<Coordinator>(coord).unwrap();
         assert_eq!(c.records[0].outcome, Some(EpochOutcome::Aborted));
@@ -940,5 +1150,72 @@ mod tests {
         );
         assert_eq!(c.outcome_counts(), (0, 1, 0));
         let _ = nodes;
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_behave_like_the_builder() {
+        // One release of compatibility: new/set_policy/set_hold_resume/
+        // set_periodic_group must keep working for out-of-tree callers.
+        let lan = ComponentId(0);
+        let mut old = Coordinator::new(NodeAddr(7), lan, TriggerMode::EventDriven);
+        let policy = FailurePolicy {
+            max_notify_retries: 9,
+            ..FailurePolicy::default()
+        };
+        old.set_policy(policy);
+        old.set_hold_resume(true);
+        old.set_periodic_group(GroupId(3));
+        let new = Coordinator::builder(NodeAddr(7), lan)
+            .mode(TriggerMode::EventDriven)
+            .policy(policy)
+            .hold_resume(true)
+            .periodic_group(GroupId(3))
+            .build();
+        assert_eq!(old.addr(), new.addr());
+        assert_eq!(old.policy().max_notify_retries, new.policy().max_notify_retries);
+        assert_eq!(old.hold_resume, new.hold_resume);
+        assert_eq!(old.pending_periodic_group, new.pending_periodic_group);
+        assert_eq!(old.mode, new.mode);
+    }
+
+    #[test]
+    fn telemetry_records_epoch_lifecycle() {
+        let (mut e, coord, _nodes) = rig(&[5, 10]);
+        e.with_component::<Coordinator, _>(coord, |c, ctx| c.trigger(ctx));
+        e.run_for(SimDuration::from_millis(100));
+        let t = e.telemetry();
+        assert_eq!(t.counter_value("coordinator.epochs_committed"), Some(1));
+        assert_eq!(t.counter_value("coordinator.epochs_aborted"), Some(0));
+        assert_eq!(
+            t.counter_value("coordinator.captured_bytes"),
+            Some(2 << 20),
+            "both fake nodes report 1 MiB"
+        );
+        let acks = t.histogram_summary("coordinator.notify_to_acks_ns").unwrap();
+        assert_eq!(acks.count, 1);
+        assert!(acks.max > 0.0, "implicit acks take LAN time");
+        let hold = t.histogram_summary("coordinator.barrier_hold_ns").unwrap();
+        assert_eq!(hold.count, 1);
+        assert_eq!(hold.max, 0.0, "non-held rounds resume at the barrier");
+        let span = t.span_summary("coordinator", "epoch").unwrap();
+        assert_eq!(span.count, 1);
+        assert!(span.min >= 10_000_000.0, "epoch spans the slowest capture");
+    }
+
+    #[test]
+    fn telemetry_records_held_round_hold_time() {
+        let (mut e, coord, _nodes) = rig(&[5, 5]);
+        e.with_component::<Coordinator, _>(coord, |c, ctx| c.suspend(ctx));
+        e.run_for(SimDuration::from_millis(80));
+        e.with_component::<Coordinator, _>(coord, |c, ctx| c.release_resume(ctx));
+        let t = e.telemetry();
+        let hold = t.histogram_summary("coordinator.barrier_hold_ns").unwrap();
+        assert_eq!(hold.count, 1);
+        assert!(
+            hold.max >= 50_000_000.0,
+            "held round's barrier hold is the suspension window, got {}",
+            hold.max
+        );
     }
 }

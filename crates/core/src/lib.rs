@@ -32,6 +32,7 @@ pub use agent::CheckpointAgent;
 pub use baselines::Strategy;
 pub use bus::{BusMsg, BUS_MSG_BYTES};
 pub use coordinator::{
-    Coordinator, EpochOutcome, EpochRecord, FailurePolicy, GroupId, TriggerMode,
+    Coordinator, CoordinatorBuilder, CoordinatorConfig, EpochOutcome, EpochRecord, FailurePolicy,
+    GroupId, TriggerMode,
 };
 pub use delaynode::{DelayNodeHost, DelayNodeStats, OutPort};

@@ -114,11 +114,11 @@ fn build_lab(seed: u64, strategy: Strategy) -> Lab {
     )));
 
     let ops_addr = NodeAddr(1000);
-    let coord = e.add_component(Box::new(Coordinator::new(
-        ops_addr,
-        lan_id,
-        strategy.trigger_mode(),
-    )));
+    let coord = e.add_component(Box::new(
+        Coordinator::builder(ops_addr, lan_id)
+            .mode(strategy.trigger_mode())
+            .build(),
+    ));
 
     let addr_a = NodeAddr(1);
     let addr_b = NodeAddr(2);

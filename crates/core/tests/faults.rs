@@ -128,11 +128,12 @@ fn build_lab(cfg: &FaultCfg) -> Lab {
     }
 
     let ops_addr = NodeAddr(1000);
-    let coord = e.add_component(Box::new(Coordinator::new(
-        ops_addr,
-        lan_id,
-        Strategy::Transparent.trigger_mode(),
-    )));
+    let mut coord_builder =
+        Coordinator::builder(ops_addr, lan_id).mode(Strategy::Transparent.trigger_mode());
+    if let Some(policy) = cfg.policy {
+        coord_builder = coord_builder.policy(policy);
+    }
+    let coord = e.add_component(Box::new(coord_builder.build()));
 
     let addr_a = NodeAddr(1);
     let addr_b = NodeAddr(2);
@@ -223,9 +224,6 @@ fn build_lab(cfg: &FaultCfg) -> Lab {
         lan.attach(addr_dn, Endpoint { component: dn, iface: IfaceId::CONTROL });
     });
     e.with_component::<Coordinator, _>(coord, |c, _| {
-        if let Some(policy) = cfg.policy {
-            c.set_policy(policy);
-        }
         c.subscribe(addr_a);
         c.subscribe(addr_b);
         c.subscribe(addr_dn);

@@ -15,12 +15,14 @@
 //! - [`Testbed::snapshot`] / [`Testbed::travel_to`] — the time-travel
 //!   tree (§6).
 
+mod errors;
 mod services;
 mod spec;
 mod swap;
 mod testbed;
 mod timetravel;
 
+pub use errors::{SpecError, SwapError, TestbedError};
 pub use services::FileServer;
 pub use spec::{ExperimentSpec, LanSpec, LinkSpec, NodeSpec};
 pub use swap::{NodeState, SwapInReport, SwapInWarning, SwapOutReport, SwappedExperiment};

@@ -8,6 +8,8 @@
 
 use sim::SimDuration;
 
+use crate::errors::SpecError;
+
 /// One experiment node (a PC running the user's chosen image).
 #[derive(Clone, Debug)]
 pub struct NodeSpec {
@@ -68,6 +70,15 @@ impl ExperimentSpec {
         self
     }
 
+    /// Adds a node running a specific image from the testbed library.
+    pub fn node_with_image(mut self, name: &str, image: &str) -> Self {
+        self.nodes.push(NodeSpec {
+            name: name.to_string(),
+            image: image.to_string(),
+        });
+        self
+    }
+
     /// Adds a shaped link between two nodes.
     pub fn link(mut self, a: &str, b: &str, bandwidth_bps: u64, delay: SimDuration, loss: f64) -> Self {
         self.links.push(LinkSpec {
@@ -90,26 +101,31 @@ impl ExperimentSpec {
         self
     }
 
-    /// Validates the topology (every link/LAN endpoint exists).
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the topology (every link/LAN endpoint exists, node
+    /// names unique).
+    pub fn validate(&self) -> Result<(), SpecError> {
         let has = |n: &str| self.nodes.iter().any(|x| x.name == n);
         for l in &self.links {
             if !has(&l.a) || !has(&l.b) {
-                return Err(format!("link {}–{} references unknown node", l.a, l.b));
+                return Err(SpecError::UnknownLinkEndpoint {
+                    a: l.a.clone(),
+                    b: l.b.clone(),
+                });
             }
         }
         for lan in &self.lans {
             for m in &lan.members {
                 if !has(m) {
-                    return Err(format!("lan references unknown node {m}"));
+                    return Err(SpecError::UnknownLanMember { member: m.clone() });
                 }
             }
         }
         let mut names: Vec<&str> = self.nodes.iter().map(|n| n.name.as_str()).collect();
         names.sort_unstable();
-        names.dedup();
-        if names.len() != self.nodes.len() {
-            return Err("duplicate node name".to_string());
+        for w in names.windows(2) {
+            if w[0] == w[1] {
+                return Err(SpecError::DuplicateNodeName { name: w[0].to_string() });
+            }
         }
         Ok(())
     }
@@ -144,12 +160,18 @@ mod tests {
             SimDuration::ZERO,
             0.0,
         );
-        assert!(s.validate().is_err());
+        assert!(matches!(
+            s.validate(),
+            Err(SpecError::UnknownLinkEndpoint { .. })
+        ));
     }
 
     #[test]
     fn validation_catches_duplicates() {
         let s = ExperimentSpec::new("bad").node("a").node("a");
-        assert!(s.validate().is_err());
+        assert_eq!(
+            s.validate(),
+            Err(SpecError::DuplicateNodeName { name: "a".to_string() })
+        );
     }
 }

@@ -169,6 +169,7 @@ impl Testbed {
     /// Panics if the experiment is not swapped in.
     pub fn swap_out_stateful(&mut self, name: &str) -> SwapOutReport {
         let t0 = self.now();
+        let span = self.engine.telemetry().span_enter(self.tele.swap_out_span, t0);
         let node_hosts: Vec<(String, sim::ComponentId)> = self
             .experiment(name)
             .nodes
@@ -371,6 +372,10 @@ impl Testbed {
         };
         self.store_swapped(name.to_string(), swapped);
 
+        let tele = self.engine.telemetry();
+        tele.span_exit(span, self.now());
+        tele.record_duration(self.tele.swap_out_ns, self.now() - t0);
+        tele.inc(self.tele.swap_outs);
         SwapOutReport {
             total: self.now() - t0,
             precopy,
@@ -404,7 +409,7 @@ impl Testbed {
         // degrade to a golden-image reload rather than wedging the
         // experiment.
         let fetch_start = self.now();
-        if let Err(reason) = self.swap_in_with(swapped.spec.clone(), Some(&swapped)) {
+        if let Err(err) = self.swap_in_with(swapped.spec.clone(), Some(&swapped)) {
             for n in &swapped.nodes {
                 let _ = self.fs_store_mut().remove_image(n.image_id);
             }
@@ -416,7 +421,7 @@ impl Testbed {
                 delta_download: SimDuration::ZERO,
                 memory_download: SimDuration::ZERO,
                 lazy: false,
-                warning: Some(SwapInWarning::StateLost { reason }),
+                warning: Some(SwapInWarning::StateLost { reason: err.to_string() }),
             };
         }
         let image_fetch = self.now() - fetch_start;
@@ -507,6 +512,9 @@ impl Testbed {
             let _ = self.fs_store_mut().remove_image(n.image_id);
         }
 
+        self.engine
+            .telemetry()
+            .record_duration(self.tele.stateful_swap_in_ns, self.now() - t0);
         SwapInReport {
             total: self.now() - t0,
             image_fetch,

@@ -12,15 +12,19 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use checkpoint::{CheckpointAgent, Coordinator, DelayNodeHost, GroupId, OutPort, TriggerMode};
+use checkpoint::{CheckpointAgent, Coordinator, DelayNodeHost, GroupId, OutPort, Strategy};
 use ckptstore::{ChunkStore, Dec};
 use cowstore::{BranchingStore, CowMode, GoldenImage, GoldenImageBuilder, StoreLayout};
 use dummynet::PipeConfig;
 use guestos::{GuestProg, Kernel, KernelConfig, Tid};
 use hwsim::{ControlLan, Endpoint, IfaceId, Link, NodeAddr, Pc3000};
-use sim::{transmission_time, ComponentId, Engine, SimDuration, SimTime};
+use sim::{
+    transmission_time, ComponentId, CounterId, Engine, HistogramId, SimDuration, SimTime, SpanId,
+    Telemetry,
+};
 use vmm::{DomainImage, ExpPort, VmHost, VmHostConfig, VmmTuning};
 
+use crate::errors::{SwapError, TestbedError};
 use crate::services::FileServer;
 use crate::spec::ExperimentSpec;
 use crate::swap::SwappedExperiment;
@@ -73,6 +77,35 @@ pub struct Experiment {
     pub tt: TimeTravelTree,
 }
 
+/// Telemetry instrument ids of the testbed control paths (registered
+/// once at construction; recording is index-based and allocation-free).
+#[derive(Clone, Copy)]
+pub(crate) struct TestbedTele {
+    pub(crate) swap_ins: CounterId,
+    pub(crate) swap_outs: CounterId,
+    pub(crate) checkpoints: CounterId,
+    pub(crate) swap_in_ns: HistogramId,
+    pub(crate) swap_out_ns: HistogramId,
+    pub(crate) stateful_swap_in_ns: HistogramId,
+    pub(crate) swap_in_span: SpanId,
+    pub(crate) swap_out_span: SpanId,
+}
+
+impl TestbedTele {
+    fn register(t: &Telemetry) -> Self {
+        TestbedTele {
+            swap_ins: t.counter("testbed.swap_ins"),
+            swap_outs: t.counter("testbed.swap_outs"),
+            checkpoints: t.counter("testbed.checkpoints"),
+            swap_in_ns: t.histogram("testbed.swap_in_ns"),
+            swap_out_ns: t.histogram("testbed.swap_out_ns"),
+            stateful_swap_in_ns: t.histogram("testbed.stateful_swap_in_ns"),
+            swap_in_span: t.span("testbed", "swap_in"),
+            swap_out_span: t.span("testbed", "swap_out"),
+        }
+    }
+}
+
 /// A scheduled program start (the Emulab event system, §2).
 struct ProgramEvent {
     at: SimTime,
@@ -116,11 +149,23 @@ pub struct Testbed {
     fs_store: ChunkStore,
     /// Pending scheduled program starts, sorted by time.
     events: Vec<ProgramEvent>,
+    /// The checkpointing strategy hosts and coordinator are wired for.
+    strategy: Strategy,
+    /// Control-path instrument ids (engine-owned registry).
+    pub(crate) tele: TestbedTele,
 }
 
 impl Testbed {
-    /// Creates a testbed with `machines` physical machines.
+    /// Creates a testbed with `machines` physical machines, running the
+    /// paper's transparent checkpoint strategy.
     pub fn new(seed: u64, machines: usize) -> Self {
+        Self::with_strategy(seed, machines, Strategy::Transparent)
+    }
+
+    /// Creates a testbed whose coordinator and hosts follow `strategy`
+    /// (trigger mode, downtime concealment, notification jitter) — the
+    /// baseline-comparison knob of the XTRA experiments.
+    pub fn with_strategy(seed: u64, machines: usize, strategy: Strategy) -> Self {
         let profile = Pc3000::default();
         let mut engine = Engine::new(seed);
         let lan = engine.add_component(Box::new(ControlLan::new(
@@ -128,13 +173,11 @@ impl Testbed {
             profile.ctrl_lan_latency,
             profile.ctrl_lan_jitter,
         )));
-        let coordinator = engine.add_component(Box::new(Coordinator::new(
-            OPS_ADDR,
-            lan,
-            TriggerMode::Scheduled {
-                lead: SimDuration::from_millis(200),
-            },
-        )));
+        let coordinator = engine.add_component(Box::new(
+            Coordinator::builder(OPS_ADDR, lan)
+                .mode(strategy.trigger_mode())
+                .build(),
+        ));
         let fileserver = engine.add_component(Box::new(FileServer::new(FS_ADDR, lan)));
         engine.with_component::<ControlLan, _>(lan, |l, _| {
             l.attach(OPS_ADDR, Endpoint { component: coordinator, iface: IfaceId::CONTROL });
@@ -151,6 +194,9 @@ impl Testbed {
                     .build(),
             ),
         );
+        let tele = TestbedTele::register(engine.telemetry());
+        let mut fs_store = ChunkStore::new();
+        fs_store.attach_telemetry(engine.telemetry());
         Testbed {
             engine,
             profile,
@@ -171,9 +217,22 @@ impl Testbed {
             next_group: 1,
             groups: HashMap::new(),
             fs_uplink_free: SimTime::ZERO,
-            fs_store: ChunkStore::new(),
+            fs_store,
             events: Vec::new(),
+            strategy,
+            tele,
         }
+    }
+
+    /// The engine's telemetry registry: every layer of the testbed
+    /// (coordinator, hosts, dedup store, swap paths) records into it.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.engine.telemetry()
+    }
+
+    /// The strategy this testbed runs.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
     }
 
     /// The file server's content-addressed image store (dedup accounting:
@@ -360,14 +419,12 @@ impl Testbed {
     // Allocation and transfers.
     // ------------------------------------------------------------------
 
-    fn alloc_machine(&mut self) -> Result<usize, String> {
-        let m = self
-            .pool
-            .iter_mut()
-            .find(|m| !m.in_use)
-            .ok_or("no free machines")?;
+    /// Claims a free machine. Callers check capacity up front
+    /// ([`Testbed::swap_in_with`]) so a partial allocation never leaks.
+    fn alloc_machine(&mut self) -> Option<usize> {
+        let m = self.pool.iter_mut().find(|m| !m.in_use)?;
         m.in_use = true;
-        Ok(m.id)
+        Some(m.id)
     }
 
     fn free_machine(&mut self, id: usize) {
@@ -409,7 +466,7 @@ impl Testbed {
 
     /// Swaps in a fresh experiment: allocates machines, loads images,
     /// builds the topology, boots. Returns the swap-in duration.
-    pub fn swap_in(&mut self, spec: ExperimentSpec) -> Result<SimDuration, String> {
+    pub fn swap_in(&mut self, spec: ExperimentSpec) -> Result<SimDuration, SwapError> {
         self.swap_in_with(spec, None)
     }
 
@@ -418,10 +475,22 @@ impl Testbed {
         &mut self,
         spec: ExperimentSpec,
         state: Option<&SwappedExperiment>,
-    ) -> Result<SimDuration, String> {
+    ) -> Result<SimDuration, SwapError> {
         spec.validate()?;
         if self.experiments.contains_key(&spec.name) {
-            return Err(format!("experiment {} already swapped in", spec.name));
+            return Err(SwapError::AlreadySwappedIn { name: spec.name });
+        }
+        // All resource checks happen before anything is claimed, so a
+        // failed swap-in leaves the testbed untouched.
+        for n in &spec.nodes {
+            if !self.images.contains_key(&n.image) {
+                return Err(TestbedError::UnknownImage { image: n.image.clone() }.into());
+            }
+        }
+        let needed = spec.machines_needed();
+        let free = self.free_machines();
+        if needed > free {
+            return Err(TestbedError::NoFreeMachines { needed, free }.into());
         }
         // Stateful swap-in: the preserved domains come back from the file
         // server's dedup store as byte images — loaded (every chunk
@@ -431,35 +500,42 @@ impl Testbed {
         if let Some(sw) = state {
             for nspec in &spec.nodes {
                 let st = sw.node_state(&nspec.name);
-                let bytes = self
-                    .fs_store
-                    .load_image(st.image_id)
-                    .map_err(|e| format!("swap-in {}: {e}", nspec.name))?;
+                let bytes = self.fs_store.load_image(st.image_id).map_err(|e| {
+                    SwapError::StateLoad { node: nspec.name.clone(), source: e }
+                })?;
                 let mut d = Dec::new(&bytes);
                 d.expect_image(crate::swap::SWAP_IMAGE_KIND)
-                    .map_err(|e| format!("swap-in {}: bad image header: {e:?}", nspec.name))?;
-                let img = DomainImage::decode_wire(&mut d, &st.residue)
-                    .map_err(|e| format!("swap-in {}: malformed image: {e:?}", nspec.name))?;
+                    .map_err(|e| SwapError::StateDecode {
+                        node: nspec.name.clone(),
+                        detail: format!("bad image header: {e:?}"),
+                    })?;
+                let img = DomainImage::decode_wire(&mut d, &st.residue).map_err(|e| {
+                    SwapError::StateDecode {
+                        node: nspec.name.clone(),
+                        detail: format!("malformed image: {e:?}"),
+                    }
+                })?;
                 if d.remaining() != 0 {
-                    return Err(format!("swap-in {}: trailing image bytes", nspec.name));
+                    return Err(SwapError::StateDecode {
+                        node: nspec.name.clone(),
+                        detail: "trailing image bytes".to_string(),
+                    });
                 }
                 restored_images.push(img);
             }
         }
         let t0 = self.engine.now();
+        let span = self.engine.telemetry().span_enter(self.tele.swap_in_span, t0);
 
         // Allocate machines: nodes then delay nodes.
         let mut machines = Vec::new();
-        for _ in 0..spec.machines_needed() {
-            machines.push(self.alloc_machine()?);
+        for _ in 0..needed {
+            machines.push(self.alloc_machine().expect("capacity checked above"));
         }
 
         // Image distribution (cached images skip the transfer).
         let mut images_done = self.engine.now();
         for (i, n) in spec.nodes.iter().enumerate() {
-            if !self.images.contains_key(&n.image) {
-                return Err(format!("unknown image {}", n.image));
-            }
             let done = self.ensure_image_cached(machines[i], &n.image);
             images_done = images_done.max(done);
         }
@@ -489,7 +565,8 @@ impl Testbed {
             // Per-node clock personality: deterministic from the node index.
             let off = 1_500_000 + 700_000 * (rngseed as i64 % 7) - 2_000_000;
             let drift = 10.0 + 9.0 * (rngseed as f64 % 8.0) - 35.0;
-            let agent = CheckpointAgent::new(OPS_ADDR);
+            let agent = CheckpointAgent::new(OPS_ADDR)
+                .with_processing_jitter(self.strategy.processing_jitter_mean());
             let host = VmHost::new(
                 VmHostConfig {
                     node: addr,
@@ -501,7 +578,7 @@ impl Testbed {
                     clock_offset_ns: off,
                     clock_drift_ppm: drift,
                     auto_resume: false,
-                    conceal_downtime: true,
+                    conceal_downtime: self.strategy.conceals_downtime(),
                 },
                 store,
                 kernel,
@@ -693,7 +770,12 @@ impl Testbed {
                 tt,
             },
         );
-        Ok(self.engine.now() - t0)
+        let dur = self.engine.now() - t0;
+        let t = self.engine.telemetry();
+        t.span_exit(span, self.engine.now());
+        t.record_duration(self.tele.swap_in_ns, dur);
+        t.inc(self.tele.swap_ins);
+        Ok(dur)
     }
 
     // ------------------------------------------------------------------
@@ -713,8 +795,7 @@ impl Testbed {
             .unwrap_or(GroupId::DEFAULT);
         let coord = self.coordinator;
         self.engine.with_component::<Coordinator, _>(coord, |c, ctx| {
-            c.set_periodic_group(group);
-            c.start_periodic(ctx, interval)
+            c.start_periodic_in(ctx, group, interval)
         });
     }
 
@@ -742,6 +823,7 @@ impl Testbed {
     pub fn checkpoint_experiment(&mut self, exp: &str) {
         let group = self.group_of(exp);
         let coord = self.coordinator;
+        self.engine.telemetry().inc(self.tele.checkpoints);
         self.engine
             .with_component::<Coordinator, _>(coord, |c, ctx| c.trigger_in(ctx, group));
         // Lead (200 ms) + capture + barrier: poll to completion.
@@ -764,10 +846,8 @@ impl Testbed {
     pub(crate) fn suspend_all(&mut self, exp: &str) {
         let group = self.group_of(exp);
         let coord = self.coordinator;
-        self.engine.with_component::<Coordinator, _>(coord, |c, ctx| {
-            c.set_hold_resume(true);
-            c.trigger_in(ctx, group);
-        });
+        self.engine
+            .with_component::<Coordinator, _>(coord, |c, ctx| c.suspend_in(ctx, group));
         for _ in 0..200 {
             self.engine.run_for(SimDuration::from_millis(50));
             let done = self
@@ -786,10 +866,8 @@ impl Testbed {
     pub(crate) fn release_all(&mut self, exp: &str) {
         let group = self.group_of(exp);
         let coord = self.coordinator;
-        self.engine.with_component::<Coordinator, _>(coord, |c, ctx| {
-            c.release_resume_in(ctx, group);
-            c.set_hold_resume(false);
-        });
+        self.engine
+            .with_component::<Coordinator, _>(coord, |c, ctx| c.release_resume_in(ctx, group));
         self.engine.run_for(SimDuration::from_millis(10));
     }
 

@@ -446,11 +446,13 @@ impl Testbed {
                     });
             }
         }
-        // The coordinator still holds a completed barrier; clear it.
+        // The coordinator still holds the suspended round; abandon it
+        // (the restored execution was resumed directly above).
         let coord = self.coordinator();
+        let group = self.group_of(exp);
         self.engine
-            .with_component::<checkpoint::Coordinator, _>(coord, |c, _| {
-                c.set_hold_resume(false);
+            .with_component::<checkpoint::Coordinator, _>(coord, |c, ctx| {
+                c.abandon_round_in(ctx, group);
             });
 
         self.experiments_mut(exp).tt.set_current(snap);
@@ -704,9 +706,10 @@ mod tests {
             }
         }
         let coord = b.coordinator();
+        let group = b.group_of("det");
         b.engine
-            .with_component::<checkpoint::Coordinator, _>(coord, |c, _| {
-                c.set_hold_resume(false);
+            .with_component::<checkpoint::Coordinator, _>(coord, |c, ctx| {
+                c.abandon_round_in(ctx, group);
             });
         b.run_for(sim::SimDuration::from_millis(1));
         b.run_for(SimDuration::from_secs(3));

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use crate::event::{ComponentId, EventId, Scheduler};
 use crate::rng::SimRng;
+use crate::telemetry::Telemetry;
 use crate::time::{SimDuration, SimTime};
 
 /// A simulated entity that reacts to events.
@@ -56,6 +57,7 @@ pub struct Ctx<'a> {
     new_components: &'a mut Vec<(ComponentId, Box<dyn Component>)>,
     next_component_id: &'a mut u32,
     stop: &'a mut bool,
+    telemetry: &'a Telemetry,
 }
 
 impl Ctx<'_> {
@@ -114,6 +116,11 @@ impl Ctx<'_> {
     pub fn stop(&mut self) {
         *self.stop = true;
     }
+
+    /// The engine-wide telemetry registry (clone the handle to keep it).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.telemetry
+    }
 }
 
 /// The simulation engine.
@@ -126,6 +133,7 @@ pub struct Engine {
     stop: bool,
     events_dispatched: u64,
     events_dropped: u64,
+    telemetry: Telemetry,
 }
 
 impl Engine {
@@ -143,12 +151,20 @@ impl Engine {
             stop: false,
             events_dispatched: 0,
             events_dropped: 0,
+            telemetry: Telemetry::new(),
         }
     }
 
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The engine-wide telemetry registry. All components dispatched by
+    /// this engine record into it via [`Ctx::telemetry`]; external code
+    /// (benches, testbed drivers) may clone the handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Total events dispatched so far.
@@ -252,6 +268,7 @@ impl Engine {
                 new_components: &mut pending,
                 next_component_id: &mut self.next_component_id,
                 stop: &mut self.stop,
+                telemetry: &self.telemetry,
             };
             let t = slot
                 .as_any_mut()
@@ -293,6 +310,7 @@ impl Engine {
                 new_components: &mut pending,
                 next_component_id: &mut self.next_component_id,
                 stop: &mut self.stop,
+                telemetry: &self.telemetry,
             };
             comp.handle(&mut ctx, ev.payload);
         }

@@ -37,6 +37,7 @@ mod event;
 mod fault;
 mod rng;
 pub mod stats;
+pub mod telemetry;
 mod time;
 pub mod trace;
 
@@ -44,6 +45,9 @@ pub use engine::{Component, Ctx, Engine};
 pub use event::{ComponentId, EventId};
 pub use fault::FaultPlan;
 pub use rng::SimRng;
+pub use telemetry::{
+    ActiveSpan, CounterId, GaugeId, HistogramId, HistogramSummary, SpanId, SpanRecord, Telemetry,
+};
 pub use time::{transmission_time, SimDuration, SimTime};
 
 /// Expands to the [`Component`] `as_any`/`as_any_mut` upcast boilerplate.

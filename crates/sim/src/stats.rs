@@ -110,6 +110,21 @@ mod tests {
     }
 
     #[test]
+    fn percentile_duplicate_values() {
+        // Runs of equal samples must not confuse nearest-rank selection.
+        let xs = [2.0, 2.0, 2.0, 2.0, 9.0];
+        assert_eq!(percentile(&xs, 0.0), 2.0);
+        assert_eq!(percentile(&xs, 0.5), 2.0);
+        assert_eq!(percentile(&xs, 0.8), 2.0, "rank 4 is still in the run");
+        assert_eq!(percentile(&xs, 0.81), 9.0, "rank 5 leaves the run");
+        assert_eq!(percentile(&xs, 1.0), 9.0);
+        let all_same = [5.0; 7];
+        for p in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&all_same, p), 5.0);
+        }
+    }
+
+    #[test]
     fn fraction_within_counts() {
         let xs = [10.0, 10.5, 11.0, 20.0];
         assert!((fraction_within(&xs, 10.0, 1.0) - 0.75).abs() < 1e-12);

@@ -1,0 +1,720 @@
+//! Unified telemetry: a metrics registry plus lightweight span tracing.
+//!
+//! One [`Telemetry`] handle is owned by the engine and threaded to every
+//! layer (coordinator, VMM hosts, testbed, chunk store, benches) through
+//! [`Ctx::telemetry`](crate::Ctx::telemetry) or by cloning the handle.
+//! Handles are cheap `Rc` clones over one shared registry, so all
+//! instruments recorded anywhere in a simulation land in a single,
+//! exportable table.
+//!
+//! # Instruments
+//!
+//! - **Counters** — monotonically increasing `u64` totals (retries,
+//!   dedup hits, committed epochs).
+//! - **Gauges** — last-written `f64` values (free machines, refcounts).
+//! - **Histograms** — fixed-bucket distributions with `p50/p90/p99/max`
+//!   summaries computed by [`stats::percentile`] over bucket
+//!   representatives. The default bucket ladder is a 1–2–5 geometric
+//!   series suited to nanosecond durations (1 µs … 1000 s).
+//! - **Spans** — `span_enter`/`span_exit` pairs keyed by component +
+//!   label, timed in virtual [`SimTime`]. Each span family keeps a
+//!   duration histogram plus a bounded log of raw `(start, end)` records.
+//!
+//! # Hot-path cost
+//!
+//! Registration (by name) interns strings once and returns `Copy` ids;
+//! recording through an id is an index into a preallocated slot table —
+//! no hashing and no allocation. The only allocating record path is the
+//! bounded span log, whose backing `Vec` is reserved up front.
+//!
+//! # Determinism
+//!
+//! Exports ([`Telemetry::to_csv`], [`Telemetry::to_json`]) emit rows
+//! sorted by `(kind, name)` so equal-seed runs produce byte-identical
+//! output regardless of registration order.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::stats;
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a counter slot. Obtained from [`Telemetry::counter`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a gauge slot. Obtained from [`Telemetry::gauge`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a histogram slot. Obtained from [`Telemetry::histogram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// Handle to a span family (component + label). Obtained from
+/// [`Telemetry::span`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+/// An entered, not-yet-exited span occurrence; the token returned by
+/// [`Telemetry::span_enter`] and consumed by [`Telemetry::span_exit`].
+#[derive(Clone, Copy, Debug)]
+pub struct ActiveSpan {
+    id: SpanId,
+    start: SimTime,
+}
+
+impl ActiveSpan {
+    /// Virtual time at which the span was entered.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+}
+
+/// One completed span occurrence from the bounded span log.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// `component/label` of the span family.
+    pub name: String,
+    /// Virtual enter time.
+    pub start: SimTime,
+    /// Virtual exit time.
+    pub end: SimTime,
+}
+
+/// Distribution summary of a histogram or span family.
+///
+/// Percentiles are nearest-rank over bucket representatives, so they are
+/// upper bounds accurate to one bucket (the 1–2–5 default ladder bounds
+/// the relative error at 2.5×; samples that fall exactly on a bucket
+/// boundary are exact). `min`/`max` are exact.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (exact).
+    pub sum: f64,
+    /// Smallest sample (exact).
+    pub min: f64,
+    /// Largest sample (exact).
+    pub max: f64,
+    /// Median (bucket-resolution).
+    pub p50: f64,
+    /// 90th percentile (bucket-resolution).
+    pub p90: f64,
+    /// 99th percentile (bucket-resolution).
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// The all-zero summary of an empty histogram.
+    pub const EMPTY: HistogramSummary = HistogramSummary {
+        count: 0,
+        sum: 0.0,
+        min: 0.0,
+        max: 0.0,
+        p50: 0.0,
+        p90: 0.0,
+        p99: 0.0,
+    };
+}
+
+/// Fixed-bucket histogram: counts per bucket plus exact min/max/sum.
+struct Hist {
+    /// Upper bounds of the finite buckets, ascending; one implicit
+    /// overflow bucket above the last bound.
+    bounds: Vec<f64>,
+    /// `counts.len() == bounds.len() + 1` (last slot = overflow).
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Hist {
+    fn new(bounds: Vec<f64>) -> Self {
+        let n = bounds.len();
+        Hist {
+            bounds,
+            counts: vec![0; n + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        // Bucket = first bound >= v; bounds are few (≲32), a linear scan
+        // beats binary search on typical duration data.
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Expands bucket counts into per-sample representatives and summarizes
+    /// via [`stats::percentile`] (nearest-rank, identical to summarizing the
+    /// raw samples when they sit on bucket bounds).
+    fn summary(&self) -> HistogramSummary {
+        if self.count == 0 {
+            return HistogramSummary::EMPTY;
+        }
+        // Representative of bucket i = its upper bound clamped into the
+        // observed [min, max] range; the overflow bucket reports max.
+        // Clamping keeps single-bucket data exact and never reports a
+        // percentile outside the observed range.
+        let rep = |i: usize| -> f64 {
+            let b = self.bounds.get(i).copied().unwrap_or(self.max);
+            b.clamp(self.min, self.max)
+        };
+        let (p50, p90, p99) = if self.count <= 65_536 {
+            let mut samples = Vec::with_capacity(self.count as usize);
+            for (i, &c) in self.counts.iter().enumerate() {
+                for _ in 0..c {
+                    samples.push(rep(i));
+                }
+            }
+            (
+                stats::percentile(&samples, 0.50),
+                stats::percentile(&samples, 0.90),
+                stats::percentile(&samples, 0.99),
+            )
+        } else {
+            // Same nearest-rank definition, walked over cumulative counts
+            // to avoid materializing huge sample vectors.
+            let q = |p: f64| -> f64 {
+                let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+                let mut seen = 0;
+                for (i, &c) in self.counts.iter().enumerate() {
+                    seen += c;
+                    if seen >= rank {
+                        return rep(i);
+                    }
+                }
+                self.max
+            };
+            (q(0.50), q(0.90), q(0.99))
+        };
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            p50,
+            p90,
+            p99,
+        }
+    }
+}
+
+/// Default histogram bounds: a 1–2–5 ladder from 1 µs to 1000 s,
+/// expressed in nanoseconds (histograms most often record durations).
+fn duration_bounds() -> Vec<f64> {
+    let mut v = Vec::with_capacity(28);
+    let mut decade = 1e3; // 1 µs
+    while decade <= 1e11 {
+        v.push(decade);
+        v.push(2.0 * decade);
+        v.push(5.0 * decade);
+        decade *= 10.0;
+    }
+    v.push(1e12); // 1000 s
+    v
+}
+
+struct SpanSlot {
+    name: String, // "component/label"
+    hist: Hist,
+    entered: u64,
+}
+
+const SPAN_LOG_CAP: usize = 4096;
+
+#[derive(Default)]
+struct Inner {
+    counter_names: Vec<String>,
+    counters: Vec<u64>,
+    counter_index: HashMap<String, usize>,
+    gauge_names: Vec<String>,
+    gauges: Vec<f64>,
+    gauge_index: HashMap<String, usize>,
+    hist_names: Vec<String>,
+    hists: Vec<Hist>,
+    hist_index: HashMap<String, usize>,
+    spans: Vec<SpanSlot>,
+    span_index: HashMap<String, usize>,
+    span_log: Vec<(SpanId, SimTime, SimTime)>,
+    span_log_dropped: u64,
+}
+
+/// Cheap-clone handle to the shared telemetry registry.
+///
+/// See the [module docs](self) for the instrument taxonomy and the
+/// zero-allocation hot-path contract.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Telemetry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    // ---- registration (cold path, idempotent by name) ----
+
+    /// Registers (or looks up) a counter by name.
+    pub fn counter(&self, name: &str) -> CounterId {
+        let mut r = self.inner.borrow_mut();
+        if let Some(&i) = r.counter_index.get(name) {
+            return CounterId(i);
+        }
+        let i = r.counters.len();
+        r.counters.push(0);
+        r.counter_names.push(name.to_string());
+        r.counter_index.insert(name.to_string(), i);
+        CounterId(i)
+    }
+
+    /// Registers (or looks up) a gauge by name.
+    pub fn gauge(&self, name: &str) -> GaugeId {
+        let mut r = self.inner.borrow_mut();
+        if let Some(&i) = r.gauge_index.get(name) {
+            return GaugeId(i);
+        }
+        let i = r.gauges.len();
+        r.gauges.push(0.0);
+        r.gauge_names.push(name.to_string());
+        r.gauge_index.insert(name.to_string(), i);
+        GaugeId(i)
+    }
+
+    /// Registers (or looks up) a histogram with the default duration
+    /// bucket ladder (1 µs … 1000 s, in ns).
+    pub fn histogram(&self, name: &str) -> HistogramId {
+        self.histogram_with_bounds(name, &[])
+    }
+
+    /// Registers (or looks up) a histogram with explicit ascending bucket
+    /// upper bounds (empty = default duration ladder). Bounds are fixed at
+    /// first registration; later calls with the same name reuse them.
+    pub fn histogram_with_bounds(&self, name: &str, bounds: &[f64]) -> HistogramId {
+        let mut r = self.inner.borrow_mut();
+        if let Some(&i) = r.hist_index.get(name) {
+            return HistogramId(i);
+        }
+        let bounds = if bounds.is_empty() {
+            duration_bounds()
+        } else {
+            debug_assert!(
+                bounds.windows(2).all(|w| w[0] < w[1]),
+                "histogram bounds must be strictly ascending"
+            );
+            bounds.to_vec()
+        };
+        let i = r.hists.len();
+        r.hists.push(Hist::new(bounds));
+        r.hist_names.push(name.to_string());
+        r.hist_index.insert(name.to_string(), i);
+        HistogramId(i)
+    }
+
+    /// Registers (or looks up) a span family keyed by component + label.
+    pub fn span(&self, component: &str, label: &str) -> SpanId {
+        let name = format!("{component}/{label}");
+        let mut r = self.inner.borrow_mut();
+        if let Some(&i) = r.span_index.get(&name) {
+            return SpanId(i);
+        }
+        if r.span_log.capacity() == 0 {
+            r.span_log.reserve_exact(SPAN_LOG_CAP);
+        }
+        let i = r.spans.len();
+        r.spans.push(SpanSlot {
+            name: name.clone(),
+            hist: Hist::new(duration_bounds()),
+            entered: 0,
+        });
+        r.span_index.insert(name, i);
+        SpanId(i)
+    }
+
+    // ---- recording (hot path: index + add, no allocation) ----
+
+    /// Adds `n` to a counter.
+    pub fn add(&self, id: CounterId, n: u64) {
+        self.inner.borrow_mut().counters[id.0] += n;
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Sets a gauge to `v`.
+    pub fn set_gauge(&self, id: GaugeId, v: f64) {
+        self.inner.borrow_mut().gauges[id.0] = v;
+    }
+
+    /// Records one sample into a histogram.
+    pub fn record(&self, id: HistogramId, v: f64) {
+        self.inner.borrow_mut().hists[id.0].record(v);
+    }
+
+    /// Records a duration (in ns) into a histogram.
+    pub fn record_duration(&self, id: HistogramId, d: SimDuration) {
+        self.record(id, d.as_nanos() as f64);
+    }
+
+    /// Opens a span occurrence at virtual time `now`. Store the returned
+    /// token and close it with [`Telemetry::span_exit`]; drop it with
+    /// [`Telemetry::span_discard`] if the operation aborts.
+    pub fn span_enter(&self, id: SpanId, now: SimTime) -> ActiveSpan {
+        self.inner.borrow_mut().spans[id.0].entered += 1;
+        ActiveSpan { id, start: now }
+    }
+
+    /// Closes a span occurrence at virtual time `now`, recording its
+    /// duration in the family histogram and the bounded span log.
+    pub fn span_exit(&self, span: ActiveSpan, now: SimTime) {
+        let mut r = self.inner.borrow_mut();
+        let d = now.saturating_duration_since(span.start);
+        r.spans[span.id.0].hist.record(d.as_nanos() as f64);
+        if r.span_log.len() < SPAN_LOG_CAP {
+            r.span_log.push((span.id, span.start, now));
+        } else {
+            r.span_log_dropped += 1;
+        }
+    }
+
+    /// Abandons a span occurrence without recording a duration (e.g. an
+    /// aborted checkpoint); only the `entered` count keeps the trace.
+    pub fn span_discard(&self, span: ActiveSpan) {
+        let _ = span;
+    }
+
+    // ---- reads (cold path) ----
+
+    /// Current value of a counter, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let r = self.inner.borrow();
+        r.counter_index.get(name).map(|&i| r.counters[i])
+    }
+
+    /// Current value of a gauge, if registered.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        let r = self.inner.borrow();
+        r.gauge_index.get(name).map(|&i| r.gauges[i])
+    }
+
+    /// Summary of a histogram, if registered.
+    pub fn histogram_summary(&self, name: &str) -> Option<HistogramSummary> {
+        let r = self.inner.borrow();
+        r.hist_index.get(name).map(|&i| r.hists[i].summary())
+    }
+
+    /// Summary of a span family's durations, if registered.
+    pub fn span_summary(&self, component: &str, label: &str) -> Option<HistogramSummary> {
+        let r = self.inner.borrow();
+        r.span_index
+            .get(&format!("{component}/{label}"))
+            .map(|&i| r.spans[i].hist.summary())
+    }
+
+    /// Completed span occurrences from the bounded log, in completion
+    /// order (at most the first 4096; later completions are dropped and
+    /// counted, but family histograms keep every sample).
+    pub fn span_records(&self) -> Vec<SpanRecord> {
+        let r = self.inner.borrow();
+        r.span_log
+            .iter()
+            .map(|&(id, start, end)| SpanRecord {
+                name: r.spans[id.0].name.clone(),
+                start,
+                end,
+            })
+            .collect()
+    }
+
+    /// Span completions dropped because the bounded log filled up.
+    pub fn span_records_dropped(&self) -> u64 {
+        self.inner.borrow().span_log_dropped
+    }
+
+    fn rows(&self) -> Vec<(&'static str, String, Row)> {
+        let r = self.inner.borrow();
+        let mut rows: Vec<(&'static str, String, Row)> = Vec::new();
+        for (i, name) in r.counter_names.iter().enumerate() {
+            rows.push(("counter", name.clone(), Row::Counter(r.counters[i])));
+        }
+        for (i, name) in r.gauge_names.iter().enumerate() {
+            rows.push(("gauge", name.clone(), Row::Gauge(r.gauges[i])));
+        }
+        for (i, name) in r.hist_names.iter().enumerate() {
+            rows.push(("histogram", name.clone(), Row::Hist(r.hists[i].summary())));
+        }
+        for s in &r.spans {
+            rows.push(("span", s.name.clone(), Row::Hist(s.hist.summary())));
+        }
+        rows.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        rows
+    }
+
+    /// Exports every instrument as CSV with header
+    /// `kind,name,value,count,sum,min,max,p50,p90,p99`, rows sorted by
+    /// `(kind, name)` for run-to-run determinism.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,value,count,sum,min,max,p50,p90,p99\n");
+        for (kind, name, row) in self.rows() {
+            match row {
+                Row::Counter(v) => {
+                    let _ = writeln!(out, "{kind},{name},{v},,,,,,,");
+                }
+                Row::Gauge(v) => {
+                    let _ = writeln!(out, "{kind},{name},{v},,,,,,,");
+                }
+                Row::Hist(s) => {
+                    let _ = writeln!(
+                        out,
+                        "{kind},{name},,{},{},{},{},{},{},{}",
+                        s.count, s.sum, s.min, s.max, s.p50, s.p90, s.p99
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Exports every instrument as a JSON object keyed by kind then name,
+    /// sorted for run-to-run determinism.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for (kind, name, row) in self.rows() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{:?}:", format!("{kind}:{name}"));
+            match row {
+                Row::Counter(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Row::Gauge(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Row::Hist(s) => {
+                    let _ = write!(
+                        out,
+                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                        s.count, s.sum, s.min, s.max, s.p50, s.p90, s.p99
+                    );
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+enum Row {
+    Counter(u64),
+    Gauge(f64),
+    Hist(HistogramSummary),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_idempotently() {
+        let t = Telemetry::new();
+        let c1 = t.counter("x.count");
+        let c2 = t.counter("x.count");
+        assert_eq!(c1, c2);
+        t.inc(c1);
+        t.add(c2, 4);
+        assert_eq!(t.counter_value("x.count"), Some(5));
+        assert_eq!(t.counter_value("missing"), None);
+        let g = t.gauge("x.level");
+        t.set_gauge(g, 2.5);
+        assert_eq!(t.gauge_value("x.level"), Some(2.5));
+    }
+
+    #[test]
+    fn histogram_summary_matches_exact_percentile_on_bucket_bounds() {
+        // Samples placed exactly on bucket bounds summarize identically to
+        // running stats::percentile on the raw sample vector.
+        let t = Telemetry::new();
+        let h = t.histogram("lat");
+        let raw: Vec<f64> = (0..100)
+            .map(|i| match i % 4 {
+                0 => 1_000.0,     // 1 µs bound
+                1 => 20_000.0,    // 20 µs bound
+                2 => 500_000.0,   // 500 µs bound
+                _ => 5_000_000.0, // 5 ms bound
+            })
+            .collect();
+        for &v in &raw {
+            t.record(h, v);
+        }
+        let s = t.histogram_summary("lat").unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, stats::percentile(&raw, 0.50));
+        assert_eq!(s.p90, stats::percentile(&raw, 0.90));
+        assert_eq!(s.p99, stats::percentile(&raw, 0.99));
+        assert_eq!(s.min, stats::percentile(&raw, 0.0));
+        assert_eq!(s.max, stats::percentile(&raw, 1.0));
+        assert_eq!(s.sum, raw.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn histogram_single_sample_is_exact() {
+        let t = Telemetry::new();
+        let h = t.histogram("one");
+        t.record(h, 1_234.0);
+        let s = t.histogram_summary("one").unwrap();
+        assert_eq!((s.count, s.min, s.max), (1, 1_234.0, 1_234.0));
+        // The lone sample's bucket representative clamps to [min, max].
+        assert_eq!(s.p50, 1_234.0);
+        assert_eq!(s.p99, 1_234.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_stay_within_observed_range() {
+        let t = Telemetry::new();
+        let h = t.histogram("range");
+        t.record(h, 3_000.0); // inside the (2 µs, 5 µs] bucket
+        t.record(h, 3_500.0);
+        t.record(h, 1e13); // beyond the last bound → overflow bucket
+        let s = t.histogram_summary("range").unwrap();
+        assert_eq!(s.max, 1e13);
+        assert!(s.p50 >= s.min && s.p50 <= s.max);
+        assert_eq!(s.p99, 1e13, "overflow bucket reports the exact max");
+    }
+
+    #[test]
+    fn custom_bounds_are_respected() {
+        let t = Telemetry::new();
+        let h = t.histogram_with_bounds("sizes", &[10.0, 100.0, 1000.0]);
+        for v in [5.0, 50.0, 500.0, 5000.0] {
+            t.record(h, v);
+        }
+        let s = t.histogram_summary("sizes").unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5000.0);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zeroed() {
+        let t = Telemetry::new();
+        t.histogram("nothing");
+        assert_eq!(
+            t.histogram_summary("nothing").unwrap(),
+            HistogramSummary::EMPTY
+        );
+    }
+
+    #[test]
+    fn spans_record_durations_against_sim_time() {
+        let t = Telemetry::new();
+        let id = t.span("host", "freeze");
+        let a = t.span_enter(id, SimTime::from_nanos(1_000));
+        t.span_exit(a, SimTime::from_nanos(21_000));
+        let b = t.span_enter(id, SimTime::from_nanos(50_000));
+        t.span_exit(b, SimTime::from_nanos(90_000));
+        let s = t.span_summary("host", "freeze").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 20_000.0);
+        assert_eq!(s.max, 40_000.0);
+        let recs = t.span_records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "host/freeze");
+        assert_eq!(recs[0].start, SimTime::from_nanos(1_000));
+        assert_eq!(recs[1].end, SimTime::from_nanos(90_000));
+    }
+
+    #[test]
+    fn discarded_spans_leave_no_duration_sample() {
+        let t = Telemetry::new();
+        let id = t.span("host", "freeze");
+        let a = t.span_enter(id, SimTime::from_nanos(0));
+        t.span_discard(a);
+        let s = t.span_summary("host", "freeze").unwrap();
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn csv_export_is_sorted_and_stable() {
+        let mk = |order_flipped: bool| {
+            let t = Telemetry::new();
+            // Register in different orders; export must not care.
+            if order_flipped {
+                t.counter("b.two");
+                t.counter("a.one");
+            } else {
+                t.counter("a.one");
+                t.counter("b.two");
+            }
+            let h = t.histogram("lat");
+            t.record(h, 1_000.0);
+            let s = t.span("x", "y");
+            let a = t.span_enter(s, SimTime::ZERO);
+            t.span_exit(a, SimTime::from_nanos(2_000));
+            t.to_csv()
+        };
+        let csv = mk(false);
+        assert_eq!(csv, mk(true));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,name,value,count,sum,min,max,p50,p90,p99");
+        assert_eq!(lines[1], "counter,a.one,0,,,,,,,");
+        assert_eq!(lines[2], "counter,b.two,0,,,,,,,");
+        assert!(lines[3].starts_with("histogram,lat,,1,"));
+        assert!(lines[4].starts_with("span,x/y,,1,"));
+    }
+
+    #[test]
+    fn json_export_contains_all_kinds() {
+        let t = Telemetry::new();
+        let c = t.counter("n");
+        t.add(c, 7);
+        let g = t.gauge("g");
+        t.set_gauge(g, 1.5);
+        let h = t.histogram("h");
+        t.record(h, 1_000.0);
+        let j = t.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"counter:n\":7"));
+        assert!(j.contains("\"gauge:g\":1.5"));
+        assert!(j.contains("\"histogram:h\":{\"count\":1"));
+    }
+
+    #[test]
+    fn span_log_is_bounded_but_histograms_keep_everything() {
+        let t = Telemetry::new();
+        let id = t.span("x", "y");
+        for i in 0..(SPAN_LOG_CAP as u64 + 10) {
+            let a = t.span_enter(id, SimTime::from_nanos(i));
+            t.span_exit(a, SimTime::from_nanos(i + 100));
+        }
+        assert_eq!(t.span_records().len(), SPAN_LOG_CAP);
+        assert_eq!(t.span_records_dropped(), 10);
+        assert_eq!(
+            t.span_summary("x", "y").unwrap().count,
+            SPAN_LOG_CAP as u64 + 10
+        );
+    }
+}

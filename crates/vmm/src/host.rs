@@ -27,7 +27,10 @@ use hwsim::{
     DiskQueue, Frame, HardwareClock, IfaceId, LanTransmit, LinkDeliver, LinkTransmit, NodeAddr,
     Pc3000, SharedCpu,
 };
-use sim::{transmission_time, Component, ComponentId, Ctx, EventId, SimDuration, SimTime};
+use sim::{
+    transmission_time, ActiveSpan, Component, ComponentId, CounterId, Ctx, EventId, HistogramId,
+    SimDuration, SimTime, SpanId,
+};
 
 use crate::agent::HostAgent;
 use crate::domain::{Domain, DomainImage};
@@ -219,6 +222,18 @@ pub struct VmHost {
     agent: Option<Box<dyn HostAgent>>,
     /// Counters.
     pub stats: HostStats,
+
+    tele: Option<HostTele>,
+    /// Span opened at the freeze, closed when the guest resumes.
+    freeze_span: Option<ActiveSpan>,
+}
+
+/// Telemetry instrument handles, registered lazily on first use.
+#[derive(Clone, Copy)]
+struct HostTele {
+    downtime: HistogramId,
+    freezes: CounterId,
+    freeze_span: SpanId,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -266,8 +281,21 @@ impl VmHost {
             mirror: None,
             agent,
             stats: HostStats::default(),
+            tele: None,
+            freeze_span: None,
             cfg,
         }
+    }
+
+    fn tele(&mut self, ctx: &Ctx<'_>) -> HostTele {
+        *self.tele.get_or_insert_with(|| {
+            let t = ctx.telemetry();
+            HostTele {
+                downtime: t.histogram("vmhost.downtime_ns"),
+                freezes: t.counter("vmhost.freezes"),
+                freeze_span: t.span("vmhost", "freeze"),
+            }
+        })
     }
 
     /// Adds an experiment-network route.
@@ -729,6 +757,9 @@ impl VmHost {
         }
         self.freeze_real = ctx.now();
         self.stats.freeze_history.push(ctx.now());
+        let t = self.tele(ctx);
+        ctx.telemetry().inc(t.freezes);
+        self.freeze_span = Some(ctx.telemetry().span_enter(t.freeze_span, ctx.now()));
         // Stop the tick source.
         if let Some(ev) = self.tick_ev.take() {
             ctx.cancel(ev);
@@ -811,7 +842,13 @@ impl VmHost {
         // The epoch outlives its rollback window once the guest runs again.
         self.prev_image = None;
         let now = ctx.now();
-        self.stats.total_downtime += now.saturating_duration_since(self.freeze_real);
+        let downtime = now.saturating_duration_since(self.freeze_real);
+        self.stats.total_downtime += downtime;
+        let t = self.tele(ctx);
+        ctx.telemetry().record_duration(t.downtime, downtime);
+        if let Some(span) = self.freeze_span.take() {
+            ctx.telemetry().span_exit(span, now);
+        }
         let clock_ns = self.clock.read_ns(now);
         let conceal = self.cfg.conceal_downtime;
         let d = self.domain.as_mut().expect("domain present");
