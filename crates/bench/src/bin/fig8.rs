@@ -56,8 +56,9 @@ fn run_phase(seed: u64, mode: CowMode, aged: bool, phase: BonniePhase) -> PhaseR
                 break;
             }
         }
-        e.with_component::<VmHost, _>(host, |h, _| {
-            let _ = h.store_mut().seal_branch();
+        e.with_component::<VmHost, _>(host, |h, ctx| {
+            let now = ctx.now();
+            let _ = h.store_mut().seal_branch(now);
         });
     }
 

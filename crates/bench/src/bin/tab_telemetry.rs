@@ -10,7 +10,7 @@
 //! an observer with its own clock.
 //!
 //! The exported table is `results/tab_telemetry.csv`, one row per
-//! instrument: `kind,name,value,count,sum,min,max,p50,p90,p99`.
+//! instrument: `kind,name,value,count,sum,min,max,p50,p90,p99,overflow`.
 
 use checkpoint::Strategy;
 use emulab::{ExperimentSpec, Testbed};
@@ -62,7 +62,7 @@ fn main() {
     println!("  {:<10} {:<34} {:>9} {:>12} {:>12}", "kind", "name", "count", "p50", "p99");
     for line in a.lines().skip(1) {
         let f: Vec<&str> = line.split(',').collect();
-        // kind,name,value,count,sum,min,max,p50,p90,p99
+        // kind,name,value,count,sum,min,max,p50,p90,p99,overflow
         if f[0] == "histogram" || f[0] == "span" {
             println!("  {:<10} {:<34} {:>9} {:>12} {:>12}", f[0], f[1], f[3], f[7], f[9]);
             shown += 1;

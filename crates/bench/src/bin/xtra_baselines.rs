@@ -18,6 +18,7 @@
 
 use checkpoint::Strategy;
 use emulab::{ExperimentSpec, Testbed};
+use sim::telemetry::names;
 use sim::{HistogramSummary, SimDuration};
 use tcd_bench::{banner, write_csv};
 use workloads::{IperfReceiver, IperfSender};
@@ -81,9 +82,9 @@ fn run(strategy: Strategy) -> Row {
         max_gap_us: gaps.iter().copied().max().unwrap_or(0) / 1000,
         max_suspend_skew_us: skew / 1000,
         throughput_mbps: tb_totals.bytes_delivered as f64 / 1e6 / 27.0,
-        acks: summary("coordinator.notify_to_acks_ns"),
-        hold: summary("coordinator.barrier_hold_ns"),
-        downtime: summary("vmhost.downtime_ns"),
+        acks: summary(names::COORD_NOTIFY_TO_ACKS_NS),
+        hold: summary(names::COORD_BARRIER_HOLD_NS),
+        downtime: summary(names::VMHOST_DOWNTIME_NS),
     }
 }
 

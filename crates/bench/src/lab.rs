@@ -273,8 +273,8 @@ impl Lab {
                 .histogram_summary(name)
                 .unwrap_or(sim::HistogramSummary::EMPTY)
         };
-        let acks = summary("coordinator.notify_to_acks_ns");
-        let hold = summary("coordinator.barrier_hold_ns");
+        let acks = summary(sim::telemetry::names::COORD_NOTIFY_TO_ACKS_NS);
+        let hold = summary(sim::telemetry::names::COORD_BARRIER_HOLD_NS);
         LabOutcome {
             retransmissions: ta.retransmissions + tb.retransmissions,
             timeouts: ta.timeouts + tb.timeouts,

@@ -13,6 +13,7 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 
+use sim::telemetry::names;
 use sim::{CounterId, Telemetry};
 
 use crate::hash::{chunk_hash, ChunkHash};
@@ -176,13 +177,13 @@ impl ChunkStore {
     pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
         let t = telemetry.clone();
         self.tele = Some(StoreTele {
-            chunks_new: t.counter("ckptstore.chunks_new"),
-            dedup_hits: t.counter("ckptstore.dedup_hits"),
-            logical_bytes: t.counter("ckptstore.logical_bytes"),
-            new_physical_bytes: t.counter("ckptstore.new_physical_bytes"),
-            repairs: t.counter("ckptstore.replica_repairs"),
-            scrub_heals: t.counter("ckptstore.scrub_heals"),
-            replicas_added: t.counter("ckptstore.replicas_added"),
+            chunks_new: t.counter(names::CKPT_CHUNKS_NEW),
+            dedup_hits: t.counter(names::CKPT_DEDUP_HITS),
+            logical_bytes: t.counter(names::CKPT_LOGICAL_BYTES),
+            new_physical_bytes: t.counter(names::CKPT_NEW_PHYSICAL_BYTES),
+            repairs: t.counter(names::CKPT_REPLICA_REPAIRS),
+            scrub_heals: t.counter(names::CKPT_SCRUB_HEALS),
+            replicas_added: t.counter(names::CKPT_REPLICAS_ADDED),
             t,
         });
     }

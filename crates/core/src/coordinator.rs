@@ -19,8 +19,10 @@ use std::collections::{HashMap, HashSet};
 
 use clocksync::{NtpRequest, NtpServer};
 use hwsim::{Frame, HardwareClock, LanTransmit, LinkDeliver, NodeAddr};
+use sim::telemetry::names;
 use sim::{
     ActiveSpan, Component, ComponentId, CounterId, Ctx, HistogramId, SimDuration, SimTime, SpanId,
+    TraceTag, TrackId,
 };
 
 use crate::bus::{BusMsg, BUS_MSG_BYTES};
@@ -184,6 +186,14 @@ struct CoordTele {
     excluded: CounterId,
     captured_bytes: CounterId,
     epoch_span: SpanId,
+    /// Epoch-phase timeline row (on the ops node's pid).
+    track: TrackId,
+    ev_epoch: TraceTag,
+    ev_notify: TraceTag,
+    ev_all_acked: TraceTag,
+    ev_barrier: TraceTag,
+    ev_resume_released: TraceTag,
+    ev_abandoned: TraceTag,
 }
 
 /// Construction-time configuration for [`Coordinator`], assembled by
@@ -329,18 +339,26 @@ impl Coordinator {
     }
 
     fn tele(&mut self, ctx: &Ctx<'_>) -> CoordTele {
+        let addr = self.addr.0;
         *self.tele.get_or_insert_with(|| {
             let t = ctx.telemetry();
             CoordTele {
-                notify_to_acks: t.histogram("coordinator.notify_to_acks_ns"),
-                barrier_hold: t.histogram("coordinator.barrier_hold_ns"),
-                retries: t.counter("coordinator.retries"),
-                committed: t.counter("coordinator.epochs_committed"),
-                aborted: t.counter("coordinator.epochs_aborted"),
-                degraded: t.counter("coordinator.epochs_degraded"),
-                excluded: t.counter("coordinator.nodes_excluded"),
-                captured_bytes: t.counter("coordinator.captured_bytes"),
-                epoch_span: t.span("coordinator", "epoch"),
+                notify_to_acks: t.histogram(names::COORD_NOTIFY_TO_ACKS_NS),
+                barrier_hold: t.histogram(names::COORD_BARRIER_HOLD_NS),
+                retries: t.counter(names::COORD_RETRIES),
+                committed: t.counter(names::COORD_EPOCHS_COMMITTED),
+                aborted: t.counter(names::COORD_EPOCHS_ABORTED),
+                degraded: t.counter(names::COORD_EPOCHS_DEGRADED),
+                excluded: t.counter(names::COORD_NODES_EXCLUDED),
+                captured_bytes: t.counter(names::COORD_CAPTURED_BYTES),
+                epoch_span: t.span(names::SPAN_COORDINATOR, names::SPAN_EPOCH),
+                track: t.track(addr, names::TRACK_COORDINATOR),
+                ev_epoch: t.trace_tag(names::EV_EPOCH),
+                ev_notify: t.trace_tag(names::EV_EPOCH_NOTIFY),
+                ev_all_acked: t.trace_tag(names::EV_EPOCH_ALL_ACKED),
+                ev_barrier: t.trace_tag(names::EV_EPOCH_BARRIER),
+                ev_resume_released: t.trace_tag(names::EV_EPOCH_RESUME_RELEASED),
+                ev_abandoned: t.trace_tag(names::EV_EPOCH_ABANDONED),
             }
         })
     }
@@ -383,6 +401,10 @@ impl Coordinator {
         if let Some(span) = round.span {
             ctx.telemetry().span_exit(span, now);
         }
+        ctx.telemetry()
+            .trace_instant(t.track, t.ev_resume_released, now, epoch as i64);
+        ctx.telemetry()
+            .trace_end(t.track, t.ev_epoch, now, epoch as i64);
         self.publish_repeated(ctx, group, BusMsg::Resume { epoch });
     }
 
@@ -401,6 +423,12 @@ impl Coordinator {
             if let Some(span) = round.span {
                 ctx.telemetry().span_discard(span);
             }
+            let t = self.tele(ctx);
+            let now = ctx.now();
+            ctx.telemetry()
+                .trace_instant(t.track, t.ev_abandoned, now, round.epoch as i64);
+            ctx.telemetry()
+                .trace_end(t.track, t.ev_epoch, now, round.epoch as i64);
         }
     }
 
@@ -542,6 +570,9 @@ impl Coordinator {
         };
         let t = self.tele(ctx);
         let span = ctx.telemetry().span_enter(t.epoch_span, ctx.now());
+        let e = epoch as i64;
+        ctx.telemetry().trace_begin(t.track, t.ev_epoch, ctx.now(), e);
+        ctx.telemetry().trace_instant(t.track, t.ev_notify, ctx.now(), e);
         self.pending.insert(
             group,
             Round {
@@ -622,6 +653,8 @@ impl Coordinator {
         };
         let t = self.tele(ctx);
         ctx.telemetry().record_duration(t.notify_to_acks, latency);
+        ctx.telemetry()
+            .trace_instant(t.track, t.ev_all_acked, now, epoch as i64);
     }
 
     fn on_notify_ack(&mut self, ctx: &mut Ctx<'_>, epoch: u64, node: NodeAddr) {
@@ -699,6 +732,8 @@ impl Coordinator {
             EpochOutcome::Aborted => unreachable!("barrier completion cannot abort"),
         }
         ctx.telemetry().add(t.excluded, u64::from(excluded));
+        ctx.telemetry()
+            .trace_instant(t.track, t.ev_barrier, now, epoch as i64);
         if hold {
             return; // Span and barrier-hold sample close at release time.
         }
@@ -710,6 +745,8 @@ impl Coordinator {
         if let Some(span) = round.and_then(|r| r.span) {
             ctx.telemetry().span_exit(span, now);
         }
+        ctx.telemetry()
+            .trace_end(t.track, t.ev_epoch, now, epoch as i64);
         self.publish_repeated(ctx, group, BusMsg::Resume { epoch });
     }
 
@@ -773,6 +810,11 @@ impl Coordinator {
                 // No duration sample for an epoch that never resumed.
                 ctx.telemetry().span_discard(span);
             }
+            let now = ctx.now();
+            ctx.telemetry()
+                .trace_instant(t.track, t.ev_abandoned, now, epoch as i64);
+            ctx.telemetry()
+                .trace_end(t.track, t.ev_epoch, now, epoch as i64);
             self.publish_repeated(ctx, group, BusMsg::Abort { epoch });
         }
     }

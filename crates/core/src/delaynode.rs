@@ -179,11 +179,14 @@ impl DelayNodeHost {
             ctx.cancel(ev);
         }
         self.dn = dn;
+        // Restored instances arrive without telemetry; re-attach.
+        self.dn.attach_telemetry(ctx.telemetry(), self.addr.0);
         self.reschedule_wake(ctx);
     }
 
     /// Boots the node (NTP).
     pub fn start(&mut self, ctx: &mut Ctx<'_>) {
+        self.dn.attach_telemetry(ctx.telemetry(), self.addr.0);
         let d = SimDuration::from_millis(ctx.rng().range_u64(50, 500));
         ctx.post_self(d, DnMsg::NtpPoll);
     }

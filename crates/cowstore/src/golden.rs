@@ -29,10 +29,33 @@ pub struct GoldenImage {
     pub compression: f64,
 }
 
+/// Size summary of a golden image, for telemetry and transfer costing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GoldenStats {
+    /// Capacity in blocks.
+    pub blocks: u64,
+    /// Blocks explicitly written by the builder (the rest synthesize).
+    pub explicit: u64,
+    /// Raw image bytes.
+    pub byte_size: u64,
+    /// Compressed on-the-wire bytes.
+    pub wire_size: u64,
+}
+
 impl GoldenImage {
     /// The raw image size in bytes.
     pub fn byte_size(&self) -> u64 {
         self.blocks * self.block_size as u64
+    }
+
+    /// Size summary (telemetry, cache accounting).
+    pub fn stats(&self) -> GoldenStats {
+        GoldenStats {
+            blocks: self.blocks,
+            explicit: self.explicit.len() as u64,
+            byte_size: self.byte_size(),
+            wire_size: self.wire_size(),
+        }
     }
 
     /// The compressed on-the-wire size (image download cost).

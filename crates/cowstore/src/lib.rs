@@ -22,7 +22,7 @@ mod store;
 
 pub use block::{BitmapBlock, BlockData, DeltaMap};
 pub use freeblock::Ext3Snoop;
-pub use golden::{GoldenImage, GoldenImageBuilder};
+pub use golden::{GoldenImage, GoldenImageBuilder, GoldenStats};
 pub use merge::{merge_reorder, MergeStats};
 pub use mirror::{Direction, MirrorTransfer, RateLimiter};
 pub use store::{BranchingStore, CowMode, StoreLayout, StoreStats};

@@ -10,6 +10,9 @@
 //! touches the experiment; callers that want to account for it get a size
 //! summary back.
 
+use sim::telemetry::names;
+use sim::Telemetry;
+
 use crate::block::DeltaMap;
 
 /// Outcome statistics of a merge.
@@ -23,6 +26,17 @@ pub struct MergeStats {
     pub superseded: u64,
     /// Blocks in the merged output.
     pub merged_blocks: u64,
+}
+
+impl MergeStats {
+    /// Records this merge into the shared registry's `cowstore.*`
+    /// counters (one seal plus its block movement).
+    pub fn record(&self, t: &Telemetry) {
+        t.inc(t.counter(names::COW_SEALS));
+        t.add(t.counter(names::COW_SEAL_DELTA_BLOCKS), self.delta_blocks);
+        t.add(t.counter(names::COW_SEAL_SUPERSEDED), self.superseded);
+        t.add(t.counter(names::COW_SEAL_MERGED_BLOCKS), self.merged_blocks);
+    }
 }
 
 /// Merges `current` into `agg`, newest content winning, and reorders the

@@ -22,7 +22,8 @@ use std::sync::Arc;
 
 use ckptstore::{Dec, DecodeError, Enc};
 use hwsim::{DiskOp, DiskQueue, DiskRequest};
-use sim::{SimRng, SimTime};
+use sim::telemetry::names;
+use sim::{SimRng, SimTime, Telemetry, TraceTag, TrackId};
 
 use crate::block::{BlockData, DeltaMap};
 use crate::freeblock::Ext3Snoop;
@@ -137,6 +138,17 @@ pub struct BranchingStore {
     snoop: Option<Ext3Snoop>,
     /// Activity counters.
     pub stats: StoreStats,
+    /// Trace handles, present once the hosting component attaches the
+    /// shared registry. Not serialized; restore paths re-attach.
+    tele: Option<CowTele>,
+}
+
+/// Telemetry handles of an attached [`BranchingStore`].
+#[derive(Clone, Debug)]
+struct CowTele {
+    t: Telemetry,
+    track: TrackId,
+    ev_seal: TraceTag,
 }
 
 impl BranchingStore {
@@ -155,7 +167,21 @@ impl BranchingStore {
             appends_since_meta: 0,
             snoop: None,
             stats: StoreStats::default(),
+            tele: None,
         }
+    }
+
+    /// Attaches the shared telemetry registry, putting this store's seal
+    /// activity on the `cow` track of `host`. Idempotent.
+    pub fn attach_telemetry(&mut self, t: &Telemetry, host: u32) {
+        if self.tele.is_some() {
+            return;
+        }
+        self.tele = Some(CowTele {
+            t: t.clone(),
+            track: t.track(host, names::TRACK_COW),
+            ev_seal: t.trace_tag(names::EV_COW_SEAL),
+        });
     }
 
     /// Installs an aggregated delta (swap-in path). Slots are assigned in
@@ -478,11 +504,19 @@ impl BranchingStore {
 
     /// Seals the current branch: merges the current delta into the
     /// aggregated delta (with locality reordering) and starts a fresh,
-    /// empty branch — the device-level effect of a swap cycle or snapshot.
-    pub fn seal_branch(&mut self) -> MergeStats {
+    /// empty branch — the device-level effect of a swap cycle or
+    /// snapshot. `now` stamps the seal on the trace timeline when
+    /// telemetry is attached (the merge itself is offline and free at
+    /// experiment time, so the slice is zero-width).
+    pub fn seal_branch(&mut self, now: SimTime) -> MergeStats {
         let cur = self.take_current_delta();
         let (merged, stats) = merge_reorder(&self.agg, &cur);
         self.install_aggregate(merged);
+        if let Some(tele) = &self.tele {
+            tele.t.trace_begin(tele.track, tele.ev_seal, now, stats.delta_blocks as i64);
+            tele.t.trace_end(tele.track, tele.ev_seal, now, stats.merged_blocks as i64);
+            stats.record(&tele.t);
+        }
         stats
     }
 

@@ -85,7 +85,7 @@ fn store_matches_flat_model() {
                 }
                 Op::Seal => {
                     if mode != CowMode::Base {
-                        store.seal_branch();
+                        store.seal_branch(now);
                     }
                 }
             }

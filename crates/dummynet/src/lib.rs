@@ -24,7 +24,8 @@ pub use pipe::{EnqueueOutcome, Pipe, PipeConfig, PipeImage, PipeStats};
 
 use ckptstore::{Dec, DecodeError, Enc};
 use hwsim::Frame;
-use sim::{SimRng, SimTime};
+use sim::telemetry::names;
+use sim::{CounterId, SimRng, SimTime, Telemetry, TraceTag, TrackId};
 
 /// Identifies a pipe within a [`Dummynet`] instance.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -116,6 +117,21 @@ pub struct Dummynet {
     log: Vec<LoggedArrival>,
     /// Total packets logged while suspended, across all checkpoints.
     pub total_logged: u64,
+    /// Trace/counter handles, present once a hosting component attaches
+    /// the shared registry. Not part of checkpointed state: restore
+    /// leaves it empty and the host re-attaches.
+    tele: Option<DnTele>,
+}
+
+/// Telemetry handles of an attached [`Dummynet`] instance.
+#[derive(Clone)]
+struct DnTele {
+    t: Telemetry,
+    track: TrackId,
+    ev_suspended: TraceTag,
+    ev_drain: TraceTag,
+    logged: CounterId,
+    replayed: CounterId,
 }
 
 impl Dummynet {
@@ -158,6 +174,23 @@ impl Dummynet {
         self.suspended_at.is_some()
     }
 
+    /// Attaches the shared telemetry registry, putting this instance's
+    /// suspend/drain activity on the `dummynet` track of `host`.
+    /// Idempotent; hosts call it again after a restore.
+    pub fn attach_telemetry(&mut self, t: &Telemetry, host: u32) {
+        if self.tele.is_some() {
+            return;
+        }
+        self.tele = Some(DnTele {
+            t: t.clone(),
+            track: t.track(host, names::TRACK_DUMMYNET),
+            ev_suspended: t.trace_tag(names::EV_DN_SUSPENDED),
+            ev_drain: t.trace_tag(names::EV_DN_DRAIN),
+            logged: t.counter(names::DN_LOGGED_FRAMES),
+            replayed: t.counter(names::DN_REPLAYED_FRAMES),
+        });
+    }
+
     /// Offers a frame to a pipe. While suspended, the frame is logged
     /// instead of shaped (it was physically in flight at checkpoint time).
     pub fn enqueue(
@@ -174,6 +207,9 @@ impl Dummynet {
                 frame,
             });
             self.total_logged += 1;
+            if let Some(tele) = &self.tele {
+                tele.t.inc(tele.logged);
+            }
             return EnqueueOutcome::LoggedSuspended;
         }
         self.pipes[id.0].enqueue(now, frame, rng)
@@ -206,6 +242,9 @@ impl Dummynet {
     pub fn suspend(&mut self, now: SimTime) {
         assert!(self.suspended_at.is_none(), "double suspend");
         self.suspended_at = Some(now);
+        if let Some(tele) = &self.tele {
+            tele.t.trace_begin(tele.track, tele.ev_suspended, now, 0);
+        }
     }
 
     /// Serializes the full pipe hierarchy non-destructively.
@@ -236,13 +275,28 @@ impl Dummynet {
             p.shift(downtime);
         }
         let log = std::mem::take(&mut self.log);
-        log.into_iter()
+        let actions: Vec<ReplayAction> = log
+            .into_iter()
             .map(|l| ReplayAction {
                 at: l.at + downtime,
                 pipe: l.pipe,
                 frame: l.frame,
             })
-            .collect()
+            .collect();
+        if let Some(tele) = &self.tele {
+            tele.t
+                .trace_end(tele.track, tele.ev_suspended, now, downtime.as_nanos() as i64);
+            if !actions.is_empty() {
+                // The drain window is fully determined here: it spans
+                // from the resume to the last (time-shifted) replay.
+                let n = actions.len() as i64;
+                let last = actions.iter().map(|a| a.at).max().unwrap_or(now).max(now);
+                tele.t.add(tele.replayed, n as u64);
+                tele.t.trace_begin(tele.track, tele.ev_drain, now, n);
+                tele.t.trace_end(tele.track, tele.ev_drain, last, n);
+            }
+        }
+        actions
     }
 
     /// Takes the suspension-window arrival log as offsets from the
@@ -287,6 +341,7 @@ impl Dummynet {
             suspended_at: None,
             log: Vec::new(),
             total_logged: 0,
+            tele: None,
         }
     }
 }

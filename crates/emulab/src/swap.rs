@@ -27,6 +27,7 @@ use cowstore::{merge_reorder, DeltaMap, Direction, MirrorTransfer};
 use dummynet::DummynetImage;
 use guestos::{GuestResidue, TcpSegment};
 use hwsim::NodeAddr;
+use sim::telemetry::names;
 use sim::{SimDuration, SimTime};
 use vmm::{MirrorConfig, VmHost};
 
@@ -315,7 +316,15 @@ impl Testbed {
             let done = self.uplink_transfer(image.dirty_bytes + put.new_physical_bytes);
             transfers_done = transfers_done.max(done);
             // Offline merge with locality reordering (on the file server).
-            let (merged, _stats) = merge_reorder(&old_agg, &filtered);
+            let (merged, stats) = merge_reorder(&old_agg, &filtered);
+            {
+                let t = self.engine.telemetry();
+                let track = t.track(addr.0, names::TRACK_COW);
+                let ev = t.trace_tag(names::EV_COW_SEAL);
+                t.trace_begin(track, ev, done, stats.delta_blocks as i64);
+                t.trace_end(track, ev, done, stats.merged_blocks as i64);
+                stats.record(t);
+            }
             states.push(NodeState {
                 name: node_name.clone(),
                 addr: *addr,

@@ -18,9 +18,10 @@ use cowstore::{BranchingStore, CowMode, GoldenImage, GoldenImageBuilder, StoreLa
 use dummynet::PipeConfig;
 use guestos::{GuestProg, Kernel, KernelConfig, Tid};
 use hwsim::{ControlLan, Endpoint, IfaceId, Link, NodeAddr, Pc3000};
+use sim::telemetry::names;
 use sim::{
     transmission_time, ComponentId, CounterId, Engine, HistogramId, SimDuration, SimTime, SpanId,
-    Telemetry,
+    Telemetry, TraceTag, TrackId,
 };
 use vmm::{DomainImage, ExpPort, VmHost, VmHostConfig, VmmTuning};
 
@@ -89,19 +90,24 @@ pub(crate) struct TestbedTele {
     pub(crate) stateful_swap_in_ns: HistogramId,
     pub(crate) swap_in_span: SpanId,
     pub(crate) swap_out_span: SpanId,
+    /// Testbed control-plane trace track (on the ops node's pid).
+    pub(crate) track: TrackId,
+    pub(crate) ev_golden_fetch: TraceTag,
 }
 
 impl TestbedTele {
     fn register(t: &Telemetry) -> Self {
         TestbedTele {
-            swap_ins: t.counter("testbed.swap_ins"),
-            swap_outs: t.counter("testbed.swap_outs"),
-            checkpoints: t.counter("testbed.checkpoints"),
-            swap_in_ns: t.histogram("testbed.swap_in_ns"),
-            swap_out_ns: t.histogram("testbed.swap_out_ns"),
-            stateful_swap_in_ns: t.histogram("testbed.stateful_swap_in_ns"),
-            swap_in_span: t.span("testbed", "swap_in"),
-            swap_out_span: t.span("testbed", "swap_out"),
+            swap_ins: t.counter(names::TB_SWAP_INS),
+            swap_outs: t.counter(names::TB_SWAP_OUTS),
+            checkpoints: t.counter(names::TB_CHECKPOINTS),
+            swap_in_ns: t.histogram(names::TB_SWAP_IN_NS),
+            swap_out_ns: t.histogram(names::TB_SWAP_OUT_NS),
+            stateful_swap_in_ns: t.histogram(names::TB_STATEFUL_SWAP_IN_NS),
+            swap_in_span: t.span(names::SPAN_TESTBED, names::SPAN_SWAP_IN),
+            swap_out_span: t.span(names::SPAN_TESTBED, names::SPAN_SWAP_OUT),
+            track: t.track(OPS_ADDR.0, names::TRACK_TESTBED),
+            ev_golden_fetch: t.trace_tag(names::EV_GOLDEN_FETCH),
         }
     }
 }
@@ -451,6 +457,8 @@ impl Testbed {
         let wire = self.images[image].wire_size();
         let done = self.uplink_transfer(wire);
         self.pool[machine].cached_images.push(image.to_string());
+        let t = self.engine.telemetry();
+        t.trace_instant(self.tele.track, self.tele.ev_golden_fetch, done, wire as i64);
         done
     }
 

@@ -22,6 +22,7 @@ use cowstore::BlockData;
 use hwsim::NodeAddr;
 
 use crate::actions::{BlockBatch, BlockBatchOp, GuestAction};
+use crate::audit::{ClockEventKind, ClockWitness};
 use crate::firewall::FirewallState;
 use crate::fs::{BufferCache, Ext3Fs};
 use crate::net::socket::SocketTable;
@@ -136,6 +137,9 @@ pub struct Kernel {
     actions: Vec<GuestAction>,
     /// Threads that exited (for experiment completion checks).
     pub exited: u32,
+    /// Guest-observable clock events awaiting a vmm drain. Not guest
+    /// state: excluded from the wire image, drained before capture.
+    pub witness: ClockWitness,
 }
 
 impl Kernel {
@@ -163,6 +167,7 @@ impl Kernel {
             next_rpc: 1,
             actions: Vec::new(),
             exited: 0,
+            witness: ClockWitness::default(),
         }
     }
 
@@ -366,6 +371,7 @@ impl Kernel {
             next_rpc,
             actions,
             exited,
+            witness: ClockWitness::default(),
         })
     }
 
@@ -384,6 +390,8 @@ impl Kernel {
         self.now_ns = guest_now_ns;
         self.jiffies += 1;
         self.xtime_ns = guest_now_ns;
+        self.witness
+            .record(ClockEventKind::Tick, guest_now_ns, self.jiffies);
 
         for tid in self.wheel.expire(self.jiffies) {
             self.wake(tid, SysRet::Ok);
@@ -536,6 +544,8 @@ impl Kernel {
     pub fn prepare_suspend(&mut self, guest_now_ns: u64) -> bool {
         self.now_ns = guest_now_ns;
         self.fw.close(guest_now_ns);
+        self.witness
+            .record(ClockEventKind::FirewallClosed, guest_now_ns, self.jiffies);
         self.suspend_ready()
     }
 
@@ -549,6 +559,8 @@ impl Kernel {
     pub fn finish_resume(&mut self, guest_now_ns: u64) {
         self.fw.open(guest_now_ns);
         self.now_ns = guest_now_ns;
+        self.witness
+            .record(ClockEventKind::FirewallOpened, guest_now_ns, self.jiffies);
         self.run_threads();
     }
 
@@ -695,6 +707,8 @@ impl Kernel {
     fn handle_syscall(&mut self, tid: Tid, sys: Syscall) -> bool {
         match sys {
             Syscall::Gettimeofday => {
+                self.witness
+                    .record(ClockEventKind::ClockRead, self.now_ns, self.jiffies);
                 self.threads[tid.0 as usize].pending_ret = SysRet::Time(self.now_ns);
                 true
             }

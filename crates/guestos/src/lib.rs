@@ -18,6 +18,7 @@
 //! machines issuing one (possibly blocking) [`Syscall`] at a time.
 
 pub mod actions;
+pub mod audit;
 pub mod firewall;
 pub mod fs;
 pub mod kernel;
@@ -28,6 +29,7 @@ pub mod timer;
 pub mod wire;
 
 pub use actions::{BlockBatch, BlockBatchOp, GuestAction};
+pub use audit::{ClockEventKind, ClockObservation, ClockWitness};
 pub use firewall::FirewallState;
 pub use kernel::{Kernel, KernelConfig};
 pub use net::tcp::{TcpConn, TcpSegment, TcpState, TcpStats, MSS};

@@ -45,8 +45,12 @@ pub use engine::{Component, Ctx, Engine};
 pub use event::{ComponentId, EventId};
 pub use fault::FaultPlan;
 pub use rng::SimRng;
+pub use telemetry::audit::{
+    audit_transparency, audit_transparency_with, AuditConfig, AuditReport, AuditViolation,
+};
 pub use telemetry::{
     ActiveSpan, CounterId, GaugeId, HistogramId, HistogramSummary, SpanId, SpanRecord, Telemetry,
+    TraceEvent, TracePhase, TraceTag, TrackId,
 };
 pub use time::{transmission_time, SimDuration, SimTime};
 

@@ -27,19 +27,43 @@
 //! no hashing and no allocation. The only allocating record path is the
 //! bounded span log, whose backing `Vec` is reserved up front.
 //!
+//! # Event-level tracing
+//!
+//! Aggregates answer *how much*; the bounded [trace ring](ring) answers
+//! *what happened when*. Components register a [`TrackId`] (one
+//! `(host, subsystem)` timeline row) and [`TraceTag`]s once, then emit
+//! begin/end/instant events against [`SimTime`] through
+//! [`Telemetry::trace_begin`] and friends — a `Copy` record into a
+//! fixed-capacity overwrite-oldest ring, nothing allocated. The ring
+//! exports as flat CSV ([`Telemetry::trace_to_csv`]) and as Chrome
+//! trace-event / Perfetto JSON ([`Telemetry::trace_to_perfetto`]), and
+//! the [`audit`] module walks the guest tracks to mechanically check the
+//! paper's time-transparency invariants.
+//!
 //! # Determinism
 //!
-//! Exports ([`Telemetry::to_csv`], [`Telemetry::to_json`]) emit rows
-//! sorted by `(kind, name)` so equal-seed runs produce byte-identical
-//! output regardless of registration order.
+//! Exports ([`Telemetry::to_csv`], [`Telemetry::to_json`],
+//! [`Telemetry::trace_to_perfetto`]) emit output that depends only on
+//! what was recorded, never on registration order: metric rows are
+//! sorted by `(kind, name)`, and the Perfetto `pid`/`tid` assignment is
+//! computed at export time from sorted track names.
+
+pub mod audit;
+pub mod names;
+pub mod ring;
+
+pub use ring::{TraceEvent, TracePhase, TraceTag, TrackId};
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
 use crate::stats;
 use crate::time::{SimDuration, SimTime};
+
+use ring::{json_escape, format_ts_us, RawEvent, Ring};
 
 /// Handle to a counter slot. Obtained from [`Telemetry::counter`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -106,6 +130,10 @@ pub struct HistogramSummary {
     pub p90: f64,
     /// 99th percentile (bucket-resolution).
     pub p99: f64,
+    /// Samples that landed above the top finite bucket bound. Their
+    /// exact values are only resolved to `max`, so a nonzero overflow
+    /// flags percentiles that lean on the implicit overflow bucket.
+    pub overflow: u64,
 }
 
 impl HistogramSummary {
@@ -118,6 +146,7 @@ impl HistogramSummary {
         p50: 0.0,
         p90: 0.0,
         p99: 0.0,
+        overflow: 0,
     };
 }
 
@@ -213,6 +242,7 @@ impl Hist {
             p50,
             p90,
             p99,
+            overflow: *self.counts.last().unwrap(),
         }
     }
 }
@@ -255,6 +285,11 @@ struct Inner {
     span_index: HashMap<String, usize>,
     span_log: Vec<(SpanId, SimTime, SimTime)>,
     span_log_dropped: u64,
+    tracks: Vec<(u32, String)>,
+    track_index: HashMap<(u32, String), usize>,
+    tag_names: Vec<String>,
+    tag_index: HashMap<String, usize>,
+    ring: Ring,
 }
 
 /// Cheap-clone handle to the shared telemetry registry.
@@ -350,6 +385,32 @@ impl Telemetry {
         SpanId(i)
     }
 
+    /// Registers (or looks up) a trace track: one `(host, subsystem)`
+    /// timeline row in the Perfetto export (`pid` = host, `tid` =
+    /// subsystem).
+    pub fn track(&self, host: u32, subsystem: &str) -> TrackId {
+        let mut r = self.inner.borrow_mut();
+        if let Some(&i) = r.track_index.get(&(host, subsystem.to_string())) {
+            return TrackId(i);
+        }
+        let i = r.tracks.len();
+        r.tracks.push((host, subsystem.to_string()));
+        r.track_index.insert((host, subsystem.to_string()), i);
+        TrackId(i)
+    }
+
+    /// Registers (or looks up) an interned trace event name.
+    pub fn trace_tag(&self, name: &str) -> TraceTag {
+        let mut r = self.inner.borrow_mut();
+        if let Some(&i) = r.tag_index.get(name) {
+            return TraceTag(i);
+        }
+        let i = r.tag_names.len();
+        r.tag_names.push(name.to_string());
+        r.tag_index.insert(name.to_string(), i);
+        TraceTag(i)
+    }
+
     // ---- recording (hot path: index + add, no allocation) ----
 
     /// Adds `n` to a counter.
@@ -404,7 +465,72 @@ impl Telemetry {
         let _ = span;
     }
 
+    fn trace_push(&self, track: TrackId, tag: TraceTag, phase: TracePhase, at: SimTime, arg: i64) {
+        self.inner.borrow_mut().ring.push(RawEvent {
+            at,
+            track: track.0,
+            tag: tag.0,
+            phase,
+            arg,
+        });
+    }
+
+    /// Opens a duration slice on a track (`ph: "B"`). The meaning of
+    /// `arg` is per-tag (see [`names`]); pass 0 when there is nothing
+    /// to attach.
+    pub fn trace_begin(&self, track: TrackId, tag: TraceTag, at: SimTime, arg: i64) {
+        self.trace_push(track, tag, TracePhase::Begin, at, arg);
+    }
+
+    /// Closes the innermost open slice with the same tag on a track
+    /// (`ph: "E"`).
+    pub fn trace_end(&self, track: TrackId, tag: TraceTag, at: SimTime, arg: i64) {
+        self.trace_push(track, tag, TracePhase::End, at, arg);
+    }
+
+    /// Records a point event on a track (`ph: "i"`).
+    pub fn trace_instant(&self, track: TrackId, tag: TraceTag, at: SimTime, arg: i64) {
+        self.trace_push(track, tag, TracePhase::Instant, at, arg);
+    }
+
+    /// Changes the trace ring capacity (default 65 536 events), keeping
+    /// the newest events that still fit. Capacity 0 disables tracing.
+    pub fn set_trace_capacity(&self, cap: usize) {
+        self.inner.borrow_mut().ring.set_capacity(cap);
+    }
+
     // ---- reads (cold path) ----
+
+    /// Number of events currently retained in the trace ring.
+    pub fn trace_len(&self) -> usize {
+        self.inner.borrow().ring.len()
+    }
+
+    /// Trace events dropped because the ring was full (oldest-first
+    /// overwrite) or tracing was disabled.
+    pub fn trace_dropped(&self) -> u64 {
+        self.inner.borrow().ring.dropped()
+    }
+
+    /// Resolves the retained ring into owned [`TraceEvent`]s,
+    /// oldest-first in record order.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        let r = self.inner.borrow();
+        r.ring
+            .iter()
+            .map(|ev| {
+                let (host, ref subsystem) = r.tracks[ev.track];
+                TraceEvent {
+                    at: ev.at,
+                    host,
+                    subsystem: subsystem.clone(),
+                    name: r.tag_names[ev.tag].clone(),
+                    phase: ev.phase,
+                    arg: ev.arg,
+                }
+            })
+            .collect()
+    }
 
     /// Current value of a counter, if registered.
     pub fn counter_value(&self, name: &str) -> Option<u64> {
@@ -472,23 +598,23 @@ impl Telemetry {
     }
 
     /// Exports every instrument as CSV with header
-    /// `kind,name,value,count,sum,min,max,p50,p90,p99`, rows sorted by
-    /// `(kind, name)` for run-to-run determinism.
+    /// `kind,name,value,count,sum,min,max,p50,p90,p99,overflow`, rows
+    /// sorted by `(kind, name)` for run-to-run determinism.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("kind,name,value,count,sum,min,max,p50,p90,p99\n");
+        let mut out = String::from("kind,name,value,count,sum,min,max,p50,p90,p99,overflow\n");
         for (kind, name, row) in self.rows() {
             match row {
                 Row::Counter(v) => {
-                    let _ = writeln!(out, "{kind},{name},{v},,,,,,,");
+                    let _ = writeln!(out, "{kind},{name},{v},,,,,,,,");
                 }
                 Row::Gauge(v) => {
-                    let _ = writeln!(out, "{kind},{name},{v},,,,,,,");
+                    let _ = writeln!(out, "{kind},{name},{v},,,,,,,,");
                 }
                 Row::Hist(s) => {
                     let _ = writeln!(
                         out,
-                        "{kind},{name},,{},{},{},{},{},{},{}",
-                        s.count, s.sum, s.min, s.max, s.p50, s.p90, s.p99
+                        "{kind},{name},,{},{},{},{},{},{},{},{}",
+                        s.count, s.sum, s.min, s.max, s.p50, s.p90, s.p99, s.overflow
                     );
                 }
             }
@@ -517,14 +643,114 @@ impl Telemetry {
                 Row::Hist(s) => {
                     let _ = write!(
                         out,
-                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
-                        s.count, s.sum, s.min, s.max, s.p50, s.p90, s.p99
+                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"overflow\":{}}}",
+                        s.count, s.sum, s.min, s.max, s.p50, s.p90, s.p99, s.overflow
                     );
                 }
             }
         }
         out.push('}');
         out
+    }
+
+    /// Exports the trace ring as flat CSV with header
+    /// `ts_ns,host,subsystem,name,phase,arg`, oldest-first in record
+    /// order.
+    pub fn trace_to_csv(&self) -> String {
+        let mut out = String::from("ts_ns,host,subsystem,name,phase,arg\n");
+        for ev in self.trace_events() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                ev.at.as_nanos(),
+                ev.host,
+                ev.subsystem,
+                ev.name,
+                ev.phase.code(),
+                ev.arg
+            );
+        }
+        out
+    }
+
+    /// Exports the trace ring as Chrome trace-event JSON loadable by
+    /// Perfetto (`ui.perfetto.dev`) and `chrome://tracing`: `pid` =
+    /// host, `tid` = subsystem track, `ph` = `B`/`E`/`i`, `ts` in µs.
+    ///
+    /// The `pid`/`tid` assignment is computed here, at export time, from
+    /// the sorted set of registered tracks — components registering
+    /// tracks lazily mid-run cannot perturb the output bytes, so
+    /// equal-seed runs export byte-identical documents regardless of
+    /// event interleaving.
+    pub fn trace_to_perfetto(&self) -> String {
+        let r = self.inner.borrow();
+        let mut by_host: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+        for (host, sub) in &r.tracks {
+            by_host.entry(*host).or_default().push(sub);
+        }
+        let mut tid_of: HashMap<(u32, &str), usize> = HashMap::new();
+        for (host, subs) in by_host.iter_mut() {
+            subs.sort_unstable();
+            for (i, sub) in subs.iter().enumerate() {
+                tid_of.insert((*host, *sub), i + 1);
+            }
+        }
+        let mut entries: Vec<String> = Vec::with_capacity(r.ring.len() + r.tracks.len() + 8);
+        for (host, subs) in &by_host {
+            entries.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{host},\"tid\":0,\
+                 \"args\":{{\"name\":\"host-{host}\"}}}}"
+            ));
+            for (i, sub) in subs.iter().enumerate() {
+                entries.push(format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{host},\"tid\":{},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    i + 1,
+                    json_escape(sub)
+                ));
+            }
+        }
+        for ev in r.ring.iter() {
+            let (host, ref sub) = r.tracks[ev.track];
+            let tid = tid_of[&(host, sub.as_str())];
+            let name = json_escape(&r.tag_names[ev.tag]);
+            let ts = format_ts_us(ev.at.as_nanos());
+            let entry = match ev.phase {
+                TracePhase::Begin => format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"B\",\"ts\":{ts},\"pid\":{host},\
+                     \"tid\":{tid},\"args\":{{\"arg\":{}}}}}",
+                    ev.arg
+                ),
+                TracePhase::End => format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"E\",\"ts\":{ts},\"pid\":{host},\
+                     \"tid\":{tid},\"args\":{{\"arg\":{}}}}}",
+                    ev.arg
+                ),
+                TracePhase::Instant => format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{host},\
+                     \"tid\":{tid},\"s\":\"t\",\"args\":{{\"arg\":{}}}}}",
+                    ev.arg
+                ),
+            };
+            entries.push(entry);
+        }
+        format!(
+            "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{}]}}",
+            entries.join(",")
+        )
+    }
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.inner.borrow();
+        f.debug_struct("Telemetry")
+            .field("counters", &r.counters.len())
+            .field("gauges", &r.gauges.len())
+            .field("histograms", &r.hists.len())
+            .field("spans", &r.spans.len())
+            .field("trace_events", &r.ring.len())
+            .finish_non_exhaustive()
     }
 }
 
@@ -679,9 +905,12 @@ mod tests {
         let csv = mk(false);
         assert_eq!(csv, mk(true));
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "kind,name,value,count,sum,min,max,p50,p90,p99");
-        assert_eq!(lines[1], "counter,a.one,0,,,,,,,");
-        assert_eq!(lines[2], "counter,b.two,0,,,,,,,");
+        assert_eq!(
+            lines[0],
+            "kind,name,value,count,sum,min,max,p50,p90,p99,overflow"
+        );
+        assert_eq!(lines[1], "counter,a.one,0,,,,,,,,");
+        assert_eq!(lines[2], "counter,b.two,0,,,,,,,,");
         assert!(lines[3].starts_with("histogram,lat,,1,"));
         assert!(lines[4].starts_with("span,x/y,,1,"));
     }
@@ -700,6 +929,84 @@ mod tests {
         assert!(j.contains("\"counter:n\":7"));
         assert!(j.contains("\"gauge:g\":1.5"));
         assert!(j.contains("\"histogram:h\":{\"count\":1"));
+    }
+
+    #[test]
+    fn histogram_overflow_is_counted_and_exported() {
+        let t = Telemetry::new();
+        let h = t.histogram_with_bounds("sizes", &[10.0, 100.0]);
+        t.record(h, 5.0);
+        t.record(h, 5_000.0); // above the top bound
+        t.record(h, 6_000.0);
+        let s = t.histogram_summary("sizes").unwrap();
+        assert_eq!(s.overflow, 2);
+        let csv_line = t
+            .to_csv()
+            .lines()
+            .find(|l| l.starts_with("histogram,sizes"))
+            .unwrap()
+            .to_string();
+        assert!(csv_line.ends_with(",2"), "overflow is the last CSV column: {csv_line}");
+        assert!(t.to_json().contains("\"overflow\":2"));
+    }
+
+    #[test]
+    fn trace_ring_is_bounded_and_keeps_newest() {
+        let t = Telemetry::new();
+        let tr = t.track(1, "guest");
+        let tag = t.trace_tag("guest.tick");
+        t.set_trace_capacity(8);
+        for i in 0..20 {
+            t.trace_instant(tr, tag, SimTime::from_nanos(i), i as i64);
+        }
+        assert_eq!(t.trace_len(), 8);
+        assert_eq!(t.trace_dropped(), 12);
+        let args: Vec<i64> = t.trace_events().iter().map(|e| e.arg).collect();
+        assert_eq!(args, (12..20).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn trace_csv_resolves_tracks_and_phases() {
+        let t = Telemetry::new();
+        let tr = t.track(3, "vmhost");
+        let tag = t.trace_tag("vm.freeze");
+        t.trace_begin(tr, tag, SimTime::from_nanos(1_000), 0);
+        t.trace_end(tr, tag, SimTime::from_nanos(41_000), 40_000);
+        let csv = t.trace_to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "ts_ns,host,subsystem,name,phase,arg");
+        assert_eq!(lines[1], "1000,3,vmhost,vm.freeze,B,0");
+        assert_eq!(lines[2], "41000,3,vmhost,vm.freeze,E,40000");
+    }
+
+    #[test]
+    fn perfetto_export_is_identical_across_registration_orders() {
+        // The satellite bugfix: lazy mid-run track registration must not
+        // perturb the exported bytes. Register the same tracks in two
+        // different interleavings and emit the same events.
+        let mk = |flipped: bool| {
+            let t = Telemetry::new();
+            let (a, b) = if flipped {
+                (t.track(1, "vmhost"), t.track(1, "guest"))
+            } else {
+                (t.track(1, "guest"), t.track(1, "vmhost"))
+            };
+            let (guest, vmhost) = if flipped { (b, a) } else { (a, b) };
+            let tick = t.trace_tag("guest.tick");
+            let freeze = t.trace_tag("vm.freeze");
+            t.trace_instant(guest, tick, SimTime::from_nanos(10), 10);
+            t.trace_begin(vmhost, freeze, SimTime::from_nanos(20), 0);
+            t.trace_end(vmhost, freeze, SimTime::from_nanos(30), 10);
+            t.trace_to_perfetto()
+        };
+        let json = mk(false);
+        assert_eq!(json, mk(true));
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        // Tracks are tid-ordered alphabetically: guest=1, vmhost=2.
+        assert!(json.contains("{\"name\":\"guest.tick\",\"ph\":\"i\",\"ts\":0.010,\"pid\":1,\"tid\":1,\"s\":\"t\",\"args\":{\"arg\":10}}"));
+        assert!(json.contains("{\"name\":\"vm.freeze\",\"ph\":\"B\",\"ts\":0.020,\"pid\":1,\"tid\":2,\"args\":{\"arg\":0}}"));
     }
 
     #[test]

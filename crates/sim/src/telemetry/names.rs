@@ -1,0 +1,175 @@
+//! Canonical instrument and trace-event names.
+//!
+//! Instrument sites and their readers (benches, tests, the transparency
+//! auditor) used to agree on string literals by convention; a typo at
+//! either end silently produced an always-empty summary. Every layer
+//! that records into the shared registry now names its instruments
+//! through these constants, so the two sides cannot drift apart.
+//!
+//! Naming scheme: `subsystem.metric[_unit]` for counters, gauges and
+//! histograms; `subsystem.event` for trace-event tags; bare subsystem
+//! identifiers for trace tracks and span components.
+
+// ---------------------------------------------------------------------
+// Coordinator (core crate).
+// ---------------------------------------------------------------------
+
+/// Histogram: notification publish → all acks received, ns.
+pub const COORD_NOTIFY_TO_ACKS_NS: &str = "coordinator.notify_to_acks_ns";
+/// Histogram: barrier completion → resume publication, ns.
+pub const COORD_BARRIER_HOLD_NS: &str = "coordinator.barrier_hold_ns";
+/// Counter: notification retransmissions.
+pub const COORD_RETRIES: &str = "coordinator.retries";
+/// Counter: epochs committed cleanly.
+pub const COORD_EPOCHS_COMMITTED: &str = "coordinator.epochs_committed";
+/// Counter: epochs aborted.
+pub const COORD_EPOCHS_ABORTED: &str = "coordinator.epochs_aborted";
+/// Counter: epochs committed degraded (nodes excluded).
+pub const COORD_EPOCHS_DEGRADED: &str = "coordinator.epochs_degraded";
+/// Counter: nodes excluded from barriers.
+pub const COORD_NODES_EXCLUDED: &str = "coordinator.nodes_excluded";
+/// Counter: checkpoint image bytes reported at barriers.
+pub const COORD_CAPTURED_BYTES: &str = "coordinator.captured_bytes";
+
+// ---------------------------------------------------------------------
+// VmHost (vmm crate).
+// ---------------------------------------------------------------------
+
+/// Histogram: freeze → resume real downtime, ns.
+pub const VMHOST_DOWNTIME_NS: &str = "vmhost.downtime_ns";
+/// Counter: temporal-firewall freezes.
+pub const VMHOST_FREEZES: &str = "vmhost.freezes";
+
+// ---------------------------------------------------------------------
+// Checkpoint image store (ckptstore crate).
+// ---------------------------------------------------------------------
+
+/// Counter: chunks inserted with novel content.
+pub const CKPT_CHUNKS_NEW: &str = "ckptstore.chunks_new";
+/// Counter: chunk insertions deduplicated against existing content.
+pub const CKPT_DEDUP_HITS: &str = "ckptstore.dedup_hits";
+/// Counter: logical bytes offered to the store.
+pub const CKPT_LOGICAL_BYTES: &str = "ckptstore.logical_bytes";
+/// Counter: new physical bytes actually stored.
+pub const CKPT_NEW_PHYSICAL_BYTES: &str = "ckptstore.new_physical_bytes";
+/// Counter: corrupt replicas repaired from healthy copies.
+pub const CKPT_REPLICA_REPAIRS: &str = "ckptstore.replica_repairs";
+/// Counter: corruptions healed by scrubbing.
+pub const CKPT_SCRUB_HEALS: &str = "ckptstore.scrub_heals";
+/// Counter: redundant replicas added.
+pub const CKPT_REPLICAS_ADDED: &str = "ckptstore.replicas_added";
+
+// ---------------------------------------------------------------------
+// COW store (cowstore crate).
+// ---------------------------------------------------------------------
+
+/// Counter: branch seals (delta merged into the aggregate).
+pub const COW_SEALS: &str = "cowstore.seals";
+/// Counter: delta blocks offered to seal merges.
+pub const COW_SEAL_DELTA_BLOCKS: &str = "cowstore.seal_delta_blocks";
+/// Counter: blocks superseded during seal merges (newest wins).
+pub const COW_SEAL_SUPERSEDED: &str = "cowstore.seal_superseded_blocks";
+/// Counter: blocks in merged aggregates after seals.
+pub const COW_SEAL_MERGED_BLOCKS: &str = "cowstore.seal_merged_blocks";
+
+// ---------------------------------------------------------------------
+// Dummynet delay nodes (dummynet crate).
+// ---------------------------------------------------------------------
+
+/// Counter: frames logged while shaping was suspended.
+pub const DN_LOGGED_FRAMES: &str = "dummynet.logged_frames";
+/// Counter: logged frames re-enqueued at resume.
+pub const DN_REPLAYED_FRAMES: &str = "dummynet.replayed_frames";
+
+// ---------------------------------------------------------------------
+// Testbed control paths (emulab crate).
+// ---------------------------------------------------------------------
+
+/// Counter: experiment swap-ins.
+pub const TB_SWAP_INS: &str = "testbed.swap_ins";
+/// Counter: experiment swap-outs.
+pub const TB_SWAP_OUTS: &str = "testbed.swap_outs";
+/// Counter: coordinated checkpoints triggered via the testbed.
+pub const TB_CHECKPOINTS: &str = "testbed.checkpoints";
+/// Histogram: swap-in wall time, ns.
+pub const TB_SWAP_IN_NS: &str = "testbed.swap_in_ns";
+/// Histogram: swap-out wall time, ns.
+pub const TB_SWAP_OUT_NS: &str = "testbed.swap_out_ns";
+/// Histogram: stateful swap-in wall time, ns.
+pub const TB_STATEFUL_SWAP_IN_NS: &str = "testbed.stateful_swap_in_ns";
+
+// ---------------------------------------------------------------------
+// Span families (component, label).
+// ---------------------------------------------------------------------
+
+/// Span component of the coordinator's epoch lifecycle.
+pub const SPAN_COORDINATOR: &str = "coordinator";
+/// Span label: one coordinated epoch, publish → resume.
+pub const SPAN_EPOCH: &str = "epoch";
+/// Span component of the VmHost freeze window.
+pub const SPAN_VMHOST: &str = "vmhost";
+/// Span label: one freeze → resume window.
+pub const SPAN_FREEZE: &str = "freeze";
+/// Span component of the testbed swap paths.
+pub const SPAN_TESTBED: &str = "testbed";
+/// Span label: one swap-in.
+pub const SPAN_SWAP_IN: &str = "swap_in";
+/// Span label: one swap-out.
+pub const SPAN_SWAP_OUT: &str = "swap_out";
+
+// ---------------------------------------------------------------------
+// Trace tracks (the `tid` rows of the timeline export).
+// ---------------------------------------------------------------------
+
+/// Track: hypervisor/dom0 activity of a host.
+pub const TRACK_VMHOST: &str = "vmhost";
+/// Track: guest-observable clock events of a host's domain.
+pub const TRACK_GUEST: &str = "guest";
+/// Track: COW store seal/merge activity of a host.
+pub const TRACK_COW: &str = "cow";
+/// Track: Dummynet shaping state of a delay node.
+pub const TRACK_DUMMYNET: &str = "dummynet";
+/// Track: coordinator epoch phases (on the ops node's pid).
+pub const TRACK_COORDINATOR: &str = "coordinator";
+/// Track: testbed control-plane operations (on the ops node's pid).
+pub const TRACK_TESTBED: &str = "testbed";
+
+// ---------------------------------------------------------------------
+// Trace event tags.
+// ---------------------------------------------------------------------
+
+/// B/E: the VmHost freeze window (`arg` of E = real downtime, ns).
+pub const EV_VM_FREEZE: &str = "vm.freeze";
+/// B/E: dom0 capturing the dirty state (`arg` of E = dirty bytes).
+pub const EV_VM_CAPTURE: &str = "vm.capture";
+/// B/E: post-resume replay of frames logged during the freeze
+/// (`arg` = frames replayed).
+pub const EV_VM_RX_REPLAY: &str = "vm.rx_replay";
+/// Instant: a guest `gettimeofday` observation (`arg` = guest ns).
+pub const EV_GUEST_CLOCK_READ: &str = "guest.clock_read";
+/// Instant: a guest timer tick (`arg` = guest ns at the tick).
+pub const EV_GUEST_TICK: &str = "guest.tick";
+/// B/E: the temporal firewall held closed (`arg` = guest ns at the
+/// close / reopen — equal when downtime is concealed).
+pub const EV_GUEST_FW_CLOSED: &str = "guest.fw_closed";
+/// B/E: a COW branch seal merge (`arg` of E = merged blocks).
+pub const EV_COW_SEAL: &str = "cow.seal";
+/// B/E: Dummynet suspended for a checkpoint (`arg` of E = downtime ns).
+pub const EV_DN_SUSPENDED: &str = "dn.suspended";
+/// B/E: Dummynet replaying its suspension log (`arg` = frames).
+pub const EV_DN_DRAIN: &str = "dn.drain";
+/// B/E: one coordinated epoch, publish → resume (`arg` = epoch).
+pub const EV_EPOCH: &str = "epoch";
+/// Instant: epoch notification published (`arg` = epoch).
+pub const EV_EPOCH_NOTIFY: &str = "epoch.notify";
+/// Instant: every participant acked the notification (`arg` = epoch).
+pub const EV_EPOCH_ALL_ACKED: &str = "epoch.all_acked";
+/// Instant: every participant reported done (`arg` = epoch).
+pub const EV_EPOCH_BARRIER: &str = "epoch.barrier";
+/// Instant: a held resume was released (`arg` = epoch).
+pub const EV_EPOCH_RESUME_RELEASED: &str = "epoch.resume_released";
+/// Instant: an epoch was abandoned or aborted (`arg` = epoch).
+pub const EV_EPOCH_ABANDONED: &str = "epoch.abandoned";
+/// Instant: a golden image fetched to a machine's cache
+/// (`arg` = compressed wire bytes).
+pub const EV_GOLDEN_FETCH: &str = "golden.fetch";

@@ -22,14 +22,15 @@ use std::collections::{HashMap, VecDeque};
 use clocksync::{NtpClient, NtpResponse};
 use cowstore::{BlockData, BranchingStore, Direction, MirrorTransfer};
 use guestos::prog::{CtrlReq, CtrlResp};
-use guestos::{GuestAction, Kernel, TcpSegment};
+use guestos::{ClockEventKind, GuestAction, Kernel, TcpSegment};
 use hwsim::{
     DiskQueue, Frame, HardwareClock, IfaceId, LanTransmit, LinkDeliver, LinkTransmit, NodeAddr,
     Pc3000, SharedCpu,
 };
+use sim::telemetry::names;
 use sim::{
     transmission_time, ActiveSpan, Component, ComponentId, CounterId, Ctx, EventId, HistogramId,
-    SimDuration, SimTime, SpanId,
+    SimDuration, SimTime, SpanId, TraceTag, TrackId,
 };
 
 use crate::agent::HostAgent;
@@ -226,7 +227,15 @@ pub struct VmHost {
     tele: Option<HostTele>,
     /// Span opened at the freeze, closed when the guest resumes.
     freeze_span: Option<ActiveSpan>,
+    /// Guest clock reads witnessed so far; workloads read the clock per
+    /// packet, so only every [`CLOCK_READ_STRIDE`]-th read is traced
+    /// (ticks and firewall edges are never sampled away).
+    clock_read_seq: u64,
 }
+
+/// Trace one guest clock read out of this many (observability sampling;
+/// the audit's monotonicity checks hold on any subsequence).
+const CLOCK_READ_STRIDE: u64 = 64;
 
 /// Telemetry instrument handles, registered lazily on first use.
 #[derive(Clone, Copy)]
@@ -234,6 +243,16 @@ struct HostTele {
     downtime: HistogramId,
     freezes: CounterId,
     freeze_span: SpanId,
+    /// Dom0/hypervisor timeline row of this host.
+    track: TrackId,
+    /// Guest-observable clock timeline row of this host's domain.
+    guest_track: TrackId,
+    ev_freeze: TraceTag,
+    ev_capture: TraceTag,
+    ev_rx_replay: TraceTag,
+    ev_clock_read: TraceTag,
+    ev_tick: TraceTag,
+    ev_fw: TraceTag,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -283,17 +302,27 @@ impl VmHost {
             stats: HostStats::default(),
             tele: None,
             freeze_span: None,
+            clock_read_seq: 0,
             cfg,
         }
     }
 
     fn tele(&mut self, ctx: &Ctx<'_>) -> HostTele {
+        let node = self.cfg.node.0;
         *self.tele.get_or_insert_with(|| {
             let t = ctx.telemetry();
             HostTele {
-                downtime: t.histogram("vmhost.downtime_ns"),
-                freezes: t.counter("vmhost.freezes"),
-                freeze_span: t.span("vmhost", "freeze"),
+                downtime: t.histogram(names::VMHOST_DOWNTIME_NS),
+                freezes: t.counter(names::VMHOST_FREEZES),
+                freeze_span: t.span(names::SPAN_VMHOST, names::SPAN_FREEZE),
+                track: t.track(node, names::TRACK_VMHOST),
+                guest_track: t.track(node, names::TRACK_GUEST),
+                ev_freeze: t.trace_tag(names::EV_VM_FREEZE),
+                ev_capture: t.trace_tag(names::EV_VM_CAPTURE),
+                ev_rx_replay: t.trace_tag(names::EV_VM_RX_REPLAY),
+                ev_clock_read: t.trace_tag(names::EV_GUEST_CLOCK_READ),
+                ev_tick: t.trace_tag(names::EV_GUEST_TICK),
+                ev_fw: t.trace_tag(names::EV_GUEST_FW_CLOSED),
             }
         })
     }
@@ -370,6 +399,7 @@ impl VmHost {
     /// frozen (stateful swap-in) starts only its NTP side; the guest's
     /// ticks begin at [`VmHost::resume_guest`].
     pub fn start(&mut self, ctx: &mut Ctx<'_>) {
+        self.store.attach_telemetry(ctx.telemetry(), self.cfg.node.0);
         if !self.frozen() {
             let g = self.guest_ns(ctx.now());
             let tick = self.tick_ns();
@@ -431,9 +461,38 @@ impl VmHost {
     // ------------------------------------------------------------------
 
     fn pump_kernel(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(domain) = self.domain.as_mut() else {
+        if self.domain.is_none() {
             return;
-        };
+        }
+        // Republish the kernel's clock witness as guest-track trace
+        // events: the transparency auditor works from what the guest
+        // actually observed, not from what the vmm intended.
+        let tele = self.tele(ctx);
+        let t = ctx.telemetry().clone();
+        let domain = self.domain.as_mut().expect("domain present");
+        if !domain.kernel.witness.is_empty() {
+            let now = ctx.now();
+            for obs in domain.kernel.witness.drain() {
+                let g = obs.guest_ns as i64;
+                match obs.kind {
+                    ClockEventKind::ClockRead => {
+                        if self.clock_read_seq.is_multiple_of(CLOCK_READ_STRIDE) {
+                            t.trace_instant(tele.guest_track, tele.ev_clock_read, now, g);
+                        }
+                        self.clock_read_seq += 1;
+                    }
+                    ClockEventKind::Tick => {
+                        t.trace_instant(tele.guest_track, tele.ev_tick, now, g)
+                    }
+                    ClockEventKind::FirewallClosed => {
+                        t.trace_begin(tele.guest_track, tele.ev_fw, now, g)
+                    }
+                    ClockEventKind::FirewallOpened => {
+                        t.trace_end(tele.guest_track, tele.ev_fw, now, g)
+                    }
+                }
+            }
+        }
         let actions = domain.kernel.drain_actions();
         for a in actions {
             match a {
@@ -760,6 +819,7 @@ impl VmHost {
         let t = self.tele(ctx);
         ctx.telemetry().inc(t.freezes);
         self.freeze_span = Some(ctx.telemetry().span_enter(t.freeze_span, ctx.now()));
+        ctx.telemetry().trace_begin(t.track, t.ev_freeze, ctx.now(), 0);
         // Stop the tick source.
         if let Some(ev) = self.tick_ev.take() {
             ctx.cancel(ev);
@@ -793,6 +853,8 @@ impl VmHost {
     fn start_capture(&mut self, ctx: &mut Ctx<'_>) {
         debug_assert_eq!(self.phase, CkptPhase::Draining);
         self.phase = CkptPhase::Capturing;
+        let t = self.tele(ctx);
+        ctx.telemetry().trace_begin(t.track, t.ev_capture, ctx.now(), 0);
         let d = self.domain.as_ref().expect("domain present");
         let dirty = (d.dirty_since_ckpt + self.cfg.tuning.dirty_floor).min(d.mem_bytes);
         let capture = transmission_time(dirty, self.cfg.tuning.capture_bps * 8);
@@ -801,12 +863,14 @@ impl VmHost {
 
     fn on_capture_done(&mut self, ctx: &mut Ctx<'_>) {
         debug_assert_eq!(self.phase, CkptPhase::Capturing);
+        let t = self.tele(ctx);
         if self.abort_pending {
             // The epoch aborted mid-capture: discard the would-be image
             // (dirty tracking keeps accumulating toward the next committed
             // checkpoint) and resume as if nothing had been triggered.
             self.abort_pending = false;
             self.stats.freeze_history.pop();
+            ctx.telemetry().trace_end(t.track, t.ev_capture, ctx.now(), 0);
             self.phase = CkptPhase::AwaitResume;
             self.resume_guest(ctx);
             return;
@@ -816,6 +880,8 @@ impl VmHost {
             .as_mut()
             .expect("domain present")
             .capture(self.cfg.tuning.dirty_floor);
+        ctx.telemetry()
+            .trace_end(t.track, t.ev_capture, ctx.now(), image.dirty_bytes as i64);
         // The vCPU context: compute bursts banked at the freeze belong to
         // the image — a restored CPU-bound thread must keep computing.
         image.pending_bursts = self.burst_q.iter().copied().collect();
@@ -848,6 +914,8 @@ impl VmHost {
         ctx.telemetry().record_duration(t.downtime, downtime);
         if let Some(span) = self.freeze_span.take() {
             ctx.telemetry().span_exit(span, now);
+            ctx.telemetry()
+                .trace_end(t.track, t.ev_freeze, now, downtime.as_nanos() as i64);
         }
         let clock_ns = self.clock.read_ns(now);
         let conceal = self.cfg.conceal_downtime;
@@ -904,6 +972,7 @@ impl VmHost {
         // window and the resume boundary carries no information and would
         // otherwise stall delivery for the whole downtime).
         let log = std::mem::take(&mut self.rx_log);
+        let frames = log.len() as i64;
         let mut at = now;
         let mut prev_arrival: Option<SimTime> = None;
         for (arrival, src, seg) in log {
@@ -918,6 +987,12 @@ impl VmHost {
             ctx.post_at(ctx.self_id(), at, VmMsg::RxReplay { src, seg });
         }
         self.replay_until = at;
+        if frames > 0 {
+            // The replay window is fully scheduled here, so its end can
+            // be stamped at the (future) last delivery time up front.
+            ctx.telemetry().trace_begin(t.track, t.ev_rx_replay, now, frames);
+            ctx.telemetry().trace_end(t.track, t.ev_rx_replay, at, frames);
+        }
         self.pump_kernel(ctx);
     }
 
