@@ -1,0 +1,780 @@
+//! BENCH-HOTPATH — wall-clock perf harness for the simulator hot paths.
+//!
+//! Unlike the fig*/tab* regenerators (which pin *simulated-time*
+//! observables), this bench measures *wall-clock* throughput of the two
+//! paths every experiment funnels through:
+//!
+//! - the event scheduler (`sim::Engine`): a dispatch-dominated ticker
+//!   storm and a cancel-heavy timeout churn, reported as events/sec and
+//!   ns/event;
+//! - the capture path (`ckptstore::ChunkStore`): repeated epoch captures
+//!   of a mostly-clean image, reported as MB/s plus dedup and cache
+//!   counters.
+//!
+//! It also times the end-to-end two-node iperf-under-checkpoints lab so
+//! scheduler wins show up at system scale. Results append to
+//! `BENCH_hotpath.json` at the repo root — the perf trajectory every
+//! future optimisation is judged against. Wall-clock numbers are
+//! machine-dependent; the committed JSON records labeled rows (e.g.
+//! `pre-slab-baseline` vs `slab-scheduler`) from the same machine so
+//! ratios are meaningful.
+//!
+//! Modes:
+//! - default: full run, appends one labeled entry to the JSON;
+//! - `--smoke`: tiny workloads, no JSON write (CI exercises the paths);
+//! - `--check`: validate the committed JSON against the schema and exit;
+//! - `--label <name>`: label for the appended entry (default "current").
+
+use std::any::Any;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ckptstore::ChunkStore;
+use sim::{Component, Ctx, Engine, SimDuration};
+use tcd_bench::banner;
+use tcd_bench::lab::{build_lab, LabConfig};
+
+/// Repo-root JSON artifact (path anchored to the crate, not the CWD).
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+const SCHEMA: &str = "tcd-bench-hotpath-v1";
+
+// ---------------------------------------------------------------------------
+// Minimal JSON (no external deps): enough to append + validate our file.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = |out: &mut String, n: usize| {
+            for _ in 0..n {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n:?}");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    let _ = write!(out, "\"{k}\": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    fn to_string_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, 0);
+        s.push('\n');
+        s
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    let key = match self.parse()? {
+                        Json::Str(s) => s,
+                        _ => return Err(self.err("object key must be a string")),
+                    };
+                    self.expect(b':')?;
+                    let val = self.parse()?;
+                    fields.push((key, val));
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.parse()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            b'"' => {
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    let b = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated string"))?;
+                    self.pos += 1;
+                    match b {
+                        b'"' => return Ok(Json::Str(s)),
+                        b'\\' => {
+                            let esc = *self
+                                .bytes
+                                .get(self.pos)
+                                .ok_or_else(|| self.err("bad escape"))?;
+                            self.pos += 1;
+                            match esc {
+                                b'"' => s.push('"'),
+                                b'\\' => s.push('\\'),
+                                b'/' => s.push('/'),
+                                b'n' => s.push('\n'),
+                                b't' => s.push('\t'),
+                                b'r' => s.push('\r'),
+                                b'u' => {
+                                    let hex = self
+                                        .bytes
+                                        .get(self.pos..self.pos + 4)
+                                        .ok_or_else(|| self.err("bad \\u escape"))?;
+                                    let code = u32::from_str_radix(
+                                        std::str::from_utf8(hex)
+                                            .map_err(|_| self.err("bad \\u escape"))?,
+                                        16,
+                                    )
+                                    .map_err(|_| self.err("bad \\u escape"))?;
+                                    self.pos += 4;
+                                    s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                }
+                                _ => return Err(self.err("unknown escape")),
+                            }
+                        }
+                        _ => {
+                            // Re-sync to char boundaries for multi-byte UTF-8.
+                            let start = self.pos - 1;
+                            let mut end = self.pos;
+                            while end < self.bytes.len() && self.bytes[end] & 0xc0 == 0x80 {
+                                end += 1;
+                            }
+                            s.push_str(
+                                std::str::from_utf8(&self.bytes[start..end])
+                                    .map_err(|_| self.err("invalid utf-8"))?,
+                            );
+                            self.pos = end;
+                        }
+                    }
+                }
+            }
+            b't' | b'f' | b'n' => {
+                for (lit, val) in [
+                    ("true", Json::Bool(true)),
+                    ("false", Json::Bool(false)),
+                    ("null", Json::Null),
+                ] {
+                    if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                        self.pos += lit.len();
+                        return Ok(val);
+                    }
+                }
+                Err(self.err("unknown literal"))
+            }
+            _ => {
+                let start = self.pos;
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+                {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .ok()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .map(Json::Num)
+                    .ok_or_else(|| self.err("invalid number"))
+            }
+        }
+    }
+}
+
+fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.parse()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler microbenches.
+// ---------------------------------------------------------------------------
+
+/// Self-reposting periodic source: the dispatch-dominated hot path every
+/// simulated NIC/timer/tick shares.
+struct Ticker {
+    period: SimDuration,
+}
+
+impl Component for Ticker {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: sim::Payload) {
+        let n = payload.downcast::<u64>().expect("tick payload");
+        ctx.post_self(self.period, n + 1);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Timeout churn: every dispatch arms a batch of timeouts and cancels
+/// most of them — the TCP-retransmit / watchdog pattern that hammers the
+/// scheduler's cancellation path.
+struct Churner {
+    period: SimDuration,
+    cancels: u64,
+}
+
+impl Component for Churner {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: sim::Payload) {
+        let n = payload.downcast::<u64>().expect("churn payload");
+        // Arm three timeouts, cancel them all before they can fire, keep
+        // one live far-future straggler per 64 ticks to vary heap depth.
+        let t1 = ctx.post_self(self.period * 3, n);
+        let t2 = ctx.post_self(self.period * 5, n);
+        let t3 = ctx.post_self(self.period * 7, n);
+        assert!(ctx.cancel(t1) && ctx.cancel(t2) && ctx.cancel(t3));
+        self.cancels += 3;
+        if n.is_multiple_of(64) {
+            ctx.post_self(self.period * 1000, u64::MAX);
+        }
+        if n != u64::MAX {
+            ctx.post_self(self.period, n + 1);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct SchedResult {
+    events: u64,
+    wall_ns: u64,
+    events_per_sec: f64,
+    ns_per_event: f64,
+}
+
+fn sched_result(events: u64, wall_ns: u64) -> SchedResult {
+    SchedResult {
+        events,
+        wall_ns,
+        events_per_sec: events as f64 / (wall_ns as f64 / 1e9),
+        ns_per_event: wall_ns as f64 / events as f64,
+    }
+}
+
+/// Repetitions for the scheduler microbenches. The simulated window is
+/// split into this many bursts and the fastest burst is reported
+/// (hyperfine-style minimum): one long sustained run is hostage to CPU
+/// quota throttling on shared machines, while the best burst tracks the
+/// true per-event cost.
+const SCHED_REPS: u64 = 5;
+
+/// Ticker storm: `n_tickers` periodic sources with staggered periods so
+/// the heap stays populated; run `SCHED_REPS` bursts covering a fixed
+/// simulated window and keep the fastest.
+fn bench_ticker(n_tickers: u32, sim_ms: u64) -> SchedResult {
+    let mut e = Engine::new(7);
+    for i in 0..n_tickers {
+        let period = SimDuration::from_nanos(900 + 17 * i as u64);
+        let id = e.add_component(Box::new(Ticker { period }));
+        e.post(id, SimDuration::from_nanos(100 + i as u64), 0u64);
+    }
+    // Warm up allocators and caches outside the timed window.
+    e.run_for(SimDuration::from_millis(1));
+    let burst = SimDuration::from_millis((sim_ms / SCHED_REPS).max(1));
+    let mut best: Option<SchedResult> = None;
+    for _ in 0..SCHED_REPS {
+        let before = e.events_dispatched();
+        let t0 = Instant::now();
+        e.run_for(burst);
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let r = sched_result(e.events_dispatched() - before, wall_ns);
+        if best.as_ref().is_none_or(|b| r.events_per_sec > b.events_per_sec) {
+            best = Some(r);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+/// Cancel churn: schedule/cancel dominated; `events` here counts
+/// scheduler ops (pushes + cancels + pops) per wall second, since the
+/// cancelled timeouts never dispatch.
+fn bench_churn(n_churners: u32, sim_ms: u64) -> SchedResult {
+    let mut e = Engine::new(11);
+    let mut ids = Vec::new();
+    for i in 0..n_churners {
+        let period = SimDuration::from_nanos(1100 + 23 * i as u64);
+        let id = e.add_component(Box::new(Churner { period, cancels: 0 }));
+        e.post(id, SimDuration::from_nanos(100 + i as u64), 0u64);
+        ids.push(id);
+    }
+    e.run_for(SimDuration::from_millis(1));
+    let burst = SimDuration::from_millis((sim_ms / SCHED_REPS).max(1));
+    let total_cancels = |e: &Engine| -> u64 {
+        ids.iter()
+            .map(|&id| e.component_ref::<Churner>(id).unwrap().cancels)
+            .sum()
+    };
+    let mut best: Option<SchedResult> = None;
+    for _ in 0..SCHED_REPS {
+        let before_disp = e.events_dispatched();
+        let before_cancels = total_cancels(&e);
+        let t0 = Instant::now();
+        e.run_for(burst);
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let dispatched = e.events_dispatched() - before_disp;
+        let cancels = total_cancels(&e) - before_cancels;
+        // Each cancel had a matching push; dispatched events had one push
+        // and one pop each.
+        let r = sched_result(2 * cancels + 2 * dispatched, wall_ns);
+        if best.as_ref().is_none_or(|b| r.events_per_sec > b.events_per_sec) {
+            best = Some(r);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+// ---------------------------------------------------------------------------
+// Capture-path bench.
+// ---------------------------------------------------------------------------
+
+struct CaptureResult {
+    bytes: u64,
+    wall_ns: u64,
+    mb_per_sec: f64,
+    dedup_ratio: f64,
+    hash_cache_hits: u64,
+    hash_cache_misses: u64,
+}
+
+/// Epoch-capture loop: a synthetic guest image where a small fraction of
+/// chunks dirties between epochs — the dominant `ChunkStore` workload on
+/// the checkpoint path (most pages clean, a few new).
+fn bench_capture(image_chunks: usize, epochs: u32, dirty_per_epoch: usize) -> CaptureResult {
+    let chunk = 4096usize;
+    let mut store = ChunkStore::with_chunk_size(chunk);
+    let mut image = vec![0u8; image_chunks * chunk];
+    // Deterministic pseudo-content (SplitMix64 over chunk indices).
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for w in image.chunks_exact_mut(8) {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        w.copy_from_slice(&(z ^ (z >> 31)).to_le_bytes());
+    }
+    // Cold first capture outside the timed loop (it copies everything).
+    let cache = &mut ckptstore::CaptureCache::new();
+    let mut last = store.put_image_cached(&image, cache).image;
+    let mut bytes = 0u64;
+    let mut wall_ns = 0u64;
+    let mut seed = 1u64;
+    for _ in 0..epochs {
+        // Dirty a deterministic scatter of chunks.
+        for _ in 0..dirty_per_epoch {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let idx = (seed >> 33) as usize % image_chunks;
+            let off = idx * chunk;
+            image[off] = image[off].wrapping_add(1);
+        }
+        let t0 = Instant::now();
+        let put = store.put_image_cached(&image, cache);
+        wall_ns += t0.elapsed().as_nanos() as u64;
+        bytes += put.logical_bytes;
+        // Retire the previous epoch, as the time-travel pruner would.
+        store.remove_image(last).expect("retire previous epoch");
+        last = put.image;
+    }
+    let stats = store.stats();
+    CaptureResult {
+        bytes,
+        wall_ns,
+        mb_per_sec: bytes as f64 / 1e6 / (wall_ns as f64 / 1e9),
+        dedup_ratio: stats.dedup_ratio,
+        hash_cache_hits: cache.hits(),
+        hash_cache_misses: cache.misses(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end epoch workload.
+// ---------------------------------------------------------------------------
+
+struct EndToEndResult {
+    sim_secs: u64,
+    wall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+    checkpoints: u64,
+    committed: u64,
+}
+
+/// The two-node iperf-under-periodic-checkpoints lab, timed wall-clock.
+fn bench_end_to_end(run_secs: u64) -> EndToEndResult {
+    use checkpoint::Coordinator;
+    let t0 = Instant::now();
+    let mut lab = build_lab(LabConfig { seed: 42, ..LabConfig::default() });
+    lab.engine.run_for(SimDuration::from_secs(20)); // NTP settle
+    lab.start_iperf();
+    lab.engine.run_for(SimDuration::from_secs(2));
+    let coord = lab.coordinator;
+    lab.engine.with_component::<Coordinator, _>(coord, |c, ctx| {
+        c.start_periodic(ctx, SimDuration::from_secs(5))
+    });
+    lab.engine.run_for(SimDuration::from_secs(run_secs));
+    lab.engine
+        .with_component::<Coordinator, _>(coord, |c, _| c.stop_periodic());
+    lab.engine.run_for(SimDuration::from_secs(4));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let out = lab.outcome(run_secs as f64);
+    let events = lab.engine.events_dispatched();
+    EndToEndResult {
+        sim_secs: 26 + run_secs,
+        wall_ms,
+        events,
+        events_per_sec: events as f64 / (wall_ms / 1e3),
+        checkpoints: out.checkpoints,
+        committed: out.committed,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON schema + entry assembly.
+// ---------------------------------------------------------------------------
+
+fn num(n: f64) -> Json {
+    Json::Num(n)
+}
+
+fn sched_json(r: &SchedResult) -> Json {
+    Json::Obj(vec![
+        ("events".into(), num(r.events as f64)),
+        ("wall_ns".into(), num(r.wall_ns as f64)),
+        ("events_per_sec".into(), num(r.events_per_sec.round())),
+        ("ns_per_event".into(), num((r.ns_per_event * 100.0).round() / 100.0)),
+    ])
+}
+
+/// Required numeric fields per section — the schema `--check` enforces.
+const SCHED_FIELDS: [&str; 4] = ["events", "wall_ns", "events_per_sec", "ns_per_event"];
+const CAPTURE_FIELDS: [&str; 6] = [
+    "bytes",
+    "wall_ns",
+    "mb_per_sec",
+    "dedup_ratio",
+    "hash_cache_hits",
+    "hash_cache_misses",
+];
+const E2E_FIELDS: [&str; 6] = [
+    "sim_secs",
+    "wall_ms",
+    "events",
+    "events_per_sec",
+    "checkpoints",
+    "committed",
+];
+const COUNTER_FIELDS: [&str; 2] = ["payload_pool_hits", "payload_pool_misses"];
+
+fn check_section(entry: &Json, section: &str, fields: &[&str]) -> Result<(), String> {
+    let sec = entry
+        .get(section)
+        .ok_or_else(|| format!("entry missing section '{section}'"))?;
+    for f in fields {
+        sec.get(f)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("section '{section}' missing numeric field '{f}'"))?;
+    }
+    Ok(())
+}
+
+fn check_schema(doc: &Json) -> Result<usize, String> {
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == SCHEMA => {}
+        _ => return Err(format!("top-level 'schema' must be \"{SCHEMA}\"")),
+    }
+    let entries = match doc.get("entries") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err("top-level 'entries' must be an array".into()),
+    };
+    if entries.is_empty() {
+        return Err("'entries' must not be empty".into());
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        let fail = |msg: String| format!("entry {i}: {msg}");
+        match entry.get("label") {
+            Some(Json::Str(s)) if !s.is_empty() => {}
+            _ => return Err(fail("missing non-empty 'label'".into())),
+        }
+        check_section(entry, "sched_ticker", &SCHED_FIELDS).map_err(&fail)?;
+        check_section(entry, "sched_churn", &SCHED_FIELDS).map_err(&fail)?;
+        check_section(entry, "capture", &CAPTURE_FIELDS).map_err(&fail)?;
+        check_section(entry, "end_to_end", &E2E_FIELDS).map_err(&fail)?;
+        check_section(entry, "counters", &COUNTER_FIELDS).map_err(&fail)?;
+    }
+    Ok(entries.len())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let label = args
+        .iter()
+        .position(|a| a == "--label")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "current".to_string());
+
+    if check {
+        let text = std::fs::read_to_string(OUT_PATH)
+            .unwrap_or_else(|e| panic!("read {OUT_PATH}: {e}"));
+        let doc = parse_json(&text).unwrap_or_else(|e| panic!("{e}"));
+        match check_schema(&doc) {
+            Ok(n) => {
+                println!("BENCH_hotpath.json: schema ok, {n} entries");
+                if !smoke {
+                    return;
+                }
+            }
+            Err(e) => panic!("BENCH_hotpath.json schema violation: {e}"),
+        }
+        if !smoke {
+            return;
+        }
+    }
+
+    banner("BENCH-HOTPATH", "wall-clock perf: scheduler + capture hot paths");
+
+    // Workload sizes: smoke keeps CI fast; full sizes give stable numbers.
+    let (tick_ms, churn_ms, chunks, epochs, dirty, e2e_secs) = if smoke {
+        (5, 5, 512, 3, 16, 6)
+    } else {
+        (400, 250, 4096, 12, 80, 25)
+    };
+
+    println!("  [1/4] scheduler ticker storm ({tick_ms} sim-ms)...");
+    let ticker = bench_ticker(64, tick_ms);
+    println!(
+        "        {:>12.0} events/s  ({:.1} ns/event, {} events)",
+        ticker.events_per_sec, ticker.ns_per_event, ticker.events
+    );
+    println!("  [2/4] scheduler cancel churn ({churn_ms} sim-ms)...");
+    let churn = bench_churn(48, churn_ms);
+    println!(
+        "        {:>12.0} ops/s     ({:.1} ns/op, {} ops)",
+        churn.events_per_sec, churn.ns_per_event, churn.events
+    );
+    println!("  [3/4] epoch capture ({chunks} chunks x {epochs} epochs, {dirty} dirty/epoch)...");
+    let capture = bench_capture(chunks, epochs, dirty);
+    println!(
+        "        {:>12.1} MB/s      (dedup {:.1}x, hash-cache {}/{} hit/miss)",
+        capture.mb_per_sec, capture.dedup_ratio, capture.hash_cache_hits, capture.hash_cache_misses
+    );
+    println!("  [4/4] end-to-end two-node epoch workload ({e2e_secs} sim-s of checkpoints)...");
+    let e2e = bench_end_to_end(e2e_secs);
+    println!(
+        "        {:>12.1} wall-ms   ({:.0} events/s, {} checkpoints, {} committed)",
+        e2e.wall_ms, e2e.events_per_sec, e2e.checkpoints, e2e.committed
+    );
+    assert!(e2e.checkpoints > 0, "end-to-end workload must checkpoint");
+    let (pool_hits, pool_misses) = sim::payload_pool_stats();
+    println!(
+        "        payload pool: {pool_hits} hits / {pool_misses} misses (allocations avoided: {pool_hits})"
+    );
+
+    if smoke {
+        println!("\n  smoke mode: paths exercised, JSON not written");
+        return;
+    }
+
+    let entry = Json::Obj(vec![
+        ("label".into(), Json::Str(label.clone())),
+        ("smoke".into(), Json::Bool(false)),
+        ("sched_ticker".into(), sched_json(&ticker)),
+        ("sched_churn".into(), sched_json(&churn)),
+        (
+            "capture".into(),
+            Json::Obj(vec![
+                ("bytes".into(), num(capture.bytes as f64)),
+                ("wall_ns".into(), num(capture.wall_ns as f64)),
+                ("mb_per_sec".into(), num((capture.mb_per_sec * 10.0).round() / 10.0)),
+                ("dedup_ratio".into(), num((capture.dedup_ratio * 100.0).round() / 100.0)),
+                ("hash_cache_hits".into(), num(capture.hash_cache_hits as f64)),
+                ("hash_cache_misses".into(), num(capture.hash_cache_misses as f64)),
+            ]),
+        ),
+        (
+            "end_to_end".into(),
+            Json::Obj(vec![
+                ("sim_secs".into(), num(e2e.sim_secs as f64)),
+                ("wall_ms".into(), num((e2e.wall_ms * 10.0).round() / 10.0)),
+                ("events".into(), num(e2e.events as f64)),
+                ("events_per_sec".into(), num(e2e.events_per_sec.round())),
+                ("checkpoints".into(), num(e2e.checkpoints as f64)),
+                ("committed".into(), num(e2e.committed as f64)),
+            ]),
+        ),
+        (
+            "counters".into(),
+            Json::Obj(vec![
+                ("payload_pool_hits".into(), num(pool_hits as f64)),
+                ("payload_pool_misses".into(), num(pool_misses as f64)),
+            ]),
+        ),
+    ]);
+
+    let mut doc = match std::fs::read_to_string(OUT_PATH) {
+        Ok(text) => parse_json(&text).unwrap_or_else(|e| panic!("existing {OUT_PATH} invalid: {e}")),
+        Err(_) => Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("entries".into(), Json::Arr(Vec::new())),
+        ]),
+    };
+    if let Json::Obj(fields) = &mut doc {
+        if let Some((_, Json::Arr(entries))) = fields.iter_mut().find(|(k, _)| k == "entries") {
+            entries.push(entry);
+        } else {
+            panic!("existing {OUT_PATH} has no 'entries' array");
+        }
+    } else {
+        panic!("existing {OUT_PATH} is not an object");
+    }
+    check_schema(&doc).expect("generated entry must satisfy the schema");
+    std::fs::write(OUT_PATH, doc.to_string_pretty()).expect("write BENCH_hotpath.json");
+    println!("\n  appended entry '{label}' to BENCH_hotpath.json");
+}

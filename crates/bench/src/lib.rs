@@ -19,8 +19,7 @@ use hwsim::{
     ControlLan, Endpoint, Frame, HardwareClock, IfaceId, LanTransmit, LinkDeliver, NodeAddr,
     Pc3000,
 };
-use sim::{stats, Component, ComponentId, Ctx, Engine, SimDuration};
-use std::any::Any;
+use sim::{stats, Component, ComponentId, Ctx, Engine, Payload, SimDuration};
 use vmm::{VmHost, VmHostConfig, VmmTuning};
 
 /// Directory the regenerators write CSV into.
@@ -81,7 +80,7 @@ struct NtpOps {
 }
 
 impl Component for NtpOps {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
         let Ok(del) = payload.downcast::<LinkDeliver>() else {
             return;
         };

@@ -61,4 +61,6 @@ mod store;
 
 pub use codec::{Dec, DecodeError, Enc, IMAGE_FORMAT_VERSION, IMAGE_MAGIC};
 pub use hash::{chunk_hash, ChunkHash};
-pub use store::{ChunkStore, ImageId, ImageStats, PutReport, StoreError, DEFAULT_CHUNK_SIZE};
+pub use store::{
+    CaptureCache, ChunkStore, ImageId, ImageStats, PutReport, StoreError, DEFAULT_CHUNK_SIZE,
+};

@@ -12,6 +12,7 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use sim::telemetry::names;
 use sim::{CounterId, Telemetry};
@@ -90,10 +91,52 @@ pub struct PutReport {
     pub chunks_new: u64,
 }
 
+/// Capture-side page-hash cache: the chunk list of one domain's last
+/// committed image. [`ChunkStore::put_image_cached`] re-admits a chunk
+/// whose bytes are unchanged since that image (verified by memcmp
+/// against the cached payload) under its cached content address without
+/// re-hashing — incremental capture in wall-clock terms.
+///
+/// Safety invariant: every cached `(hash, bytes)` pair satisfies
+/// `hash == chunk_hash(bytes)` by construction, so a stale cache, a
+/// cache from another domain, or a cache surviving a store reset can
+/// only cause extra misses — never a wrong content address.
+#[derive(Default)]
+pub struct CaptureCache {
+    chunks: Vec<(ChunkHash, Arc<[u8]>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CaptureCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Chunks re-admitted by cached hash (cumulative).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Chunks that had to be hashed (cumulative).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Forgets the cached image; the next capture hashes every chunk.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+    }
+}
+
 struct ChunkEntry {
     /// Stored payload copies; `copies[0]` is the primary, the rest are
-    /// redundancy replicas under the same content address.
-    copies: Vec<Vec<u8>>,
+    /// redundancy replicas under the same content address. Copies are
+    /// immutable shared buffers — clean replicas alias the primary's
+    /// allocation, and every mutation path (fault injection, scrub,
+    /// test corruption hooks) replaces the `Arc` rather than writing
+    /// through it.
+    copies: Vec<Arc<[u8]>>,
     refs: u64,
 }
 
@@ -133,6 +176,8 @@ struct StoreTele {
     repairs: CounterId,
     scrub_heals: CounterId,
     replicas_added: CounterId,
+    hash_cache_hits: CounterId,
+    hash_cache_misses: CounterId,
 }
 
 /// Content-addressed chunk store with refcounted dedup.
@@ -184,6 +229,8 @@ impl ChunkStore {
             repairs: t.counter(names::CKPT_REPLICA_REPAIRS),
             scrub_heals: t.counter(names::CKPT_SCRUB_HEALS),
             replicas_added: t.counter(names::CKPT_REPLICAS_ADDED),
+            hash_cache_hits: t.counter(names::CKPT_HASH_CACHE_HITS),
+            hash_cache_misses: t.counter(names::CKPT_HASH_CACHE_MISSES),
             t,
         });
     }
@@ -298,32 +345,95 @@ impl ChunkStore {
     }
 
     /// Stores an image: chunks it, inserts unseen chunks, bumps
-    /// refcounts on shared ones.
+    /// refcounts on shared ones. Dedup hits copy nothing — the chunk is
+    /// hashed, matched against the existing entry, and only refcounted;
+    /// a new chunk's payload is copied exactly once into a shared
+    /// buffer that clean replicas alias.
     pub fn put_image(&mut self, bytes: &[u8]) -> PutReport {
-        let mut manifest = Vec::with_capacity(bytes.len().div_ceil(self.chunk_size));
+        self.put_image_inner(bytes, None)
+    }
+
+    /// [`ChunkStore::put_image`] through a [`CaptureCache`]: a chunk
+    /// whose bytes are unchanged since the cache's image (a memcmp
+    /// against the cached payload) is re-admitted under its cached
+    /// content address without re-hashing. Observably identical to
+    /// `put_image` — same manifest, same [`PutReport`], same dedup
+    /// accounting — only the wall-clock hashing work differs. The cache
+    /// is refreshed to describe this image before returning.
+    pub fn put_image_cached(&mut self, bytes: &[u8], cache: &mut CaptureCache) -> PutReport {
+        self.put_image_inner(bytes, Some(cache))
+    }
+
+    fn put_image_inner(&mut self, bytes: &[u8], mut cache: Option<&mut CaptureCache>) -> PutReport {
+        let n_chunks = bytes.len().div_ceil(self.chunk_size);
+        let mut manifest = Vec::with_capacity(n_chunks);
+        let mut next_cache: Option<Vec<(ChunkHash, Arc<[u8]>)>> =
+            cache.as_ref().map(|_| Vec::with_capacity(n_chunks));
         let mut new_physical = 0u64;
         let mut chunks_new = 0u64;
-        for chunk in bytes.chunks(self.chunk_size) {
-            let h = chunk_hash(chunk);
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        for (idx, chunk) in bytes.chunks(self.chunk_size).enumerate() {
+            // Cached-hash fast path: reuse the previous capture's hash
+            // when the bytes at this position are unchanged.
+            let mut reuse: Option<Arc<[u8]>> = None;
+            let h = match cache.as_deref_mut() {
+                Some(c) => match c.chunks.get(idx) {
+                    Some((h, prev)) if prev.as_ref() == chunk => {
+                        cache_hits += 1;
+                        reuse = Some(prev.clone());
+                        *h
+                    }
+                    _ => {
+                        cache_misses += 1;
+                        chunk_hash(chunk)
+                    }
+                },
+                None => chunk_hash(chunk),
+            };
             let redundancy = self.redundancy;
             let faults = &mut self.write_faults;
+            let mut inserted_clean = false;
             let entry = self.chunks.entry(h).or_insert_with(|| {
                 new_physical += chunk.len() as u64;
                 chunks_new += 1;
-                let mut copies = vec![chunk.to_vec(); redundancy];
+                let primary: Arc<[u8]> = Arc::from(chunk);
+                let mut copies = vec![primary; redundancy];
+                inserted_clean = true;
                 // Write-path fault injection damages the primary only;
                 // replicas land clean (independent write paths).
                 if let Some(wf) = faults.as_mut() {
                     let draw = splitmix64(&mut wf.state);
-                    if !copies[0].is_empty() && draw % 1_000_000 < u64::from(wf.per_million) {
-                        let i = (draw >> 32) as usize % copies[0].len();
-                        copies[0][i] ^= 0x01;
+                    if !chunk.is_empty() && draw % 1_000_000 < u64::from(wf.per_million) {
+                        let mut damaged = chunk.to_vec();
+                        let i = (draw >> 32) as usize % damaged.len();
+                        damaged[i] ^= 0x01;
+                        copies[0] = damaged.into();
+                        inserted_clean = false;
                     }
                 }
                 ChunkEntry { copies, refs: 0 }
             });
             entry.refs += 1;
+            if let Some(nc) = next_cache.as_mut() {
+                // Cache only pairs whose bytes provably hash to `h`: the
+                // reused arc (valid by induction) or a clean fresh insert
+                // (aliases the store's buffer). A fault-damaged primary
+                // must never be cached under the clean hash, so a dedup
+                // hit or damaged insert takes a private copy instead.
+                let arc = match reuse {
+                    Some(a) => a,
+                    None if inserted_clean => entry.copies[0].clone(),
+                    None => Arc::from(chunk),
+                };
+                nc.push((h, arc));
+            }
             manifest.push(h);
+        }
+        if let Some(c) = cache {
+            c.chunks = next_cache.expect("cache refresh list built alongside");
+            c.hits += cache_hits;
+            c.misses += cache_misses;
         }
         let id = ImageId(self.next_image);
         self.next_image += 1;
@@ -333,6 +443,8 @@ impl ChunkStore {
             t.t.add(t.dedup_hits, chunks_total - chunks_new);
             t.t.add(t.logical_bytes, bytes.len() as u64);
             t.t.add(t.new_physical_bytes, new_physical);
+            t.t.add(t.hash_cache_hits, cache_hits);
+            t.t.add(t.hash_cache_misses, cache_misses);
         }
         self.images.insert(id.0, Manifest { logical_len: bytes.len() as u64, chunks: manifest });
         PutReport {
@@ -462,7 +574,9 @@ impl ChunkStore {
         }
         for copy in &mut entry.copies {
             let i = byte % copy.len();
-            copy[i] ^= 0x01;
+            let mut damaged = copy.to_vec();
+            damaged[i] ^= 0x01;
+            *copy = damaged.into();
         }
         true
     }
@@ -479,7 +593,9 @@ impl ChunkStore {
             return false;
         }
         let i = byte % entry.copies[0].len();
-        entry.copies[0][i] ^= 0x01;
+        let mut damaged = entry.copies[0].to_vec();
+        damaged[i] ^= 0x01;
+        entry.copies[0] = damaged.into();
         true
     }
 }
@@ -722,6 +838,91 @@ mod tests {
         assert_eq!(t.counter_value("ckptstore.replica_repairs"), Some(1));
         assert_eq!(s.scrub(), 1);
         assert_eq!(t.counter_value("ckptstore.scrub_heals"), Some(1));
+    }
+
+    #[test]
+    fn cached_put_is_observably_identical_and_counts_hits() {
+        let mut plain = ChunkStore::with_chunk_size(64);
+        let mut cached = ChunkStore::with_chunk_size(64);
+        let mut cache = CaptureCache::new();
+
+        let base = image_with(64, |i| (i / 64) as u8, 64 * 20);
+        let mut next = base.clone();
+        next[64 * 3] ^= 0xFF; // dirty chunk 3
+        next[64 * 11] ^= 0xFF; // dirty chunk 11
+
+        for img in [&base, &next] {
+            let rp = plain.put_image(img);
+            let rc = cached.put_image_cached(img, &mut cache);
+            assert_eq!(rp.logical_bytes, rc.logical_bytes);
+            assert_eq!(rp.new_physical_bytes, rc.new_physical_bytes);
+            assert_eq!(rp.chunks_total, rc.chunks_total);
+            assert_eq!(rp.chunks_new, rc.chunks_new);
+            assert_eq!(cached.load_image(rc.image).unwrap(), *img);
+        }
+        // First put: cold cache, all 20 miss. Second: 18 clean chunks
+        // re-admitted by cached hash, the 2 dirty ones hashed.
+        assert_eq!(cache.misses(), 22);
+        assert_eq!(cache.hits(), 18);
+    }
+
+    #[test]
+    fn stale_or_foreign_cache_only_misses() {
+        let mut s = ChunkStore::with_chunk_size(64);
+        let mut cache = CaptureCache::new();
+        let a = image_with(64, |i| i as u8, 64 * 4);
+        s.put_image_cached(&a, &mut cache);
+
+        // A completely different image through the same cache: every
+        // chunk misses, content still round-trips.
+        let b = image_with(64, |i| (100 + i % 251) as u8, 64 * 6);
+        let r = s.put_image_cached(&b, &mut cache);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 10);
+        assert_eq!(s.load_image(r.image).unwrap(), b);
+
+        // The now-refreshed cache also works against a *different* store
+        // (cache entries carry their own verified bytes).
+        let mut other = ChunkStore::with_chunk_size(64);
+        let r2 = other.put_image_cached(&b, &mut cache);
+        assert_eq!(r2.chunks_new, 6);
+        assert_eq!(cache.hits(), 6);
+        assert_eq!(other.load_image(r2.image).unwrap(), b);
+    }
+
+    #[test]
+    fn cached_put_never_caches_fault_damaged_bytes() {
+        let mut s = ChunkStore::with_chunk_size(64);
+        s.set_redundancy(2);
+        s.inject_write_faults(7, 1_000_000); // every insert damaged
+        let mut cache = CaptureCache::new();
+        let img = image_with(64, |i| (i % 199) as u8, 64 * 8);
+        let r1 = s.put_image_cached(&img, &mut cache);
+        assert_eq!(r1.chunks_new, 8);
+        // Recapturing the same clean bytes must hit the cache (the cache
+        // holds clean payloads, not the damaged primaries) and dedup.
+        let r2 = s.put_image_cached(&img, &mut cache);
+        assert_eq!(cache.hits(), 8);
+        assert_eq!(r2.chunks_new, 0);
+        assert_eq!(s.load_image(r2.image).unwrap(), img, "replicas repair");
+        assert_eq!(s.repaired_chunks(), 8);
+    }
+
+    #[test]
+    fn telemetry_counts_hash_cache_traffic() {
+        let t = Telemetry::new();
+        let mut s = ChunkStore::with_chunk_size(64);
+        s.attach_telemetry(&t);
+        let mut cache = CaptureCache::new();
+        let img = image_with(64, |i| (i / 64) as u8, 64 * 4);
+        s.put_image_cached(&img, &mut cache);
+        s.put_image_cached(&img, &mut cache);
+        assert_eq!(t.counter_value("ckptstore.hash_cache_hits"), Some(4));
+        assert_eq!(t.counter_value("ckptstore.hash_cache_misses"), Some(4));
+        // Uncached puts do not touch the cache counters.
+        s.put_image(&img);
+        assert_eq!(t.counter_value("ckptstore.hash_cache_hits"), Some(4));
+        assert_eq!(t.counter_value("ckptstore.hash_cache_misses"), Some(4));
     }
 
     #[test]

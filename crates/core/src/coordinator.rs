@@ -14,15 +14,14 @@
 //! against), because scheduled checkpoints only make sense relative to the
 //! clock the nodes chase.
 
-use std::any::Any;
 use std::collections::{HashMap, HashSet};
 
 use clocksync::{NtpRequest, NtpServer};
 use hwsim::{Frame, HardwareClock, LanTransmit, LinkDeliver, NodeAddr};
 use sim::telemetry::names;
 use sim::{
-    ActiveSpan, Component, ComponentId, CounterId, Ctx, HistogramId, SimDuration, SimTime, SpanId,
-    TraceTag, TrackId,
+    ActiveSpan, Component, ComponentId, CounterId, Ctx, HistogramId, Payload, SimDuration,
+    SimTime, SpanId, TraceTag, TrackId,
 };
 
 use crate::bus::{BusMsg, BUS_MSG_BYTES};
@@ -94,6 +93,8 @@ impl Default for FailurePolicy {
 #[derive(Clone, Debug)]
 pub struct EpochRecord {
     pub epoch: u64,
+    /// Checkpoint group the round ran in.
+    pub group: GroupId,
     /// True time the notification was published.
     pub published: SimTime,
     /// True time the last ack arrived (all participants notified).
@@ -480,6 +481,20 @@ impl Coordinator {
         counts
     }
 
+    /// (committed, aborted, degraded) epoch counts for one group.
+    pub fn outcome_counts_in(&self, group: GroupId) -> (u64, u64, u64) {
+        let mut counts = (0, 0, 0);
+        for r in self.records.iter().filter(|r| r.group == group) {
+            match r.outcome {
+                Some(EpochOutcome::Committed) => counts.0 += 1,
+                Some(EpochOutcome::Aborted) => counts.1 += 1,
+                Some(EpochOutcome::Degraded) => counts.2 += 1,
+                None => {}
+            }
+        }
+        counts
+    }
+
     /// Total notification retries across all epochs.
     pub fn total_retries(&self) -> u64 {
         self.records.iter().map(|r| u64::from(r.retries)).sum()
@@ -588,6 +603,7 @@ impl Coordinator {
         );
         self.records.push(EpochRecord {
             epoch,
+            group,
             published: ctx.now(),
             acked: None,
             barrier_done: None,
@@ -821,7 +837,7 @@ impl Coordinator {
 }
 
 impl Component for Coordinator {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
         let payload = match payload.downcast::<LinkDeliver>() {
             Ok(del) => {
                 if let Some(req) = del.frame.payload::<NtpRequest>() {
@@ -857,7 +873,7 @@ impl Component for Coordinator {
             Err(p) => p,
         };
         if let Ok(msg) = payload.downcast::<CoordMsg>() {
-            match *msg {
+            match msg {
                 CoordMsg::PeriodicKick => {
                     if let Some((group, interval)) = self.periodic {
                         if self.idle_in(group) {
@@ -884,7 +900,6 @@ mod tests {
     use super::*;
     use hwsim::{ControlLan, Frame, LanTransmit};
     use sim::{Component, Engine, FaultPlan};
-    use std::any::Any;
 
     /// A fake node agent: records notifications, reports done after a
     /// fixed local delay; optionally acks notifications explicitly.
@@ -904,7 +919,7 @@ mod tests {
     }
 
     impl Component for FakeNode {
-        fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
             let payload = match payload.downcast::<hwsim::LinkDeliver>() {
                 Ok(del) => {
                     if let Some(&msg) = del.frame.payload::<BusMsg>() {

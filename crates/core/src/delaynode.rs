@@ -9,7 +9,6 @@
 //! implementing an accurate, high-speed delay emulation" — so this
 //! component drives the `dummynet` state machine directly.
 
-use std::any::Any;
 use std::collections::HashMap;
 
 use clocksync::{NtpClient, NtpResponse};
@@ -17,7 +16,7 @@ use dummynet::{Dummynet, DummynetImage, PipeConfig, PipeId};
 use hwsim::{
     Frame, HardwareClock, IfaceId, LanTransmit, LinkDeliver, LinkTransmit, NodeAddr,
 };
-use sim::{transmission_time, Component, ComponentId, Ctx, EventId, SimDuration, SimTime};
+use sim::{transmission_time, Component, ComponentId, Ctx, EventId, Payload, SimDuration, SimTime};
 
 use crate::bus::{BusMsg, BUS_MSG_BYTES};
 
@@ -385,10 +384,9 @@ impl DelayNodeHost {
 }
 
 impl Component for DelayNodeHost {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
         let payload = match payload.downcast::<LinkDeliver>() {
             Ok(del) => {
-                let del = *del;
                 if del.iface == IfaceId::CONTROL {
                     self.on_ctrl(ctx, del.frame);
                 } else {
@@ -399,7 +397,7 @@ impl Component for DelayNodeHost {
             Err(p) => p,
         };
         let msg = match payload.downcast::<DnMsg>() {
-            Ok(m) => *m,
+            Ok(m) => m,
             Err(_) => panic!("DelayNodeHost received an unknown message"),
         };
         match msg {

@@ -7,7 +7,8 @@ use std::any::Any;
 use std::sync::Arc;
 
 use checkpoint::{
-    CheckpointAgent, Coordinator, DelayNodeHost, EpochOutcome, FailurePolicy, OutPort, Strategy,
+    CheckpointAgent, Coordinator, DelayNodeHost, EpochOutcome, FailurePolicy, GroupId, OutPort,
+    Strategy,
 };
 use cowstore::{BranchingStore, CowMode, GoldenImageBuilder, StoreLayout};
 use dummynet::PipeConfig;
@@ -102,6 +103,9 @@ struct FaultCfg {
     /// Done-report stall on host B (straggler).
     stall: Option<SimDuration>,
     policy: Option<FailurePolicy>,
+    /// Subscribe host A in `GroupId(1)` and host B + delay node in
+    /// `GroupId(2)` instead of putting everyone in the default group.
+    split_groups: bool,
 }
 
 struct Lab {
@@ -224,9 +228,15 @@ fn build_lab(cfg: &FaultCfg) -> Lab {
         lan.attach(addr_dn, Endpoint { component: dn, iface: IfaceId::CONTROL });
     });
     e.with_component::<Coordinator, _>(coord, |c, _| {
-        c.subscribe(addr_a);
-        c.subscribe(addr_b);
-        c.subscribe(addr_dn);
+        if cfg.split_groups {
+            c.subscribe_in(addr_a, GroupId(1));
+            c.subscribe_in(addr_b, GroupId(2));
+            c.subscribe_in(addr_dn, GroupId(2));
+        } else {
+            c.subscribe(addr_a);
+            c.subscribe(addr_b);
+            c.subscribe(addr_dn);
+        }
     });
 
     e.with_component::<VmHost, _>(host_a, |h, ctx| h.start(ctx));
@@ -290,6 +300,7 @@ fn epochs_terminate_under_loss_and_straggler() {
             resume_repeats: 2,
             ..FailurePolicy::default()
         }),
+        split_groups: false,
     };
     let lab = run_iperf(&cfg, 25);
     let coord = lab.e.component_ref::<Coordinator>(lab.coord).unwrap();
@@ -332,6 +343,7 @@ fn abort_path_is_deterministic() {
                 resume_repeats: 2,
                 ..FailurePolicy::default()
             }),
+            split_groups: false,
         };
         let lab = run_iperf(&cfg, 15);
         let coord = lab.e.component_ref::<Coordinator>(lab.coord).unwrap();
@@ -366,6 +378,7 @@ fn fully_lost_epoch_aborts_without_touching_guests() {
             faults: Some(FaultPlan::new(5).with_loss(1.0)),
             stall: None,
             policy: None,
+            split_groups: false,
         };
         let mut lab = build_lab(&cfg);
         lab.e.run_for(SimDuration::from_secs(20));
@@ -429,6 +442,7 @@ fn crashed_node_degrades_epochs_and_survivors_continue() {
             resume_repeats: 2,
             ..FailurePolicy::default()
         }),
+        split_groups: false,
     };
     let lab = run_iperf(&cfg, 25);
     let coord = lab.e.component_ref::<Coordinator>(lab.coord).unwrap();
@@ -455,6 +469,90 @@ fn crashed_node_degrades_epochs_and_survivors_continue() {
     );
 }
 
+/// Two concurrent rounds in different groups under loss + straggler:
+/// group 1 (host A) is clean, group 2 (host B + delay node) carries an
+/// over-deadline straggler. Each group's epochs must resolve on their own
+/// — group 1 commits while group 2's concurrent round is still in flight,
+/// and group 2's aborts never leak into group 1's records.
+#[test]
+fn concurrent_group_rounds_fail_independently() {
+    let cfg = FaultCfg {
+        seed: 67,
+        faults: Some(FaultPlan::new(67).with_loss(0.10)),
+        // Host B stalls its done report past the 2 s epoch deadline, so
+        // every group-2 round aborts; group 1 never sees that straggler.
+        stall: Some(SimDuration::from_secs(3)),
+        policy: Some(FailurePolicy {
+            resume_repeats: 2,
+            ..FailurePolicy::default()
+        }),
+        split_groups: true,
+    };
+    let mut lab = build_lab(&cfg);
+    lab.e.run_for(SimDuration::from_secs(20));
+    let (a, b) = (lab.host_a, lab.host_b);
+    lab.e.with_component::<VmHost, _>(b, |h, _| {
+        h.kernel_mut().spawn(Box::new(Receiver {
+            port: 5001,
+            fd: None,
+            listening: false,
+        }));
+    });
+    lab.e.with_component::<VmHost, _>(a, |h, _| {
+        h.kernel_mut().spawn(Box::new(Sender {
+            dst: NodeAddr(2),
+            port: 5001,
+            fd: None,
+        }));
+    });
+    lab.e.run_for(SimDuration::from_secs(2));
+
+    // Three rounds of simultaneous triggers: both groups get a round at
+    // the same instant, then 6 s for each to reach a terminal outcome.
+    let coord = lab.coord;
+    for _ in 0..3 {
+        lab.e.with_component::<Coordinator, _>(coord, |c, ctx| {
+            c.trigger_in(ctx, GroupId(1));
+            c.trigger_in(ctx, GroupId(2));
+        });
+        lab.e.run_for(SimDuration::from_secs(6));
+    }
+
+    let c = lab.e.component_ref::<Coordinator>(lab.coord).unwrap();
+    assert_eq!(unresolved(c), 0, "an epoch wedged");
+    let g1: Vec<_> = c.records.iter().filter(|r| r.group == GroupId(1)).collect();
+    let g2: Vec<_> = c.records.iter().filter(|r| r.group == GroupId(2)).collect();
+    assert_eq!((g1.len(), g2.len()), (3, 3), "three rounds per group");
+
+    // The clean group commits every round; the straggler group aborts
+    // every round. Neither outcome contaminates the other's records.
+    assert_eq!(
+        c.outcome_counts_in(GroupId(1)),
+        (3, 0, 0),
+        "group 1 must commit despite group 2's straggler"
+    );
+    assert_eq!(
+        c.outcome_counts_in(GroupId(2)),
+        (0, 3, 0),
+        "group 2's over-deadline straggler must abort every round"
+    );
+
+    // The rounds really were concurrent: each pair was published at the
+    // same instant, and group 1 resumed while group 2's round was still
+    // unresolved (group 2 holds until its 2 s deadline).
+    for (r1, r2) in g1.iter().zip(&g2) {
+        assert_eq!(r1.published, r2.published, "triggers fired together");
+        let resumed = r1.resumed.expect("group 1 committed");
+        assert!(
+            resumed.saturating_duration_since(r1.published) < SimDuration::from_secs(2),
+            "group 1 resolved before any deadline"
+        );
+    }
+    // Degraded never appears in either group and the totals line up with
+    // the per-group views.
+    assert_eq!(c.outcome_counts(), (3, 3, 0));
+}
+
 /// The full loss × straggler matrix (CI `--features props`): every cell
 /// terminates, and cells whose epochs all committed are transparent.
 #[cfg(feature = "props")]
@@ -470,6 +568,7 @@ fn fault_matrix_terminates_everywhere() {
                     resume_repeats: 2,
                     ..FailurePolicy::default()
                 }),
+                split_groups: false,
             };
             let lab = run_iperf(&cfg, 15);
             let coord = lab.e.component_ref::<Coordinator>(lab.coord).unwrap();

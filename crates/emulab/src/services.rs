@@ -9,12 +9,11 @@
 //! guest virtual time (§5.2) — the demonstration that a swapped-out
 //! experiment sees consistent mtimes lives in the integration tests.
 
-use std::any::Any;
 use std::collections::HashMap;
 
 use guestos::prog::{CtrlReq, CtrlResp};
 use hwsim::{Frame, HardwareClock, LanTransmit, LinkDeliver, NodeAddr};
-use sim::{Component, ComponentId, Ctx, SimDuration};
+use sim::{Component, ComponentId, Ctx, Payload, SimDuration};
 use vmm::{GuestRpc, GuestRpcReply};
 
 /// One stored NFS file.
@@ -101,7 +100,7 @@ impl FileServer {
 }
 
 impl Component for FileServer {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
         let Ok(del) = payload.downcast::<LinkDeliver>() else {
             return;
         };

@@ -310,7 +310,7 @@ impl Testbed {
             let mut e = Enc::new();
             e.begin_image(SWAP_IMAGE_KIND);
             image.encode_wire(&mut e, &mut residue);
-            let put = self.fs_store_mut().put_image(&e.into_bytes());
+            let put = self.fs_put_cached(&format!("{name}:{node_name}"), &e.into_bytes());
             state_logical += put.logical_bytes;
             state_physical += put.new_physical_bytes;
             let done = self.uplink_transfer(image.dirty_bytes + put.new_physical_bytes);

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use checkpoint::{CheckpointAgent, Coordinator, DelayNodeHost, GroupId, OutPort, Strategy};
-use ckptstore::{ChunkStore, Dec};
+use ckptstore::{CaptureCache, ChunkStore, Dec, PutReport};
 use cowstore::{BranchingStore, CowMode, GoldenImage, GoldenImageBuilder, StoreLayout};
 use dummynet::PipeConfig;
 use guestos::{GuestProg, Kernel, KernelConfig, Tid};
@@ -153,6 +153,10 @@ pub struct Testbed {
     /// state is chunked and deduplicated here, and swap transfer sizes are
     /// driven by the *new physical* bytes each image actually adds.
     fs_store: ChunkStore,
+    /// Per-node capture hash caches for swap-out serialization, keyed by
+    /// `experiment:node`: chunks unchanged since the node's previous
+    /// swap-out are re-admitted by cached hash instead of re-hashed.
+    swap_caches: HashMap<String, CaptureCache>,
     /// Pending scheduled program starts, sorted by time.
     events: Vec<ProgramEvent>,
     /// The checkpointing strategy hosts and coordinator are wired for.
@@ -224,6 +228,7 @@ impl Testbed {
             groups: HashMap::new(),
             fs_uplink_free: SimTime::ZERO,
             fs_store,
+            swap_caches: HashMap::new(),
             events: Vec::new(),
             strategy,
             tele,
@@ -250,6 +255,14 @@ impl Testbed {
     /// Mutable store access for swap-out serialization.
     pub(crate) fn fs_store_mut(&mut self) -> &mut ChunkStore {
         &mut self.fs_store
+    }
+
+    /// Stores a node's swap-out image through that node's capture hash
+    /// cache: chunks unchanged since its previous swap-out skip the
+    /// re-hash. Observably identical to a plain `put_image`.
+    pub(crate) fn fs_put_cached(&mut self, cache_key: &str, bytes: &[u8]) -> PutReport {
+        let cache = self.swap_caches.entry(cache_key.to_string()).or_default();
+        self.fs_store.put_image_cached(bytes, cache)
     }
 
     /// A registered golden image by name (restore-time decode anchor).

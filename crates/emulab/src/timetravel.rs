@@ -25,7 +25,7 @@
 use std::fmt;
 
 use checkpoint::DelayNodeHost;
-use ckptstore::{ChunkStore, Dec, DecodeError, Enc, ImageId, ImageStats, StoreError};
+use ckptstore::{CaptureCache, ChunkStore, Dec, DecodeError, Enc, ImageId, ImageStats, StoreError};
 use cowstore::BranchingStore;
 use dummynet::DummynetImage;
 use guestos::GuestResidue;
@@ -120,6 +120,12 @@ pub struct TimeTravelTree {
     snaps: Vec<Option<Snapshot>>,
     current: Option<SnapshotId>,
     store: ChunkStore,
+    /// Per-node capture hash caches (experiment node order): chunks
+    /// unchanged since the node's previous snapshot are re-admitted by
+    /// cached hash instead of being re-hashed.
+    node_caches: Vec<CaptureCache>,
+    /// Per-delay-node capture hash caches.
+    dn_caches: Vec<CaptureCache>,
 }
 
 impl TimeTravelTree {
@@ -214,17 +220,23 @@ impl TimeTravelTree {
         let mut node_residues = Vec::with_capacity(node_payloads.len());
         let mut logical_bytes = 0;
         let mut new_physical_bytes = 0;
-        for (bytes, residue) in node_payloads {
-            let put = self.store.put_image(&bytes);
+        if self.node_caches.len() < node_payloads.len() {
+            self.node_caches.resize_with(node_payloads.len(), CaptureCache::new);
+        }
+        for (i, (bytes, residue)) in node_payloads.into_iter().enumerate() {
+            let put = self.store.put_image_cached(&bytes, &mut self.node_caches[i]);
             logical_bytes += put.logical_bytes;
             new_physical_bytes += put.new_physical_bytes;
             node_images.push(put.image);
             node_residues.push(residue);
         }
         let mut dn_images = Vec::with_capacity(dn_payloads.len());
-        for bytes in dn_payloads {
+        if self.dn_caches.len() < dn_payloads.len() {
+            self.dn_caches.resize_with(dn_payloads.len(), CaptureCache::new);
+        }
+        for (i, bytes) in dn_payloads.into_iter().enumerate() {
             dn_images.push(bytes.map(|b| {
-                let put = self.store.put_image(&b);
+                let put = self.store.put_image_cached(&b, &mut self.dn_caches[i]);
                 logical_bytes += put.logical_bytes;
                 new_physical_bytes += put.new_physical_bytes;
                 put.image

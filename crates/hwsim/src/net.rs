@@ -9,7 +9,7 @@
 use std::any::Any;
 use std::sync::Arc;
 
-use sim::{transmission_time, Component, ComponentId, Ctx, FaultPlan, SimDuration, SimRng, SimTime};
+use sim::{transmission_time, Component, ComponentId, Ctx, FaultPlan, Payload, SimDuration, SimRng, SimTime};
 
 /// A testbed-wide interface address (plays the role of a MAC address).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -139,9 +139,9 @@ impl Link {
 }
 
 impl Component for Link {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
         let tx = match payload.downcast::<LinkTransmit>() {
-            Ok(t) => *t,
+            Ok(t) => t,
             Err(_) => panic!("Link received a non-LinkTransmit message"),
         };
         assert!(tx.from_end < 2, "bad link end");
@@ -264,9 +264,9 @@ impl ControlLan {
 }
 
 impl Component for ControlLan {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
         let tx = match payload.downcast::<LanTransmit>() {
-            Ok(t) => *t,
+            Ok(t) => t,
             Err(_) => panic!("ControlLan received a non-LanTransmit message"),
         };
         let Some(src_idx) = self.member_index(tx.frame.src) else {
@@ -369,7 +369,7 @@ mod tests {
     }
 
     impl Component for Sink {
-        fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
             let d = payload.downcast::<LinkDeliver>().expect("LinkDeliver");
             self.got.push((ctx.now(), d.iface, d.frame));
         }

@@ -1,15 +1,14 @@
 //! The discrete-event engine: components, dispatch context, main loop.
 //!
 //! Components are state machines addressed by [`ComponentId`]; events carry
-//! `Box<dyn Any>` payloads (by convention, each component defines one public
-//! message enum that all senders box). The engine is single-threaded and
-//! fully deterministic: equal-timestamp events fire in schedule order and
-//! random draws come from per-component seeded streams.
+//! [`Payload`]s (by convention, each component defines one public message
+//! enum that all senders post). The engine is single-threaded and fully
+//! deterministic: equal-timestamp events fire in schedule order and random
+//! draws come from per-component seeded streams.
 
 use std::any::Any;
-use std::collections::HashMap;
 
-use crate::event::{ComponentId, EventId, Scheduler};
+use crate::event::{ComponentId, EventId, Payload, Scheduler};
 use crate::rng::SimRng;
 use crate::telemetry::Telemetry;
 use crate::time::{SimDuration, SimTime};
@@ -20,7 +19,7 @@ use crate::time::{SimDuration, SimTime};
 /// checkpointing layers can snapshot guest state with `Clone`.
 pub trait Component: Any {
     /// Handles one event addressed to this component.
-    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>);
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload);
 
     /// Upcast for engine-side downcasting; implement as `self`.
     fn as_any(&self) -> &dyn Any;
@@ -30,18 +29,41 @@ pub trait Component: Any {
 }
 
 /// Lazily-created per-component RNG streams under one global seed.
+/// Component ids are dense, so this is a plain vector lookup — the
+/// stream derivation (`SimRng::for_component`) is unchanged, keeping
+/// every seeded trace identical.
 struct RngStore {
     seed: u64,
-    streams: HashMap<u32, SimRng>,
+    streams: Vec<Option<SimRng>>,
 }
 
 impl RngStore {
     fn get(&mut self, id: ComponentId) -> &mut SimRng {
+        let idx = id.0 as usize;
+        if self.streams.len() <= idx {
+            self.streams.resize_with(idx + 1, || None);
+        }
         let seed = self.seed;
-        self.streams
-            .entry(id.0)
-            .or_insert_with(|| SimRng::for_component(seed, id.0))
+        self.streams[idx].get_or_insert_with(|| SimRng::for_component(seed, id.0))
     }
+}
+
+/// Everything the engine owns *except* the component table. Handlers run
+/// with the target component taken out of the table and a borrow of this
+/// struct — disjoint borrows, so [`Ctx`] is two words instead of a fan
+/// of per-field references rebuilt on every dispatch.
+struct EngineInner {
+    now: SimTime,
+    sched: Scheduler,
+    rngs: RngStore,
+    next_component_id: u32,
+    stop: bool,
+    events_dispatched: u64,
+    events_dropped: u64,
+    telemetry: Telemetry,
+    /// Components registered from inside a handler, grafted into the
+    /// table after it returns; the buffer is reused across dispatches.
+    pending: Vec<(ComponentId, Box<dyn Component>)>,
 }
 
 /// The dispatch context handed to [`Component::handle`].
@@ -50,20 +72,14 @@ impl RngStore {
 /// components, and requesting a stop — everything a component may do besides
 /// mutating its own state.
 pub struct Ctx<'a> {
-    now: SimTime,
     self_id: ComponentId,
-    sched: &'a mut Scheduler,
-    rngs: &'a mut RngStore,
-    new_components: &'a mut Vec<(ComponentId, Box<dyn Component>)>,
-    next_component_id: &'a mut u32,
-    stop: &'a mut bool,
-    telemetry: &'a Telemetry,
+    inner: &'a mut EngineInner,
 }
 
 impl Ctx<'_> {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.inner.now
     }
 
     /// The id of the component currently handling an event.
@@ -73,7 +89,7 @@ impl Ctx<'_> {
 
     /// Schedules `payload` on `target` after `delay`.
     pub fn post<T: Any>(&mut self, target: ComponentId, delay: SimDuration, payload: T) -> EventId {
-        self.sched.push(self.now + delay, target, Box::new(payload))
+        self.inner.sched.push(self.inner.now + delay, target, payload)
     }
 
     /// Schedules `payload` on `target` at absolute time `at`.
@@ -82,8 +98,9 @@ impl Ctx<'_> {
     ///
     /// Panics if `at` is in the past; the simulation cannot rewind.
     pub fn post_at<T: Any>(&mut self, target: ComponentId, at: SimTime, payload: T) -> EventId {
-        assert!(at >= self.now, "post_at into the past: {at:?} < {:?}", self.now);
-        self.sched.push(at, target, Box::new(payload))
+        let now = self.inner.now;
+        assert!(at >= now, "post_at into the past: {at:?} < {now:?}");
+        self.inner.sched.push(at, target, payload)
     }
 
     /// Schedules `payload` on the current component after `delay`.
@@ -94,98 +111,94 @@ impl Ctx<'_> {
     /// Cancels a previously scheduled event. Returns false if it already
     /// fired or was already cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.sched.cancel(id)
+        self.inner.sched.cancel(id)
     }
 
     /// The current component's random stream.
     pub fn rng(&mut self) -> &mut SimRng {
-        self.rngs.get(self.self_id)
+        self.inner.rngs.get(self.self_id)
     }
 
     /// Registers a new component mid-run; it can receive events immediately
     /// (its slot becomes live as soon as the current handler returns, which
     /// is before any posted event can fire).
     pub fn add_component(&mut self, c: Box<dyn Component>) -> ComponentId {
-        let id = ComponentId(*self.next_component_id);
-        *self.next_component_id += 1;
-        self.new_components.push((id, c));
+        let id = ComponentId(self.inner.next_component_id);
+        self.inner.next_component_id += 1;
+        self.inner.pending.push((id, c));
         id
     }
 
     /// Requests that the engine stop after the current event.
     pub fn stop(&mut self) {
-        *self.stop = true;
+        self.inner.stop = true;
     }
 
     /// The engine-wide telemetry registry (clone the handle to keep it).
     pub fn telemetry(&self) -> &Telemetry {
-        self.telemetry
+        &self.inner.telemetry
     }
 }
 
 /// The simulation engine.
 pub struct Engine {
-    now: SimTime,
-    sched: Scheduler,
-    rngs: RngStore,
     components: Vec<Option<Box<dyn Component>>>,
-    next_component_id: u32,
-    stop: bool,
-    events_dispatched: u64,
-    events_dropped: u64,
-    telemetry: Telemetry,
+    inner: EngineInner,
 }
 
 impl Engine {
     /// Creates an engine with the given global random seed.
     pub fn new(seed: u64) -> Self {
         Engine {
-            now: SimTime::ZERO,
-            sched: Scheduler::new(),
-            rngs: RngStore {
-                seed,
-                streams: HashMap::new(),
-            },
             components: Vec::new(),
-            next_component_id: 0,
-            stop: false,
-            events_dispatched: 0,
-            events_dropped: 0,
-            telemetry: Telemetry::new(),
+            inner: EngineInner {
+                now: SimTime::ZERO,
+                sched: Scheduler::new(),
+                rngs: RngStore {
+                    seed,
+                    streams: Vec::new(),
+                },
+                next_component_id: 0,
+                stop: false,
+                events_dispatched: 0,
+                events_dropped: 0,
+                telemetry: Telemetry::new(),
+                pending: Vec::new(),
+            },
         }
     }
 
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.inner.now
     }
 
     /// The engine-wide telemetry registry. All components dispatched by
     /// this engine record into it via [`Ctx::telemetry`]; external code
     /// (benches, testbed drivers) may clone the handle.
     pub fn telemetry(&self) -> &Telemetry {
-        &self.telemetry
+        &self.inner.telemetry
     }
 
     /// Total events dispatched so far.
     pub fn events_dispatched(&self) -> u64 {
-        self.events_dispatched
+        self.inner.events_dispatched
     }
 
     /// Events dropped because their target slot was empty (removed).
     pub fn events_dropped(&self) -> u64 {
-        self.events_dropped
+        self.inner.events_dropped
     }
 
     /// Number of live queued events.
     pub fn pending_events(&self) -> usize {
-        self.sched.len()
+        self.inner.sched.len()
     }
 
     /// Registers a component and returns its id.
     pub fn add_component(&mut self, c: Box<dyn Component>) -> ComponentId {
-        let id = ComponentId(self.next_component_id);
-        self.next_component_id += 1;
+        let id = ComponentId(self.inner.next_component_id);
+        self.inner.next_component_id += 1;
         self.ensure_slot(id);
         self.components[id.0 as usize] = Some(c);
         id
@@ -197,6 +210,17 @@ impl Engine {
         }
     }
 
+    /// Grafts components registered during a handler into the table,
+    /// returning the buffer so its capacity is reused.
+    fn graft_pending(&mut self) {
+        let mut pending = std::mem::take(&mut self.inner.pending);
+        for (cid, c) in pending.drain(..) {
+            self.ensure_slot(cid);
+            self.components[cid.0 as usize] = Some(c);
+        }
+        self.inner.pending = pending;
+    }
+
     /// Removes a component, returning it; pending events to it are dropped
     /// (counted in [`Engine::events_dropped`]) when they fire.
     pub fn remove_component(&mut self, id: ComponentId) -> Option<Box<dyn Component>> {
@@ -205,7 +229,9 @@ impl Engine {
 
     /// Injects an event from outside the simulation after `delay`.
     pub fn post<T: Any>(&mut self, target: ComponentId, delay: SimDuration, payload: T) -> EventId {
-        self.sched.push(self.now + delay, target, Box::new(payload))
+        self.inner
+            .sched
+            .push(self.inner.now + delay, target, payload)
     }
 
     /// Injects an event from outside the simulation at absolute time `at`.
@@ -214,13 +240,13 @@ impl Engine {
     ///
     /// Panics if `at` is in the past.
     pub fn post_at<T: Any>(&mut self, target: ComponentId, at: SimTime, payload: T) -> EventId {
-        assert!(at >= self.now, "post_at into the past");
-        self.sched.push(at, target, Box::new(payload))
+        assert!(at >= self.inner.now, "post_at into the past");
+        self.inner.sched.push(at, target, payload)
     }
 
     /// Cancels a scheduled event from outside the simulation.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.sched.cancel(id)
+        self.inner.sched.cancel(id)
     }
 
     /// Borrows a component, downcast to its concrete type.
@@ -258,17 +284,10 @@ impl Engine {
             .get_mut(id.0 as usize)
             .and_then(Option::take)
             .unwrap_or_else(|| panic!("with_component: no component at {id:?}"));
-        let mut pending = Vec::new();
         let r = {
             let mut ctx = Ctx {
-                now: self.now,
                 self_id: id,
-                sched: &mut self.sched,
-                rngs: &mut self.rngs,
-                new_components: &mut pending,
-                next_component_id: &mut self.next_component_id,
-                stop: &mut self.stop,
-                telemetry: &self.telemetry,
+                inner: &mut self.inner,
             };
             let t = slot
                 .as_any_mut()
@@ -277,9 +296,8 @@ impl Engine {
             f(t, &mut ctx)
         };
         self.components[id.0 as usize] = Some(slot);
-        for (cid, c) in pending {
-            self.ensure_slot(cid);
-            self.components[cid.0 as usize] = Some(c);
+        if !self.inner.pending.is_empty() {
+            self.graft_pending();
         }
         r
     }
@@ -287,64 +305,64 @@ impl Engine {
     /// Dispatches the next event. Returns false when the queue is empty or a
     /// stop was requested.
     pub fn step(&mut self) -> bool {
-        if self.stop {
+        if self.inner.stop {
             return false;
         }
-        let Some(ev) = self.sched.pop() else {
+        let Some(ev) = self.inner.sched.pop() else {
             return false;
         };
-        debug_assert!(ev.time >= self.now, "time went backwards");
-        self.now = ev.time;
-        let idx = ev.target.0 as usize;
-        let Some(mut comp) = self.components.get_mut(idx).and_then(Option::take) else {
-            self.events_dropped += 1;
-            return true;
-        };
-        let mut pending = Vec::new();
-        {
-            let mut ctx = Ctx {
-                now: self.now,
-                self_id: ev.target,
-                sched: &mut self.sched,
-                rngs: &mut self.rngs,
-                new_components: &mut pending,
-                next_component_id: &mut self.next_component_id,
-                stop: &mut self.stop,
-                telemetry: &self.telemetry,
-            };
-            comp.handle(&mut ctx, ev.payload);
-        }
-        self.components[idx] = Some(comp);
-        for (cid, c) in pending {
-            self.ensure_slot(cid);
-            self.components[cid.0 as usize] = Some(c);
-        }
-        self.events_dispatched += 1;
+        self.dispatch(ev);
         true
+    }
+
+    fn dispatch(&mut self, ev: crate::event::Fired) {
+        let inner = &mut self.inner;
+        debug_assert!(ev.time >= inner.now, "time went backwards");
+        inner.now = ev.time;
+        let target = ev.target;
+        // One bounds-checked borrow of the slot covers both the take and
+        // the put-back; the slot borrow (of `components`) is disjoint
+        // from the `inner` borrow Ctx holds, so it lives across the call.
+        let Some(slot) = self.components.get_mut(target.0 as usize) else {
+            inner.events_dropped += 1;
+            return;
+        };
+        let Some(mut comp) = slot.take() else {
+            inner.events_dropped += 1;
+            return;
+        };
+        let mut ctx = Ctx {
+            self_id: target,
+            inner,
+        };
+        comp.handle(&mut ctx, ev.payload);
+        *slot = Some(comp);
+        self.inner.events_dispatched += 1;
+        if !self.inner.pending.is_empty() {
+            self.graft_pending();
+        }
     }
 
     /// Runs until simulation time `t`: every event with `time <= t` fires,
     /// then `now` advances to exactly `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        loop {
-            if self.stop {
-                return;
-            }
-            match self.sched.peek_time() {
-                Some(next) if next <= t => {
-                    self.step();
-                }
-                _ => break,
-            }
+        while !self.inner.stop {
+            let Some(ev) = self.inner.sched.pop_before(t) else {
+                break;
+            };
+            self.dispatch(ev);
         }
-        if self.now < t {
-            self.now = t;
+        if self.inner.stop {
+            return;
+        }
+        if self.inner.now < t {
+            self.inner.now = t;
         }
     }
 
     /// Runs for a span of simulation time.
     pub fn run_for(&mut self, d: SimDuration) {
-        let t = self.now + d;
+        let t = self.inner.now + d;
         self.run_until(t);
     }
 
@@ -355,12 +373,12 @@ impl Engine {
 
     /// True if a component requested a stop.
     pub fn stopped(&self) -> bool {
-        self.stop
+        self.inner.stop
     }
 
     /// Clears a stop request so the engine can continue.
     pub fn clear_stop(&mut self) {
-        self.stop = false;
+        self.inner.stop = false;
     }
 }
 
@@ -378,7 +396,7 @@ mod tests {
     struct Tick;
 
     impl Component for Ticker {
-        fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
             assert!(payload.downcast::<Tick>().is_ok());
             self.fired_at.push(ctx.now());
             if self.remaining > 0 {
@@ -396,8 +414,8 @@ mod tests {
     }
 
     impl Component for PingPong {
-        fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
-            let v = *payload.downcast::<u64>().expect("u64 payload");
+        fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+            let v = payload.downcast::<u64>().expect("u64 payload");
             self.log.push(v);
             if v < 5 {
                 if let Some(p) = self.partner {
@@ -483,7 +501,7 @@ mod tests {
             }
             struct Go;
             impl Component for Jitterer {
-                fn handle(&mut self, ctx: &mut Ctx<'_>, _p: Box<dyn Any>) {
+                fn handle(&mut self, ctx: &mut Ctx<'_>, _p: Payload) {
                     self.fired.push(ctx.now());
                     if self.left > 0 {
                         self.left -= 1;

@@ -11,14 +11,14 @@
 //! # Examples
 //!
 //! ```
-//! use sim::{Component, Ctx, Engine, SimDuration};
+//! use sim::{Component, Ctx, Engine, Payload, SimDuration};
 //! use std::any::Any;
 //!
 //! struct Counter(u32);
 //! struct Bump;
 //!
 //! impl Component for Counter {
-//!     fn handle(&mut self, _ctx: &mut Ctx<'_>, _p: Box<dyn Any>) {
+//!     fn handle(&mut self, _ctx: &mut Ctx<'_>, _p: Payload) {
 //!         self.0 += 1;
 //!     }
 //!     fn as_any(&self) -> &dyn Any { self }
@@ -42,7 +42,7 @@ mod time;
 pub mod trace;
 
 pub use engine::{Component, Ctx, Engine};
-pub use event::{ComponentId, EventId};
+pub use event::{payload_pool_stats, ComponentId, EventId, Payload};
 pub use fault::FaultPlan;
 pub use rng::SimRng;
 pub use telemetry::audit::{
@@ -59,12 +59,11 @@ pub use time::{transmission_time, SimDuration, SimTime};
 /// Invoke inside an `impl Component for T` block, after `handle`:
 ///
 /// ```
-/// use sim::{Component, Ctx};
-/// use std::any::Any;
+/// use sim::{Component, Ctx, Payload};
 ///
 /// struct Foo;
 /// impl Component for Foo {
-///     fn handle(&mut self, _ctx: &mut Ctx<'_>, _p: Box<dyn Any>) {}
+///     fn handle(&mut self, _ctx: &mut Ctx<'_>, _p: Payload) {}
 ///     sim::component_boilerplate!();
 /// }
 /// ```

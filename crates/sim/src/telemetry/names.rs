@@ -58,6 +58,10 @@ pub const CKPT_REPLICA_REPAIRS: &str = "ckptstore.replica_repairs";
 pub const CKPT_SCRUB_HEALS: &str = "ckptstore.scrub_heals";
 /// Counter: redundant replicas added.
 pub const CKPT_REPLICAS_ADDED: &str = "ckptstore.replicas_added";
+/// Counter: capture chunks re-admitted by cached hash (no re-hash).
+pub const CKPT_HASH_CACHE_HITS: &str = "ckptstore.hash_cache_hits";
+/// Counter: capture chunks hashed because the cache could not vouch.
+pub const CKPT_HASH_CACHE_MISSES: &str = "ckptstore.hash_cache_misses";
 
 // ---------------------------------------------------------------------
 // COW store (cowstore crate).

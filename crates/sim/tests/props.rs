@@ -7,10 +7,9 @@
 //! index to reproduce, since generation is fully deterministic.
 #![cfg(feature = "props")]
 
-use std::any::Any;
 use std::collections::HashSet;
 
-use sim::{Component, Ctx, Engine, SimDuration, SimRng, SimTime};
+use sim::{Component, Ctx, Engine, Payload, SimDuration, SimRng, SimTime};
 
 const CASES: u64 = 128;
 
@@ -20,8 +19,8 @@ struct Recorder {
 }
 
 impl Component for Recorder {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
-        let tag = *payload.downcast::<u32>().expect("u32 payload");
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        let tag = payload.downcast::<u32>().expect("u32 payload");
         self.got.push((ctx.now(), tag));
     }
     sim::component_boilerplate!();
@@ -127,7 +126,7 @@ fn rng_streams_are_isolated() {
         vals: Vec<u64>,
     }
     impl Component for Draws {
-        fn handle(&mut self, ctx: &mut Ctx<'_>, _p: Box<dyn Any>) {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, _p: Payload) {
             for _ in 0..8 {
                 self.vals.push(ctx.rng().range_u64(0, u64::MAX));
             }

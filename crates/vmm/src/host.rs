@@ -30,7 +30,7 @@ use hwsim::{
 use sim::telemetry::names;
 use sim::{
     transmission_time, ActiveSpan, Component, ComponentId, CounterId, Ctx, EventId, HistogramId,
-    SimDuration, SimTime, SpanId, TraceTag, TrackId,
+    Payload, SimDuration, SimTime, SpanId, TraceTag, TrackId,
 };
 
 use crate::agent::HostAgent;
@@ -1299,11 +1299,10 @@ impl VmHost {
 }
 
 impl Component for VmHost {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
         // Frames from links and the control LAN.
         let payload = match payload.downcast::<LinkDeliver>() {
             Ok(del) => {
-                let del = *del;
                 if del.iface == IfaceId::CONTROL {
                     if let Some(resp) = del.frame.payload::<NtpResponse>() {
                         self.on_ntp_response(ctx, *resp);
@@ -1321,7 +1320,7 @@ impl Component for VmHost {
             Err(p) => p,
         };
         let msg = match payload.downcast::<VmMsg>() {
-            Ok(m) => *m,
+            Ok(m) => m,
             Err(_) => panic!("VmHost received an unknown message type"),
         };
         match msg {

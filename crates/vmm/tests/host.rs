@@ -12,7 +12,7 @@ use hwsim::{
     ControlLan, Endpoint, Frame, HardwareClock, IfaceId, LanTransmit, LinkDeliver, NodeAddr,
     Pc3000,
 };
-use sim::{Component, ComponentId, Ctx, Engine, SimDuration, SimTime};
+use sim::{Component, ComponentId, Ctx, Engine, Payload, SimDuration, SimTime};
 use vmm::{VmHost, VmHostConfig, VmmTuning};
 
 /// Minimal ops node: answers NTP with its reference clock.
@@ -24,7 +24,7 @@ struct NtpOps {
 }
 
 impl Component for NtpOps {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Box<dyn Any>) {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
         let Ok(del) = payload.downcast::<LinkDeliver>() else {
             return;
         };
