@@ -1,0 +1,248 @@
+//! EXPLORE — randomized fault exploration of the epoch protocol.
+//!
+//! Sweeps thousands of seeded iterations, each a fully random scenario
+//! (topology, capture mix, failure policy, cadence, crash schedule)
+//! run under an armed buggify registry, and checks every trace against
+//! the independent shadow model of the coordinator's two-phase
+//! protocol (`checkpoint::shadow`). A violation dumps the full trace
+//! as CSV under `results/` and prints the exact command that replays
+//! the iteration byte-identically.
+//!
+//! Usage:
+//!
+//! ```text
+//! explore [--iters=N] [--root-seed=S] [--preset=calm|moderate|chaos|mix]
+//!         [--replay-seed=S [--sabotage]] [--selftest-replay] [--smoke]
+//! ```
+//!
+//! - default: 5000 iterations from root seed 0xC0FFEE, mixed presets;
+//! - `--smoke`: 200 iterations (CI-sized);
+//! - `--replay-seed=S`: run exactly one iteration and dump its trace;
+//! - `--sabotage`: drop node 1's `shadow.done` events before the
+//!   shadow replay — a deliberate bookkeeping bug that must fire
+//!   `CommitIncomplete` (used to prove the failure path works);
+//! - `--selftest-replay`: run a sabotaged iteration twice and verify
+//!   the violation reproduces byte-identically.
+//!
+//! Exit status is nonzero if any iteration violated the shadow model
+//! (sabotaged runs invert: they fail if the violation did NOT fire).
+
+use std::process::ExitCode;
+
+use sim::Preset;
+use tcd_bench::explore::{
+    events_csv, iteration_seed, repro_line, run_seed, IterationOutcome, Scenario,
+};
+use tcd_bench::{banner, write_csv};
+
+struct Args {
+    iters: u64,
+    root_seed: u64,
+    preset: Option<Preset>,
+    replay_seed: Option<u64>,
+    sabotage: bool,
+    selftest_replay: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        iters: 5_000,
+        root_seed: 0xC0_FFEE,
+        preset: None,
+        replay_seed: None,
+        sabotage: false,
+        selftest_replay: false,
+    };
+    for arg in std::env::args().skip(1) {
+        let (key, val) = match arg.split_once('=') {
+            Some((k, v)) => (k, Some(v)),
+            None => (arg.as_str(), None),
+        };
+        let num = |v: Option<&str>| -> Result<u64, String> {
+            let v = v.ok_or_else(|| format!("{key} needs a value"))?;
+            let (v, radix) = match v.strip_prefix("0x") {
+                Some(hex) => (hex, 16),
+                None => (v, 10),
+            };
+            u64::from_str_radix(v, radix).map_err(|e| format!("{key}: {e}"))
+        };
+        match key {
+            "--iters" => args.iters = num(val)?,
+            "--root-seed" => args.root_seed = num(val)?,
+            "--replay-seed" => args.replay_seed = Some(num(val)?),
+            "--preset" => {
+                let v = val.ok_or("--preset needs a value")?;
+                if v != "mix" {
+                    args.preset =
+                        Some(Preset::parse(v).ok_or_else(|| format!("unknown preset {v}"))?);
+                }
+            }
+            "--sabotage" => args.sabotage = true,
+            "--selftest-replay" => args.selftest_replay = true,
+            "--smoke" => args.iters = 200,
+            _ => return Err(format!("unknown flag {key}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Dumps a failing iteration's trace and prints the repro line.
+fn report_failure(out: &IterationOutcome, sabotage: bool) {
+    let s = &out.scenario;
+    println!();
+    println!(
+        "  VIOLATION seed={:#x} preset={} nodes={} interval={}ms crash={:?}",
+        s.seed,
+        s.preset.name(),
+        s.nodes(),
+        s.interval_ms,
+        s.crash,
+    );
+    for v in &out.violations {
+        println!("    - {v}");
+    }
+    let path = write_csv(
+        &format!("explore-violation-{:#x}.csv", s.seed),
+        &events_csv(&out.events),
+    );
+    println!("    trace: {} ({} events)", path.display(), out.events.len());
+    println!("    repro: {}", repro_line(s, sabotage));
+}
+
+fn preset_name(p: Option<Preset>) -> &'static str {
+    p.map_or("mix", Preset::name)
+}
+
+fn replay(seed: u64, preset: Option<Preset>, sabotage: bool) -> ExitCode {
+    let scenario = Scenario::derive(seed, preset);
+    println!("replaying seed {seed:#x}: {scenario:?}");
+    let out = run_seed(seed, preset, sabotage);
+    let (c, a, d) = out.outcomes;
+    println!(
+        "  epochs committed/aborted/degraded = {c}/{a}/{d}, retries = {}, \
+         buggify fires = {}, shadow checked {} epochs, fingerprint = {:#018x}",
+        out.retries, out.buggify_fires, out.epochs_checked, out.fingerprint()
+    );
+    let path = write_csv(&format!("explore-replay-{seed:#x}.csv"), &events_csv(&out.events));
+    println!("  trace: {} ({} events)", path.display(), out.events.len());
+    if out.violations.is_empty() {
+        println!("  shadow model: clean");
+        if sabotage {
+            println!("  FAIL: sabotage did not trip the shadow model");
+            return ExitCode::FAILURE;
+        }
+        ExitCode::SUCCESS
+    } else {
+        for v in &out.violations {
+            println!("  violation: {v}");
+        }
+        if sabotage {
+            println!("  OK: deliberate violation fired as expected");
+            ExitCode::SUCCESS
+        } else {
+            report_failure(&out, sabotage);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs a sabotaged iteration twice and demands identical traces and
+/// identical violations — the byte-identical-replay guarantee, checked
+/// end to end through a real failure.
+fn selftest_replay(preset: Option<Preset>) -> ExitCode {
+    let seed = 5;
+    let a = run_seed(seed, preset.or(Some(Preset::Calm)), true);
+    let b = run_seed(seed, preset.or(Some(Preset::Calm)), true);
+    if a.violations.is_empty() {
+        println!("FAIL: sabotaged seed {seed:#x} produced no violation");
+        return ExitCode::FAILURE;
+    }
+    if a.fingerprint() != b.fingerprint() || a.violations != b.violations {
+        println!(
+            "FAIL: replay diverged (fingerprints {:#x} vs {:#x})",
+            a.fingerprint(),
+            b.fingerprint()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "OK: injected violation ({} finding{}) replayed byte-identically \
+         (fingerprint {:#018x}, {} events)",
+        a.violations.len(),
+        if a.violations.len() == 1 { "" } else { "s" },
+        a.fingerprint(),
+        a.events.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("explore: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.selftest_replay {
+        return selftest_replay(args.preset);
+    }
+    if let Some(seed) = args.replay_seed {
+        return replay(seed, args.preset, args.sabotage);
+    }
+
+    banner(
+        "EXPLORE",
+        "randomized fault exploration vs. the shadow epoch model",
+    );
+    println!(
+        "root seed {:#x}, {} iterations, preset {}",
+        args.root_seed,
+        args.iters,
+        preset_name(args.preset)
+    );
+
+    let mut totals = (0u64, 0u64, 0u64);
+    let mut retries = 0u64;
+    let mut fires = 0u64;
+    let mut epochs = 0u64;
+    let mut failures = 0u64;
+    for i in 0..args.iters {
+        let seed = iteration_seed(args.root_seed, i);
+        let out = run_seed(seed, args.preset, args.sabotage);
+        totals.0 += out.outcomes.0;
+        totals.1 += out.outcomes.1;
+        totals.2 += out.outcomes.2;
+        retries += out.retries;
+        fires += out.buggify_fires;
+        epochs += out.epochs_checked;
+        if !out.violations.is_empty() {
+            failures += 1;
+            report_failure(&out, args.sabotage);
+        }
+        if (i + 1) % 500 == 0 {
+            println!(
+                "  {}/{} iterations, {} epochs checked, {} buggify fires, {} violations",
+                i + 1,
+                args.iters,
+                epochs,
+                fires,
+                failures
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "{} iterations: {} epochs checked ({} committed / {} aborted / {} degraded), \
+         {} retries, {} buggify fires",
+        args.iters, epochs, totals.0, totals.1, totals.2, retries, fires
+    );
+    if failures == 0 {
+        println!("shadow model: clean across all iterations");
+        ExitCode::SUCCESS
+    } else {
+        println!("shadow model: {failures} violating iteration(s) — traces under results/");
+        ExitCode::FAILURE
+    }
+}

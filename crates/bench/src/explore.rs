@@ -1,0 +1,430 @@
+//! sim::explore — buggify-style randomized fault exploration with a
+//! shadow epoch-protocol checker.
+//!
+//! Each iteration derives a complete scenario (topology, capture-time
+//! mix, failure policy, trigger cadence, crash schedule) from a single
+//! `u64` seed, arms the engine-wide [`Buggify`] registry under a preset,
+//! runs several checkpoint epochs over a faulty control LAN, and then
+//! replays the trace ring through [`ShadowEpochState`] — an independent
+//! model of the coordinator's two-phase protocol. Any shadow violation
+//! fails the iteration; because everything (component jitter, buggify
+//! draws, fault plans, the scenario itself) flows from the one seed, a
+//! failing iteration replays byte-identically from the printed seed.
+//!
+//! The library half (this module) builds rigs and runs single
+//! iterations so `cargo test` can replay the committed seed corpus; the
+//! `explore` binary drives multi-thousand-iteration sweeps.
+
+use checkpoint::{
+    Coordinator, FailurePolicy, ShadowEpochState, ShadowViolation, TriggerMode,
+};
+use checkpoint::{shadow, BusMsg, BUS_MSG_BYTES};
+use hwsim::{ControlLan, Endpoint, Frame, IfaceId, LanTransmit, LinkDeliver, NodeAddr};
+use sim::telemetry::names;
+use sim::{
+    Buggify, Component, ComponentId, Ctx, Engine, FaultPlan, Payload, Preset, SimDuration, SimRng,
+    SimTime, TraceEvent, TracePhase,
+};
+
+/// SplitMix64 step: turns `root_seed + index` into a well-mixed
+/// per-iteration seed. Matches the generator used by `SimRng` seeding,
+/// so nearby iterations share no stream structure.
+pub fn iteration_seed(root_seed: u64, index: u64) -> u64 {
+    let mut z = root_seed
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A crash scheduled against one model node, with an optional heal
+/// (LAN plan swap) and rejoin attempt later in the run.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashPlan {
+    /// Address payload of the crashed node (`NodeAddr.0`).
+    pub node: u32,
+    /// Virtual time the node's control traffic stops.
+    pub at_ms: u64,
+    /// Virtual time the LAN heals (`None`: stays dead all run).
+    pub heal_at_ms: Option<u64>,
+}
+
+/// Everything one iteration does, derived deterministically from the
+/// seed. Public so failure reports can print the whole scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    pub seed: u64,
+    /// Preset the buggify registry is armed with.
+    pub preset: Preset,
+    /// True when the preset came from a CLI override rather than the
+    /// seed's own draw (the repro line must then repeat the override).
+    pub preset_overridden: bool,
+    /// Per-node local capture times (length = node count).
+    pub capture_ms: Vec<u64>,
+    /// Nodes ack notifications explicitly (vs. implied by done).
+    pub ack_explicit: bool,
+    /// Scheduled ("checkpoint at t") vs. event-driven notification.
+    pub scheduled_lead_ms: Option<u64>,
+    pub policy: FailurePolicy,
+    /// Periodic trigger interval.
+    pub interval_ms: u64,
+    /// Main run length before the drain phase.
+    pub run_ms: u64,
+    pub crash: Option<CrashPlan>,
+}
+
+impl Scenario {
+    /// Derives the full scenario from `seed`. The preset draw always
+    /// happens (fixed draw order) and is then overridden if asked, so
+    /// `--preset` replays perturb nothing else.
+    pub fn derive(seed: u64, preset_override: Option<Preset>) -> Scenario {
+        let mut rng = SimRng::from_seed(seed ^ 0x00E4_B07E_5EED_u64);
+        let drawn = match rng.range_u64(0, 3) {
+            0 => Preset::Calm,
+            1 => Preset::Moderate,
+            _ => Preset::Chaos,
+        };
+        let preset = preset_override.unwrap_or(drawn);
+        let nodes = rng.range_u64(2, 9) as usize;
+        let capture_ms: Vec<u64> = (0..nodes).map(|_| rng.range_u64(2, 81)).collect();
+        let ack_explicit = rng.chance(0.7);
+        let scheduled_lead_ms = if rng.chance(0.2) {
+            Some(rng.range_u64(5, 51))
+        } else {
+            None
+        };
+        let policy = FailurePolicy {
+            ack_timeout: SimDuration::from_millis(rng.range_u64(5, 41)),
+            max_notify_retries: rng.range_u64(1, 7) as u32,
+            epoch_deadline: SimDuration::from_millis(rng.range_u64(150, 601)),
+            allow_degraded: rng.chance(0.8),
+            resume_repeats: rng.range_u64(0, 3) as u32,
+            evict_excluded: rng.chance(0.5),
+        };
+        let interval_ms = rng.range_u64(80, 401);
+        let run_ms = interval_ms * rng.range_u64(4, 13);
+        let crash = if rng.chance(0.5) {
+            let node = rng.range_u64(1, nodes as u64 + 1) as u32;
+            let at_ms = rng.range_u64(0, run_ms / 2 + 1);
+            let heal_at_ms = if rng.chance(0.5) {
+                Some(rng.range_u64(at_ms + 1, run_ms + 2))
+            } else {
+                None
+            };
+            Some(CrashPlan { node, at_ms, heal_at_ms })
+        } else {
+            None
+        };
+        Scenario {
+            seed,
+            preset,
+            preset_overridden: preset_override.is_some(),
+            capture_ms,
+            ack_explicit,
+            scheduled_lead_ms,
+            policy,
+            interval_ms,
+            run_ms,
+            crash,
+        }
+    }
+
+    /// Node count.
+    pub fn nodes(&self) -> usize {
+        self.capture_ms.len()
+    }
+}
+
+/// A model checkpoint agent: acks (optionally), reports done after its
+/// local capture time, counts resumes/aborts. Mirrors the coordinator
+/// unit-test fake so explorer traces exercise exactly the protocol
+/// seams, not guest-domain mechanics.
+struct ModelNode {
+    addr: NodeAddr,
+    lan: ComponentId,
+    coord_addr: NodeAddr,
+    capture_ms: u64,
+    ack: bool,
+}
+
+struct CaptureDone {
+    epoch: u64,
+}
+
+impl Component for ModelNode {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        let payload = match payload.downcast::<LinkDeliver>() {
+            Ok(del) => {
+                if let Some(
+                    &BusMsg::CheckpointAt { epoch, .. } | &BusMsg::CheckpointNow { epoch, .. },
+                ) = del.frame.payload::<BusMsg>()
+                {
+                    if self.ack {
+                        let frame = Frame::new(
+                            self.addr,
+                            self.coord_addr,
+                            BUS_MSG_BYTES,
+                            BusMsg::NotifyAck { epoch },
+                        );
+                        ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
+                    }
+                    ctx.post_self(
+                        SimDuration::from_millis(self.capture_ms),
+                        CaptureDone { epoch },
+                    );
+                }
+                return;
+            }
+            Err(p) => p,
+        };
+        if let Ok(done) = payload.downcast::<CaptureDone>() {
+            let frame = Frame::new(
+                self.addr,
+                self.coord_addr,
+                BUS_MSG_BYTES,
+                BusMsg::NodeDone { epoch: done.epoch, image_bytes: 1 << 20 },
+            );
+            ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
+        }
+    }
+    sim::component_boilerplate!();
+}
+
+/// What one iteration produced.
+pub struct IterationOutcome {
+    pub scenario: Scenario,
+    /// (committed, aborted, degraded) epoch counts from the coordinator.
+    pub outcomes: (u64, u64, u64),
+    /// Notification retries the failure detector issued.
+    pub retries: u64,
+    /// Total buggify fires across all points.
+    pub buggify_fires: u64,
+    /// Epochs the shadow model checked to a terminal outcome.
+    pub epochs_checked: u64,
+    /// The full trace-ring contents (shadow events included).
+    pub events: Vec<TraceEvent>,
+    /// Shadow-invariant violations; empty on a clean iteration.
+    pub violations: Vec<ShadowViolation>,
+}
+
+impl IterationOutcome {
+    /// FNV-1a over the CSV rendering of the trace: two runs of the same
+    /// seed are byte-identical iff their fingerprints match.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in events_csv(&self.events).as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Renders a trace as CSV: the failure artifact format, and the byte
+/// string replays are compared over. Shadow events get their packed
+/// `(group, epoch, node)` columns unpacked; other events leave them
+/// blank.
+pub fn events_csv(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 48 + 64);
+    out.push_str("at_ns,host,subsystem,name,phase,arg,group,epoch,node\n");
+    for ev in events {
+        let phase = match ev.phase {
+            TracePhase::Begin => 'B',
+            TracePhase::End => 'E',
+            TracePhase::Instant => 'I',
+        };
+        let unpacked = if ev.name.starts_with("shadow.") {
+            let (g, e, n) = shadow::unpack(ev.arg);
+            format!("{g},{e},{n}")
+        } else {
+            ",,".to_string()
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            ev.at.as_nanos(),
+            ev.host,
+            ev.subsystem,
+            ev.name,
+            phase,
+            ev.arg,
+            unpacked
+        ));
+    }
+    out
+}
+
+/// Runs one exploration iteration: build the rig from the scenario,
+/// arm buggify, drive periodic epochs (with the scripted crash/heal/
+/// rejoin), drain, then replay the trace through the shadow model.
+///
+/// `sabotage` deliberately discards node 1's `shadow.done` instants
+/// before handing the trace to the shadow — a synthetic bookkeeping
+/// bug (the coordinator commits over a done report the model never
+/// saw) that must surface as `CommitIncomplete` and must reproduce
+/// byte-identically from the seed (the replay self-test).
+pub fn run_iteration(scenario: &Scenario, sabotage: bool) -> IterationOutcome {
+    let s = scenario;
+    let mut e = Engine::new(s.seed);
+    e.arm_buggify(Buggify::armed(s.seed, s.preset));
+
+    let lan = e.add_component(Box::new(ControlLan::new(
+        100_000_000,
+        SimDuration::from_micros(40),
+        SimDuration::from_micros(60),
+    )));
+    let coord_addr = NodeAddr(100);
+    let mode = match s.scheduled_lead_ms {
+        Some(lead) => TriggerMode::Scheduled { lead: SimDuration::from_millis(lead) },
+        None => TriggerMode::EventDriven,
+    };
+    let coord = e.add_component(Box::new(
+        Coordinator::builder(coord_addr, lan)
+            .mode(mode)
+            .policy(s.policy)
+            .build(),
+    ));
+    for (i, &ms) in s.capture_ms.iter().enumerate() {
+        let addr = NodeAddr(i as u32 + 1);
+        let n = e.add_component(Box::new(ModelNode {
+            addr,
+            lan,
+            coord_addr,
+            capture_ms: ms,
+            ack: s.ack_explicit,
+        }));
+        e.with_component::<ControlLan, _>(lan, |l, _| {
+            l.attach(addr, Endpoint { component: n, iface: IfaceId::CONTROL });
+        });
+        e.with_component::<Coordinator, _>(coord, |c, _| c.subscribe(addr));
+    }
+    e.with_component::<ControlLan, _>(lan, |l, _| {
+        l.attach(coord_addr, Endpoint { component: coord, iface: IfaceId::CONTROL });
+    });
+
+    if let Some(crash) = s.crash {
+        let plan = FaultPlan::new(s.seed)
+            .with_crash(crash.node, SimTime::from_nanos(crash.at_ms * 1_000_000));
+        e.with_component::<ControlLan, _>(lan, |l, _| l.inject_faults(plan));
+    }
+
+    e.with_component::<Coordinator, _>(coord, |c, ctx| {
+        c.start_periodic(ctx, SimDuration::from_millis(s.interval_ms));
+    });
+
+    // Main run, split at the heal instant when the crash heals: swap in
+    // a clean fault plan and re-admit the node if it was evicted.
+    let heal = s.crash.and_then(|c| c.heal_at_ms).filter(|&h| h < s.run_ms);
+    match heal {
+        Some(heal_ms) => {
+            e.run_for(SimDuration::from_millis(heal_ms));
+            e.with_component::<ControlLan, _>(lan, |l, _| {
+                l.inject_faults(FaultPlan::new(s.seed ^ 1));
+            });
+            let node = NodeAddr(s.crash.unwrap().node);
+            e.with_component::<Coordinator, _>(coord, |c, ctx| {
+                c.rejoin(ctx, node);
+            });
+            e.run_for(SimDuration::from_millis(s.run_ms - heal_ms));
+        }
+        None => e.run_for(SimDuration::from_millis(s.run_ms)),
+    }
+
+    // Drain: stop triggering and let the in-flight round (if any) reach
+    // its deadline-bounded terminal outcome.
+    e.with_component::<Coordinator, _>(coord, |c, _| c.stop_periodic());
+    let drain = s.policy.epoch_deadline + SimDuration::from_millis(200);
+    e.run_for(drain);
+
+    let c = e.component_ref::<Coordinator>(coord).expect("coordinator");
+    let outcomes = c.outcome_counts();
+    let retries = c.total_retries();
+    let buggify_fires = e.buggify().total_fires();
+
+    let mut events = e.telemetry().trace_events();
+    if sabotage {
+        events.retain(|ev| {
+            ev.name != names::EV_SHADOW_DONE || shadow::unpack(ev.arg).2 != 1
+        });
+    }
+    let mut shadow_state = ShadowEpochState::new();
+    for ev in &events {
+        shadow_state.step(ev);
+    }
+    shadow_state.finish();
+    let violations = shadow_state.violations().to_vec();
+
+    IterationOutcome {
+        scenario: scenario.clone(),
+        outcomes,
+        retries,
+        buggify_fires,
+        epochs_checked: shadow_state.epochs_checked,
+        events,
+        violations,
+    }
+}
+
+/// Convenience: derive the scenario and run it.
+pub fn run_seed(seed: u64, preset_override: Option<Preset>, sabotage: bool) -> IterationOutcome {
+    run_iteration(&Scenario::derive(seed, preset_override), sabotage)
+}
+
+/// The command line that replays iteration `seed` byte-identically.
+pub fn repro_line(scenario: &Scenario, sabotage: bool) -> String {
+    let mut line = format!(
+        "cargo run --release -p tcd-bench --bin explore -- --replay-seed={}",
+        scenario.seed
+    );
+    if scenario.preset_overridden {
+        line.push_str(&format!(" --preset={}", scenario.preset.name()));
+    }
+    if sabotage {
+        line.push_str(" --sabotage");
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_derivation_is_deterministic() {
+        let a = Scenario::derive(42, None);
+        let b = Scenario::derive(42, None);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(a.nodes() >= 2 && a.nodes() <= 8);
+    }
+
+    #[test]
+    fn preset_override_perturbs_nothing_else() {
+        let a = Scenario::derive(7, None);
+        let b = Scenario::derive(7, Some(Preset::Chaos));
+        assert_eq!(a.capture_ms, b.capture_ms);
+        assert_eq!(a.interval_ms, b.interval_ms);
+        assert_eq!(format!("{:?}", a.crash), format!("{:?}", b.crash));
+    }
+
+    #[test]
+    fn same_seed_replays_byte_identically() {
+        let a = run_seed(1234, None, false);
+        let b = run_seed(1234, None, false);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(events_csv(&a.events), events_csv(&b.events));
+        assert!(a.violations.is_empty(), "clean seed violated: {:?}", a.violations);
+    }
+
+    #[test]
+    fn sabotage_forces_a_violation_that_replays_identically() {
+        // Seed picked to commit at least one epoch cleanly under calm.
+        let a = run_seed(5, Some(Preset::Calm), true);
+        let b = run_seed(5, Some(Preset::Calm), true);
+        assert!(
+            !a.violations.is_empty(),
+            "sabotaged run must violate the shadow model"
+        );
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.violations, b.violations);
+    }
+}

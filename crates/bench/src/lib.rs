@@ -6,6 +6,7 @@
 //! paper-vs-measured summary. Absolute values come from the calibrated
 //! models (see DESIGN.md §6); the summaries focus on the *shape* claims.
 
+pub mod explore;
 pub mod lab;
 
 use std::fs;

@@ -14,8 +14,10 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use sim::buggify;
+use sim::buggify::points as bg_points;
 use sim::telemetry::names;
-use sim::{CounterId, Telemetry};
+use sim::{Buggify, CounterId, Telemetry};
 
 use crate::hash::{chunk_hash, ChunkHash};
 
@@ -193,6 +195,14 @@ pub struct ChunkStore {
     repaired: Cell<u64>,
     write_faults: Option<WriteFaults>,
     tele: Option<StoreTele>,
+    /// Randomized fault exploration (`store.*` buggify points). Disarmed
+    /// by default: a disarmed registry never draws, so stores outside an
+    /// exploration run behave exactly as before.
+    buggify: Buggify,
+    /// Extra read latency owed by buggified slow loads (ns), accumulated
+    /// here because the store itself has no clock; the timed component
+    /// driving it drains the debt via [`ChunkStore::take_get_penalty_ns`].
+    get_penalty_ns: Cell<u64>,
 }
 
 impl ChunkStore {
@@ -214,7 +224,23 @@ impl ChunkStore {
             repaired: Cell::new(0),
             write_faults: None,
             tele: None,
+            buggify: Buggify::disabled(),
+            get_penalty_ns: Cell::new(0),
         }
+    }
+
+    /// Arms randomized fault exploration: the `store.*` buggify points
+    /// (put-corruption, slow gets, skipped scrub passes) fire from the
+    /// registry's per-point streams from here on.
+    pub fn attach_buggify(&mut self, bg: &Buggify) {
+        self.buggify = bg.clone();
+    }
+
+    /// Drains the accumulated extra latency owed by buggified slow loads
+    /// (ns since the last drain). The component that schedules load
+    /// completions adds this to its completion time.
+    pub fn take_get_penalty_ns(&self) -> u64 {
+        self.get_penalty_ns.replace(0)
     }
 
     /// Attaches a telemetry registry: dedup hit-rate, repair, and scrub
@@ -289,6 +315,12 @@ impl ChunkStore {
     /// chunks with no intact copy are left untouched (the load path will
     /// surface them as [`StoreError::CorruptChunk`]).
     pub fn scrub(&mut self) -> u64 {
+        // One draw per pass (not per chunk — chunk iteration order is not
+        // deterministic): a fired point models a scrubber whose whole pass
+        // silently did nothing, leaving damage to fester until the next.
+        if buggify!(self.buggify, bg_points::STORE_SCRUB_SKIP) {
+            return 0;
+        }
         let mut healed = 0u64;
         for (h, entry) in &mut self.chunks {
             let intact = entry.copies.iter().position(|d| chunk_hash(d) == *h);
@@ -393,6 +425,7 @@ impl ChunkStore {
             };
             let redundancy = self.redundancy;
             let faults = &mut self.write_faults;
+            let bg = self.buggify.clone();
             let mut inserted_clean = false;
             let entry = self.chunks.entry(h).or_insert_with(|| {
                 new_physical += chunk.len() as u64;
@@ -411,6 +444,17 @@ impl ChunkStore {
                         copies[0] = damaged.into();
                         inserted_clean = false;
                     }
+                }
+                // Buggified write corruption: same shape as the injected
+                // faults above (primary damaged, replicas clean), drawn
+                // from the exploration registry's own stream.
+                if !chunk.is_empty() && buggify!(bg, bg_points::STORE_PUT_CORRUPT) {
+                    let i = bg.magnitude(bg_points::STORE_PUT_CORRUPT, 0, chunk.len() as u64)
+                        as usize;
+                    let mut damaged = copies[0].to_vec();
+                    damaged[i] ^= 0x01;
+                    copies[0] = damaged.into();
+                    inserted_clean = false;
                 }
                 ChunkEntry { copies, refs: 0 }
             });
@@ -461,6 +505,16 @@ impl ChunkStore {
     /// intact replica (counted in [`ChunkStore::repaired_chunks`]); the
     /// typed error surfaces only when every copy is damaged.
     pub fn load_image(&self, id: ImageId) -> Result<Vec<u8>, StoreError> {
+        // Buggified slow get: the store has no clock, so the latency debt
+        // accumulates for the timed caller to drain (`take_get_penalty_ns`).
+        if buggify!(self.buggify, bg_points::STORE_GET_SLOW) {
+            let ns = self.buggify.magnitude(
+                bg_points::STORE_GET_SLOW,
+                100_000,     // 100 µs: a seek's worth of stall
+                200_000_000, // 200 ms: a raid rebuild in the way
+            );
+            self.get_penalty_ns.set(self.get_penalty_ns.get() + ns);
+        }
         let m = self.images.get(&id.0).ok_or(StoreError::UnknownImage(id))?;
         let mut out = Vec::with_capacity(m.logical_len as usize);
         for (i, h) in m.chunks.iter().enumerate() {

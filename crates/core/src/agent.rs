@@ -118,9 +118,16 @@ impl HostAgent for CheckpointAgent {
             return;
         };
         match msg {
-            BusMsg::CheckpointAt { epoch, at_clock_ns } => {
+            BusMsg::CheckpointAt { epoch, at_clock_ns, full } => {
                 if epoch < self.epoch {
                     return; // Stale retry of a finished epoch.
+                }
+                if full {
+                    // The coordinator says our incremental chain is broken
+                    // (e.g. we were re-admitted after a crash): capture the
+                    // whole memory image this epoch. Safe on retries — the
+                    // latch is idempotent.
+                    host.request_full_checkpoint();
                 }
                 self.send_ack(host, ctx, epoch);
                 if epoch == self.epoch {
@@ -135,9 +142,12 @@ impl HostAgent for CheckpointAgent {
                 self.epoch = epoch;
                 host.agent_wake_at_clock_ns(ctx, at_clock_ns, epoch);
             }
-            BusMsg::CheckpointNow { epoch } => {
+            BusMsg::CheckpointNow { epoch, full } => {
                 if epoch < self.epoch {
                     return;
+                }
+                if full {
+                    host.request_full_checkpoint(); // See CheckpointAt.
                 }
                 self.send_ack(host, ctx, epoch);
                 if epoch == self.epoch {

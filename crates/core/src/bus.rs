@@ -15,10 +15,13 @@
 pub enum BusMsg {
     /// Schedule a checkpoint at the given *local clock* reading (ns since
     /// the testbed epoch). The time is "far enough in the future to allow
-    /// for propagation and processing of the notifications".
-    CheckpointAt { epoch: u64, at_clock_ns: f64 },
+    /// for propagation and processing of the notifications". `full`
+    /// demands a full (non-incremental) capture: sent to a node whose
+    /// incremental chain broke, e.g. one re-admitted after a crash.
+    CheckpointAt { epoch: u64, at_clock_ns: f64, full: bool },
     /// Take a checkpoint immediately on receipt (event-driven mode).
-    CheckpointNow { epoch: u64 },
+    /// `full` as in [`BusMsg::CheckpointAt`].
+    CheckpointNow { epoch: u64, full: bool },
     /// A node acknowledges receipt of a checkpoint notification. The
     /// coordinator's failure detector re-publishes the notification (with
     /// exponential backoff) to nodes whose ack is missing, so a lost
@@ -39,6 +42,21 @@ pub enum BusMsg {
     RequestCheckpoint,
 }
 
+impl BusMsg {
+    /// Returns the notification with its full-capture flag raised;
+    /// non-notification messages pass through unchanged. Used by the
+    /// coordinator to upgrade the copy sent to a rejoining node.
+    pub fn with_full(self) -> BusMsg {
+        match self {
+            BusMsg::CheckpointAt { epoch, at_clock_ns, .. } => {
+                BusMsg::CheckpointAt { epoch, at_clock_ns, full: true }
+            }
+            BusMsg::CheckpointNow { epoch, .. } => BusMsg::CheckpointNow { epoch, full: true },
+            other => other,
+        }
+    }
+}
+
 /// Wire size of a bus notification (UDP datagram on the control net).
 pub const BUS_MSG_BYTES: u32 = 64;
 
@@ -51,8 +69,22 @@ mod tests {
         let m = BusMsg::CheckpointAt {
             epoch: 3,
             at_clock_ns: 1.5e9,
+            full: false,
         };
         assert_eq!(m, m);
         assert_ne!(m, BusMsg::Resume { epoch: 3 });
+    }
+
+    #[test]
+    fn with_full_upgrades_notifications_only() {
+        let at = BusMsg::CheckpointAt { epoch: 1, at_clock_ns: 2.0, full: false };
+        assert_eq!(
+            at.with_full(),
+            BusMsg::CheckpointAt { epoch: 1, at_clock_ns: 2.0, full: true }
+        );
+        let now = BusMsg::CheckpointNow { epoch: 4, full: false };
+        assert_eq!(now.with_full(), BusMsg::CheckpointNow { epoch: 4, full: true });
+        let resume = BusMsg::Resume { epoch: 9 };
+        assert_eq!(resume.with_full(), resume);
     }
 }

@@ -18,6 +18,8 @@ use std::collections::{HashMap, HashSet};
 
 use clocksync::{NtpRequest, NtpServer};
 use hwsim::{Frame, HardwareClock, LanTransmit, LinkDeliver, NodeAddr};
+use sim::buggify;
+use sim::buggify::points as buggify_points;
 use sim::telemetry::names;
 use sim::{
     ActiveSpan, Component, ComponentId, CounterId, Ctx, HistogramId, Payload, SimDuration,
@@ -25,6 +27,7 @@ use sim::{
 };
 
 use crate::bus::{BusMsg, BUS_MSG_BYTES};
+use crate::shadow;
 
 /// Internal coordinator events.
 #[derive(Clone, Copy)]
@@ -75,6 +78,13 @@ pub struct FailurePolicy {
     /// LAN repeats bound the chance of a wedged node. Zero by default:
     /// healthy runs then put exactly the baseline frame load on the LAN.
     pub resume_repeats: u32,
+    /// Evict nodes excluded by a degraded commit from group membership:
+    /// later epochs then commit cleanly over the survivors instead of
+    /// re-timing-out against a corpse every round. An evicted node that
+    /// recovers is re-admitted through [`Coordinator::rejoin`], which
+    /// forces its next checkpoint to be full (non-incremental). Off by
+    /// default: the classic behaviour keeps excluding per-epoch.
+    pub evict_excluded: bool,
 }
 
 impl Default for FailurePolicy {
@@ -85,6 +95,7 @@ impl Default for FailurePolicy {
             epoch_deadline: SimDuration::from_secs(2),
             allow_degraded: true,
             resume_repeats: 0,
+            evict_excluded: false,
         }
     }
 }
@@ -166,6 +177,9 @@ struct Round {
     await_done: HashSet<NodeAddr>,
     /// Participants excluded from the barrier (degraded commit).
     excluded: HashSet<NodeAddr>,
+    /// Participants notified with the full-capture flag raised; cleared
+    /// from the standing force-full set once their capture commits.
+    forced_full: HashSet<NodeAddr>,
     /// Barrier size at publication time.
     participants: usize,
     /// Withhold the resume at the barrier (swap-out / time travel).
@@ -195,6 +209,16 @@ struct CoordTele {
     ev_barrier: TraceTag,
     ev_resume_released: TraceTag,
     ev_abandoned: TraceTag,
+    /// Per-node shadow-protocol instants (consumed by `shadow`).
+    ev_s_join: TraceTag,
+    ev_s_ack: TraceTag,
+    ev_s_done: TraceTag,
+    ev_s_exclude: TraceTag,
+    ev_s_commit: TraceTag,
+    ev_s_abort: TraceTag,
+    ev_s_resume: TraceTag,
+    ev_s_abandon: TraceTag,
+    ev_s_rejoin: TraceTag,
 }
 
 /// Construction-time configuration for [`Coordinator`], assembled by
@@ -273,6 +297,12 @@ pub struct Coordinator {
     pending_periodic_group: Option<GroupId>,
     /// Completed and in-progress epoch records.
     pub records: Vec<EpochRecord>,
+    /// Nodes evicted from their group after degraded commits (under
+    /// [`FailurePolicy::evict_excluded`]), remembered for re-admission.
+    evicted: Vec<(NodeAddr, GroupId)>,
+    /// Nodes whose next checkpoint notification demands a full capture
+    /// (their incremental chain broke while they were away).
+    force_full: HashSet<NodeAddr>,
     tele: Option<CoordTele>,
 }
 
@@ -310,6 +340,8 @@ impl Coordinator {
             hold_resume: cfg.hold_resume,
             pending_periodic_group: cfg.periodic_group,
             records: Vec::new(),
+            evicted: Vec::new(),
+            force_full: HashSet::new(),
             tele: None,
         }
     }
@@ -360,8 +392,35 @@ impl Coordinator {
                 ev_barrier: t.trace_tag(names::EV_EPOCH_BARRIER),
                 ev_resume_released: t.trace_tag(names::EV_EPOCH_RESUME_RELEASED),
                 ev_abandoned: t.trace_tag(names::EV_EPOCH_ABANDONED),
+                ev_s_join: t.trace_tag(names::EV_SHADOW_JOIN),
+                ev_s_ack: t.trace_tag(names::EV_SHADOW_ACK),
+                ev_s_done: t.trace_tag(names::EV_SHADOW_DONE),
+                ev_s_exclude: t.trace_tag(names::EV_SHADOW_EXCLUDE),
+                ev_s_commit: t.trace_tag(names::EV_SHADOW_COMMIT),
+                ev_s_abort: t.trace_tag(names::EV_SHADOW_ABORT),
+                ev_s_resume: t.trace_tag(names::EV_SHADOW_RESUME),
+                ev_s_abandon: t.trace_tag(names::EV_SHADOW_ABANDON),
+                ev_s_rejoin: t.trace_tag(names::EV_SHADOW_REJOIN),
             }
         })
+    }
+
+    /// Records one shadow-protocol instant on the coordinator track.
+    fn shadow_instant(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        tag: fn(&CoordTele) -> TraceTag,
+        group: GroupId,
+        epoch: u64,
+        node: u32,
+    ) {
+        let t = self.tele(ctx);
+        ctx.telemetry().trace_instant(
+            t.track,
+            tag(&t),
+            ctx.now(),
+            shadow::pack(group.0, epoch, node),
+        );
     }
 
     /// True once every node of `group` reported done for its round.
@@ -406,6 +465,7 @@ impl Coordinator {
             .trace_instant(t.track, t.ev_resume_released, now, epoch as i64);
         ctx.telemetry()
             .trace_end(t.track, t.ev_epoch, now, epoch as i64);
+        self.shadow_instant(ctx, |t| t.ev_s_resume, group, epoch, 0);
         self.publish_repeated(ctx, group, BusMsg::Resume { epoch });
     }
 
@@ -430,6 +490,7 @@ impl Coordinator {
                 .trace_instant(t.track, t.ev_abandoned, now, round.epoch as i64);
             ctx.telemetry()
                 .trace_end(t.track, t.ev_epoch, now, round.epoch as i64);
+            self.shadow_instant(ctx, |t| t.ev_s_abandon, group, round.epoch, 0);
         }
     }
 
@@ -520,6 +581,10 @@ impl Coordinator {
     fn publish(&mut self, ctx: &mut Ctx<'_>, group: GroupId, msg: BusMsg) {
         for &(m, g) in &self.members {
             if g == group {
+                // A member with a broken incremental chain (rejoined
+                // after eviction) gets its notification upgraded to a
+                // full capture; other message kinds pass through.
+                let msg = if self.force_full.contains(&m) { msg.with_full() } else { msg };
                 let frame = Frame::new(self.addr, m, BUS_MSG_BYTES, msg);
                 ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
             }
@@ -580,14 +645,24 @@ impl Coordinator {
             TriggerMode::Scheduled { lead } => BusMsg::CheckpointAt {
                 epoch,
                 at_clock_ns: self.clock.read_ns(ctx.now()) + lead.as_nanos() as f64,
+                full: false,
             },
-            TriggerMode::EventDriven => BusMsg::CheckpointNow { epoch },
+            TriggerMode::EventDriven => BusMsg::CheckpointNow { epoch, full: false },
         };
         let t = self.tele(ctx);
         let span = ctx.telemetry().span_enter(t.epoch_span, ctx.now());
         let e = epoch as i64;
         ctx.telemetry().trace_begin(t.track, t.ev_epoch, ctx.now(), e);
         ctx.telemetry().trace_instant(t.track, t.ev_notify, ctx.now(), e);
+        // Per-node join instants for the shadow checker, in address order
+        // so seeded traces are byte-stable.
+        let mut sorted: Vec<NodeAddr> = nodes.iter().copied().collect();
+        sorted.sort_by_key(|a| a.0);
+        for n in &sorted {
+            self.shadow_instant(ctx, |t| t.ev_s_join, group, epoch, n.0);
+        }
+        let forced_full: HashSet<NodeAddr> =
+            nodes.intersection(&self.force_full).copied().collect();
         self.pending.insert(
             group,
             Round {
@@ -596,6 +671,7 @@ impl Coordinator {
                 await_ack: nodes.clone(),
                 await_done: nodes.clone(),
                 excluded: HashSet::new(),
+                forced_full,
                 participants: nodes.len(),
                 hold,
                 span: Some(span),
@@ -683,8 +759,12 @@ impl Coordinator {
         if epoch != round.epoch {
             return; // Stale ack (e.g. for a retried, already-aborted round).
         }
-        if round.await_ack.remove(&node) && round.await_ack.is_empty() {
-            self.mark_all_acked(ctx, epoch);
+        if round.await_ack.remove(&node) {
+            let all_acked = round.await_ack.is_empty();
+            self.shadow_instant(ctx, |t| t.ev_s_ack, group, epoch, node.0);
+            if all_acked {
+                self.mark_all_acked(ctx, epoch);
+            }
         }
     }
 
@@ -714,6 +794,7 @@ impl Coordinator {
         }
         let t = self.tele(ctx);
         ctx.telemetry().add(t.captured_bytes, image_bytes);
+        self.shadow_instant(ctx, |t| t.ev_s_done, group, epoch, node.0);
         if all_acked {
             self.mark_all_acked(ctx, epoch);
         }
@@ -750,6 +831,34 @@ impl Coordinator {
         ctx.telemetry().add(t.excluded, u64::from(excluded));
         ctx.telemetry()
             .trace_instant(t.track, t.ev_barrier, now, epoch as i64);
+        self.shadow_instant(ctx, |t| t.ev_s_commit, group, epoch, excluded);
+        // A forced-full participant whose capture just committed has a
+        // fresh full image: its incremental chain is whole again.
+        if let Some(round) = self.pending.get(&group) {
+            let healed: Vec<NodeAddr> = round
+                .forced_full
+                .iter()
+                .filter(|n| !round.excluded.contains(n))
+                .copied()
+                .collect();
+            for n in healed {
+                self.force_full.remove(&n);
+            }
+        }
+        // Under the eviction policy, degraded commits expel the presumed
+        // corpses from membership so later epochs barrier on survivors.
+        if self.policy.evict_excluded && excluded > 0 {
+            let mut expelled: Vec<NodeAddr> = self
+                .pending
+                .get(&group)
+                .map(|r| r.excluded.iter().copied().collect())
+                .unwrap_or_default();
+            expelled.sort_by_key(|a| a.0);
+            for n in expelled {
+                self.unsubscribe(n);
+                self.evicted.push((n, group));
+            }
+        }
         if hold {
             return; // Span and barrier-hold sample close at release time.
         }
@@ -763,6 +872,7 @@ impl Coordinator {
         }
         ctx.telemetry()
             .trace_end(t.track, t.ev_epoch, now, epoch as i64);
+        self.shadow_instant(ctx, |t| t.ev_s_resume, group, epoch, 0);
         self.publish_repeated(ctx, group, BusMsg::Resume { epoch });
     }
 
@@ -786,11 +896,22 @@ impl Coordinator {
         let t = self.tele(ctx);
         ctx.telemetry().inc(t.retries);
         for m in targets {
-            let frame = Frame::new(self.addr, m, BUS_MSG_BYTES, notify);
+            let msg = if self.force_full.contains(&m) { notify.with_full() } else { notify };
+            let frame = Frame::new(self.addr, m, BUS_MSG_BYTES, msg);
             ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
         }
-        let backoff =
+        let mut backoff =
             SimDuration::from_nanos(self.policy.ack_timeout.as_nanos() << attempt.min(16));
+        let bg = ctx.buggify().clone();
+        if buggify!(bg, buggify_points::COORD_RETRY_SKEW) {
+            // A late failure-detector timer: the retry round slips by up
+            // to one extra base timeout.
+            backoff += SimDuration::from_nanos(bg.magnitude(
+                    buggify_points::COORD_RETRY_SKEW,
+                    0,
+                    self.policy.ack_timeout.as_nanos().max(2),
+                ));
+        }
         ctx.post_self(
             backoff,
             CoordMsg::AckTimeout { group, epoch, attempt: attempt + 1 },
@@ -812,8 +933,12 @@ impl Coordinator {
         let missing_never_acked = round.await_done.is_subset(&round.await_ack);
         let some_completed = round.await_done.len() + round.excluded.len() < round.participants;
         if policy.allow_degraded && missing_never_acked && some_completed {
-            let missing: Vec<NodeAddr> = round.await_done.drain().collect();
-            round.excluded.extend(missing);
+            let mut missing: Vec<NodeAddr> = round.await_done.drain().collect();
+            missing.sort_by_key(|a| a.0);
+            round.excluded.extend(missing.iter().copied());
+            for n in missing {
+                self.shadow_instant(ctx, |t| t.ev_s_exclude, group, epoch, n.0);
+            }
             self.complete_barrier(ctx, group, epoch);
         } else {
             let round = self.pending.remove(&group);
@@ -831,8 +956,37 @@ impl Coordinator {
                 .trace_instant(t.track, t.ev_abandoned, now, epoch as i64);
             ctx.telemetry()
                 .trace_end(t.track, t.ev_epoch, now, epoch as i64);
+            self.shadow_instant(ctx, |t| t.ev_s_abort, group, epoch, 0);
             self.publish_repeated(ctx, group, BusMsg::Abort { epoch });
         }
+    }
+
+    /// Re-admits a previously evicted (crashed, now recovered) node: it
+    /// rejoins its old group's bus subscription, and its next checkpoint
+    /// notification is upgraded to demand a **full** capture — the
+    /// node's incremental chain broke while it was excluded, so an
+    /// incremental image would checkpoint against a base the store never
+    /// committed for it. Returns false if the node was never evicted.
+    pub fn rejoin(&mut self, ctx: &mut Ctx<'_>, node: NodeAddr) -> bool {
+        let Some(pos) = self.evicted.iter().position(|&(n, _)| n == node) else {
+            return false;
+        };
+        let (n, g) = self.evicted.remove(pos);
+        self.subscribe_in(n, g);
+        self.force_full.insert(n);
+        let epoch = self.epoch;
+        self.shadow_instant(ctx, |t| t.ev_s_rejoin, g, epoch, n.0);
+        true
+    }
+
+    /// Nodes currently evicted from their groups, in eviction order.
+    pub fn evicted(&self) -> &[(NodeAddr, GroupId)] {
+        &self.evicted
+    }
+
+    /// True while `node`'s next notification will demand a full capture.
+    pub fn full_capture_pending(&self, node: NodeAddr) -> bool {
+        self.force_full.contains(&node)
     }
 }
 
@@ -879,7 +1033,18 @@ impl Component for Coordinator {
                         if self.idle_in(group) {
                             self.trigger_in(ctx, group);
                         }
-                        ctx.post_self(interval, CoordMsg::PeriodicKick);
+                        let mut next = interval;
+                        let bg = ctx.buggify().clone();
+                        if buggify!(bg, buggify_points::COORD_KICK_SKEW) {
+                            // The scheduler tick drifts: up to half an
+                            // interval of extra cadence jitter.
+                            next += SimDuration::from_nanos(bg.magnitude(
+                                    buggify_points::COORD_KICK_SKEW,
+                                    0,
+                                    (interval.as_nanos() / 2).max(2),
+                                ));
+                        }
+                        ctx.post_self(next, CoordMsg::PeriodicKick);
                     }
                 }
                 CoordMsg::AckTimeout { group, epoch, attempt } => {
@@ -910,6 +1075,8 @@ mod tests {
         capture_ms: u64,
         ack: bool,
         pub notified: u64,
+        /// Notifications that demanded a full (non-incremental) capture.
+        pub full_notified: u64,
         pub resumed: u64,
         pub aborted: u64,
     }
@@ -924,8 +1091,12 @@ mod tests {
                 Ok(del) => {
                     if let Some(&msg) = del.frame.payload::<BusMsg>() {
                         match msg {
-                            BusMsg::CheckpointAt { epoch, .. } | BusMsg::CheckpointNow { epoch } => {
+                            BusMsg::CheckpointAt { epoch, full, .. }
+                            | BusMsg::CheckpointNow { epoch, full } => {
                                 self.notified += 1;
+                                if full {
+                                    self.full_notified += 1;
+                                }
                                 if self.ack {
                                     let frame = Frame::new(
                                         self.addr,
@@ -996,6 +1167,7 @@ mod tests {
                 capture_ms: ms,
                 ack,
                 notified: 0,
+                full_notified: 0,
                 resumed: 0,
                 aborted: 0,
             }));
@@ -1207,6 +1379,99 @@ mod tests {
         );
         assert_eq!(c.outcome_counts(), (0, 1, 0));
         let _ = nodes;
+    }
+
+    #[test]
+    fn evicted_node_rejoins_with_a_forced_full_capture() {
+        // Crash → degraded commit evicts the corpse → survivors commit
+        // cleanly without retrying it → the node recovers, rejoins, and
+        // its next notification demands a full capture; once that epoch
+        // commits the chain is healed and notifications go incremental
+        // again. The shadow checker replays the whole run and must find
+        // nothing wrong.
+        let (mut e, coord, nodes) = rig_full(
+            &[5, 5, 5],
+            false,
+            Some(FailurePolicy {
+                ack_timeout: SimDuration::from_millis(10),
+                epoch_deadline: SimDuration::from_millis(100),
+                evict_excluded: true,
+                ..FailurePolicy::default()
+            }),
+        );
+        let lan = sim::ComponentId(0);
+        let crashed = NodeAddr(2);
+        e.with_component::<ControlLan, _>(lan, |l, _| {
+            l.inject_faults(FaultPlan::new(2).with_crash(crashed.0, SimTime::ZERO));
+        });
+
+        // Epoch 1: degraded, the corpse is expelled.
+        e.with_component::<Coordinator, _>(coord, |c, ctx| c.trigger(ctx));
+        e.run_for(SimDuration::from_millis(200));
+        {
+            let c = e.component_ref::<Coordinator>(coord).unwrap();
+            assert_eq!(c.records[0].outcome, Some(EpochOutcome::Degraded));
+            assert_eq!(c.evicted(), &[(crashed, GroupId(0))]);
+        }
+
+        // Epoch 2: the survivors barrier cleanly — no retries against the
+        // corpse, no degradation.
+        e.with_component::<Coordinator, _>(coord, |c, ctx| c.trigger(ctx));
+        e.run_for(SimDuration::from_millis(200));
+        {
+            let c = e.component_ref::<Coordinator>(coord).unwrap();
+            assert_eq!(c.records[1].outcome, Some(EpochOutcome::Committed));
+            assert_eq!(c.records[1].excluded, 0);
+            assert_eq!(c.records[1].retries, 0, "nobody retries a corpse");
+        }
+
+        // The node recovers (LAN heals) and is re-admitted.
+        e.with_component::<ControlLan, _>(lan, |l, _| {
+            l.inject_faults(FaultPlan::new(2));
+        });
+        e.with_component::<Coordinator, _>(coord, |c, ctx| {
+            assert!(c.rejoin(ctx, crashed), "was evicted, must re-admit");
+            assert!(!c.rejoin(ctx, crashed), "second rejoin is a no-op");
+            assert!(c.full_capture_pending(crashed));
+        });
+
+        // Epoch 3: all three commit; exactly the rejoined node saw a
+        // full-capture demand, and the commit heals its chain.
+        e.with_component::<Coordinator, _>(coord, |c, ctx| c.trigger(ctx));
+        e.run_for(SimDuration::from_millis(200));
+        {
+            let c = e.component_ref::<Coordinator>(coord).unwrap();
+            assert_eq!(c.records[2].outcome, Some(EpochOutcome::Committed));
+            assert_eq!(c.records[2].excluded, 0);
+            assert_eq!(
+                c.records[2].captured_bytes,
+                3 << 20,
+                "all three nodes reported at the barrier"
+            );
+            assert!(!c.full_capture_pending(crashed), "commit healed the chain");
+        }
+        assert_eq!(e.component_ref::<FakeNode>(nodes[1]).unwrap().full_notified, 1);
+        assert_eq!(e.component_ref::<FakeNode>(nodes[0]).unwrap().full_notified, 0);
+        assert_eq!(e.component_ref::<FakeNode>(nodes[2]).unwrap().full_notified, 0);
+
+        // Epoch 4: back to incremental for everyone.
+        e.with_component::<Coordinator, _>(coord, |c, ctx| c.trigger(ctx));
+        e.run_for(SimDuration::from_millis(200));
+        assert_eq!(e.component_ref::<FakeNode>(nodes[1]).unwrap().full_notified, 1);
+
+        // The shadow checker agrees with everything that happened.
+        let events = e.telemetry().trace_events();
+        let mut shadow = crate::shadow::ShadowEpochState::new();
+        for ev in &events {
+            shadow.step(ev);
+        }
+        shadow.finish();
+        assert!(
+            shadow.violations().is_empty(),
+            "shadow violations: {:?}",
+            shadow.violations()
+        );
+        assert_eq!(shadow.epochs_checked, 4);
     }
 
     #[test]

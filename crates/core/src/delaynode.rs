@@ -16,6 +16,8 @@ use dummynet::{Dummynet, DummynetImage, PipeConfig, PipeId};
 use hwsim::{
     Frame, HardwareClock, IfaceId, LanTransmit, LinkDeliver, LinkTransmit, NodeAddr,
 };
+use sim::buggify;
+use sim::buggify::points as bg_points;
 use sim::{transmission_time, Component, ComponentId, Ctx, EventId, Payload, SimDuration, SimTime};
 
 use crate::bus::{BusMsg, BUS_MSG_BYTES};
@@ -268,7 +270,9 @@ impl DelayNodeHost {
             return;
         };
         match msg {
-            BusMsg::CheckpointAt { epoch, at_clock_ns } => {
+            // Delay nodes always serialize their complete state (§4.4), so
+            // the `full` flag is meaningless here and ignored.
+            BusMsg::CheckpointAt { epoch, at_clock_ns, full: _ } => {
                 if epoch < self.epoch {
                     return; // Stale retry of a finished epoch.
                 }
@@ -287,7 +291,7 @@ impl DelayNodeHost {
                 let at = self.clock.when_reads(ctx.now(), at_clock_ns).max(ctx.now());
                 ctx.post_at(ctx.self_id(), at, DnMsg::AgentWake { token: epoch });
             }
-            BusMsg::CheckpointNow { epoch } => {
+            BusMsg::CheckpointNow { epoch, full: _ } => {
                 if epoch < self.epoch {
                     return;
                 }
@@ -337,8 +341,15 @@ impl DelayNodeHost {
             ctx.cancel(ev);
         }
         let image = self.dn.serialize(ctx.now());
-        let cost = SimDuration::from_millis(1)
+        let mut cost = SimDuration::from_millis(1)
             + transmission_time(image.byte_size(), self.capture_bps * 8);
+        // Buggified suspend stall: the serialization hiccups (page-outs,
+        // a contended disk) and the done report arrives late — the kind
+        // of straggler that stresses the coordinator's deadline logic.
+        let bg = ctx.buggify().clone();
+        if buggify!(bg, bg_points::DN_SUSPEND_STALL) {
+            cost += SimDuration::from_micros(bg.magnitude(bg_points::DN_SUSPEND_STALL, 500, 50_000));
+        }
         self.prev_image = self.last_image.take();
         self.last_image = Some(image);
         self.stats.checkpoints += 1;
@@ -353,6 +364,12 @@ impl DelayNodeHost {
         // (skew-to-resume) does not stall delivery; new arrivals queue
         // behind via `replay_until`.
         let mut at = ctx.now();
+        // Buggified drain stall: the whole replay window slips, so fresh
+        // arrivals queue behind a later tail (order still preserved).
+        let bg = ctx.buggify().clone();
+        if buggify!(bg, bg_points::DN_DRAIN_STALL) {
+            at += SimDuration::from_micros(bg.magnitude(bg_points::DN_DRAIN_STALL, 500, 20_000));
+        }
         let mut prev: Option<SimTime> = None;
         for a in actions {
             let gap = match prev {

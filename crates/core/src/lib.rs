@@ -27,6 +27,7 @@ mod baselines;
 mod bus;
 mod coordinator;
 mod delaynode;
+pub mod shadow;
 
 pub use agent::CheckpointAgent;
 pub use baselines::Strategy;
@@ -36,3 +37,4 @@ pub use coordinator::{
     GroupId, TriggerMode,
 };
 pub use delaynode::{DelayNodeHost, DelayNodeStats, OutPort};
+pub use shadow::{ShadowEpochState, ShadowOutcome, ShadowViolation};

@@ -27,6 +27,8 @@ use cowstore::{merge_reorder, DeltaMap, Direction, MirrorTransfer};
 use dummynet::DummynetImage;
 use guestos::{GuestResidue, TcpSegment};
 use hwsim::NodeAddr;
+use sim::buggify;
+use sim::buggify::points as bg_points;
 use sim::telemetry::names;
 use sim::{SimDuration, SimTime};
 use vmm::{MirrorConfig, VmHost};
@@ -311,6 +313,16 @@ impl Testbed {
             e.begin_image(SWAP_IMAGE_KIND);
             image.encode_wire(&mut e, &mut residue);
             let put = self.fs_put_cached(&format!("{name}:{node_name}"), &e.into_bytes());
+            // Buggified storage corruption on the swap-out write path:
+            // every copy of one stored chunk is damaged, so the later
+            // swap-in must degrade to a golden reload (`StateLost`)
+            // instead of wedging on the unusable preserved state.
+            let bg = self.buggify().clone();
+            if put.chunks_total > 0 && buggify!(bg, bg_points::SWAP_PUT_CORRUPT) {
+                let chunk =
+                    bg.magnitude(bg_points::SWAP_PUT_CORRUPT, 0, put.chunks_total) as usize;
+                self.fs_store_mut().corrupt_chunk_for_test(put.image, chunk, 1);
+            }
             state_logical += put.logical_bytes;
             state_physical += put.new_physical_bytes;
             let done = self.uplink_transfer(image.dirty_bytes + put.new_physical_bytes);
@@ -433,6 +445,13 @@ impl Testbed {
                 warning: Some(SwapInWarning::StateLost { reason: err.to_string() }),
             };
         }
+        // Realize the latency debt of buggified slow store loads: the
+        // rebuild decoded every preserved image through `load_image`, and
+        // any `store.get_slow` firings accrued there.
+        let penalty = self.fileserver_store().take_get_penalty_ns();
+        if penalty > 0 {
+            self.run_for(SimDuration::from_nanos(penalty));
+        }
         let image_fetch = self.now() - fetch_start;
 
         // The rebuild installed the frozen images; collect handles and the
@@ -489,7 +508,13 @@ impl Testbed {
 
         // Memory images.
         let mem_t0 = self.now();
-        let done = self.uplink_transfer(mem_bytes);
+        let mut done = self.uplink_transfer(mem_bytes);
+        // Buggified swap-in stall: the restore pipeline hiccups (a busy
+        // file server, a slow target disk) before the resume.
+        let bg = self.buggify().clone();
+        if buggify!(bg, bg_points::SWAP_IN_STALL) {
+            done += SimDuration::from_micros(bg.magnitude(bg_points::SWAP_IN_STALL, 1_000, 500_000));
+        }
         self.engine.run_until(done);
         let memory_download = self.now() - mem_t0;
 
@@ -570,6 +595,50 @@ mod tests {
         // fresh experiment is alive and runnable.
         assert!(tb.swapped_state("x").is_none());
         assert_eq!(tb.fileserver_store().image_count(), 0);
+        let tid = tb.spawn(
+            "x",
+            "n",
+            Box::new(workloads::UsleepLoop::new(10_000_000, 1_000_000)),
+        );
+        tb.run_for(SimDuration::from_secs(2));
+        let samples = tb.kernel("x", "n", |k| {
+            k.prog(tid)
+                .unwrap()
+                .as_any()
+                .downcast_ref::<workloads::UsleepLoop>()
+                .unwrap()
+                .samples
+                .len()
+        });
+        assert!(samples > 50, "golden reload runs (got {samples} samples)");
+    }
+
+    /// Forcing the `swap.put_corrupt` buggify point damages the stored
+    /// state during swap-out; the later swap-in must degrade to a golden
+    /// reload with `StateLost` — not wedge, not panic. Forced-only mode
+    /// keeps every other catalog point silent, so this aims exactly one
+    /// fault.
+    #[test]
+    fn buggified_swap_out_corruption_degrades_swap_in() {
+        let mut tb = Testbed::new(86, 8);
+        let bg = sim::Buggify::disabled();
+        bg.force(bg_points::SWAP_PUT_CORRUPT, 1.0);
+        tb.arm_buggify(bg);
+
+        tb.swap_in(ExperimentSpec::new("x").node("n")).expect("swap-in");
+        tb.run_for(SimDuration::from_secs(10));
+        tb.swap_out_stateful("x");
+
+        let rep = tb.swap_in_stateful("x", false);
+        assert!(
+            matches!(rep.warning, Some(SwapInWarning::StateLost { .. })),
+            "expected StateLost, got {:?}",
+            rep.warning
+        );
+
+        // The degraded experiment is alive: the preserved state was
+        // released and the golden reboot runs programs.
+        assert!(tb.swapped_state("x").is_none());
         let tid = tb.spawn(
             "x",
             "n",

@@ -18,10 +18,12 @@ use cowstore::{BranchingStore, CowMode, GoldenImage, GoldenImageBuilder, StoreLa
 use dummynet::PipeConfig;
 use guestos::{GuestProg, Kernel, KernelConfig, Tid};
 use hwsim::{ControlLan, Endpoint, IfaceId, Link, NodeAddr, Pc3000};
+use sim::buggify;
+use sim::buggify::points as bg_points;
 use sim::telemetry::names;
 use sim::{
-    transmission_time, ComponentId, CounterId, Engine, HistogramId, SimDuration, SimTime, SpanId,
-    Telemetry, TraceTag, TrackId,
+    transmission_time, Buggify, ComponentId, CounterId, Engine, HistogramId, SimDuration, SimTime,
+    SpanId, Telemetry, TraceTag, TrackId,
 };
 use vmm::{DomainImage, ExpPort, VmHost, VmHostConfig, VmmTuning};
 
@@ -239,6 +241,21 @@ impl Testbed {
     /// (coordinator, hosts, dedup store, swap paths) records into it.
     pub fn telemetry(&self) -> &Telemetry {
         self.engine.telemetry()
+    }
+
+    /// Arms randomized fault exploration across every layer: the engine's
+    /// components (LAN, coordinator, hosts, delay nodes) see the registry
+    /// through their dispatch context, and the file server's store gets
+    /// its own clone for the `store.*` points.
+    pub fn arm_buggify(&mut self, bg: Buggify) {
+        self.fs_store.attach_buggify(&bg);
+        self.engine.arm_buggify(bg);
+    }
+
+    /// The exploration registry (disarmed unless [`Testbed::arm_buggify`]
+    /// ran).
+    pub fn buggify(&self) -> &Buggify {
+        self.engine.buggify()
     }
 
     /// The strategy this testbed runs.
@@ -464,12 +481,20 @@ impl Testbed {
     /// Fetches an image to a machine's cache if missing; returns when it
     /// is available (Frisbee-style compressed transfer).
     fn ensure_image_cached(&mut self, machine: usize, image: &str) -> SimTime {
-        if self.pool[machine].cached_images.iter().any(|i| i == image) {
+        let cached = self.pool[machine].cached_images.iter().any(|i| i == image);
+        // Buggified cache loss: a cached golden image fails its checksum
+        // at validation and must be re-fetched — the Frisbee transfer
+        // repeats even though the cache says the image is present.
+        let bg = self.engine.buggify().clone();
+        let refetch = cached && buggify!(bg, bg_points::GOLDEN_REFETCH);
+        if cached && !refetch {
             return self.engine.now();
         }
         let wire = self.images[image].wire_size();
         let done = self.uplink_transfer(wire);
-        self.pool[machine].cached_images.push(image.to_string());
+        if !cached {
+            self.pool[machine].cached_images.push(image.to_string());
+        }
         let t = self.engine.telemetry();
         t.trace_instant(self.tele.track, self.tele.ev_golden_fetch, done, wire as i64);
         done

@@ -9,6 +9,8 @@
 use std::any::Any;
 use std::sync::Arc;
 
+use sim::buggify;
+use sim::buggify::points as bg_points;
 use sim::{transmission_time, Component, ComponentId, Ctx, FaultPlan, Payload, SimDuration, SimRng, SimTime};
 
 /// A testbed-wide interface address (plays the role of a MAC address).
@@ -273,12 +275,29 @@ impl Component for ControlLan {
             self.undeliverable += 1;
             return;
         };
+        // Buggified faults first: the randomized-exploration layer draws
+        // from its own per-point streams (never from the LAN's jitter
+        // stream), and a disarmed registry draws nothing at all.
+        let bg = ctx.buggify().clone();
+        if buggify!(bg, bg_points::LAN_SEND_DROP) {
+            self.fault_drops += 1;
+            return;
+        }
+        let mut fault_dup = buggify!(bg, bg_points::LAN_SEND_DUP);
+        if fault_dup {
+            self.fault_duplicates += 1;
+        }
+        let mut fault_extra = if buggify!(bg, bg_points::LAN_SEND_DELAY) {
+            self.fault_delays += 1;
+            // Enough to blow past ack timeouts and skew NTP exchanges.
+            SimDuration::from_micros(bg.magnitude(bg_points::LAN_SEND_DELAY, 50, 5_000))
+        } else {
+            SimDuration::ZERO
+        };
         // Injected faults act before the LAN's own physics: a dropped
         // frame never serializes and never draws jitter, so a plan with
         // draw-free probabilities (0 or 1) leaves healthy traffic's
         // timing untouched.
-        let mut fault_extra = SimDuration::ZERO;
-        let mut fault_dup = false;
         if let Some((plan, rng)) = self.faults.as_mut() {
             let now = ctx.now();
             if plan.crashed(tx.frame.src.0, now)

@@ -8,6 +8,7 @@
 
 use std::any::Any;
 
+use crate::buggify::Buggify;
 use crate::event::{ComponentId, EventId, Payload, Scheduler};
 use crate::rng::SimRng;
 use crate::telemetry::Telemetry;
@@ -61,6 +62,7 @@ struct EngineInner {
     events_dispatched: u64,
     events_dropped: u64,
     telemetry: Telemetry,
+    buggify: Buggify,
     /// Components registered from inside a handler, grafted into the
     /// table after it returns; the buffer is reused across dispatches.
     pending: Vec<(ComponentId, Box<dyn Component>)>,
@@ -138,6 +140,12 @@ impl Ctx<'_> {
     pub fn telemetry(&self) -> &Telemetry {
         &self.inner.telemetry
     }
+
+    /// The engine-wide fault-injection registry (disarmed unless the run
+    /// installed one via [`Engine::arm_buggify`]).
+    pub fn buggify(&self) -> &Buggify {
+        &self.inner.buggify
+    }
 }
 
 /// The simulation engine.
@@ -163,6 +171,7 @@ impl Engine {
                 events_dispatched: 0,
                 events_dropped: 0,
                 telemetry: Telemetry::new(),
+                buggify: Buggify::disabled(),
                 pending: Vec::new(),
             },
         }
@@ -178,6 +187,19 @@ impl Engine {
     /// (benches, testbed drivers) may clone the handle.
     pub fn telemetry(&self) -> &Telemetry {
         &self.inner.telemetry
+    }
+
+    /// The engine-wide fault-injection registry. Disarmed (free) by
+    /// default; components evaluate points through [`Ctx::buggify`],
+    /// external layers clone the handle.
+    pub fn buggify(&self) -> &Buggify {
+        &self.inner.buggify
+    }
+
+    /// Replaces the fault-injection registry, arming the run. Call
+    /// before components start evaluating points.
+    pub fn arm_buggify(&mut self, bg: Buggify) {
+        self.inner.buggify = bg;
     }
 
     /// Total events dispatched so far.

@@ -32,6 +32,7 @@
 //! assert_eq!(e.component_ref::<Counter>(id).unwrap().0, 1);
 //! ```
 
+pub mod buggify;
 mod engine;
 mod event;
 mod fault;
@@ -41,6 +42,7 @@ pub mod telemetry;
 mod time;
 pub mod trace;
 
+pub use buggify::{Buggify, Preset};
 pub use engine::{Component, Ctx, Engine};
 pub use event::{payload_pool_stats, ComponentId, EventId, Payload};
 pub use fault::FaultPlan;

@@ -177,3 +177,32 @@ pub const EV_EPOCH_ABANDONED: &str = "epoch.abandoned";
 /// Instant: a golden image fetched to a machine's cache
 /// (`arg` = compressed wire bytes).
 pub const EV_GOLDEN_FETCH: &str = "golden.fetch";
+
+// ---------------------------------------------------------------------
+// Shadow-protocol trace tags (coordinator track).
+//
+// Per-node instants mirroring every transition of the two-phase epoch
+// machine, consumed by the shadow checker (`checkpoint::shadow`). The
+// `arg` packs `(group, epoch, node)` — see `shadow::pack` — except
+// where noted.
+// ---------------------------------------------------------------------
+
+/// Instant: a node joined an epoch's barrier at publication.
+pub const EV_SHADOW_JOIN: &str = "shadow.join";
+/// Instant: a node's notification ack was accepted.
+pub const EV_SHADOW_ACK: &str = "shadow.ack";
+/// Instant: a node's done report was accepted (implies ack).
+pub const EV_SHADOW_DONE: &str = "shadow.done";
+/// Instant: a node was excluded from the barrier (presumed crashed).
+pub const EV_SHADOW_EXCLUDE: &str = "shadow.exclude";
+/// Instant: the epoch committed (node field = excluded count; zero =
+/// clean commit, nonzero = degraded).
+pub const EV_SHADOW_COMMIT: &str = "shadow.commit";
+/// Instant: the epoch aborted at its deadline.
+pub const EV_SHADOW_ABORT: &str = "shadow.abort";
+/// Instant: the resume was published for a committed epoch.
+pub const EV_SHADOW_RESUME: &str = "shadow.resume";
+/// Instant: the round was abandoned (time travel replaced its state).
+pub const EV_SHADOW_ABANDON: &str = "shadow.abandon";
+/// Instant: an evicted node was re-admitted to its group.
+pub const EV_SHADOW_REJOIN: &str = "shadow.rejoin";

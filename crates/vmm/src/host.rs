@@ -214,6 +214,10 @@ pub struct VmHost {
     /// An abort arrived while the freeze/capture was still in progress;
     /// the in-flight machinery unwinds at its next step.
     abort_pending: bool,
+    /// The next capture must be full (non-incremental): the node's
+    /// incremental chain is broken — e.g. it was evicted after a crash and
+    /// re-admitted — so the stored base its deltas build on is stale.
+    full_pending: bool,
 
     // Ticks.
     next_tick_guest_ns: u64,
@@ -295,6 +299,7 @@ impl VmHost {
             last_image: None,
             prev_image: None,
             abort_pending: false,
+            full_pending: false,
             next_tick_guest_ns: 0,
             tick_ev: None,
             mirror: None,
@@ -789,6 +794,20 @@ impl VmHost {
     // Local checkpoint (§4).
     // ------------------------------------------------------------------
 
+    /// Demands that the next capture be full (non-incremental): the whole
+    /// memory image ships instead of the dirty delta. Used when the
+    /// incremental chain broke — a crashed node re-admitted to its group
+    /// checkpoints against a stale stored base. The demand persists across
+    /// aborted epochs and clears only when a capture commits locally.
+    pub fn request_full_checkpoint(&mut self) {
+        self.full_pending = true;
+    }
+
+    /// True while a full (non-incremental) capture is pending.
+    pub fn full_capture_pending(&self) -> bool {
+        self.full_pending
+    }
+
     /// Starts the local checkpoint: the suspend path runs briefly before
     /// time freezes.
     ///
@@ -875,11 +894,17 @@ impl VmHost {
             self.resume_guest(ctx);
             return;
         }
-        let mut image = self
-            .domain
-            .as_mut()
-            .expect("domain present")
-            .capture(self.cfg.tuning.dirty_floor);
+        let d = self.domain.as_mut().expect("domain present");
+        if self.full_pending {
+            // The incremental chain is broken: mark every page dirty so
+            // this capture ships the whole memory image. The latch clears
+            // only when a capture actually happens — an abort leaves it
+            // set (the abort path above returns before reaching here).
+            let mem = d.mem_bytes;
+            d.note_dirty(mem);
+            self.full_pending = false;
+        }
+        let mut image = d.capture(self.cfg.tuning.dirty_floor);
         ctx.telemetry()
             .trace_end(t.track, t.ev_capture, ctx.now(), image.dirty_bytes as i64);
         // The vCPU context: compute bursts banked at the freeze belong to
