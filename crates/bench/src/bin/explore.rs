@@ -91,12 +91,13 @@ fn report_failure(out: &IterationOutcome, sabotage: bool) {
     let s = &out.scenario;
     println!();
     println!(
-        "  VIOLATION seed={:#x} preset={} nodes={} interval={}ms crash={:?}",
+        "  VIOLATION seed={:#x} preset={} nodes={} interval={}ms crash={:?} coord_crash={:?}",
         s.seed,
         s.preset.name(),
         s.nodes(),
         s.interval_ms,
         s.crash,
+        s.coord_crash,
     );
     for v in &out.violations {
         println!("    - {v}");
@@ -120,8 +121,14 @@ fn replay(seed: u64, preset: Option<Preset>, sabotage: bool) -> ExitCode {
     let (c, a, d) = out.outcomes;
     println!(
         "  epochs committed/aborted/degraded = {c}/{a}/{d}, retries = {}, \
-         buggify fires = {}, shadow checked {} epochs, fingerprint = {:#018x}",
-        out.retries, out.buggify_fires, out.epochs_checked, out.fingerprint()
+         buggify fires = {}, coordinator crashes = {} ({} recovered), \
+         shadow checked {} epochs, fingerprint = {:#018x}",
+        out.retries,
+        out.buggify_fires,
+        out.coord_crashes,
+        out.coord_recoveries,
+        out.epochs_checked,
+        out.fingerprint()
     );
     let path = write_csv(&format!("explore-replay-{seed:#x}.csv"), &events_csv(&out.events));
     println!("  trace: {} ({} events)", path.display(), out.events.len());
@@ -207,6 +214,8 @@ fn main() -> ExitCode {
     let mut fires = 0u64;
     let mut epochs = 0u64;
     let mut failures = 0u64;
+    let mut coord_crashes = 0u64;
+    let mut coord_recoveries = 0u64;
     for i in 0..args.iters {
         let seed = iteration_seed(args.root_seed, i);
         let out = run_seed(seed, args.preset, args.sabotage);
@@ -216,6 +225,8 @@ fn main() -> ExitCode {
         retries += out.retries;
         fires += out.buggify_fires;
         epochs += out.epochs_checked;
+        coord_crashes += out.coord_crashes;
+        coord_recoveries += out.coord_recoveries;
         if !out.violations.is_empty() {
             failures += 1;
             report_failure(&out, args.sabotage);
@@ -235,8 +246,9 @@ fn main() -> ExitCode {
     println!();
     println!(
         "{} iterations: {} epochs checked ({} committed / {} aborted / {} degraded), \
-         {} retries, {} buggify fires",
-        args.iters, epochs, totals.0, totals.1, totals.2, retries, fires
+         {} retries, {} buggify fires, {} coordinator crashes ({} recovered)",
+        args.iters, epochs, totals.0, totals.1, totals.2, retries, fires,
+        coord_crashes, coord_recoveries
     );
     if failures == 0 {
         println!("shadow model: clean across all iterations");

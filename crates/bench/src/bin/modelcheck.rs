@@ -1,0 +1,207 @@
+//! MODELCHECK — exhaustive small-scope model check of the epoch
+//! protocol with coordinator crash/recovery.
+//!
+//! Enumerates, breadth-first with visited-state dedup, every
+//! interleaving of notify / ack / capture / done / deadline /
+//! coordinator-crash / recovery / watchdog actions for a small
+//! checkpoint group (`checkpoint::modelcheck`), checking each emitted
+//! event sequence against the shadow epoch model and each quiescent
+//! state for liveness (round decided, no node left suspended). The
+//! result is a proof-by-enumeration over the scoped model, not the full
+//! simulator — the explorer covers the timed/randomized side.
+//!
+//! Usage:
+//!
+//! ```text
+//! modelcheck [--nodes=N] [--max-crashes=K] [--depth-bound=D]
+//!            [--sabotage] [--selftest] [--csv]
+//! ```
+//!
+//! - default: 2 nodes, 1 crash, exhaustive (no depth bound);
+//! - `--sabotage`: plant a recovery bug (roll forward on acks alone)
+//!   that the checker must catch — exits nonzero if it does NOT;
+//! - `--selftest`: run the default scope clean AND the sabotaged scope,
+//!   demanding a counterexample from the latter (CI self-proof);
+//! - `--csv`: append a `results/modelcheck.csv` row per scope checked.
+//!
+//! Exit status is nonzero on any counterexample (sabotage inverts).
+
+use std::process::ExitCode;
+
+use checkpoint::modelcheck::{check, ModelConfig, ModelReport};
+use tcd_bench::{banner, out_dir};
+
+struct Args {
+    nodes: u8,
+    max_crashes: u8,
+    depth_bound: Option<u32>,
+    sabotage: bool,
+    selftest: bool,
+    csv: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        nodes: 2,
+        max_crashes: 1,
+        depth_bound: None,
+        sabotage: false,
+        selftest: false,
+        csv: false,
+    };
+    for arg in std::env::args().skip(1) {
+        let (key, val) = match arg.split_once('=') {
+            Some((k, v)) => (k, Some(v)),
+            None => (arg.as_str(), None),
+        };
+        let num = |v: Option<&str>| -> Result<u64, String> {
+            v.ok_or_else(|| format!("{key} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{key}: {e}"))
+        };
+        match key {
+            "--nodes" => args.nodes = num(val)? as u8,
+            "--max-crashes" => args.max_crashes = num(val)? as u8,
+            "--depth-bound" => args.depth_bound = Some(num(val)? as u32),
+            "--sabotage" => args.sabotage = true,
+            "--selftest" => args.selftest = true,
+            "--csv" => args.csv = true,
+            _ => return Err(format!("unknown flag {key}")),
+        }
+    }
+    Ok(args)
+}
+
+fn report_scope(cfg: &ModelConfig, report: &ModelReport) {
+    println!(
+        "scope: {} nodes, {} coordinator crash(es){}{}",
+        cfg.nodes,
+        cfg.max_crashes,
+        cfg.depth_bound
+            .map_or(String::new(), |d| format!(", depth bound {d}")),
+        if cfg.sabotage { ", SABOTAGED recovery" } else { "" },
+    );
+    println!(
+        "  {} states explored, {} transitions, {} quiescent states, \
+         max depth {}, {} truncated",
+        report.states_explored,
+        report.transitions,
+        report.deadlocks,
+        report.max_depth_seen,
+        report.truncated
+    );
+    match &report.counterexample {
+        None => println!("  no counterexample: every interleaving satisfies the epoch invariants"),
+        Some(cex) => {
+            println!("  COUNTEREXAMPLE ({} actions):", cex.actions.len());
+            for a in &cex.actions {
+                println!("    - {a}");
+            }
+            for p in &cex.problems {
+                println!("  violated: {p}");
+            }
+            println!("  shadow event trace:");
+            for line in cex.events_csv.lines() {
+                println!("    {line}");
+            }
+        }
+    }
+}
+
+fn append_csv(cfg: &ModelConfig, report: &ModelReport) {
+    let path = out_dir().join("modelcheck.csv");
+    let header = "nodes,max_crashes,depth_bound,sabotage,states_explored,transitions,\
+                  quiescent,max_depth,truncated,counterexamples\n";
+    let mut text = std::fs::read_to_string(&path).unwrap_or_default();
+    if !text.starts_with(header.trim_end()) {
+        text = header.to_string();
+    }
+    text.push_str(&format!(
+        "{},{},{},{},{},{},{},{},{},{}\n",
+        cfg.nodes,
+        cfg.max_crashes,
+        cfg.depth_bound.map_or("none".to_string(), |d| d.to_string()),
+        cfg.sabotage,
+        report.states_explored,
+        report.transitions,
+        report.deadlocks,
+        report.max_depth_seen,
+        report.truncated,
+        u64::from(report.counterexample.is_some()),
+    ));
+    std::fs::write(&path, text).expect("write results/modelcheck.csv");
+    println!("  csv: {}", path.display());
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("modelcheck: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !(1..=4).contains(&args.nodes) {
+        eprintln!("modelcheck: --nodes must be 1..=4 (state space is exponential)");
+        return ExitCode::FAILURE;
+    }
+    banner(
+        "MODELCHECK",
+        "exhaustive small-scope check of the crash-recoverable epoch protocol",
+    );
+
+    if args.selftest {
+        // Clean scope must verify; sabotaged scope must produce a
+        // counterexample — proving the checker can actually fail.
+        let clean = ModelConfig {
+            nodes: args.nodes,
+            max_crashes: args.max_crashes,
+            depth_bound: args.depth_bound,
+            sabotage: false,
+        };
+        let clean_report = check(&clean);
+        report_scope(&clean, &clean_report);
+        if args.csv {
+            append_csv(&clean, &clean_report);
+        }
+        let sab = ModelConfig { sabotage: true, ..clean };
+        let sab_report = check(&sab);
+        report_scope(&sab, &sab_report);
+        if clean_report.counterexample.is_some() {
+            println!("FAIL: clean scope produced a counterexample");
+            return ExitCode::FAILURE;
+        }
+        if sab_report.counterexample.is_none() {
+            println!("FAIL: sabotaged recovery went undetected — checker is blind");
+            return ExitCode::FAILURE;
+        }
+        println!("selftest OK: clean scope verified, planted bug caught");
+        return ExitCode::SUCCESS;
+    }
+
+    let cfg = ModelConfig {
+        nodes: args.nodes,
+        max_crashes: args.max_crashes,
+        depth_bound: args.depth_bound,
+        sabotage: args.sabotage,
+    };
+    let report = check(&cfg);
+    report_scope(&cfg, &report);
+    if args.csv {
+        append_csv(&cfg, &report);
+    }
+    let found = report.counterexample.is_some();
+    if args.sabotage {
+        if found {
+            println!("OK: planted recovery bug caught");
+            ExitCode::SUCCESS
+        } else {
+            println!("FAIL: planted recovery bug went undetected");
+            ExitCode::FAILURE
+        }
+    } else if found {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -16,7 +16,7 @@
 //! `explore` binary drives multi-thousand-iteration sweeps.
 
 use checkpoint::{
-    Coordinator, FailurePolicy, ShadowEpochState, ShadowViolation, TriggerMode,
+    Coordinator, FailurePolicy, ShadowEpochState, ShadowViolation, TriggerMode, Wal,
 };
 use checkpoint::{shadow, BusMsg, BUS_MSG_BYTES};
 use hwsim::{ControlLan, Endpoint, Frame, IfaceId, LanTransmit, LinkDeliver, NodeAddr};
@@ -50,6 +50,17 @@ pub struct CrashPlan {
     pub heal_at_ms: Option<u64>,
 }
 
+/// A scheduled coordinator process crash: at `at_ms` the coordinator
+/// loses all volatile protocol state and drops every message for
+/// `downtime_ms`, then restarts and recovers from its epoch WAL.
+#[derive(Clone, Copy, Debug)]
+pub struct CoordCrashPlan {
+    /// Virtual time the coordinator process dies.
+    pub at_ms: u64,
+    /// How long it stays down before the WAL-replaying restart.
+    pub downtime_ms: u64,
+}
+
 /// Everything one iteration does, derived deterministically from the
 /// seed. Public so failure reports can print the whole scenario.
 #[derive(Clone, Debug)]
@@ -72,6 +83,8 @@ pub struct Scenario {
     /// Main run length before the drain phase.
     pub run_ms: u64,
     pub crash: Option<CrashPlan>,
+    /// Scheduled coordinator process crash/restart (WAL recovery).
+    pub coord_crash: Option<CoordCrashPlan>,
 }
 
 impl Scenario {
@@ -116,6 +129,17 @@ impl Scenario {
         } else {
             None
         };
+        // Drawn last so older corpus seeds keep their earlier draws:
+        // every field above replays exactly as it did before the
+        // coordinator-crash dimension existed.
+        let coord_crash = if rng.chance(0.35) {
+            Some(CoordCrashPlan {
+                at_ms: rng.range_u64(0, run_ms),
+                downtime_ms: rng.range_u64(5, 401),
+            })
+        } else {
+            None
+        };
         Scenario {
             seed,
             preset,
@@ -127,6 +151,7 @@ impl Scenario {
             interval_ms,
             run_ms,
             crash,
+            coord_crash,
         }
     }
 
@@ -198,6 +223,10 @@ pub struct IterationOutcome {
     pub outcomes: (u64, u64, u64),
     /// Notification retries the failure detector issued.
     pub retries: u64,
+    /// Coordinator process crashes injected (scheduled + buggify).
+    pub coord_crashes: u64,
+    /// WAL-replaying restarts that completed.
+    pub coord_recoveries: u64,
     /// Total buggify fires across all points.
     pub buggify_fires: u64,
     /// Epochs the shadow model checked to a terminal outcome.
@@ -282,6 +311,7 @@ pub fn run_iteration(scenario: &Scenario, sabotage: bool) -> IterationOutcome {
         Coordinator::builder(coord_addr, lan)
             .mode(mode)
             .policy(s.policy)
+            .wal(Wal::in_memory())
             .build(),
     ));
     for (i, &ms) in s.capture_ms.iter().enumerate() {
@@ -312,33 +342,69 @@ pub fn run_iteration(scenario: &Scenario, sabotage: bool) -> IterationOutcome {
         c.start_periodic(ctx, SimDuration::from_millis(s.interval_ms));
     });
 
-    // Main run, split at the heal instant when the crash heals: swap in
-    // a clean fault plan and re-admit the node if it was evicted.
-    let heal = s.crash.and_then(|c| c.heal_at_ms).filter(|&h| h < s.run_ms);
-    match heal {
-        Some(heal_ms) => {
-            e.run_for(SimDuration::from_millis(heal_ms));
-            e.with_component::<ControlLan, _>(lan, |l, _| {
-                l.inject_faults(FaultPlan::new(s.seed ^ 1));
-            });
-            let node = NodeAddr(s.crash.unwrap().node);
-            e.with_component::<Coordinator, _>(coord, |c, ctx| {
-                c.rejoin(ctx, node);
-            });
-            e.run_for(SimDuration::from_millis(s.run_ms - heal_ms));
-        }
-        None => e.run_for(SimDuration::from_millis(s.run_ms)),
+    // Main run, split at the scripted marks: the heal instant (swap in
+    // a clean fault plan and re-admit the node if it was evicted) and
+    // the coordinator process crash. Marks run in time order; a heal
+    // that lands while the coordinator is down still heals the LAN, and
+    // its rejoin is a no-op (the crash already merged the roster back —
+    // recovery re-derives evictions from the WAL).
+    #[derive(Clone, Copy)]
+    enum Mark {
+        Heal,
+        CoordCrash,
     }
+    let mut marks: Vec<(u64, Mark)> = Vec::new();
+    if let Some(heal_ms) = s.crash.and_then(|c| c.heal_at_ms).filter(|&h| h < s.run_ms) {
+        marks.push((heal_ms, Mark::Heal));
+    }
+    if let Some(cc) = s.coord_crash.filter(|c| c.at_ms < s.run_ms) {
+        marks.push((cc.at_ms, Mark::CoordCrash));
+    }
+    marks.sort_by_key(|&(ms, m)| (ms, matches!(m, Mark::CoordCrash) as u8));
+    let mut now_ms = 0;
+    for (ms, mark) in marks {
+        e.run_for(SimDuration::from_millis(ms - now_ms));
+        now_ms = ms;
+        match mark {
+            Mark::Heal => {
+                e.with_component::<ControlLan, _>(lan, |l, _| {
+                    l.inject_faults(FaultPlan::new(s.seed ^ 1));
+                });
+                let node = NodeAddr(s.crash.unwrap().node);
+                e.with_component::<Coordinator, _>(coord, |c, ctx| {
+                    c.rejoin(ctx, node);
+                });
+            }
+            Mark::CoordCrash => {
+                let downtime = SimDuration::from_millis(s.coord_crash.unwrap().downtime_ms);
+                e.with_component::<Coordinator, _>(coord, |c, ctx| {
+                    c.crash(ctx, downtime);
+                });
+            }
+        }
+    }
+    e.run_for(SimDuration::from_millis(s.run_ms - now_ms));
 
     // Drain: stop triggering and let the in-flight round (if any) reach
-    // its deadline-bounded terminal outcome.
+    // its deadline-bounded terminal outcome. The slack past the deadline
+    // covers a buggify coordinator crash firing at the very tail of the
+    // round (max 400 ms downtime before the WAL-replaying restart),
+    // plus the scheduled outage when one lands near the end of the run.
     e.with_component::<Coordinator, _>(coord, |c, _| c.stop_periodic());
-    let drain = s.policy.epoch_deadline + SimDuration::from_millis(200);
+    let crash_slack = s.coord_crash.map_or(0, |c| c.downtime_ms);
+    let drain = s.policy.epoch_deadline + SimDuration::from_millis(800 + crash_slack);
     e.run_for(drain);
 
     let c = e.component_ref::<Coordinator>(coord).expect("coordinator");
+    assert!(
+        !c.is_crashed(),
+        "coordinator still down after the drain (seed {:#x})",
+        s.seed
+    );
     let outcomes = c.outcome_counts();
     let retries = c.total_retries();
+    let coord_crashes = c.crash_count();
+    let coord_recoveries = c.recovery_count();
     let buggify_fires = e.buggify().total_fires();
 
     let mut events = e.telemetry().trace_events();
@@ -358,6 +424,8 @@ pub fn run_iteration(scenario: &Scenario, sabotage: bool) -> IterationOutcome {
         scenario: scenario.clone(),
         outcomes,
         retries,
+        coord_crashes,
+        coord_recoveries,
         buggify_fires,
         epochs_checked: shadow_state.epochs_checked,
         events,

@@ -28,17 +28,22 @@ use sim::{
 
 use crate::bus::{BusMsg, BUS_MSG_BYTES};
 use crate::shadow;
+use crate::wal::{recover_code, Wal, WalRecord};
 
-/// Internal coordinator events.
+/// Internal coordinator events. Every timer carries the incarnation
+/// (`gen`) that armed it: timers of a crashed incarnation are discarded
+/// on delivery instead of firing into the recovered protocol state.
 #[derive(Clone, Copy)]
 enum CoordMsg {
     /// Fire the next periodic checkpoint.
-    PeriodicKick,
+    PeriodicKick { gen: u32 },
     /// Per-round ack timer: re-notify nodes whose ack is still missing.
-    AckTimeout { group: GroupId, epoch: u64, attempt: u32 },
+    AckTimeout { group: GroupId, epoch: u64, attempt: u32, gen: u32 },
     /// Per-round deadline: degrade or abort an epoch that has not
     /// assembled its barrier.
-    EpochDeadline { group: GroupId, epoch: u64 },
+    EpochDeadline { group: GroupId, epoch: u64, gen: u32 },
+    /// The crashed process comes back up and replays its WAL.
+    Restart { gen: u32 },
 }
 
 /// How a checkpoint epoch terminated. Every epoch reaches exactly one of
@@ -200,6 +205,8 @@ struct CoordTele {
     degraded: CounterId,
     excluded: CounterId,
     captured_bytes: CounterId,
+    crashes: CounterId,
+    recoveries: CounterId,
     epoch_span: SpanId,
     /// Epoch-phase timeline row (on the ops node's pid).
     track: TrackId,
@@ -219,6 +226,8 @@ struct CoordTele {
     ev_s_resume: TraceTag,
     ev_s_abandon: TraceTag,
     ev_s_rejoin: TraceTag,
+    ev_s_recover: TraceTag,
+    ev_crash: TraceTag,
 }
 
 /// Construction-time configuration for [`Coordinator`], assembled by
@@ -240,9 +249,10 @@ pub struct CoordinatorConfig {
 }
 
 /// Builder for [`Coordinator`]; obtained from [`Coordinator::builder`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CoordinatorBuilder {
     cfg: CoordinatorConfig,
+    wal: Option<Wal>,
 }
 
 impl CoordinatorBuilder {
@@ -271,9 +281,20 @@ impl CoordinatorBuilder {
         self
     }
 
+    /// Attaches the durable epoch WAL. The log outlives the coordinator
+    /// process (the handle is shared with the testbed), which is what
+    /// makes [`Coordinator::crash`] recoverable; without a WAL the
+    /// coordinator is immortal, as before this existed.
+    pub fn wal(mut self, wal: Wal) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Coordinator {
-        Coordinator::from_config(self.cfg)
+        let mut c = Coordinator::from_config(self.cfg);
+        c.wal = self.wal;
+        c
     }
 }
 
@@ -303,6 +324,19 @@ pub struct Coordinator {
     /// Nodes whose next checkpoint notification demands a full capture
     /// (their incremental chain broke while they were away).
     force_full: HashSet<NodeAddr>,
+    /// Durable epoch WAL; `None` leaves the coordinator crash-immortal.
+    wal: Option<Wal>,
+    /// Process incarnation; bumped at every crash so timers armed by a
+    /// dead incarnation are discarded on delivery.
+    gen: u32,
+    /// True between [`Coordinator::crash`] and the restart: every
+    /// message (bus traffic, NTP requests, stale timers) is dropped.
+    crashed: bool,
+    /// True while [`Coordinator::recover`] replays the WAL: the crash
+    /// buggify points are disarmed so recovery itself is atomic.
+    recovering: bool,
+    crashes: u64,
+    recoveries: u64,
     tele: Option<CoordTele>,
 }
 
@@ -320,6 +354,7 @@ impl Coordinator {
                 hold_resume: false,
                 periodic_group: None,
             },
+            wal: None,
         }
     }
 
@@ -342,6 +377,12 @@ impl Coordinator {
             records: Vec::new(),
             evicted: Vec::new(),
             force_full: HashSet::new(),
+            wal: None,
+            gen: 0,
+            crashed: false,
+            recovering: false,
+            crashes: 0,
+            recoveries: 0,
             tele: None,
         }
     }
@@ -384,6 +425,8 @@ impl Coordinator {
                 degraded: t.counter(names::COORD_EPOCHS_DEGRADED),
                 excluded: t.counter(names::COORD_NODES_EXCLUDED),
                 captured_bytes: t.counter(names::COORD_CAPTURED_BYTES),
+                crashes: t.counter(names::COORD_CRASHES),
+                recoveries: t.counter(names::COORD_RECOVERIES),
                 epoch_span: t.span(names::SPAN_COORDINATOR, names::SPAN_EPOCH),
                 track: t.track(addr, names::TRACK_COORDINATOR),
                 ev_epoch: t.trace_tag(names::EV_EPOCH),
@@ -401,8 +444,17 @@ impl Coordinator {
                 ev_s_resume: t.trace_tag(names::EV_SHADOW_RESUME),
                 ev_s_abandon: t.trace_tag(names::EV_SHADOW_ABANDON),
                 ev_s_rejoin: t.trace_tag(names::EV_SHADOW_REJOIN),
+                ev_s_recover: t.trace_tag(names::EV_SHADOW_RECOVER),
+                ev_crash: t.trace_tag(names::EV_COORD_CRASH),
             }
         })
+    }
+
+    /// Appends one durable epoch transition (no-op without a WAL).
+    fn wal_append(&self, rec: WalRecord) {
+        if let Some(w) = &self.wal {
+            w.append(&rec);
+        }
     }
 
     /// Records one shadow-protocol instant on the coordinator track.
@@ -466,6 +518,7 @@ impl Coordinator {
         ctx.telemetry()
             .trace_end(t.track, t.ev_epoch, now, epoch as i64);
         self.shadow_instant(ctx, |t| t.ev_s_resume, group, epoch, 0);
+        self.wal_append(WalRecord::Resume { at_ns: now.as_nanos(), group: group.0, epoch });
         self.publish_repeated(ctx, group, BusMsg::Resume { epoch });
     }
 
@@ -491,6 +544,11 @@ impl Coordinator {
             ctx.telemetry()
                 .trace_end(t.track, t.ev_epoch, now, round.epoch as i64);
             self.shadow_instant(ctx, |t| t.ev_s_abandon, group, round.epoch, 0);
+            self.wal_append(WalRecord::Abandon {
+                at_ns: now.as_nanos(),
+                group: group.0,
+                epoch: round.epoch,
+            });
         }
     }
 
@@ -631,6 +689,7 @@ impl Coordinator {
     }
 
     fn trigger_round(&mut self, ctx: &mut Ctx<'_>, group: GroupId, hold: bool) {
+        assert!(!self.crashed, "trigger on a crashed coordinator");
         assert!(self.idle_in(group), "checkpoint round already in flight");
         let nodes: HashSet<NodeAddr> = self
             .members
@@ -689,14 +748,36 @@ impl Coordinator {
             retries: 0,
             excluded: 0,
         });
+        let mut forced_sorted: Vec<u32> = self
+            .pending
+            .get(&group)
+            .map(|r| r.forced_full.iter().map(|n| n.0).collect())
+            .unwrap_or_default();
+        forced_sorted.sort_unstable();
+        self.wal_append(WalRecord::RoundOpen {
+            at_ns: ctx.now().as_nanos(),
+            group: group.0,
+            epoch,
+            hold,
+            notify_at_clock_ns: match msg {
+                BusMsg::CheckpointAt { at_clock_ns, .. } => Some(at_clock_ns),
+                _ => None,
+            },
+            participants: sorted.iter().map(|n| n.0).collect(),
+            forced_full: forced_sorted,
+        });
+        if self.maybe_crash(ctx, buggify_points::COORD_CRASH_PRE_NOTIFY) {
+            return; // Round durable, notification never left the process.
+        }
         self.publish(ctx, group, msg);
+        let gen = self.gen;
         ctx.post_self(
             self.policy.ack_timeout,
-            CoordMsg::AckTimeout { group, epoch, attempt: 1 },
+            CoordMsg::AckTimeout { group, epoch, attempt: 1, gen },
         );
         ctx.post_self(
             self.policy.epoch_deadline,
-            CoordMsg::EpochDeadline { group, epoch },
+            CoordMsg::EpochDeadline { group, epoch, gen },
         );
     }
 
@@ -723,7 +804,7 @@ impl Coordinator {
         let running = self.periodic.is_some();
         self.periodic = Some((group, interval));
         if !running {
-            ctx.post_self(interval, CoordMsg::PeriodicKick);
+            ctx.post_self(interval, CoordMsg::PeriodicKick { gen: self.gen });
         }
     }
 
@@ -762,9 +843,16 @@ impl Coordinator {
         if round.await_ack.remove(&node) {
             let all_acked = round.await_ack.is_empty();
             self.shadow_instant(ctx, |t| t.ev_s_ack, group, epoch, node.0);
+            self.wal_append(WalRecord::Ack {
+                at_ns: ctx.now().as_nanos(),
+                group: group.0,
+                epoch,
+                node: node.0,
+            });
             if all_acked {
                 self.mark_all_acked(ctx, epoch);
             }
+            self.maybe_crash(ctx, buggify_points::COORD_CRASH_MID_ACKS);
         }
     }
 
@@ -795,17 +883,29 @@ impl Coordinator {
         let t = self.tele(ctx);
         ctx.telemetry().add(t.captured_bytes, image_bytes);
         self.shadow_instant(ctx, |t| t.ev_s_done, group, epoch, node.0);
+        self.wal_append(WalRecord::Done {
+            at_ns: ctx.now().as_nanos(),
+            group: group.0,
+            epoch,
+            node: node.0,
+            image_bytes,
+        });
         if all_acked {
             self.mark_all_acked(ctx, epoch);
         }
         if barrier {
             self.complete_barrier(ctx, group, epoch);
+        } else {
+            self.maybe_crash(ctx, buggify_points::COORD_CRASH_MID_ACKS);
         }
     }
 
     /// Finishes a round whose `await_done` just emptied: records the
     /// outcome and publishes the resume (unless held).
     fn complete_barrier(&mut self, ctx: &mut Ctx<'_>, group: GroupId, epoch: u64) {
+        if self.maybe_crash(ctx, buggify_points::COORD_CRASH_PRE_RESUME) {
+            return; // Barrier complete, commit not durable: recovery rolls forward.
+        }
         let (excluded, hold) = self
             .pending
             .get(&group)
@@ -832,17 +932,25 @@ impl Coordinator {
         ctx.telemetry()
             .trace_instant(t.track, t.ev_barrier, now, epoch as i64);
         self.shadow_instant(ctx, |t| t.ev_s_commit, group, epoch, excluded);
+        self.wal_append(WalRecord::Commit {
+            at_ns: now.as_nanos(),
+            group: group.0,
+            epoch,
+            excluded,
+        });
         // A forced-full participant whose capture just committed has a
         // fresh full image: its incremental chain is whole again.
         if let Some(round) = self.pending.get(&group) {
-            let healed: Vec<NodeAddr> = round
+            let mut healed: Vec<NodeAddr> = round
                 .forced_full
                 .iter()
                 .filter(|n| !round.excluded.contains(n))
                 .copied()
                 .collect();
+            healed.sort_by_key(|a| a.0);
             for n in healed {
                 self.force_full.remove(&n);
+                self.wal_append(WalRecord::ForceFullHealed { at_ns: now.as_nanos(), node: n.0 });
             }
         }
         // Under the eviction policy, degraded commits expel the presumed
@@ -857,10 +965,18 @@ impl Coordinator {
             for n in expelled {
                 self.unsubscribe(n);
                 self.evicted.push((n, group));
+                self.wal_append(WalRecord::Evict {
+                    at_ns: now.as_nanos(),
+                    group: group.0,
+                    node: n.0,
+                });
             }
         }
         if hold {
             return; // Span and barrier-hold sample close at release time.
+        }
+        if self.maybe_crash(ctx, buggify_points::COORD_CRASH_POST_COMMIT) {
+            return; // Commit durable, resume never published: recovery releases.
         }
         let round = self.pending.remove(&group);
         if let Some(rec) = self.record_mut(epoch) {
@@ -873,6 +989,7 @@ impl Coordinator {
         ctx.telemetry()
             .trace_end(t.track, t.ev_epoch, now, epoch as i64);
         self.shadow_instant(ctx, |t| t.ev_s_resume, group, epoch, 0);
+        self.wal_append(WalRecord::Resume { at_ns: now.as_nanos(), group: group.0, epoch });
         self.publish_repeated(ctx, group, BusMsg::Resume { epoch });
     }
 
@@ -893,6 +1010,7 @@ impl Coordinator {
         if let Some(rec) = self.record_mut(epoch) {
             rec.retries += 1;
         }
+        self.wal_append(WalRecord::Retry { at_ns: ctx.now().as_nanos(), group: group.0, epoch });
         let t = self.tele(ctx);
         ctx.telemetry().inc(t.retries);
         for m in targets {
@@ -914,7 +1032,7 @@ impl Coordinator {
         }
         ctx.post_self(
             backoff,
-            CoordMsg::AckTimeout { group, epoch, attempt: attempt + 1 },
+            CoordMsg::AckTimeout { group, epoch, attempt: attempt + 1, gen: self.gen },
         );
     }
 
@@ -938,27 +1056,41 @@ impl Coordinator {
             round.excluded.extend(missing.iter().copied());
             for n in missing {
                 self.shadow_instant(ctx, |t| t.ev_s_exclude, group, epoch, n.0);
+                self.wal_append(WalRecord::Exclude {
+                    at_ns: ctx.now().as_nanos(),
+                    group: group.0,
+                    epoch,
+                    node: n.0,
+                });
             }
             self.complete_barrier(ctx, group, epoch);
         } else {
-            let round = self.pending.remove(&group);
-            if let Some(rec) = self.record_mut(epoch) {
-                rec.outcome = Some(EpochOutcome::Aborted);
-            }
-            let t = self.tele(ctx);
-            ctx.telemetry().inc(t.aborted);
-            if let Some(span) = round.and_then(|r| r.span) {
-                // No duration sample for an epoch that never resumed.
-                ctx.telemetry().span_discard(span);
-            }
-            let now = ctx.now();
-            ctx.telemetry()
-                .trace_instant(t.track, t.ev_abandoned, now, epoch as i64);
-            ctx.telemetry()
-                .trace_end(t.track, t.ev_epoch, now, epoch as i64);
-            self.shadow_instant(ctx, |t| t.ev_s_abort, group, epoch, 0);
-            self.publish_repeated(ctx, group, BusMsg::Abort { epoch });
+            self.abort_round(ctx, group, epoch);
         }
+    }
+
+    /// Aborts `group`'s in-flight round: participants roll back their
+    /// local checkpoint sequence and resume as if the epoch had never
+    /// been triggered. Shared by the deadline path and WAL recovery.
+    fn abort_round(&mut self, ctx: &mut Ctx<'_>, group: GroupId, epoch: u64) {
+        let round = self.pending.remove(&group);
+        if let Some(rec) = self.record_mut(epoch) {
+            rec.outcome = Some(EpochOutcome::Aborted);
+        }
+        let t = self.tele(ctx);
+        ctx.telemetry().inc(t.aborted);
+        if let Some(span) = round.and_then(|r| r.span) {
+            // No duration sample for an epoch that never resumed.
+            ctx.telemetry().span_discard(span);
+        }
+        let now = ctx.now();
+        ctx.telemetry()
+            .trace_instant(t.track, t.ev_abandoned, now, epoch as i64);
+        ctx.telemetry()
+            .trace_end(t.track, t.ev_epoch, now, epoch as i64);
+        self.shadow_instant(ctx, |t| t.ev_s_abort, group, epoch, 0);
+        self.wal_append(WalRecord::Abort { at_ns: now.as_nanos(), group: group.0, epoch });
+        self.publish_repeated(ctx, group, BusMsg::Abort { epoch });
     }
 
     /// Re-admits a previously evicted (crashed, now recovered) node: it
@@ -976,6 +1108,7 @@ impl Coordinator {
         self.force_full.insert(n);
         let epoch = self.epoch;
         self.shadow_instant(ctx, |t| t.ev_s_rejoin, g, epoch, n.0);
+        self.wal_append(WalRecord::Rejoin { at_ns: ctx.now().as_nanos(), group: g.0, node: n.0 });
         true
     }
 
@@ -988,10 +1121,365 @@ impl Coordinator {
     pub fn full_capture_pending(&self, node: NodeAddr) -> bool {
         self.force_full.contains(&node)
     }
+
+    /// True while the coordinator process is down.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Process crashes injected so far.
+    pub fn crash_count(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Restarts that replayed the WAL so far.
+    pub fn recovery_count(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// The attached epoch WAL, if any.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Evaluates one coordinator-crash buggify point. Returns true when
+    /// the process crashed; the caller must stop touching round state.
+    /// Crash points only arm on WAL-backed coordinators (an amnesiac
+    /// restart would wedge every suspended node) and never re-enter
+    /// during recovery itself.
+    fn maybe_crash(&mut self, ctx: &mut Ctx<'_>, point: &'static str) -> bool {
+        if self.wal.is_none() || self.recovering {
+            return false;
+        }
+        let bg = ctx.buggify().clone();
+        if !buggify!(bg, point) {
+            return false;
+        }
+        // 5 ms – 400 ms of control-plane downtime: long enough for acks,
+        // dones and deadline timers of the dead incarnation to pile up,
+        // short enough that suspended guests survive to be released.
+        let downtime =
+            SimDuration::from_nanos(bg.magnitude(point, 5_000_000, 400_000_000));
+        self.crash(ctx, downtime);
+        true
+    }
+
+    /// Crashes the coordinator process for `downtime`: all volatile
+    /// protocol state is lost (the WAL is not), every message — bus
+    /// traffic, NTP requests, timers of the dead incarnation — is
+    /// dropped until the restart, then the recovery path replays
+    /// the log. No-op if already down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no WAL is attached: an amnesiac coordinator would reuse
+    /// epoch ids and wedge every suspended node, so crash injection is
+    /// only modeled for WAL-backed coordinators.
+    pub fn crash(&mut self, ctx: &mut Ctx<'_>, downtime: SimDuration) {
+        assert!(self.wal.is_some(), "coordinator crash requires an attached WAL");
+        if self.crashed {
+            return;
+        }
+        self.crashed = true;
+        self.gen += 1;
+        self.crashes += 1;
+        // Volatile state dies with the process: open rounds, epoch
+        // records, the epoch counter. Telemetry spans of in-flight
+        // epochs are discarded (their trace rows re-terminate when
+        // recovery classifies them).
+        let mut groups: Vec<GroupId> = self.pending.keys().copied().collect();
+        groups.sort_by_key(|g| g.0);
+        for g in groups {
+            if let Some(span) = self.pending.remove(&g).and_then(|r| r.span) {
+                ctx.telemetry().span_discard(span);
+            }
+        }
+        self.records.clear();
+        self.epoch = 0;
+        // The roster is experiment configuration — the testbed database
+        // survives the process — while eviction and force-full deltas
+        // are protocol state that re-derives from the WAL at recovery.
+        for (n, g) in std::mem::take(&mut self.evicted) {
+            self.subscribe_in(n, g);
+        }
+        self.force_full.clear();
+        let t = self.tele(ctx);
+        ctx.telemetry().inc(t.crashes);
+        ctx.telemetry()
+            .trace_instant(t.track, t.ev_crash, ctx.now(), downtime.as_nanos() as i64);
+        ctx.post_self(downtime, CoordMsg::Restart { gen: self.gen });
+    }
+
+    /// Restart path: replays the WAL, rebuilds records and membership
+    /// deltas, then classifies each round left open at the crash —
+    /// committed-but-unresumed rounds release their barrier, rounds
+    /// whose barrier had silently completed roll forward and commit,
+    /// everything else aborts (conservatively force-fulling any node
+    /// that had already captured, since its incremental chain now spans
+    /// a rolled-back epoch).
+    fn recover(&mut self, ctx: &mut Ctx<'_>) {
+        /// Volatile image of one WAL round still open at the crash.
+        #[derive(Default)]
+        struct OpenRound {
+            epoch: u64,
+            hold: bool,
+            notify_at_clock_ns: Option<f64>,
+            participants: Vec<u32>,
+            forced_full: Vec<u32>,
+            acked: HashSet<u32>,
+            done: HashSet<u32>,
+            excluded: HashSet<u32>,
+            committed: bool,
+        }
+        let wal = self.wal.clone().expect("recovery requires an attached WAL");
+        self.crashed = false;
+        self.recovering = true;
+        self.recoveries += 1;
+        let t = self.tele(ctx);
+        ctx.telemetry().inc(t.recoveries);
+
+        let mut open: HashMap<u32, OpenRound> = HashMap::new();
+        for rec in wal.replay() {
+            match rec {
+                WalRecord::RoundOpen {
+                    at_ns,
+                    group,
+                    epoch,
+                    hold,
+                    notify_at_clock_ns,
+                    participants,
+                    forced_full,
+                } => {
+                    self.epoch = self.epoch.max(epoch);
+                    self.records.push(EpochRecord {
+                        epoch,
+                        group: GroupId(group),
+                        published: SimTime::from_nanos(at_ns),
+                        acked: None,
+                        barrier_done: None,
+                        resumed: None,
+                        captured_bytes: 0,
+                        outcome: None,
+                        retries: 0,
+                        excluded: 0,
+                    });
+                    open.insert(
+                        group,
+                        OpenRound {
+                            epoch,
+                            hold,
+                            notify_at_clock_ns,
+                            participants,
+                            forced_full,
+                            ..OpenRound::default()
+                        },
+                    );
+                }
+                WalRecord::Ack { at_ns, group, epoch, node } => {
+                    if let Some(r) = open.get_mut(&group).filter(|r| r.epoch == epoch) {
+                        r.acked.insert(node);
+                        let covered = r.participants.iter().all(|n| r.acked.contains(n));
+                        if covered {
+                            if let Some(rec) = self.record_mut(epoch) {
+                                if rec.acked.is_none() {
+                                    rec.acked = Some(SimTime::from_nanos(at_ns));
+                                }
+                            }
+                        }
+                    }
+                }
+                WalRecord::Done { at_ns, group, epoch, node, image_bytes } => {
+                    if let Some(r) = open.get_mut(&group).filter(|r| r.epoch == epoch) {
+                        r.acked.insert(node); // A done report is an implicit ack.
+                        r.done.insert(node);
+                        let covered = r.participants.iter().all(|n| r.acked.contains(n));
+                        if let Some(rec) = self.record_mut(epoch) {
+                            rec.captured_bytes += image_bytes;
+                            if covered && rec.acked.is_none() {
+                                rec.acked = Some(SimTime::from_nanos(at_ns));
+                            }
+                        }
+                    }
+                }
+                WalRecord::Retry { group, epoch, .. } => {
+                    if open.get(&group).is_some_and(|r| r.epoch == epoch) {
+                        if let Some(rec) = self.record_mut(epoch) {
+                            rec.retries += 1;
+                        }
+                    }
+                }
+                WalRecord::Exclude { group, epoch, node, .. } => {
+                    if let Some(r) = open.get_mut(&group).filter(|r| r.epoch == epoch) {
+                        r.excluded.insert(node);
+                    }
+                }
+                WalRecord::Commit { at_ns, group, epoch, excluded } => {
+                    if let Some(r) = open.get_mut(&group).filter(|r| r.epoch == epoch) {
+                        r.committed = true;
+                    }
+                    if let Some(rec) = self.record_mut(epoch) {
+                        rec.barrier_done = Some(SimTime::from_nanos(at_ns));
+                        rec.outcome = Some(if excluded == 0 {
+                            EpochOutcome::Committed
+                        } else {
+                            EpochOutcome::Degraded
+                        });
+                        rec.excluded = excluded;
+                    }
+                }
+                WalRecord::Resume { at_ns, group, epoch } => {
+                    if open.get(&group).is_some_and(|r| r.epoch == epoch) {
+                        open.remove(&group);
+                    }
+                    if let Some(rec) = self.record_mut(epoch) {
+                        rec.resumed = Some(SimTime::from_nanos(at_ns));
+                    }
+                }
+                WalRecord::Abort { group, epoch, .. } => {
+                    if open.get(&group).is_some_and(|r| r.epoch == epoch) {
+                        open.remove(&group);
+                    }
+                    if let Some(rec) = self.record_mut(epoch) {
+                        rec.outcome = Some(EpochOutcome::Aborted);
+                    }
+                }
+                WalRecord::Abandon { group, epoch, .. } => {
+                    if open.get(&group).is_some_and(|r| r.epoch == epoch) {
+                        open.remove(&group);
+                    }
+                }
+                WalRecord::Evict { group, node, .. } => {
+                    let n = NodeAddr(node);
+                    self.unsubscribe(n);
+                    self.evicted.push((n, GroupId(group)));
+                }
+                WalRecord::Rejoin { group, node, .. } => {
+                    let n = NodeAddr(node);
+                    if let Some(pos) = self.evicted.iter().position(|&(m, _)| m == n) {
+                        self.evicted.remove(pos);
+                    }
+                    self.subscribe_in(n, GroupId(group));
+                    self.force_full.insert(n);
+                }
+                WalRecord::ForceFull { node, .. } => {
+                    self.force_full.insert(NodeAddr(node));
+                }
+                WalRecord::ForceFullHealed { node, .. } => {
+                    self.force_full.remove(&NodeAddr(node));
+                }
+            }
+        }
+
+        // Classify every round the crash left open, in group order so
+        // recovery traffic is byte-stable across same-seed runs.
+        let mut groups: Vec<u32> = open.keys().copied().collect();
+        groups.sort_unstable();
+        let now = ctx.now();
+        for g in groups {
+            let r = open.remove(&g).expect("listed above");
+            let group = GroupId(g);
+            let epoch = r.epoch;
+            let notify = match r.notify_at_clock_ns {
+                Some(at_clock_ns) => BusMsg::CheckpointAt { epoch, at_clock_ns, full: false },
+                None => BusMsg::CheckpointNow { epoch, full: false },
+            };
+            let await_ack: HashSet<NodeAddr> = r
+                .participants
+                .iter()
+                .filter(|n| !r.acked.contains(n))
+                .map(|&n| NodeAddr(n))
+                .collect();
+            let await_done: HashSet<NodeAddr> = r
+                .participants
+                .iter()
+                .filter(|n| !r.done.contains(n) && !r.excluded.contains(n))
+                .map(|&n| NodeAddr(n))
+                .collect();
+            let barrier_complete = await_done.is_empty();
+            let some_done = !r.done.is_empty();
+            let mid_flight = !r.acked.is_empty() || some_done;
+            self.pending.insert(
+                group,
+                Round {
+                    epoch,
+                    notify,
+                    await_ack,
+                    await_done,
+                    excluded: r.excluded.iter().map(|&n| NodeAddr(n)).collect(),
+                    forced_full: r.forced_full.iter().map(|&n| NodeAddr(n)).collect(),
+                    participants: r.participants.len(),
+                    hold: r.hold,
+                    span: None,
+                },
+            );
+            if r.committed {
+                // The decision is durable; only the release was lost.
+                self.shadow_instant(ctx, |t| t.ev_s_recover, group, epoch, recover_code::RELEASE);
+                if !r.hold {
+                    self.release_resume_in(ctx, group);
+                }
+                // A held committed round stays pending: the testbed
+                // releases it through the normal barrier API.
+            } else if barrier_complete && some_done {
+                // Every participant reported (or was excluded) before the
+                // crash: the checkpoint exists in full, so roll forward.
+                self.shadow_instant(
+                    ctx,
+                    |t| t.ev_s_recover,
+                    group,
+                    epoch,
+                    recover_code::ROLL_FORWARD,
+                );
+                self.complete_barrier(ctx, group, epoch);
+            } else if !mid_flight {
+                // Nothing ever happened: plain abort (nodes that got the
+                // notification are released by the Abort publication).
+                self.shadow_instant(ctx, |t| t.ev_s_recover, group, epoch, recover_code::ABORT);
+                self.abort_round(ctx, group, epoch);
+            } else {
+                // Mid-flight: some nodes captured, some did not. Abort,
+                // and force the capturers' next checkpoint to be full —
+                // their rollback leaves the incremental chain spanning an
+                // epoch the store never committed.
+                self.shadow_instant(
+                    ctx,
+                    |t| t.ev_s_recover,
+                    group,
+                    epoch,
+                    recover_code::ABORT_FORCE_FULL,
+                );
+                let mut done_nodes: Vec<u32> = r.done.iter().copied().collect();
+                done_nodes.sort_unstable();
+                for n in done_nodes {
+                    self.force_full.insert(NodeAddr(n));
+                    self.wal_append(WalRecord::ForceFull { at_ns: now.as_nanos(), node: n });
+                }
+                self.abort_round(ctx, group, epoch);
+            }
+        }
+        // Timers of the dead incarnation are gen-stale; re-arm the
+        // periodic trigger under the new generation.
+        if let Some((_, interval)) = self.periodic {
+            ctx.post_self(interval, CoordMsg::PeriodicKick { gen: self.gen });
+        }
+        self.recovering = false;
+    }
 }
 
 impl Component for Coordinator {
     fn handle(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        if self.crashed {
+            // A dead process answers nothing — not even NTP. The only
+            // event that reaches it is its own restart; everything else
+            // (bus traffic, stale timers) is silently dropped, exactly
+            // like frames to a powered-off ops node.
+            if let Ok(CoordMsg::Restart { gen }) = payload.downcast::<CoordMsg>() {
+                if gen == self.gen {
+                    self.recover(ctx);
+                }
+            }
+            return;
+        }
         let payload = match payload.downcast::<LinkDeliver>() {
             Ok(del) => {
                 if let Some(req) = del.frame.payload::<NtpRequest>() {
@@ -1028,7 +1516,10 @@ impl Component for Coordinator {
         };
         if let Ok(msg) = payload.downcast::<CoordMsg>() {
             match msg {
-                CoordMsg::PeriodicKick => {
+                CoordMsg::PeriodicKick { gen } => {
+                    if gen != self.gen {
+                        return; // A dead incarnation's tick; recovery re-armed its own.
+                    }
                     if let Some((group, interval)) = self.periodic {
                         if self.idle_in(group) {
                             self.trigger_in(ctx, group);
@@ -1044,14 +1535,21 @@ impl Component for Coordinator {
                                     (interval.as_nanos() / 2).max(2),
                                 ));
                         }
-                        ctx.post_self(next, CoordMsg::PeriodicKick);
+                        ctx.post_self(next, CoordMsg::PeriodicKick { gen: self.gen });
                     }
                 }
-                CoordMsg::AckTimeout { group, epoch, attempt } => {
-                    self.on_ack_timeout(ctx, group, epoch, attempt);
+                CoordMsg::AckTimeout { group, epoch, attempt, gen } => {
+                    if gen == self.gen {
+                        self.on_ack_timeout(ctx, group, epoch, attempt);
+                    }
                 }
-                CoordMsg::EpochDeadline { group, epoch } => {
-                    self.on_epoch_deadline(ctx, group, epoch);
+                CoordMsg::EpochDeadline { group, epoch, gen } => {
+                    if gen == self.gen {
+                        self.on_epoch_deadline(ctx, group, epoch);
+                    }
+                }
+                CoordMsg::Restart { .. } => {
+                    // Already recovered (or never crashed): stale restart.
                 }
             }
         }

@@ -34,6 +34,9 @@ enum DnMsg {
     PipeWake,
     AgentWake { token: u64 },
     CaptureDone { epoch: u64 },
+    /// Suspension watchdog: if the epoch is still unresolved when this
+    /// fires, the coordinator is presumed dead and the hold is released.
+    Watchdog { epoch: u64 },
     Replay { pipe: PipeId, frame: Frame },
 }
 
@@ -45,6 +48,8 @@ pub struct DelayNodeStats {
     pub logged_in_flight: u64,
     /// Epochs rolled back on coordinator abort.
     pub aborted: u64,
+    /// Suspensions released by the watchdog (resolution never arrived).
+    pub watchdog_releases: u64,
 }
 
 /// A delay node participating in coordinated checkpoints.
@@ -72,6 +77,12 @@ pub struct DelayNodeHost {
     /// Re-send the done report at this interval until the epoch resolves
     /// (at-least-once completion reporting for lossy control planes).
     done_resend: Option<SimDuration>,
+    /// Release a suspension whose epoch is still unresolved after this
+    /// long: the coordinator crashed mid-round and its recovery may have
+    /// abandoned us, so roll back and drain rather than wedge forever.
+    /// Must exceed the epoch deadline plus the worst-case coordinator
+    /// downtime, or healthy held rounds would self-release.
+    suspend_watchdog: Option<SimDuration>,
     /// Counters.
     pub stats: DelayNodeStats,
 }
@@ -101,6 +112,7 @@ impl DelayNodeHost {
             prev_image: None,
             aborted_epoch: None,
             done_resend: None,
+            suspend_watchdog: None,
             stats: DelayNodeStats::default(),
         }
     }
@@ -109,6 +121,15 @@ impl DelayNodeHost {
     /// or abort resolves the epoch.
     pub fn set_done_resend(&mut self, interval: Option<SimDuration>) {
         self.done_resend = interval;
+    }
+
+    /// Arms the suspension watchdog: a round still unresolved `timeout`
+    /// after its suspension began is treated as aborted — the captured
+    /// image rolls back and the pipes drain. Off by default (held
+    /// swap-out/time-travel rounds legitimately stay suspended for
+    /// arbitrarily long).
+    pub fn set_suspend_watchdog(&mut self, timeout: Option<SimDuration>) {
+        self.suspend_watchdog = timeout;
     }
 
     /// Adds a shaped unidirectional path: frames arriving on `in_iface`
@@ -354,6 +375,9 @@ impl DelayNodeHost {
         self.last_image = Some(image);
         self.stats.checkpoints += 1;
         ctx.post_self(cost, DnMsg::CaptureDone { epoch: self.epoch });
+        if let Some(timeout) = self.suspend_watchdog {
+            ctx.post_self(timeout, DnMsg::Watchdog { epoch: self.epoch });
+        }
     }
 
     fn resume(&mut self, ctx: &mut Ctx<'_>) {
@@ -444,6 +468,25 @@ impl Component for DelayNodeHost {
                     // At-least-once: repeat until resume/abort resolves it.
                     ctx.post_self(interval, DnMsg::CaptureDone { epoch });
                 }
+            }
+            DnMsg::Watchdog { epoch } => {
+                if epoch != self.epoch
+                    || self.aborted_epoch == Some(epoch)
+                    || !self.dn.suspended()
+                {
+                    return; // The round resolved; the watchdog is moot.
+                }
+                // No resume or abort ever arrived: a recovering
+                // coordinator abandoned this round (its abort publication
+                // was lost, or it classified the round before this node's
+                // done report landed). Locally adopt the abort outcome —
+                // roll back the capture and drain the queued packets.
+                self.aborted_epoch = Some(epoch);
+                self.stats.aborted += 1;
+                self.stats.watchdog_releases += 1;
+                self.last_image = self.prev_image.take();
+                self.stats.checkpoints = self.stats.checkpoints.saturating_sub(1);
+                self.resume(ctx);
             }
             DnMsg::Replay { pipe, frame } => {
                 let now = ctx.now();

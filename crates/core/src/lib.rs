@@ -27,7 +27,9 @@ mod baselines;
 mod bus;
 mod coordinator;
 mod delaynode;
+pub mod modelcheck;
 pub mod shadow;
+pub mod wal;
 
 pub use agent::CheckpointAgent;
 pub use baselines::Strategy;
@@ -38,3 +40,4 @@ pub use coordinator::{
 };
 pub use delaynode::{DelayNodeHost, DelayNodeStats, OutPort};
 pub use shadow::{ShadowEpochState, ShadowOutcome, ShadowViolation};
+pub use wal::{MemWalStore, Wal, WalRecord, WalStore};

@@ -1,0 +1,647 @@
+//! Exhaustive small-scope model check of the two-phase epoch protocol.
+//!
+//! The randomized explorer (`tcd-bench explore`) samples deep
+//! interleavings of the full simulator; this module does the opposite
+//! trade: it enumerates **every** interleaving of an abstract
+//! single-round model — notify/ack/done delivery, the ack-timeout and
+//! deadline failure detectors, coordinator crash/recovery, and the
+//! delay-node suspension watchdog — for a 2–3 node group, by BFS with
+//! visited-state dedup on a canonical bit-packed key.
+//!
+//! The property set is not hand-written for the model: every transition
+//! emits the same `shadow.*` trace instants the real coordinator emits,
+//! and a cloned [`ShadowEpochState`] is stepped alongside each path.
+//! Whatever invariant the shadow enforces on the simulator, it enforces
+//! here over the *complete* state space. Because the shadow's state is a
+//! function of the model state (single round, single group), dedup on
+//! the model key alone is sound.
+//!
+//! A second, model-level property closes the gap the shadow cannot see:
+//! at every quiescent (deadlock) state, the round must be decided and no
+//! node may be left suspended — the "no wedged epochs / no wedged
+//! nodes" liveness bound that motivated the WAL in the first place.
+//!
+//! The `sabotage` knob makes recovery roll forward on acks instead of
+//! done reports — a deliberately planted bug that the checker must
+//! catch (see the self-test), proving the harness can fail.
+
+use std::collections::{HashMap, VecDeque};
+
+use sim::telemetry::names;
+use sim::{SimTime, TraceEvent, TracePhase};
+
+use crate::shadow::{self, ShadowEpochState};
+use crate::wal::recover_code;
+
+/// The one group and epoch of the modeled round.
+const GROUP: u32 = 0;
+const EPOCH: u64 = 1;
+/// Host id stamped on emitted events (cosmetic; the shadow ignores it).
+const COORD_HOST: u32 = 100;
+
+/// Model configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelConfig {
+    /// Nodes in the checkpoint group (2–4; the state space is
+    /// exponential in this).
+    pub nodes: u8,
+    /// Coordinator crashes to inject along a single path.
+    pub max_crashes: u8,
+    /// Stop expanding paths longer than this many actions (`None` =
+    /// exhaustive; the model is finite so this always terminates).
+    pub depth_bound: Option<u32>,
+    /// Plant a recovery bug: roll forward when every participant acked,
+    /// even if done reports are missing. The checker must find it.
+    pub sabotage: bool,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig { nodes: 2, max_crashes: 1, depth_bound: None, sabotage: false }
+    }
+}
+
+/// What the checker found.
+#[derive(Clone, Debug)]
+pub struct ModelReport {
+    /// Distinct canonical states reached.
+    pub states_explored: u64,
+    /// Transitions taken (including ones into already-visited states).
+    pub transitions: u64,
+    /// Quiescent states (no action enabled) — each was liveness-checked.
+    pub deadlocks: u64,
+    /// Longest action sequence explored.
+    pub max_depth_seen: u32,
+    /// States cut off by the depth bound (0 on an exhaustive run).
+    pub truncated: u64,
+    /// First property violation, if any, as a replayable trace.
+    pub counterexample: Option<Counterexample>,
+}
+
+/// A replayable property violation.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The action sequence from the initial state.
+    pub actions: Vec<String>,
+    /// The violated properties (shadow violations or liveness wedges).
+    pub problems: Vec<String>,
+    /// The shadow event sequence of the path, one `name,group,epoch,node`
+    /// line per event — feed it back through `ShadowEpochState` to
+    /// reproduce the verdict.
+    pub events_csv: String,
+}
+
+/// One protocol action. `u8` operands are node indices `0..nodes`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Action {
+    /// The notification frames leave the coordinator (the WAL round-open
+    /// and shadow joins happened in the initial state, before this — a
+    /// crash in between is the `coord.crash_pre_notify` window).
+    Publish,
+    /// The notification reaches node *i*, which acks and arms capture.
+    DeliverNotify(u8),
+    /// The coordinator accepts node *i*'s ack (durable).
+    CoordAck(u8),
+    /// Node *i* suspends and captures locally.
+    Capture(u8),
+    /// The coordinator accepts node *i*'s done report (durable).
+    CoordDone(u8),
+    /// The epoch deadline fires: degrade (exclude never-acked stragglers)
+    /// or abort.
+    Deadline,
+    /// The completed barrier commits (durable). The gap before this is
+    /// the `coord.crash_pre_resume` window.
+    Commit,
+    /// The resume publication (durable). The gap after `Commit` is the
+    /// `coord.crash_post_commit` window.
+    PublishResume,
+    /// The resume reaches suspended node *i*.
+    DeliverResume(u8),
+    /// The abort reaches node *i*, which rolls back if captured.
+    DeliverAbort(u8),
+    /// Node *i*'s suspension watchdog fires before the (lost) resolution
+    /// reaches it: local rollback and drain.
+    Watchdog(u8),
+    /// The coordinator process crashes.
+    Crash,
+    /// The coordinator restarts and classifies the round from its WAL.
+    Recover,
+}
+
+impl Action {
+    fn label(self) -> String {
+        match self {
+            Action::Publish => "publish".into(),
+            Action::DeliverNotify(i) => format!("deliver_notify({i})"),
+            Action::CoordAck(i) => format!("coord_ack({i})"),
+            Action::Capture(i) => format!("capture({i})"),
+            Action::CoordDone(i) => format!("coord_done({i})"),
+            Action::Deadline => "deadline".into(),
+            Action::Commit => "commit".into(),
+            Action::PublishResume => "publish_resume".into(),
+            Action::DeliverResume(i) => format!("deliver_resume({i})"),
+            Action::DeliverAbort(i) => format!("deliver_abort({i})"),
+            Action::Watchdog(i) => format!("watchdog({i})"),
+            Action::Crash => "crash".into(),
+            Action::Recover => "recover".into(),
+        }
+    }
+}
+
+/// The canonical model state. Node sets are bitmasks over `0..nodes`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct State {
+    /// Notification frames are in flight.
+    published: bool,
+    /// Nodes that received the notification.
+    notified: u8,
+    /// Acks durably accepted by the coordinator (WAL).
+    acked: u8,
+    /// Nodes that suspended and captured (node-local, crash-immune).
+    captured: u8,
+    /// Done reports durably accepted (WAL); implies `acked`.
+    done: u8,
+    /// Nodes excluded by the deadline's degrade path (WAL).
+    excluded: u8,
+    /// The commit decision is durable (WAL).
+    committed: bool,
+    /// The resume publication is durable and in flight (WAL).
+    resumed: bool,
+    /// The abort decision is durable and in flight (WAL).
+    aborted: bool,
+    /// Suspended nodes released by a resume delivery.
+    released: u8,
+    /// Nodes that saw the abort (or their watchdog) and rolled back.
+    rolled_back: u8,
+    /// The coordinator process is up.
+    up: bool,
+    /// Crash injections left on this path.
+    crashes_left: u8,
+    /// The (single) epoch deadline already fired.
+    deadline_fired: bool,
+}
+
+impl State {
+    fn initial(cfg: &ModelConfig) -> State {
+        State {
+            published: false,
+            notified: 0,
+            acked: 0,
+            captured: 0,
+            done: 0,
+            excluded: 0,
+            committed: false,
+            resumed: false,
+            aborted: false,
+            released: 0,
+            rolled_back: 0,
+            up: true,
+            crashes_left: cfg.max_crashes,
+            deadline_fired: false,
+        }
+    }
+
+    /// Bit-packs the state into a dedup key (fits easily in 64 bits for
+    /// up to 4 nodes: 7 masks x 4 bits + 7 flags/counters).
+    fn key(&self) -> u64 {
+        let mut k = 0u64;
+        for (i, m) in [
+            self.notified,
+            self.acked,
+            self.captured,
+            self.done,
+            self.excluded,
+            self.released,
+            self.rolled_back,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            k |= u64::from(m) << (i * 4);
+        }
+        k |= u64::from(self.published) << 28;
+        k |= u64::from(self.committed) << 29;
+        k |= u64::from(self.resumed) << 30;
+        k |= u64::from(self.aborted) << 31;
+        k |= u64::from(self.up) << 32;
+        k |= u64::from(self.deadline_fired) << 33;
+        k |= u64::from(self.crashes_left) << 34;
+        k
+    }
+
+    /// The round has reached a durable terminal decision.
+    fn decided(&self) -> bool {
+        self.committed || self.aborted
+    }
+
+    /// Suspended nodes that have seen neither a resume nor an abort.
+    fn stuck(&self, all: u8) -> u8 {
+        self.captured & !self.released & !self.rolled_back & all
+    }
+}
+
+fn ev(name: &'static str, arg: i64) -> TraceEvent {
+    TraceEvent {
+        at: SimTime::ZERO,
+        host: COORD_HOST,
+        subsystem: "coordinator".into(),
+        name: name.into(),
+        phase: TracePhase::Instant,
+        arg,
+    }
+}
+
+fn node_ev(name: &'static str, node: u32) -> TraceEvent {
+    ev(name, shadow::pack(GROUP, EPOCH, node))
+}
+
+/// Node index → the address the events carry (1-based, matching the rigs).
+fn addr(i: u8) -> u32 {
+    u32::from(i) + 1
+}
+
+/// Enumerates the actions enabled in `s`, in a fixed order so runs are
+/// deterministic.
+fn enabled(s: &State, cfg: &ModelConfig) -> Vec<Action> {
+    let n = cfg.nodes;
+    let all: u8 = (1 << n) - 1;
+    let mut out = Vec::new();
+    let open = !s.decided();
+    if s.up && open && !s.published {
+        out.push(Action::Publish);
+    }
+    for i in 0..n {
+        let b = 1 << i;
+        if s.published && open && s.notified & b == 0 {
+            out.push(Action::DeliverNotify(i));
+        }
+        if s.up && open && s.notified & b != 0 && s.acked & b == 0 {
+            out.push(Action::CoordAck(i));
+        }
+        if s.notified & b != 0
+            && s.captured & b == 0
+            && s.rolled_back & b == 0
+            && s.released & b == 0
+        {
+            out.push(Action::Capture(i));
+        }
+        if s.up && open && s.captured & b != 0 && s.done & b == 0 && s.excluded & b == 0 {
+            out.push(Action::CoordDone(i));
+        }
+        if s.resumed && s.captured & b != 0 && s.released & b == 0 && s.rolled_back & b == 0 {
+            out.push(Action::DeliverResume(i));
+        }
+        if s.aborted && s.notified & b != 0 && s.rolled_back & b == 0 && s.released & b == 0 {
+            out.push(Action::DeliverAbort(i));
+        }
+        // The watchdog races the (possibly lost) resolution delivery; it
+        // only fires after the round decided, mirroring its timeout being
+        // far beyond the epoch deadline plus recovery downtime.
+        if (s.aborted || s.resumed)
+            && s.captured & b != 0
+            && s.released & b == 0
+            && s.rolled_back & b == 0
+        {
+            out.push(Action::Watchdog(i));
+        }
+    }
+    if s.up && open && s.published && !s.deadline_fired && all & !(s.done | s.excluded) != 0 {
+        out.push(Action::Deadline);
+    }
+    if s.up && open && (s.done | s.excluded) == all && s.done != 0 {
+        out.push(Action::Commit);
+    }
+    if s.up && s.committed && !s.resumed {
+        out.push(Action::PublishResume);
+    }
+    if s.up && s.crashes_left > 0 && !s.aborted && !(s.committed && s.resumed) {
+        out.push(Action::Crash);
+    }
+    if !s.up {
+        out.push(Action::Recover);
+    }
+    out
+}
+
+/// Applies `a` to `s`, pushing the shadow events the real coordinator
+/// would emit for the same transition.
+fn apply(s: &mut State, a: Action, cfg: &ModelConfig, events: &mut Vec<TraceEvent>) {
+    let n = cfg.nodes;
+    let all: u8 = (1 << n) - 1;
+    match a {
+        Action::Publish => s.published = true,
+        Action::DeliverNotify(i) => s.notified |= 1 << i,
+        Action::CoordAck(i) => {
+            s.acked |= 1 << i;
+            events.push(node_ev(names::EV_SHADOW_ACK, addr(i)));
+        }
+        Action::Capture(i) => s.captured |= 1 << i,
+        Action::CoordDone(i) => {
+            // A done report is an implicit ack.
+            s.acked |= 1 << i;
+            s.done |= 1 << i;
+            events.push(node_ev(names::EV_SHADOW_DONE, addr(i)));
+        }
+        Action::Deadline => {
+            s.deadline_fired = true;
+            let missing = all & !(s.done | s.excluded);
+            let missing_never_acked = missing & s.acked == 0;
+            let some_completed = s.done != 0;
+            if missing_never_acked && some_completed {
+                for i in 0..n {
+                    if missing & (1 << i) != 0 {
+                        s.excluded |= 1 << i;
+                        events.push(node_ev(names::EV_SHADOW_EXCLUDE, addr(i)));
+                    }
+                }
+                // The real handler commits in the same breath; the model
+                // leaves `Commit` as the (now-enabled) next action so a
+                // crash can land in the pre-resume window.
+            } else {
+                s.aborted = true;
+                events.push(node_ev(names::EV_SHADOW_ABORT, 0));
+            }
+        }
+        Action::Commit => {
+            s.committed = true;
+            events.push(node_ev(names::EV_SHADOW_COMMIT, s.excluded.count_ones()));
+        }
+        Action::PublishResume => {
+            s.resumed = true;
+            events.push(node_ev(names::EV_SHADOW_RESUME, 0));
+        }
+        Action::DeliverResume(i) => s.released |= 1 << i,
+        Action::DeliverAbort(i) => s.rolled_back |= 1 << i,
+        Action::Watchdog(i) => s.rolled_back |= 1 << i,
+        Action::Crash => {
+            s.up = false;
+            s.crashes_left -= 1;
+        }
+        Action::Recover => {
+            s.up = true;
+            let barrier_complete = if cfg.sabotage {
+                // Planted bug: recovery trusts acks as completions.
+                (s.acked | s.done | s.excluded) == all
+            } else {
+                (s.done | s.excluded) == all
+            };
+            if s.committed && !s.resumed {
+                // The decision was durable; only the release was lost.
+                events.push(node_ev(names::EV_SHADOW_RECOVER, recover_code::RELEASE));
+                s.resumed = true;
+                events.push(node_ev(names::EV_SHADOW_RESUME, 0));
+            } else if !s.decided() && barrier_complete && s.done != 0 {
+                events.push(node_ev(names::EV_SHADOW_RECOVER, recover_code::ROLL_FORWARD));
+                s.committed = true;
+                events
+                    .push(node_ev(names::EV_SHADOW_COMMIT, s.excluded.count_ones()));
+                s.resumed = true;
+                events.push(node_ev(names::EV_SHADOW_RESUME, 0));
+            } else if !s.decided() {
+                let code = if s.acked == 0 && s.done == 0 {
+                    recover_code::ABORT
+                } else {
+                    recover_code::ABORT_FORCE_FULL
+                };
+                events.push(node_ev(names::EV_SHADOW_RECOVER, code));
+                s.aborted = true;
+                events.push(node_ev(names::EV_SHADOW_ABORT, 0));
+            }
+            // A fully closed round recovers to an idle coordinator.
+        }
+    }
+}
+
+/// One BFS node: a reached state, the congruent shadow, and the edge
+/// that produced it (for counterexample trails).
+struct SearchNode {
+    state: State,
+    shadow: ShadowEpochState,
+    parent: usize,
+    action: Option<Action>,
+    depth: u32,
+}
+
+/// Runs the exhaustive check. Stops at the first property violation.
+pub fn check(cfg: &ModelConfig) -> ModelReport {
+    assert!((1..=4).contains(&cfg.nodes), "model scope is 1-4 nodes");
+    let all: u8 = (1 << cfg.nodes) - 1;
+
+    // Root: the round is durably open and every participant joined —
+    // exactly what `trigger_round` does before the first crash window.
+    let mut root_shadow = ShadowEpochState::new();
+    let mut root_events = Vec::new();
+    for i in 0..cfg.nodes {
+        root_events.push(node_ev(names::EV_SHADOW_JOIN, addr(i)));
+    }
+    for e in &root_events {
+        root_shadow.step(e);
+    }
+
+    let mut arena: Vec<SearchNode> = vec![SearchNode {
+        state: State::initial(cfg),
+        shadow: root_shadow,
+        parent: usize::MAX,
+        action: None,
+        depth: 0,
+    }];
+    let mut visited: HashMap<u64, ()> = HashMap::new();
+    visited.insert(arena[0].state.key(), ());
+    let mut queue: VecDeque<usize> = VecDeque::from([0]);
+
+    let mut report = ModelReport {
+        states_explored: 1,
+        transitions: 0,
+        deadlocks: 0,
+        max_depth_seen: 0,
+        truncated: 0,
+        counterexample: None,
+    };
+
+    while let Some(idx) = queue.pop_front() {
+        let actions = enabled(&arena[idx].state, cfg);
+        let depth = arena[idx].depth;
+        report.max_depth_seen = report.max_depth_seen.max(depth);
+
+        if actions.is_empty() {
+            // Quiescent: the liveness properties must hold here.
+            report.deadlocks += 1;
+            let mut problems = Vec::new();
+            let mut fin = arena[idx].shadow.clone();
+            fin.finish();
+            for v in fin.violations() {
+                problems.push(v.to_string());
+            }
+            let stuck = arena[idx].state.stuck(all);
+            for i in 0..cfg.nodes {
+                if stuck & (1 << i) != 0 {
+                    problems.push(format!(
+                        "node {} wedged: suspended with no resolution reachable",
+                        addr(i)
+                    ));
+                }
+            }
+            if !arena[idx].state.decided() {
+                // `finish` flags this as Wedged too, but say it plainly.
+                problems.push("round quiescent but undecided".into());
+            }
+            if !problems.is_empty() {
+                report.counterexample = Some(build_counterexample(&arena, idx, cfg, problems));
+                return report;
+            }
+            continue;
+        }
+
+        if cfg.depth_bound.is_some_and(|b| depth >= b) {
+            report.truncated += 1;
+            continue;
+        }
+
+        for a in actions {
+            report.transitions += 1;
+            let mut state = arena[idx].state;
+            let mut shadow = arena[idx].shadow.clone();
+            let before = shadow.violations().len();
+            let mut events = Vec::new();
+            apply(&mut state, a, cfg, &mut events);
+            for e in &events {
+                shadow.step(e);
+            }
+            if shadow.violations().len() > before {
+                let problems: Vec<String> = shadow.violations()[before..]
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect();
+                arena.push(SearchNode { state, shadow, parent: idx, action: Some(a), depth: depth + 1 });
+                let leaf = arena.len() - 1;
+                report.counterexample = Some(build_counterexample(&arena, leaf, cfg, problems));
+                return report;
+            }
+            let key = state.key();
+            if let std::collections::hash_map::Entry::Vacant(v) = visited.entry(key) {
+                v.insert(());
+                report.states_explored += 1;
+                arena.push(SearchNode {
+                    state,
+                    shadow,
+                    parent: idx,
+                    action: Some(a),
+                    depth: depth + 1,
+                });
+                queue.push_back(arena.len() - 1);
+            }
+        }
+    }
+    report
+}
+
+/// Rebuilds the action trail and its shadow event sequence from the
+/// arena's parent pointers.
+fn build_counterexample(
+    arena: &[SearchNode],
+    leaf: usize,
+    cfg: &ModelConfig,
+    problems: Vec<String>,
+) -> Counterexample {
+    let mut trail = Vec::new();
+    let mut at = leaf;
+    while at != 0 {
+        if let Some(a) = arena[at].action {
+            trail.push(a);
+        }
+        at = arena[at].parent;
+    }
+    trail.reverse();
+
+    // Replay the trail from the initial state to regenerate the exact
+    // event sequence (joins first, then per-action emissions).
+    let mut events = Vec::new();
+    for i in 0..cfg.nodes {
+        events.push(node_ev(names::EV_SHADOW_JOIN, addr(i)));
+    }
+    let mut s = State::initial(cfg);
+    for &a in &trail {
+        apply(&mut s, a, cfg, &mut events);
+    }
+    let mut csv = String::from("event,group,epoch,node\n");
+    for e in &events {
+        let (g, ep, node) = shadow::unpack(e.arg);
+        csv.push_str(&format!("{},{g},{ep},{node}\n", e.name));
+    }
+    Counterexample {
+        actions: trail.iter().map(|a| a.label()).collect(),
+        problems,
+        events_csv: csv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_nodes_one_crash_is_clean() {
+        let report = check(&ModelConfig { nodes: 2, max_crashes: 1, ..Default::default() });
+        assert!(
+            report.counterexample.is_none(),
+            "unexpected counterexample: {:?}",
+            report.counterexample
+        );
+        assert!(report.states_explored > 100, "suspiciously small space");
+        assert_eq!(report.truncated, 0);
+    }
+
+    #[test]
+    fn two_nodes_two_crashes_is_clean() {
+        let report = check(&ModelConfig { nodes: 2, max_crashes: 2, ..Default::default() });
+        assert!(report.counterexample.is_none());
+    }
+
+    #[test]
+    fn three_nodes_one_crash_is_clean() {
+        let report = check(&ModelConfig { nodes: 3, max_crashes: 1, ..Default::default() });
+        assert!(
+            report.counterexample.is_none(),
+            "unexpected counterexample: {:?}",
+            report.counterexample
+        );
+    }
+
+    #[test]
+    fn sabotaged_recovery_is_caught() {
+        let report = check(&ModelConfig {
+            nodes: 2,
+            max_crashes: 1,
+            sabotage: true,
+            ..Default::default()
+        });
+        let cx = report.counterexample.expect("the planted bug must be found");
+        assert!(
+            cx.problems.iter().any(|p| p.contains("missing")),
+            "expected an incomplete-commit problem, got {:?}",
+            cx.problems
+        );
+        assert!(!cx.actions.is_empty());
+        assert!(cx.events_csv.contains("shadow.recover"));
+    }
+
+    #[test]
+    fn depth_bound_truncates_without_counterexamples() {
+        let report = check(&ModelConfig {
+            nodes: 2,
+            max_crashes: 1,
+            depth_bound: Some(4),
+            ..Default::default()
+        });
+        assert!(report.counterexample.is_none());
+        assert!(report.truncated > 0);
+    }
+
+    #[test]
+    fn crashless_model_is_clean_and_smaller() {
+        let with = check(&ModelConfig { nodes: 2, max_crashes: 1, ..Default::default() });
+        let without = check(&ModelConfig { nodes: 2, max_crashes: 0, ..Default::default() });
+        assert!(without.counterexample.is_none());
+        assert!(without.states_explored < with.states_explored);
+    }
+}

@@ -103,6 +103,9 @@ pub enum ShadowViolation {
     ResumeWithoutCommit { group: u32, epoch: u64 },
     /// A terminal event for an epoch the shadow never saw publish.
     TerminalWithoutRound { group: u32, epoch: u64 },
+    /// A recovering coordinator classified a round the shadow does not
+    /// consider open — recovery invented (or resurrected) an epoch.
+    RecoverOutsideRound { group: u32, epoch: u64 },
     /// An epoch still undecided when the run ended.
     Wedged { group: u32, epoch: u64 },
 }
@@ -151,6 +154,9 @@ impl std::fmt::Display for ShadowViolation {
             TerminalWithoutRound { group, epoch } => {
                 write!(f, "group {group} epoch {epoch}: terminal event for unknown round")
             }
+            RecoverOutsideRound { group, epoch } => {
+                write!(f, "group {group} epoch {epoch}: recovery classified a round never published")
+            }
             Wedged { group, epoch } => {
                 write!(f, "group {group} epoch {epoch}: undecided at end of run")
             }
@@ -181,7 +187,7 @@ struct GroupShadow {
 /// The shadow state machine. Feed it the coordinator's trace events (in
 /// ring order) with [`ShadowEpochState::step`]; collected violations are
 /// in [`ShadowEpochState::violations`].
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct ShadowEpochState {
     groups: HashMap<u32, GroupShadow>,
     violations: Vec<ShadowViolation>,
@@ -229,6 +235,7 @@ impl ShadowEpochState {
             names::EV_SHADOW_ABANDON => self.on_terminal(group, epoch, ShadowOutcome::Abandoned),
             names::EV_SHADOW_RESUME => self.on_resume(group, epoch),
             names::EV_SHADOW_REJOIN => {} // Membership change; no epoch state.
+            names::EV_SHADOW_RECOVER => self.on_recover(group, epoch),
             _ => {}
         }
     }
@@ -447,6 +454,18 @@ impl ShadowEpochState {
         }
     }
 
+    /// A restarted coordinator announced its WAL-derived classification
+    /// of this round (the node field carries the classification code and
+    /// is not checked here). The round itself must still be open in the
+    /// shadow's eyes: the terminal events recovery emits next are judged
+    /// by the ordinary invariants.
+    fn on_recover(&mut self, group: u32, epoch: u64) {
+        if Self::current_of(&mut self.groups, group, epoch).is_none() {
+            self.violations
+                .push(ShadowViolation::RecoverOutsideRound { group, epoch });
+        }
+    }
+
     fn on_resume(&mut self, group: u32, epoch: u64) {
         let gs = self.group(group);
         match &gs.current {
@@ -510,6 +529,9 @@ mod tests {
     }
     fn resume(g: u32, e: u64) -> TraceEvent {
         ev(names::EV_SHADOW_RESUME, pack(g, e, 0))
+    }
+    fn recover(g: u32, e: u64, code: u32) -> TraceEvent {
+        ev(names::EV_SHADOW_RECOVER, pack(g, e, code))
     }
 
     #[test]
@@ -703,6 +725,39 @@ mod tests {
             resume(0, 1),
         ];
         assert_eq!(ShadowEpochState::replay(&evs), vec![]);
+    }
+
+    #[test]
+    fn recovery_abort_of_an_open_round_passes() {
+        let evs = vec![
+            join(0, 1, 1),
+            join(0, 1, 2),
+            ack(0, 1, 1),
+            recover(0, 1, 3), // crash + restart: classified as abort
+            abort(0, 1),
+        ];
+        assert_eq!(ShadowEpochState::replay(&evs), vec![]);
+    }
+
+    #[test]
+    fn recovery_roll_forward_passes() {
+        let evs = vec![
+            join(0, 1, 1),
+            join(0, 1, 2),
+            done(0, 1, 1),
+            done(0, 1, 2),
+            recover(0, 1, 1), // barrier was complete: roll forward
+            commit(0, 1, 0),
+            resume(0, 1),
+        ];
+        assert_eq!(ShadowEpochState::replay(&evs), vec![]);
+    }
+
+    #[test]
+    fn recovery_of_an_unpublished_round_is_flagged() {
+        let evs = vec![recover(0, 7, 3), abort(0, 7)];
+        let v = ShadowEpochState::replay(&evs);
+        assert!(v.contains(&ShadowViolation::RecoverOutsideRound { group: 0, epoch: 7 }));
     }
 
     #[test]

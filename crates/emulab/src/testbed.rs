@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use checkpoint::{CheckpointAgent, Coordinator, DelayNodeHost, GroupId, OutPort, Strategy};
+use checkpoint::{CheckpointAgent, Coordinator, DelayNodeHost, GroupId, OutPort, Strategy, Wal};
 use ckptstore::{CaptureCache, ChunkStore, Dec, PutReport};
 use cowstore::{BranchingStore, CowMode, GoldenImage, GoldenImageBuilder, StoreLayout};
 use dummynet::PipeConfig;
@@ -42,6 +42,12 @@ pub const FS_ADDR: NodeAddr = NodeAddr(10_001);
 /// Fixed swap-in overhead with a cached image: node configuration plus VM
 /// boot — §7.2's "initial swap-in took eight seconds".
 pub const BOOT_OVERHEAD: SimDuration = SimDuration::from_secs(8);
+
+/// Delay-node orphaned-suspension watchdog, armed under fault
+/// injection: must exceed the coordinator's epoch deadline (2 s) plus
+/// its worst-case crash downtime (400 ms), or the watchdog would abort
+/// live rounds that are merely slow.
+pub const SUSPEND_WATCHDOG: SimDuration = SimDuration::from_secs(4);
 
 /// One physical machine in the pool.
 #[derive(Clone, Debug)]
@@ -185,9 +191,14 @@ impl Testbed {
             profile.ctrl_lan_latency,
             profile.ctrl_lan_jitter,
         )));
+        // The epoch WAL lives in the ops node's durable store — it
+        // survives coordinator process crashes (the buggify
+        // `coord.crash_*` points), which only arm on WAL-backed
+        // coordinators.
         let coordinator = engine.add_component(Box::new(
             Coordinator::builder(OPS_ADDR, lan)
                 .mode(strategy.trigger_mode())
+                .wal(Wal::in_memory())
                 .build(),
         ));
         let fileserver = engine.add_component(Box::new(FileServer::new(FS_ADDR, lan)));
@@ -250,6 +261,20 @@ impl Testbed {
     pub fn arm_buggify(&mut self, bg: Buggify) {
         self.fs_store.attach_buggify(&bg);
         self.engine.arm_buggify(bg);
+        // Under fault injection the coordinator can crash while a delay
+        // node sits suspended awaiting its resume; arm the orphan
+        // watchdog on every delay node, existing and future, so no
+        // suspension outlives the protocol.
+        let dns: Vec<ComponentId> = self
+            .experiments
+            .values()
+            .flat_map(|exp| exp.delay_nodes.iter().map(|d| d.component))
+            .collect();
+        for dn in dns {
+            self.engine.with_component::<DelayNodeHost, _>(dn, |d, _| {
+                d.set_suspend_watchdog(Some(SUSPEND_WATCHDOG));
+            });
+        }
     }
 
     /// The exploration registry (disarmed unless [`Testbed::arm_buggify`]
@@ -702,9 +727,13 @@ impl Testbed {
                 plr: lspec.loss,
                 queue_slots: slots,
             };
+            let buggify_armed = self.engine.buggify().is_armed();
             self.engine.with_component::<DelayNodeHost, _>(dn, |d, ctx| {
                 d.add_path(IfaceId(1), shape, OutPort { link: link_b, end: 1 });
                 d.add_path(IfaceId(2), shape, OutPort { link: link_a, end: 1 });
+                if buggify_armed {
+                    d.set_suspend_watchdog(Some(SUSPEND_WATCHDOG));
+                }
                 if let Some(sw) = state {
                     if let Some(img) = sw.delay_node_state(li) {
                         let mut restored = dummynet::Dummynet::restore(img, ctx.now());

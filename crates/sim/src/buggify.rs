@@ -83,6 +83,17 @@ pub mod points {
     pub const COORD_RETRY_SKEW: &str = "coord.retry_skew";
     /// Coordinator's periodic kick fires late.
     pub const COORD_KICK_SKEW: &str = "coord.kick_skew";
+    /// Coordinator process crashes after opening a round but before the
+    /// notifications leave (the WAL has the round, the nodes do not).
+    pub const COORD_CRASH_PRE_NOTIFY: &str = "coord.crash_pre_notify";
+    /// Coordinator process crashes while collecting acks/dones.
+    pub const COORD_CRASH_MID_ACKS: &str = "coord.crash_mid_acks";
+    /// Coordinator process crashes at a completed barrier before the
+    /// commit record is durable (recovery must roll the round forward).
+    pub const COORD_CRASH_PRE_RESUME: &str = "coord.crash_pre_resume";
+    /// Coordinator process crashes after the commit is durable but
+    /// before the resume publishes (recovery must release the barrier).
+    pub const COORD_CRASH_POST_COMMIT: &str = "coord.crash_post_commit";
     /// ChunkStore put silently corrupts one stored replica.
     pub const STORE_PUT_CORRUPT: &str = "store.put_corrupt";
     /// ChunkStore get returns through the slow path (re-verifies).
@@ -107,6 +118,10 @@ pub mod points {
         (LAN_SEND_DELAY, 0.05),
         (COORD_RETRY_SKEW, 0.05),
         (COORD_KICK_SKEW, 0.02),
+        (COORD_CRASH_PRE_NOTIFY, 0.01),
+        (COORD_CRASH_MID_ACKS, 0.002),
+        (COORD_CRASH_PRE_RESUME, 0.005),
+        (COORD_CRASH_POST_COMMIT, 0.005),
         (STORE_PUT_CORRUPT, 0.01),
         (STORE_GET_SLOW, 0.05),
         (STORE_SCRUB_SKIP, 0.05),

@@ -30,6 +30,10 @@ pub const COORD_EPOCHS_DEGRADED: &str = "coordinator.epochs_degraded";
 pub const COORD_NODES_EXCLUDED: &str = "coordinator.nodes_excluded";
 /// Counter: checkpoint image bytes reported at barriers.
 pub const COORD_CAPTURED_BYTES: &str = "coordinator.captured_bytes";
+/// Counter: coordinator process crashes (fault injection).
+pub const COORD_CRASHES: &str = "coordinator.crashes";
+/// Counter: coordinator restarts that replayed the epoch WAL.
+pub const COORD_RECOVERIES: &str = "coordinator.recoveries";
 
 // ---------------------------------------------------------------------
 // VmHost (vmm crate).
@@ -206,3 +210,8 @@ pub const EV_SHADOW_RESUME: &str = "shadow.resume";
 pub const EV_SHADOW_ABANDON: &str = "shadow.abandon";
 /// Instant: an evicted node was re-admitted to its group.
 pub const EV_SHADOW_REJOIN: &str = "shadow.rejoin";
+/// Instant: a restarted coordinator classified this round from its WAL
+/// (node field = recovery classification code, see `checkpoint::wal`).
+pub const EV_SHADOW_RECOVER: &str = "shadow.recover";
+/// Instant: the coordinator process crashed (`arg` = downtime ns).
+pub const EV_COORD_CRASH: &str = "coord.crash";
