@@ -1,0 +1,427 @@
+//! BENCH-STORE — shard-count sweep over the checkpoint-store service.
+//!
+//! The fig*/tab* regenerators pin simulated observables of the paper's
+//! experiments; this bench pins the *store service* model itself: N
+//! experiments checkpoint simultaneously against one sharded, replicated
+//! [`StoreService`](ckptstore::service) and we report, per shard count,
+//!
+//! - aggregate MB/s: new physical bytes admitted per simulated second of
+//!   commit makespan (the shard pipeline is the bottleneck, so this is
+//!   the scaling claim — DESIGN.md §10 expects ≥2x at 4 shards vs 1);
+//! - p50/p99 commit latency: submit → quorum-durable per put, from
+//!   [`ckptstore::TimedPut::commit_at`];
+//! - repair-path traffic: with `store.shard_fail` forced to 10%, replica
+//!   writes fail, quorum top-ups retry inline, and the leftovers drain
+//!   through the gossip repair queue via per-shard
+//!   [`ckptstore::ShardWorker`]s.
+//!
+//! Every sweep runs twice with the same seed and must produce a
+//! byte-identical fingerprint (every `PutReport`, every commit instant,
+//! every repair counter) — shard placement, fault draws, and the repair
+//! schedule are all deterministic functions of the seed.
+//!
+//! Results append to `BENCH_store.json` at the repo root. Simulated-time
+//! numbers are machine-independent, so entries are comparable across
+//! machines (unlike `BENCH_hotpath.json`).
+//!
+//! Modes:
+//! - default: full sweep (shards 1/2/4/8), appends one labeled entry;
+//! - `--smoke`: tiny sweep (shards 1/4), no JSON write (CI);
+//! - `--check`: validate the committed JSON against the schema and exit;
+//! - `--label <name>`: label for the appended entry (default "current").
+
+use ckptstore::{CaptureCache, ChunkStore, StoreClient};
+use sim::buggify::{points, Buggify, Preset};
+use sim::{stats, Engine, SimDuration, SimTime};
+use tcd_bench::banner;
+use tcd_bench::json::{parse_json, Json};
+
+/// Repo-root JSON artifact (path anchored to the crate, not the CWD).
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+const SCHEMA: &str = "tcd-bench-store-v1";
+
+const SEED: u64 = 42;
+const CHUNK: usize = 4096;
+const REPLICATION: usize = 3;
+/// Forced probability for `store.shard_fail` — high enough that every
+/// epoch exercises quorum retries and feeds the repair queue.
+const SHARD_FAIL_PROB: f64 = 0.10;
+/// Repair workers pump every 2 sim-ms.
+const REPAIR_PERIOD: SimDuration = SimDuration::from_millis(2);
+
+// ---------------------------------------------------------------------------
+// Workload: N experiments checkpointing simultaneously.
+// ---------------------------------------------------------------------------
+
+struct Workload {
+    experiments: usize,
+    epochs: usize,
+    /// Chunks per experiment image.
+    chunks: usize,
+    /// Chunks rewritten per epoch (~25% of the image).
+    dirty: usize,
+}
+
+/// xorshift64* — deterministic dirty-chunk selection and payload bytes,
+/// independent of the store's own seeded draws.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// FNV-1a 64 over a byte stream — the sweep's determinism fingerprint.
+struct Fingerprint(u64);
+
+impl Fingerprint {
+    fn new() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+
+    fn push_u64(&mut self, v: u64) {
+        self.push(&v.to_le_bytes());
+    }
+}
+
+struct SweepResult {
+    shards: usize,
+    puts: u64,
+    /// Σ new physical bytes over all puts (primary copies).
+    bytes: u64,
+    /// Simulated commit makespan per epoch, summed (submit → last quorum).
+    makespan_ns: u64,
+    mb_per_sec: f64,
+    p50_commit_us: f64,
+    p99_commit_us: f64,
+    replica_acks: u64,
+    quorum_retries: u64,
+    repairs_enqueued: u64,
+    repairs_done: u64,
+    repair_backlog_end: u64,
+    fingerprint: u64,
+}
+
+/// One full run at a given shard count: `experiments` images each
+/// rewritten `epochs` times, all submitted at the same instant per epoch
+/// (the "N experiments checkpoint simultaneously" shape), with shard
+/// failures forced on and repair workers draining between epochs.
+fn run_sweep(shards: usize, wl: &Workload) -> SweepResult {
+    let mut engine = Engine::new(SEED);
+    let client: StoreClient = ChunkStore::builder()
+        .chunk_size(CHUNK)
+        .shards(shards)
+        .replication(REPLICATION)
+        .telemetry(engine.telemetry(), 1)
+        .build();
+    let bg = Buggify::armed(SEED, Preset::Moderate);
+    bg.force(points::STORE_SHARD_FAIL, SHARD_FAIL_PROB);
+    client.attach_buggify(&bg);
+    client.spawn_repair_workers(&mut engine, REPAIR_PERIOD);
+
+    // Per-experiment image buffers + capture caches. Distinct first bytes
+    // keep the experiments' chunks from dedup'ing against each other.
+    let mut images: Vec<Vec<u8>> = (0..wl.experiments)
+        .map(|e| {
+            let mut rng = Rng(SEED ^ (e as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            (0..wl.chunks * CHUNK).map(|_| rng.next() as u8).collect()
+        })
+        .collect();
+    let mut caches: Vec<CaptureCache> = (0..wl.experiments).map(|_| CaptureCache::default()).collect();
+    let mut dirt = Rng(SEED.wrapping_mul(0xd134_2543_de82_ef95) | 1);
+
+    let mut fp = Fingerprint::new();
+    let mut commit_us: Vec<f64> = Vec::new();
+    let mut prev_ids: Vec<Option<ckptstore::ImageId>> = vec![None; wl.experiments];
+    let mut bytes = 0u64;
+    let mut puts = 0u64;
+    let mut replica_acks = 0u64;
+    let mut makespan_ns = 0u64;
+
+    for _epoch in 0..wl.epochs {
+        let submit = engine.now();
+        let mut epoch_commit = submit;
+        for e in 0..wl.experiments {
+            // Dirty ~25% of the chunks with fresh bytes.
+            for _ in 0..wl.dirty {
+                let c = (dirt.next() as usize) % wl.chunks;
+                let fill = dirt.next();
+                for (i, b) in images[e][c * CHUNK..(c + 1) * CHUNK].iter_mut().enumerate() {
+                    *b = (fill as u8).wrapping_add(i as u8);
+                }
+            }
+            let image = std::mem::take(&mut images[e]);
+            let timed = client.put_image_at(&image, Some(&mut caches[e]), submit);
+            images[e] = image;
+            let r = timed.report;
+            commit_us.push((timed.commit_at.as_nanos() - submit.as_nanos()) as f64 / 1e3);
+            epoch_commit = epoch_commit.max(timed.commit_at);
+            bytes += r.new_physical_bytes;
+            puts += 1;
+            replica_acks += r.replica_acks;
+            fp.push_u64(r.image.0 as u64);
+            fp.push_u64(r.new_physical_bytes);
+            fp.push_u64(r.chunks_new);
+            fp.push_u64(r.shards_touched as u64);
+            fp.push_u64(r.replica_acks);
+            fp.push_u64(r.repairs_enqueued);
+            fp.push_u64(timed.commit_at.as_nanos());
+            // Drop the previous epoch's image so refcounts stay bounded
+            // and each epoch's residual is against one parent.
+            if let Some(old) = prev_ids[e].replace(r.image) {
+                client.remove_image(old).expect("previous epoch image");
+            }
+        }
+        makespan_ns += epoch_commit.as_nanos() - submit.as_nanos();
+        // Epoch barrier: run the engine past the last commit so the
+        // shard workers pump the repair queue before the next epoch.
+        engine.run_until(SimTime::from_nanos(epoch_commit.as_nanos()) + REPAIR_PERIOD * 4);
+    }
+    // Let the repair queue drain fully before reading the final stats.
+    engine.run_for(REPAIR_PERIOD * 16);
+
+    let rs = client.repair_stats();
+    fp.push_u64(rs.enqueued);
+    fp.push_u64(rs.processed);
+    fp.push_u64(rs.healed_copies);
+    fp.push_u64(rs.added_copies);
+    fp.push_u64(rs.quorum_retries);
+    for t in client.pending_repairs() {
+        fp.push(&t.hash.0.to_le_bytes());
+        fp.push(&[t.copy]);
+    }
+    fp.push_u64(client.physical_bytes());
+    fp.push_u64(client.replica_bytes());
+
+    let mb_per_sec = bytes as f64 / 1e6 / (makespan_ns as f64 / 1e9);
+    SweepResult {
+        shards,
+        puts,
+        bytes,
+        makespan_ns,
+        mb_per_sec,
+        p50_commit_us: stats::percentile(&commit_us, 0.50),
+        p99_commit_us: stats::percentile(&commit_us, 0.99),
+        replica_acks,
+        quorum_retries: rs.quorum_retries,
+        repairs_enqueued: rs.enqueued,
+        repairs_done: rs.processed,
+        repair_backlog_end: client.repair_backlog() as u64,
+        fingerprint: fp.0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON schema + entry assembly.
+// ---------------------------------------------------------------------------
+
+fn num(n: f64) -> Json {
+    Json::Num(n)
+}
+
+fn sweep_json(r: &SweepResult) -> Json {
+    Json::Obj(vec![
+        ("shards".into(), num(r.shards as f64)),
+        ("puts".into(), num(r.puts as f64)),
+        ("bytes".into(), num(r.bytes as f64)),
+        ("makespan_ns".into(), num(r.makespan_ns as f64)),
+        ("mb_per_sec".into(), num((r.mb_per_sec * 10.0).round() / 10.0)),
+        ("p50_commit_us".into(), num((r.p50_commit_us * 10.0).round() / 10.0)),
+        ("p99_commit_us".into(), num((r.p99_commit_us * 10.0).round() / 10.0)),
+        ("replica_acks".into(), num(r.replica_acks as f64)),
+        ("quorum_retries".into(), num(r.quorum_retries as f64)),
+        ("repairs_enqueued".into(), num(r.repairs_enqueued as f64)),
+        ("repairs_done".into(), num(r.repairs_done as f64)),
+        ("repair_backlog_end".into(), num(r.repair_backlog_end as f64)),
+        ("fingerprint".into(), Json::Str(format!("{:016x}", r.fingerprint))),
+    ])
+}
+
+/// Required fields per sweep row — the schema `--check` enforces.
+const SWEEP_FIELDS: [&str; 12] = [
+    "shards",
+    "puts",
+    "bytes",
+    "makespan_ns",
+    "mb_per_sec",
+    "p50_commit_us",
+    "p99_commit_us",
+    "replica_acks",
+    "quorum_retries",
+    "repairs_enqueued",
+    "repairs_done",
+    "repair_backlog_end",
+];
+
+fn check_schema(doc: &Json) -> Result<usize, String> {
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == SCHEMA => {}
+        _ => return Err(format!("top-level 'schema' must be \"{SCHEMA}\"")),
+    }
+    let entries = match doc.get("entries") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err("top-level 'entries' must be an array".into()),
+    };
+    if entries.is_empty() {
+        return Err("'entries' must not be empty".into());
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        let fail = |msg: String| format!("entry {i}: {msg}");
+        match entry.get("label") {
+            Some(Json::Str(s)) if !s.is_empty() => {}
+            _ => return Err(fail("missing non-empty 'label'".into())),
+        }
+        let speedup = entry
+            .get("speedup_4_shards")
+            .and_then(Json::as_num)
+            .ok_or_else(|| fail("missing numeric 'speedup_4_shards'".into()))?;
+        if speedup < 2.0 {
+            return Err(fail(format!(
+                "speedup_4_shards {speedup} below the 2.0 floor (DESIGN.md §10)"
+            )));
+        }
+        let sweep = match entry.get("sweep") {
+            Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+            _ => return Err(fail("'sweep' must be a non-empty array".into())),
+        };
+        for (j, row) in sweep.iter().enumerate() {
+            for f in SWEEP_FIELDS {
+                row.get(f)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| fail(format!("sweep row {j} missing numeric '{f}'")))?;
+            }
+            match row.get("fingerprint") {
+                Some(Json::Str(s)) if s.len() == 16 => {}
+                _ => return Err(fail(format!("sweep row {j} missing 16-hex 'fingerprint'"))),
+            }
+        }
+    }
+    Ok(entries.len())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let label = args
+        .iter()
+        .position(|a| a == "--label")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "current".to_string());
+
+    if check {
+        let text =
+            std::fs::read_to_string(OUT_PATH).unwrap_or_else(|e| panic!("read {OUT_PATH}: {e}"));
+        let doc = parse_json(&text).unwrap_or_else(|e| panic!("{e}"));
+        match check_schema(&doc) {
+            Ok(n) => println!("BENCH_store.json: schema ok, {n} entries"),
+            Err(e) => panic!("BENCH_store.json schema violation: {e}"),
+        }
+        if !smoke {
+            return;
+        }
+    }
+
+    banner("BENCH-STORE", "sharded store service: MB/s + commit latency vs shard count");
+
+    // Smoke keeps CI fast; the full sweep gives the committed numbers.
+    let (shard_counts, wl): (&[usize], Workload) = if smoke {
+        (&[1, 4], Workload { experiments: 2, epochs: 2, chunks: 64, dirty: 16 })
+    } else {
+        (&[1, 2, 4, 8], Workload { experiments: 6, epochs: 8, chunks: 256, dirty: 64 })
+    };
+    println!(
+        "  workload: {} experiments x {} epochs, {} chunks/image ({} dirty/epoch), replication {}",
+        wl.experiments, wl.epochs, wl.chunks, wl.dirty, REPLICATION
+    );
+    println!("  faults:   {} forced to {:.0}%\n", points::STORE_SHARD_FAIL, SHARD_FAIL_PROB * 100.0);
+
+    let mut rows = Vec::new();
+    for &shards in shard_counts {
+        let r = run_sweep(shards, &wl);
+        // Same seed, same config: the entire observable history must be
+        // byte-identical on a second run.
+        let r2 = run_sweep(shards, &wl);
+        assert_eq!(
+            r.fingerprint, r2.fingerprint,
+            "shard sweep at {shards} shards is not deterministic"
+        );
+        println!(
+            "  {:>2} shard(s): {:>8.1} MB/s  p50 {:>9.1} us  p99 {:>9.1} us  \
+             retries {:>3}  repairs {:>3}/{:<3}  fp {:016x}",
+            r.shards,
+            r.mb_per_sec,
+            r.p50_commit_us,
+            r.p99_commit_us,
+            r.quorum_retries,
+            r.repairs_done,
+            r.repairs_enqueued,
+            r.fingerprint
+        );
+        assert!(r.puts == (wl.experiments * wl.epochs) as u64, "every put must commit");
+        assert!(
+            r.repairs_enqueued > 0,
+            "forced shard failures must exercise the repair queue"
+        );
+        rows.push(r);
+    }
+
+    let base = rows.iter().find(|r| r.shards == 1).expect("1-shard baseline");
+    let four = rows.iter().find(|r| r.shards == 4).expect("4-shard row");
+    let speedup = four.mb_per_sec / base.mb_per_sec;
+    println!("\n  4-shard speedup over 1 shard: {speedup:.2}x (floor: 2.0x, smoke floor: 1.5x)");
+    let floor = if smoke { 1.5 } else { 2.0 };
+    assert!(
+        speedup >= floor,
+        "4-shard aggregate MB/s must be >= {floor}x the 1-shard baseline, got {speedup:.2}x"
+    );
+
+    if smoke {
+        println!("\n  smoke mode: paths exercised, JSON not written");
+        return;
+    }
+
+    let entry = Json::Obj(vec![
+        ("label".into(), Json::Str(label.clone())),
+        ("smoke".into(), Json::Bool(false)),
+        ("seed".into(), num(SEED as f64)),
+        ("replication".into(), num(REPLICATION as f64)),
+        ("shard_fail_prob".into(), num(SHARD_FAIL_PROB)),
+        ("speedup_4_shards".into(), num((speedup * 100.0).round() / 100.0)),
+        ("sweep".into(), Json::Arr(rows.iter().map(sweep_json).collect())),
+    ]);
+
+    let mut doc = match std::fs::read_to_string(OUT_PATH) {
+        Ok(text) => parse_json(&text).unwrap_or_else(|e| panic!("existing {OUT_PATH} invalid: {e}")),
+        Err(_) => Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("entries".into(), Json::Arr(Vec::new())),
+        ]),
+    };
+    if let Json::Obj(fields) = &mut doc {
+        if let Some((_, Json::Arr(entries))) = fields.iter_mut().find(|(k, _)| k == "entries") {
+            entries.push(entry);
+        } else {
+            panic!("existing {OUT_PATH} has no 'entries' array");
+        }
+    } else {
+        panic!("existing {OUT_PATH} is not an object");
+    }
+    check_schema(&doc).expect("generated entry must satisfy the schema");
+    std::fs::write(OUT_PATH, doc.to_string_pretty()).expect("write BENCH_store.json");
+    println!("  appended entry '{label}' to BENCH_store.json");
+}

@@ -1,16 +1,35 @@
-//! Content-addressed, deduplicated checkpoint image store.
+//! Content-addressed, deduplicated checkpoint image store — now a
+//! sharded, replicated service behind a client handle.
 //!
 //! Checkpoint state (guest kernels, COW deltas, delay-node queues) is
 //! serialized by the owning crates into a *self-describing binary image*
 //! using the hand-rolled [`Enc`]/[`Dec`] codec — no serde, per the
-//! minimal-deps rule (DESIGN.md §3.6). The [`ChunkStore`] then splits
-//! the image into fixed-size chunks, content-addresses each chunk with
-//! an in-repo 128-bit hash, and stores every distinct chunk exactly
-//! once with a reference count. A child snapshot that differs from its
-//! parent in a few blocks physically stores only the differing chunks —
-//! the simulator's stand-in for the paper's three-level LVM branching
+//! minimal-deps rule (DESIGN.md §3.6). The store splits the image into
+//! fixed-size chunks, content-addresses each chunk with an in-repo
+//! 128-bit hash, and stores every distinct chunk exactly once with a
+//! reference count. A child snapshot that differs from its parent in a
+//! few blocks physically stores only the differing chunks — the
+//! simulator's stand-in for the paper's three-level LVM branching
 //! storage, and the mechanism behind the dedup ratios `tab_imgstore`
 //! reports.
+//!
+//! # Service architecture (DESIGN.md §10)
+//!
+//! Storage runs as a [`StoreService`](service::StoreService) of N
+//! hash-partitioned shards — FNV-1a over the chunk's content hash picks
+//! the home shard ([`shard_of`]), replica copy `r` strides to
+//! `(home + r) % N` — each shard wrapping one pluggable [`ChunkBackend`]
+//! ([`MemBackend`] or the append-only [`SegmentLogBackend`] that
+//! rebuilds its index from [`SegmentMedia`] on open). All access goes
+//! through the cheap-`Clone` [`StoreClient`] handle built by
+//! [`ChunkStore::builder`]; puts fan chunk batches out to shards with
+//! R-copy replication and quorum-ack commit, and copies that fail past
+//! the quorum land on a gossip repair queue drained by per-shard
+//! [`ShardWorker`] components on the sim engine.
+//!
+//! The legacy single-struct [`ChunkStore`] remains as a facade with the
+//! same observable semantics (its direct constructors and `&mut self`
+//! put paths are deprecated).
 //!
 //! # Image format
 //!
@@ -34,7 +53,7 @@
 //! fixed-size chunking).
 //!
 //! **2. Chunk table (manifest)** — when an image is stored via
-//! [`ChunkStore::put_image`], the store records a manifest per image:
+//! [`StoreClient::put_image`], the store records a manifest per image:
 //!
 //! ```text
 //! logical_len : u64          total payload bytes
@@ -43,24 +62,36 @@
 //! ```
 //!
 //! **3. Chunks** — `chunk_size` (default 4096) byte slices keyed by
-//! [`ChunkHash`], stored once, with a refcount equal to the number of
-//! manifest entries across all live images that reference them.
+//! [`ChunkHash`], placed on their shards once per copy, with a refcount
+//! equal to the number of manifest entries across all live images that
+//! reference them.
 //!
 //! # Integrity
 //!
-//! [`ChunkStore::load_image`] re-hashes every chunk on the way out and
-//! returns [`StoreError::CorruptChunk`] on any mismatch — a typed error,
-//! never a panic — so a flipped bit in the store surfaces at restore
-//! time exactly like a bad LVM extent would. [`ChunkStore::remove_image`]
-//! decrements refcounts and releases chunks deterministically when the
-//! last reference drops (time-travel pruning).
+//! [`StoreClient::load_image`] re-hashes every chunk on the way out; a
+//! corrupt primary is served from the first intact replica (with
+//! read-repair enqueued), and only when every copy is damaged does the
+//! typed [`StoreError::CorruptChunk`] surface — never a panic — so a
+//! flipped bit in the store shows up at restore time exactly like a bad
+//! LVM extent would. [`StoreClient::remove_image`] decrements refcounts
+//! and releases chunks deterministically when the last reference drops
+//! (time-travel pruning).
 
+mod backend;
+mod client;
 mod codec;
+mod error;
 mod hash;
+pub mod service;
 mod store;
 
+pub use backend::{ChunkBackend, MemBackend, SegmentLogBackend, SegmentMedia};
+pub use client::{ShardWorker, StoreClient};
 pub use codec::{Dec, DecodeError, Enc, IMAGE_FORMAT_VERSION, IMAGE_MAGIC};
+pub use error::StoreError;
 pub use hash::{chunk_hash, ChunkHash};
-pub use store::{
-    CaptureCache, ChunkStore, ImageId, ImageStats, PutReport, StoreError, DEFAULT_CHUNK_SIZE,
+pub use service::{
+    shard_of, CaptureCache, ImageId, ImageStats, PutReport, RepairStats, RepairTask, StoreBuilder,
+    StorePolicy, TimedPut, DEFAULT_CHUNK_SIZE, MAX_REPLICATION,
 };
+pub use store::ChunkStore;

@@ -1,0 +1,1264 @@
+//! The sharded, replicated store service: placement, refcounted dedup,
+//! quorum-ack puts, and the gossip repair queue.
+//!
+//! [`StoreService`] owns N hash-partitioned shards (FNV-1a over the
+//! chunk's content hash picks the home shard; replication copy `r`
+//! lands on `(home + r) % N`), each shard wrapping one [`ChunkBackend`].
+//! Client code never holds the service directly — it goes through the
+//! cheap-`Clone` [`StoreClient`](crate::StoreClient) handle, and shard
+//! repair pumps run as [`ShardWorker`](crate::ShardWorker) components
+//! on the sim engine.
+//!
+//! # Write path
+//!
+//! `put_image` chunks the payload and batches new chunks per shard. The
+//! primary copy is written synchronously; replica copies may fail at the
+//! buggify `store.shard_fail` point. The put blocks (retries) until a
+//! majority quorum of copies is durable; copies that failed beyond the
+//! quorum are enqueued on the repair queue instead of retried inline —
+//! gossip-driven background repair replaces the old synchronous scrub.
+//!
+//! # Determinism
+//!
+//! Placement is a pure function of the content hash; chunk metadata
+//! lives in a `BTreeMap` so every scan (scrub scheduling, redundancy
+//! rebuild) walks in hash order; the repair queue is an explicit FIFO.
+//! Same seed ⇒ byte-identical shard assignment, reports, and repair
+//! schedule.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use sim::buggify;
+use sim::buggify::points as bg_points;
+use sim::telemetry::names;
+use sim::{Buggify, CounterId, HistogramId, SimTime, Telemetry, TraceTag, TrackId};
+
+use crate::backend::{ChunkBackend, MemBackend, SegmentLogBackend, SegmentMedia};
+use crate::error::StoreError;
+use crate::hash::{chunk_hash, ChunkHash};
+
+/// Default chunk size. Matches the COW stores' 4 KB block size so an
+/// aligned block record maps 1:1 onto a chunk.
+pub const DEFAULT_CHUNK_SIZE: usize = 4096;
+
+/// Hard cap on copies per chunk (placement packs the copy index into a
+/// `u8`, and more copies than this buys nothing in the simulated fleet).
+pub const MAX_REPLICATION: usize = 8;
+
+/// Handle to a stored image (opaque, store-local).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ImageId(pub u64);
+
+/// Store-wide dedup accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageStats {
+    /// Sum of the byte lengths of every live image.
+    pub logical_bytes: u64,
+    /// Bytes actually held in chunks (each distinct chunk counted once).
+    pub physical_bytes: u64,
+    /// `logical / physical`; 1.0 for an empty store.
+    pub dedup_ratio: f64,
+    /// Distinct chunks referenced by more than one manifest entry.
+    pub chunks_shared: u64,
+}
+
+/// What one `put_image` call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutReport {
+    pub image: ImageId,
+    /// Byte length of the stored image.
+    pub logical_bytes: u64,
+    /// Bytes of chunks this put added to the store (the image's physical
+    /// residual against everything already stored — what a transfer of
+    /// this image on top of its parent actually has to move).
+    pub new_physical_bytes: u64,
+    /// Chunks in this image's manifest.
+    pub chunks_total: u64,
+    /// Chunks that were not already in the store.
+    pub chunks_new: u64,
+    /// Distinct shards that received writes from this put.
+    pub shards_touched: u32,
+    /// Replica copies acknowledged durable (primaries excluded),
+    /// including quorum-shortfall retries.
+    pub replica_acks: u64,
+    /// Replica copies that failed past quorum and were handed to the
+    /// background repair queue instead of retried inline.
+    pub repairs_enqueued: u64,
+}
+
+/// A [`PutReport`] plus the simulated commit instant: when the slowest
+/// chunk of the image reached quorum durability across its shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedPut {
+    pub report: PutReport,
+    /// When the put reached quorum on every chunk (equals the submit
+    /// instant for a fully deduplicated put).
+    pub commit_at: SimTime,
+}
+
+/// Cumulative repair-path accounting (the gossip queue's lifetime view).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Tasks ever placed on the repair queue.
+    pub enqueued: u64,
+    /// Tasks taken off the queue and resolved (including drops).
+    pub processed: u64,
+    /// Damaged copies rewritten from an intact sibling.
+    pub healed_copies: u64,
+    /// Missing copies written for the first time.
+    pub added_copies: u64,
+    /// Replica writes retried inline to reach the put quorum.
+    pub quorum_retries: u64,
+}
+
+/// Capture-side page-hash cache: the chunk list of one domain's last
+/// committed image. A cached put re-admits a chunk whose bytes are
+/// unchanged since that image (verified by memcmp against the cached
+/// payload) under its cached content address without re-hashing —
+/// incremental capture in wall-clock terms.
+///
+/// Safety invariant: every cached `(hash, bytes)` pair satisfies
+/// `hash == chunk_hash(bytes)` by construction, so a stale cache, a
+/// cache from another domain, or a cache surviving a store reset can
+/// only cause extra misses — never a wrong content address.
+#[derive(Default)]
+pub struct CaptureCache {
+    pub(crate) chunks: Vec<(ChunkHash, Arc<[u8]>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CaptureCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Chunks re-admitted by cached hash (cumulative).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Chunks that had to be hashed (cumulative).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Forgets the cached image; the next capture hashes every chunk.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+    }
+}
+
+/// Simulated shard timing: how long one shard takes to make a put batch
+/// durable, and how much repair work a worker pump does per tick.
+#[derive(Debug, Clone, Copy)]
+pub struct StorePolicy {
+    /// Fixed per-batch overhead on a shard (request dispatch + fsync).
+    pub put_overhead_ns: u64,
+    /// Per-byte cost of making a batch durable on one shard.
+    pub shard_ns_per_byte: u64,
+    /// Repair tasks a shard worker resolves per pump tick.
+    pub repair_batch: usize,
+}
+
+impl Default for StorePolicy {
+    fn default() -> Self {
+        // ~1 GB/s per shard with a 50 µs batch floor: disk-array shaped,
+        // slow enough that fan-out across shards is visible.
+        StorePolicy { put_overhead_ns: 50_000, shard_ns_per_byte: 1, repair_batch: 32 }
+    }
+}
+
+/// One queued background-repair task: (re)write `copy` of `hash` on its
+/// placement shard from an intact sibling copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairTask {
+    pub hash: ChunkHash,
+    pub copy: u8,
+}
+
+/// What resolving one repair task did.
+enum TaskOutcome {
+    /// The chunk's last reference was dropped before the task ran.
+    DeadChunk,
+    /// The destination copy was already intact (a later put or an
+    /// earlier pump beat this task).
+    AlreadyIntact,
+    /// Every sibling copy is damaged too — nothing to repair from.
+    Hopeless,
+    /// A damaged copy was rewritten from an intact sibling.
+    Healed,
+    /// A missing copy was written for the first time.
+    Added,
+}
+
+/// Deterministic write-fault state (SplitMix64 over an injected seed).
+struct WriteFaults {
+    state: u64,
+    per_million: u32,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Manifest {
+    logical_len: u64,
+    chunks: Vec<ChunkHash>,
+}
+
+/// Per-chunk metadata: placement is derived, so only the refcount, the
+/// payload length, and the copy count this chunk was admitted at live
+/// here. Kept in a `BTreeMap` for deterministic scan order.
+struct ChunkMeta {
+    refs: u64,
+    len: u32,
+    /// Copies this chunk should hold (its replication factor at insert,
+    /// possibly raised later by a redundancy rebuild).
+    want: u8,
+}
+
+/// Home shard of a chunk's copy `r`: FNV-1a over the content hash picks
+/// the base shard, replicas stride to the following shards.
+pub fn shard_of(hash: ChunkHash, copy: u8, n_shards: usize) -> usize {
+    debug_assert!(n_shards > 0);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in hash.0.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    ((h % n_shards as u64) as usize + copy as usize) % n_shards
+}
+
+/// Per-shard telemetry handles.
+struct ShardTele {
+    chunks: CounterId,
+    bytes: CounterId,
+    repair_writes: CounterId,
+    track: TrackId,
+}
+
+/// Telemetry instrument handles (attached via the client).
+struct SvcTele {
+    t: Telemetry,
+    chunks_new: CounterId,
+    dedup_hits: CounterId,
+    logical_bytes: CounterId,
+    new_physical_bytes: CounterId,
+    repairs: CounterId,
+    scrub_heals: CounterId,
+    replicas_added: CounterId,
+    hash_cache_hits: CounterId,
+    hash_cache_misses: CounterId,
+    puts: CounterId,
+    quorum_retries: CounterId,
+    repairs_enqueued: CounterId,
+    repairs_done: CounterId,
+    commit_ns: HistogramId,
+    ev_put_batch: TraceTag,
+    ev_repair: TraceTag,
+    shards: Vec<ShardTele>,
+}
+
+struct Shard {
+    backend: Box<dyn ChunkBackend>,
+    /// Virtual pipeline clock: when this shard finishes its last
+    /// accepted batch. Timed puts queue behind it.
+    free_at_ns: u64,
+}
+
+/// The sharded store service. Not used directly — construct through
+/// [`ChunkStore::builder`](crate::ChunkStore::builder) and drive it via
+/// [`StoreClient`](crate::StoreClient).
+pub struct StoreService {
+    chunk_size: usize,
+    replication: usize,
+    shards: Vec<Shard>,
+    chunks: BTreeMap<ChunkHash, ChunkMeta>,
+    images: HashMap<u64, Manifest>,
+    next_image: u64,
+    /// Primary-copy bytes (each distinct chunk once).
+    physical_bytes: u64,
+    repair_q: VecDeque<RepairTask>,
+    /// Membership set suppressing duplicate queue entries.
+    queued: HashSet<(u128, u8)>,
+    repair_stats: RepairStats,
+    /// Chunks served from a replica because the primary was corrupt.
+    repaired: u64,
+    write_faults: Option<WriteFaults>,
+    tele: Option<SvcTele>,
+    /// Randomized fault exploration (`store.*` buggify points). Disarmed
+    /// by default: a disarmed registry never draws, so stores outside an
+    /// exploration run behave exactly as before.
+    buggify: Buggify,
+    /// Extra read latency owed by buggified slow loads (ns), accumulated
+    /// here because the store itself has no clock; the timed component
+    /// driving it drains the debt via `take_get_penalty_ns`.
+    get_penalty_ns: u64,
+    policy: StorePolicy,
+}
+
+impl StoreService {
+    pub(crate) fn new(
+        chunk_size: usize,
+        n_shards: usize,
+        replication: usize,
+        backends: Vec<Box<dyn ChunkBackend>>,
+        policy: StorePolicy,
+    ) -> Self {
+        assert!(chunk_size > 0, "zero chunk size");
+        assert!(n_shards > 0, "store needs at least one shard");
+        assert!(
+            (1..=MAX_REPLICATION).contains(&replication),
+            "replication must be 1..={MAX_REPLICATION}"
+        );
+        assert_eq!(backends.len(), n_shards, "one backend per shard");
+        StoreService {
+            chunk_size,
+            replication,
+            shards: backends
+                .into_iter()
+                .map(|backend| Shard { backend, free_at_ns: 0 })
+                .collect(),
+            chunks: BTreeMap::new(),
+            images: HashMap::new(),
+            next_image: 0,
+            physical_bytes: 0,
+            repair_q: VecDeque::new(),
+            queued: HashSet::new(),
+            repair_stats: RepairStats::default(),
+            repaired: 0,
+            write_faults: None,
+            tele: None,
+            buggify: Buggify::disabled(),
+            get_penalty_ns: 0,
+            policy,
+        }
+    }
+
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Majority quorum over the configured replication factor.
+    pub fn quorum(&self) -> usize {
+        self.replication / 2 + 1
+    }
+
+    /// Sets the copies kept per chunk inserted from now on (existing
+    /// chunks keep their count until a redundancy rebuild).
+    ///
+    /// # Panics
+    ///
+    /// Panics outside `1..=MAX_REPLICATION`.
+    pub fn set_replication(&mut self, copies: usize) {
+        assert!(
+            (1..=MAX_REPLICATION).contains(&copies),
+            "replication must be 1..={MAX_REPLICATION}"
+        );
+        self.replication = copies;
+    }
+
+    pub fn attach_buggify(&mut self, bg: &Buggify) {
+        self.buggify = bg.clone();
+    }
+
+    pub fn take_get_penalty_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.get_penalty_ns)
+    }
+
+    /// Repair tasks a shard worker resolves per pump tick.
+    pub(crate) fn policy_repair_batch(&self) -> usize {
+        self.policy.repair_batch
+    }
+
+    /// Attaches a telemetry registry: dedup counters land under
+    /// `ckptstore.*` (unchanged from the monolithic store), service and
+    /// per-shard counters under `storesvc.*`, and each shard gets its
+    /// own trace track on `host`'s timeline.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry, host: u32) {
+        let t = telemetry.clone();
+        let shards = (0..self.shards.len())
+            .map(|i| ShardTele {
+                chunks: t.counter(&format!("{}{}.chunks", names::STORESVC_SHARD_PREFIX, i)),
+                bytes: t.counter(&format!("{}{}.bytes", names::STORESVC_SHARD_PREFIX, i)),
+                repair_writes: t
+                    .counter(&format!("{}{}.repair_writes", names::STORESVC_SHARD_PREFIX, i)),
+                track: t.track(host, &format!("{}{}", names::TRACK_STORE_SHARD, i)),
+            })
+            .collect();
+        self.tele = Some(SvcTele {
+            chunks_new: t.counter(names::CKPT_CHUNKS_NEW),
+            dedup_hits: t.counter(names::CKPT_DEDUP_HITS),
+            logical_bytes: t.counter(names::CKPT_LOGICAL_BYTES),
+            new_physical_bytes: t.counter(names::CKPT_NEW_PHYSICAL_BYTES),
+            repairs: t.counter(names::CKPT_REPLICA_REPAIRS),
+            scrub_heals: t.counter(names::CKPT_SCRUB_HEALS),
+            replicas_added: t.counter(names::CKPT_REPLICAS_ADDED),
+            hash_cache_hits: t.counter(names::CKPT_HASH_CACHE_HITS),
+            hash_cache_misses: t.counter(names::CKPT_HASH_CACHE_MISSES),
+            puts: t.counter(names::STORESVC_PUTS),
+            quorum_retries: t.counter(names::STORESVC_QUORUM_RETRIES),
+            repairs_enqueued: t.counter(names::STORESVC_REPAIRS_ENQUEUED),
+            repairs_done: t.counter(names::STORESVC_REPAIRS_DONE),
+            commit_ns: t.histogram(names::STORESVC_COMMIT_NS),
+            ev_put_batch: t.trace_tag(names::EV_STORE_PUT_BATCH),
+            ev_repair: t.trace_tag(names::EV_STORE_REPAIR),
+            shards,
+            t,
+        });
+    }
+
+    /// Fault injection: flip one byte in the *primary* copy of roughly
+    /// `per_million` out of every million chunks inserted from now on.
+    /// Replicas are written clean, so replication >= 2 repairs these
+    /// corruptions transparently. Deterministic in `seed`.
+    pub fn inject_write_faults(&mut self, seed: u64, per_million: u32) {
+        self.write_faults = Some(WriteFaults { state: seed, per_million });
+    }
+
+    pub fn clear_write_faults(&mut self) {
+        self.write_faults = None;
+    }
+
+    // -----------------------------------------------------------------
+    // Write path.
+    // -----------------------------------------------------------------
+
+    pub(crate) fn put_image_inner(
+        &mut self,
+        bytes: &[u8],
+        mut cache: Option<&mut CaptureCache>,
+        now: Option<SimTime>,
+    ) -> TimedPut {
+        let n_chunks = bytes.len().div_ceil(self.chunk_size);
+        let n_shards = self.shards.len();
+        let quorum = self.quorum();
+        let mut manifest = Vec::with_capacity(n_chunks);
+        let mut next_cache: Option<Vec<(ChunkHash, Arc<[u8]>)>> =
+            cache.as_ref().map(|_| Vec::with_capacity(n_chunks));
+        let mut new_physical = 0u64;
+        let mut chunks_new = 0u64;
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut replica_acks = 0u64;
+        let mut quorum_retries = 0u64;
+        let mut repairs_enqueued = 0u64;
+        // Per-shard batch accumulation for the timing model, and the
+        // shards each new chunk's durable copies landed on (for the
+        // per-chunk quorum commit instant).
+        let mut batch_bytes = vec![0u64; n_shards];
+        let mut batch_chunks = vec![0u64; n_shards];
+        let mut chunk_placements: Vec<[u8; MAX_REPLICATION]> = Vec::new();
+        let mut chunk_copy_counts: Vec<u8> = Vec::new();
+
+        for (idx, chunk) in bytes.chunks(self.chunk_size).enumerate() {
+            // Cached-hash fast path: reuse the previous capture's hash
+            // when the bytes at this position are unchanged.
+            let mut reuse: Option<Arc<[u8]>> = None;
+            let h = match cache.as_deref_mut() {
+                Some(c) => match c.chunks.get(idx) {
+                    Some((h, prev)) if prev.as_ref() == chunk => {
+                        cache_hits += 1;
+                        reuse = Some(prev.clone());
+                        *h
+                    }
+                    _ => {
+                        cache_misses += 1;
+                        chunk_hash(chunk)
+                    }
+                },
+                None => chunk_hash(chunk),
+            };
+            let mut inserted_clean: Option<Arc<[u8]>> = None;
+            if let Some(meta) = self.chunks.get_mut(&h) {
+                meta.refs += 1;
+            } else {
+                new_physical += chunk.len() as u64;
+                chunks_new += 1;
+                let want = self.replication.min(MAX_REPLICATION) as u8;
+                let clean: Arc<[u8]> = match &reuse {
+                    Some(a) => a.clone(),
+                    None => Arc::from(chunk),
+                };
+                let mut primary = clean.clone();
+                inserted_clean = Some(clean.clone());
+                // Write-path fault injection damages the primary only;
+                // replicas land clean (independent write paths).
+                if let Some(wf) = self.write_faults.as_mut() {
+                    let draw = splitmix64(&mut wf.state);
+                    if !chunk.is_empty() && draw % 1_000_000 < u64::from(wf.per_million) {
+                        let mut damaged = chunk.to_vec();
+                        let i = (draw >> 32) as usize % damaged.len();
+                        damaged[i] ^= 0x01;
+                        primary = damaged.into();
+                        inserted_clean = None;
+                    }
+                }
+                // Buggified write corruption: same shape as the injected
+                // faults above (primary damaged, replicas clean), drawn
+                // from the exploration registry's own stream.
+                if !chunk.is_empty() && buggify!(self.buggify, bg_points::STORE_PUT_CORRUPT) {
+                    let i = self
+                        .buggify
+                        .magnitude(bg_points::STORE_PUT_CORRUPT, 0, chunk.len() as u64)
+                        as usize;
+                    let mut damaged = primary.to_vec();
+                    damaged[i] ^= 0x01;
+                    primary = damaged.into();
+                    inserted_clean = None;
+                }
+
+                // Primary write is synchronous and always durable.
+                let mut placements = [0u8; MAX_REPLICATION];
+                let home = shard_of(h, 0, n_shards);
+                self.shards[home].backend.put(h, 0, primary);
+                placements[0] = home as u8;
+                let mut written = 1usize;
+                batch_bytes[home] += chunk.len() as u64;
+                batch_chunks[home] += 1;
+
+                // Replica fan-out: each copy may fail at the shard-fail
+                // point; failures beyond the quorum go to background
+                // repair, shortfalls are retried inline until the put
+                // holds a majority of durable copies.
+                let mut failed: Vec<u8> = Vec::new();
+                for r in 1..want {
+                    if buggify!(self.buggify, bg_points::STORE_SHARD_FAIL) {
+                        failed.push(r);
+                        continue;
+                    }
+                    let s = shard_of(h, r, n_shards);
+                    self.shards[s].backend.put(h, r, clean.clone());
+                    placements[written] = s as u8;
+                    written += 1;
+                    replica_acks += 1;
+                    batch_bytes[s] += chunk.len() as u64;
+                    batch_chunks[s] += 1;
+                }
+                let mut failed = VecDeque::from(failed);
+                while written < quorum.min(want as usize) {
+                    let r = failed.pop_front().expect("quorum <= want copies");
+                    let s = shard_of(h, r, n_shards);
+                    self.shards[s].backend.put(h, r, clean.clone());
+                    placements[written] = s as u8;
+                    written += 1;
+                    replica_acks += 1;
+                    quorum_retries += 1;
+                    batch_bytes[s] += chunk.len() as u64;
+                    batch_chunks[s] += 1;
+                }
+                for r in failed {
+                    if self.queued.insert((h.0, r)) {
+                        self.repair_q.push_back(RepairTask { hash: h, copy: r });
+                        self.repair_stats.enqueued += 1;
+                        repairs_enqueued += 1;
+                    }
+                }
+
+                self.physical_bytes += chunk.len() as u64;
+                self.chunks.insert(h, ChunkMeta { refs: 1, len: chunk.len() as u32, want });
+                chunk_placements.push(placements);
+                chunk_copy_counts.push(written as u8);
+            }
+            if let Some(nc) = next_cache.as_mut() {
+                // Cache only pairs whose bytes provably hash to `h`: the
+                // reused arc (valid by induction) or the clean payload of
+                // a fresh insert. A fault-damaged primary must never be
+                // cached under the clean hash, so a dedup hit or damaged
+                // insert takes a private copy instead.
+                let arc = match (reuse, inserted_clean) {
+                    (Some(a), _) => a,
+                    (None, Some(clean)) => clean,
+                    (None, None) => Arc::from(chunk),
+                };
+                nc.push((h, arc));
+            }
+            manifest.push(h);
+        }
+        if let Some(c) = cache {
+            c.chunks = next_cache.expect("cache refresh list built alongside");
+            c.hits += cache_hits;
+            c.misses += cache_misses;
+        }
+        self.repair_stats.quorum_retries += quorum_retries;
+
+        // Timing model: each touched shard makes its batch durable after
+        // a fixed overhead plus a per-byte cost, queued behind whatever
+        // the shard was already committing. A chunk commits when its
+        // quorum-th durable copy lands; the image commits with its
+        // slowest chunk.
+        let mut commit_at = now.unwrap_or(SimTime::ZERO);
+        if let Some(now) = now {
+            let now_ns = now.as_nanos();
+            let mut done_ns = vec![0u64; n_shards];
+            for (s, shard) in self.shards.iter_mut().enumerate() {
+                if batch_chunks[s] == 0 {
+                    continue;
+                }
+                let start = now_ns.max(shard.free_at_ns);
+                let done = start
+                    + self.policy.put_overhead_ns
+                    + batch_bytes[s] * self.policy.shard_ns_per_byte;
+                shard.free_at_ns = done;
+                done_ns[s] = done;
+            }
+            let mut commit_ns = now_ns;
+            for (placements, &copies) in chunk_placements.iter().zip(&chunk_copy_counts) {
+                let mut times: Vec<u64> = placements[..copies as usize]
+                    .iter()
+                    .map(|&s| done_ns[s as usize])
+                    .collect();
+                times.sort_unstable();
+                commit_ns = commit_ns.max(times[quorum.min(times.len()) - 1]);
+            }
+            commit_at = SimTime::from_nanos(commit_ns);
+            if let Some(t) = &self.tele {
+                for (s, st) in t.shards.iter().enumerate() {
+                    if batch_chunks[s] > 0 {
+                        t.t.trace_instant(
+                            st.track,
+                            t.ev_put_batch,
+                            SimTime::from_nanos(done_ns[s]),
+                            batch_bytes[s] as i64,
+                        );
+                    }
+                }
+                t.t.record(t.commit_ns, (commit_ns - now_ns) as f64);
+            }
+        }
+
+        let id = ImageId(self.next_image);
+        self.next_image += 1;
+        let chunks_total = manifest.len() as u64;
+        let shards_touched = batch_chunks.iter().filter(|&&c| c > 0).count() as u32;
+        if let Some(t) = &self.tele {
+            t.t.inc(t.puts);
+            t.t.add(t.chunks_new, chunks_new);
+            t.t.add(t.dedup_hits, chunks_total - chunks_new);
+            t.t.add(t.logical_bytes, bytes.len() as u64);
+            t.t.add(t.new_physical_bytes, new_physical);
+            t.t.add(t.hash_cache_hits, cache_hits);
+            t.t.add(t.hash_cache_misses, cache_misses);
+            t.t.add(t.quorum_retries, quorum_retries);
+            t.t.add(t.repairs_enqueued, repairs_enqueued);
+            for (s, st) in t.shards.iter().enumerate() {
+                t.t.add(st.chunks, batch_chunks[s]);
+                t.t.add(st.bytes, batch_bytes[s]);
+            }
+        }
+        self.images.insert(id.0, Manifest { logical_len: bytes.len() as u64, chunks: manifest });
+        TimedPut {
+            report: PutReport {
+                image: id,
+                logical_bytes: bytes.len() as u64,
+                new_physical_bytes: new_physical,
+                chunks_total,
+                chunks_new,
+                shards_touched,
+                replica_acks,
+                repairs_enqueued,
+            },
+            commit_at,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Read path.
+    // -----------------------------------------------------------------
+
+    /// Reassembles an image, re-hashing every chunk on the way out. A
+    /// chunk whose primary copy is corrupt is served from the first
+    /// intact replica (counted in `repaired_chunks`), and the damaged
+    /// copies it skipped are enqueued for background read-repair; the
+    /// typed error surfaces only when every copy is damaged.
+    pub fn load_image(&mut self, id: ImageId) -> Result<Vec<u8>, StoreError> {
+        // Buggified slow get: the store has no clock, so the latency debt
+        // accumulates for the timed caller to drain (`take_get_penalty_ns`).
+        if buggify!(self.buggify, bg_points::STORE_GET_SLOW) {
+            let ns = self.buggify.magnitude(
+                bg_points::STORE_GET_SLOW,
+                100_000,     // 100 µs: a seek's worth of stall
+                200_000_000, // 200 ms: a raid rebuild in the way
+            );
+            self.get_penalty_ns += ns;
+        }
+        let Some(m) = self.images.get(&id.0) else { return Err(StoreError::UnknownImage(id)) };
+        let n_shards = self.shards.len();
+        let mut out = Vec::with_capacity(m.logical_len as usize);
+        let mut served_from_replica = 0u64;
+        let mut read_repairs: Vec<RepairTask> = Vec::new();
+        for (i, h) in m.chunks.iter().enumerate() {
+            let meta = self
+                .chunks
+                .get(h)
+                .ok_or(StoreError::MissingChunk { image: id, chunk_index: i })?;
+            let mut served: Option<(u8, Arc<[u8]>)> = None;
+            let mut primary_actual: Option<ChunkHash> = None;
+            for r in 0..meta.want {
+                let copy = self.shards[shard_of(*h, r, n_shards)].backend.get(*h, r);
+                let Some(copy) = copy else {
+                    if r == 0 {
+                        return Err(StoreError::MissingChunk { image: id, chunk_index: i });
+                    }
+                    continue;
+                };
+                let actual = chunk_hash(&copy);
+                if r == 0 {
+                    primary_actual = Some(actual);
+                }
+                if actual == *h {
+                    served = Some((r, copy));
+                    break;
+                }
+            }
+            match served {
+                Some((r, copy)) => {
+                    if r > 0 {
+                        served_from_replica += 1;
+                        // Read-repair: the damaged copies we skipped go on
+                        // the gossip queue.
+                        for bad in 0..r {
+                            read_repairs.push(RepairTask { hash: *h, copy: bad });
+                        }
+                    }
+                    out.extend_from_slice(&copy);
+                }
+                None => {
+                    return Err(StoreError::CorruptChunk {
+                        image: id,
+                        chunk_index: i,
+                        expected: *h,
+                        actual: primary_actual.expect("primary copy present"),
+                    });
+                }
+            }
+        }
+        debug_assert_eq!(out.len() as u64, self.images[&id.0].logical_len, "manifest drifted");
+        self.repaired += served_from_replica;
+        if let Some(t) = &self.tele {
+            t.t.add(t.repairs, served_from_replica);
+        }
+        for task in read_repairs {
+            self.enqueue_repair(task);
+        }
+        Ok(out)
+    }
+
+    /// Drops an image, decrementing refcounts and releasing chunks whose
+    /// last reference this was. Returns the physical bytes freed.
+    pub fn remove_image(&mut self, id: ImageId) -> Result<u64, StoreError> {
+        let m = self.images.remove(&id.0).ok_or(StoreError::UnknownImage(id))?;
+        let n_shards = self.shards.len();
+        let mut freed = 0u64;
+        for h in &m.chunks {
+            let meta = self.chunks.get_mut(h).expect("manifest chunk missing on remove");
+            meta.refs -= 1;
+            if meta.refs == 0 {
+                let want = meta.want;
+                freed += u64::from(meta.len);
+                self.physical_bytes -= u64::from(meta.len);
+                self.chunks.remove(h);
+                for r in 0..want {
+                    self.shards[shard_of(*h, r, n_shards)].backend.remove(*h, r);
+                    self.queued.remove(&(h.0, r));
+                }
+            }
+        }
+        Ok(freed)
+    }
+
+    pub fn contains(&self, id: ImageId) -> bool {
+        self.images.contains_key(&id.0)
+    }
+
+    pub fn image_len(&self, id: ImageId) -> Result<u64, StoreError> {
+        self.images
+            .get(&id.0)
+            .map(|m| m.logical_len)
+            .ok_or(StoreError::UnknownImage(id))
+    }
+
+    pub fn image_count(&self) -> usize {
+        self.images.len()
+    }
+
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Bytes held in primary chunks (each distinct chunk once; replica
+    /// copies are accounted by `replica_bytes`).
+    pub fn physical_bytes(&self) -> u64 {
+        self.physical_bytes
+    }
+
+    /// Bytes held in replica copies beyond the primaries.
+    pub fn replica_bytes(&self) -> u64 {
+        let total: u64 = self.shards.iter().map(|s| s.backend.payload_bytes()).sum();
+        total - self.physical_bytes
+    }
+
+    /// Chunks served from a replica because their primary copy was
+    /// corrupt (cumulative over the store's lifetime).
+    pub fn repaired_chunks(&self) -> u64 {
+        self.repaired
+    }
+
+    pub fn stats(&self) -> ImageStats {
+        let logical: u64 = self.images.values().map(|m| m.logical_len).sum();
+        let physical = self.physical_bytes;
+        ImageStats {
+            logical_bytes: logical,
+            physical_bytes: physical,
+            dedup_ratio: if physical == 0 { 1.0 } else { logical as f64 / physical as f64 },
+            chunks_shared: self.chunks.values().filter(|c| c.refs > 1).count() as u64,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Gossip repair.
+    // -----------------------------------------------------------------
+
+    fn enqueue_repair(&mut self, task: RepairTask) {
+        if self.queued.insert((task.hash.0, task.copy)) {
+            self.repair_q.push_back(task);
+            self.repair_stats.enqueued += 1;
+            if let Some(t) = &self.tele {
+                t.t.inc(t.repairs_enqueued);
+            }
+        }
+    }
+
+    /// Tasks currently waiting on the repair queue (oldest first).
+    pub fn pending_repairs(&self) -> Vec<RepairTask> {
+        self.repair_q.iter().copied().collect()
+    }
+
+    pub fn repair_backlog(&self) -> usize {
+        self.repair_q.len()
+    }
+
+    pub fn repair_stats(&self) -> RepairStats {
+        self.repair_stats
+    }
+
+    /// Walks every chunk in hash order and enqueues a repair task for
+    /// each damaged or missing copy. One buggify draw per pass: a fired
+    /// `store.scrub_skip` models a scrubber whose whole pass silently
+    /// did nothing, leaving damage to fester until the next.
+    pub fn schedule_scrub(&mut self) -> u64 {
+        if buggify!(self.buggify, bg_points::STORE_SCRUB_SKIP) {
+            return 0;
+        }
+        self.scan_damage()
+    }
+
+    /// The skip-free damage scan behind [`StoreService::schedule_scrub`].
+    fn scan_damage(&mut self) -> u64 {
+        let n_shards = self.shards.len();
+        let mut tasks: Vec<RepairTask> = Vec::new();
+        for (h, meta) in &self.chunks {
+            for r in 0..meta.want {
+                let ok = match self.shards[shard_of(*h, r, n_shards)].backend.get(*h, r) {
+                    Some(copy) => chunk_hash(&copy) == *h,
+                    None => false,
+                };
+                if !ok {
+                    tasks.push(RepairTask { hash: *h, copy: r });
+                }
+            }
+        }
+        let mut enqueued = 0u64;
+        for task in tasks {
+            let before = self.repair_stats.enqueued;
+            self.enqueue_repair(task);
+            enqueued += self.repair_stats.enqueued - before;
+        }
+        enqueued
+    }
+
+    /// Raises every chunk admitted below the current replication factor:
+    /// bumps its target copy count and enqueues the missing copies on
+    /// the repair queue. Respects the same `store.scrub_skip` pass draw
+    /// as scrubbing. Returns the chunks whose target was raised.
+    pub fn schedule_redundancy_rebuild(&mut self) -> u64 {
+        if buggify!(self.buggify, bg_points::STORE_SCRUB_SKIP) {
+            return 0;
+        }
+        let want = self.replication.min(MAX_REPLICATION) as u8;
+        let mut raised = 0u64;
+        let mut tasks: Vec<RepairTask> = Vec::new();
+        for (h, meta) in &mut self.chunks {
+            if meta.want >= want {
+                continue;
+            }
+            for r in meta.want..want {
+                tasks.push(RepairTask { hash: *h, copy: r });
+            }
+            meta.want = want;
+            raised += 1;
+        }
+        for task in tasks {
+            self.enqueue_repair(task);
+        }
+        raised
+    }
+
+    /// Resolves one already-dequeued repair task: rewrites the target
+    /// copy from an intact sibling. A task whose chunk died, or with no
+    /// intact source left, is dropped — the load path surfaces the
+    /// latter as [`StoreError::CorruptChunk`].
+    fn resolve_task(&mut self, task: RepairTask, at: Option<SimTime>) -> TaskOutcome {
+        let n_shards = self.shards.len();
+        self.repair_stats.processed += 1;
+        let dest = shard_of(task.hash, task.copy, n_shards);
+        let Some(meta) = self.chunks.get(&task.hash) else { return TaskOutcome::DeadChunk };
+        let want = meta.want;
+        // Already intact (a later put or an earlier pump beat us)?
+        let existing = self.shards[dest].backend.get(task.hash, task.copy);
+        let was_present = existing.is_some();
+        if let Some(copy) = &existing {
+            if chunk_hash(copy) == task.hash {
+                return TaskOutcome::AlreadyIntact;
+            }
+        }
+        // Find an intact source among the other copies.
+        let mut source: Option<Arc<[u8]>> = None;
+        for r in 0..want {
+            if r == task.copy {
+                continue;
+            }
+            if let Some(copy) =
+                self.shards[shard_of(task.hash, r, n_shards)].backend.get(task.hash, r)
+            {
+                if chunk_hash(&copy) == task.hash {
+                    source = Some(copy);
+                    break;
+                }
+            }
+        }
+        let Some(clean) = source else { return TaskOutcome::Hopeless };
+        self.shards[dest].backend.put(task.hash, task.copy, clean);
+        self.repair_stats.repaired_write(was_present);
+        if let Some(t) = &self.tele {
+            t.t.inc(t.repairs_done);
+            t.t.add(t.scrub_heals, u64::from(was_present));
+            t.t.add(t.replicas_added, u64::from(!was_present));
+            t.t.inc(t.shards[dest].repair_writes);
+            if let Some(at) = at {
+                t.t.trace_instant(t.shards[dest].track, t.ev_repair, at, i64::from(task.copy));
+            }
+        }
+        if was_present {
+            TaskOutcome::Healed
+        } else {
+            TaskOutcome::Added
+        }
+    }
+
+    /// Resolves up to `max` queued repair tasks owned by `shard` (or any
+    /// shard when `None`); tasks owned by other shards rotate to the
+    /// back of the queue for their worker. Returns `(healed, added)`
+    /// copy counts; `at` timestamps the trace events when telemetry is
+    /// attached.
+    pub fn pump_repairs(
+        &mut self,
+        shard: Option<usize>,
+        max: usize,
+        at: Option<SimTime>,
+    ) -> (u64, u64) {
+        let n_shards = self.shards.len();
+        let mut healed = 0u64;
+        let mut added = 0u64;
+        let mut scanned = 0usize;
+        let mut done = 0usize;
+        let backlog = self.repair_q.len();
+        while done < max && scanned < backlog {
+            let Some(task) = self.repair_q.pop_front() else { break };
+            scanned += 1;
+            if let Some(s) = shard {
+                if shard_of(task.hash, task.copy, n_shards) != s {
+                    self.repair_q.push_back(task);
+                    continue;
+                }
+            }
+            self.queued.remove(&(task.hash.0, task.copy));
+            done += 1;
+            match self.resolve_task(task, at) {
+                TaskOutcome::Healed => healed += 1,
+                TaskOutcome::Added => added += 1,
+                _ => {}
+            }
+        }
+        (healed, added)
+    }
+
+    /// Synchronously drains the whole repair queue (no shard filter).
+    /// Returns `(healed, added)` copy counts.
+    pub fn drain_repairs(&mut self) -> (u64, u64) {
+        let mut healed = 0u64;
+        let mut added = 0u64;
+        while let Some(task) = self.repair_q.pop_front() {
+            self.queued.remove(&(task.hash.0, task.copy));
+            match self.resolve_task(task, None) {
+                TaskOutcome::Healed => healed += 1,
+                TaskOutcome::Added => added += 1,
+                _ => {}
+            }
+        }
+        (healed, added)
+    }
+
+    /// A full synchronous scrub pass through the repair queue: schedules
+    /// damage found by the hash-order scan, then drains everything.
+    /// Returns the distinct chunks that had a damaged copy rewritten —
+    /// the contract of the deprecated `ChunkStore::scrub`. A buggified
+    /// skipped pass schedules nothing and drains nothing.
+    pub fn scrub_now(&mut self) -> u64 {
+        if buggify!(self.buggify, bg_points::STORE_SCRUB_SKIP) {
+            return 0;
+        }
+        self.scan_damage();
+        let mut healed_chunks: HashSet<u128> = HashSet::new();
+        while let Some(task) = self.repair_q.pop_front() {
+            self.queued.remove(&(task.hash.0, task.copy));
+            if matches!(self.resolve_task(task, None), TaskOutcome::Healed) {
+                healed_chunks.insert(task.hash.0);
+            }
+        }
+        healed_chunks.len() as u64
+    }
+
+    /// Raises under-replicated chunks through the gossip-repair queue
+    /// and drains it synchronously. Returns the distinct chunks that
+    /// actually gained a copy — the contract of the deprecated
+    /// `ChunkStore::rebuild_redundancy`; chunks with no intact source
+    /// are dropped by the pump, not counted.
+    pub fn rebuild_redundancy(&mut self) -> u64 {
+        self.schedule_redundancy_rebuild();
+        let mut gained: HashSet<u128> = HashSet::new();
+        while let Some(task) = self.repair_q.pop_front() {
+            self.queued.remove(&(task.hash.0, task.copy));
+            if matches!(self.resolve_task(task, None), TaskOutcome::Added) {
+                gained.insert(task.hash.0);
+            }
+        }
+        gained.len() as u64
+    }
+
+    // -----------------------------------------------------------------
+    // Corruption hooks (fault-injection surface for swap/explorer paths
+    // and tests).
+    // -----------------------------------------------------------------
+
+    fn chunk_of(&self, image: ImageId, chunk_index: usize) -> Result<ChunkHash, StoreError> {
+        let m = self.images.get(&image.0).ok_or(StoreError::UnknownImage(image))?;
+        let h = m
+            .chunks
+            .get(chunk_index)
+            .copied()
+            .ok_or(StoreError::NoSuchChunk { image, chunk_index })?;
+        if self.chunks[&h].len == 0 {
+            return Err(StoreError::NoSuchChunk { image, chunk_index });
+        }
+        Ok(h)
+    }
+
+    /// Flips one byte inside *every* stored copy of a chunk of `image`
+    /// so the next load must report [`StoreError::CorruptChunk`] (no
+    /// replica can save it).
+    pub fn corrupt_chunk(
+        &mut self,
+        image: ImageId,
+        chunk_index: usize,
+        byte: usize,
+    ) -> Result<(), StoreError> {
+        let h = self.chunk_of(image, chunk_index)?;
+        let want = self.chunks[&h].want;
+        let n_shards = self.shards.len();
+        for r in 0..want {
+            let s = shard_of(h, r, n_shards);
+            if let Some(copy) = self.shards[s].backend.get(h, r) {
+                let mut damaged = copy.to_vec();
+                let i = byte % damaged.len();
+                damaged[i] ^= 0x01;
+                self.shards[s].backend.put(h, r, damaged.into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Flips one byte in the *primary* copy only, leaving replicas
+    /// intact (exercises transparent repair).
+    pub fn corrupt_primary(
+        &mut self,
+        image: ImageId,
+        chunk_index: usize,
+        byte: usize,
+    ) -> Result<(), StoreError> {
+        let h = self.chunk_of(image, chunk_index)?;
+        let s = shard_of(h, 0, self.shards.len());
+        let copy = self.shards[s]
+            .backend
+            .get(h, 0)
+            .ok_or(StoreError::MissingChunk { image, chunk_index })?;
+        let mut damaged = copy.to_vec();
+        let i = byte % damaged.len();
+        damaged[i] ^= 0x01;
+        self.shards[s].backend.put(h, 0, damaged.into());
+        Ok(())
+    }
+}
+
+impl RepairStats {
+    fn repaired_write(&mut self, was_present: bool) {
+        if was_present {
+            self.healed_copies += 1;
+        } else {
+            self.added_copies += 1;
+        }
+    }
+}
+
+/// Backend selection for [`StoreBuilder`].
+enum BackendChoice {
+    Mem,
+    /// Append-only segment logs over the given media handles (one per
+    /// shard); empty means fresh media per shard.
+    SegmentLog(Vec<SegmentMedia>),
+}
+
+/// Configures and builds a sharded store, returning the cheap-`Clone`
+/// [`StoreClient`](crate::StoreClient) handle every caller goes
+/// through. Obtained via [`ChunkStore::builder`](crate::ChunkStore::builder).
+pub struct StoreBuilder {
+    chunk_size: usize,
+    shards: usize,
+    replication: usize,
+    backend: BackendChoice,
+    telemetry: Option<(Telemetry, u32)>,
+    policy: StorePolicy,
+}
+
+impl Default for StoreBuilder {
+    fn default() -> Self {
+        StoreBuilder {
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            shards: 1,
+            replication: 1,
+            backend: BackendChoice::Mem,
+            telemetry: None,
+            policy: StorePolicy::default(),
+        }
+    }
+}
+
+impl StoreBuilder {
+    pub fn chunk_size(mut self, bytes: usize) -> Self {
+        self.chunk_size = bytes;
+        self
+    }
+
+    /// Hash-partitioned shards the service runs (default 1).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Copies kept per chunk, spread across shards (default 1).
+    pub fn replication(mut self, copies: usize) -> Self {
+        self.replication = copies;
+        self
+    }
+
+    /// In-memory backends (the default).
+    pub fn backend_mem(mut self) -> Self {
+        self.backend = BackendChoice::Mem;
+        self
+    }
+
+    /// Fresh append-only segment-log backends, one per shard.
+    pub fn backend_segment_log(mut self) -> Self {
+        self.backend = BackendChoice::SegmentLog(Vec::new());
+        self
+    }
+
+    /// Segment-log backends reopened over existing media (one handle per
+    /// shard, in shard order) — the crash/restart path.
+    pub fn backend_segment_log_media(mut self, media: Vec<SegmentMedia>) -> Self {
+        self.backend = BackendChoice::SegmentLog(media);
+        self
+    }
+
+    /// Attaches telemetry at build: `ckptstore.*`/`storesvc.*` counters
+    /// plus one trace track per shard on `host`'s timeline.
+    pub fn telemetry(mut self, t: &Telemetry, host: u32) -> Self {
+        self.telemetry = Some((t.clone(), host));
+        self
+    }
+
+    /// Overrides the simulated shard timing / repair-batch policy.
+    pub fn policy(mut self, policy: StorePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builds the service and hands back the client.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration or unreadable segment-log media;
+    /// use [`StoreBuilder::try_build`] for the typed error.
+    pub fn build(self) -> crate::StoreClient {
+        self.try_build().expect("store media replay failed")
+    }
+
+    /// Builds, surfacing segment-log replay failures as
+    /// [`StoreError::Backend`].
+    pub fn try_build(self) -> Result<crate::StoreClient, StoreError> {
+        let backends: Vec<Box<dyn ChunkBackend>> = match self.backend {
+            BackendChoice::Mem => {
+                (0..self.shards).map(|_| Box::new(MemBackend::new()) as Box<dyn ChunkBackend>).collect()
+            }
+            BackendChoice::SegmentLog(media) => {
+                if media.is_empty() {
+                    (0..self.shards)
+                        .map(|_| Box::new(SegmentLogBackend::new()) as Box<dyn ChunkBackend>)
+                        .collect()
+                } else {
+                    assert_eq!(media.len(), self.shards, "one media handle per shard");
+                    media
+                        .into_iter()
+                        .map(|m| {
+                            SegmentLogBackend::open(m).map(|b| Box::new(b) as Box<dyn ChunkBackend>)
+                        })
+                        .collect::<Result<_, _>>()?
+                }
+            }
+        };
+        let mut svc = StoreService::new(
+            self.chunk_size,
+            self.shards,
+            self.replication,
+            backends,
+            self.policy,
+        );
+        if let Some((t, host)) = self.telemetry {
+            svc.attach_telemetry(&t, host);
+        }
+        Ok(crate::StoreClient::from_service(svc))
+    }
+}

@@ -1,268 +1,80 @@
-//! The refcounted chunk store: fixed-size chunking, content addressing,
-//! per-image manifests, and deterministic release on image removal.
+//! The legacy `ChunkStore` facade over the sharded store service.
 //!
-//! The store can hold each chunk with configurable redundancy: extra
-//! copies of the payload behind the same content address. A load that
-//! finds the primary copy corrupt transparently serves (and counts) an
-//! intact replica; only when *every* copy is damaged does the typed
-//! [`StoreError::CorruptChunk`] surface. Write-path fault injection flips
-//! bytes in freshly inserted primaries at a configured rate, so repair
-//! paths are exercised deterministically.
+//! `ChunkStore` predates the service split: it was a single in-process
+//! struct behind `&mut self`, which serialized every concurrent
+//! experiment on one lock. Storage now lives in a
+//! [`StoreService`](crate::service::StoreService) of hash-partitioned
+//! shards driven through the cheap-`Clone` [`StoreClient`] handle; this
+//! facade wraps a single-handle client so existing call sites and tests
+//! keep their exact observable behavior (one shard, replication 1,
+//! in-memory backend) while the deprecation markers walk callers over
+//! to [`ChunkStore::builder`].
 
-use std::cell::Cell;
-use std::collections::HashMap;
-use std::fmt;
-use std::sync::Arc;
+use sim::{Buggify, Telemetry};
 
-use sim::buggify;
-use sim::buggify::points as bg_points;
-use sim::telemetry::names;
-use sim::{Buggify, CounterId, Telemetry};
+use crate::client::StoreClient;
+use crate::error::StoreError;
+use crate::service::{CaptureCache, ImageId, ImageStats, PutReport, StoreBuilder};
 
-use crate::hash::{chunk_hash, ChunkHash};
-
-/// Default chunk size. Matches the COW stores' 4 KB block size so an
-/// aligned block record maps 1:1 onto a chunk.
-pub const DEFAULT_CHUNK_SIZE: usize = 4096;
-
-/// Handle to a stored image (opaque, store-local).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-pub struct ImageId(pub u64);
-
-/// Typed store failure. Restores never panic on bad data: a hash
-/// mismatch surfaces as [`StoreError::CorruptChunk`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum StoreError {
-    /// The image id is not (or no longer) in the store.
-    UnknownImage(ImageId),
-    /// A chunk's content no longer matches its recorded address.
-    CorruptChunk {
-        image: ImageId,
-        chunk_index: usize,
-        expected: ChunkHash,
-        actual: ChunkHash,
-    },
-    /// A manifest references a chunk the store has lost entirely —
-    /// refcounting is broken (internal-consistency error).
-    MissingChunk { image: ImageId, chunk_index: usize },
-}
-
-impl fmt::Display for StoreError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            StoreError::UnknownImage(id) => write!(f, "unknown image {id:?}"),
-            StoreError::CorruptChunk { image, chunk_index, expected, actual } => write!(
-                f,
-                "corrupt chunk {chunk_index} of {image:?}: expected {expected}, found {actual}"
-            ),
-            StoreError::MissingChunk { image, chunk_index } => {
-                write!(f, "missing chunk {chunk_index} of {image:?}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for StoreError {}
-
-/// Store-wide dedup accounting.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ImageStats {
-    /// Sum of the byte lengths of every live image.
-    pub logical_bytes: u64,
-    /// Bytes actually held in chunks (each distinct chunk counted once).
-    pub physical_bytes: u64,
-    /// `logical / physical`; 1.0 for an empty store.
-    pub dedup_ratio: f64,
-    /// Distinct chunks referenced by more than one manifest entry.
-    pub chunks_shared: u64,
-}
-
-/// What one `put_image` call did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PutReport {
-    pub image: ImageId,
-    /// Byte length of the stored image.
-    pub logical_bytes: u64,
-    /// Bytes of chunks this put added to the store (the image's physical
-    /// residual against everything already stored — what a transfer of
-    /// this image on top of its parent actually has to move).
-    pub new_physical_bytes: u64,
-    /// Chunks in this image's manifest.
-    pub chunks_total: u64,
-    /// Chunks that were not already in the store.
-    pub chunks_new: u64,
-}
-
-/// Capture-side page-hash cache: the chunk list of one domain's last
-/// committed image. [`ChunkStore::put_image_cached`] re-admits a chunk
-/// whose bytes are unchanged since that image (verified by memcmp
-/// against the cached payload) under its cached content address without
-/// re-hashing — incremental capture in wall-clock terms.
-///
-/// Safety invariant: every cached `(hash, bytes)` pair satisfies
-/// `hash == chunk_hash(bytes)` by construction, so a stale cache, a
-/// cache from another domain, or a cache surviving a store reset can
-/// only cause extra misses — never a wrong content address.
+/// Content-addressed chunk store with refcounted dedup — the legacy
+/// facade over one [`StoreClient`]. New code should hold the client
+/// itself (from [`ChunkStore::builder`]); the facade remains for the
+/// bare single-store call sites and keeps their semantics bit-for-bit.
 #[derive(Default)]
-pub struct CaptureCache {
-    chunks: Vec<(ChunkHash, Arc<[u8]>)>,
-    hits: u64,
-    misses: u64,
-}
-
-impl CaptureCache {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Chunks re-admitted by cached hash (cumulative).
-    pub fn hits(&self) -> u64 {
-        self.hits
-    }
-
-    /// Chunks that had to be hashed (cumulative).
-    pub fn misses(&self) -> u64 {
-        self.misses
-    }
-
-    /// Forgets the cached image; the next capture hashes every chunk.
-    pub fn clear(&mut self) {
-        self.chunks.clear();
-    }
-}
-
-struct ChunkEntry {
-    /// Stored payload copies; `copies[0]` is the primary, the rest are
-    /// redundancy replicas under the same content address. Copies are
-    /// immutable shared buffers — clean replicas alias the primary's
-    /// allocation, and every mutation path (fault injection, scrub,
-    /// test corruption hooks) replaces the `Arc` rather than writing
-    /// through it.
-    copies: Vec<Arc<[u8]>>,
-    refs: u64,
-}
-
-impl ChunkEntry {
-    fn primary_len(&self) -> u64 {
-        self.copies[0].len() as u64
-    }
-}
-
-/// Deterministic write-fault state (SplitMix64 over an injected seed).
-struct WriteFaults {
-    state: u64,
-    per_million: u32,
-}
-
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-struct Manifest {
-    logical_len: u64,
-    chunks: Vec<ChunkHash>,
-}
-
-/// Telemetry instrument handles (attached via
-/// [`ChunkStore::attach_telemetry`]).
-struct StoreTele {
-    t: Telemetry,
-    chunks_new: CounterId,
-    dedup_hits: CounterId,
-    logical_bytes: CounterId,
-    new_physical_bytes: CounterId,
-    repairs: CounterId,
-    scrub_heals: CounterId,
-    replicas_added: CounterId,
-    hash_cache_hits: CounterId,
-    hash_cache_misses: CounterId,
-}
-
-/// Content-addressed chunk store with refcounted dedup.
 pub struct ChunkStore {
-    chunk_size: usize,
-    chunks: HashMap<ChunkHash, ChunkEntry>,
-    images: HashMap<u64, Manifest>,
-    next_image: u64,
-    /// Copies held per chunk (>= 1); applies to chunks inserted after the
-    /// setting changes.
-    redundancy: usize,
-    /// Chunks served from a replica because the primary was corrupt.
-    repaired: Cell<u64>,
-    write_faults: Option<WriteFaults>,
-    tele: Option<StoreTele>,
-    /// Randomized fault exploration (`store.*` buggify points). Disarmed
-    /// by default: a disarmed registry never draws, so stores outside an
-    /// exploration run behave exactly as before.
-    buggify: Buggify,
-    /// Extra read latency owed by buggified slow loads (ns), accumulated
-    /// here because the store itself has no clock; the timed component
-    /// driving it drains the debt via [`ChunkStore::take_get_penalty_ns`].
-    get_penalty_ns: Cell<u64>,
+    client: StoreClient,
 }
 
 impl ChunkStore {
+    /// Configures a sharded, replicated store and returns the
+    /// [`StoreClient`] handle to drive it with.
+    pub fn builder() -> StoreBuilder {
+        StoreBuilder::default()
+    }
+
+    #[deprecated(note = "use ChunkStore::builder() and hold the StoreClient handle")]
+    #[allow(deprecated)]
     pub fn new() -> Self {
-        Self::with_chunk_size(DEFAULT_CHUNK_SIZE)
+        Self::with_chunk_size(crate::service::DEFAULT_CHUNK_SIZE)
     }
 
     /// # Panics
     ///
     /// Panics on a zero chunk size.
+    #[deprecated(note = "use ChunkStore::builder().chunk_size(..) and hold the StoreClient handle")]
     pub fn with_chunk_size(chunk_size: usize) -> Self {
-        assert!(chunk_size > 0, "zero chunk size");
-        ChunkStore {
-            chunk_size,
-            chunks: HashMap::new(),
-            images: HashMap::new(),
-            next_image: 0,
-            redundancy: 1,
-            repaired: Cell::new(0),
-            write_faults: None,
-            tele: None,
-            buggify: Buggify::disabled(),
-            get_penalty_ns: Cell::new(0),
-        }
+        ChunkStore { client: Self::builder().chunk_size(chunk_size).build() }
+    }
+
+    /// The underlying client handle (cheap to clone; migration escape
+    /// hatch for call sites moving off the facade).
+    pub fn client(&self) -> &StoreClient {
+        &self.client
     }
 
     /// Arms randomized fault exploration: the `store.*` buggify points
     /// (put-corruption, slow gets, skipped scrub passes) fire from the
     /// registry's per-point streams from here on.
     pub fn attach_buggify(&mut self, bg: &Buggify) {
-        self.buggify = bg.clone();
+        self.client.attach_buggify(bg);
     }
 
     /// Drains the accumulated extra latency owed by buggified slow loads
     /// (ns since the last drain). The component that schedules load
     /// completions adds this to its completion time.
     pub fn take_get_penalty_ns(&self) -> u64 {
-        self.get_penalty_ns.replace(0)
+        self.client.take_get_penalty_ns()
     }
 
     /// Attaches a telemetry registry: dedup hit-rate, repair, and scrub
-    /// counters are recorded under `ckptstore.*` from here on.
+    /// counters are recorded under `ckptstore.*` from here on (service
+    /// and shard counters land under `storesvc.*`, tracked on host 0).
     pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
-        let t = telemetry.clone();
-        self.tele = Some(StoreTele {
-            chunks_new: t.counter(names::CKPT_CHUNKS_NEW),
-            dedup_hits: t.counter(names::CKPT_DEDUP_HITS),
-            logical_bytes: t.counter(names::CKPT_LOGICAL_BYTES),
-            new_physical_bytes: t.counter(names::CKPT_NEW_PHYSICAL_BYTES),
-            repairs: t.counter(names::CKPT_REPLICA_REPAIRS),
-            scrub_heals: t.counter(names::CKPT_SCRUB_HEALS),
-            replicas_added: t.counter(names::CKPT_REPLICAS_ADDED),
-            hash_cache_hits: t.counter(names::CKPT_HASH_CACHE_HITS),
-            hash_cache_misses: t.counter(names::CKPT_HASH_CACHE_MISSES),
-            t,
-        });
+        self.client.attach_telemetry(telemetry, 0);
     }
 
     pub fn chunk_size(&self) -> usize {
-        self.chunk_size
+        self.client.chunk_size()
     }
 
     /// Sets how many copies of each chunk payload the store keeps (>= 1).
@@ -271,30 +83,26 @@ impl ChunkStore {
     ///
     /// # Panics
     ///
-    /// Panics if `copies` is zero.
+    /// Panics if `copies` is outside `1..=MAX_REPLICATION`.
     pub fn set_redundancy(&mut self, copies: usize) {
-        assert!(copies >= 1, "redundancy must keep at least one copy");
-        self.redundancy = copies;
+        self.client.set_replication(copies);
     }
 
     /// Copies kept per newly inserted chunk.
     pub fn redundancy(&self) -> usize {
-        self.redundancy
+        self.client.replication()
     }
 
     /// Chunks served from a replica because their primary copy was
     /// corrupt (cumulative over the store's lifetime).
     pub fn repaired_chunks(&self) -> u64 {
-        self.repaired.get()
+        self.client.repaired_chunks()
     }
 
     /// Bytes held in redundancy replicas (beyond the primary copies that
     /// [`ChunkStore::physical_bytes`] accounts).
     pub fn replica_bytes(&self) -> u64 {
-        self.chunks
-            .values()
-            .map(|c| c.copies[1..].iter().map(|d| d.len() as u64).sum::<u64>())
-            .sum()
+        self.client.replica_bytes()
     }
 
     /// Fault injection: flip one byte in the *primary* copy of roughly
@@ -302,202 +110,45 @@ impl ChunkStore {
     /// Replicas are written clean, so redundancy >= 2 repairs these
     /// corruptions transparently. Deterministic in `seed`.
     pub fn inject_write_faults(&mut self, seed: u64, per_million: u32) {
-        self.write_faults = Some(WriteFaults { state: seed, per_million });
+        self.client.inject_write_faults(seed, per_million);
     }
 
     /// Stops write-path fault injection.
     pub fn clear_write_faults(&mut self) {
-        self.write_faults = None;
+        self.client.clear_write_faults();
     }
 
-    /// Rewrites every damaged copy of every chunk from an intact sibling.
-    /// Returns the number of chunks that had at least one copy repaired;
-    /// chunks with no intact copy are left untouched (the load path will
-    /// surface them as [`StoreError::CorruptChunk`]).
+    /// Rewrites every damaged copy of every chunk from an intact sibling
+    /// by scheduling a scrub pass through the gossip-repair queue and
+    /// draining it synchronously. Returns the number of chunks that had
+    /// at least one copy repaired; chunks with no intact copy are left
+    /// untouched (the load path will surface them as
+    /// [`StoreError::CorruptChunk`]).
     pub fn scrub(&mut self) -> u64 {
-        // One draw per pass (not per chunk — chunk iteration order is not
-        // deterministic): a fired point models a scrubber whose whole pass
-        // silently did nothing, leaving damage to fester until the next.
-        if buggify!(self.buggify, bg_points::STORE_SCRUB_SKIP) {
-            return 0;
-        }
-        let mut healed = 0u64;
-        for (h, entry) in &mut self.chunks {
-            let intact = entry.copies.iter().position(|d| chunk_hash(d) == *h);
-            let Some(good) = intact else { continue };
-            let template = entry.copies[good].clone();
-            let mut touched = false;
-            for copy in &mut entry.copies {
-                if chunk_hash(copy) != *h {
-                    *copy = template.clone();
-                    touched = true;
-                }
-            }
-            if touched {
-                healed += 1;
-            }
-        }
-        if let Some(t) = &self.tele {
-            t.t.add(t.scrub_heals, healed);
-        }
-        healed
+        self.client.scrub_now()
     }
 
-    /// Raises every pre-existing chunk to the configured replica count:
-    /// [`ChunkStore::set_redundancy`] applies only to chunks inserted
-    /// afterwards, and [`ChunkStore::scrub`] only rewrites damaged copies
-    /// — this is the pass that retrofits redundancy onto chunks stored
-    /// before the setting changed. New replicas are cloned from an intact
-    /// copy; a chunk with no intact copy is skipped (the load path will
-    /// surface it as [`StoreError::CorruptChunk`]). Copy counts above the
-    /// configured redundancy are left alone. Returns the number of chunks
-    /// that gained at least one replica.
+    /// Raises every pre-existing chunk to the configured replica count
+    /// through the gossip-repair queue (so the traffic shows up in
+    /// repair telemetry and respects the buggify `store.scrub_skip`
+    /// pass draw), draining it synchronously. Returns the number of
+    /// chunks that gained at least one replica; a chunk with no intact
+    /// copy is skipped.
     pub fn rebuild_redundancy(&mut self) -> u64 {
-        let want = self.redundancy;
-        let mut raised = 0u64;
-        let mut added = 0u64;
-        for (h, entry) in &mut self.chunks {
-            if entry.copies.len() >= want {
-                continue;
-            }
-            let Some(good) = entry.copies.iter().position(|d| chunk_hash(d) == *h) else {
-                continue;
-            };
-            let template = entry.copies[good].clone();
-            while entry.copies.len() < want {
-                entry.copies.push(template.clone());
-                added += 1;
-            }
-            raised += 1;
-        }
-        if let Some(t) = &self.tele {
-            t.t.add(t.replicas_added, added);
-        }
-        raised
+        self.client.rebuild_redundancy()
     }
 
     /// Stores an image: chunks it, inserts unseen chunks, bumps
-    /// refcounts on shared ones. Dedup hits copy nothing — the chunk is
-    /// hashed, matched against the existing entry, and only refcounted;
-    /// a new chunk's payload is copied exactly once into a shared
-    /// buffer that clean replicas alias.
+    /// refcounts on shared ones.
+    #[deprecated(note = "use StoreClient::put_image (or put_image_at inside a simulation)")]
     pub fn put_image(&mut self, bytes: &[u8]) -> PutReport {
-        self.put_image_inner(bytes, None)
+        self.client.put_image(bytes)
     }
 
-    /// [`ChunkStore::put_image`] through a [`CaptureCache`]: a chunk
-    /// whose bytes are unchanged since the cache's image (a memcmp
-    /// against the cached payload) is re-admitted under its cached
-    /// content address without re-hashing. Observably identical to
-    /// `put_image` — same manifest, same [`PutReport`], same dedup
-    /// accounting — only the wall-clock hashing work differs. The cache
-    /// is refreshed to describe this image before returning.
+    /// [`ChunkStore::put_image`] through a [`CaptureCache`].
+    #[deprecated(note = "use StoreClient::put_image_cached")]
     pub fn put_image_cached(&mut self, bytes: &[u8], cache: &mut CaptureCache) -> PutReport {
-        self.put_image_inner(bytes, Some(cache))
-    }
-
-    fn put_image_inner(&mut self, bytes: &[u8], mut cache: Option<&mut CaptureCache>) -> PutReport {
-        let n_chunks = bytes.len().div_ceil(self.chunk_size);
-        let mut manifest = Vec::with_capacity(n_chunks);
-        let mut next_cache: Option<Vec<(ChunkHash, Arc<[u8]>)>> =
-            cache.as_ref().map(|_| Vec::with_capacity(n_chunks));
-        let mut new_physical = 0u64;
-        let mut chunks_new = 0u64;
-        let mut cache_hits = 0u64;
-        let mut cache_misses = 0u64;
-        for (idx, chunk) in bytes.chunks(self.chunk_size).enumerate() {
-            // Cached-hash fast path: reuse the previous capture's hash
-            // when the bytes at this position are unchanged.
-            let mut reuse: Option<Arc<[u8]>> = None;
-            let h = match cache.as_deref_mut() {
-                Some(c) => match c.chunks.get(idx) {
-                    Some((h, prev)) if prev.as_ref() == chunk => {
-                        cache_hits += 1;
-                        reuse = Some(prev.clone());
-                        *h
-                    }
-                    _ => {
-                        cache_misses += 1;
-                        chunk_hash(chunk)
-                    }
-                },
-                None => chunk_hash(chunk),
-            };
-            let redundancy = self.redundancy;
-            let faults = &mut self.write_faults;
-            let bg = self.buggify.clone();
-            let mut inserted_clean = false;
-            let entry = self.chunks.entry(h).or_insert_with(|| {
-                new_physical += chunk.len() as u64;
-                chunks_new += 1;
-                let primary: Arc<[u8]> = Arc::from(chunk);
-                let mut copies = vec![primary; redundancy];
-                inserted_clean = true;
-                // Write-path fault injection damages the primary only;
-                // replicas land clean (independent write paths).
-                if let Some(wf) = faults.as_mut() {
-                    let draw = splitmix64(&mut wf.state);
-                    if !chunk.is_empty() && draw % 1_000_000 < u64::from(wf.per_million) {
-                        let mut damaged = chunk.to_vec();
-                        let i = (draw >> 32) as usize % damaged.len();
-                        damaged[i] ^= 0x01;
-                        copies[0] = damaged.into();
-                        inserted_clean = false;
-                    }
-                }
-                // Buggified write corruption: same shape as the injected
-                // faults above (primary damaged, replicas clean), drawn
-                // from the exploration registry's own stream.
-                if !chunk.is_empty() && buggify!(bg, bg_points::STORE_PUT_CORRUPT) {
-                    let i = bg.magnitude(bg_points::STORE_PUT_CORRUPT, 0, chunk.len() as u64)
-                        as usize;
-                    let mut damaged = copies[0].to_vec();
-                    damaged[i] ^= 0x01;
-                    copies[0] = damaged.into();
-                    inserted_clean = false;
-                }
-                ChunkEntry { copies, refs: 0 }
-            });
-            entry.refs += 1;
-            if let Some(nc) = next_cache.as_mut() {
-                // Cache only pairs whose bytes provably hash to `h`: the
-                // reused arc (valid by induction) or a clean fresh insert
-                // (aliases the store's buffer). A fault-damaged primary
-                // must never be cached under the clean hash, so a dedup
-                // hit or damaged insert takes a private copy instead.
-                let arc = match reuse {
-                    Some(a) => a,
-                    None if inserted_clean => entry.copies[0].clone(),
-                    None => Arc::from(chunk),
-                };
-                nc.push((h, arc));
-            }
-            manifest.push(h);
-        }
-        if let Some(c) = cache {
-            c.chunks = next_cache.expect("cache refresh list built alongside");
-            c.hits += cache_hits;
-            c.misses += cache_misses;
-        }
-        let id = ImageId(self.next_image);
-        self.next_image += 1;
-        let chunks_total = manifest.len() as u64;
-        if let Some(t) = &self.tele {
-            t.t.add(t.chunks_new, chunks_new);
-            t.t.add(t.dedup_hits, chunks_total - chunks_new);
-            t.t.add(t.logical_bytes, bytes.len() as u64);
-            t.t.add(t.new_physical_bytes, new_physical);
-            t.t.add(t.hash_cache_hits, cache_hits);
-            t.t.add(t.hash_cache_misses, cache_misses);
-        }
-        self.images.insert(id.0, Manifest { logical_len: bytes.len() as u64, chunks: manifest });
-        PutReport {
-            image: id,
-            logical_bytes: bytes.len() as u64,
-            new_physical_bytes: new_physical,
-            chunks_total,
-            chunks_new,
-        }
+        self.client.put_image_cached(bytes, cache)
     }
 
     /// Reassembles an image, re-hashing every chunk on the way out. A
@@ -505,113 +156,43 @@ impl ChunkStore {
     /// intact replica (counted in [`ChunkStore::repaired_chunks`]); the
     /// typed error surfaces only when every copy is damaged.
     pub fn load_image(&self, id: ImageId) -> Result<Vec<u8>, StoreError> {
-        // Buggified slow get: the store has no clock, so the latency debt
-        // accumulates for the timed caller to drain (`take_get_penalty_ns`).
-        if buggify!(self.buggify, bg_points::STORE_GET_SLOW) {
-            let ns = self.buggify.magnitude(
-                bg_points::STORE_GET_SLOW,
-                100_000,     // 100 µs: a seek's worth of stall
-                200_000_000, // 200 ms: a raid rebuild in the way
-            );
-            self.get_penalty_ns.set(self.get_penalty_ns.get() + ns);
-        }
-        let m = self.images.get(&id.0).ok_or(StoreError::UnknownImage(id))?;
-        let mut out = Vec::with_capacity(m.logical_len as usize);
-        for (i, h) in m.chunks.iter().enumerate() {
-            let entry = self
-                .chunks
-                .get(h)
-                .ok_or(StoreError::MissingChunk { image: id, chunk_index: i })?;
-            let mut served = None;
-            let mut primary_actual = None;
-            for (copy_idx, copy) in entry.copies.iter().enumerate() {
-                let actual = chunk_hash(copy);
-                if copy_idx == 0 {
-                    primary_actual = Some(actual);
-                }
-                if actual == *h {
-                    served = Some((copy_idx, copy));
-                    break;
-                }
-            }
-            match served {
-                Some((copy_idx, copy)) => {
-                    if copy_idx > 0 {
-                        self.repaired.set(self.repaired.get() + 1);
-                        if let Some(t) = &self.tele {
-                            t.t.inc(t.repairs);
-                        }
-                    }
-                    out.extend_from_slice(copy);
-                }
-                None => {
-                    return Err(StoreError::CorruptChunk {
-                        image: id,
-                        chunk_index: i,
-                        expected: *h,
-                        actual: primary_actual.expect("at least one copy"),
-                    });
-                }
-            }
-        }
-        debug_assert_eq!(out.len() as u64, m.logical_len, "manifest length drifted");
-        Ok(out)
+        self.client.load_image(id)
     }
 
     /// Drops an image, decrementing refcounts and releasing chunks whose
     /// last reference this was. Returns the physical bytes freed.
     pub fn remove_image(&mut self, id: ImageId) -> Result<u64, StoreError> {
-        let m = self.images.remove(&id.0).ok_or(StoreError::UnknownImage(id))?;
-        let mut freed = 0u64;
-        for h in &m.chunks {
-            let entry = self.chunks.get_mut(h).expect("manifest chunk missing on remove");
-            entry.refs -= 1;
-            if entry.refs == 0 {
-                freed += entry.primary_len();
-                self.chunks.remove(h);
-            }
-        }
-        Ok(freed)
+        self.client.remove_image(id)
     }
 
     pub fn contains(&self, id: ImageId) -> bool {
-        self.images.contains_key(&id.0)
+        self.client.contains(id)
     }
 
     /// Byte length of a stored image.
     pub fn image_len(&self, id: ImageId) -> Result<u64, StoreError> {
-        self.images
-            .get(&id.0)
-            .map(|m| m.logical_len)
-            .ok_or(StoreError::UnknownImage(id))
+        self.client.image_len(id)
     }
 
     /// Live images in the store.
     pub fn image_count(&self) -> usize {
-        self.images.len()
+        self.client.image_count()
     }
 
     /// Distinct chunks currently held.
     pub fn chunk_count(&self) -> usize {
-        self.chunks.len()
+        self.client.chunk_count()
     }
 
     /// Bytes actually held in primary chunks (each distinct chunk once;
     /// redundancy replicas are accounted by [`ChunkStore::replica_bytes`]).
     pub fn physical_bytes(&self) -> u64 {
-        self.chunks.values().map(|c| c.primary_len()).sum()
+        self.client.physical_bytes()
     }
 
     /// Store-wide dedup accounting.
     pub fn stats(&self) -> ImageStats {
-        let logical: u64 = self.images.values().map(|m| m.logical_len).sum();
-        let physical = self.physical_bytes();
-        ImageStats {
-            logical_bytes: logical,
-            physical_bytes: physical,
-            dedup_ratio: if physical == 0 { 1.0 } else { logical as f64 / physical as f64 },
-            chunks_shared: self.chunks.values().filter(|c| c.refs > 1).count() as u64,
-        }
+        self.client.stats()
     }
 
     /// Test hook: flips one byte inside *every* copy of a stored chunk of
@@ -620,19 +201,7 @@ impl ChunkStore {
     /// exist.
     #[doc(hidden)]
     pub fn corrupt_chunk_for_test(&mut self, image: ImageId, chunk_index: usize, byte: usize) -> bool {
-        let Some(m) = self.images.get(&image.0) else { return false };
-        let Some(h) = m.chunks.get(chunk_index).copied() else { return false };
-        let Some(entry) = self.chunks.get_mut(&h) else { return false };
-        if entry.copies[0].is_empty() {
-            return false;
-        }
-        for copy in &mut entry.copies {
-            let i = byte % copy.len();
-            let mut damaged = copy.to_vec();
-            damaged[i] ^= 0x01;
-            *copy = damaged.into();
-        }
-        true
+        self.client.corrupt_chunk(image, chunk_index, byte).is_ok()
     }
 
     /// Test hook: flips one byte in the *primary* copy only, leaving
@@ -640,29 +209,19 @@ impl ChunkStore {
     /// the image or chunk does not exist.
     #[doc(hidden)]
     pub fn corrupt_primary_for_test(&mut self, image: ImageId, chunk_index: usize, byte: usize) -> bool {
-        let Some(m) = self.images.get(&image.0) else { return false };
-        let Some(h) = m.chunks.get(chunk_index).copied() else { return false };
-        let Some(entry) = self.chunks.get_mut(&h) else { return false };
-        if entry.copies[0].is_empty() {
-            return false;
-        }
-        let i = byte % entry.copies[0].len();
-        let mut damaged = entry.copies[0].to_vec();
-        damaged[i] ^= 0x01;
-        entry.copies[0] = damaged.into();
-        true
+        self.client.corrupt_primary(image, chunk_index, byte).is_ok()
     }
 }
 
-impl Default for ChunkStore {
-    fn default() -> Self {
-        Self::new()
-    }
-}
 
+// The legacy monolith's test suite, kept verbatim against the facade:
+// these pin the single-shard observable semantics the service split must
+// preserve bit-for-bit.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use sim::Telemetry;
 
     fn image_with(chunk_size: usize, pattern: impl Fn(usize) -> u8, len: usize) -> Vec<u8> {
         let _ = chunk_size;
@@ -981,7 +540,7 @@ mod tests {
 
     #[test]
     fn stats_on_empty_store() {
-        let s = ChunkStore::new();
+        let s = ChunkStore::default();
         let st = s.stats();
         assert_eq!(st.logical_bytes, 0);
         assert_eq!(st.physical_bytes, 0);

@@ -13,8 +13,9 @@
 //! Records are encoded with the same hand-rolled [`Enc`]/[`Dec`] codec
 //! the checkpoint image store uses, one tagged frame per record, so a
 //! log survives byte-identically across same-seed runs. The backing
-//! store is pluggable behind [`WalStore`] (mirroring `ckptstore`'s
-//! pluggable chunk backends); the in-sim default is [`MemWalStore`].
+//! store is pluggable behind [`WalStore`] (the same split `ckptstore`
+//! makes with its `ChunkBackend` trait — in-mem plus an append-only
+//! segment log); the in-sim default is [`MemWalStore`].
 
 use std::cell::RefCell;
 use std::rc::Rc;

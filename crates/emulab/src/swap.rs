@@ -321,7 +321,7 @@ impl Testbed {
             if put.chunks_total > 0 && buggify!(bg, bg_points::SWAP_PUT_CORRUPT) {
                 let chunk =
                     bg.magnitude(bg_points::SWAP_PUT_CORRUPT, 0, put.chunks_total) as usize;
-                self.fs_store_mut().corrupt_chunk_for_test(put.image, chunk, 1);
+                let _ = self.fileserver_store().corrupt_chunk(put.image, chunk, 1);
             }
             state_logical += put.logical_bytes;
             state_physical += put.new_physical_bytes;
@@ -432,7 +432,7 @@ impl Testbed {
         let fetch_start = self.now();
         if let Err(err) = self.swap_in_with(swapped.spec.clone(), Some(&swapped)) {
             for n in &swapped.nodes {
-                let _ = self.fs_store_mut().remove_image(n.image_id);
+                let _ = self.fileserver_store().remove_image(n.image_id);
             }
             self.swap_in_with(swapped.spec.clone(), None)
                 .expect("golden-image rebuild");
@@ -543,7 +543,7 @@ impl Testbed {
         // The state images were consumed by the rebuild; release their
         // chunks on the file server deterministically.
         for n in &swapped.nodes {
-            let _ = self.fs_store_mut().remove_image(n.image_id);
+            let _ = self.fileserver_store().remove_image(n.image_id);
         }
 
         self.engine
@@ -577,7 +577,7 @@ mod tests {
 
         let image_id = tb.swapped_state("x").expect("swapped").nodes[0].image_id;
         assert!(
-            tb.fs_store_mut().corrupt_chunk_for_test(image_id, 0, 7),
+            tb.fileserver_store().corrupt_chunk(image_id, 0, 7).is_ok(),
             "corruption injected"
         );
 

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use checkpoint::{CheckpointAgent, Coordinator, DelayNodeHost, GroupId, OutPort, Strategy, Wal};
-use ckptstore::{CaptureCache, ChunkStore, Dec, PutReport};
+use ckptstore::{CaptureCache, ChunkStore, Dec, PutReport, StoreClient};
 use cowstore::{BranchingStore, CowMode, GoldenImage, GoldenImageBuilder, StoreLayout};
 use dummynet::PipeConfig;
 use guestos::{GuestProg, Kernel, KernelConfig, Tid};
@@ -38,6 +38,10 @@ pub const OPS_ADDR: NodeAddr = NodeAddr(10_000);
 
 /// File-server control address.
 pub const FS_ADDR: NodeAddr = NodeAddr(10_001);
+
+/// Shards the file server's store service runs: enough to show put
+/// batches pipelining without inflating the telemetry export.
+pub const FS_STORE_SHARDS: usize = 2;
 
 /// Fixed swap-in overhead with a cached image: node configuration plus VM
 /// boot — §7.2's "initial swap-in took eight seconds".
@@ -157,10 +161,11 @@ pub struct Testbed {
     groups: HashMap<String, GroupId>,
     /// File-server uplink reservation: bulk transfers serialize here.
     fs_uplink_free: SimTime,
-    /// The file server's content-addressed image store: swapped-out node
-    /// state is chunked and deduplicated here, and swap transfer sizes are
-    /// driven by the *new physical* bytes each image actually adds.
-    fs_store: ChunkStore,
+    /// The file server's content-addressed image store — a client handle
+    /// to the sharded store service. Swapped-out node state is chunked
+    /// and deduplicated here, and swap transfer sizes are driven by the
+    /// *new physical* bytes each image actually adds.
+    fs_store: StoreClient,
     /// Per-node capture hash caches for swap-out serialization, keyed by
     /// `experiment:node`: chunks unchanged since the node's previous
     /// swap-out are re-admitted by cached hash instead of re-hashed.
@@ -218,8 +223,14 @@ impl Testbed {
             ),
         );
         let tele = TestbedTele::register(engine.telemetry());
-        let mut fs_store = ChunkStore::new();
-        fs_store.attach_telemetry(engine.telemetry());
+        // The file server runs the store as a two-shard service so put
+        // batches pipeline across shards; replication stays at 1 (the
+        // testbed's swap images are already content-addressed dedup
+        // copies of live state).
+        let fs_store = ChunkStore::builder()
+            .shards(FS_STORE_SHARDS)
+            .telemetry(engine.telemetry(), FS_ADDR.0)
+            .build();
         Testbed {
             engine,
             profile,
@@ -288,23 +299,30 @@ impl Testbed {
         self.strategy
     }
 
-    /// The file server's content-addressed image store (dedup accounting:
-    /// `stats()` reports logical vs physical bytes of preserved state).
-    pub fn fileserver_store(&self) -> &ChunkStore {
+    /// The file server's store client (dedup accounting: `stats()`
+    /// reports logical vs physical bytes of preserved state). The handle
+    /// is cheap to clone; all access goes through it.
+    pub fn fileserver_store(&self) -> &StoreClient {
         &self.fs_store
     }
 
-    /// Mutable store access for swap-out serialization.
-    pub(crate) fn fs_store_mut(&mut self) -> &mut ChunkStore {
-        &mut self.fs_store
+    /// Spawns the store's per-shard repair workers on the engine, each
+    /// pumping its shard's gossip-repair backlog every `period`. Opt-in:
+    /// the workers re-post themselves forever, so only scenarios driven
+    /// by `run_until`/`run_for` should start them.
+    pub fn start_store_repair_workers(&mut self, period: SimDuration) {
+        let store = self.fs_store.clone();
+        store.spawn_repair_workers(&mut self.engine, period);
     }
 
     /// Stores a node's swap-out image through that node's capture hash
     /// cache: chunks unchanged since its previous swap-out skip the
-    /// re-hash. Observably identical to a plain `put_image`.
+    /// re-hash. Observably identical to a plain `put_image` (the timed
+    /// put additionally records shard batch events and commit latency).
     pub(crate) fn fs_put_cached(&mut self, cache_key: &str, bytes: &[u8]) -> PutReport {
         let cache = self.swap_caches.entry(cache_key.to_string()).or_default();
-        self.fs_store.put_image_cached(bytes, cache)
+        let now = self.engine.now();
+        self.fs_store.put_image_at(bytes, Some(cache), now).report
     }
 
     /// A registered golden image by name (restore-time decode anchor).

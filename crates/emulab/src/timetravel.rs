@@ -10,8 +10,9 @@
 //!
 //! Snapshots are taken with the transparent coordinated checkpoint
 //! (resume held). Each node's frozen domain and branching-store state is
-//! serialized into a self-describing byte image and stored in the tree's
-//! [`ChunkStore`]: chunks shared with the parent snapshot are stored once,
+//! serialized into a self-describing byte image and stored through the
+//! tree's [`StoreClient`]: chunks shared with the parent snapshot are
+//! stored once,
 //! so a deep snapshot chain costs physical space proportional to what
 //! actually changed — the paper's three-level branching storage, expressed
 //! as content-addressed dedup. Restoring travels the other way: the image
@@ -25,7 +26,7 @@
 use std::fmt;
 
 use checkpoint::DelayNodeHost;
-use ckptstore::{CaptureCache, ChunkStore, Dec, DecodeError, Enc, ImageId, ImageStats, StoreError};
+use ckptstore::{CaptureCache, Dec, DecodeError, Enc, ImageId, ImageStats, StoreClient, StoreError};
 use cowstore::BranchingStore;
 use dummynet::DummynetImage;
 use guestos::GuestResidue;
@@ -119,7 +120,7 @@ pub struct Snapshot {
 pub struct TimeTravelTree {
     snaps: Vec<Option<Snapshot>>,
     current: Option<SnapshotId>,
-    store: ChunkStore,
+    store: StoreClient,
     /// Per-node capture hash caches (experiment node order): chunks
     /// unchanged since the node's previous snapshot are re-admitted by
     /// cached hash instead of being re-hashed.
@@ -196,14 +197,10 @@ impl TimeTravelTree {
         self.store.stats()
     }
 
-    /// The backing chunk store.
-    pub fn store(&self) -> &ChunkStore {
+    /// The backing chunk store's client handle (cheap to clone; the
+    /// corruption hooks and replication knobs live on it too).
+    pub fn store(&self) -> &StoreClient {
         &self.store
-    }
-
-    /// Mutable store access (corruption-injection tests, instrumentation).
-    pub fn store_mut(&mut self) -> &mut ChunkStore {
-        &mut self.store
     }
 
     /// Stores a new snapshot's payloads and makes it current.
@@ -751,10 +748,7 @@ mod tests {
 
         let img = tb.experiment("c").tt.get(snap).node_images[0];
         assert!(
-            tb.experiments_mut("c")
-                .tt
-                .store_mut()
-                .corrupt_chunk_for_test(img, 0, 7),
+            tb.experiment("c").tt.store().corrupt_chunk(img, 0, 7).is_ok(),
             "corruption injected"
         );
         let err = tb.try_travel_to("c", snap).unwrap_err();
@@ -809,17 +803,17 @@ mod tests {
         // parent is undone and the next index tried.
         let img1 = tb.experiment("c").tt.get(s1).node_images[0];
         let img2 = tb.experiment("c").tt.get(s2).node_images[0];
-        let store = tb.experiments_mut("c").tt.store_mut();
+        let store = tb.experiment("c").tt.store().clone();
         let mut idx = 0;
         loop {
             assert!(
-                store.corrupt_chunk_for_test(img2, idx, 3),
+                store.corrupt_chunk(img2, idx, 3).is_ok(),
                 "ran out of chunks without finding one private to the child"
             );
             if store.load_image(img1).is_ok() {
                 break;
             }
-            store.corrupt_chunk_for_test(img2, idx, 3); // undo the shared flip
+            let _ = store.corrupt_chunk(img2, idx, 3); // undo the shared flip
             idx += 1;
         }
         assert!(store.load_image(img2).is_err(), "child really is damaged");
@@ -853,13 +847,13 @@ mod tests {
         tb.run_for(SimDuration::from_secs(5));
         tb.spawn("c", "n", Box::new(UsleepLoop::new(10_000_000, 1_000_000)));
         tb.run_for(SimDuration::from_secs(2));
-        tb.experiments_mut("c").tt.store_mut().set_redundancy(2);
+        tb.experiment("c").tt.store().set_replication(2);
         let snap = tb.snapshot("c", "s");
         tb.run_for(SimDuration::from_secs(1));
 
         let img = tb.experiment("c").tt.get(snap).node_images[0];
-        let store = tb.experiments_mut("c").tt.store_mut();
-        assert!(store.corrupt_primary_for_test(img, 0, 7));
+        let store = tb.experiment("c").tt.store();
+        assert!(store.corrupt_primary(img, 0, 7).is_ok());
         tb.try_travel_to("c", snap).expect("replica repairs the load");
         let store = tb.experiment("c").tt.store();
         assert!(store.repaired_chunks() >= 1, "repair actually happened");

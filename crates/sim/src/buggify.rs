@@ -100,6 +100,9 @@ pub mod points {
     pub const STORE_GET_SLOW: &str = "store.get_slow";
     /// ChunkStore scrub skips a chunk this pass.
     pub const STORE_SCRUB_SKIP: &str = "store.scrub_skip";
+    /// A store shard drops a replica write (the put still commits at
+    /// quorum; the copy lands on the background repair queue).
+    pub const STORE_SHARD_FAIL: &str = "store.shard_fail";
     /// Delay node is slow to suspend for a checkpoint.
     pub const DN_SUSPEND_STALL: &str = "dn.suspend_stall";
     /// Delay node is slow to drain its replay log at resume.
@@ -125,6 +128,7 @@ pub mod points {
         (STORE_PUT_CORRUPT, 0.01),
         (STORE_GET_SLOW, 0.05),
         (STORE_SCRUB_SKIP, 0.05),
+        (STORE_SHARD_FAIL, 0.02),
         (DN_SUSPEND_STALL, 0.05),
         (DN_DRAIN_STALL, 0.05),
         (SWAP_PUT_CORRUPT, 0.01),

@@ -68,6 +68,23 @@ pub const CKPT_HASH_CACHE_HITS: &str = "ckptstore.hash_cache_hits";
 pub const CKPT_HASH_CACHE_MISSES: &str = "ckptstore.hash_cache_misses";
 
 // ---------------------------------------------------------------------
+// Sharded store service (ckptstore crate, service layer).
+// ---------------------------------------------------------------------
+
+/// Counter: put_image calls against the service.
+pub const STORESVC_PUTS: &str = "storesvc.puts";
+/// Counter: replica writes retried inline to reach the put quorum.
+pub const STORESVC_QUORUM_RETRIES: &str = "storesvc.quorum_retries";
+/// Counter: tasks placed on the gossip repair queue.
+pub const STORESVC_REPAIRS_ENQUEUED: &str = "storesvc.repairs_enqueued";
+/// Counter: repair-queue tasks that rewrote a copy.
+pub const STORESVC_REPAIRS_DONE: &str = "storesvc.repairs_done";
+/// Histogram: put submit → quorum durability on every chunk, ns.
+pub const STORESVC_COMMIT_NS: &str = "storesvc.commit_ns";
+/// Per-shard counter prefix: `storesvc.shard<i>.{chunks,bytes,repair_writes}`.
+pub const STORESVC_SHARD_PREFIX: &str = "storesvc.shard";
+
+// ---------------------------------------------------------------------
 // COW store (cowstore crate).
 // ---------------------------------------------------------------------
 
@@ -141,6 +158,9 @@ pub const TRACK_DUMMYNET: &str = "dummynet";
 pub const TRACK_COORDINATOR: &str = "coordinator";
 /// Track: testbed control-plane operations (on the ops node's pid).
 pub const TRACK_TESTBED: &str = "testbed";
+/// Track prefix: one store shard's put/repair activity
+/// (`store.shard<i>` on the store host's pid).
+pub const TRACK_STORE_SHARD: &str = "store.shard";
 
 // ---------------------------------------------------------------------
 // Trace event tags.
@@ -181,6 +201,10 @@ pub const EV_EPOCH_ABANDONED: &str = "epoch.abandoned";
 /// Instant: a golden image fetched to a machine's cache
 /// (`arg` = compressed wire bytes).
 pub const EV_GOLDEN_FETCH: &str = "golden.fetch";
+/// Instant: one shard made a put batch durable (`arg` = batch bytes).
+pub const EV_STORE_PUT_BATCH: &str = "store.put_batch";
+/// Instant: one shard resolved a repair task (`arg` = copy index).
+pub const EV_STORE_REPAIR: &str = "store.repair";
 
 // ---------------------------------------------------------------------
 // Shadow-protocol trace tags (coordinator track).
