@@ -33,7 +33,7 @@ use sim::Preset;
 use tcd_bench::explore::{
     events_csv, iteration_seed, repro_line, run_seed, IterationOutcome, Scenario,
 };
-use tcd_bench::{banner, write_csv};
+use tcd_bench::{banner, flightrec, write_csv};
 
 struct Args {
     iters: u64,
@@ -86,7 +86,8 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Dumps a failing iteration's trace and prints the repro line.
+/// Dumps a failing iteration's trace and flight-recorder black box and
+/// prints the repro line.
 fn report_failure(out: &IterationOutcome, sabotage: bool) {
     let s = &out.scenario;
     println!();
@@ -106,7 +107,9 @@ fn report_failure(out: &IterationOutcome, sabotage: bool) {
         &format!("explore-violation-{:#x}.csv", s.seed),
         &events_csv(&out.events),
     );
+    let box_path = flightrec::write_dump(out, "shadow violation", sabotage);
     println!("    trace: {} ({} events)", path.display(), out.events.len());
+    println!("    black box: {}", box_path.display());
     println!("    repro: {}", repro_line(s, sabotage));
 }
 
@@ -144,6 +147,8 @@ fn replay(seed: u64, preset: Option<Preset>, sabotage: bool) -> ExitCode {
             println!("  violation: {v}");
         }
         if sabotage {
+            let box_path = flightrec::write_dump(&out, "deliberate sabotage", sabotage);
+            println!("  black box: {}", box_path.display());
             println!("  OK: deliberate violation fired as expected");
             ExitCode::SUCCESS
         } else {
@@ -172,6 +177,15 @@ fn selftest_replay(preset: Option<Preset>) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    // The flight recorder must be as reproducible as the run it
+    // records: both runs' black boxes, byte for byte.
+    let dump_a = flightrec::render(&a, "self-test sabotage", true);
+    let dump_b = flightrec::render(&b, "self-test sabotage", true);
+    if dump_a != dump_b {
+        println!("FAIL: flight-recorder dumps diverged across replays");
+        return ExitCode::FAILURE;
+    }
+    let box_path = flightrec::write_dump(&a, "self-test sabotage", true);
     println!(
         "OK: injected violation ({} finding{}) replayed byte-identically \
          (fingerprint {:#018x}, {} events)",
@@ -180,6 +194,7 @@ fn selftest_replay(preset: Option<Preset>) -> ExitCode {
         a.fingerprint(),
         a.events.len()
     );
+    println!("OK: flight-recorder black box reproduced byte-identically: {}", box_path.display());
     ExitCode::SUCCESS
 }
 

@@ -108,9 +108,8 @@ fn main() {
     let mut counts: BTreeMap<(String, char), u64> = BTreeMap::new();
     for ev in &a.events {
         let ph = match ev.phase {
-            TracePhase::Begin => 'B',
-            TracePhase::End => 'E',
             TracePhase::Instant => 'i',
+            other => other.code(),
         };
         *counts.entry((ev.name.clone(), ph)).or_insert(0) += 1;
     }

@@ -16,14 +16,14 @@
 //! `explore` binary drives multi-thousand-iteration sweeps.
 
 use checkpoint::{
-    Coordinator, FailurePolicy, ShadowEpochState, ShadowViolation, TriggerMode, Wal,
+    Coordinator, FailurePolicy, ShadowEpochState, ShadowViolation, TriggerMode, Wal, WalRecord,
 };
 use checkpoint::{shadow, BusMsg, BUS_MSG_BYTES};
 use hwsim::{ControlLan, Endpoint, Frame, IfaceId, LanTransmit, LinkDeliver, NodeAddr};
 use sim::telemetry::names;
 use sim::{
     Buggify, Component, ComponentId, Ctx, Engine, FaultPlan, Payload, Preset, SimDuration, SimRng,
-    SimTime, TraceEvent, TracePhase,
+    SimTime, TraceCtx, TraceEvent,
 };
 
 /// SplitMix64 step: turns `root_seed + index` into a well-mixed
@@ -114,6 +114,7 @@ impl Scenario {
             allow_degraded: rng.chance(0.8),
             resume_repeats: rng.range_u64(0, 3) as u32,
             evict_excluded: rng.chance(0.5),
+            ..FailurePolicy::default()
         };
         let interval_ms = rng.range_u64(80, 401);
         let run_ms = interval_ms * rng.range_u64(4, 13);
@@ -175,6 +176,7 @@ struct ModelNode {
 
 struct CaptureDone {
     epoch: u64,
+    trace: TraceCtx,
 }
 
 impl Component for ModelNode {
@@ -182,21 +184,26 @@ impl Component for ModelNode {
         let payload = match payload.downcast::<LinkDeliver>() {
             Ok(del) => {
                 if let Some(
-                    &BusMsg::CheckpointAt { epoch, .. } | &BusMsg::CheckpointNow { epoch, .. },
+                    msg @ &(BusMsg::CheckpointAt { .. } | BusMsg::CheckpointNow { .. }),
                 ) = del.frame.payload::<BusMsg>()
                 {
+                    let (epoch, trace) = match *msg {
+                        BusMsg::CheckpointAt { epoch, trace, .. }
+                        | BusMsg::CheckpointNow { epoch, trace, .. } => (epoch, trace),
+                        _ => unreachable!(),
+                    };
                     if self.ack {
                         let frame = Frame::new(
                             self.addr,
                             self.coord_addr,
                             BUS_MSG_BYTES,
-                            BusMsg::NotifyAck { epoch },
+                            BusMsg::NotifyAck { epoch, trace },
                         );
                         ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
                     }
                     ctx.post_self(
                         SimDuration::from_millis(self.capture_ms),
-                        CaptureDone { epoch },
+                        CaptureDone { epoch, trace },
                     );
                 }
                 return;
@@ -208,7 +215,7 @@ impl Component for ModelNode {
                 self.addr,
                 self.coord_addr,
                 BUS_MSG_BYTES,
-                BusMsg::NodeDone { epoch: done.epoch, image_bytes: 1 << 20 },
+                BusMsg::NodeDone { epoch: done.epoch, image_bytes: 1 << 20, trace: done.trace },
             );
             ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
         }
@@ -235,6 +242,12 @@ pub struct IterationOutcome {
     pub events: Vec<TraceEvent>,
     /// Shadow-invariant violations; empty on a clean iteration.
     pub violations: Vec<ShadowViolation>,
+    /// The coordinator's full epoch WAL (the flight recorder dumps its
+    /// tail; recovery classification replays it).
+    pub wal_records: Vec<WalRecord>,
+    /// Telemetry metrics snapshot (counters/gauges/histograms CSV) at
+    /// the end of the run.
+    pub metrics_csv: String,
 }
 
 impl IterationOutcome {
@@ -258,14 +271,13 @@ pub fn events_csv(events: &[TraceEvent]) -> String {
     let mut out = String::with_capacity(events.len() * 48 + 64);
     out.push_str("at_ns,host,subsystem,name,phase,arg,group,epoch,node\n");
     for ev in events {
-        let phase = match ev.phase {
-            TracePhase::Begin => 'B',
-            TracePhase::End => 'E',
-            TracePhase::Instant => 'I',
-        };
+        let phase = ev.phase.code();
         let unpacked = if ev.name.starts_with("shadow.") {
             let (g, e, n) = shadow::unpack(ev.arg);
             format!("{g},{e},{n}")
+        } else if ev.name.starts_with("flow.") {
+            let ctx = TraceCtx::from_arg(ev.arg);
+            format!("{},{},", ctx.trace_id, ctx.span_id)
         } else {
             ",,".to_string()
         };
@@ -307,11 +319,14 @@ pub fn run_iteration(scenario: &Scenario, sabotage: bool) -> IterationOutcome {
         Some(lead) => TriggerMode::Scheduled { lead: SimDuration::from_millis(lead) },
         None => TriggerMode::EventDriven,
     };
+    // Keep a clone of the WAL handle: the flight recorder dumps its
+    // tail when the iteration fails.
+    let wal = Wal::in_memory();
     let coord = e.add_component(Box::new(
         Coordinator::builder(coord_addr, lan)
             .mode(mode)
             .policy(s.policy)
-            .wal(Wal::in_memory())
+            .wal(wal.clone())
             .build(),
     ));
     for (i, &ms) in s.capture_ms.iter().enumerate() {
@@ -430,6 +445,8 @@ pub fn run_iteration(scenario: &Scenario, sabotage: bool) -> IterationOutcome {
         epochs_checked: shadow_state.epochs_checked,
         events,
         violations,
+        wal_records: wal.replay(),
+        metrics_csv: e.telemetry().to_csv(),
     }
 }
 

@@ -1,0 +1,118 @@
+//! The violation flight recorder: a replayable black box for failed
+//! exploration runs.
+//!
+//! When an iteration fails — a shadow-checker violation, an explorer
+//! assertion, a sabotage self-test — the live process state that
+//! explains the failure is about to be dropped on the floor. This
+//! module snapshots it first: the trace-ring tail (the causal record of
+//! what the protocol actually did), the coordinator's epoch-WAL tail
+//! (what a crash-recovery would have seen), the shadow checker's
+//! verdicts, the telemetry metrics snapshot, and the full derived
+//! scenario with its repro command line.
+//!
+//! Everything in the dump is a pure function of the iteration's seed,
+//! so re-running the printed repro line regenerates the identical black
+//! box: the dump is not just a post-mortem, it is a *checkable claim*
+//! that the failure reproduces (the explorer's self-test and the corpus
+//! regression test diff live and replayed dumps byte-for-byte).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use crate::explore::{events_csv, repro_line, IterationOutcome};
+
+/// Trace events kept in the dump (the tail is where the violation is;
+/// the full ring can run to tens of thousands of lines).
+pub const TRACE_TAIL: usize = 200;
+/// WAL frames kept in the dump.
+pub const WAL_TAIL: usize = 64;
+
+fn section(out: &mut String, title: &str) {
+    let _ = writeln!(out, "=== {title} {}", "=".repeat(60usize.saturating_sub(title.len())));
+}
+
+/// Renders the black box as deterministic text: same outcome in, same
+/// bytes out. `reason` names what tripped the recorder (e.g.
+/// "shadow violation", "self-test sabotage").
+pub fn render(outcome: &IterationOutcome, reason: &str, sabotage: bool) -> String {
+    let s = &outcome.scenario;
+    let mut out = String::with_capacity(16 * 1024);
+    section(&mut out, "FLIGHT RECORDER");
+    let _ = writeln!(out, "reason: {reason}");
+    let _ = writeln!(out, "seed: {:#x}", s.seed);
+    let _ = writeln!(out, "repro: {}", repro_line(s, sabotage));
+    let _ = writeln!(out, "scenario: {s:?}");
+    let _ = writeln!(
+        out,
+        "outcomes: committed={} aborted={} degraded={} retries={} \
+         coord_crashes={} coord_recoveries={} buggify_fires={}",
+        outcome.outcomes.0,
+        outcome.outcomes.1,
+        outcome.outcomes.2,
+        outcome.retries,
+        outcome.coord_crashes,
+        outcome.coord_recoveries,
+        outcome.buggify_fires
+    );
+
+    section(&mut out, "SHADOW");
+    let _ = writeln!(out, "epochs_checked: {}", outcome.epochs_checked);
+    let _ = writeln!(out, "violations: {}", outcome.violations.len());
+    for v in &outcome.violations {
+        let _ = writeln!(out, "  {v:?}");
+    }
+
+    let wal = &outcome.wal_records;
+    let skip = wal.len().saturating_sub(WAL_TAIL);
+    section(&mut out, "WAL TAIL");
+    let _ = writeln!(out, "frames: {} (showing last {})", wal.len(), wal.len() - skip);
+    for (i, rec) in wal.iter().enumerate().skip(skip) {
+        let _ = writeln!(out, "  [{i}] {rec:?}");
+    }
+
+    let skip = outcome.events.len().saturating_sub(TRACE_TAIL);
+    section(&mut out, "TRACE TAIL");
+    let _ = writeln!(
+        out,
+        "events: {} (showing last {})",
+        outcome.events.len(),
+        outcome.events.len() - skip
+    );
+    out.push_str(&events_csv(&outcome.events[skip..]));
+
+    section(&mut out, "TELEMETRY");
+    out.push_str(&outcome.metrics_csv);
+    out
+}
+
+/// The WAL-tail section alone (the corpus regression test compares this
+/// slice of a live run against its replay byte-for-byte).
+pub fn wal_tail(outcome: &IterationOutcome) -> String {
+    let wal = &outcome.wal_records;
+    let skip = wal.len().saturating_sub(WAL_TAIL);
+    let mut out = String::new();
+    for (i, rec) in wal.iter().enumerate().skip(skip) {
+        let _ = writeln!(out, "[{i}] {rec:?}");
+    }
+    out
+}
+
+/// The shadow-summary section alone (see [`wal_tail`]).
+pub fn shadow_summary(outcome: &IterationOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "epochs_checked: {}", outcome.epochs_checked);
+    for v in &outcome.violations {
+        let _ = writeln!(out, "{v:?}");
+    }
+    out
+}
+
+/// Writes the rendered black box to `results/flightrec-<seed>.txt`
+/// (creating `results/` if needed) and returns the path. Dumps are
+/// failure artifacts: they are not committed, and a rerun of the same
+/// seed overwrites its previous dump with identical bytes.
+pub fn write_dump(outcome: &IterationOutcome, reason: &str, sabotage: bool) -> PathBuf {
+    let path = crate::out_dir().join(format!("flightrec-{:016x}.txt", outcome.scenario.seed));
+    std::fs::write(&path, render(outcome, reason, sabotage)).expect("write flight-recorder dump");
+    path
+}

@@ -7,6 +7,7 @@
 //! models (see DESIGN.md §6); the summaries focus on the *shape* claims.
 
 pub mod explore;
+pub mod flightrec;
 pub mod json;
 pub mod lab;
 

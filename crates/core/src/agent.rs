@@ -13,7 +13,8 @@
 //! arms the local timer.
 
 use hwsim::Frame;
-use sim::{Ctx, SimDuration};
+use sim::telemetry::names;
+use sim::{Ctx, SimDuration, TraceCtx};
 use vmm::{HostAgent, VmHost};
 
 use crate::bus::{BusMsg, BUS_MSG_BYTES};
@@ -36,6 +37,10 @@ pub struct CheckpointAgent {
     /// resolves the epoch (resume or abort) — at-least-once completion
     /// reporting for lossy control planes.
     done_resend: Option<SimDuration>,
+    /// Causal context of the current epoch's round, taken from the
+    /// notification and echoed on every reply; flow steps recorded
+    /// node-side (ack, capture) link into the coordinator's flow.
+    trace: TraceCtx,
     /// Epoch whose local checkpoint was aborted; stale wakes and done
     /// reports for it are suppressed.
     aborted_epoch: Option<u64>,
@@ -56,6 +61,7 @@ impl CheckpointAgent {
             processing_jitter_mean: SimDuration::ZERO,
             done_stall: None,
             done_resend: None,
+            trace: TraceCtx::NONE,
             aborted_epoch: None,
             counted_epoch: None,
             completed: 0,
@@ -85,12 +91,16 @@ impl CheckpointAgent {
         self
     }
 
-    fn send_ack(&self, host: &mut VmHost, ctx: &mut Ctx<'_>, epoch: u64) {
+    fn send_ack(&self, host: &mut VmHost, ctx: &mut Ctx<'_>, epoch: u64, trace: TraceCtx) {
+        let t = ctx.telemetry();
+        let track = t.track(host.node().0, names::TRACK_VMHOST);
+        let tag = t.trace_tag(names::FLOW_ACK);
+        t.flow_step(track, tag, ctx.now(), trace);
         host.send_ctrl(
             ctx,
             self.coordinator,
             BUS_MSG_BYTES,
-            BusMsg::NotifyAck { epoch },
+            BusMsg::NotifyAck { epoch, trace },
         );
     }
 
@@ -104,7 +114,11 @@ impl CheckpointAgent {
             ctx,
             self.coordinator,
             BUS_MSG_BYTES,
-            BusMsg::NodeDone { epoch, image_bytes },
+            BusMsg::NodeDone {
+                epoch,
+                image_bytes,
+                trace: self.trace,
+            },
         );
         if let Some(interval) = self.done_resend {
             host.agent_wake_after(ctx, interval, epoch | DONE_TOKEN_BIT);
@@ -118,7 +132,7 @@ impl HostAgent for CheckpointAgent {
             return;
         };
         match msg {
-            BusMsg::CheckpointAt { epoch, at_clock_ns, full } => {
+            BusMsg::CheckpointAt { epoch, at_clock_ns, full, trace } => {
                 if epoch < self.epoch {
                     return; // Stale retry of a finished epoch.
                 }
@@ -129,7 +143,7 @@ impl HostAgent for CheckpointAgent {
                     // latch is idempotent.
                     host.request_full_checkpoint();
                 }
-                self.send_ack(host, ctx, epoch);
+                self.send_ack(host, ctx, epoch, trace);
                 if epoch == self.epoch {
                     return; // Duplicate: the timer is already armed.
                 }
@@ -140,16 +154,18 @@ impl HostAgent for CheckpointAgent {
                     host.resume_guest(ctx);
                 }
                 self.epoch = epoch;
+                self.trace = trace;
+                host.set_flow_ctx(trace);
                 host.agent_wake_at_clock_ns(ctx, at_clock_ns, epoch);
             }
-            BusMsg::CheckpointNow { epoch, full } => {
+            BusMsg::CheckpointNow { epoch, full, trace } => {
                 if epoch < self.epoch {
                     return;
                 }
                 if full {
                     host.request_full_checkpoint(); // See CheckpointAt.
                 }
-                self.send_ack(host, ctx, epoch);
+                self.send_ack(host, ctx, epoch, trace);
                 if epoch == self.epoch {
                     return;
                 }
@@ -157,6 +173,8 @@ impl HostAgent for CheckpointAgent {
                     host.resume_guest(ctx); // Lost resolution; see above.
                 }
                 self.epoch = epoch;
+                self.trace = trace;
+                host.set_flow_ctx(trace);
                 if self.processing_jitter_mean.is_zero() {
                     host.begin_checkpoint(ctx);
                 } else {
@@ -168,7 +186,7 @@ impl HostAgent for CheckpointAgent {
                     host.agent_wake_after(ctx, d, epoch);
                 }
             }
-            BusMsg::Resume { epoch } => {
+            BusMsg::Resume { epoch, .. } => {
                 // `awaiting_resume` absorbs duplicated resume frames.
                 if epoch == self.epoch
                     && self.aborted_epoch != Some(epoch)
@@ -177,7 +195,7 @@ impl HostAgent for CheckpointAgent {
                     host.resume_guest(ctx);
                 }
             }
-            BusMsg::Abort { epoch } => {
+            BusMsg::Abort { epoch, .. } => {
                 if epoch != self.epoch || self.aborted_epoch == Some(epoch) {
                     return; // Stale or duplicated abort.
                 }

@@ -23,7 +23,7 @@ use sim::buggify::points as buggify_points;
 use sim::telemetry::names;
 use sim::{
     ActiveSpan, Component, ComponentId, CounterId, Ctx, HistogramId, Payload, SimDuration,
-    SimTime, SpanId, TraceTag, TrackId,
+    SimTime, SpanId, TraceCtx, TraceTag, TrackId,
 };
 
 use crate::bus::{BusMsg, BUS_MSG_BYTES};
@@ -74,6 +74,13 @@ pub struct FailurePolicy {
     /// An epoch whose barrier is incomplete this long after publication
     /// is degraded or aborted.
     pub epoch_deadline: SimDuration,
+    /// Deadline for *held* rounds (suspend for swap-out / time travel).
+    /// Those are operator-paced stop-the-world operations whose barrier
+    /// legitimately takes as long as the slowest node's drain + capture
+    /// under load — the transparent-epoch deadline above would abort a
+    /// healthy suspension whose disk drain runs long. Kept finite as a
+    /// last-resort bound on truly wedged suspensions.
+    pub suspend_deadline: SimDuration,
     /// Allow committing an epoch with never-acked (presumed crashed)
     /// nodes excluded from the barrier. When false — or when a missing
     /// node *did* ack, proving it alive — the epoch aborts instead.
@@ -98,6 +105,7 @@ impl Default for FailurePolicy {
             ack_timeout: SimDuration::from_millis(25),
             max_notify_retries: 5,
             epoch_deadline: SimDuration::from_secs(2),
+            suspend_deadline: SimDuration::from_secs(120),
             allow_degraded: true,
             resume_repeats: 0,
             evict_excluded: false,
@@ -216,6 +224,11 @@ struct CoordTele {
     ev_barrier: TraceTag,
     ev_resume_released: TraceTag,
     ev_abandoned: TraceTag,
+    /// Causal flow anchors for the round (start at notify, step at the
+    /// barrier, end at the resume publication).
+    ev_flow_notify: TraceTag,
+    ev_flow_barrier: TraceTag,
+    ev_flow_resume: TraceTag,
     /// Per-node shadow-protocol instants (consumed by `shadow`).
     ev_s_join: TraceTag,
     ev_s_ack: TraceTag,
@@ -435,6 +448,9 @@ impl Coordinator {
                 ev_barrier: t.trace_tag(names::EV_EPOCH_BARRIER),
                 ev_resume_released: t.trace_tag(names::EV_EPOCH_RESUME_RELEASED),
                 ev_abandoned: t.trace_tag(names::EV_EPOCH_ABANDONED),
+                ev_flow_notify: t.trace_tag(names::FLOW_NOTIFY),
+                ev_flow_barrier: t.trace_tag(names::FLOW_BARRIER),
+                ev_flow_resume: t.trace_tag(names::FLOW_RESUME),
                 ev_s_join: t.trace_tag(names::EV_SHADOW_JOIN),
                 ev_s_ack: t.trace_tag(names::EV_SHADOW_ACK),
                 ev_s_done: t.trace_tag(names::EV_SHADOW_DONE),
@@ -475,6 +491,17 @@ impl Coordinator {
         );
     }
 
+    /// The causal context of `group`'s in-flight round
+    /// ([`TraceCtx::NONE`] when the group is idle). Control paths that
+    /// act on behalf of a held round — e.g. swap-out image puts — fetch
+    /// the context here to link their work into the round's flow.
+    pub fn trace_ctx_in(&self, group: GroupId) -> TraceCtx {
+        self.pending
+            .get(&group)
+            .map(|r| TraceCtx::for_round(group.0, r.epoch))
+            .unwrap_or(TraceCtx::NONE)
+    }
+
     /// True once every node of `group` reported done for its round.
     pub fn barrier_complete_in(&self, group: GroupId) -> bool {
         self.pending
@@ -513,13 +540,16 @@ impl Coordinator {
         if let Some(span) = round.span {
             ctx.telemetry().span_exit(span, now);
         }
+        let trace = TraceCtx::for_round(group.0, epoch);
         ctx.telemetry()
             .trace_instant(t.track, t.ev_resume_released, now, epoch as i64);
+        ctx.telemetry()
+            .flow_end(t.track, t.ev_flow_resume, now, trace);
         ctx.telemetry()
             .trace_end(t.track, t.ev_epoch, now, epoch as i64);
         self.shadow_instant(ctx, |t| t.ev_s_resume, group, epoch, 0);
         self.wal_append(WalRecord::Resume { at_ns: now.as_nanos(), group: group.0, epoch });
-        self.publish_repeated(ctx, group, BusMsg::Resume { epoch });
+        self.publish_repeated(ctx, group, BusMsg::Resume { epoch, trace });
     }
 
     /// Publishes the held resume (default group).
@@ -700,19 +730,23 @@ impl Coordinator {
         assert!(!nodes.is_empty(), "no subscribed nodes in group");
         self.epoch += 1;
         let epoch = self.epoch;
+        let trace = TraceCtx::for_round(group.0, epoch);
         let msg = match self.mode {
             TriggerMode::Scheduled { lead } => BusMsg::CheckpointAt {
                 epoch,
                 at_clock_ns: self.clock.read_ns(ctx.now()) + lead.as_nanos() as f64,
                 full: false,
+                trace,
             },
-            TriggerMode::EventDriven => BusMsg::CheckpointNow { epoch, full: false },
+            TriggerMode::EventDriven => BusMsg::CheckpointNow { epoch, full: false, trace },
         };
         let t = self.tele(ctx);
         let span = ctx.telemetry().span_enter(t.epoch_span, ctx.now());
         let e = epoch as i64;
         ctx.telemetry().trace_begin(t.track, t.ev_epoch, ctx.now(), e);
         ctx.telemetry().trace_instant(t.track, t.ev_notify, ctx.now(), e);
+        ctx.telemetry()
+            .flow_start(t.track, t.ev_flow_notify, ctx.now(), trace);
         // Per-node join instants for the shadow checker, in address order
         // so seeded traces are byte-stable.
         let mut sorted: Vec<NodeAddr> = nodes.iter().copied().collect();
@@ -765,6 +799,7 @@ impl Coordinator {
             },
             participants: sorted.iter().map(|n| n.0).collect(),
             forced_full: forced_sorted,
+            trace: (trace.trace_id, trace.span_id),
         });
         if self.maybe_crash(ctx, buggify_points::COORD_CRASH_PRE_NOTIFY) {
             return; // Round durable, notification never left the process.
@@ -775,10 +810,12 @@ impl Coordinator {
             self.policy.ack_timeout,
             CoordMsg::AckTimeout { group, epoch, attempt: 1, gen },
         );
-        ctx.post_self(
-            self.policy.epoch_deadline,
-            CoordMsg::EpochDeadline { group, epoch, gen },
-        );
+        let deadline = if hold {
+            self.policy.suspend_deadline
+        } else {
+            self.policy.epoch_deadline
+        };
+        ctx.post_self(deadline, CoordMsg::EpochDeadline { group, epoch, gen });
     }
 
     /// Selects which group the next `start_periodic` drives (default:
@@ -929,8 +966,11 @@ impl Coordinator {
             EpochOutcome::Aborted => unreachable!("barrier completion cannot abort"),
         }
         ctx.telemetry().add(t.excluded, u64::from(excluded));
+        let trace = TraceCtx::for_round(group.0, epoch);
         ctx.telemetry()
             .trace_instant(t.track, t.ev_barrier, now, epoch as i64);
+        ctx.telemetry()
+            .flow_step(t.track, t.ev_flow_barrier, now, trace);
         self.shadow_instant(ctx, |t| t.ev_s_commit, group, epoch, excluded);
         self.wal_append(WalRecord::Commit {
             at_ns: now.as_nanos(),
@@ -987,10 +1027,12 @@ impl Coordinator {
             ctx.telemetry().span_exit(span, now);
         }
         ctx.telemetry()
+            .flow_end(t.track, t.ev_flow_resume, now, trace);
+        ctx.telemetry()
             .trace_end(t.track, t.ev_epoch, now, epoch as i64);
         self.shadow_instant(ctx, |t| t.ev_s_resume, group, epoch, 0);
         self.wal_append(WalRecord::Resume { at_ns: now.as_nanos(), group: group.0, epoch });
-        self.publish_repeated(ctx, group, BusMsg::Resume { epoch });
+        self.publish_repeated(ctx, group, BusMsg::Resume { epoch, trace });
     }
 
     fn on_ack_timeout(&mut self, ctx: &mut Ctx<'_>, group: GroupId, epoch: u64, attempt: u32) {
@@ -1090,7 +1132,11 @@ impl Coordinator {
             .trace_end(t.track, t.ev_epoch, now, epoch as i64);
         self.shadow_instant(ctx, |t| t.ev_s_abort, group, epoch, 0);
         self.wal_append(WalRecord::Abort { at_ns: now.as_nanos(), group: group.0, epoch });
-        self.publish_repeated(ctx, group, BusMsg::Abort { epoch });
+        // Aborted rounds deliberately leave their causal flow without a
+        // FlowEnd: an unterminated flow in the export *is* the signal
+        // that the round never resumed.
+        let trace = TraceCtx::for_round(group.0, epoch);
+        self.publish_repeated(ctx, group, BusMsg::Abort { epoch, trace });
     }
 
     /// Re-admits a previously evicted (crashed, now recovered) node: it
@@ -1246,6 +1292,7 @@ impl Coordinator {
                     group,
                     epoch,
                     hold,
+                    trace: _, // Re-derived via TraceCtx::for_round below.
                     notify_at_clock_ns,
                     participants,
                     forced_full,
@@ -1379,9 +1426,15 @@ impl Coordinator {
             let r = open.remove(&g).expect("listed above");
             let group = GroupId(g);
             let epoch = r.epoch;
+            // The restarted process re-derives the round's context the
+            // same way the dead incarnation minted it, so recovery
+            // publications join the original flow.
+            let trace = TraceCtx::for_round(g, epoch);
             let notify = match r.notify_at_clock_ns {
-                Some(at_clock_ns) => BusMsg::CheckpointAt { epoch, at_clock_ns, full: false },
-                None => BusMsg::CheckpointNow { epoch, full: false },
+                Some(at_clock_ns) => {
+                    BusMsg::CheckpointAt { epoch, at_clock_ns, full: false, trace }
+                }
+                None => BusMsg::CheckpointNow { epoch, full: false, trace },
             };
             let await_ack: HashSet<NodeAddr> = r
                 .participants
@@ -1489,10 +1542,10 @@ impl Component for Coordinator {
                     ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
                 } else if let Some(&msg) = del.frame.payload::<BusMsg>() {
                     match msg {
-                        BusMsg::NotifyAck { epoch } => {
+                        BusMsg::NotifyAck { epoch, .. } => {
                             self.on_notify_ack(ctx, epoch, del.frame.src);
                         }
-                        BusMsg::NodeDone { epoch, image_bytes } => {
+                        BusMsg::NodeDone { epoch, image_bytes, .. } => {
                             self.on_node_done(ctx, epoch, del.frame.src, image_bytes);
                         }
                         BusMsg::RequestCheckpoint => {
@@ -1581,6 +1634,7 @@ mod tests {
 
     struct CaptureDone {
         epoch: u64,
+        trace: TraceCtx,
     }
 
     impl Component for FakeNode {
@@ -1589,8 +1643,8 @@ mod tests {
                 Ok(del) => {
                     if let Some(&msg) = del.frame.payload::<BusMsg>() {
                         match msg {
-                            BusMsg::CheckpointAt { epoch, full, .. }
-                            | BusMsg::CheckpointNow { epoch, full } => {
+                            BusMsg::CheckpointAt { epoch, full, trace, .. }
+                            | BusMsg::CheckpointNow { epoch, full, trace } => {
                                 self.notified += 1;
                                 if full {
                                     self.full_notified += 1;
@@ -1600,13 +1654,13 @@ mod tests {
                                         self.addr,
                                         self.coord_addr,
                                         BUS_MSG_BYTES,
-                                        BusMsg::NotifyAck { epoch },
+                                        BusMsg::NotifyAck { epoch, trace },
                                     );
                                     ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
                                 }
                                 ctx.post_self(
                                     SimDuration::from_millis(self.capture_ms),
-                                    CaptureDone { epoch },
+                                    CaptureDone { epoch, trace },
                                 );
                             }
                             BusMsg::Resume { .. } => self.resumed += 1,
@@ -1626,6 +1680,7 @@ mod tests {
                     BusMsg::NodeDone {
                         epoch: done.epoch,
                         image_bytes: 1 << 20,
+                        trace: done.trace,
                     },
                 );
                 ctx.post(self.lan, SimDuration::ZERO, LanTransmit { frame });
@@ -1724,6 +1779,32 @@ mod tests {
         e.run_for(SimDuration::from_millis(10));
         let c = e.component_ref::<Coordinator>(coord).unwrap();
         assert!(c.records[0].barrier_hold().unwrap() >= SimDuration::from_millis(50));
+        for &n in &nodes {
+            assert_eq!(e.component_ref::<FakeNode>(n).unwrap().resumed, 1);
+        }
+    }
+
+    #[test]
+    fn held_round_outlives_the_epoch_deadline() {
+        // Regression (tab_swap): a suspend round under disk-intensive
+        // load — the frozen guest's in-flight I/O drain pushes the local
+        // capture far past the 2 s epoch deadline — must NOT be
+        // deadline-aborted. Held rounds run against the much longer
+        // suspend deadline; only the resume-path deadline is tight.
+        let (mut e, coord, nodes) = rig(&[3_000, 5]);
+        e.with_component::<Coordinator, _>(coord, |c, ctx| c.suspend(ctx));
+        e.run_for(SimDuration::from_secs(4));
+        let c = e.component_ref::<Coordinator>(coord).unwrap();
+        assert!(
+            c.barrier_complete(),
+            "slow capture must still reach the barrier (outcomes {:?})",
+            c.outcome_counts()
+        );
+        assert_eq!(c.outcome_counts().1, 0, "no deadline abort on a held round");
+        e.with_component::<Coordinator, _>(coord, |c, ctx| c.release_resume(ctx));
+        e.run_for(SimDuration::from_millis(10));
+        let c = e.component_ref::<Coordinator>(coord).unwrap();
+        assert_eq!(c.records[0].outcome, Some(EpochOutcome::Committed));
         for &n in &nodes {
             assert_eq!(e.component_ref::<FakeNode>(n).unwrap().resumed, 1);
         }

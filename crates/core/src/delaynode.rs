@@ -18,7 +18,11 @@ use hwsim::{
 };
 use sim::buggify;
 use sim::buggify::points as bg_points;
-use sim::{transmission_time, Component, ComponentId, Ctx, EventId, Payload, SimDuration, SimTime};
+use sim::telemetry::names;
+use sim::{
+    transmission_time, Component, ComponentId, Ctx, EventId, Payload, SimDuration, SimTime,
+    TraceCtx,
+};
 
 use crate::bus::{BusMsg, BUS_MSG_BYTES};
 
@@ -72,6 +76,10 @@ pub struct DelayNodeHost {
     /// Image displaced by an in-flight capture, kept until the epoch
     /// commits so an abort can roll the local sequence back.
     prev_image: Option<DummynetImage>,
+    /// Causal context of the current epoch's round, taken from the
+    /// notification and echoed on replies; suspend/drain flow steps
+    /// link this node into the round's cross-host flow.
+    trace: TraceCtx,
     /// Epoch aborted by the coordinator; its stale wakes are suppressed.
     aborted_epoch: Option<u64>,
     /// Re-send the done report at this interval until the epoch resolves
@@ -110,6 +118,7 @@ impl DelayNodeHost {
             capture_bps: 500_000_000,
             last_image: None,
             prev_image: None,
+            trace: TraceCtx::NONE,
             aborted_epoch: None,
             done_resend: None,
             suspend_watchdog: None,
@@ -293,11 +302,11 @@ impl DelayNodeHost {
         match msg {
             // Delay nodes always serialize their complete state (§4.4), so
             // the `full` flag is meaningless here and ignored.
-            BusMsg::CheckpointAt { epoch, at_clock_ns, full: _ } => {
+            BusMsg::CheckpointAt { epoch, at_clock_ns, full: _, trace } => {
                 if epoch < self.epoch {
                     return; // Stale retry of a finished epoch.
                 }
-                self.send_ctrl(ctx, BusMsg::NotifyAck { epoch });
+                self.send_ctrl(ctx, BusMsg::NotifyAck { epoch, trace });
                 if epoch == self.epoch {
                     return; // Duplicate: the timer is already armed.
                 }
@@ -308,15 +317,16 @@ impl DelayNodeHost {
                     self.resume(ctx);
                 }
                 self.epoch = epoch;
+                self.trace = trace;
                 // Clamp: a retried notification may target the past.
                 let at = self.clock.when_reads(ctx.now(), at_clock_ns).max(ctx.now());
                 ctx.post_at(ctx.self_id(), at, DnMsg::AgentWake { token: epoch });
             }
-            BusMsg::CheckpointNow { epoch, full: _ } => {
+            BusMsg::CheckpointNow { epoch, full: _, trace } => {
                 if epoch < self.epoch {
                     return;
                 }
-                self.send_ctrl(ctx, BusMsg::NotifyAck { epoch });
+                self.send_ctrl(ctx, BusMsg::NotifyAck { epoch, trace });
                 if epoch == self.epoch {
                     return;
                 }
@@ -324,9 +334,10 @@ impl DelayNodeHost {
                     self.resume(ctx); // Lost resolution; see above.
                 }
                 self.epoch = epoch;
+                self.trace = trace;
                 self.begin_checkpoint(ctx);
             }
-            BusMsg::Resume { epoch } => {
+            BusMsg::Resume { epoch, .. } => {
                 if epoch == self.epoch
                     && self.aborted_epoch != Some(epoch)
                     && self.dn.suspended()
@@ -334,7 +345,7 @@ impl DelayNodeHost {
                     self.resume(ctx);
                 }
             }
-            BusMsg::Abort { epoch } => {
+            BusMsg::Abort { epoch, .. } => {
                 if epoch != self.epoch || self.aborted_epoch == Some(epoch) {
                     return; // Stale or duplicated abort.
                 }
@@ -358,6 +369,12 @@ impl DelayNodeHost {
         }
         // Suspend Dummynet and serialize non-destructively.
         self.dn.suspend(ctx.now());
+        {
+            let t = ctx.telemetry();
+            let track = t.track(self.addr.0, names::TRACK_DUMMYNET);
+            let tag = t.trace_tag(names::FLOW_DN_SUSPEND);
+            t.flow_step(track, tag, ctx.now(), self.trace);
+        }
         if let Some((_, ev)) = self.wake.take() {
             ctx.cancel(ev);
         }
@@ -415,6 +432,15 @@ impl DelayNodeHost {
             );
         }
         self.replay_until = at;
+        // The drain's end: stamped at the replay window's close (the ring
+        // tolerates near-future stamps) so the flow arrow lands where the
+        // node actually rejoins live traffic.
+        {
+            let t = ctx.telemetry();
+            let track = t.track(self.addr.0, names::TRACK_DUMMYNET);
+            let tag = t.trace_tag(names::FLOW_DN_DRAIN);
+            t.flow_step(track, tag, at, self.trace);
+        }
         self.reschedule_wake(ctx);
     }
 
@@ -463,7 +489,8 @@ impl Component for DelayNodeHost {
                     return; // The epoch resolved while this event was due.
                 }
                 let image_bytes = self.last_image().map(|i| i.byte_size()).unwrap_or(0);
-                self.send_ctrl(ctx, BusMsg::NodeDone { epoch, image_bytes });
+                let trace = self.trace;
+                self.send_ctrl(ctx, BusMsg::NodeDone { epoch, image_bytes, trace });
                 if let Some(interval) = self.done_resend {
                     // At-least-once: repeat until resume/abort resolves it.
                     ctx.post_self(interval, DnMsg::CaptureDone { epoch });

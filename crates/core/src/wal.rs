@@ -57,6 +57,11 @@ pub enum WalRecord {
         participants: Vec<u32>,
         /// Participants notified with the full-capture flag, sorted.
         forced_full: Vec<u32>,
+        /// The round's causal trace context, `(trace_id, span_id)` as
+        /// minted by `TraceCtx::for_round` — lets a flight-recorder WAL
+        /// tail be joined against the trace ring's flow events without
+        /// re-deriving the packing.
+        trace: (u32, u32),
     },
     /// A participant's notification ack was accepted.
     Ack { at_ns: u64, group: u32, epoch: u64, node: u32 },
@@ -113,12 +118,15 @@ impl WalRecord {
                 notify_at_clock_ns,
                 participants,
                 forced_full,
+                trace,
             } => {
                 e.u8(TAG_ROUND_OPEN);
                 e.u64(*at_ns);
                 e.u32(*group);
                 e.u64(*epoch);
                 e.bool(*hold);
+                e.u32(trace.0);
+                e.u32(trace.1);
                 match notify_at_clock_ns {
                     Some(t) => {
                         e.bool(true);
@@ -225,6 +233,7 @@ impl WalRecord {
                 let group = d.u32()?;
                 let epoch = d.u64()?;
                 let hold = d.bool()?;
+                let trace = (d.u32()?, d.u32()?);
                 let notify_at_clock_ns = if d.bool()? { Some(d.f64()?) } else { None };
                 let n = d.seq()?;
                 let mut participants = Vec::with_capacity(n);
@@ -244,6 +253,7 @@ impl WalRecord {
                     notify_at_clock_ns,
                     participants,
                     forced_full,
+                    trace,
                 }
             }
             TAG_ACK => WalRecord::Ack {
@@ -427,6 +437,7 @@ mod tests {
                 notify_at_clock_ns: Some(1.5e9),
                 participants: vec![1, 2, 3],
                 forced_full: vec![2],
+                trace: (0, 1),
             },
             WalRecord::RoundOpen {
                 at_ns: 13,
@@ -436,6 +447,7 @@ mod tests {
                 notify_at_clock_ns: None,
                 participants: vec![9],
                 forced_full: vec![],
+                trace: (7, 2),
             },
             WalRecord::Ack { at_ns: 20, group: 0, epoch: 1, node: 2 },
             WalRecord::Done { at_ns: 30, group: 0, epoch: 1, node: 2, image_bytes: 1 << 20 },

@@ -276,6 +276,9 @@ impl Testbed {
         let mut guest_ns_at_suspend = 0;
         let mut states = Vec::new();
         let mut transfers_done = self.now();
+        // The suspend round is still pending (resume held), so its causal
+        // context links every swap-out put into the round's flow.
+        let round_flow = self.round_flow_in(self.group_of(name));
         for ((node_name, host), addr) in node_hosts.iter().zip(node_addrs.iter()) {
             let host = *host;
             let (image, filtered, eliminated, resends, block_size, old_agg, rx_log) = self
@@ -312,7 +315,7 @@ impl Testbed {
             let mut e = Enc::new();
             e.begin_image(SWAP_IMAGE_KIND);
             image.encode_wire(&mut e, &mut residue);
-            let put = self.fs_put_cached(&format!("{name}:{node_name}"), &e.into_bytes());
+            let put = self.fs_put_cached(&format!("{name}:{node_name}"), &e.into_bytes(), round_flow);
             // Buggified storage corruption on the swap-out write path:
             // every copy of one stored chunk is damaged, so the later
             // swap-in must degrade to a golden reload (`StateLost`)
@@ -381,7 +384,12 @@ impl Testbed {
             dn_logs.push(log);
         }
 
-        // Phase 5: teardown.
+        // Phase 5: teardown. The suspend round never resumes — its state
+        // just left the testbed — so abandon it first: the epoch's trace
+        // slice closes (the critical-path analyzer needs the round's
+        // extent) and the WAL records the resolution instead of leaving
+        // the round pending forever.
+        self.abandon_round_of(name);
         let exp = self.teardown(name);
         let swapped = SwappedExperiment {
             spec: exp.spec,
@@ -666,5 +674,58 @@ mod tests {
         tb.swap_out_stateful("x");
         let rep = tb.swap_in_stateful("x", false);
         assert!(rep.warning.is_none());
+    }
+
+    /// Regression (tab_swap): swap-out under a disk-intensive load. The
+    /// looping writer keeps dirtying blocks through the pre-copy, and
+    /// once the guest freezes its in-flight block I/O must drain before
+    /// the local capture — pushing the suspend round far past the 2 s
+    /// epoch deadline. The round is held, so it runs against the suspend
+    /// deadline instead: the swap must complete, not abort.
+    #[test]
+    fn disk_loaded_swap_out_survives_the_slow_suspend() {
+        use guestos::prog::FileId;
+        let mut tb = Testbed::new(10_001, 4);
+        tb.swap_in(ExperimentSpec::new("x").node("n")).expect("swap-in");
+        // Two of tab_swap's disk-loaded cycles: a session's worth of disk
+        // state, then a looping writer straight through the swap-out. The
+        // second cycle's larger accumulated delta is what pushed the
+        // suspend past the old 2 s epoch deadline.
+        for cycle in 0..2u64 {
+            tb.spawn(
+                "x",
+                "n",
+                Box::new(workloads::FileWriter::new(FileId(100 + cycle), 275 << 20)),
+            );
+            tb.run_for(SimDuration::from_secs(120));
+            tb.spawn(
+                "x",
+                "n",
+                Box::new(workloads::FileWriter::new(FileId(900 + cycle), 64 << 20).looping()),
+            );
+            tb.run_for(SimDuration::from_secs(2));
+            // Before held rounds got their own deadline this panicked
+            // inside suspend_all ("suspend round aborted instead of
+            // reaching the barrier").
+            let _ = tb.swap_out_stateful("x");
+            tb.run_for(SimDuration::from_secs(30));
+            let rep = tb.swap_in_stateful("x", true);
+            assert!(rep.warning.is_none(), "loaded swap cycle must come back clean");
+        }
+        // The critical path of the suspend rounds proves the regression
+        // scenario was real: the slowest capture wait must exceed the 2 s
+        // epoch deadline that used to kill the round.
+        let paths = sim::telemetry::critpath::analyze(&tb.telemetry().trace_events());
+        let worst = paths
+            .iter()
+            .filter(|p| p.committed)
+            .map(|p| p.capture_wait_ns)
+            .max()
+            .expect("suspend rounds analyzed");
+        assert!(
+            worst > 2_000_000_000,
+            "the loaded capture must outlive the epoch deadline (worst wait {} ms)",
+            worst / 1_000_000
+        );
     }
 }

@@ -23,7 +23,7 @@ use sim::buggify::points as bg_points;
 use sim::telemetry::names;
 use sim::{
     transmission_time, Buggify, ComponentId, CounterId, Engine, HistogramId, SimDuration, SimTime,
-    SpanId, Telemetry, TraceTag, TrackId,
+    SpanId, Telemetry, TraceCtx, TraceTag, TrackId,
 };
 use vmm::{DomainImage, ExpPort, VmHost, VmHostConfig, VmmTuning};
 
@@ -319,10 +319,34 @@ impl Testbed {
     /// cache: chunks unchanged since its previous swap-out skip the
     /// re-hash. Observably identical to a plain `put_image` (the timed
     /// put additionally records shard batch events and commit latency).
-    pub(crate) fn fs_put_cached(&mut self, cache_key: &str, bytes: &[u8]) -> PutReport {
+    /// When `flow` carries a round's causal context (swap-out puts land
+    /// inside the held suspend round), the put's quorum-commit instant
+    /// joins that round's flow as a `flow.store_commit` step.
+    pub(crate) fn fs_put_cached(
+        &mut self,
+        cache_key: &str,
+        bytes: &[u8],
+        flow: TraceCtx,
+    ) -> PutReport {
         let cache = self.swap_caches.entry(cache_key.to_string()).or_default();
         let now = self.engine.now();
-        self.fs_store.put_image_at(bytes, Some(cache), now).report
+        let put = self.fs_store.put_image_at(bytes, Some(cache), now);
+        {
+            let t = self.engine.telemetry();
+            let track = t.track(FS_ADDR.0, names::TRACK_STORE_SHARD);
+            let tag = t.trace_tag(names::FLOW_STORE_COMMIT);
+            t.flow_step(track, tag, put.commit_at, flow);
+        }
+        put.report
+    }
+
+    /// The causal context of `group`'s in-flight epoch round (NONE when
+    /// the group is idle). See [`checkpoint::Coordinator::trace_ctx_in`].
+    pub(crate) fn round_flow_in(&self, group: GroupId) -> TraceCtx {
+        self.engine
+            .component_ref::<Coordinator>(self.coordinator)
+            .map(|c| c.trace_ctx_in(group))
+            .unwrap_or(TraceCtx::NONE)
     }
 
     /// A registered golden image by name (restore-time decode anchor).
@@ -941,18 +965,40 @@ impl Testbed {
         let coord = self.coordinator;
         self.engine
             .with_component::<Coordinator, _>(coord, |c, ctx| c.suspend_in(ctx, group));
-        for _ in 0..200 {
-            self.engine.run_for(SimDuration::from_millis(50));
-            let done = self
+        // A suspension under disk-intensive load legitimately takes many
+        // seconds (the frozen guest's in-flight I/O must drain before the
+        // capture); poll generously, but fail fast if the round dies.
+        for _ in 0..600 {
+            self.engine.run_for(SimDuration::from_millis(100));
+            let c = self
                 .engine
                 .component_ref::<Coordinator>(coord)
-                .expect("coordinator")
-                .barrier_complete_in(group);
-            if done {
+                .expect("coordinator");
+            if c.barrier_complete_in(group) {
                 return;
             }
+            if c.idle_in(group) {
+                // The round is gone without a completed barrier: aborted.
+                panic!(
+                    "suspend round aborted instead of reaching the barrier: \
+                     outcomes {:?}, last record {:?}",
+                    c.outcome_counts_in(group),
+                    c.records.last()
+                );
+            }
         }
-        panic!("suspend barrier did not complete within 10 s");
+        panic!("suspend barrier did not complete within 60 s");
+    }
+
+    /// Abandons a held suspension of `exp`'s group without resuming (the
+    /// suspended state left the testbed: swap-out preserved it, or time
+    /// travel replaced it). Closes the round's epoch trace slice so the
+    /// critical-path analyzer sees the round's full extent.
+    pub(crate) fn abandon_round_of(&mut self, exp: &str) {
+        let group = self.group_of(exp);
+        let coord = self.coordinator;
+        self.engine
+            .with_component::<Coordinator, _>(coord, |c, ctx| c.abandon_round_in(ctx, group));
     }
 
     /// Releases a held suspension of `exp`'s group.

@@ -76,6 +76,74 @@ fn same_seed_runs_export_identical_csv() {
 }
 
 #[test]
+fn same_seed_runs_export_identical_perfetto_with_flow_events() {
+    let run = || {
+        let mut tb = Testbed::new(303, 8);
+        tb.swap_in(two_node_spec("x")).expect("swap-in");
+        tb.run_for(SimDuration::from_secs(5));
+        tb.checkpoint_once();
+        tb.checkpoint_once();
+        tb.telemetry().trace_to_perfetto()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "Perfetto export must be byte-identical across same-seed runs");
+    // The causal flow rides the export as Perfetto flow events: a start
+    // at the coordinator's publish, steps at each ack/capture, and an
+    // end at the resume release — these draw the cross-host arrows.
+    for (arm, name) in [
+        ("\"ph\":\"s\"", "flow.notify"),
+        ("\"ph\":\"t\"", "flow.ack"),
+        ("\"ph\":\"t\"", "flow.capture"),
+        ("\"ph\":\"f\"", "flow.resume"),
+    ] {
+        assert!(
+            a.lines().any(|l| l.contains(arm) && l.contains(name)),
+            "export must carry a {arm} flow event named {name}"
+        );
+    }
+}
+
+#[test]
+fn critpath_segments_sum_to_the_measured_epoch_span() {
+    let mut tb = Testbed::new(304, 8);
+    tb.swap_in(two_node_spec("x")).expect("swap-in");
+    tb.run_for(SimDuration::from_secs(5));
+    tb.checkpoint_once();
+    tb.checkpoint_once();
+    tb.checkpoint_once();
+    let paths = sim::telemetry::critpath::analyze(&tb.telemetry().trace_events());
+    assert_eq!(paths.len(), 3, "one analyzed path per committed round");
+    for p in &paths {
+        assert!(p.committed);
+        assert_eq!(
+            p.segments_sum_ns(),
+            p.wall_ns(),
+            "epoch {}: the four segments must partition the wall time",
+            p.epoch
+        );
+        assert!(p.notify_fanout_ns > 0, "acks arrive after a LAN round trip");
+        assert!(p.capture_wait_ns > 0, "captures take real drain time");
+        assert_eq!(p.participants, 2, "both nodes contribute to the flow");
+    }
+    // The attributed wall times are the same spans the metrics side
+    // measures: their total matches the coordinator's epoch span
+    // histogram within rounding.
+    let span = tb
+        .telemetry()
+        .span_summary("coordinator", "epoch")
+        .expect("epoch span registered");
+    assert_eq!(span.count, 3);
+    let total: u64 = paths.iter().map(|p| p.wall_ns()).sum();
+    assert!(
+        (span.sum - total as f64).abs() < 1.0,
+        "critpath wall total {} ns must equal the measured epoch span sum {} ns",
+        total,
+        span.sum
+    );
+}
+
+#[test]
 fn swap_in_failures_are_typed_and_leak_nothing() {
     let mut tb = Testbed::new(302, 2);
     // 2 nodes + 1 delay node > 2 machines.

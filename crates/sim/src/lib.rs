@@ -52,7 +52,7 @@ pub use telemetry::audit::{
 };
 pub use telemetry::{
     ActiveSpan, CounterId, GaugeId, HistogramId, HistogramSummary, SpanId, SpanRecord, Telemetry,
-    TraceEvent, TracePhase, TraceTag, TrackId,
+    TraceCtx, TraceEvent, TracePhase, TraceTag, TrackId,
 };
 pub use time::{transmission_time, SimDuration, SimTime};
 

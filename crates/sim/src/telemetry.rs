@@ -49,6 +49,7 @@
 //! computed at export time from sorted track names.
 
 pub mod audit;
+pub mod critpath;
 pub mod names;
 pub mod ring;
 
@@ -81,6 +82,61 @@ pub struct HistogramId(usize);
 /// [`Telemetry::span`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SpanId(usize);
+
+/// A causal trace context: identifies one cross-host flow (one epoch
+/// round) so events recorded on different tracks can be linked into a
+/// single Perfetto flow with arrows between them.
+///
+/// The context is all-`Copy` and packs into a single `i64` trace-event
+/// argument ([`TraceCtx::as_arg`]), so propagating it through control
+/// messages and recording flow events stays allocation-free. The
+/// coordinator mints one per epoch round
+/// (`trace_id` = coordination group, `span_id` = epoch number) and
+/// threads it through notify, ack, capture, drain, store and resume
+/// paths; [`TraceCtx::NONE`] marks "no active flow" and makes every
+/// flow-recording method a no-op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// Flow family (the coordination group for epoch rounds).
+    pub trace_id: u32,
+    /// Flow instance within the family (the epoch number).
+    pub span_id: u32,
+}
+
+impl TraceCtx {
+    /// The absent context: flow methods given `NONE` record nothing.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        span_id: 0,
+    };
+
+    /// Mints the context for one epoch round of a coordination group.
+    pub fn for_round(group: u32, epoch: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id: group,
+            span_id: epoch as u32,
+        }
+    }
+
+    /// True if this is [`TraceCtx::NONE`].
+    pub fn is_none(&self) -> bool {
+        *self == TraceCtx::NONE
+    }
+
+    /// Packs the context into the `i64` argument slot of a trace event
+    /// (`trace_id` in the high 32 bits, `span_id` in the low 32).
+    pub fn as_arg(&self) -> i64 {
+        ((self.trace_id as i64) << 32) | (self.span_id as i64)
+    }
+
+    /// Inverse of [`TraceCtx::as_arg`].
+    pub fn from_arg(arg: i64) -> TraceCtx {
+        TraceCtx {
+            trace_id: (arg >> 32) as u32,
+            span_id: arg as u32,
+        }
+    }
+}
 
 /// An entered, not-yet-exited span occurrence; the token returned by
 /// [`Telemetry::span_enter`] and consumed by [`Telemetry::span_exit`].
@@ -493,6 +549,34 @@ impl Telemetry {
         self.trace_push(track, tag, TracePhase::Instant, at, arg);
     }
 
+    /// Opens a causal flow (`ph: "s"`), carrying the packed context as
+    /// the event argument. No-op when `ctx` is [`TraceCtx::NONE`].
+    pub fn flow_start(&self, track: TrackId, tag: TraceTag, at: SimTime, ctx: TraceCtx) {
+        if ctx.is_none() {
+            return;
+        }
+        self.trace_push(track, tag, TracePhase::FlowStart, at, ctx.as_arg());
+    }
+
+    /// Records an intermediate flow step (`ph: "t"`): Perfetto draws an
+    /// arrow from the previous event of the same flow to this one.
+    /// No-op when `ctx` is [`TraceCtx::NONE`].
+    pub fn flow_step(&self, track: TrackId, tag: TraceTag, at: SimTime, ctx: TraceCtx) {
+        if ctx.is_none() {
+            return;
+        }
+        self.trace_push(track, tag, TracePhase::FlowStep, at, ctx.as_arg());
+    }
+
+    /// Terminates a causal flow (`ph: "f"`). No-op when `ctx` is
+    /// [`TraceCtx::NONE`].
+    pub fn flow_end(&self, track: TrackId, tag: TraceTag, at: SimTime, ctx: TraceCtx) {
+        if ctx.is_none() {
+            return;
+        }
+        self.trace_push(track, tag, TracePhase::FlowEnd, at, ctx.as_arg());
+    }
+
     /// Changes the trace ring capacity (default 65 536 events), keeping
     /// the newest events that still fit. Capacity 0 disables tracing.
     pub fn set_trace_capacity(&self, cap: usize) {
@@ -729,6 +813,21 @@ impl Telemetry {
                 TracePhase::Instant => format!(
                     "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{host},\
                      \"tid\":{tid},\"s\":\"t\",\"args\":{{\"arg\":{}}}}}",
+                    ev.arg
+                ),
+                TracePhase::FlowStart => format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{},\
+                     \"ts\":{ts},\"pid\":{host},\"tid\":{tid}}}",
+                    ev.arg
+                ),
+                TracePhase::FlowStep => format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"flow\",\"ph\":\"t\",\"id\":{},\
+                     \"ts\":{ts},\"pid\":{host},\"tid\":{tid}}}",
+                    ev.arg
+                ),
+                TracePhase::FlowEnd => format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\
+                     \"id\":{},\"ts\":{ts},\"pid\":{host},\"tid\":{tid}}}",
                     ev.arg
                 ),
             };

@@ -207,6 +207,29 @@ pub const EV_STORE_PUT_BATCH: &str = "store.put_batch";
 pub const EV_STORE_REPAIR: &str = "store.repair";
 
 // ---------------------------------------------------------------------
+// Causal flow tags (one flow per epoch round; the event `arg` is the
+// packed `TraceCtx` minted by the coordinator, so every arrow of a
+// round shares one Perfetto flow id).
+// ---------------------------------------------------------------------
+
+/// FlowStart: the coordinator published the round's notification.
+pub const FLOW_NOTIFY: &str = "flow.notify";
+/// FlowStep: a node's agent acked the notification.
+pub const FLOW_ACK: &str = "flow.ack";
+/// FlowStep: a node finished capturing its checkpoint state.
+pub const FLOW_CAPTURE: &str = "flow.capture";
+/// FlowStep: a delay node suspended shaping for the round.
+pub const FLOW_DN_SUSPEND: &str = "flow.dn_suspend";
+/// FlowStep: a delay node finished draining its suspension log.
+pub const FLOW_DN_DRAIN: &str = "flow.dn_drain";
+/// FlowStep: a store put reached quorum durability for the round.
+pub const FLOW_STORE_COMMIT: &str = "flow.store_commit";
+/// FlowStep: the coordinator's done barrier completed.
+pub const FLOW_BARRIER: &str = "flow.barrier";
+/// FlowEnd: the resume was published; the round's flow terminates.
+pub const FLOW_RESUME: &str = "flow.resume";
+
+// ---------------------------------------------------------------------
 // Shadow-protocol trace tags (coordinator track).
 //
 // Per-node instants mirroring every transition of the two-phase epoch

@@ -38,15 +38,27 @@ pub enum TracePhase {
     End,
     /// A point event (`ph: "i"`).
     Instant,
+    /// A causal flow opens (`ph: "s"`); the argument carries the packed
+    /// [`TraceCtx`](super::TraceCtx) identifying the flow.
+    FlowStart,
+    /// An intermediate flow step (`ph: "t"`): an arrow is drawn from the
+    /// previous event of the same flow id to this one.
+    FlowStep,
+    /// The flow terminates here (`ph: "f"`).
+    FlowEnd,
 }
 
 impl TracePhase {
-    /// The single-letter code used by the CSV export (`B`/`E`/`I`).
+    /// The single-letter code used by the CSV export
+    /// (`B`/`E`/`I`/`S`/`T`/`F`).
     pub fn code(self) -> char {
         match self {
             TracePhase::Begin => 'B',
             TracePhase::End => 'E',
             TracePhase::Instant => 'I',
+            TracePhase::FlowStart => 'S',
+            TracePhase::FlowStep => 'T',
+            TracePhase::FlowEnd => 'F',
         }
     }
 }

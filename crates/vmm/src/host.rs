@@ -30,7 +30,7 @@ use hwsim::{
 use sim::telemetry::names;
 use sim::{
     transmission_time, ActiveSpan, Component, ComponentId, CounterId, Ctx, EventId, HistogramId,
-    Payload, SimDuration, SimTime, SpanId, TraceTag, TrackId,
+    Payload, SimDuration, SimTime, SpanId, TraceCtx, TraceTag, TrackId,
 };
 
 use crate::agent::HostAgent;
@@ -218,6 +218,10 @@ pub struct VmHost {
     /// incremental chain is broken — e.g. it was evicted after a crash and
     /// re-admitted — so the stored base its deltas build on is stale.
     full_pending: bool,
+    /// Causal context of the in-flight coordinated round; the capture
+    /// completion records a flow step against it so Perfetto links this
+    /// host's capture into the epoch's cross-host flow.
+    flow_ctx: TraceCtx,
 
     // Ticks.
     next_tick_guest_ns: u64,
@@ -257,6 +261,7 @@ struct HostTele {
     ev_clock_read: TraceTag,
     ev_tick: TraceTag,
     ev_fw: TraceTag,
+    ev_flow_capture: TraceTag,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -300,6 +305,7 @@ impl VmHost {
             prev_image: None,
             abort_pending: false,
             full_pending: false,
+            flow_ctx: TraceCtx::NONE,
             next_tick_guest_ns: 0,
             tick_ev: None,
             mirror: None,
@@ -328,6 +334,7 @@ impl VmHost {
                 ev_clock_read: t.trace_tag(names::EV_GUEST_CLOCK_READ),
                 ev_tick: t.trace_tag(names::EV_GUEST_TICK),
                 ev_fw: t.trace_tag(names::EV_GUEST_FW_CLOSED),
+                ev_flow_capture: t.trace_tag(names::FLOW_CAPTURE),
             }
         })
     }
@@ -340,6 +347,14 @@ impl VmHost {
     /// This host's address.
     pub fn node(&self) -> NodeAddr {
         self.cfg.node
+    }
+
+    /// Attaches the causal context of the coordinated round about to
+    /// freeze this host; the capture completion records a flow step
+    /// against it. Pass [`TraceCtx::NONE`] to detach (standalone
+    /// checkpoints flow nowhere).
+    pub fn set_flow_ctx(&mut self, ctx: TraceCtx) {
+        self.flow_ctx = ctx;
     }
 
     /// The guest kernel (panics if no domain is installed).
@@ -907,6 +922,8 @@ impl VmHost {
         let mut image = d.capture(self.cfg.tuning.dirty_floor);
         ctx.telemetry()
             .trace_end(t.track, t.ev_capture, ctx.now(), image.dirty_bytes as i64);
+        ctx.telemetry()
+            .flow_step(t.track, t.ev_flow_capture, ctx.now(), self.flow_ctx);
         // The vCPU context: compute bursts banked at the freeze belong to
         // the image — a restored CPU-bound thread must keep computing.
         image.pending_bursts = self.burst_q.iter().copied().collect();
