@@ -1,0 +1,352 @@
+//! BENCH-SCALE — throughput of the sharded engine at thousands of nodes.
+//!
+//! Builds star topologies through the full stack (`emulab::ExperimentSpec`
+//! → `ScalePlan` → `checkpoint::build_scale_lab`) and sweeps node count ×
+//! shard count, measuring:
+//!
+//! - `events_per_sec` — wall-clock dispatch rate of the (sequential)
+//!   run on this machine;
+//! - `agg_events_per_sec` — events over the *critical path*: per window,
+//!   the busiest shard's dispatch time; summed across windows. This is
+//!   the standard conservative-PDES potential-parallelism metric and is
+//!   what the ≥2× acceptance gate reads, because wall-clock speedup on a
+//!   single-core container measures scheduling noise, not the engine.
+//!   `host_cores` is recorded so readers can judge the wall numbers.
+//! - `mb_captured` — dirty state captured across all epochs;
+//! - `fingerprint` — FNV-1a of the merged telemetry CSV, which must be
+//!   identical across every shard count of the same workload (the runs
+//!   are the same experiment, so this doubles as a determinism gate).
+//!
+//! Results append to `BENCH_scale.json` at the repo root.
+//!
+//! Modes:
+//! - default: full sweep, appends one labeled entry to the JSON;
+//! - `--smoke`: 1,000-node star at 1 and 4 shards (sequential +
+//!   threaded), fingerprints asserted equal, no JSON write (CI);
+//! - `--check`: validate the committed JSON — schema plus the scale
+//!   gate: latest entry must hold a 1,000-node row pair with ≥2×
+//!   aggregate speedup at 4 shards and matching fingerprints;
+//! - `--label <name>`: label for the appended entry.
+
+use std::time::Instant;
+
+use checkpoint::{build_scale_lab, ScaleConfig};
+use emulab::{ExperimentSpec, ScalePlan};
+use sim::SimDuration;
+use tcd_bench::banner;
+use tcd_bench::json::{parse_json, Json};
+
+/// Repo-root JSON artifact (path anchored to the crate, not the CWD).
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+const SCHEMA: &str = "tcd-bench-scale-v1";
+
+struct Row {
+    nodes: u32,
+    groups: u32,
+    shards: u32,
+    epochs: u64,
+    events: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+    busy_ms: f64,
+    critpath_ms: f64,
+    agg_events_per_sec: f64,
+    mb_captured: f64,
+    speedup_vs_1shard: f64,
+    fingerprint: u64,
+}
+
+/// Star topology of `leaves` nodes via the emulab planner, lowered to a
+/// scale config. Groups ≈ leaves/62 keeps relay fan-out bounded.
+fn star_config(leaves: u32, epochs: u32) -> ScaleConfig {
+    let spec = ExperimentSpec::star("bench", leaves, 100_000_000, SimDuration::from_millis(5));
+    let groups = (leaves / 62).max(4);
+    let plan = ScalePlan::from_spec(&spec, groups).expect("star plans");
+    let mut cfg = plan.to_scale_config(SimDuration::from_millis(200), epochs);
+    cfg.gossip_period = SimDuration::from_millis(20);
+    cfg
+}
+
+/// One measured run. `parallel` only changes the execution mode, never
+/// the result — callers assert that via the fingerprint.
+fn run_once(cfg: &ScaleConfig, seed: u64, shards: u32, parallel: bool) -> Row {
+    let mut lab = build_scale_lab(cfg, seed, shards);
+    lab.engine.set_parallel(parallel);
+    let t0 = Instant::now();
+    lab.run();
+    let wall_ns = t0.elapsed().as_nanos().max(1) as u64;
+    lab.check_invariants().unwrap_or_else(|e| panic!("invariants: {e}"));
+    let o = lab.outcome();
+    let busy_ns: u64 = lab.engine.busy_ns().iter().sum();
+    let crit_ns = lab.engine.critical_path_ns().max(1);
+    Row {
+        nodes: o.nodes,
+        groups: cfg.group_sizes.len() as u32,
+        shards,
+        epochs: o.epochs_committed,
+        events: o.events,
+        wall_ms: wall_ns as f64 / 1e6,
+        events_per_sec: o.events as f64 / (wall_ns as f64 / 1e9),
+        busy_ms: busy_ns as f64 / 1e6,
+        critpath_ms: crit_ns as f64 / 1e6,
+        agg_events_per_sec: o.events as f64 / (crit_ns as f64 / 1e9),
+        mb_captured: o.bytes_captured as f64 / 1e6,
+        speedup_vs_1shard: 1.0, // filled by the sweep
+        fingerprint: o.fingerprint_metrics,
+    }
+}
+
+fn print_row(r: &Row) {
+    println!(
+        "        {:>6} nodes  S={}  {:>9.0} ev/s wall  {:>10.0} ev/s agg  {:>6.2}x  {:>8.1} MB  fp {:016x}",
+        r.nodes, r.shards, r.events_per_sec, r.agg_events_per_sec, r.speedup_vs_1shard,
+        r.mb_captured, r.fingerprint
+    );
+}
+
+fn num(n: f64) -> Json {
+    Json::Num(n)
+}
+
+fn row_json(r: &Row) -> Json {
+    let r2 = |x: f64| (x * 100.0).round() / 100.0;
+    Json::Obj(vec![
+        ("nodes".into(), num(r.nodes as f64)),
+        ("groups".into(), num(r.groups as f64)),
+        ("shards".into(), num(r.shards as f64)),
+        ("epochs".into(), num(r.epochs as f64)),
+        ("events".into(), num(r.events as f64)),
+        ("wall_ms".into(), num(r2(r.wall_ms))),
+        ("events_per_sec".into(), num(r.events_per_sec.round())),
+        ("busy_ms".into(), num(r2(r.busy_ms))),
+        ("critpath_ms".into(), num(r2(r.critpath_ms))),
+        ("agg_events_per_sec".into(), num(r.agg_events_per_sec.round())),
+        ("mb_captured".into(), num(r2(r.mb_captured))),
+        ("speedup_vs_1shard".into(), num(r2(r.speedup_vs_1shard))),
+        ("fingerprint".into(), Json::Str(format!("{:016x}", r.fingerprint))),
+    ])
+}
+
+const ROW_NUM_FIELDS: [&str; 12] = [
+    "nodes",
+    "groups",
+    "shards",
+    "epochs",
+    "events",
+    "wall_ms",
+    "events_per_sec",
+    "busy_ms",
+    "critpath_ms",
+    "agg_events_per_sec",
+    "mb_captured",
+    "speedup_vs_1shard",
+];
+
+fn check_schema(doc: &Json) -> Result<usize, String> {
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == SCHEMA => {}
+        _ => return Err(format!("top-level 'schema' must be \"{SCHEMA}\"")),
+    }
+    let entries = match doc.get("entries") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err("top-level 'entries' must be an array".into()),
+    };
+    if entries.is_empty() {
+        return Err("'entries' must not be empty".into());
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        let fail = |msg: String| format!("entry {i}: {msg}");
+        match entry.get("label") {
+            Some(Json::Str(s)) if !s.is_empty() => {}
+            _ => return Err(fail("missing non-empty 'label'".into())),
+        }
+        entry
+            .get("host_cores")
+            .and_then(Json::as_num)
+            .ok_or_else(|| fail("missing numeric 'host_cores'".into()))?;
+        let rows = match entry.get("rows") {
+            Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+            _ => return Err(fail("'rows' must be a non-empty array".into())),
+        };
+        for (j, row) in rows.iter().enumerate() {
+            for f in ROW_NUM_FIELDS {
+                row.get(f)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| fail(format!("row {j}: missing numeric '{f}'")))?;
+            }
+            match row.get("fingerprint") {
+                Some(Json::Str(s)) if s.len() == 16 => {}
+                _ => return Err(fail(format!("row {j}: 'fingerprint' must be a 16-hex string"))),
+            }
+        }
+    }
+    Ok(entries.len())
+}
+
+/// The acceptance gate on the *latest* entry: a 1,000-node pair at 1
+/// and 4 shards, fingerprints equal, aggregate speedup ≥ 2×.
+fn check_scale_gate(doc: &Json) -> Result<(), String> {
+    let entries = match doc.get("entries") {
+        Some(Json::Arr(items)) => items,
+        _ => unreachable!("schema checked"),
+    };
+    let latest = entries.last().expect("non-empty checked");
+    let rows = match latest.get("rows") {
+        Some(Json::Arr(rows)) => rows,
+        _ => unreachable!("schema checked"),
+    };
+    let find = |shards: f64| {
+        rows.iter().find(|r| {
+            r.get("nodes").and_then(Json::as_num) == Some(1000.0)
+                && r.get("shards").and_then(Json::as_num) == Some(shards)
+        })
+    };
+    let one = find(1.0).ok_or("latest entry has no 1000-node 1-shard row")?;
+    let four = find(4.0).ok_or("latest entry has no 1000-node 4-shard row")?;
+    let fp = |r: &Json| match r.get("fingerprint") {
+        Some(Json::Str(s)) => s.clone(),
+        _ => unreachable!("schema checked"),
+    };
+    if fp(one) != fp(four) {
+        return Err(format!(
+            "1000-node fingerprints differ across shard counts: {} vs {}",
+            fp(one),
+            fp(four)
+        ));
+    }
+    let speedup = four
+        .get("speedup_vs_1shard")
+        .and_then(Json::as_num)
+        .expect("schema checked");
+    if speedup < 2.0 {
+        return Err(format!(
+            "1000-node 4-shard aggregate speedup {speedup:.2}x is below the 2x gate"
+        ));
+    }
+    Ok(())
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let label = args
+        .iter()
+        .position(|a| a == "--label")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "current".to_string());
+
+    if check {
+        let text =
+            std::fs::read_to_string(OUT_PATH).unwrap_or_else(|e| panic!("read {OUT_PATH}: {e}"));
+        let doc = parse_json(&text).unwrap_or_else(|e| panic!("{e}"));
+        match check_schema(&doc) {
+            Ok(n) => println!("BENCH_scale.json: schema ok, {n} entries"),
+            Err(e) => panic!("BENCH_scale.json schema violation: {e}"),
+        }
+        match check_scale_gate(&doc) {
+            Ok(()) => println!("BENCH_scale.json: 1000-node >=2x aggregate gate ok"),
+            Err(e) => panic!("BENCH_scale.json scale gate violation: {e}"),
+        }
+        return;
+    }
+
+    banner("BENCH-SCALE", "sharded engine throughput at thousands of nodes");
+    println!("  host cores: {}", host_cores());
+
+    if smoke {
+        // CI smoke: the 1,000-node star end to end, 1 vs 4 shards,
+        // sequential and threaded, fingerprints asserted equal.
+        let cfg = star_config(1000, 2);
+        println!("  [smoke] 1000-node star, 2 epochs...");
+        let base = run_once(&cfg, 42, 1, false);
+        print_row(&base);
+        let mut four = run_once(&cfg, 42, 4, false);
+        four.speedup_vs_1shard = four.agg_events_per_sec / base.agg_events_per_sec;
+        print_row(&four);
+        let threaded = run_once(&cfg, 42, 4, true);
+        assert_eq!(
+            base.fingerprint, four.fingerprint,
+            "4-shard run diverged from 1-shard"
+        );
+        assert_eq!(
+            base.fingerprint, threaded.fingerprint,
+            "threaded 4-shard run diverged"
+        );
+        assert_eq!(base.epochs, 2, "all epochs must commit");
+        assert!(
+            four.speedup_vs_1shard >= 2.0,
+            "aggregate speedup {:.2}x below the 2x gate",
+            four.speedup_vs_1shard
+        );
+        println!("\n  smoke ok: fingerprints identical, {:.2}x aggregate at 4 shards",
+            four.speedup_vs_1shard);
+        return;
+    }
+
+    // Full sweep: node count x shard count.
+    let sizes: &[u32] = &[1000, 4000, 10000];
+    let shard_counts: &[u32] = &[1, 2, 4, 8];
+    let mut rows: Vec<Row> = Vec::new();
+    for (i, &leaves) in sizes.iter().enumerate() {
+        let cfg = star_config(leaves, 4);
+        println!(
+            "  [{}/{}] {leaves}-node star ({} groups, 4 epochs)...",
+            i + 1,
+            sizes.len(),
+            cfg.group_sizes.len()
+        );
+        let mut base_agg = 0.0;
+        let mut base_fp = 0u64;
+        for &shards in shard_counts {
+            let mut r = run_once(&cfg, 42, shards, false);
+            if shards == 1 {
+                base_agg = r.agg_events_per_sec;
+                base_fp = r.fingerprint;
+            }
+            r.speedup_vs_1shard = r.agg_events_per_sec / base_agg;
+            assert_eq!(
+                r.fingerprint, base_fp,
+                "{leaves}-node {shards}-shard run diverged from 1-shard"
+            );
+            print_row(&r);
+            rows.push(r);
+        }
+        // Threaded cross-check at the widest layout (result must be
+        // byte-identical; timing is not recorded on a saturated host).
+        let threaded = run_once(&cfg, 42, *shard_counts.last().unwrap(), true);
+        assert_eq!(threaded.fingerprint, base_fp, "threaded run diverged");
+    }
+
+    let entry = Json::Obj(vec![
+        ("label".into(), Json::Str(label.clone())),
+        ("host_cores".into(), num(host_cores() as f64)),
+        ("rows".into(), Json::Arr(rows.iter().map(row_json).collect())),
+    ]);
+
+    let mut doc = match std::fs::read_to_string(OUT_PATH) {
+        Ok(text) => parse_json(&text).unwrap_or_else(|e| panic!("existing {OUT_PATH} invalid: {e}")),
+        Err(_) => Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("entries".into(), Json::Arr(Vec::new())),
+        ]),
+    };
+    if let Json::Obj(fields) = &mut doc {
+        if let Some((_, Json::Arr(entries))) = fields.iter_mut().find(|(k, _)| k == "entries") {
+            entries.push(entry);
+        } else {
+            panic!("existing {OUT_PATH} has no 'entries' array");
+        }
+    } else {
+        panic!("existing {OUT_PATH} is not an object");
+    }
+    check_schema(&doc).expect("generated entry must satisfy the schema");
+    check_scale_gate(&doc).expect("generated entry must satisfy the scale gate");
+    std::fs::write(OUT_PATH, doc.to_string_pretty()).expect("write BENCH_scale.json");
+    println!("\n  appended entry '{label}' to BENCH_scale.json");
+}

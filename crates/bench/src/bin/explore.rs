@@ -231,6 +231,8 @@ fn main() -> ExitCode {
     let mut failures = 0u64;
     let mut coord_crashes = 0u64;
     let mut coord_recoveries = 0u64;
+    let mut scale_probes = 0u64;
+    let mut scale_failures = 0u64;
     for i in 0..args.iters {
         let seed = iteration_seed(args.root_seed, i);
         let out = run_seed(seed, args.preset, args.sabotage);
@@ -242,6 +244,25 @@ fn main() -> ExitCode {
         epochs += out.epochs_checked;
         coord_crashes += out.coord_crashes;
         coord_recoveries += out.coord_recoveries;
+        match out.scale_probe_ok {
+            Some(true) => scale_probes += 1,
+            Some(false) => {
+                scale_probes += 1;
+                scale_failures += 1;
+                let p = out.scenario.scale_probe.expect("probe ran");
+                println!(
+                    "\n  SCALE DIVERGENCE seed={:#x}: {}-node lab differs between \
+                     1 and {} shards ({} groups x {})",
+                    seed,
+                    p.nodes(),
+                    p.shards,
+                    p.groups,
+                    p.per_group
+                );
+                println!("    repro: {}", repro_line(&out.scenario, args.sabotage));
+            }
+            None => {}
+        }
         if !out.violations.is_empty() {
             failures += 1;
             report_failure(&out, args.sabotage);
@@ -265,11 +286,20 @@ fn main() -> ExitCode {
         args.iters, epochs, totals.0, totals.1, totals.2, retries, fires,
         coord_crashes, coord_recoveries
     );
-    if failures == 0 {
+    println!(
+        "scale probes: {scale_probes} run, {scale_failures} diverged \
+         (1-shard vs N-shard fingerprints)"
+    );
+    if failures == 0 && scale_failures == 0 {
         println!("shadow model: clean across all iterations");
         ExitCode::SUCCESS
     } else {
-        println!("shadow model: {failures} violating iteration(s) — traces under results/");
+        if failures > 0 {
+            println!("shadow model: {failures} violating iteration(s) — traces under results/");
+        }
+        if scale_failures > 0 {
+            println!("sharded engine: {scale_failures} divergent scale probe(s)");
+        }
         ExitCode::FAILURE
     }
 }

@@ -61,6 +61,25 @@ pub struct CoordCrashPlan {
     pub downtime_ms: u64,
 }
 
+/// Occasional cross-shard determinism probe riding an iteration: a
+/// ≥64-node scale lab run at 1 shard and at `shards` shards, whose
+/// merged-telemetry fingerprints must match byte for byte.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleProbePlan {
+    pub groups: u32,
+    pub per_group: u32,
+    /// The multi-shard layout compared against the 1-shard baseline.
+    pub shards: u32,
+    pub epochs: u32,
+}
+
+impl ScaleProbePlan {
+    /// Leaf nodes in the probe topology.
+    pub fn nodes(&self) -> u32 {
+        self.groups * self.per_group
+    }
+}
+
 /// Everything one iteration does, derived deterministically from the
 /// seed. Public so failure reports can print the whole scenario.
 #[derive(Clone, Debug)]
@@ -85,6 +104,8 @@ pub struct Scenario {
     pub crash: Option<CrashPlan>,
     /// Scheduled coordinator process crash/restart (WAL recovery).
     pub coord_crash: Option<CoordCrashPlan>,
+    /// Occasional sharded-engine determinism probe (1 vs N shards).
+    pub scale_probe: Option<ScaleProbePlan>,
 }
 
 impl Scenario {
@@ -141,6 +162,18 @@ impl Scenario {
         } else {
             None
         };
+        // Also drawn at the end, for the same corpus-stability reason:
+        // a sharded-engine probe on ~15% of seeds, always ≥64 nodes.
+        let scale_probe = if rng.chance(0.15) {
+            Some(ScaleProbePlan {
+                groups: rng.range_u64(8, 13) as u32,
+                per_group: rng.range_u64(8, 13) as u32,
+                shards: if rng.chance(0.5) { 2 } else { 4 },
+                epochs: 2,
+            })
+        } else {
+            None
+        };
         Scenario {
             seed,
             preset,
@@ -153,6 +186,7 @@ impl Scenario {
             run_ms,
             crash,
             coord_crash,
+            scale_probe,
         }
     }
 
@@ -248,6 +282,10 @@ pub struct IterationOutcome {
     /// Telemetry metrics snapshot (counters/gauges/histograms CSV) at
     /// the end of the run.
     pub metrics_csv: String,
+    /// `Some(true)` when the scenario carried a scale probe and the
+    /// 1-shard and N-shard fingerprints matched; `Some(false)` on
+    /// divergence; `None` when the scenario drew no probe.
+    pub scale_probe_ok: Option<bool>,
 }
 
 impl IterationOutcome {
@@ -435,6 +473,25 @@ pub fn run_iteration(scenario: &Scenario, sabotage: bool) -> IterationOutcome {
     shadow_state.finish();
     let violations = shadow_state.violations().to_vec();
 
+    // The scale probe runs outside the iteration's engine: the same
+    // ≥64-node lab at 1 shard and at the drawn layout, compared by
+    // merged-telemetry fingerprint.
+    let scale_probe_ok = s.scale_probe.map(|p| {
+        let mut cfg = checkpoint::ScaleConfig::uniform(p.groups, p.per_group);
+        cfg.epochs = p.epochs;
+        let run_lab = |shards: u32| {
+            let mut lab = checkpoint::build_scale_lab(&cfg, s.seed, shards);
+            lab.run();
+            lab.check_invariants()
+                .map(|()| lab.outcome())
+                .map_err(|e| format!("shards {shards}: {e}"))
+        };
+        match (run_lab(1), run_lab(p.shards)) {
+            (Ok(a), Ok(b)) => a == b,
+            _ => false,
+        }
+    });
+
     IterationOutcome {
         scenario: scenario.clone(),
         outcomes,
@@ -447,6 +504,7 @@ pub fn run_iteration(scenario: &Scenario, sabotage: bool) -> IterationOutcome {
         violations,
         wal_records: wal.replay(),
         metrics_csv: e.telemetry().to_csv(),
+        scale_probe_ok,
     }
 }
 
@@ -498,6 +556,33 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_eq!(events_csv(&a.events), events_csv(&b.events));
         assert!(a.violations.is_empty(), "clean seed violated: {:?}", a.violations);
+    }
+
+    #[test]
+    fn scale_probe_draws_and_passes() {
+        // Find a seed that draws a probe (p = 0.15, so a handful of
+        // tries suffices) and check the probe's guarantees: ≥64 nodes,
+        // and a passing 1-vs-N-shard fingerprint comparison.
+        let seed = (0..64)
+            .find(|&s| Scenario::derive(s, None).scale_probe.is_some())
+            .expect("some seed in 0..64 draws a probe");
+        let s = Scenario::derive(seed, None);
+        let p = s.scale_probe.unwrap();
+        assert!(p.nodes() >= 64, "probe labs must be at least 64 nodes");
+        assert!(p.shards == 2 || p.shards == 4);
+        let out = run_iteration(&s, false);
+        assert_eq!(
+            out.scale_probe_ok,
+            Some(true),
+            "seed {seed:#x}: scale probe diverged"
+        );
+        // Seeds without a probe report None, not a pass.
+        let bare = (0..64)
+            .find(|&s| Scenario::derive(s, None).scale_probe.is_none())
+            .expect("some seed in 0..64 skips the probe");
+        assert!(run_iteration(&Scenario::derive(bare, None), false)
+            .scale_probe_ok
+            .is_none());
     }
 
     #[test]

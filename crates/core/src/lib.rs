@@ -28,6 +28,7 @@ mod bus;
 mod coordinator;
 mod delaynode;
 pub mod modelcheck;
+pub mod scale;
 pub mod shadow;
 pub mod wal;
 
@@ -39,5 +40,6 @@ pub use coordinator::{
     GroupId, TriggerMode,
 };
 pub use delaynode::{DelayNodeHost, DelayNodeStats, OutPort};
+pub use scale::{build_scale_lab, ScaleConfig, ScaleLab, ScaleOutcome};
 pub use shadow::{ShadowEpochState, ShadowOutcome, ShadowViolation};
 pub use wal::{MemWalStore, Wal, WalRecord, WalStore};

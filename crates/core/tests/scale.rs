@@ -1,0 +1,62 @@
+//! Scale-lab integration: a ≥64-node epoch protocol must commit every
+//! round and export byte-identical telemetry for every shard layout,
+//! sequential or threaded.
+
+use checkpoint::{build_scale_lab, ScaleConfig, ScaleOutcome};
+
+fn run(cfg: &ScaleConfig, seed: u64, shards: u32, parallel: bool) -> ScaleOutcome {
+    let mut lab = build_scale_lab(cfg, seed, shards);
+    lab.engine.set_parallel(parallel);
+    lab.run();
+    lab.check_invariants().unwrap_or_else(|e| {
+        panic!("seed {seed} shards {shards} parallel {parallel}: {e}")
+    });
+    lab.outcome()
+}
+
+#[test]
+fn sixty_four_node_lab_is_layout_invariant() {
+    // 8 groups of 8 = 64 leaf nodes (+ relays + coordinator).
+    let cfg = ScaleConfig {
+        epochs: 3,
+        ..ScaleConfig::uniform(8, 8)
+    };
+    for seed in [7u64, 1009] {
+        let base = run(&cfg, seed, 1, false);
+        assert_eq!(base.nodes, 64);
+        assert_eq!(base.epochs_committed, 3);
+        assert!(base.pings > 0, "background gossip must run");
+        for shards in [2u32, 4] {
+            assert_eq!(run(&cfg, seed, shards, false), base, "seed {seed} S={shards}");
+            assert_eq!(
+                run(&cfg, seed, shards, true),
+                base,
+                "seed {seed} S={shards} threaded"
+            );
+        }
+    }
+}
+
+#[test]
+fn larger_lab_scales_and_stays_invariant() {
+    // 16 groups of 16 = 256 nodes; one cross-layout comparison.
+    let cfg = ScaleConfig {
+        epochs: 2,
+        ..ScaleConfig::uniform(16, 16)
+    };
+    let base = run(&cfg, 99, 1, false);
+    assert_eq!(base.nodes, 256);
+    assert_eq!(run(&cfg, 99, 4, true), base);
+}
+
+#[test]
+fn gossip_can_be_disabled() {
+    let cfg = ScaleConfig {
+        epochs: 2,
+        gossip_period: sim::SimDuration::ZERO,
+        ..ScaleConfig::uniform(4, 16)
+    };
+    let o = run(&cfg, 5, 2, false);
+    assert_eq!(o.pings, 0);
+    assert_eq!(o.epochs_committed, 2);
+}

@@ -17,6 +17,7 @@
 
 mod errors;
 mod services;
+mod sharding;
 mod spec;
 mod swap;
 mod testbed;
@@ -24,6 +25,7 @@ mod timetravel;
 
 pub use errors::{SpecError, SwapError, TestbedError};
 pub use services::FileServer;
+pub use sharding::{PlanError, ScalePlan};
 pub use spec::{ExperimentSpec, LanSpec, LinkSpec, NodeSpec};
 pub use swap::{NodeState, SwapInReport, SwapInWarning, SwapOutReport, SwappedExperiment};
 pub use testbed::{

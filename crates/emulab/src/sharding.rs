@@ -1,0 +1,290 @@
+//! Topology-driven shard planning: from an [`ExperimentSpec`] to a
+//! deterministic group layout and lookahead for the sharded engine.
+//!
+//! The planner reads only the static topology: the hub is the
+//! highest-degree node (ties broken by name, so plans are stable across
+//! runs and machines), every hub-less connected component becomes an
+//! atomic placement group, components are dealt round-robin into the
+//! requested number of groups in first-appearance order, and the
+//! lookahead is the minimum latency of any hub-incident link — exactly
+//! the conservative-window bound the sharded engine needs, derived from
+//! the same spec the testbed swaps in.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use checkpoint::scale::ScaleConfig;
+use sim::SimDuration;
+
+use crate::spec::ExperimentSpec;
+
+/// Why a spec could not be planned into shards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// The spec has no nodes.
+    EmptySpec,
+    /// The spec failed [`ExperimentSpec::validate`].
+    InvalidSpec(String),
+    /// Every node is the hub's neighbor-less island: nothing to group.
+    NoLeafNodes,
+    /// A hub-incident link has zero delay, so no positive lookahead
+    /// window exists.
+    ZeroLookahead,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::EmptySpec => write!(f, "experiment spec has no nodes"),
+            PlanError::InvalidSpec(e) => write!(f, "invalid spec: {e}"),
+            PlanError::NoLeafNodes => {
+                write!(f, "topology has no nodes besides the hub")
+            }
+            PlanError::ZeroLookahead => {
+                write!(f, "a hub-incident link has zero delay; lookahead would be empty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A deterministic partition of an experiment topology into shardable
+/// groups around a hub.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScalePlan {
+    /// The chosen hub node name.
+    pub hub: String,
+    /// Node names per group; each group is an atomic placement unit.
+    pub groups: Vec<Vec<String>>,
+    /// Minimum hub-incident latency: the engine lookahead.
+    pub lookahead: SimDuration,
+    /// Minimum intra-group (non-hub) latency; falls back to the
+    /// lookahead when groups have no internal links (pure star).
+    pub leaf_latency: SimDuration,
+}
+
+impl ScalePlan {
+    /// Plans `spec` into at most `target_groups` groups.
+    ///
+    /// Hub selection: highest degree over links and LANs, name as
+    /// tie-break. Grouping: connected components of the graph minus the
+    /// hub, dealt round-robin in order of each component's
+    /// first-registered node. Lookahead: the minimum delay among links
+    /// and LANs touching the hub.
+    pub fn from_spec(spec: &ExperimentSpec, target_groups: u32) -> Result<ScalePlan, PlanError> {
+        assert!(target_groups >= 1, "need at least one group");
+        if spec.nodes.is_empty() {
+            return Err(PlanError::EmptySpec);
+        }
+        spec.validate()
+            .map_err(|e| PlanError::InvalidSpec(format!("{e:?}")))?;
+
+        let n = spec.nodes.len();
+        let index: HashMap<&str, usize> = spec
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| (node.name.as_str(), i))
+            .collect();
+
+        // Adjacency + degree over links and LANs (a LAN is a clique for
+        // degree purposes but we only need neighbor sets).
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut edge = |a: usize, b: usize| {
+            adj[a].push(b);
+            adj[b].push(a);
+        };
+        for l in &spec.links {
+            edge(index[l.a.as_str()], index[l.b.as_str()]);
+        }
+        for lan in &spec.lans {
+            for (i, a) in lan.members.iter().enumerate() {
+                for b in &lan.members[i + 1..] {
+                    edge(index[a.as_str()], index[b.as_str()]);
+                }
+            }
+        }
+
+        // Hub: max degree, smallest name on ties.
+        let hub_idx = (0..n)
+            .max_by(|&a, &b| {
+                adj[a]
+                    .len()
+                    .cmp(&adj[b].len())
+                    .then_with(|| spec.nodes[b].name.cmp(&spec.nodes[a].name))
+            })
+            .expect("non-empty");
+        if n == 1 {
+            return Err(PlanError::NoLeafNodes);
+        }
+
+        // Lookahead: min delay of anything touching the hub.
+        let hub_name = spec.nodes[hub_idx].name.as_str();
+        let mut lookahead: Option<SimDuration> = None;
+        let mut leaf_latency: Option<SimDuration> = None;
+        let fold = |slot: &mut Option<SimDuration>, d: SimDuration| {
+            *slot = Some(slot.map_or(d, |cur| cur.min(d)));
+        };
+        for l in &spec.links {
+            if l.a == hub_name || l.b == hub_name {
+                fold(&mut lookahead, l.delay);
+            } else {
+                fold(&mut leaf_latency, l.delay);
+            }
+        }
+        for lan in &spec.lans {
+            if lan.members.iter().any(|m| m == hub_name) {
+                fold(&mut lookahead, lan.delay);
+            } else if lan.members.len() > 1 {
+                fold(&mut leaf_latency, lan.delay);
+            }
+        }
+        let lookahead = lookahead.ok_or(PlanError::NoLeafNodes)?;
+        if lookahead == SimDuration::ZERO {
+            return Err(PlanError::ZeroLookahead);
+        }
+        let leaf_latency = leaf_latency.unwrap_or(lookahead).min(lookahead);
+
+        // Connected components of the graph minus the hub, discovered
+        // in node-registration order so the plan is deterministic.
+        let mut comp_of: Vec<Option<usize>> = vec![None; n];
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        for start in 0..n {
+            if start == hub_idx || comp_of[start].is_some() {
+                continue;
+            }
+            let cid = components.len();
+            let mut stack = vec![start];
+            let mut members = Vec::new();
+            comp_of[start] = Some(cid);
+            while let Some(v) = stack.pop() {
+                members.push(v);
+                for &w in &adj[v] {
+                    if w != hub_idx && comp_of[w].is_none() {
+                        comp_of[w] = Some(cid);
+                        stack.push(w);
+                    }
+                }
+            }
+            members.sort_unstable();
+            components.push(members);
+        }
+        if components.is_empty() {
+            return Err(PlanError::NoLeafNodes);
+        }
+
+        // Deal components round-robin into the target group count.
+        let group_count = (target_groups as usize).min(components.len());
+        let mut groups: Vec<Vec<String>> = vec![Vec::new(); group_count];
+        for (i, comp) in components.into_iter().enumerate() {
+            let g = &mut groups[i % group_count];
+            g.extend(comp.into_iter().map(|v| spec.nodes[v].name.clone()));
+        }
+
+        Ok(ScalePlan {
+            hub: hub_name.to_string(),
+            groups,
+            lookahead,
+            leaf_latency,
+        })
+    }
+
+    /// Leaf nodes across all groups (excludes the hub).
+    pub fn nodes(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// Lowers the plan to a [`ScaleConfig`] for
+    /// [`checkpoint::build_scale_lab`]: group sizes, hub/leaf latencies,
+    /// and the given epoch cadence. Other knobs keep the scale-lab
+    /// defaults.
+    pub fn to_scale_config(&self, epoch_period: SimDuration, epochs: u32) -> ScaleConfig {
+        ScaleConfig {
+            group_sizes: self.groups.iter().map(|g| g.len() as u32).collect(),
+            epoch_period,
+            epochs,
+            hub_latency: self.lookahead,
+            leaf_latency: self.leaf_latency,
+            ..ScaleConfig::uniform(1, 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::SimTime;
+
+    #[test]
+    fn star_plan_picks_hub_and_balances_groups() {
+        let spec = ExperimentSpec::star("s", 40, 100_000_000, SimDuration::from_millis(5));
+        let plan = ScalePlan::from_spec(&spec, 4).unwrap();
+        assert_eq!(plan.hub, "hub");
+        assert_eq!(plan.groups.len(), 4);
+        assert_eq!(plan.nodes(), 40);
+        assert!(plan.groups.iter().all(|g| g.len() == 10));
+        assert_eq!(plan.lookahead, SimDuration::from_millis(5));
+        // Pure star: no intra-group links, leaf latency = lookahead.
+        assert_eq!(plan.leaf_latency, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn tree_plan_keeps_subtrees_whole() {
+        let trunk = SimDuration::from_millis(4);
+        let leaf = SimDuration::from_micros(250);
+        let spec = ExperimentSpec::tree("t", 3, 2, 1_000_000_000, trunk, leaf);
+        // Root n0 has degree 3; children have degree 4 — a child wins
+        // the hub vote, its removal splits the rest into components.
+        let plan = ScalePlan::from_spec(&spec, 3).unwrap();
+        assert_eq!(plan.nodes(), 12);
+        assert_eq!(plan.lookahead, leaf, "hub's cheapest incident link");
+        let total: usize = plan.groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let spec = ExperimentSpec::star("s", 33, 1_000_000, SimDuration::from_millis(2));
+        let a = ScalePlan::from_spec(&spec, 4).unwrap();
+        let b = ScalePlan::from_spec(&spec, 4).unwrap();
+        assert_eq!(a.groups, b.groups);
+        assert_eq!(a.hub, b.hub);
+    }
+
+    #[test]
+    fn zero_delay_hub_link_is_rejected() {
+        let spec = ExperimentSpec::new("z")
+            .node("a")
+            .node("b")
+            .link("a", "b", 1, SimDuration::ZERO, 0.0);
+        assert_eq!(
+            ScalePlan::from_spec(&spec, 2),
+            Err(PlanError::ZeroLookahead)
+        );
+    }
+
+    #[test]
+    fn degenerate_specs_are_rejected() {
+        assert_eq!(
+            ScalePlan::from_spec(&ExperimentSpec::new("e"), 1),
+            Err(PlanError::EmptySpec)
+        );
+        assert_eq!(
+            ScalePlan::from_spec(&ExperimentSpec::new("one").node("a"), 1),
+            Err(PlanError::NoLeafNodes)
+        );
+    }
+
+    #[test]
+    fn plan_lowers_to_a_runnable_scale_config() {
+        let spec = ExperimentSpec::star("s", 64, 100_000_000, SimDuration::from_millis(5));
+        let plan = ScalePlan::from_spec(&spec, 8).unwrap();
+        let cfg = plan.to_scale_config(SimDuration::from_millis(100), 2);
+        assert_eq!(cfg.nodes(), 64);
+        let mut lab = checkpoint::build_scale_lab(&cfg, 7, 4);
+        lab.run();
+        lab.check_invariants().unwrap();
+        assert!(lab.engine.now() > SimTime::ZERO);
+    }
+}

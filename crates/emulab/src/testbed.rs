@@ -583,6 +583,20 @@ impl Testbed {
         self.swap_in_with(spec, None)
     }
 
+    /// Plans a scale-out run of `spec`: partitions the topology into
+    /// shardable groups (see [`crate::ScalePlan`]) without swapping the
+    /// experiment in. Scale runs execute on the sharded engine's
+    /// aggregated lab rather than on per-VM hosts, so they are not
+    /// bounded by the testbed's free machines — this is the on-ramp
+    /// from a validated testbed spec to a thousands-of-nodes run.
+    pub fn plan_scale_out(
+        &self,
+        spec: &ExperimentSpec,
+        target_groups: u32,
+    ) -> Result<crate::ScalePlan, crate::PlanError> {
+        crate::ScalePlan::from_spec(spec, target_groups)
+    }
+
     /// Swap-in used both fresh (state `None`) and stateful (§5).
     pub(crate) fn swap_in_with(
         &mut self,

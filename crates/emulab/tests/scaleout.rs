@@ -1,0 +1,52 @@
+//! Scale-out path end to end: testbed spec → shard plan → scale lab,
+//! at the thousand-node scale the sharded engine exists for.
+
+use checkpoint::build_scale_lab;
+use emulab::{ExperimentSpec, ScalePlan, Testbed};
+use sim::SimDuration;
+
+#[test]
+fn thousand_node_star_plans_and_runs_under_every_layout() {
+    let spec = ExperimentSpec::star("grid", 1000, 100_000_000, SimDuration::from_millis(5));
+    assert!(spec.validate().is_ok());
+    assert_eq!(spec.nodes.len(), 1001);
+
+    // Planning goes through the testbed's front door; the testbed's
+    // machine pool does not bound scale runs.
+    let tb = Testbed::new(1, 4);
+    let plan = tb.plan_scale_out(&spec, 16).unwrap();
+    assert_eq!(plan.hub, "hub");
+    assert_eq!(plan.nodes(), 1000);
+    assert_eq!(plan.groups.len(), 16);
+    assert_eq!(plan.lookahead, SimDuration::from_millis(5));
+
+    let cfg = plan.to_scale_config(SimDuration::from_millis(100), 2);
+    let run = |shards: u32| {
+        let mut lab = build_scale_lab(&cfg, 77, shards);
+        lab.run();
+        lab.check_invariants().unwrap();
+        lab.outcome()
+    };
+    let base = run(1);
+    assert_eq!(base.nodes, 1000);
+    assert_eq!(base.epochs_committed, 2);
+    assert_eq!(run(4), base, "4-shard 1000-node run diverged from 1-shard");
+}
+
+#[test]
+fn tree_spec_round_trips_through_the_plan() {
+    // 4-ary tree of depth 5: 1 + 4 + 16 + 64 + 256 + 1024 = 1365 nodes.
+    let spec = ExperimentSpec::tree(
+        "deep",
+        4,
+        5,
+        1_000_000_000,
+        SimDuration::from_millis(4),
+        SimDuration::from_micros(400),
+    );
+    assert_eq!(spec.nodes.len(), 1365);
+    let plan = ScalePlan::from_spec(&spec, 8).unwrap();
+    assert_eq!(plan.nodes(), 1364, "all non-hub nodes grouped");
+    assert!(plan.lookahead > SimDuration::ZERO);
+    assert!(plan.leaf_latency <= plan.lookahead);
+}

@@ -243,10 +243,16 @@ impl Engine {
         self.inner.pending = pending;
     }
 
-    /// Removes a component, returning it; pending events to it are dropped
-    /// (counted in [`Engine::events_dropped`]) when they fire.
+    /// Removes a component, returning it. Its still-pending events are
+    /// cancelled eagerly (counted in [`Engine::events_dropped`]), so the
+    /// dead slot never has live events pointed at it; events posted to
+    /// the id *after* removal are still dropped lazily when they fire.
     pub fn remove_component(&mut self, id: ComponentId) -> Option<Box<dyn Component>> {
-        self.components.get_mut(id.0 as usize).and_then(Option::take)
+        let c = self.components.get_mut(id.0 as usize).and_then(Option::take);
+        if c.is_some() {
+            self.inner.events_dropped += self.inner.sched.cancel_target(id);
+        }
+        c
     }
 
     /// Injects an event from outside the simulation after `delay`.
@@ -499,6 +505,44 @@ mod tests {
         e.remove_component(id);
         e.run_to_completion();
         assert_eq!(e.events_dropped(), 1);
+    }
+
+    #[test]
+    fn remove_component_cancels_pending_events_eagerly() {
+        // Regression: removal used to leave the removed component's
+        // events live in the queue, to be dropped only when they fired.
+        // They must be cancelled at removal — post → remove → run never
+        // dispatches to the dead slot, and the queue is empty right away.
+        let mut e = Engine::new(0);
+        let victim = e.add_component(Box::new(PingPong {
+            partner: None,
+            log: vec![],
+        }));
+        let bystander = e.add_component(Box::new(PingPong {
+            partner: None,
+            log: vec![],
+        }));
+        e.post(victim, SimDuration::from_millis(1), 1u64);
+        e.post(bystander, SimDuration::from_millis(2), 2u64);
+        e.post(victim, SimDuration::from_millis(3), 3u64);
+        assert_eq!(e.pending_events(), 3);
+        let removed = e.remove_component(victim);
+        assert!(removed.is_some());
+        assert_eq!(
+            e.pending_events(),
+            1,
+            "victim's events are cancelled at removal, not at fire time"
+        );
+        assert_eq!(e.events_dropped(), 2);
+        // Posts to the dead id after removal still drop lazily.
+        e.post(victim, SimDuration::from_millis(4), 4u64);
+        e.run_to_completion();
+        assert_eq!(e.events_dropped(), 3);
+        assert_eq!(e.events_dispatched(), 1, "only the bystander's event ran");
+        assert_eq!(e.component_ref::<PingPong>(bystander).unwrap().log, vec![2]);
+        // Removing an id twice (or a never-registered id) is a no-op.
+        assert!(e.remove_component(victim).is_none());
+        assert_eq!(e.events_dropped(), 3);
     }
 
     #[test]

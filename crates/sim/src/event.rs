@@ -206,7 +206,10 @@ thread_local! {
 }
 
 /// Wraps a payload value into a (possibly recycled) `Box<Option<T>>`.
-fn pool_wrap<T: Any>(value: T) -> Box<dyn Any> {
+/// Returned as the concrete box so callers can coerce to either
+/// `Box<dyn Any>` (local storage) or `Box<dyn Any + Send>` (cross-shard
+/// transport, when `T: Send`).
+fn pool_wrap<T: Any>(value: T) -> Box<Option<T>> {
     let key = TypeId::of::<Option<T>>();
     POOL.with(|p| {
         let mut p = p.borrow_mut();
@@ -221,6 +224,26 @@ fn pool_wrap<T: Any>(value: T) -> Box<dyn Any> {
         p.misses += 1;
         Box::new(Some(value))
     })
+}
+
+/// A payload boxed for cross-shard transport: `Box<Option<T>>` with
+/// `T: Send`, type-erased behind `Send` so it can cross the shard
+/// mailboxes of [`crate::shard::ShardedEngine`]. On arrival it is stored
+/// as a plain boxed payload, so the receiving component's
+/// [`Payload::downcast`] path (including pool reclamation, now into the
+/// *receiving* thread's pool) is exactly the local one.
+pub(crate) struct RemotePayload {
+    boxed: Box<dyn Any + Send>,
+}
+
+impl RemotePayload {
+    /// Boxes `value` for transport (drawing from this thread's pool when
+    /// a box of the right type is free).
+    pub(crate) fn wrap<T: Any + Send>(value: T) -> Self {
+        RemotePayload {
+            boxed: pool_wrap(value),
+        }
+    }
 }
 
 /// Returns a payload box (`Option<T>`, spent or not) to the pool. A
@@ -412,6 +435,11 @@ impl Slot {
 pub(crate) struct Fired {
     pub time: SimTime,
     pub target: ComponentId,
+    /// The low 64 bits of the heap ordering key: the internal sequence
+    /// number for [`Scheduler::push`], or the caller's explicit key for
+    /// the keyed pushes. The sharded engine stamps trace events with it
+    /// so merged trace order is dispatch order.
+    pub key: u64,
     pub payload: Payload,
 }
 
@@ -443,6 +471,43 @@ impl Scheduler {
         let payload = store_payload(value);
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.insert(time, seq, target, payload)
+    }
+
+    /// Schedules `value` with an explicit equal-timestamp tie-break key
+    /// instead of the internal sequence counter.
+    ///
+    /// The sharded engine derives `key` from the *posting* component's
+    /// global id and per-poster sequence number, which makes the total
+    /// event order — `(time, key)` ascending — a function of the
+    /// simulated behavior alone, independent of how components are
+    /// partitioned into shards. Callers must keep `(time, key)` unique
+    /// per scheduler and must not mix keyed and unkeyed pushes on one
+    /// scheduler (the internal counter knows nothing about caller keys).
+    pub fn push_keyed<T: Any>(
+        &mut self,
+        time: SimTime,
+        target: ComponentId,
+        key: u64,
+        value: T,
+    ) -> EventId {
+        let payload = store_payload(value);
+        self.insert(time, key, target, payload)
+    }
+
+    /// Schedules an already-boxed cross-shard payload with an explicit
+    /// tie-break key (see [`Scheduler::push_keyed`]).
+    pub fn push_remote(
+        &mut self,
+        time: SimTime,
+        target: ComponentId,
+        key: u64,
+        payload: RemotePayload,
+    ) -> EventId {
+        self.insert(time, key, target, Stored::Boxed(payload.boxed))
+    }
+
+    fn insert(&mut self, time: SimTime, seq: u64, target: ComponentId, payload: Stored) -> EventId {
         let (slot, gen) = match self.free.pop() {
             Some(s) => {
                 let sl = &mut self.slots[s as usize];
@@ -486,6 +551,29 @@ impl Scheduler {
         }
     }
 
+    /// Cancels every pending event addressed to `target`, returning how
+    /// many were cancelled. Used by component removal so a dead slot
+    /// never has live events pointed at it.
+    ///
+    /// O(slots) scan plus one localized heap removal per hit — removal
+    /// is a cold administrative path, not a hot one.
+    pub fn cancel_target(&mut self, target: ComponentId) -> u64 {
+        let mut cancelled = 0;
+        for i in 0..self.slots.len() {
+            let sl = &mut self.slots[i];
+            if sl.payload.is_none() || sl.target != target {
+                continue;
+            }
+            let pos = sl.heap_pos as usize;
+            sl.retire();
+            self.free.push(i as u32);
+            debug_assert_eq!(self.heap[pos].slot, i as u32, "heap_pos out of sync");
+            self.remove_at(pos);
+            cancelled += 1;
+        }
+        cancelled
+    }
+
     /// Pops the next event.
     pub fn pop(&mut self) -> Option<Fired> {
         self.pop_before(SimTime::MAX)
@@ -510,6 +598,7 @@ impl Scheduler {
         Some(Fired {
             time: e.time(),
             target,
+            key: e.key as u64,
             payload: Payload::new(payload),
         })
     }
@@ -733,6 +822,47 @@ mod tests {
         assert!(p.is::<u32>());
         assert_eq!(p.downcast_ref::<u32>(), Some(&5));
         assert_eq!(p.downcast::<u32>().unwrap(), 5);
+    }
+
+    #[test]
+    fn keyed_pushes_pop_in_key_order_regardless_of_insertion() {
+        // Equal-timestamp keyed events pop in ascending key order no
+        // matter the insertion order — the property the sharded engine's
+        // determinism rests on (mailbox drain order varies across runs).
+        let keys = [7u64, 3, 9, 1, 5];
+        let mut s = Scheduler::new();
+        for &k in &keys {
+            s.push_keyed(t(100), ComponentId(0), k, k);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| pop_value(&mut s)).collect();
+        assert_eq!(order, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn remote_payload_round_trips_through_push_remote() {
+        #[derive(Debug, PartialEq)]
+        struct Big([u64; 8]); // > INLINE_BYTES, so it exercises the boxed path
+        let mut s = Scheduler::new();
+        let p = RemotePayload::wrap(Big([9; 8]));
+        s.push_remote(t(5), ComponentId(2), 1, p);
+        let f = s.pop().unwrap();
+        assert_eq!(f.target, ComponentId(2));
+        assert_eq!(f.key, 1);
+        assert_eq!(f.payload.downcast::<Big>().unwrap(), Big([9; 8]));
+    }
+
+    #[test]
+    fn cancel_target_removes_only_that_targets_events() {
+        let mut s = Scheduler::new();
+        s.push(t(1), ComponentId(0), 10u64);
+        let kept = s.push(t(2), ComponentId(1), 20u64);
+        s.push(t(3), ComponentId(0), 30u64);
+        assert_eq!(s.cancel_target(ComponentId(0)), 2);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.cancel_target(ComponentId(0)), 0);
+        assert_eq!(pop_value::<u64>(&mut s), Some(20));
+        assert!(!s.cancel(kept), "popped event's id is stale");
+        assert!(s.pop().is_none());
     }
 
     /// Reference model with the documented semantics: a sorted map keyed

@@ -37,6 +37,7 @@ mod engine;
 mod event;
 mod fault;
 mod rng;
+pub mod shard;
 pub mod stats;
 pub mod telemetry;
 mod time;
@@ -45,6 +46,7 @@ pub mod trace;
 pub use buggify::{Buggify, Preset};
 pub use engine::{Component, Ctx, Engine};
 pub use event::{payload_pool_stats, ComponentId, EventId, Payload};
+pub use shard::{ShardComponent, ShardCtx, ShardedEngine};
 pub use fault::FaultPlan;
 pub use rng::SimRng;
 pub use telemetry::audit::{

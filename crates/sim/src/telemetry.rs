@@ -247,6 +247,27 @@ impl Hist {
         self.max = self.max.max(v);
     }
 
+    /// Folds another histogram's samples into this one. Exact for
+    /// counts/min/max; the bucket sums add in caller order, so the
+    /// floating-point `sum` is bit-identical to single-registry
+    /// recording only when every sample is integer-valued below 2^53
+    /// (true of every duration/byte histogram in the workspace).
+    fn merge_from(&mut self, other: &Hist) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merging histograms with different bucket bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        if other.count > 0 {
+            self.sum += other.sum;
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
     /// Expands bucket counts into per-sample representatives and summarizes
     /// via [`stats::percentile`] (nearest-rank, identical to summarizing the
     /// raw samples when they sit on bucket bounds).
@@ -346,6 +367,11 @@ struct Inner {
     tag_names: Vec<String>,
     tag_index: HashMap<String, usize>,
     ring: Ring,
+    /// Dispatch-order stamp applied to trace events (see
+    /// [`RawEvent::order`]); the sharded engine sets it per dispatch.
+    cur_order: u64,
+    /// Emissions under the current `cur_order`, for intra-dispatch ties.
+    cur_sub: u32,
 }
 
 /// Cheap-clone handle to the shared telemetry registry.
@@ -423,7 +449,13 @@ impl Telemetry {
 
     /// Registers (or looks up) a span family keyed by component + label.
     pub fn span(&self, component: &str, label: &str) -> SpanId {
-        let name = format!("{component}/{label}");
+        self.span_by_name(format!("{component}/{label}"))
+    }
+
+    /// Registers (or looks up) a span family by its full
+    /// `component/label` name (used when merging shard registries, where
+    /// only the joined name survives).
+    fn span_by_name(&self, name: String) -> SpanId {
         let mut r = self.inner.borrow_mut();
         if let Some(&i) = r.span_index.get(&name) {
             return SpanId(i);
@@ -522,13 +554,29 @@ impl Telemetry {
     }
 
     fn trace_push(&self, track: TrackId, tag: TraceTag, phase: TracePhase, at: SimTime, arg: i64) {
-        self.inner.borrow_mut().ring.push(RawEvent {
+        let mut r = self.inner.borrow_mut();
+        let (order, sub) = (r.cur_order, r.cur_sub);
+        r.cur_sub += 1;
+        r.ring.push(RawEvent {
             at,
             track: track.0,
             tag: tag.0,
             phase,
             arg,
+            order,
+            sub,
         });
+    }
+
+    /// Sets the dispatch-order stamp applied to subsequent trace events
+    /// and resets the intra-dispatch tie counter. The sharded engine
+    /// calls this with the fired event's ordering key before running its
+    /// handler, which is what lets [`Telemetry::merge_shards`] restore
+    /// the global record order from per-shard rings.
+    pub(crate) fn set_trace_order(&self, order: u64) {
+        let mut r = self.inner.borrow_mut();
+        r.cur_order = order;
+        r.cur_sub = 0;
     }
 
     /// Opens a duration slice on a track (`ph: "B"`). The meaning of
@@ -581,6 +629,100 @@ impl Telemetry {
     /// the newest events that still fit. Capacity 0 disables tracing.
     pub fn set_trace_capacity(&self, cap: usize) {
         self.inner.borrow_mut().ring.set_capacity(cap);
+    }
+
+    /// Merges per-shard registries into one, restoring the order a
+    /// single-shard run would have recorded.
+    ///
+    /// Counters add; histograms and span families merge bucket-wise
+    /// (bounds must match); gauges take the value from the last shard
+    /// that registered the name (shard-invariant only if a gauge name is
+    /// written by a single component — the sharded labs keep to that).
+    /// Trace events sort by `(at, order, sub)` — the dispatch-order
+    /// stamps written under `Telemetry::set_trace_order` — and the span
+    /// log by `(end, start, name)`, both total orders that depend only on
+    /// simulated behavior, so a merge of N shard registries is
+    /// byte-identical to the merge of 1 as long as no shard overflowed
+    /// its ring. The merged ring is sized to hold every retained event.
+    pub fn merge_shards(parts: &[Telemetry]) -> Telemetry {
+        let merged = Telemetry::new();
+        // Aggregates, via the public registration API (idempotent).
+        for part in parts {
+            let p = part.inner.borrow();
+            for (i, name) in p.counter_names.iter().enumerate() {
+                let id = merged.counter(name);
+                merged.add(id, p.counters[i]);
+            }
+            for (i, name) in p.gauge_names.iter().enumerate() {
+                let id = merged.gauge(name);
+                merged.set_gauge(id, p.gauges[i]);
+            }
+            for (i, name) in p.hist_names.iter().enumerate() {
+                let id = merged.histogram_with_bounds(name, &p.hists[i].bounds);
+                merged.inner.borrow_mut().hists[id.0].merge_from(&p.hists[i]);
+            }
+            for slot in &p.spans {
+                let id = merged.span_by_name(slot.name.clone());
+                let m = &mut merged.inner.borrow_mut().spans[id.0];
+                m.entered += slot.entered;
+                m.hist.merge_from(&slot.hist);
+            }
+        }
+        // Span log: gather, order by completion, re-drop at the cap.
+        let mut span_entries: Vec<(SimTime, SimTime, SpanId)> = Vec::new();
+        let mut log_dropped = 0;
+        for part in parts {
+            let p = part.inner.borrow();
+            log_dropped += p.span_log_dropped;
+            for &(id, start, end) in &p.span_log {
+                let mid = merged.span_by_name(p.spans[id.0].name.clone());
+                span_entries.push((end, start, mid));
+            }
+        }
+        {
+            let mut m = merged.inner.borrow_mut();
+            span_entries.sort_by(|a, b| {
+                (a.0, a.1, m.spans[a.2 .0].name.as_str())
+                    .cmp(&(b.0, b.1, m.spans[b.2 .0].name.as_str()))
+            });
+            if m.span_log.capacity() == 0 && !span_entries.is_empty() {
+                m.span_log.reserve_exact(SPAN_LOG_CAP);
+            }
+            for (end, start, id) in span_entries {
+                if m.span_log.len() < SPAN_LOG_CAP {
+                    m.span_log.push((id, start, end));
+                } else {
+                    log_dropped += 1;
+                }
+            }
+            m.span_log_dropped = log_dropped;
+        }
+        // Trace ring: remap interned ids, then restore dispatch order.
+        let mut events: Vec<RawEvent> = Vec::new();
+        for part in parts {
+            let p = part.inner.borrow();
+            for ev in p.ring.iter() {
+                let (host, ref sub) = p.tracks[ev.track];
+                let track = merged.track(host, sub);
+                let tag = merged.trace_tag(&p.tag_names[ev.tag]);
+                events.push(RawEvent {
+                    track: track.0,
+                    tag: tag.0,
+                    ..*ev
+                });
+            }
+        }
+        // Stable sort: collection order (shard-major) breaks exact ties,
+        // which only arise for events recorded outside any dispatch.
+        events.sort_by_key(|e| (e.at, e.order, e.sub));
+        {
+            let mut m = merged.inner.borrow_mut();
+            m.ring.set_capacity(ring::DEFAULT_TRACE_CAP.max(events.len()));
+            for ev in events {
+                m.ring.push(ev);
+            }
+        }
+        merged
     }
 
     // ---- reads (cold path) ----

@@ -71,6 +71,14 @@ pub(super) struct RawEvent {
     pub tag: usize,
     pub phase: TracePhase,
     pub arg: i64,
+    /// Dispatch-order stamp: the ordering key of the event whose handler
+    /// recorded this entry (0 outside dispatch). The sharded engine sets
+    /// it per dispatch; merging per-shard rings sorts by
+    /// `(at, order, sub)`, which reconstructs the single-shard record
+    /// order exactly because dispatch keys are shard-layout-invariant.
+    pub order: u64,
+    /// Per-dispatch emission counter breaking ties within one handler.
+    pub sub: u32,
 }
 
 /// A resolved trace event, as returned by
@@ -199,6 +207,8 @@ mod tests {
             tag: 0,
             phase: TracePhase::Instant,
             arg: i as i64,
+            order: 0,
+            sub: 0,
         }
     }
 
